@@ -1,0 +1,73 @@
+// Shared configuration for the paper-reproduction bench binaries.
+//
+// Every bench regenerates one table or figure of the paper (see DESIGN.md
+// for the index). Because the paper's configuration (300 epochs, 10 runs,
+// ~1M-device circuits on a V100) does not fit a single CPU core, each bench
+// reads a profile from the PARAGRAPH_BENCH_SCALE environment variable:
+//   smoke    tiny sanity run (seconds)
+//   default  CPU-sized reproduction (minutes) — used for EXPERIMENTS.md
+//   full     paper-faithful epochs/runs (hours)
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "dataset/dataset.h"
+#include "util/strings.h"
+
+namespace paragraph::bench {
+
+struct BenchProfile {
+  std::string name = "default";
+  double suite_scale = 0.25;  // multiplier on Table IV block counts
+  int gnn_epochs = 150;
+  int runs = 1;
+  std::uint64_t seed = 42;
+
+  static BenchProfile from_env() {
+    BenchProfile p;
+    const char* env = std::getenv("PARAGRAPH_BENCH_SCALE");
+    const std::string mode = env != nullptr ? env : "default";
+    if (mode == "smoke") {
+      p = BenchProfile{"smoke", 0.08, 30, 1, 42};
+    } else if (mode == "full") {
+      p = BenchProfile{"full", 1.0, 300, 3, 42};
+    }
+    return p;
+  }
+
+  void print_banner(const char* bench_name) const {
+    std::printf("=== %s (profile: %s, suite scale %.2f, %d epochs, %d run%s) ===\n",
+                bench_name, name.c_str(), suite_scale, gnn_epochs, runs, runs > 1 ? "s" : "");
+  }
+};
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline dataset::SuiteDataset build_bench_dataset(const BenchProfile& p) {
+  Timer t;
+  auto ds = dataset::build_dataset(p.seed, p.suite_scale);
+  std::size_t devices = 0;
+  std::size_t nets = 0;
+  for (const auto& s : ds.train) {
+    devices += s.netlist.num_devices();
+    nets += s.netlist.stats().num_nets;
+  }
+  std::printf("dataset: %zu train + %zu test circuits, %zu train devices, %zu train nets"
+              " [%.1fs]\n\n",
+              ds.train.size(), ds.test.size(), devices, nets, t.seconds());
+  return ds;
+}
+
+}  // namespace paragraph::bench

@@ -1,0 +1,40 @@
+// Extension bench (the paper's stated future work): predicting net
+// parasitic *resistance* from the schematic.
+//
+// "Future work will focus on extending this model to predict net parasitic
+// resistances as well." — Section VI. The layout substrate annotates each
+// net with a lumped trunk resistance (wirelength x sheet model + via
+// stack); models regress it in log space. Reported like a Fig 6 column.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/learners.h"
+#include "util/table.h"
+
+using namespace paragraph;
+
+int main() {
+  const auto profile = bench::BenchProfile::from_env();
+  profile.print_banner("Extension: net parasitic resistance (paper future work)");
+  const auto ds = bench::build_bench_dataset(profile);
+
+  util::Table table({"model", "R2", "MAE [ohm]", "MAPE [%]", "train s"});
+  const std::vector<core::LearnerKind> learners = {
+      core::LearnerKind::kLinear, core::LearnerKind::kXgb, core::LearnerKind::kGraphSage,
+      core::LearnerKind::kRgcn, core::LearnerKind::kParaGraph};
+  for (const auto learner : learners) {
+    core::LearnerConfig cfg;
+    cfg.learner = learner;
+    cfg.target = dataset::TargetKind::kRes;
+    cfg.epochs = profile.gnn_epochs;
+    cfg.seed = profile.seed;
+    bench::Timer t;
+    const auto m = core::train_and_evaluate(cfg, ds).pooled();
+    table.add_row(core::learner_name(learner), {m.r2, m.mae, m.mape, t.seconds()}, 3);
+    std::printf("  %s done\n", core::learner_name(learner));
+    std::fflush(stdout);
+  }
+  std::printf("\nnet parasitic resistance prediction (log-space regression):\n");
+  table.print(std::cout);
+  return 0;
+}

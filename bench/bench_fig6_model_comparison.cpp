@@ -1,0 +1,102 @@
+// Reproduces Fig 6: prediction accuracy (R^2, and MAE relative to the
+// XGBoost baseline) for Linear, XGBoost, GCN, RGCN, GAT, GraphSage and
+// ParaGraph across the prediction targets.
+//
+// As in the paper, the CAP model uses a single max_v = 10 fF model so the
+// comparison is not biased by ensemble modeling, and results are averaged
+// over multiple runs (profile-dependent; the paper uses 10).
+#include <iostream>
+#include <map>
+
+#include "bench_common.h"
+#include "core/learners.h"
+#include "util/table.h"
+
+using namespace paragraph;
+
+int main() {
+  const auto profile = bench::BenchProfile::from_env();
+  profile.print_banner("Fig 6: model comparison");
+  const auto ds = bench::build_bench_dataset(profile);
+
+  // Representative target subset for the default profile; the full profile
+  // covers every Table I target like the paper.
+  std::vector<dataset::TargetKind> targets = {
+      dataset::TargetKind::kCap, dataset::TargetKind::kLde1, dataset::TargetKind::kLde5,
+      dataset::TargetKind::kSourceArea, dataset::TargetKind::kDrainArea};
+  if (profile.name == "full") targets = dataset::all_targets();
+  if (profile.name == "smoke")
+    targets = {dataset::TargetKind::kCap, dataset::TargetKind::kSourceArea};
+
+  std::map<core::LearnerKind, std::map<dataset::TargetKind, double>> r2;
+  std::map<core::LearnerKind, std::map<dataset::TargetKind, double>> mae;
+
+  for (const auto target : targets) {
+    for (const auto learner : core::fig6_learners()) {
+      double r2_sum = 0.0;
+      double mae_sum = 0.0;
+      bench::Timer t;
+      for (int run = 0; run < profile.runs; ++run) {
+        core::LearnerConfig cfg;
+        cfg.learner = learner;
+        cfg.target = target;
+        cfg.max_v_ff = 10.0;  // paper: max_v = 10 fF for this study
+        cfg.epochs = profile.gnn_epochs;
+        cfg.seed = profile.seed + static_cast<std::uint64_t>(run) * 1000;
+        const auto m = core::train_and_evaluate(cfg, ds).pooled();
+        r2_sum += m.r2;
+        mae_sum += m.mae;
+      }
+      r2[learner][target] = r2_sum / profile.runs;
+      mae[learner][target] = mae_sum / profile.runs;
+      std::printf("  %-10s %-5s R2=%6.3f MAE=%9.4f  [%.0fs]\n", core::learner_name(learner),
+                  dataset::target_name(target), r2[learner][target], mae[learner][target],
+                  t.seconds());
+      std::fflush(stdout);
+    }
+  }
+
+  // ---- Fig 6a: R^2 ----
+  std::vector<std::string> header = {"model"};
+  for (const auto t : targets) header.push_back(dataset::target_name(t));
+  header.push_back("avg");
+  util::Table fig6a(header);
+  for (const auto learner : core::fig6_learners()) {
+    std::vector<double> row;
+    double avg = 0.0;
+    for (const auto t : targets) {
+      row.push_back(r2[learner][t]);
+      avg += r2[learner][t];
+    }
+    row.push_back(avg / targets.size());
+    fig6a.add_row(core::learner_name(learner), row, 3);
+  }
+  std::printf("\nFig 6a: prediction R^2 (paper: ParaGraph avg 0.772, +110%% over XGBoost):\n");
+  fig6a.print(std::cout);
+
+  // ---- Fig 6b: MAE relative to XGBoost ----
+  util::Table fig6b(header);
+  for (const auto learner : core::fig6_learners()) {
+    std::vector<double> row;
+    double avg = 0.0;
+    for (const auto t : targets) {
+      const double rel = mae[learner][t] / std::max(mae[core::LearnerKind::kXgb][t], 1e-12);
+      row.push_back(rel);
+      avg += rel;
+    }
+    row.push_back(avg / targets.size());
+    fig6b.add_row(core::learner_name(learner), row, 3);
+  }
+  std::printf("\nFig 6b: MAE relative to the XGBoost model (paper: ParaGraph reduces XGB MAE"
+              " by 44%%):\n");
+  fig6b.print(std::cout);
+
+  const double pg = r2[core::LearnerKind::kParaGraph][targets[0]];
+  double best_other = -1e9;
+  for (const auto learner : core::fig6_learners()) {
+    if (learner == core::LearnerKind::kParaGraph) continue;
+    best_other = std::max(best_other, r2[learner][targets[0]]);
+  }
+  std::printf("\nCAP: ParaGraph R2 %.3f vs best alternative %.3f\n", pg, best_other);
+  return 0;
+}

@@ -1,0 +1,103 @@
+// google-benchmark micro-benchmarks for the kernels the GNN training loop
+// spends its time in: GEMM, gather/scatter, segment softmax, and a full
+// ParaGraph embedding forward+backward on a realistic circuit graph.
+#include <benchmark/benchmark.h>
+
+#include "circuitgen/generator.h"
+#include "gnn/models.h"
+#include "nn/graph_ops.h"
+#include "nn/ops.h"
+#include "util/rng.h"
+
+using namespace paragraph;
+
+namespace {
+
+nn::Matrix random_matrix(std::size_t r, std::size_t c, std::uint64_t seed) {
+  util::Rng rng(seed);
+  nn::Matrix m(r, c);
+  for (std::size_t i = 0; i < m.size(); ++i)
+    m.data()[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return m;
+}
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const nn::Matrix a = random_matrix(n, 32, 1);
+  const nn::Matrix b = random_matrix(32, 32, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::gemm(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n) * 32 * 32 * 2);
+}
+BENCHMARK(BM_Gemm)->Arg(1024)->Arg(8192)->Arg(65536);
+
+void BM_GatherScatter(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t e = n * 4;
+  util::Rng rng(3);
+  nn::Tensor h(random_matrix(n, 32, 4), true);
+  std::vector<std::int32_t> src(e), dst(e);
+  for (std::size_t i = 0; i < e; ++i) {
+    src[i] = static_cast<std::int32_t>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    dst[i] = static_cast<std::int32_t>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  }
+  for (auto _ : state) {
+    nn::Tensor msg = nn::gather_rows(h, src);
+    benchmark::DoNotOptimize(nn::scatter_add_rows(msg, dst, n));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(e));
+}
+BENCHMARK(BM_GatherScatter)->Arg(1024)->Arg(16384);
+
+void BM_SegmentSoftmax(benchmark::State& state) {
+  const auto segments = static_cast<std::size_t>(state.range(0));
+  const std::size_t per_segment = 6;
+  nn::SegmentIndex seg;
+  seg.offsets.push_back(0);
+  for (std::size_t s = 0; s < segments; ++s)
+    seg.offsets.push_back(seg.offsets.back() + static_cast<std::int32_t>(per_segment));
+  nn::Tensor logits(random_matrix(segments * per_segment, 1, 5), true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::segment_softmax(logits, seg));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(segments * per_segment));
+}
+BENCHMARK(BM_SegmentSoftmax)->Arg(1024)->Arg(16384);
+
+void BM_ParaGraphForwardBackward(benchmark::State& state) {
+  circuitgen::CircuitSpec spec;
+  spec.name = "bench";
+  spec.seed = 9;
+  spec.glue_gates = static_cast<int>(state.range(0));
+  spec.dffs = static_cast<int>(state.range(0) / 8);
+  spec.opamps = 2;
+  const auto nl = circuitgen::generate_circuit(spec);
+  const auto g = graph::build_graph(nl);
+  util::Rng rng(11);
+  auto model = gnn::make_model(gnn::ModelKind::kParaGraph, 32, 5, rng);
+  gnn::GraphBatch batch;
+  batch.graph = &g;
+  for (std::size_t t = 0; t < graph::kNumNodeTypes; ++t) {
+    const auto nt = static_cast<graph::NodeType>(t);
+    if (g.num_nodes(nt) == 0) continue;
+    batch.features[t] = nn::Tensor(g.features(nt));
+  }
+  const std::size_t n_nets = g.num_nodes(graph::NodeType::kNet);
+  const nn::Matrix target(n_nets, 1, 0.5f);
+  nn::Linear head(32, 1, rng);
+  for (auto _ : state) {
+    const auto emb = model->embed(batch);
+    nn::Tensor pred = head.forward(emb[static_cast<std::size_t>(graph::NodeType::kNet)]);
+    nn::Tensor loss = nn::mse_loss(pred, target);
+    loss.backward();
+    benchmark::DoNotOptimize(loss.item());
+  }
+  state.counters["nodes"] = static_cast<double>(g.total_nodes());
+  state.counters["edges"] = static_cast<double>(g.total_edges());
+}
+BENCHMARK(BM_ParaGraphForwardBackward)->Arg(40)->Arg(160)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+// Reproduces Table IV: device and net distribution of the circuit dataset.
+// The paper lists t1-t18 (training) and e1-e4 (testing); our generated
+// suite mirrors each row's device-type profile at the bench profile's
+// scale (see DESIGN.md §2 for the substitution rationale).
+#include <iostream>
+
+#include "bench_common.h"
+#include "circuitgen/generator.h"
+#include "layout/annotator.h"
+#include "util/table.h"
+
+using namespace paragraph;
+
+int main() {
+  const auto profile = bench::BenchProfile::from_env();
+  profile.print_banner("Table IV: dataset device/net distribution");
+
+  auto suite = circuitgen::build_paper_suite(profile.seed, profile.suite_scale);
+
+  util::Table table({"circuit", "#net", "#tran", "#tran_th", "res", "cap", "bjt", "dio"});
+  std::size_t total_devices = 0;
+  auto add = [&](circuit::Netlist& nl) {
+    layout::annotate_layout(nl, profile.seed + 1);
+    const auto st = nl.stats();
+    table.add_row({nl.name(), std::to_string(st.num_nets), std::to_string(st.transistors()),
+                   std::to_string(st.thick_transistors()),
+                   std::to_string(st.device_count[static_cast<std::size_t>(
+                       circuit::DeviceKind::kResistor)]),
+                   std::to_string(st.device_count[static_cast<std::size_t>(
+                       circuit::DeviceKind::kCapacitor)]),
+                   std::to_string(st.device_count[static_cast<std::size_t>(
+                       circuit::DeviceKind::kBjt)]),
+                   std::to_string(st.device_count[static_cast<std::size_t>(
+                       circuit::DeviceKind::kDiode)])});
+    total_devices += nl.num_devices();
+  };
+  for (auto& nl : suite.train) add(nl);
+  for (auto& nl : suite.test) add(nl);
+  table.print(std::cout);
+  std::printf("\nt1-t18 train / e1-e4 test; %zu devices total.\n", total_devices);
+  std::printf("(Paper row profiles at ~1/%.0f scale; t8/t9 are thick-gate-only, t10/t12/t13/"
+              "t16/e1/e3 pure digital, t7/t11/t15/t17 contain BJTs, mirroring Table IV.)\n",
+              1.0 / std::max(profile.suite_scale * 0.0125, 1e-9));
+  return 0;
+}

@@ -1,0 +1,28 @@
+#!/bin/bash
+# Regenerates the recorded artefacts:
+#   test_output.txt  - full ctest run
+#   bench_output.txt - concatenated default-profile bench outputs
+# The bench suite takes ~1h of single-core compute at the default profile;
+# this script reuses the per-bench outputs under bench_results/ (each file
+# is the verbatim stdout of one bench binary). Run a bench again to
+# refresh its entry, or `for b in build/bench/*; do $b; done` for all.
+set -u
+cd "$(dirname "$0")/.."
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  echo "# Bench outputs (default profile, see EXPERIMENTS.md)."
+  echo "# Each section is the verbatim stdout of one bench binary from bench_results/."
+  for b in bench_table4_dataset bench_fig5_maxv_sweep bench_fig6_model_comparison \
+           bench_fig7_pred_vs_truth bench_fig8_tsne bench_table5_sim_error \
+           bench_ablation_layers bench_ablation_components bench_ext_resistance \
+           bench_ext_multihead bench_ext_attention bench_kernels; do
+    echo
+    echo "================================================================"
+    echo "== $b"
+    echo "================================================================"
+    cat "bench_results/$b.txt" 2>/dev/null || echo "(missing: run build/bench/$b)"
+  done
+} | tee bench_output.txt >/dev/null
+echo "wrote test_output.txt and bench_output.txt"

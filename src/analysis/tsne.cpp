@@ -1,0 +1,183 @@
+#include "analysis/tsne.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "eval/metrics.h"
+#include "util/rng.h"
+
+namespace paragraph::analysis {
+
+using nn::Matrix;
+
+namespace {
+
+// Row-stochastic conditional P with per-row sigma found by binary search on
+// the Shannon perplexity.
+std::vector<double> conditional_p(const std::vector<double>& d2, std::size_t n,
+                                  double perplexity) {
+  std::vector<double> p(n * n, 0.0);
+  const double log_perp = std::log(perplexity);
+  for (std::size_t i = 0; i < n; ++i) {
+    double beta = 1.0;
+    double beta_lo = 0.0;
+    double beta_hi = std::numeric_limits<double>::infinity();
+    for (int iter = 0; iter < 50; ++iter) {
+      double sum = 0.0;
+      double dot = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const double v = std::exp(-beta * d2[i * n + j]);
+        p[i * n + j] = v;
+        sum += v;
+        dot += v * d2[i * n + j];
+      }
+      if (sum <= 0.0) {
+        beta /= 2.0;
+        continue;
+      }
+      // Shannon entropy H = log(sum) + beta * <d2>.
+      const double h = std::log(sum) + beta * dot / sum;
+      if (std::abs(h - log_perp) < 1e-5) break;
+      if (h > log_perp) {
+        beta_lo = beta;
+        beta = std::isinf(beta_hi) ? beta * 2.0 : (beta + beta_hi) / 2.0;
+      } else {
+        beta_hi = beta;
+        beta = (beta + beta_lo) / 2.0;
+      }
+    }
+    double sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j)
+      if (j != i) sum += p[i * n + j];
+    if (sum > 0.0)
+      for (std::size_t j = 0; j < n; ++j)
+        if (j != i) p[i * n + j] /= sum;
+  }
+  return p;
+}
+
+}  // namespace
+
+Matrix tsne(const Matrix& x, const TsneConfig& config) {
+  const std::size_t n = x.rows();
+  if (n < 4) throw std::invalid_argument("tsne: need at least 4 points");
+  const std::size_t d = x.cols();
+
+  // Pairwise squared distances in the input space.
+  std::vector<double> d2(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t c = 0; c < d; ++c) {
+        const double diff = x(i, c) - x(j, c);
+        s += diff * diff;
+      }
+      d2[i * n + j] = s;
+      d2[j * n + i] = s;
+    }
+  }
+
+  // Symmetrised joint P.
+  std::vector<double> p = conditional_p(d2, n, std::min(config.perplexity,
+                                                        static_cast<double>(n - 1) / 3.0));
+  std::vector<double> pij(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      pij[i * n + j] = std::max((p[i * n + j] + p[j * n + i]) / (2.0 * n), 1e-12);
+
+  util::Rng rng(config.seed);
+  std::vector<double> y(n * 2);
+  for (auto& v : y) v = rng.normal(0.0, 1e-4);
+  std::vector<double> dy(n * 2, 0.0);
+  std::vector<double> vel(n * 2, 0.0);
+  std::vector<double> q(n * n, 0.0);
+
+  for (int iter = 0; iter < config.iterations; ++iter) {
+    const double exaggeration = iter < config.exaggeration_iters ? config.early_exaggeration : 1.0;
+    // Student-t affinities.
+    double qsum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double dx = y[2 * i] - y[2 * j];
+        const double dyy = y[2 * i + 1] - y[2 * j + 1];
+        const double v = 1.0 / (1.0 + dx * dx + dyy * dyy);
+        q[i * n + j] = v;
+        q[j * n + i] = v;
+        qsum += 2.0 * v;
+      }
+    }
+    qsum = std::max(qsum, 1e-12);
+
+    std::fill(dy.begin(), dy.end(), 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const double qij = std::max(q[i * n + j] / qsum, 1e-12);
+        const double mult = (exaggeration * pij[i * n + j] - qij) * q[i * n + j];
+        dy[2 * i] += 4.0 * mult * (y[2 * i] - y[2 * j]);
+        dy[2 * i + 1] += 4.0 * mult * (y[2 * i + 1] - y[2 * j + 1]);
+      }
+    }
+
+    const double momentum =
+        iter < config.momentum_switch_iter ? config.initial_momentum : config.final_momentum;
+    for (std::size_t k = 0; k < n * 2; ++k) {
+      vel[k] = momentum * vel[k] - config.learning_rate * dy[k];
+      y[k] += vel[k];
+    }
+    // Re-centre.
+    double mx = 0.0, my = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      mx += y[2 * i];
+      my += y[2 * i + 1];
+    }
+    mx /= static_cast<double>(n);
+    my /= static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      y[2 * i] -= mx;
+      y[2 * i + 1] -= my;
+    }
+  }
+
+  Matrix out(n, 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    out(i, 0) = static_cast<float>(y[2 * i]);
+    out(i, 1) = static_cast<float>(y[2 * i + 1]);
+  }
+  return out;
+}
+
+double knn_separation_score(const Matrix& embedding, const std::vector<float>& values, int k) {
+  const std::size_t n = embedding.rows();
+  if (n != values.size()) throw std::invalid_argument("knn_separation_score: size mismatch");
+  if (n < static_cast<std::size_t>(k) + 1)
+    throw std::invalid_argument("knn_separation_score: too few points for k");
+  std::vector<float> pred(n, 0.0f);
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::iota(idx.begin(), idx.end(), 0);
+    auto dist2 = [&](std::size_t j) {
+      double s = 0.0;
+      for (std::size_t c = 0; c < embedding.cols(); ++c) {
+        const double d = embedding(i, c) - embedding(j, c);
+        s += d * d;
+      }
+      return s;
+    };
+    // Leave self out by treating it as infinitely far.
+    std::nth_element(idx.begin(), idx.begin() + k, idx.end(), [&](std::size_t a, std::size_t b) {
+      const double da = a == i ? std::numeric_limits<double>::infinity() : dist2(a);
+      const double db = b == i ? std::numeric_limits<double>::infinity() : dist2(b);
+      return da < db;
+    });
+    double s = 0.0;
+    for (int m = 0; m < k; ++m) s += values[idx[static_cast<std::size_t>(m)]];
+    pred[i] = static_cast<float>(s / k);
+  }
+  return eval::r_squared(values, pred);
+}
+
+}  // namespace paragraph::analysis

@@ -1,0 +1,36 @@
+// Exact t-SNE (van der Maaten & Hinton, JMLR 2008) for the paper's Fig 8
+// embedding-visualisation study, plus a quantitative separation score
+// (kNN regression R^2 in the 2-D embedding) so benches can report a number
+// instead of a picture.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace paragraph::analysis {
+
+struct TsneConfig {
+  double perplexity = 30.0;
+  int iterations = 500;
+  double learning_rate = 200.0;
+  double early_exaggeration = 12.0;
+  int exaggeration_iters = 125;
+  double initial_momentum = 0.5;
+  double final_momentum = 0.8;
+  int momentum_switch_iter = 125;
+  std::uint64_t seed = 1;
+};
+
+// Embeds the rows of `x` (n x d) into n x 2. Throws on n < 4.
+nn::Matrix tsne(const nn::Matrix& x, const TsneConfig& config = {});
+
+// Leave-one-out kNN regression R^2 of `values` over an embedding of any
+// dimensionality (the 2-D t-SNE output, or the raw GNN embedding space):
+// close to 1 when nearby points carry similar values (well-separated
+// colour bands in Fig 8), near 0 when the embedding carries no signal.
+double knn_separation_score(const nn::Matrix& embedding, const std::vector<float>& values,
+                            int k = 10);
+
+}  // namespace paragraph::analysis

@@ -1,0 +1,138 @@
+#include "baselines/gbrt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace paragraph::baselines {
+
+float Gbrt::Tree::predict_one(const float* row) const {
+  std::int32_t n = 0;
+  while (nodes[static_cast<std::size_t>(n)].feature >= 0) {
+    const Node& node = nodes[static_cast<std::size_t>(n)];
+    n = row[node.feature] < node.threshold ? node.left : node.right;
+  }
+  return nodes[static_cast<std::size_t>(n)].value;
+}
+
+void Gbrt::fit(const nn::Matrix& x, const std::vector<float>& y) {
+  if (x.rows() != y.size()) throw std::invalid_argument("Gbrt::fit: size mismatch");
+  if (x.rows() == 0) throw std::invalid_argument("Gbrt::fit: empty data");
+  trees_.clear();
+  const std::size_t n = x.rows();
+
+  base_score_ = 0.0;
+  for (const float v : y) base_score_ += v;
+  base_score_ /= static_cast<double>(n);
+
+  std::vector<double> pred(n, base_score_);
+  std::vector<double> grad(n);
+  std::vector<std::uint32_t> indices(n);
+
+  for (int t = 0; t < params_.num_trees; ++t) {
+    for (std::size_t i = 0; i < n; ++i) grad[i] = pred[i] - y[i];
+    std::iota(indices.begin(), indices.end(), 0u);
+    Tree tree;
+    tree.nodes.push_back(Node{});
+    build_node(x, grad, tree, 0, indices, 0, n, 0);
+    trees_.push_back(std::move(tree));
+    const Tree& tr = trees_.back();
+    for (std::size_t i = 0; i < n; ++i)
+      pred[i] += params_.learning_rate * tr.predict_one(x.row(i));
+  }
+}
+
+void Gbrt::build_node(const nn::Matrix& x, const std::vector<double>& grad, Tree& tree,
+                      std::int32_t node_idx, std::vector<std::uint32_t>& indices,
+                      std::size_t begin, std::size_t end, int depth) {
+  const double count = static_cast<double>(end - begin);
+  double g_sum = 0.0;
+  for (std::size_t i = begin; i < end; ++i) g_sum += grad[indices[i]];
+  const double h_sum = count;  // squared loss: hessian = 1 per sample
+
+  auto make_leaf = [&] {
+    tree.nodes[static_cast<std::size_t>(node_idx)].feature = -1;
+    tree.nodes[static_cast<std::size_t>(node_idx)].value =
+        static_cast<float>(-g_sum / (h_sum + params_.lambda));
+  };
+
+  if (depth >= params_.max_depth || count < 2 * params_.min_child_weight) {
+    make_leaf();
+    return;
+  }
+
+  const double parent_score = g_sum * g_sum / (h_sum + params_.lambda);
+  double best_gain = 0.0;
+  int best_feature = -1;
+  float best_threshold = 0.0f;
+
+  std::vector<std::uint32_t> sorted(indices.begin() + static_cast<std::ptrdiff_t>(begin),
+                                    indices.begin() + static_cast<std::ptrdiff_t>(end));
+  for (std::size_t f = 0; f < x.cols(); ++f) {
+    std::sort(sorted.begin(), sorted.end(), [&](std::uint32_t a, std::uint32_t b) {
+      return x(a, f) < x(b, f);
+    });
+    double gl = 0.0;
+    double hl = 0.0;
+    for (std::size_t k = 0; k + 1 < sorted.size(); ++k) {
+      gl += grad[sorted[k]];
+      hl += 1.0;
+      const float cur = x(sorted[k], f);
+      const float nxt = x(sorted[k + 1], f);
+      if (cur == nxt) continue;  // can't split between equal values
+      const double hr = h_sum - hl;
+      if (hl < params_.min_child_weight || hr < params_.min_child_weight) continue;
+      const double gr = g_sum - gl;
+      const double gain = gl * gl / (hl + params_.lambda) + gr * gr / (hr + params_.lambda) -
+                          parent_score - params_.gamma;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = (cur + nxt) * 0.5f;
+      }
+    }
+  }
+
+  if (best_feature < 0) {
+    make_leaf();
+    return;
+  }
+
+  // Partition indices in place.
+  const auto mid_it = std::stable_partition(
+      indices.begin() + static_cast<std::ptrdiff_t>(begin),
+      indices.begin() + static_cast<std::ptrdiff_t>(end), [&](std::uint32_t i) {
+        return x(i, static_cast<std::size_t>(best_feature)) < best_threshold;
+      });
+  const std::size_t mid = static_cast<std::size_t>(mid_it - indices.begin());
+  if (mid == begin || mid == end) {  // numerically degenerate split
+    make_leaf();
+    return;
+  }
+
+  Node& node = tree.nodes[static_cast<std::size_t>(node_idx)];
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  const auto left_idx = static_cast<std::int32_t>(tree.nodes.size());
+  tree.nodes.push_back(Node{});
+  const auto right_idx = static_cast<std::int32_t>(tree.nodes.size());
+  tree.nodes.push_back(Node{});
+  // Re-fetch: push_back may have reallocated.
+  tree.nodes[static_cast<std::size_t>(node_idx)].left = left_idx;
+  tree.nodes[static_cast<std::size_t>(node_idx)].right = right_idx;
+
+  build_node(x, grad, tree, left_idx, indices, begin, mid, depth + 1);
+  build_node(x, grad, tree, right_idx, indices, mid, end, depth + 1);
+}
+
+std::vector<float> Gbrt::predict(const nn::Matrix& x) const {
+  std::vector<float> out(x.rows(), static_cast<float>(base_score_));
+  for (const Tree& t : trees_) {
+    for (std::size_t r = 0; r < x.rows(); ++r)
+      out[r] += static_cast<float>(params_.learning_rate) * t.predict_one(x.row(r));
+  }
+  return out;
+}
+
+}  // namespace paragraph::baselines

@@ -1,0 +1,57 @@
+// Gradient-boosted regression trees in the XGBoost formulation:
+// second-order (here: squared loss, hessian = 1) leaf weights
+// w = -G/(H + lambda), exact greedy splits maximising the XGBoost gain,
+// shrinkage, depth/min-child limits.
+//
+// Stands in for the paper's XGBoost baseline; like the paper it sees node
+// features only (no graph context).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/regressor.h"
+
+namespace paragraph::baselines {
+
+struct GbrtParams {
+  int num_trees = 200;
+  int max_depth = 6;
+  double learning_rate = 0.1;
+  double lambda = 1.0;       // L2 on leaf weights
+  double gamma = 0.0;        // split gain threshold
+  double min_child_weight = 2.0;
+};
+
+class Gbrt final : public Regressor {
+ public:
+  explicit Gbrt(GbrtParams params = {}) : params_(params) {}
+
+  void fit(const nn::Matrix& x, const std::vector<float>& y) override;
+  std::vector<float> predict(const nn::Matrix& x) const override;
+
+  std::size_t num_trees() const { return trees_.size(); }
+
+ private:
+  struct Node {
+    int feature = -1;       // -1 for a leaf
+    float threshold = 0.0;  // go left if x[feature] < threshold
+    float value = 0.0;      // leaf output
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+  };
+  struct Tree {
+    std::vector<Node> nodes;
+    float predict_one(const float* row) const;
+  };
+
+  void build_node(const nn::Matrix& x, const std::vector<double>& grad, Tree& tree,
+                  std::int32_t node_idx, std::vector<std::uint32_t>& indices, std::size_t begin,
+                  std::size_t end, int depth);
+
+  GbrtParams params_;
+  double base_score_ = 0.0;
+  std::vector<Tree> trees_;
+};
+
+}  // namespace paragraph::baselines

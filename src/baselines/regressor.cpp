@@ -1,0 +1,64 @@
+#include "baselines/regressor.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace paragraph::baselines {
+
+void LinearRegression::fit(const nn::Matrix& x, const std::vector<float>& y) {
+  if (x.rows() != y.size()) throw std::invalid_argument("LinearRegression::fit: size mismatch");
+  if (x.rows() == 0) throw std::invalid_argument("LinearRegression::fit: empty data");
+  const std::size_t f = x.cols() + 1;  // + intercept
+  std::vector<double> xtx(f * f, 0.0);
+  std::vector<double> xty(f, 0.0);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    std::vector<double> row(f);
+    for (std::size_t c = 0; c < x.cols(); ++c) row[c] = x(r, c);
+    row[f - 1] = 1.0;
+    for (std::size_t i = 0; i < f; ++i) {
+      for (std::size_t j = 0; j < f; ++j) xtx[i * f + j] += row[i] * row[j];
+      xty[i] += row[i] * y[r];
+    }
+  }
+  for (std::size_t i = 0; i + 1 < f; ++i) xtx[i * f + i] += l2_;
+
+  // Gaussian elimination with partial pivoting.
+  coef_.assign(f, 0.0);
+  std::vector<double> a = xtx;
+  std::vector<double> b = xty;
+  for (std::size_t col = 0; col < f; ++col) {
+    std::size_t piv = col;
+    for (std::size_t r = col + 1; r < f; ++r)
+      if (std::abs(a[r * f + col]) > std::abs(a[piv * f + col])) piv = r;
+    if (std::abs(a[piv * f + col]) < 1e-12) continue;  // singular column -> coef 0
+    if (piv != col) {
+      for (std::size_t c = 0; c < f; ++c) std::swap(a[piv * f + c], a[col * f + c]);
+      std::swap(b[piv], b[col]);
+    }
+    for (std::size_t r = col + 1; r < f; ++r) {
+      const double m = a[r * f + col] / a[col * f + col];
+      for (std::size_t c = col; c < f; ++c) a[r * f + c] -= m * a[col * f + c];
+      b[r] -= m * b[col];
+    }
+  }
+  for (std::size_t col = f; col-- > 0;) {
+    double s = b[col];
+    for (std::size_t c = col + 1; c < f; ++c) s -= a[col * f + c] * coef_[c];
+    coef_[col] = std::abs(a[col * f + col]) < 1e-12 ? 0.0 : s / a[col * f + col];
+  }
+}
+
+std::vector<float> LinearRegression::predict(const nn::Matrix& x) const {
+  if (coef_.empty()) throw std::logic_error("LinearRegression::predict before fit");
+  if (x.cols() + 1 != coef_.size())
+    throw std::invalid_argument("LinearRegression::predict: feature count mismatch");
+  std::vector<float> out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    double s = coef_.back();
+    for (std::size_t c = 0; c < x.cols(); ++c) s += coef_[c] * x(r, c);
+    out[r] = static_cast<float>(s);
+  }
+  return out;
+}
+
+}  // namespace paragraph::baselines

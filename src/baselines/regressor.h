@@ -1,0 +1,34 @@
+// Classical ML baselines operating on node features alone (paper Fig 6:
+// "XGBoost and Linear Regression based on node features alone").
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace paragraph::baselines {
+
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+  // X: one row per sample. y.size() must equal X.rows().
+  virtual void fit(const nn::Matrix& x, const std::vector<float>& y) = 0;
+  virtual std::vector<float> predict(const nn::Matrix& x) const = 0;
+};
+
+// Ridge regression solved by normal equations (feature dims here are <= 4).
+class LinearRegression final : public Regressor {
+ public:
+  explicit LinearRegression(double l2 = 1e-6) : l2_(l2) {}
+  void fit(const nn::Matrix& x, const std::vector<float>& y) override;
+  std::vector<float> predict(const nn::Matrix& x) const override;
+
+  const std::vector<double>& coefficients() const { return coef_; }  // last = intercept
+
+ private:
+  double l2_;
+  std::vector<double> coef_;
+};
+
+}  // namespace paragraph::baselines

@@ -1,0 +1,162 @@
+#include "circuit/netlist.h"
+
+#include <stdexcept>
+
+namespace paragraph::circuit {
+
+bool is_transistor(DeviceKind k) {
+  return k == DeviceKind::kNmos || k == DeviceKind::kPmos || k == DeviceKind::kNmosThick ||
+         k == DeviceKind::kPmosThick;
+}
+
+bool is_thick_gate(DeviceKind k) {
+  return k == DeviceKind::kNmosThick || k == DeviceKind::kPmosThick;
+}
+
+const char* device_kind_name(DeviceKind k) {
+  switch (k) {
+    case DeviceKind::kNmos: return "nmos";
+    case DeviceKind::kPmos: return "pmos";
+    case DeviceKind::kNmosThick: return "nmos_thick";
+    case DeviceKind::kPmosThick: return "pmos_thick";
+    case DeviceKind::kResistor: return "resistor";
+    case DeviceKind::kCapacitor: return "capacitor";
+    case DeviceKind::kDiode: return "diode";
+    case DeviceKind::kBjt: return "bjt";
+  }
+  return "unknown";
+}
+
+const char* terminal_name(Terminal t) {
+  switch (t) {
+    case Terminal::kDrain: return "drain";
+    case Terminal::kGate: return "gate";
+    case Terminal::kSource: return "source";
+    case Terminal::kBulk: return "bulk";
+    case Terminal::kPos: return "pos";
+    case Terminal::kNeg: return "neg";
+    case Terminal::kAnode: return "anode";
+    case Terminal::kCathode: return "cathode";
+    case Terminal::kCollector: return "collector";
+    case Terminal::kBase: return "base";
+    case Terminal::kEmitter: return "emitter";
+  }
+  return "unknown";
+}
+
+const std::vector<Terminal>& terminals_for(DeviceKind k) {
+  static const std::vector<Terminal> mos = {Terminal::kDrain, Terminal::kGate, Terminal::kSource,
+                                            Terminal::kBulk};
+  static const std::vector<Terminal> rc = {Terminal::kPos, Terminal::kNeg};
+  static const std::vector<Terminal> dio = {Terminal::kAnode, Terminal::kCathode};
+  static const std::vector<Terminal> bjt = {Terminal::kCollector, Terminal::kBase,
+                                            Terminal::kEmitter};
+  switch (k) {
+    case DeviceKind::kNmos:
+    case DeviceKind::kPmos:
+    case DeviceKind::kNmosThick:
+    case DeviceKind::kPmosThick: return mos;
+    case DeviceKind::kResistor:
+    case DeviceKind::kCapacitor: return rc;
+    case DeviceKind::kDiode: return dio;
+    case DeviceKind::kBjt: return bjt;
+  }
+  throw std::logic_error("terminals_for: unknown device kind");
+}
+
+NetId Netlist::add_net(const std::string& name, bool is_supply) {
+  if (auto it = net_index_.find(name); it != net_index_.end()) {
+    if (is_supply) nets_[static_cast<std::size_t>(it->second)].is_supply = true;
+    return it->second;
+  }
+  const NetId id = static_cast<NetId>(nets_.size());
+  nets_.push_back(Net{name, is_supply, std::nullopt, std::nullopt});
+  net_index_.emplace(name, id);
+  return id;
+}
+
+DeviceId Netlist::add_device(Device d) {
+  if (device_index_.contains(d.name))
+    throw std::invalid_argument("Netlist::add_device: duplicate device name '" + d.name + "'");
+  const auto& terms = terminals_for(d.kind);
+  if (d.conns.size() != terms.size())
+    throw std::invalid_argument("Netlist::add_device: device '" + d.name + "' has " +
+                                std::to_string(d.conns.size()) + " connections, expected " +
+                                std::to_string(terms.size()));
+  for (const NetId n : d.conns) {
+    if (n < 0 || static_cast<std::size_t>(n) >= nets_.size())
+      throw std::invalid_argument("Netlist::add_device: device '" + d.name +
+                                  "' references invalid net id");
+  }
+  const DeviceId id = static_cast<DeviceId>(devices_.size());
+  device_index_.emplace(d.name, id);
+  devices_.push_back(std::move(d));
+  return id;
+}
+
+bool Netlist::has_net(const std::string& name) const { return net_index_.contains(name); }
+
+NetId Netlist::net_id(const std::string& name) const {
+  auto it = net_index_.find(name);
+  if (it == net_index_.end())
+    throw std::invalid_argument("Netlist::net_id: no net named '" + name + "'");
+  return it->second;
+}
+
+std::vector<std::vector<Netlist::Attachment>> Netlist::net_attachments() const {
+  std::vector<std::vector<Attachment>> att(nets_.size());
+  for (std::size_t di = 0; di < devices_.size(); ++di) {
+    const Device& d = devices_[di];
+    for (std::size_t ti = 0; ti < d.conns.size(); ++ti) {
+      att[static_cast<std::size_t>(d.conns[ti])].push_back(
+          Attachment{static_cast<DeviceId>(di), ti});
+    }
+  }
+  return att;
+}
+
+std::vector<int> Netlist::net_fanout() const {
+  std::vector<int> fanout(nets_.size(), 0);
+  for (const Device& d : devices_)
+    for (const NetId n : d.conns) ++fanout[static_cast<std::size_t>(n)];
+  return fanout;
+}
+
+void Netlist::validate() const {
+  for (const Device& d : devices_) {
+    const auto& terms = terminals_for(d.kind);
+    if (d.conns.size() != terms.size())
+      throw std::logic_error("Netlist::validate: bad terminal count on '" + d.name + "'");
+    for (const NetId n : d.conns) {
+      if (n < 0 || static_cast<std::size_t>(n) >= nets_.size())
+        throw std::logic_error("Netlist::validate: dangling net reference on '" + d.name + "'");
+    }
+    if (d.params.multiplier < 1 || d.params.num_fingers < 1 || d.params.num_fins < 1)
+      throw std::logic_error("Netlist::validate: non-positive sizing on '" + d.name + "'");
+  }
+}
+
+std::size_t Netlist::Stats::transistors() const {
+  return device_count[static_cast<std::size_t>(DeviceKind::kNmos)] +
+         device_count[static_cast<std::size_t>(DeviceKind::kPmos)];
+}
+
+std::size_t Netlist::Stats::thick_transistors() const {
+  return device_count[static_cast<std::size_t>(DeviceKind::kNmosThick)] +
+         device_count[static_cast<std::size_t>(DeviceKind::kPmosThick)];
+}
+
+Netlist::Stats Netlist::stats() const {
+  Stats s;
+  for (const Device& d : devices_) ++s.device_count[static_cast<std::size_t>(d.kind)];
+  for (const Net& n : nets_) {
+    if (n.is_supply) {
+      ++s.num_supply_nets;
+    } else {
+      ++s.num_nets;
+    }
+  }
+  return s;
+}
+
+}  // namespace paragraph::circuit

@@ -1,0 +1,158 @@
+// Circuit netlist object model.
+//
+// This is the substrate every other module consumes: the generator emits
+// Netlists, the layout synthesizer annotates them with ground truth, graph
+// construction converts them to heterogeneous graphs, and the simulator
+// evaluates circuit metrics on them.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace paragraph::circuit {
+
+// Physical device kinds. Thick-gate (I/O) transistors are a distinct kind
+// because the paper's dataset (Table IV) tracks them separately and they
+// use different layout rules.
+enum class DeviceKind : std::uint8_t {
+  kNmos,
+  kPmos,
+  kNmosThick,
+  kPmosThick,
+  kResistor,
+  kCapacitor,
+  kDiode,
+  kBjt,
+};
+
+constexpr std::size_t kNumDeviceKinds = 8;
+
+bool is_transistor(DeviceKind k);
+bool is_thick_gate(DeviceKind k);
+const char* device_kind_name(DeviceKind k);
+
+// Terminal roles, used both for SPICE ordering and graph edge types.
+enum class Terminal : std::uint8_t {
+  kDrain,
+  kGate,
+  kSource,
+  kBulk,
+  kPos,      // resistor / capacitor terminal 1
+  kNeg,      // resistor / capacitor terminal 2
+  kAnode,    // diode
+  kCathode,  // diode
+  kCollector,
+  kBase,
+  kEmitter,
+};
+
+const char* terminal_name(Terminal t);
+
+// Terminal roles of a device kind in SPICE card order.
+const std::vector<Terminal>& terminals_for(DeviceKind k);
+
+using NetId = std::int32_t;
+using DeviceId = std::int32_t;
+constexpr NetId kInvalidNet = -1;
+
+// Sizing parameters (Table II features are extracted from these).
+struct DeviceParams {
+  double length = 0.0;   // gate poly length / resistor length [m]
+  int num_fingers = 1;   // NF
+  int num_fins = 1;      // NFIN
+  int multiplier = 1;    // MULTI (m-factor)
+  double value = 0.0;    // resistance [ohm] or capacitance [F] for R/C
+};
+
+// Ground-truth layout annotations for a transistor (Table I), produced by
+// the layout synthesizer. Areas in m^2, perimeters/distances in m.
+struct TransistorLayout {
+  double source_area = 0.0;       // SA
+  double drain_area = 0.0;        // DA
+  double source_perimeter = 0.0;  // SP
+  double drain_perimeter = 0.0;   // DP
+  std::array<double, 8> lde{};    // LDE1..LDE8
+};
+
+struct Device {
+  std::string name;
+  DeviceKind kind = DeviceKind::kNmos;
+  // Net connected to each terminal, parallel to terminals_for(kind).
+  std::vector<NetId> conns;
+  DeviceParams params;
+  std::optional<TransistorLayout> layout;  // ground truth, set post-"layout"
+};
+
+struct Net {
+  std::string name;
+  bool is_supply = false;                // vdd/vss/gnd; excluded from the graph
+  std::optional<double> ground_truth_cap;  // lumped parasitic capacitance [F]
+  // Lumped interconnect resistance [ohm]; the paper defers resistance to
+  // future work — this reproduction implements it as an extension.
+  std::optional<double> ground_truth_res;
+};
+
+// A flat netlist. Devices reference nets by id.
+class Netlist {
+ public:
+  explicit Netlist(std::string name = "top") : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  // Returns the existing net id or creates the net.
+  NetId add_net(const std::string& name, bool is_supply = false);
+  // Throws std::invalid_argument on duplicate device name or bad terminal count.
+  DeviceId add_device(Device d);
+
+  bool has_net(const std::string& name) const;
+  NetId net_id(const std::string& name) const;  // throws if absent
+
+  std::size_t num_nets() const { return nets_.size(); }
+  std::size_t num_devices() const { return devices_.size(); }
+
+  Net& net(NetId id) { return nets_.at(static_cast<std::size_t>(id)); }
+  const Net& net(NetId id) const { return nets_.at(static_cast<std::size_t>(id)); }
+  Device& device(DeviceId id) { return devices_.at(static_cast<std::size_t>(id)); }
+  const Device& device(DeviceId id) const { return devices_.at(static_cast<std::size_t>(id)); }
+
+  const std::vector<Net>& nets() const { return nets_; }
+  const std::vector<Device>& devices() const { return devices_; }
+
+  // Device terminals attached to each net (device id, terminal index).
+  struct Attachment {
+    DeviceId device;
+    std::size_t terminal_index;
+  };
+  std::vector<std::vector<Attachment>> net_attachments() const;
+
+  // Fanout = number of device terminals on the net (the paper's net feature N).
+  std::vector<int> net_fanout() const;
+
+  // Structural validation: every connection references a valid net, terminal
+  // counts match the device kind, names are unique. Throws on violation.
+  void validate() const;
+
+  // Per-kind device counts + non-supply net count (Table IV row).
+  struct Stats {
+    std::array<std::size_t, kNumDeviceKinds> device_count{};
+    std::size_t num_nets = 0;         // non-supply nets
+    std::size_t num_supply_nets = 0;
+    std::size_t transistors() const;
+    std::size_t thick_transistors() const;
+  };
+  Stats stats() const;
+
+ private:
+  std::string name_;
+  std::vector<Net> nets_;
+  std::vector<Device> devices_;
+  std::unordered_map<std::string, NetId> net_index_;
+  std::unordered_map<std::string, DeviceId> device_index_;
+};
+
+}  // namespace paragraph::circuit

@@ -1,0 +1,292 @@
+#include "circuit/spice_parser.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/strings.h"
+
+namespace paragraph::circuit {
+
+namespace {
+
+using util::iequals;
+using util::parse_spice_number;
+using util::split;
+using util::starts_with;
+using util::to_lower;
+
+struct Card {
+  std::vector<std::string> tokens;
+  int line_no = 0;
+};
+
+struct SubcktDef {
+  std::string name;
+  std::vector<std::string> ports;
+  std::vector<Card> cards;
+};
+
+[[noreturn]] void fail(int line_no, const std::string& msg) {
+  throw ParseError("spice parse error at line " + std::to_string(line_no) + ": " + msg);
+}
+
+// Splits "k=v" option tokens into a map; returns positional tokens.
+std::vector<std::string> split_options(const std::vector<std::string>& tokens,
+                                       std::unordered_map<std::string, std::string>& opts) {
+  std::vector<std::string> positional;
+  for (const auto& t : tokens) {
+    const auto eq = t.find('=');
+    if (eq == std::string::npos) {
+      positional.push_back(t);
+    } else {
+      opts[to_lower(t.substr(0, eq))] = t.substr(eq + 1);
+    }
+  }
+  return positional;
+}
+
+DeviceKind mos_kind_from_model(const std::string& model) {
+  const std::string m = to_lower(model);
+  const bool thick = m.find("thick") != std::string::npos || m.find("io") != std::string::npos ||
+                     m.find("hv") != std::string::npos;
+  const bool pmos = starts_with(m, "p");
+  if (pmos) return thick ? DeviceKind::kPmosThick : DeviceKind::kPmos;
+  return thick ? DeviceKind::kNmosThick : DeviceKind::kNmos;
+}
+
+double parse_number_or_fail(const std::string& tok, int line_no, const char* what) {
+  double v = 0.0;
+  if (!parse_spice_number(tok, v)) fail(line_no, std::string("bad ") + what + " '" + tok + "'");
+  return v;
+}
+
+int parse_int_or_fail(const std::string& tok, int line_no, const char* what) {
+  const double v = parse_number_or_fail(tok, line_no, what);
+  if (v < 1.0 || v != static_cast<double>(static_cast<long long>(v)))
+    fail(line_no, std::string("expected positive integer for ") + what + ", got '" + tok + "'");
+  return static_cast<int>(v);
+}
+
+class Parser {
+ public:
+  Parser(std::istream& in, std::string top_name) : top_name_(std::move(top_name)) {
+    read_cards(in);
+  }
+
+  Netlist build() {
+    Netlist nl(top_name_);
+    for (const auto& g : globals_) nl.add_net(g, /*is_supply=*/true);
+    // Name mapping at top level is the identity.
+    std::unordered_map<std::string, std::string> identity;
+    expand_cards(top_cards_, nl, /*prefix=*/"", identity, /*depth=*/0);
+    nl.validate();
+    return nl;
+  }
+
+ private:
+  void read_cards(std::istream& in) {
+    std::string raw;
+    int line_no = 0;
+    std::vector<std::string> logical_lines;
+    std::vector<int> logical_line_nos;
+    while (std::getline(in, raw)) {
+      ++line_no;
+      // Strip inline '$' comments.
+      if (const auto dollar = raw.find('$'); dollar != std::string::npos)
+        raw = raw.substr(0, dollar);
+      const std::string line = util::trim(raw);
+      if (line.empty() || line[0] == '*') continue;
+      if (line[0] == '+') {
+        if (logical_lines.empty()) fail(line_no, "continuation with no preceding card");
+        logical_lines.back().append(" ").append(line.substr(1));
+      } else {
+        logical_lines.push_back(line);
+        logical_line_nos.push_back(line_no);
+      }
+    }
+
+    SubcktDef* current = nullptr;
+    for (std::size_t i = 0; i < logical_lines.size(); ++i) {
+      Card card{split(logical_lines[i]), logical_line_nos[i]};
+      if (card.tokens.empty()) continue;
+      const std::string head = to_lower(card.tokens[0]);
+      if (head == ".subckt") {
+        if (current != nullptr) fail(card.line_no, "nested .subckt definition");
+        if (card.tokens.size() < 2) fail(card.line_no, ".subckt needs a name");
+        SubcktDef def;
+        def.name = to_lower(card.tokens[1]);
+        for (std::size_t p = 2; p < card.tokens.size(); ++p) def.ports.push_back(card.tokens[p]);
+        subckts_[def.name] = std::move(def);
+        current = &subckts_[to_lower(card.tokens[1])];
+      } else if (head == ".ends") {
+        if (current == nullptr) fail(card.line_no, ".ends without .subckt");
+        current = nullptr;
+      } else if (head == ".global") {
+        for (std::size_t p = 1; p < card.tokens.size(); ++p) globals_.insert(card.tokens[p]);
+      } else if (head == ".end") {
+        break;
+      } else if (head[0] == '.') {
+        // Unknown dot-cards (.param, .option, ...) are ignored.
+      } else if (current != nullptr) {
+        current->cards.push_back(std::move(card));
+      } else {
+        top_cards_.push_back(std::move(card));
+      }
+    }
+    if (current != nullptr) throw ParseError("spice parse error: unterminated .subckt");
+  }
+
+  std::string resolve_net(const std::string& name, const std::string& prefix,
+                          const std::unordered_map<std::string, std::string>& port_map) const {
+    if (auto it = port_map.find(name); it != port_map.end()) return it->second;
+    if (globals_.contains(name) || is_supply_name(name)) return name;  // globals stay flat
+    return prefix.empty() ? name : prefix + "/" + name;
+  }
+
+  NetId add_net(Netlist& nl, const std::string& resolved) const {
+    return nl.add_net(resolved, is_supply_name(resolved) || globals_.contains(resolved));
+  }
+
+  void expand_cards(const std::vector<Card>& cards, Netlist& nl, const std::string& prefix,
+                    const std::unordered_map<std::string, std::string>& port_map, int depth) {
+    if (depth > 32) throw ParseError("spice parse error: subckt recursion deeper than 32");
+    for (const Card& card : cards) {
+      const char kind = static_cast<char>(std::tolower(static_cast<unsigned char>(card.tokens[0][0])));
+      const std::string inst_name =
+          prefix.empty() ? card.tokens[0] : prefix + "/" + card.tokens[0];
+      std::unordered_map<std::string, std::string> opts;
+      const auto pos = split_options(card.tokens, opts);
+      switch (kind) {
+        case 'm': emit_mos(nl, card, pos, opts, inst_name, prefix, port_map); break;
+        case 'r': emit_rc(nl, card, pos, opts, inst_name, prefix, port_map, DeviceKind::kResistor); break;
+        case 'c': emit_rc(nl, card, pos, opts, inst_name, prefix, port_map, DeviceKind::kCapacitor); break;
+        case 'd': emit_diode(nl, card, pos, opts, inst_name, prefix, port_map); break;
+        case 'q': emit_bjt(nl, card, pos, opts, inst_name, prefix, port_map); break;
+        case 'x': emit_subckt(nl, card, pos, inst_name, prefix, port_map, depth); break;
+        default: fail(card.line_no, std::string("unsupported card '") + card.tokens[0] + "'");
+      }
+    }
+  }
+
+  void emit_mos(Netlist& nl, const Card& card, const std::vector<std::string>& pos,
+                const std::unordered_map<std::string, std::string>& opts,
+                const std::string& inst_name, const std::string& prefix,
+                const std::unordered_map<std::string, std::string>& port_map) {
+    if (pos.size() < 6) fail(card.line_no, "MOS card needs d g s b and a model");
+    Device d;
+    d.name = inst_name;
+    d.kind = mos_kind_from_model(pos[5]);
+    for (int t = 1; t <= 4; ++t)
+      d.conns.push_back(add_net(nl, resolve_net(pos[static_cast<std::size_t>(t)], prefix, port_map)));
+    if (auto it = opts.find("l"); it != opts.end())
+      d.params.length = parse_number_or_fail(it->second, card.line_no, "L");
+    if (auto it = opts.find("nfin"); it != opts.end())
+      d.params.num_fins = parse_int_or_fail(it->second, card.line_no, "NFIN");
+    if (auto it = opts.find("nf"); it != opts.end())
+      d.params.num_fingers = parse_int_or_fail(it->second, card.line_no, "NF");
+    if (auto it = opts.find("m"); it != opts.end())
+      d.params.multiplier = parse_int_or_fail(it->second, card.line_no, "M");
+    nl.add_device(std::move(d));
+  }
+
+  void emit_rc(Netlist& nl, const Card& card, const std::vector<std::string>& pos,
+               const std::unordered_map<std::string, std::string>& opts,
+               const std::string& inst_name, const std::string& prefix,
+               const std::unordered_map<std::string, std::string>& port_map, DeviceKind kind) {
+    if (pos.size() < 4) fail(card.line_no, "R/C card needs two nets and a value");
+    Device d;
+    d.name = inst_name;
+    d.kind = kind;
+    d.conns.push_back(add_net(nl, resolve_net(pos[1], prefix, port_map)));
+    d.conns.push_back(add_net(nl, resolve_net(pos[2], prefix, port_map)));
+    d.params.value = parse_number_or_fail(pos[3], card.line_no, "value");
+    if (auto it = opts.find("l"); it != opts.end())
+      d.params.length = parse_number_or_fail(it->second, card.line_no, "L");
+    if (auto it = opts.find("m"); it != opts.end())
+      d.params.multiplier = parse_int_or_fail(it->second, card.line_no, "M");
+    nl.add_device(std::move(d));
+  }
+
+  void emit_diode(Netlist& nl, const Card& card, const std::vector<std::string>& pos,
+                  const std::unordered_map<std::string, std::string>& opts,
+                  const std::string& inst_name, const std::string& prefix,
+                  const std::unordered_map<std::string, std::string>& port_map) {
+    if (pos.size() < 4) fail(card.line_no, "D card needs anode, cathode, model");
+    Device d;
+    d.name = inst_name;
+    d.kind = DeviceKind::kDiode;
+    d.conns.push_back(add_net(nl, resolve_net(pos[1], prefix, port_map)));
+    d.conns.push_back(add_net(nl, resolve_net(pos[2], prefix, port_map)));
+    if (auto it = opts.find("nf"); it != opts.end())
+      d.params.num_fingers = parse_int_or_fail(it->second, card.line_no, "NF");
+    nl.add_device(std::move(d));
+  }
+
+  void emit_bjt(Netlist& nl, const Card& card, const std::vector<std::string>& pos,
+                const std::unordered_map<std::string, std::string>& opts,
+                const std::string& inst_name, const std::string& prefix,
+                const std::unordered_map<std::string, std::string>& port_map) {
+    if (pos.size() < 5) fail(card.line_no, "Q card needs c b e and a model");
+    Device d;
+    d.name = inst_name;
+    d.kind = DeviceKind::kBjt;
+    for (int t = 1; t <= 3; ++t)
+      d.conns.push_back(add_net(nl, resolve_net(pos[static_cast<std::size_t>(t)], prefix, port_map)));
+    if (auto it = opts.find("m"); it != opts.end())
+      d.params.multiplier = parse_int_or_fail(it->second, card.line_no, "M");
+    nl.add_device(std::move(d));
+  }
+
+  void emit_subckt(Netlist& nl, const Card& card, const std::vector<std::string>& pos,
+                   const std::string& inst_name, const std::string& prefix,
+                   const std::unordered_map<std::string, std::string>& port_map, int depth) {
+    if (pos.size() < 2) fail(card.line_no, "X card needs nets and a subckt name");
+    const std::string sub_name = to_lower(pos.back());
+    auto it = subckts_.find(sub_name);
+    if (it == subckts_.end()) fail(card.line_no, "unknown subckt '" + pos.back() + "'");
+    const SubcktDef& def = it->second;
+    const std::size_t num_nets = pos.size() - 2;
+    if (num_nets != def.ports.size())
+      fail(card.line_no, "subckt '" + def.name + "' expects " +
+                             std::to_string(def.ports.size()) + " ports, got " +
+                             std::to_string(num_nets));
+    std::unordered_map<std::string, std::string> child_map;
+    for (std::size_t p = 0; p < num_nets; ++p)
+      child_map[def.ports[p]] = resolve_net(pos[p + 1], prefix, port_map);
+    expand_cards(def.cards, nl, inst_name, child_map, depth + 1);
+  }
+
+  std::string top_name_;
+  std::vector<Card> top_cards_;
+  std::unordered_map<std::string, SubcktDef> subckts_;
+  std::unordered_set<std::string> globals_;
+};
+
+}  // namespace
+
+bool is_supply_name(const std::string& name) {
+  const std::string n = to_lower(name);
+  return n == "0" || n == "gnd" || starts_with(n, "vdd") || starts_with(n, "vss") ||
+         starts_with(n, "avdd") || starts_with(n, "avss") || starts_with(n, "dvdd") ||
+         starts_with(n, "dvss");
+}
+
+Netlist parse_spice(std::istream& in, const std::string& top_name) {
+  Parser p(in, top_name);
+  return p.build();
+}
+
+Netlist parse_spice_string(const std::string& text, const std::string& top_name) {
+  std::istringstream ss(text);
+  return parse_spice(ss, top_name);
+}
+
+Netlist parse_spice_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw ParseError("cannot open spice file '" + path + "'");
+  return parse_spice(f, path);
+}
+
+}  // namespace paragraph::circuit

@@ -1,0 +1,42 @@
+// SPICE-subset netlist parser.
+//
+// Supported syntax (enough to round-trip everything the generator and the
+// examples produce):
+//   * comment lines                 '*' in column 0, '$' inline comments
+//   + continuation lines
+//   .global <net...>                marks supply nets
+//   .subckt NAME <ports...> / .ends hierarchical definitions (flattened)
+//   .end
+//   M<name> d g s b <model> [L=..] [NFIN=..] [NF=..] [M=..]
+//   R<name> p n <value> [L=..] [M=..]
+//   C<name> p n <value> [M=..]
+//   D<name> a c <model> [NF=..]
+//   Q<name> c b e <model> [M=..]
+//   X<name> <nets...> <subckt>
+//
+// Model-name conventions: a leading 'p' selects PMOS, a "thick"/"io"
+// substring selects the thick-gate kind. Nets named vdd*/vss*/gnd/0 (or
+// listed in .global) are marked as supply nets.
+#pragma once
+
+#include <istream>
+#include <string>
+
+#include "circuit/netlist.h"
+
+namespace paragraph::circuit {
+
+// Thrown with a message containing the offending line number.
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+Netlist parse_spice(std::istream& in, const std::string& top_name = "top");
+Netlist parse_spice_string(const std::string& text, const std::string& top_name = "top");
+Netlist parse_spice_file(const std::string& path);
+
+// True if the net name denotes a supply/ground rail by convention.
+bool is_supply_name(const std::string& name);
+
+}  // namespace paragraph::circuit

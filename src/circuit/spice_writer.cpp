@@ -1,0 +1,113 @@
+#include "circuit/spice_writer.h"
+
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace paragraph::circuit {
+
+namespace {
+
+using util::format;
+
+// SPICE names cannot contain the '/' hierarchy separator we use internally.
+std::string sanitize(const std::string& name) {
+  std::string out = name;
+  for (auto& c : out)
+    if (c == '/') c = '_';
+  return out;
+}
+
+const char* mos_model(DeviceKind k) {
+  switch (k) {
+    case DeviceKind::kNmos: return "nmos_lvt";
+    case DeviceKind::kPmos: return "pmos_lvt";
+    case DeviceKind::kNmosThick: return "nmos_thick";
+    case DeviceKind::kPmosThick: return "pmos_thick";
+    default: return "nmos_lvt";
+  }
+}
+
+}  // namespace
+
+void write_spice(std::ostream& os, const Netlist& nl, const WriteOptions& opts) {
+  os << "* " << opts.title << " : " << nl.name() << "\n";
+  os << ".global";
+  bool any_supply = false;
+  for (const Net& n : nl.nets()) {
+    if (n.is_supply) {
+      os << " " << sanitize(n.name);
+      any_supply = true;
+    }
+  }
+  if (!any_supply) os << " vss";
+  os << "\n";
+
+  auto net_name = [&](NetId id) { return sanitize(nl.net(id).name); };
+
+  for (const Device& d : nl.devices()) {
+    const std::string name = sanitize(d.name);
+    switch (d.kind) {
+      case DeviceKind::kNmos:
+      case DeviceKind::kPmos:
+      case DeviceKind::kNmosThick:
+      case DeviceKind::kPmosThick: {
+        os << "M" << name;
+        for (const NetId c : d.conns) os << " " << net_name(c);
+        os << " " << mos_model(d.kind)
+           << format(" L=%.4gn NFIN=%d NF=%d M=%d", d.params.length * 1e9, d.params.num_fins,
+                     d.params.num_fingers, d.params.multiplier);
+        if (opts.emit_layout_params && d.layout.has_value()) {
+          const TransistorLayout& lay = *d.layout;
+          os << format(" SA=%.6g DA=%.6g SP=%.6g DP=%.6g", lay.source_area, lay.drain_area,
+                       lay.source_perimeter, lay.drain_perimeter);
+          for (std::size_t i = 0; i < lay.lde.size(); ++i)
+            os << format(" LDE%zu=%.6g", i + 1, lay.lde[i]);
+        }
+        os << "\n";
+        break;
+      }
+      case DeviceKind::kResistor:
+        os << "R" << name << " " << net_name(d.conns[0]) << " " << net_name(d.conns[1])
+           << format(" %.6g", d.params.value);
+        if (d.params.length > 0) os << format(" L=%.4gu", d.params.length * 1e6);
+        os << "\n";
+        break;
+      case DeviceKind::kCapacitor:
+        os << "C" << name << " " << net_name(d.conns[0]) << " " << net_name(d.conns[1])
+           << format(" %.6gf M=%d", d.params.value * 1e15, d.params.multiplier) << "\n";
+        break;
+      case DeviceKind::kDiode:
+        os << "D" << name << " " << net_name(d.conns[0]) << " " << net_name(d.conns[1])
+           << format(" dio NF=%d", d.params.num_fingers) << "\n";
+        break;
+      case DeviceKind::kBjt:
+        os << "Q" << name;
+        for (const NetId c : d.conns) os << " " << net_name(c);
+        os << format(" npn M=%d", d.params.multiplier) << "\n";
+        break;
+    }
+  }
+
+  if (opts.net_caps != nullptr) {
+    os << "* --- annotated net parasitics ---\n";
+    std::size_t k = 0;
+    for (NetId id = 0; static_cast<std::size_t>(id) < nl.num_nets(); ++id) {
+      const Net& n = nl.net(id);
+      if (n.is_supply) continue;
+      auto it = opts.net_caps->find(id);
+      if (it == opts.net_caps->end()) continue;
+      os << "Cpara" << k++ << " " << sanitize(n.name) << " vss"
+         << format(" %.6gf", it->second * 1e15) << "\n";
+    }
+  }
+  os << ".end\n";
+}
+
+std::string write_spice_string(const Netlist& nl, const WriteOptions& opts) {
+  std::ostringstream ss;
+  write_spice(ss, nl, opts);
+  return ss.str();
+}
+
+}  // namespace paragraph::circuit

@@ -1,0 +1,26 @@
+// Flat SPICE netlist emission, optionally annotated with predicted or
+// ground-truth parasitics (extra C elements to ground + device-parameter
+// comments) so an annotated netlist can be re-simulated.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <unordered_map>
+
+#include "circuit/netlist.h"
+
+namespace paragraph::circuit {
+
+struct WriteOptions {
+  // Emit a grounded capacitor per non-supply net using the given values [F].
+  // Keyed by net id; nets without an entry get no parasitic element.
+  const std::unordered_map<NetId, double>* net_caps = nullptr;
+  // Emit transistor layout parameters (SA/DA/SP/DP/LDE) as card options.
+  bool emit_layout_params = false;
+  std::string title = "paragraph netlist";
+};
+
+void write_spice(std::ostream& os, const Netlist& nl, const WriteOptions& opts = {});
+std::string write_spice_string(const Netlist& nl, const WriteOptions& opts = {});
+
+}  // namespace paragraph::circuit

@@ -1,0 +1,531 @@
+#include "circuitgen/blocks.h"
+
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace paragraph::circuitgen {
+
+using circuit::Device;
+using util::format;
+
+BlockContext::BlockContext(Netlist& nl, util::Rng& rng, std::string prefix)
+    : nl_(nl), rng_(rng), prefix_(std::move(prefix)) {
+  vdd_ = nl_.add_net("vdd", /*is_supply=*/true);
+  vss_ = nl_.add_net("vss", /*is_supply=*/true);
+  vddio_ = nl_.add_net("vddio", /*is_supply=*/true);
+}
+
+NetId BlockContext::fresh_net(const std::string& hint) {
+  return nl_.add_net(format("%s/%s%d", prefix_.c_str(), hint.c_str(), net_counter_++));
+}
+
+std::string BlockContext::fresh_name(const char* kind) {
+  return format("%s/%s%d", prefix_.c_str(), kind, dev_counter_++);
+}
+
+Sizing BlockContext::random_sizing(bool analog) {
+  Sizing sz;
+  // Analog devices favour longer channels for matching/gain; digital favour
+  // minimum length.
+  const std::size_t max_len_idx = menu_.lengths.size() - 1;
+  std::size_t len_idx;
+  if (analog) {
+    len_idx = static_cast<std::size_t>(rng_.uniform_int(2, static_cast<std::int64_t>(max_len_idx)));
+  } else {
+    len_idx = static_cast<std::size_t>(rng_.uniform_int(0, 2));
+  }
+  sz.length = menu_.lengths[len_idx];
+  sz.num_fins = menu_.fins[static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(menu_.fins.size()) - 1))];
+  sz.num_fingers = menu_.fingers[static_cast<std::size_t>(
+      rng_.uniform_int(0, analog ? 3 : 1))];
+  sz.multiplier = menu_.multipliers[static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(menu_.multipliers.size()) - 1))];
+  return sz;
+}
+
+Sizing BlockContext::random_thick_sizing() {
+  Sizing sz;
+  sz.length = menu_.thick_lengths[static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(menu_.thick_lengths.size()) - 1))];
+  sz.num_fins = menu_.fins[static_cast<std::size_t>(
+      rng_.uniform_int(1, static_cast<std::int64_t>(menu_.fins.size()) - 1))];
+  sz.num_fingers = menu_.fingers[static_cast<std::size_t>(rng_.uniform_int(0, 3))];
+  sz.multiplier = 1;
+  return sz;
+}
+
+DeviceId BlockContext::nmos(NetId d, NetId g, NetId s, const Sizing& sz, bool thick) {
+  Device dev;
+  dev.name = fresh_name(thick ? "mnt" : "mn");
+  dev.kind = thick ? DeviceKind::kNmosThick : DeviceKind::kNmos;
+  dev.conns = {d, g, s, vss_};
+  dev.params.length = sz.length;
+  dev.params.num_fingers = sz.num_fingers;
+  dev.params.num_fins = sz.num_fins;
+  dev.params.multiplier = sz.multiplier;
+  return nl_.add_device(std::move(dev));
+}
+
+DeviceId BlockContext::pmos(NetId d, NetId g, NetId s, const Sizing& sz, bool thick) {
+  Device dev;
+  dev.name = fresh_name(thick ? "mpt" : "mp");
+  dev.kind = thick ? DeviceKind::kPmosThick : DeviceKind::kPmos;
+  dev.conns = {d, g, s, thick ? vddio_ : vdd_};
+  dev.params.length = sz.length;
+  dev.params.num_fingers = sz.num_fingers;
+  dev.params.num_fins = sz.num_fins;
+  dev.params.multiplier = sz.multiplier;
+  return nl_.add_device(std::move(dev));
+}
+
+DeviceId BlockContext::resistor(NetId a, NetId b, double ohms, double length_m) {
+  Device dev;
+  dev.name = fresh_name("r");
+  dev.kind = DeviceKind::kResistor;
+  dev.conns = {a, b};
+  dev.params.value = ohms;
+  dev.params.length = length_m;
+  return nl_.add_device(std::move(dev));
+}
+
+DeviceId BlockContext::capacitor(NetId a, NetId b, double farads, int multi) {
+  Device dev;
+  dev.name = fresh_name("c");
+  dev.kind = DeviceKind::kCapacitor;
+  dev.conns = {a, b};
+  dev.params.value = farads;
+  dev.params.multiplier = multi;
+  return nl_.add_device(std::move(dev));
+}
+
+DeviceId BlockContext::diode(NetId anode, NetId cathode, int nf) {
+  Device dev;
+  dev.name = fresh_name("d");
+  dev.kind = DeviceKind::kDiode;
+  dev.conns = {anode, cathode};
+  dev.params.num_fingers = nf;
+  return nl_.add_device(std::move(dev));
+}
+
+DeviceId BlockContext::bjt(NetId c, NetId b, NetId e, int multi) {
+  Device dev;
+  dev.name = fresh_name("q");
+  dev.kind = DeviceKind::kBjt;
+  dev.conns = {c, b, e};
+  dev.params.multiplier = multi;
+  return nl_.add_device(std::move(dev));
+}
+
+// ---------------- digital ----------------
+
+NetId inverter(BlockContext& ctx, NetId in, NetId out, bool thick) {
+  if (out == circuit::kInvalidNet) out = ctx.fresh_net("inv");
+  const Sizing n = thick ? ctx.random_thick_sizing() : ctx.random_sizing();
+  Sizing p = n;
+  p.num_fins = std::min(p.num_fins * 2, ctx.menu().fins.back());
+  const NetId vdd = thick ? ctx.vddio() : ctx.vdd();
+  ctx.nmos(out, in, ctx.vss(), n, thick);
+  ctx.pmos(out, in, vdd, p, thick);
+  return out;
+}
+
+NetId nand2(BlockContext& ctx, NetId a, NetId b) {
+  const NetId out = ctx.fresh_net("nand");
+  const NetId mid = ctx.fresh_net("x");
+  const Sizing sz = ctx.random_sizing();
+  ctx.nmos(mid, a, ctx.vss(), sz);
+  ctx.nmos(out, b, mid, sz);
+  ctx.pmos(out, a, ctx.vdd(), sz);
+  ctx.pmos(out, b, ctx.vdd(), sz);
+  return out;
+}
+
+NetId nor2(BlockContext& ctx, NetId a, NetId b) {
+  const NetId out = ctx.fresh_net("nor");
+  const NetId mid = ctx.fresh_net("x");
+  const Sizing sz = ctx.random_sizing();
+  ctx.nmos(out, a, ctx.vss(), sz);
+  ctx.nmos(out, b, ctx.vss(), sz);
+  ctx.pmos(mid, a, ctx.vdd(), sz);
+  ctx.pmos(out, b, mid, sz);
+  return out;
+}
+
+NetId xor2(BlockContext& ctx, NetId a, NetId b) {
+  const NetId na = inverter(ctx, a);
+  const NetId nb = inverter(ctx, b);
+  const NetId t1 = nand2(ctx, a, nb);
+  const NetId t2 = nand2(ctx, na, b);
+  return nand2(ctx, t1, t2);
+}
+
+NetId mux2(BlockContext& ctx, NetId a, NetId b, NetId sel) {
+  const NetId nsel = inverter(ctx, sel);
+  const NetId out = ctx.fresh_net("mux");
+  const Sizing sz = ctx.random_sizing();
+  // Transmission gates.
+  ctx.nmos(out, sel, a, sz);
+  ctx.pmos(out, nsel, a, sz);
+  ctx.nmos(out, nsel, b, sz);
+  ctx.pmos(out, sel, b, sz);
+  return out;
+}
+
+NetId dff(BlockContext& ctx, NetId d, NetId clk) {
+  const NetId nclk = inverter(ctx, clk);
+  const NetId bclk = inverter(ctx, nclk);
+  const Sizing sz = ctx.random_sizing();
+
+  // Master latch.
+  const NetId m_in = ctx.fresh_net("dffm");
+  ctx.nmos(m_in, nclk, d, sz);
+  ctx.pmos(m_in, bclk, d, sz);
+  const NetId m_out = inverter(ctx, m_in);
+  const NetId m_fb = inverter(ctx, m_out);
+  ctx.nmos(m_in, bclk, m_fb, sz);
+  ctx.pmos(m_in, nclk, m_fb, sz);
+
+  // Slave latch.
+  const NetId s_in = ctx.fresh_net("dffs");
+  ctx.nmos(s_in, bclk, m_out, sz);
+  ctx.pmos(s_in, nclk, m_out, sz);
+  const NetId q = inverter(ctx, s_in);
+  const NetId s_fb = inverter(ctx, q);
+  ctx.nmos(s_in, nclk, s_fb, sz);
+  ctx.pmos(s_in, bclk, s_fb, sz);
+  return q;
+}
+
+NetId inverter_chain(BlockContext& ctx, NetId in, int stages, bool thick) {
+  NetId cur = in;
+  for (int i = 0; i < stages; ++i) cur = inverter(ctx, cur, circuit::kInvalidNet, thick);
+  return cur;
+}
+
+NetId ring_oscillator(BlockContext& ctx, NetId enable, int stages) {
+  if (stages < 3 || stages % 2 == 0)
+    throw std::invalid_argument("ring_oscillator: stages must be odd and >= 3");
+  const NetId osc = ctx.fresh_net("osc");
+  // NAND(enable, feedback) followed by (stages-1) inverters closing the loop.
+  NetId cur = nand2(ctx, enable, osc);
+  for (int i = 0; i < stages - 2; ++i) cur = inverter(ctx, cur);
+  inverter(ctx, cur, osc);
+  return osc;
+}
+
+std::vector<NetId> glue_logic(BlockContext& ctx, const std::vector<NetId>& inputs,
+                              int num_gates) {
+  if (inputs.empty()) throw std::invalid_argument("glue_logic: need at least one input");
+  std::vector<NetId> pool = inputs;
+  std::vector<int> consumers(pool.size(), 1);  // inputs count as consumed
+  std::vector<NetId> produced;
+  for (int g = 0; g < num_gates; ++g) {
+    auto pick = [&]() {
+      return pool[static_cast<std::size_t>(
+          ctx.rng().uniform_int(0, static_cast<std::int64_t>(pool.size()) - 1))];
+    };
+    const NetId a = pick();
+    const NetId b = pick();
+    NetId out;
+    switch (ctx.rng().uniform_int(0, 4)) {
+      case 0: out = inverter(ctx, a); break;
+      case 1: out = nand2(ctx, a, b); break;
+      case 2: out = nor2(ctx, a, b); break;
+      case 3: out = mux2(ctx, a, b, pick()); break;
+      default: out = nand2(ctx, a, b); break;
+    }
+    pool.push_back(out);
+    produced.push_back(out);
+  }
+  return produced;
+}
+
+// ---------------- analog ----------------
+
+NetId bias_generator(BlockContext& ctx) {
+  const NetId bias = ctx.fresh_net("bias");
+  const double r = ctx.rng().uniform(5e3, 50e3);
+  ctx.resistor(ctx.vdd(), bias, r, ctx.rng().uniform(1e-6, 10e-6));
+  Sizing sz = ctx.random_sizing(/*analog=*/true);
+  ctx.nmos(bias, bias, ctx.vss(), sz);  // diode-connected
+  return bias;
+}
+
+std::vector<NetId> current_mirror(BlockContext& ctx, NetId bias, int outputs,
+                                  bool pmos_mirror) {
+  std::vector<NetId> outs;
+  Sizing sz = ctx.random_sizing(/*analog=*/true);
+  if (pmos_mirror) {
+    // Diode device establishing the gate voltage.
+    ctx.pmos(bias, bias, ctx.vdd(), sz);
+    for (int i = 0; i < outputs; ++i) {
+      const NetId o = ctx.fresh_net("mir");
+      Sizing osz = sz;
+      osz.multiplier = static_cast<int>(ctx.rng().uniform_int(1, 4));
+      ctx.pmos(o, bias, ctx.vdd(), osz);
+      outs.push_back(o);
+    }
+  } else {
+    ctx.nmos(bias, bias, ctx.vss(), sz);
+    for (int i = 0; i < outputs; ++i) {
+      const NetId o = ctx.fresh_net("mir");
+      Sizing osz = sz;
+      osz.multiplier = static_cast<int>(ctx.rng().uniform_int(1, 4));
+      ctx.nmos(o, bias, ctx.vss(), osz);
+      outs.push_back(o);
+    }
+  }
+  return outs;
+}
+
+NetId ota_5t(BlockContext& ctx, NetId inp, NetId inn, NetId bias) {
+  const NetId tail = ctx.fresh_net("tail");
+  const NetId outn = ctx.fresh_net("otan");
+  const NetId out = ctx.fresh_net("ota");
+  const Sizing pair_sz = ctx.random_sizing(/*analog=*/true);
+  const Sizing load_sz = ctx.random_sizing(/*analog=*/true);
+  Sizing tail_sz = pair_sz;
+  tail_sz.multiplier *= 2;
+  ctx.nmos(tail, bias, ctx.vss(), tail_sz);        // tail current source
+  ctx.nmos(outn, inp, tail, pair_sz);              // input pair
+  ctx.nmos(out, inn, tail, pair_sz);
+  ctx.pmos(outn, outn, ctx.vdd(), load_sz);        // mirror load
+  ctx.pmos(out, outn, ctx.vdd(), load_sz);
+  return out;
+}
+
+NetId two_stage_opamp(BlockContext& ctx, NetId inp, NetId inn, NetId bias) {
+  const NetId stage1 = ota_5t(ctx, inp, inn, bias);
+  const NetId out = ctx.fresh_net("amp");
+  const Sizing cs_sz = ctx.random_sizing(/*analog=*/true);
+  Sizing tail_sz = ctx.random_sizing(/*analog=*/true);
+  tail_sz.multiplier *= 2;
+  ctx.pmos(out, stage1, ctx.vdd(), cs_sz);  // common-source second stage
+  ctx.nmos(out, bias, ctx.vss(), tail_sz);  // current-source load
+  // Miller compensation: Rz + Cc from stage1 to out.
+  const NetId zn = ctx.fresh_net("cz");
+  ctx.resistor(stage1, zn, ctx.rng().uniform(500.0, 5e3), ctx.rng().uniform(0.5e-6, 2e-6));
+  ctx.capacitor(zn, out, ctx.rng().uniform(20e-15, 200e-15));
+  return out;
+}
+
+std::pair<NetId, NetId> strongarm_comparator(BlockContext& ctx, NetId clk, NetId inp,
+                                             NetId inn) {
+  const NetId tail = ctx.fresh_net("satail");
+  const NetId xp = ctx.fresh_net("sax");
+  const NetId xn = ctx.fresh_net("say");
+  const NetId outp = ctx.fresh_net("saop");
+  const NetId outn = ctx.fresh_net("saon");
+  const Sizing pair_sz = ctx.random_sizing(/*analog=*/true);
+  const Sizing latch_sz = ctx.random_sizing();
+  Sizing clk_sz = latch_sz;
+  clk_sz.multiplier *= 2;
+  ctx.nmos(tail, clk, ctx.vss(), clk_sz);   // clocked tail
+  ctx.nmos(xp, inp, tail, pair_sz);         // input pair
+  ctx.nmos(xn, inn, tail, pair_sz);
+  ctx.nmos(outn, outp, xp, latch_sz);       // cross-coupled NMOS
+  ctx.nmos(outp, outn, xn, latch_sz);
+  ctx.pmos(outn, outp, ctx.vdd(), latch_sz);  // cross-coupled PMOS
+  ctx.pmos(outp, outn, ctx.vdd(), latch_sz);
+  ctx.pmos(outn, clk, ctx.vdd(), latch_sz);   // precharge
+  ctx.pmos(outp, clk, ctx.vdd(), latch_sz);
+  return {outp, outn};
+}
+
+std::vector<NetId> resistor_ladder(BlockContext& ctx, int taps) {
+  std::vector<NetId> out;
+  NetId prev = ctx.vdd();
+  for (int i = 0; i < taps; ++i) {
+    const NetId tap = ctx.fresh_net("tap");
+    ctx.resistor(prev, tap, ctx.rng().uniform(1e3, 20e3), ctx.rng().uniform(1e-6, 5e-6));
+    out.push_back(tap);
+    prev = tap;
+  }
+  ctx.resistor(prev, ctx.vss(), ctx.rng().uniform(1e3, 20e3), ctx.rng().uniform(1e-6, 5e-6));
+  return out;
+}
+
+NetId rc_filter(BlockContext& ctx, NetId in, int stages) {
+  NetId cur = in;
+  for (int i = 0; i < stages; ++i) {
+    const NetId nxt = ctx.fresh_net("flt");
+    ctx.resistor(cur, nxt, ctx.rng().uniform(1e3, 100e3), ctx.rng().uniform(1e-6, 10e-6));
+    ctx.capacitor(nxt, ctx.vss(), ctx.rng().uniform(10e-15, 1e-12));
+    cur = nxt;
+  }
+  return cur;
+}
+
+NetId cap_dac(BlockContext& ctx, const std::vector<NetId>& bit_drivers) {
+  const NetId top = ctx.fresh_net("dactop");
+  for (std::size_t b = 0; b < bit_drivers.size(); ++b) {
+    const int multi = 1 << std::min<std::size_t>(b, 6);
+    ctx.capacitor(top, bit_drivers[b], 0.5e-15 * multi, multi);
+  }
+  // Dummy/termination cap.
+  ctx.capacitor(top, ctx.vss(), 0.5e-15, 1);
+  return top;
+}
+
+NetId bandgap_core(BlockContext& ctx, NetId bias) {
+  const NetId vref = ctx.fresh_net("vref");
+  const NetId va = ctx.fresh_net("vbe1");
+  const NetId vb = ctx.fresh_net("vbe2");
+  // Mirror from the bias feeding both branches.
+  const Sizing msz = ctx.random_sizing(/*analog=*/true);
+  ctx.pmos(bias, bias, ctx.vdd(), msz);
+  ctx.pmos(va, bias, ctx.vdd(), msz);
+  ctx.pmos(vref, bias, ctx.vdd(), msz);
+  // Diode-connected BJTs with emitter-area ratio.
+  ctx.bjt(ctx.vss(), va, va, 1);
+  const NetId ve = ctx.fresh_net("ve");
+  ctx.bjt(ctx.vss(), vb, ve, 8);
+  ctx.resistor(vb, va, ctx.rng().uniform(5e3, 30e3), ctx.rng().uniform(2e-6, 8e-6));
+  ctx.resistor(ve, ctx.vss(), ctx.rng().uniform(1e3, 10e3), ctx.rng().uniform(1e-6, 4e-6));
+  ctx.resistor(vref, ctx.vss(), ctx.rng().uniform(20e3, 100e3), ctx.rng().uniform(4e-6, 12e-6));
+  return vref;
+}
+
+// ---------------- memory / mixed-signal macros ----------------
+
+std::pair<NetId, NetId> sram_cell(BlockContext& ctx, NetId wordline, NetId bitline,
+                                  NetId bitline_b) {
+  const NetId bit = ctx.fresh_net("sb");
+  const NetId bitb = ctx.fresh_net("sbb");
+  Sizing pull{16e-9, 1, 1, 1};
+  Sizing access{16e-9, 1, 1, 1};
+  // Cross-coupled inverters.
+  ctx.nmos(bit, bitb, ctx.vss(), pull);
+  ctx.pmos(bit, bitb, ctx.vdd(), pull);
+  ctx.nmos(bitb, bit, ctx.vss(), pull);
+  ctx.pmos(bitb, bit, ctx.vdd(), pull);
+  // Access transistors.
+  ctx.nmos(bit, wordline, bitline, access);
+  ctx.nmos(bitb, wordline, bitline_b, access);
+  return {bit, bitb};
+}
+
+std::vector<NetId> sram_array(BlockContext& ctx, int rows, int cols) {
+  if (rows < 1 || cols < 1) throw std::invalid_argument("sram_array: need rows, cols >= 1");
+  std::vector<NetId> wordlines;
+  std::vector<NetId> bls, blbs;
+  for (int c = 0; c < cols; ++c) {
+    bls.push_back(ctx.fresh_net("bl"));
+    blbs.push_back(ctx.fresh_net("blb"));
+  }
+  for (int r = 0; r < rows; ++r) {
+    const NetId wl = ctx.fresh_net("wl");
+    wordlines.push_back(wl);
+    for (int c = 0; c < cols; ++c)
+      sram_cell(ctx, wl, bls[static_cast<std::size_t>(c)], blbs[static_cast<std::size_t>(c)]);
+  }
+  // Bitline precharge devices.
+  Sizing pre{16e-9, 1, 2, 1};
+  const NetId pre_en = ctx.fresh_net("pre");
+  for (int c = 0; c < cols; ++c) {
+    ctx.pmos(bls[static_cast<std::size_t>(c)], pre_en, ctx.vdd(), pre);
+    ctx.pmos(blbs[static_cast<std::size_t>(c)], pre_en, ctx.vdd(), pre);
+  }
+  return wordlines;
+}
+
+NetId ldo(BlockContext& ctx, NetId vref, NetId bias) {
+  const NetId fb = ctx.fresh_net("fb");
+  const NetId gate = ota_5t(ctx, vref, fb, bias);
+  const NetId out = ctx.fresh_net("ldo");
+  Sizing pass = ctx.random_sizing(/*analog=*/true);
+  pass.num_fingers = ctx.menu().fingers.back();
+  pass.multiplier = 4;
+  ctx.pmos(out, gate, ctx.vdd(), pass);  // big pass device
+  // Feedback divider and output decoupling.
+  ctx.resistor(out, fb, ctx.rng().uniform(20e3, 100e3), ctx.rng().uniform(4e-6, 10e-6));
+  ctx.resistor(fb, ctx.vss(), ctx.rng().uniform(20e3, 100e3), ctx.rng().uniform(4e-6, 10e-6));
+  ctx.capacitor(out, ctx.vss(), ctx.rng().uniform(0.5e-12, 5e-12));
+  return out;
+}
+
+NetId charge_pump(BlockContext& ctx, NetId clk, NetId clkb, int stages) {
+  if (stages < 1) throw std::invalid_argument("charge_pump: need stages >= 1");
+  NetId cur = ctx.vdd();
+  for (int i = 0; i < stages; ++i) {
+    const NetId nxt = ctx.fresh_net("cp");
+    // Diode-connected transfer device plus the pump capacitor.
+    Sizing sz = ctx.random_sizing();
+    ctx.nmos(nxt, cur, cur, sz);  // drain=next, gate=source=cur: diode
+    ctx.capacitor(nxt, (i % 2 == 0) ? clk : clkb, ctx.rng().uniform(50e-15, 500e-15));
+    cur = nxt;
+  }
+  // Output reservoir.
+  ctx.capacitor(cur, ctx.vss(), ctx.rng().uniform(0.5e-12, 2e-12));
+  return cur;
+}
+
+NetId clock_divider(BlockContext& ctx, NetId clk, int stages) {
+  if (stages < 1) throw std::invalid_argument("clock_divider: need stages >= 1");
+  NetId cur = clk;
+  for (int i = 0; i < stages; ++i) {
+    // Divide-by-2: DFF clocked by `cur` with Q fed back to D through an
+    // inverter (the feedback loop is closed via inverter's `out` target).
+    const NetId d = ctx.fresh_net("divd");
+    const NetId q = dff(ctx, d, cur);
+    inverter(ctx, q, d);
+    cur = q;
+  }
+  return cur;
+}
+
+NetId delay_line(BlockContext& ctx, NetId in, NetId vctrl, int stages) {
+  NetId cur = in;
+  for (int i = 0; i < stages; ++i) {
+    const NetId out = ctx.fresh_net("dl");
+    const NetId starve = ctx.fresh_net("st");
+    const Sizing sz = ctx.random_sizing();
+    // Current-starved inverter: footer controlled by vctrl.
+    ctx.nmos(starve, vctrl, ctx.vss(), sz);
+    ctx.nmos(out, cur, starve, sz);
+    ctx.pmos(out, cur, ctx.vdd(), sz);
+    cur = out;
+  }
+  return cur;
+}
+
+// ---------------- I/O ----------------
+
+NetId level_shifter(BlockContext& ctx, NetId in) {
+  const NetId nin = inverter(ctx, in);
+  const NetId xl = ctx.fresh_net("lsl");
+  const NetId out = ctx.fresh_net("lso");
+  const Sizing nsz = ctx.random_thick_sizing();
+  const Sizing psz = ctx.random_thick_sizing();
+  ctx.nmos(xl, in, ctx.vss(), nsz, /*thick=*/true);
+  ctx.nmos(out, nin, ctx.vss(), nsz, /*thick=*/true);
+  ctx.pmos(xl, out, ctx.vddio(), psz, /*thick=*/true);   // cross-coupled
+  ctx.pmos(out, xl, ctx.vddio(), psz, /*thick=*/true);
+  return out;
+}
+
+NetId io_driver(BlockContext& ctx, NetId in, int stages) {
+  NetId cur = in;
+  for (int i = 0; i < stages; ++i) {
+    const NetId nxt = ctx.fresh_net(i + 1 == stages ? "pad" : "drv");
+    Sizing nsz = ctx.random_thick_sizing();
+    Sizing psz = nsz;
+    // Taper: later stages get more fingers.
+    nsz.num_fingers = std::min(nsz.num_fingers << i, 16);
+    psz.num_fingers = std::min(psz.num_fingers << i, 16);
+    psz.num_fins = std::min(psz.num_fins * 2, ctx.menu().fins.back());
+    ctx.nmos(nxt, cur, ctx.vss(), nsz, /*thick=*/true);
+    ctx.pmos(nxt, cur, ctx.vddio(), psz, /*thick=*/true);
+    cur = nxt;
+  }
+  return cur;
+}
+
+void esd_clamp(BlockContext& ctx, NetId pad) {
+  ctx.diode(pad, ctx.vddio(), static_cast<int>(ctx.rng().uniform_int(2, 8)));
+  ctx.diode(ctx.vss(), pad, static_cast<int>(ctx.rng().uniform_int(2, 8)));
+}
+
+}  // namespace paragraph::circuitgen

@@ -1,0 +1,152 @@
+// Parametric circuit-structure library.
+//
+// These are the recurring schematic structures the paper's premise rests on
+// ("similar circuit structures produce similar parasitics", Fig 1): analog
+// cells (differential pairs, mirrors, op-amps, comparators, bandgaps),
+// digital cells (inverters, NAND/NOR, DFFs), and I/O structures built from
+// thick-gate devices. The suite generator (generator.h) composes them into
+// full circuits.
+//
+// Every builder appends devices to a Netlist through a BlockContext that
+// supplies fresh net/device names, supply rails, and randomised-but-
+// discrete device sizing (foundry-like L/NFIN/NF menus).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.h"
+#include "util/rng.h"
+
+namespace paragraph::circuitgen {
+
+using circuit::DeviceId;
+using circuit::DeviceKind;
+using circuit::NetId;
+using circuit::Netlist;
+
+// Discrete sizing menus mimicking a sub-10nm FinFET PDK.
+struct SizingMenu {
+  std::vector<double> lengths = {16e-9, 20e-9, 28e-9, 36e-9, 60e-9, 100e-9, 150e-9, 240e-9};
+  std::vector<int> fins = {1, 2, 3, 4, 6, 8, 12};
+  std::vector<int> fingers = {1, 2, 4, 8};
+  std::vector<int> multipliers = {1, 1, 1, 2, 4};
+  // Thick-gate (I/O) devices use longer channels.
+  std::vector<double> thick_lengths = {150e-9, 240e-9, 400e-9, 600e-9};
+};
+
+struct Sizing {
+  double length = 16e-9;
+  int num_fingers = 1;
+  int num_fins = 2;
+  int multiplier = 1;
+};
+
+// Shared state threaded through all block builders.
+class BlockContext {
+ public:
+  BlockContext(Netlist& nl, util::Rng& rng, std::string prefix);
+
+  Netlist& netlist() { return nl_; }
+  util::Rng& rng() { return rng_; }
+
+  NetId vdd() const { return vdd_; }
+  NetId vss() const { return vss_; }
+  NetId vddio() const { return vddio_; }
+
+  // Fresh internal net named <prefix>/n<k>.
+  NetId fresh_net(const std::string& hint = "n");
+
+  // Random sizing from the menu; `analog` biases toward longer channels.
+  Sizing random_sizing(bool analog = false);
+  Sizing random_thick_sizing();
+
+  // Device emitters. Bulk is tied to the appropriate rail automatically.
+  DeviceId nmos(NetId d, NetId g, NetId s, const Sizing& sz, bool thick = false);
+  DeviceId pmos(NetId d, NetId g, NetId s, const Sizing& sz, bool thick = false);
+  DeviceId resistor(NetId a, NetId b, double ohms, double length_m);
+  DeviceId capacitor(NetId a, NetId b, double farads, int multi = 1);
+  DeviceId diode(NetId anode, NetId cathode, int nf = 1);
+  DeviceId bjt(NetId c, NetId b, NetId e, int multi = 1);
+
+  const SizingMenu& menu() const { return menu_; }
+
+ private:
+  std::string fresh_name(const char* kind);
+
+  Netlist& nl_;
+  util::Rng& rng_;
+  std::string prefix_;
+  SizingMenu menu_;
+  NetId vdd_, vss_, vddio_;
+  int net_counter_ = 0;
+  int dev_counter_ = 0;
+};
+
+// ---- digital cells (returns the output net unless stated otherwise) ----
+NetId inverter(BlockContext& ctx, NetId in, NetId out = circuit::kInvalidNet,
+               bool thick = false);
+NetId nand2(BlockContext& ctx, NetId a, NetId b);
+NetId nor2(BlockContext& ctx, NetId a, NetId b);
+NetId xor2(BlockContext& ctx, NetId a, NetId b);
+NetId mux2(BlockContext& ctx, NetId a, NetId b, NetId sel);
+// Transmission-gate D flip-flop; returns Q.
+NetId dff(BlockContext& ctx, NetId d, NetId clk);
+// Chain of `stages` inverters; returns the final output net.
+NetId inverter_chain(BlockContext& ctx, NetId in, int stages, bool thick = false);
+// Ring oscillator with an enable NAND; returns the oscillation node.
+NetId ring_oscillator(BlockContext& ctx, NetId enable, int stages);
+// Random combinational cloud of `num_gates` gates over the given inputs;
+// returns the set of "output" nets (gates nothing else consumes).
+std::vector<NetId> glue_logic(BlockContext& ctx, const std::vector<NetId>& inputs,
+                              int num_gates);
+
+// ---- analog cells ----
+// Diode-connected reference + resistor from vdd; returns the bias net.
+NetId bias_generator(BlockContext& ctx);
+// N-output NMOS (or PMOS) current mirror driven by bias; returns outputs.
+std::vector<NetId> current_mirror(BlockContext& ctx, NetId bias, int outputs, bool pmos_mirror);
+// 5-transistor OTA; returns the output net.
+NetId ota_5t(BlockContext& ctx, NetId inp, NetId inn, NetId bias);
+// Two-stage Miller-compensated op-amp; returns the output net.
+NetId two_stage_opamp(BlockContext& ctx, NetId inp, NetId inn, NetId bias);
+// StrongARM comparator; returns {outp, outn}.
+std::pair<NetId, NetId> strongarm_comparator(BlockContext& ctx, NetId clk, NetId inp, NetId inn);
+// Series resistor ladder with `taps` interior taps between vdd and vss.
+std::vector<NetId> resistor_ladder(BlockContext& ctx, int taps);
+// Single-pole RC low-pass stages; returns the final output.
+NetId rc_filter(BlockContext& ctx, NetId in, int stages);
+// Binary-weighted capacitor DAC on a shared top plate; returns the top net.
+NetId cap_dac(BlockContext& ctx, const std::vector<NetId>& bit_drivers);
+// Brokaw-style bandgap core (BJTs + resistors + mirror); returns vref.
+NetId bandgap_core(BlockContext& ctx, NetId bias);
+
+// ---- memory / mixed-signal macros ----
+// 6T SRAM bit cell; returns {bit, bitb} storage nodes.
+std::pair<NetId, NetId> sram_cell(BlockContext& ctx, NetId wordline, NetId bitline,
+                                  NetId bitline_b);
+// rows x cols SRAM array with shared word/bit lines (the classic source of
+// very-high-fanout nets); returns the wordline nets.
+std::vector<NetId> sram_array(BlockContext& ctx, int rows, int cols);
+// Low-dropout regulator: error amplifier + pass PMOS + feedback divider;
+// returns the regulated output net.
+NetId ldo(BlockContext& ctx, NetId vref, NetId bias);
+// Dickson-style 2-phase charge pump with `stages` pump capacitors;
+// returns the pumped output net.
+NetId charge_pump(BlockContext& ctx, NetId clk, NetId clkb, int stages);
+// Divide-by-2^stages ripple clock divider from DFFs; returns the slowest
+// output.
+NetId clock_divider(BlockContext& ctx, NetId clk, int stages);
+// Voltage-controlled delay line: current-starved inverters; returns the
+// delayed output.
+NetId delay_line(BlockContext& ctx, NetId in, NetId vctrl, int stages);
+
+// ---- I/O structures (thick-gate) ----
+// Core-to-IO level shifter; returns the shifted output.
+NetId level_shifter(BlockContext& ctx, NetId in);
+// Tapered thick-gate pad driver; returns the pad net.
+NetId io_driver(BlockContext& ctx, NetId in, int stages);
+// ESD protection diodes pad->rails.
+void esd_clamp(BlockContext& ctx, NetId pad);
+
+}  // namespace paragraph::circuitgen

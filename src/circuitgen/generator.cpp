@@ -1,0 +1,191 @@
+#include "circuitgen/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "circuitgen/blocks.h"
+#include "util/rng.h"
+
+namespace paragraph::circuitgen {
+
+using circuit::Netlist;
+
+namespace {
+
+int scale_count(int v, double f) {
+  if (v == 0) return 0;
+  return std::max(1, static_cast<int>(std::lround(v * f)));
+}
+
+}  // namespace
+
+CircuitSpec CircuitSpec::scaled(double factor) const {
+  CircuitSpec s = *this;
+  s.opamps = scale_count(opamps, factor);
+  s.otas = scale_count(otas, factor);
+  s.comparators = scale_count(comparators, factor);
+  s.mirrors = scale_count(mirrors, factor);
+  s.bandgaps = scale_count(bandgaps, factor);
+  s.rc_filters = scale_count(rc_filters, factor);
+  s.ladders = scale_count(ladders, factor);
+  s.cap_dacs = scale_count(cap_dacs, factor);
+  s.glue_gates = scale_count(glue_gates, factor);
+  s.dffs = scale_count(dffs, factor);
+  s.ring_oscs = scale_count(ring_oscs, factor);
+  s.inv_chains = scale_count(inv_chains, factor);
+  s.level_shifters = scale_count(level_shifters, factor);
+  s.io_drivers = scale_count(io_drivers, factor);
+  s.esd_pads = scale_count(esd_pads, factor);
+  s.thick_inv_chains = scale_count(thick_inv_chains, factor);
+  return s;
+}
+
+Netlist generate_circuit(const CircuitSpec& spec) {
+  Netlist nl(spec.name);
+  util::Rng rng(spec.seed);
+  BlockContext ctx(nl, rng, spec.name);
+
+  // Primary inputs and global control nets. clk/en/bias become the
+  // high-fanout nets that dominate the upper capacitance decades.
+  std::vector<circuit::NetId> pool;
+  const int num_inputs = 4 + static_cast<int>(rng.uniform_int(0, 4));
+  for (int i = 0; i < num_inputs; ++i) pool.push_back(nl.add_net(spec.name + "/in" + std::to_string(i)));
+  const circuit::NetId clk = nl.add_net(spec.name + "/clk");
+  const circuit::NetId en = nl.add_net(spec.name + "/en");
+  pool.push_back(en);
+
+  const bool has_analog =
+      spec.opamps + spec.otas + spec.comparators + spec.mirrors + spec.bandgaps > 0;
+  circuit::NetId bias = circuit::kInvalidNet;
+  if (has_analog) bias = bias_generator(ctx);
+
+  auto pick = [&]() {
+    return pool[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(pool.size()) - 1))];
+  };
+  auto push = [&](circuit::NetId n) { pool.push_back(n); };
+
+  // Buffer the clock so it has realistic drivers in clocked designs.
+  if (spec.dffs > 0 || spec.comparators > 0 || spec.ring_oscs > 0) {
+    inverter_chain(ctx, clk, 2);
+  }
+
+  for (int i = 0; i < spec.opamps; ++i) push(two_stage_opamp(ctx, pick(), pick(), bias));
+  for (int i = 0; i < spec.otas; ++i) push(ota_5t(ctx, pick(), pick(), bias));
+  for (int i = 0; i < spec.comparators; ++i) {
+    auto [p, n] = strongarm_comparator(ctx, clk, pick(), pick());
+    push(p);
+    push(n);
+  }
+  for (int i = 0; i < spec.mirrors; ++i) {
+    const int outs = static_cast<int>(rng.uniform_int(1, 4));
+    for (const auto o : current_mirror(ctx, bias, outs, rng.bernoulli(0.5))) push(o);
+  }
+  for (int i = 0; i < spec.bandgaps; ++i) push(bandgap_core(ctx, bias));
+  for (int i = 0; i < spec.rc_filters; ++i)
+    push(rc_filter(ctx, pick(), static_cast<int>(rng.uniform_int(1, 3))));
+  for (int i = 0; i < spec.ladders; ++i)
+    for (const auto t : resistor_ladder(ctx, static_cast<int>(rng.uniform_int(2, 6)))) push(t);
+  for (int i = 0; i < spec.cap_dacs; ++i) {
+    const int bits = static_cast<int>(rng.uniform_int(4, 8));
+    std::vector<circuit::NetId> drivers;
+    for (int b = 0; b < bits; ++b) drivers.push_back(inverter(ctx, pick()));
+    push(cap_dac(ctx, drivers));
+  }
+
+  if (spec.glue_gates > 0)
+    for (const auto o : glue_logic(ctx, pool, spec.glue_gates)) push(o);
+  for (int i = 0; i < spec.dffs; ++i) push(dff(ctx, pick(), clk));
+  for (int i = 0; i < spec.ring_oscs; ++i)
+    push(ring_oscillator(ctx, en, 3 + 2 * static_cast<int>(rng.uniform_int(0, 3))));
+  for (int i = 0; i < spec.inv_chains; ++i)
+    push(inverter_chain(ctx, pick(), static_cast<int>(rng.uniform_int(2, 6))));
+
+  for (int i = 0; i < spec.level_shifters; ++i) push(level_shifter(ctx, pick()));
+  for (int i = 0; i < spec.io_drivers; ++i) {
+    const circuit::NetId pad = io_driver(ctx, pick(), static_cast<int>(rng.uniform_int(2, 4)));
+    if (rng.bernoulli(0.7)) esd_clamp(ctx, pad);
+    push(pad);
+  }
+  for (int i = 0; i < spec.esd_pads; ++i) {
+    const circuit::NetId pad = ctx.fresh_net("pad");
+    esd_clamp(ctx, pad);
+    push(pad);
+  }
+  for (int i = 0; i < spec.thick_inv_chains; ++i)
+    push(inverter_chain(ctx, pick(), static_cast<int>(rng.uniform_int(2, 5)), /*thick=*/true));
+
+  nl.validate();
+  return nl;
+}
+
+std::vector<CircuitSpec> paper_suite_specs(std::uint64_t seed, double scale) {
+  // Block mixes chosen so each circuit's device-type profile matches the
+  // corresponding Table IV row (transistor/thick/res/cap/bjt/dio balance)
+  // at roughly 1/80 of the paper's size.
+  std::vector<CircuitSpec> specs;
+  auto add = [&specs, seed](CircuitSpec s) {
+    s.seed = seed + specs.size() * 7919;
+    specs.push_back(std::move(s));
+  };
+
+  // --- training circuits t1..t18 ---
+  add({.name = "t1", .opamps = 3, .otas = 2, .comparators = 2, .mirrors = 3, .glue_gates = 12});
+  add({.name = "t2", .opamps = 3, .rc_filters = 6, .ladders = 2, .cap_dacs = 3,
+       .glue_gates = 45, .dffs = 6, .level_shifters = 55, .io_drivers = 9, .thick_inv_chains = 8});
+  add({.name = "t3", .opamps = 2, .rc_filters = 10, .ladders = 2, .cap_dacs = 12,
+       .glue_gates = 60, .level_shifters = 140, .io_drivers = 20, .esd_pads = 6,
+       .thick_inv_chains = 20});
+  add({.name = "t4", .opamps = 10, .otas = 6, .comparators = 10, .mirrors = 16, .rc_filters = 10,
+       .ladders = 4, .cap_dacs = 6, .glue_gates = 500, .dffs = 70, .ring_oscs = 2,
+       .inv_chains = 20, .level_shifters = 110, .io_drivers = 16});
+  add({.name = "t5", .opamps = 8, .otas = 4, .comparators = 6, .mirrors = 8, .rc_filters = 6,
+       .ladders = 4, .cap_dacs = 2, .glue_gates = 260, .dffs = 36, .inv_chains = 12,
+       .level_shifters = 6, .io_drivers = 2});
+  add({.name = "t6", .opamps = 8, .otas = 4, .comparators = 6, .mirrors = 6, .cap_dacs = 2,
+       .glue_gates = 250, .dffs = 34, .inv_chains = 12, .level_shifters = 6, .io_drivers = 2});
+  add({.name = "t7", .opamps = 4, .otas = 2, .comparators = 4, .bandgaps = 3, .rc_filters = 4,
+       .cap_dacs = 2, .glue_gates = 120, .dffs = 16, .level_shifters = 4, .io_drivers = 1});
+  add({.name = "t8", .ladders = 1, .io_drivers = 10, .thick_inv_chains = 30});
+  add({.name = "t9", .ladders = 1, .io_drivers = 11, .thick_inv_chains = 30});
+  add({.name = "t10", .glue_gates = 220, .dffs = 30, .ring_oscs = 2, .inv_chains = 10});
+  add({.name = "t11", .bandgaps = 4, .ladders = 2, .cap_dacs = 2, .glue_gates = 12,
+       .level_shifters = 120, .io_drivers = 18, .thick_inv_chains = 16});
+  add({.name = "t12", .glue_gates = 60, .dffs = 8, .ring_oscs = 1});
+  add({.name = "t13", .glue_gates = 130, .dffs = 18, .inv_chains = 8});
+  add({.name = "t14", .rc_filters = 6, .cap_dacs = 3, .glue_gates = 3, .level_shifters = 22,
+       .io_drivers = 4, .esd_pads = 3});
+  add({.name = "t15", .opamps = 6, .otas = 3, .bandgaps = 4, .ladders = 2, .cap_dacs = 4,
+       .glue_gates = 110, .dffs = 14, .level_shifters = 95, .io_drivers = 14});
+  add({.name = "t16", .glue_gates = 90, .dffs = 12, .inv_chains = 6});
+  add({.name = "t17", .opamps = 2, .bandgaps = 6, .ladders = 2, .cap_dacs = 4, .glue_gates = 35,
+       .level_shifters = 105, .io_drivers = 15, .thick_inv_chains = 12});
+  add({.name = "t18", .cap_dacs = 1, .glue_gates = 50, .dffs = 7, .level_shifters = 1,
+       .esd_pads = 1});
+
+  // --- testing circuits e1..e4: same vocabulary, new compositions ---
+  add({.name = "e1", .glue_gates = 100, .dffs = 14, .ring_oscs = 1, .inv_chains = 6});
+  add({.name = "e2", .rc_filters = 2, .glue_gates = 9, .level_shifters = 7, .io_drivers = 3,
+       .esd_pads = 4});
+  add({.name = "e3", .glue_gates = 50, .dffs = 7, .inv_chains = 4});
+  add({.name = "e4", .opamps = 2, .otas = 1, .comparators = 1, .glue_gates = 48, .dffs = 8});
+
+  if (scale != 1.0)
+    for (auto& s : specs) s = s.scaled(scale);
+  return specs;
+}
+
+Suite build_paper_suite(std::uint64_t seed, double scale) {
+  Suite suite;
+  for (const auto& spec : paper_suite_specs(seed, scale)) {
+    Netlist nl = generate_circuit(spec);
+    if (spec.name[0] == 'e') {
+      suite.test.push_back(std::move(nl));
+    } else {
+      suite.train.push_back(std::move(nl));
+    }
+  }
+  return suite;
+}
+
+}  // namespace paragraph::circuitgen

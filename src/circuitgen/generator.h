@@ -1,0 +1,62 @@
+// Synthetic circuit-suite generator.
+//
+// Substitutes the paper's proprietary industrial dataset (Table IV) with
+// generated analog/mixed-signal circuits. Each CircuitSpec controls the
+// block mix; build_paper_suite() instantiates 18 training circuits
+// (t1..t18) and 4 testing circuits (e1..e4) whose device-type profiles
+// mirror the paper's Table IV at a CPU-friendly scale. Test circuits reuse
+// the same structural vocabulary with different compositions and seeds,
+// matching the paper's designer-recommended train/test split.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.h"
+
+namespace paragraph::circuitgen {
+
+struct CircuitSpec {
+  std::string name = "ckt";
+  std::uint64_t seed = 1;
+
+  // analog
+  int opamps = 0;
+  int otas = 0;
+  int comparators = 0;
+  int mirrors = 0;
+  int bandgaps = 0;
+  int rc_filters = 0;
+  int ladders = 0;
+  int cap_dacs = 0;
+  // digital (core devices)
+  int glue_gates = 0;
+  int dffs = 0;
+  int ring_oscs = 0;
+  int inv_chains = 0;
+  // I/O (thick-gate devices)
+  int level_shifters = 0;
+  int io_drivers = 0;
+  int esd_pads = 0;
+  int thick_inv_chains = 0;
+
+  // Scales every block count (rounded, keeping nonzero counts >= 1).
+  CircuitSpec scaled(double factor) const;
+};
+
+// Generates one flat circuit from the spec. Deterministic in spec.seed.
+circuit::Netlist generate_circuit(const CircuitSpec& spec);
+
+struct Suite {
+  std::vector<circuit::Netlist> train;  // t1..t18
+  std::vector<circuit::Netlist> test;   // e1..e4
+};
+
+// The 22 specs mirroring Table IV (relative mixes) at `scale`.
+std::vector<CircuitSpec> paper_suite_specs(std::uint64_t seed, double scale = 1.0);
+
+// Builds the full suite. `scale` multiplies block counts; 1.0 gives a suite
+// of roughly 10k devices total (about 1/80 of the paper's).
+Suite build_paper_suite(std::uint64_t seed, double scale = 1.0);
+
+}  // namespace paragraph::circuitgen

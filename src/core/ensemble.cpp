@@ -1,0 +1,57 @@
+#include "core/ensemble.h"
+
+#include <stdexcept>
+
+namespace paragraph::core {
+
+using dataset::Sample;
+using dataset::SuiteDataset;
+
+CapEnsemble::CapEnsemble(const EnsembleConfig& config) : config_(config) {
+  if (config_.max_vs_ff.size() < 2)
+    throw std::invalid_argument("CapEnsemble: need at least two max_v values");
+  for (std::size_t i = 1; i < config_.max_vs_ff.size(); ++i) {
+    if (config_.max_vs_ff[i] <= config_.max_vs_ff[i - 1])
+      throw std::invalid_argument("CapEnsemble: max_v values must be strictly ascending");
+  }
+  for (std::size_t i = 0; i < config_.max_vs_ff.size(); ++i) {
+    PredictorConfig pc = config_.base;
+    pc.target = dataset::TargetKind::kCap;
+    pc.max_v_ff = config_.max_vs_ff[i];
+    pc.seed = config_.base.seed + i * 101;
+    models_.push_back(std::make_unique<GnnPredictor>(pc));
+  }
+}
+
+void CapEnsemble::train(const SuiteDataset& ds) {
+  for (auto& m : models_) m->train(ds);
+}
+
+std::vector<float> CapEnsemble::predict(const SuiteDataset& ds, const Sample& sample) const {
+  // Algorithm 2: start from the lowest-range model M1; move to model Mi
+  // whenever Mi's prediction exceeds M(i-1)'s max prediction value.
+  std::vector<float> p = models_[0]->predict_all(ds, sample);
+  for (std::size_t i = 1; i < models_.size(); ++i) {
+    const std::vector<float> pi = models_[i]->predict_all(ds, sample);
+    const double prev_max = config_.max_vs_ff[i - 1];
+    for (std::size_t n = 0; n < p.size(); ++n) {
+      if (pi[n] > prev_max) p[n] = pi[n];
+    }
+  }
+  return p;
+}
+
+EvalResult CapEnsemble::evaluate(const SuiteDataset& ds,
+                                 const std::vector<Sample>& samples) const {
+  EvalResult result;
+  for (const Sample& s : samples) {
+    CircuitPrediction cp;
+    cp.name = s.name;
+    cp.truth = s.target_values(dataset::TargetKind::kCap);
+    cp.pred = predict(ds, s);
+    result.circuits.push_back(std::move(cp));
+  }
+  return result;
+}
+
+}  // namespace paragraph::core

@@ -1,0 +1,44 @@
+// Ensemble modeling for net parasitic capacitance (paper Section IV,
+// Algorithm 2): K models trained with ascending max prediction values;
+// a net's prediction comes from the highest-range model whose prediction
+// exceeds the next-lower model's range.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/predictor.h"
+
+namespace paragraph::core {
+
+struct EnsembleConfig {
+  // Ascending max_v list in fF; paper: 1 fF, 10 fF, 100 fF, 10 pF.
+  std::vector<double> max_vs_ff = {1.0, 10.0, 100.0, 1e4};
+  // Template for the member models (target/max_v are overridden).
+  PredictorConfig base;
+};
+
+class CapEnsemble {
+ public:
+  explicit CapEnsemble(const EnsembleConfig& config);
+
+  // Trains all K member models on ds.train.
+  void train(const dataset::SuiteDataset& ds);
+
+  // Algorithm 2: per-net capacitance prediction [fF] for every net node.
+  std::vector<float> predict(const dataset::SuiteDataset& ds,
+                             const dataset::Sample& sample) const;
+
+  // Evaluates over the full truth range (no max_v filtering).
+  EvalResult evaluate(const dataset::SuiteDataset& ds,
+                      const std::vector<dataset::Sample>& samples) const;
+
+  std::size_t num_models() const { return models_.size(); }
+  const GnnPredictor& model(std::size_t i) const { return *models_.at(i); }
+
+ private:
+  EnsembleConfig config_;
+  std::vector<std::unique_ptr<GnnPredictor>> models_;  // ascending max_v
+};
+
+}  // namespace paragraph::core

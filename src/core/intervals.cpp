@@ -1,0 +1,86 @@
+#include "core/intervals.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace paragraph::core {
+
+namespace {
+
+// Conformal quantile: the ceil((n+1) * coverage)-th order statistic.
+double conformal_quantile(std::vector<double> residuals, double coverage) {
+  if (residuals.empty()) return 0.0;
+  std::sort(residuals.begin(), residuals.end());
+  const auto n = residuals.size();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil((static_cast<double>(n) + 1.0) * coverage));
+  return residuals[std::min(rank == 0 ? 0 : rank - 1, n - 1)];
+}
+
+}  // namespace
+
+ConformalCalibrator::ConformalCalibrator(int decade_lo, int decade_hi)
+    : decade_lo_(decade_lo), decade_hi_(decade_hi) {
+  if (decade_hi_ <= decade_lo_)
+    throw std::invalid_argument("ConformalCalibrator: decade_hi must exceed decade_lo");
+}
+
+int ConformalCalibrator::bucket_of(float prediction) const {
+  const double mag = std::max(static_cast<double>(std::abs(prediction)), 1e-12);
+  const int dec = static_cast<int>(std::floor(std::log10(mag)));
+  return std::clamp(dec, decade_lo_, decade_hi_) - decade_lo_;
+}
+
+void ConformalCalibrator::calibrate(const std::vector<float>& truth,
+                                    const std::vector<float>& pred, double coverage) {
+  if (truth.size() != pred.size())
+    throw std::invalid_argument("ConformalCalibrator::calibrate: size mismatch");
+  if (truth.empty()) throw std::invalid_argument("ConformalCalibrator::calibrate: empty data");
+  if (!(coverage > 0.0 && coverage < 1.0))
+    throw std::invalid_argument("ConformalCalibrator::calibrate: coverage must be in (0,1)");
+
+  const std::size_t num_buckets = static_cast<std::size_t>(decade_hi_ - decade_lo_) + 1;
+  std::vector<std::vector<double>> buckets(num_buckets);
+  std::vector<double> all;
+  all.reserve(truth.size());
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double r = std::abs(static_cast<double>(truth[i]) - pred[i]);
+    buckets[static_cast<std::size_t>(bucket_of(pred[i]))].push_back(r);
+    all.push_back(r);
+  }
+  global_q_ = conformal_quantile(std::move(all), coverage);
+  per_decade_q_.assign(num_buckets, -1.0);
+  for (std::size_t b = 0; b < num_buckets; ++b) {
+    // Sparse buckets fall back to the global quantile.
+    if (buckets[b].size() >= 20)
+      per_decade_q_[b] = conformal_quantile(std::move(buckets[b]), coverage);
+  }
+  calibrated_ = true;
+}
+
+double ConformalCalibrator::half_width(float prediction) const {
+  if (!calibrated_) throw std::logic_error("ConformalCalibrator: not calibrated");
+  const double q = per_decade_q_[static_cast<std::size_t>(bucket_of(prediction))];
+  return q >= 0.0 ? q : global_q_;
+}
+
+ConformalCalibrator::Interval ConformalCalibrator::interval(float prediction) const {
+  const double w = half_width(prediction);
+  return {prediction - w, prediction + w};
+}
+
+double ConformalCalibrator::empirical_coverage(const std::vector<float>& truth,
+                                               const std::vector<float>& pred) const {
+  if (truth.size() != pred.size())
+    throw std::invalid_argument("ConformalCalibrator::empirical_coverage: size mismatch");
+  if (truth.empty()) return 0.0;
+  std::size_t inside = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const Interval iv = interval(pred[i]);
+    if (truth[i] >= iv.lo && truth[i] <= iv.hi) ++inside;
+  }
+  return static_cast<double>(inside) / static_cast<double>(truth.size());
+}
+
+}  // namespace paragraph::core

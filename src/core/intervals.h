@@ -1,0 +1,51 @@
+// Split-conformal prediction intervals.
+//
+// A point predictor tells the designer "this net will be 4.2 fF"; an
+// interval tells them how much to guard-band. calibrate() takes held-out
+// (truth, prediction) pairs and records absolute-residual quantiles per
+// prediction decade (parasitics are heteroscedastic across their 6-decade
+// range); half_width() then returns the +/- bound that covers `coverage`
+// of calibration residuals for predictions of that magnitude.
+#pragma once
+
+#include <vector>
+
+namespace paragraph::core {
+
+class ConformalCalibrator {
+ public:
+  // decade_lo/decade_hi bound the log10 bucketing (values outside clamp).
+  ConformalCalibrator(int decade_lo = -2, int decade_hi = 5);
+
+  // Records per-decade residual quantiles from held-out pairs.
+  // Throws std::invalid_argument on size mismatch or empty input,
+  // and if coverage is outside (0, 1).
+  void calibrate(const std::vector<float>& truth, const std::vector<float>& pred,
+                 double coverage = 0.9);
+
+  bool calibrated() const { return calibrated_; }
+
+  // Interval half-width for a prediction of this magnitude.
+  double half_width(float prediction) const;
+
+  struct Interval {
+    double lo;
+    double hi;
+  };
+  Interval interval(float prediction) const;
+
+  // Fraction of (truth, pred) pairs falling inside their intervals.
+  double empirical_coverage(const std::vector<float>& truth,
+                            const std::vector<float>& pred) const;
+
+ private:
+  int bucket_of(float prediction) const;
+
+  int decade_lo_;
+  int decade_hi_;
+  bool calibrated_ = false;
+  double global_q_ = 0.0;
+  std::vector<double> per_decade_q_;  // index 0 = decade_lo
+};
+
+}  // namespace paragraph::core

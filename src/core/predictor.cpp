@@ -1,0 +1,341 @@
+#include "core/predictor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "nn/optim.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace paragraph::core {
+
+using dataset::Sample;
+using dataset::SuiteDataset;
+using dataset::TargetKind;
+using graph::NodeType;
+using gnn::GraphBatch;
+using gnn::HomoView;
+using nn::Matrix;
+using nn::Tensor;
+
+// ------------------------------------------------------ TargetScaler ----
+
+TargetScaler TargetScaler::for_cap(double max_v_ff) {
+  TargetScaler s;
+  s.zscore_ = false;
+  s.max_v_ = max_v_ff;
+  return s;
+}
+
+TargetScaler TargetScaler::fit_zscore(const std::vector<float>& train_values) {
+  TargetScaler s;
+  s.zscore_ = true;
+  if (!train_values.empty()) {
+    double sum = 0.0, sum2 = 0.0;
+    for (const float v : train_values) {
+      sum += v;
+      sum2 += static_cast<double>(v) * v;
+    }
+    s.mean_ = sum / static_cast<double>(train_values.size());
+    const double var =
+        std::max(sum2 / static_cast<double>(train_values.size()) - s.mean_ * s.mean_, 1e-12);
+    s.stdev_ = std::sqrt(var);
+  }
+  return s;
+}
+
+TargetScaler TargetScaler::fit_log_zscore(const std::vector<float>& train_values) {
+  std::vector<float> logs;
+  logs.reserve(train_values.size());
+  for (const float v : train_values)
+    logs.push_back(std::log10(std::max(v, 1e-6f)));
+  TargetScaler s = fit_zscore(logs);
+  s.log_space_ = true;
+  return s;
+}
+
+float TargetScaler::transform(float raw) const {
+  if (zscore_) {
+    const double v = log_space_ ? std::log10(std::max(raw, 1e-6f)) : raw;
+    return static_cast<float>((v - mean_) / stdev_);
+  }
+  return static_cast<float>(raw / max_v_);
+}
+
+float TargetScaler::inverse(float scaled) const {
+  if (zscore_) {
+    const double v = scaled * stdev_ + mean_;
+    return static_cast<float>(log_space_ ? std::pow(10.0, v) : v);
+  }
+  return static_cast<float>(scaled * max_v_);
+}
+
+bool TargetScaler::in_range(float raw) const { return zscore_ || raw <= max_v_; }
+
+TargetScaler TargetScaler::from_state(const State& s) {
+  TargetScaler t;
+  t.zscore_ = s.zscore;
+  t.log_space_ = s.log_space;
+  t.mean_ = s.mean;
+  t.stdev_ = s.stdev;
+  t.max_v_ = s.max_v;
+  return t;
+}
+
+// --------------------------------------------------- result plumbing ----
+
+eval::RegressionMetrics CircuitPrediction::metrics() const {
+  return eval::evaluate(truth, pred);
+}
+
+eval::RegressionMetrics EvalResult::pooled() const {
+  std::vector<float> t, p;
+  for (const auto& c : circuits) {
+    t.insert(t.end(), c.truth.begin(), c.truth.end());
+    p.insert(p.end(), c.pred.begin(), c.pred.end());
+  }
+  return eval::evaluate(t, p);
+}
+
+// ------------------------------------------------------ GnnPredictor ----
+
+GnnPredictor::GnnPredictor(const PredictorConfig& config) : config_(config) {
+  util::Rng rng(config.seed * 0x9e3779b9ULL + 17);
+  embedding_ = gnn::make_model(config.model, config.embed_dim, config.num_layers, rng,
+                               config.attention_heads);
+  std::vector<std::size_t> dims(config.effective_fc_layers(), config.embed_dim);
+  dims.push_back(1);
+  head_ = std::make_unique<nn::Mlp>(dims, rng);
+  if (config.target == TargetKind::kCap) scaler_ = TargetScaler::for_cap(config.max_v_ff);
+}
+
+bool GnnPredictor::needs_homo() const {
+  switch (config_.model) {
+    case gnn::ModelKind::kGcn:
+    case gnn::ModelKind::kGraphSage:
+    case gnn::ModelKind::kGat: return true;
+    default: return false;
+  }
+}
+
+GraphBatch GnnPredictor::make_batch(const SuiteDataset& ds, const Sample& sample,
+                                    const HomoView* homo) const {
+  GraphBatch b;
+  b.graph = &sample.graph;
+  b.homo = homo;
+  for (std::size_t t = 0; t < graph::kNumNodeTypes; ++t) {
+    const auto nt = static_cast<NodeType>(t);
+    if (sample.graph.num_nodes(nt) == 0) continue;
+    b.features[t] = Tensor(ds.normalizer.apply(sample.graph, nt));
+  }
+  return b;
+}
+
+Tensor GnnPredictor::forward_predictions(const GraphBatch& batch, std::size_t type_slot) const {
+  const auto& types = dataset::target_node_types(config_.target);
+  const NodeType nt = types.at(type_slot);
+  gnn::TypeTensors emb = embedding_->embed(batch);
+  const Tensor& z = emb[static_cast<std::size_t>(nt)];
+  if (!z.defined()) return Tensor();
+  return head_->forward(z);
+}
+
+std::vector<double> GnnPredictor::train(const SuiteDataset& ds) {
+  const auto& types = dataset::target_node_types(config_.target);
+
+  if (config_.target == TargetKind::kRes) {
+    scaler_ = TargetScaler::fit_log_zscore(SuiteDataset::pooled_targets(ds.train, config_.target));
+  } else if (config_.target != TargetKind::kCap) {
+    scaler_ = TargetScaler::fit_zscore(SuiteDataset::pooled_targets(ds.train, config_.target));
+  }
+
+  // Precompute batches, per-slot training indices, and scaled targets.
+  struct Prepared {
+    const Sample* sample;
+    std::unique_ptr<HomoView> homo;
+    GraphBatch batch;
+    std::vector<std::vector<std::int32_t>> idx;  // per type slot
+    std::vector<Matrix> target;                  // per type slot, scaled
+  };
+  std::vector<Prepared> prepared;
+  for (const Sample& s : ds.train) {
+    Prepared p;
+    p.sample = &s;
+    if (needs_homo()) p.homo = std::make_unique<HomoView>(gnn::build_homo_view(s.graph));
+    p.batch = make_batch(ds, s, p.homo.get());
+    bool any = false;
+    for (std::size_t slot = 0; slot < types.size(); ++slot) {
+      const auto& raw = s.target_values(config_.target, slot);
+      std::vector<std::int32_t> idx;
+      std::vector<float> scaled;
+      for (std::size_t i = 0; i < raw.size(); ++i) {
+        if (!scaler_.in_range(raw[i])) continue;
+        idx.push_back(static_cast<std::int32_t>(i));
+        scaled.push_back(scaler_.transform(raw[i]));
+      }
+      p.idx.push_back(std::move(idx));
+      p.target.emplace_back(scaled.size(), 1, std::move(scaled));
+      if (!p.idx.back().empty()) any = true;
+    }
+    if (any) prepared.push_back(std::move(p));
+  }
+  if (prepared.empty()) throw std::logic_error("GnnPredictor::train: no training data in range");
+
+  std::vector<Tensor> params = parameters();
+  nn::Adam opt(params, config_.learning_rate);
+  util::Rng shuffle_rng(config_.seed ^ 0xfeedface1234ULL);
+
+  // Divergence recovery: keep a snapshot of the best-so-far parameters.
+  // Full-range MSE targets occasionally blow a step up so badly that Adam
+  // never recovers (the loss parks at the predict-the-mean plateau); on a
+  // blow-up we roll back to the snapshot and continue at a reduced
+  // learning rate. The best snapshot is also restored at the end.
+  std::vector<Matrix> best_params;
+  double best_loss = std::numeric_limits<double>::infinity();
+  float lr_scale = 1.0f;
+  auto snapshot = [&] {
+    best_params.clear();
+    for (const auto& p : params) best_params.push_back(p.value());
+  };
+  auto restore = [&] {
+    for (std::size_t i = 0; i < params.size(); ++i)
+      params[i].mutable_value() = best_params[i];
+  };
+
+  std::vector<double> epoch_losses;
+  std::vector<std::size_t> order(prepared.size());
+  std::iota(order.begin(), order.end(), 0);
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    float lr = config_.learning_rate;
+    if (config_.lr_final_fraction < 1.0f && config_.epochs > 1) {
+      const float progress = static_cast<float>(epoch) / static_cast<float>(config_.epochs - 1);
+      const float cosine = 0.5f * (1.0f + std::cos(progress * static_cast<float>(M_PI)));
+      const float lo = config_.learning_rate * config_.lr_final_fraction;
+      lr = lo + (config_.learning_rate - lo) * cosine;
+    }
+    opt.set_learning_rate(lr * lr_scale);
+    shuffle_rng.shuffle(order);
+    double loss_sum = 0.0;
+    std::size_t loss_count = 0;
+    for (const std::size_t k : order) {
+      Prepared& p = prepared[k];
+      gnn::TypeTensors emb = embedding_->embed(p.batch);
+      std::vector<Tensor> losses;
+      for (std::size_t slot = 0; slot < types.size(); ++slot) {
+        if (p.idx[slot].empty()) continue;
+        const Tensor& z = emb[static_cast<std::size_t>(types[slot])];
+        if (!z.defined()) continue;
+        Tensor zsel = nn::gather_rows(z, p.idx[slot]);
+        Tensor pred = head_->forward(zsel);
+        losses.push_back(nn::mse_loss(pred, p.target[slot]));
+      }
+      if (losses.empty()) continue;
+      Tensor loss = losses.size() == 1 ? losses[0] : nn::sum_tensors(losses);
+      if (losses.size() > 1) loss = nn::scale(loss, 1.0f / static_cast<float>(losses.size()));
+      opt.zero_grad();
+      loss.backward();
+      if (config_.grad_clip > 0.0f) nn::clip_grad_norm(params, config_.grad_clip);
+      opt.step();
+      loss_sum += loss.item();
+      ++loss_count;
+    }
+    const double epoch_loss = loss_count ? loss_sum / static_cast<double>(loss_count) : 0.0;
+    epoch_losses.push_back(epoch_loss);
+    if (epoch_loss < best_loss) {
+      best_loss = epoch_loss;
+      snapshot();
+    } else if (!best_params.empty() && epoch_loss > 10.0 * best_loss) {
+      restore();
+      lr_scale = std::max(lr_scale * 0.5f, 0.05f);
+    }
+  }
+  if (!best_params.empty()) restore();
+  return epoch_losses;
+}
+
+EvalResult GnnPredictor::evaluate(const SuiteDataset& ds,
+                                  const std::vector<Sample>& samples) const {
+  const auto& types = dataset::target_node_types(config_.target);
+  EvalResult result;
+  for (const Sample& s : samples) {
+    std::unique_ptr<HomoView> homo;
+    if (needs_homo()) homo = std::make_unique<HomoView>(gnn::build_homo_view(s.graph));
+    const GraphBatch batch = make_batch(ds, s, homo.get());
+    CircuitPrediction cp;
+    cp.name = s.name;
+    gnn::TypeTensors emb = embedding_->embed(batch);
+    for (std::size_t slot = 0; slot < types.size(); ++slot) {
+      const Tensor& z = emb[static_cast<std::size_t>(types[slot])];
+      if (!z.defined()) continue;
+      const Tensor pred = head_->forward(z);
+      const auto& raw = s.target_values(config_.target, slot);
+      for (std::size_t i = 0; i < raw.size(); ++i) {
+        if (!scaler_.in_range(raw[i])) continue;
+        cp.truth.push_back(raw[i]);
+        cp.pred.push_back(scaler_.inverse(pred.value()(i, 0)));
+      }
+    }
+    result.circuits.push_back(std::move(cp));
+  }
+  return result;
+}
+
+std::vector<float> GnnPredictor::predict_all(const SuiteDataset& ds,
+                                             const Sample& sample) const {
+  const auto& types = dataset::target_node_types(config_.target);
+  std::unique_ptr<HomoView> homo;
+  if (needs_homo()) homo = std::make_unique<HomoView>(gnn::build_homo_view(sample.graph));
+  const GraphBatch batch = make_batch(ds, sample, homo.get());
+  gnn::TypeTensors emb = embedding_->embed(batch);
+  std::vector<float> out;
+  for (std::size_t slot = 0; slot < types.size(); ++slot) {
+    const Tensor& z = emb[static_cast<std::size_t>(types[slot])];
+    if (!z.defined()) {
+      // Keep positional alignment with target_values by emitting zeros.
+      out.resize(out.size() + sample.target_values(config_.target, slot).size(), 0.0f);
+      continue;
+    }
+    const Tensor pred = head_->forward(z);
+    for (std::size_t i = 0; i < pred.rows(); ++i)
+      out.push_back(scaler_.inverse(pred.value()(i, 0)));
+  }
+  return out;
+}
+
+nn::Matrix GnnPredictor::embeddings(const SuiteDataset& ds, const Sample& sample,
+                                    NodeType type) const {
+  std::unique_ptr<HomoView> homo;
+  if (needs_homo()) homo = std::make_unique<HomoView>(gnn::build_homo_view(sample.graph));
+  const GraphBatch batch = make_batch(ds, sample, homo.get());
+  gnn::TypeTensors emb = embedding_->embed(batch);
+  const Tensor& z = emb[static_cast<std::size_t>(type)];
+  if (!z.defined()) return Matrix();
+  return z.value();
+}
+
+gnn::AttentionRecord GnnPredictor::attention_analysis(const SuiteDataset& ds,
+                                                      const Sample& sample) const {
+  std::unique_ptr<HomoView> homo;
+  if (needs_homo()) homo = std::make_unique<HomoView>(gnn::build_homo_view(sample.graph));
+  GraphBatch batch = make_batch(ds, sample, homo.get());
+  gnn::AttentionRecord record;
+  batch.attention_out = &record;
+  embedding_->embed(batch);
+  return record;
+}
+
+std::size_t GnnPredictor::num_parameters() const {
+  return embedding_->num_parameters() + head_->num_parameters();
+}
+
+std::vector<Tensor> GnnPredictor::parameters() const {
+  std::vector<Tensor> params = embedding_->parameters();
+  const auto head_params = head_->parameters();
+  params.insert(params.end(), head_params.begin(), head_params.end());
+  return params;
+}
+
+}  // namespace paragraph::core

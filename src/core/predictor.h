@@ -1,0 +1,145 @@
+// ParaGraph predictor: embedding model + FC regression head, target
+// scaling, and the training/evaluation loop. This is the paper's primary
+// contribution assembled from the substrates.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "dataset/dataset.h"
+#include "eval/metrics.h"
+#include "gnn/models.h"
+
+namespace paragraph::core {
+
+struct PredictorConfig {
+  gnn::ModelKind model = gnn::ModelKind::kParaGraph;
+  dataset::TargetKind target = dataset::TargetKind::kCap;
+  std::size_t embed_dim = 32;  // paper: F = 32
+  std::size_t num_layers = 5;  // paper: L = 5
+  // Attention heads for the ParaGraph variants. The paper used 1 (GPU
+  // memory bound) and conjectured more would help; see
+  // bench_ext_multihead.
+  std::size_t attention_heads = 1;
+  // FC head depth; the paper uses 4 for CAP and 2 for device parameters.
+  // 0 = pick the paper default for the target.
+  std::size_t fc_layers = 0;
+  // CAP only: maximum prediction value in fF. Training points above it are
+  // dropped (Section IV); evaluation is restricted to truth <= max_v.
+  double max_v_ff = 1e7;  // 10 pF
+  int epochs = 150;
+  float learning_rate = 0.01f;  // paper: ADAM with lr = 0.01
+  // Global gradient-norm clip; stabilises the attention models on full-
+  // graph batches (0 disables).
+  float grad_clip = 1.0f;
+  // Cosine learning-rate decay to lr * lr_final_fraction over the run;
+  // locks in the good optimum instead of bouncing out of it late.
+  float lr_final_fraction = 0.02f;
+  std::uint64_t seed = 1;
+
+  std::size_t effective_fc_layers() const {
+    if (fc_layers != 0) return fc_layers;
+    return target == dataset::TargetKind::kCap ? 4 : 2;
+  }
+};
+
+// Maps raw target values to training space and back.
+// CAP: y' = y / max_v (training points with y > max_v are excluded).
+// Device parameters: z-score fit on the training pool.
+class TargetScaler {
+ public:
+  static TargetScaler for_cap(double max_v_ff);
+  static TargetScaler fit_zscore(const std::vector<float>& train_values);
+  // z-score in log10 space; used for the wide-range RES extension target.
+  static TargetScaler fit_log_zscore(const std::vector<float>& train_values);
+
+  float transform(float raw) const;
+  float inverse(float scaled) const;
+  // False for training points outside the scaler's valid range (CAP > max_v).
+  bool in_range(float raw) const;
+  double max_v() const { return max_v_; }
+
+  // Plain-data view for persistence (core/serialize.h).
+  struct State {
+    bool zscore = false;
+    bool log_space = false;
+    double mean = 0.0;
+    double stdev = 1.0;
+    double max_v = 0.0;
+  };
+  State state() const { return {zscore_, log_space_, mean_, stdev_, max_v_}; }
+  static TargetScaler from_state(const State& s);
+
+ private:
+  bool zscore_ = false;
+  bool log_space_ = false;
+  double mean_ = 0.0;
+  double stdev_ = 1.0;
+  double max_v_ = 0.0;  // 0 when z-scoring
+};
+
+// Per-circuit prediction in raw units, restricted to in-range nodes.
+struct CircuitPrediction {
+  std::string name;
+  std::vector<float> truth;
+  std::vector<float> pred;
+  eval::RegressionMetrics metrics() const;
+};
+
+struct EvalResult {
+  std::vector<CircuitPrediction> circuits;
+  // Metrics pooled over every node of every circuit.
+  eval::RegressionMetrics pooled() const;
+};
+
+class GnnPredictor {
+ public:
+  GnnPredictor(const PredictorConfig& config);
+
+  const PredictorConfig& config() const { return config_; }
+
+  // Trains on ds.train; returns per-epoch mean losses.
+  std::vector<double> train(const dataset::SuiteDataset& ds);
+
+  // Predicts raw-unit values for in-range nodes of each sample.
+  EvalResult evaluate(const dataset::SuiteDataset& ds,
+                      const std::vector<dataset::Sample>& samples) const;
+
+  // Raw-unit predictions for ALL nodes of the target's node types,
+  // concatenated in (type slot, node) order. Used by Algorithm 2.
+  std::vector<float> predict_all(const dataset::SuiteDataset& ds,
+                                 const dataset::Sample& sample) const;
+
+  // Final-layer embeddings for one node type (e.g. for the t-SNE study).
+  nn::Matrix embeddings(const dataset::SuiteDataset& ds, const dataset::Sample& sample,
+                        graph::NodeType type) const;
+
+  // Per-layer, per-edge-type attention statistics on one circuit
+  // (interpretability study; only the attention-based models fill it).
+  gnn::AttentionRecord attention_analysis(const dataset::SuiteDataset& ds,
+                                          const dataset::Sample& sample) const;
+
+  std::size_t num_parameters() const;
+  const TargetScaler& scaler() const { return scaler_; }
+  void set_scaler(const TargetScaler& s) { scaler_ = s; }
+
+  // Trainable parameters in deterministic construction order (embedding
+  // model first, then the FC head); used by the optimiser and by
+  // save/load_predictor.
+  std::vector<nn::Tensor> parameters() const;
+
+ private:
+  gnn::GraphBatch make_batch(const dataset::SuiteDataset& ds, const dataset::Sample& sample,
+                             const gnn::HomoView* homo) const;
+  nn::Tensor forward_predictions(const gnn::GraphBatch& batch, std::size_t type_slot) const;
+  bool needs_homo() const;
+
+  PredictorConfig config_;
+  TargetScaler scaler_;
+  std::unique_ptr<gnn::EmbeddingModel> embedding_;
+  std::unique_ptr<nn::Mlp> head_;
+};
+
+}  // namespace paragraph::core

@@ -1,0 +1,115 @@
+#include "core/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace paragraph::core {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x50477230;  // "PGr0"
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!is) throw std::runtime_error("load_predictor: truncated file");
+  return v;
+}
+
+}  // namespace
+
+void save_predictor(const GnnPredictor& predictor, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("save_predictor: cannot open '" + path + "'");
+  write_pod(os, kMagic);
+  write_pod(os, kVersion);
+
+  const PredictorConfig& c = predictor.config();
+  write_pod(os, static_cast<std::uint32_t>(c.model));
+  write_pod(os, static_cast<std::uint32_t>(c.target));
+  write_pod(os, static_cast<std::uint64_t>(c.embed_dim));
+  write_pod(os, static_cast<std::uint64_t>(c.num_layers));
+  write_pod(os, static_cast<std::uint64_t>(c.fc_layers));
+  write_pod(os, c.max_v_ff);
+  write_pod(os, c.epochs);
+  write_pod(os, c.learning_rate);
+  write_pod(os, c.grad_clip);
+  write_pod(os, c.lr_final_fraction);
+  write_pod(os, c.seed);
+
+  const TargetScaler::State s = predictor.scaler().state();
+  write_pod(os, s.zscore);
+  write_pod(os, s.log_space);
+  write_pod(os, s.mean);
+  write_pod(os, s.stdev);
+  write_pod(os, s.max_v);
+
+  const auto params = predictor.parameters();
+  write_pod(os, static_cast<std::uint64_t>(params.size()));
+  for (const auto& p : params) {
+    const nn::Matrix& m = p.value();
+    write_pod(os, static_cast<std::uint64_t>(m.rows()));
+    write_pod(os, static_cast<std::uint64_t>(m.cols()));
+    os.write(reinterpret_cast<const char*>(m.data()),
+             static_cast<std::streamsize>(m.size() * sizeof(float)));
+  }
+  if (!os) throw std::runtime_error("save_predictor: write failed for '" + path + "'");
+}
+
+GnnPredictor load_predictor(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("load_predictor: cannot open '" + path + "'");
+  if (read_pod<std::uint32_t>(is) != kMagic)
+    throw std::runtime_error("load_predictor: '" + path + "' is not a ParaGraph model file");
+  if (read_pod<std::uint32_t>(is) != kVersion)
+    throw std::runtime_error("load_predictor: unsupported format version in '" + path + "'");
+
+  PredictorConfig c;
+  c.model = static_cast<gnn::ModelKind>(read_pod<std::uint32_t>(is));
+  c.target = static_cast<dataset::TargetKind>(read_pod<std::uint32_t>(is));
+  c.embed_dim = static_cast<std::size_t>(read_pod<std::uint64_t>(is));
+  c.num_layers = static_cast<std::size_t>(read_pod<std::uint64_t>(is));
+  c.fc_layers = static_cast<std::size_t>(read_pod<std::uint64_t>(is));
+  c.max_v_ff = read_pod<double>(is);
+  c.epochs = read_pod<int>(is);
+  c.learning_rate = read_pod<float>(is);
+  c.grad_clip = read_pod<float>(is);
+  c.lr_final_fraction = read_pod<float>(is);
+  c.seed = read_pod<std::uint64_t>(is);
+
+  TargetScaler::State s;
+  s.zscore = read_pod<bool>(is);
+  s.log_space = read_pod<bool>(is);
+  s.mean = read_pod<double>(is);
+  s.stdev = read_pod<double>(is);
+  s.max_v = read_pod<double>(is);
+
+  GnnPredictor predictor(c);
+  predictor.set_scaler(TargetScaler::from_state(s));
+
+  const auto params = predictor.parameters();
+  const auto count = read_pod<std::uint64_t>(is);
+  if (count != params.size())
+    throw std::runtime_error("load_predictor: parameter count mismatch in '" + path + "'");
+  for (auto p : params) {
+    const auto rows = static_cast<std::size_t>(read_pod<std::uint64_t>(is));
+    const auto cols = static_cast<std::size_t>(read_pod<std::uint64_t>(is));
+    nn::Matrix& m = p.mutable_value();
+    if (rows != m.rows() || cols != m.cols())
+      throw std::runtime_error("load_predictor: parameter shape mismatch in '" + path + "'");
+    is.read(reinterpret_cast<char*>(m.data()),
+            static_cast<std::streamsize>(m.size() * sizeof(float)));
+    if (!is) throw std::runtime_error("load_predictor: truncated parameter data");
+  }
+  return predictor;
+}
+
+}  // namespace paragraph::core

@@ -1,0 +1,23 @@
+// Binary persistence for trained predictors.
+//
+// A trained GnnPredictor is stored as its PredictorConfig (so the exact
+// architecture can be reconstructed), the fitted TargetScaler state, and
+// every parameter matrix in deterministic construction order. Files carry
+// a magic header and a format version; loads validate shapes against the
+// freshly constructed model.
+#pragma once
+
+#include <string>
+
+#include "core/predictor.h"
+
+namespace paragraph::core {
+
+void save_predictor(const GnnPredictor& predictor, const std::string& path);
+
+// Reconstructs the architecture from the stored config and restores the
+// trained weights and scaler. Throws std::runtime_error on corrupt or
+// incompatible files.
+GnnPredictor load_predictor(const std::string& path);
+
+}  // namespace paragraph::core

@@ -1,0 +1,84 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace paragraph::eval {
+
+double r_squared(std::span<const float> truth, std::span<const float> pred) {
+  if (truth.size() != pred.size()) throw std::invalid_argument("r_squared: size mismatch");
+  if (truth.empty()) return 0.0;
+  double mean = 0.0;
+  for (const float t : truth) mean += t;
+  mean /= static_cast<double>(truth.size());
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    ss_res += (truth[i] - pred[i]) * static_cast<double>(truth[i] - pred[i]);
+    ss_tot += (truth[i] - mean) * (truth[i] - mean);
+  }
+  if (ss_tot <= 0.0) return 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double mean_absolute_error(std::span<const float> truth, std::span<const float> pred) {
+  if (truth.size() != pred.size())
+    throw std::invalid_argument("mean_absolute_error: size mismatch");
+  if (truth.empty()) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) s += std::abs(truth[i] - pred[i]);
+  return s / static_cast<double>(truth.size());
+}
+
+double mean_absolute_percentage_error(std::span<const float> truth, std::span<const float> pred,
+                                      double eps) {
+  if (truth.size() != pred.size())
+    throw std::invalid_argument("mean_absolute_percentage_error: size mismatch");
+  double s = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (std::abs(truth[i]) < eps) continue;
+    s += std::abs((truth[i] - pred[i]) / truth[i]);
+    ++n;
+  }
+  return n == 0 ? 0.0 : 100.0 * s / static_cast<double>(n);
+}
+
+RegressionMetrics evaluate(std::span<const float> truth, std::span<const float> pred) {
+  RegressionMetrics m;
+  m.r2 = r_squared(truth, pred);
+  m.mae = mean_absolute_error(truth, pred);
+  m.mape = mean_absolute_percentage_error(truth, pred);
+  m.count = truth.size();
+  return m;
+}
+
+std::size_t ErrorHistogram::total() const {
+  std::size_t t = 0;
+  for (const auto b : bins) t += b;
+  return t;
+}
+
+ErrorHistogram error_histogram(std::span<const double> errors) {
+  ErrorHistogram h;
+  double sum = 0.0;
+  double log_sum = 0.0;
+  for (const double e : errors) {
+    const double pct = std::abs(e) * 100.0;
+    if (pct < 10.0) ++h.bins[0];
+    else if (pct < 20.0) ++h.bins[1];
+    else if (pct < 30.0) ++h.bins[2];
+    else if (pct < 40.0) ++h.bins[3];
+    else if (pct < 50.0) ++h.bins[4];
+    else ++h.bins[5];
+    sum += pct;
+    log_sum += std::log(std::max(pct, 1e-3));
+  }
+  if (!errors.empty()) {
+    h.mean_percent = sum / static_cast<double>(errors.size());
+    h.geomean_percent = std::exp(log_sum / static_cast<double>(errors.size()));
+  }
+  return h;
+}
+
+}  // namespace paragraph::eval

@@ -1,0 +1,41 @@
+// Prediction-quality metrics used throughout the paper's evaluation:
+// R-squared, MAE, MAPE, and the error-range histogram of Table V.
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+namespace paragraph::eval {
+
+// Coefficient of determination. 0 samples or zero-variance truth -> 0.
+double r_squared(std::span<const float> truth, std::span<const float> pred);
+
+double mean_absolute_error(std::span<const float> truth, std::span<const float> pred);
+
+// Mean absolute percentage error, in percent. Truth values with
+// |y| < eps are skipped (matches common MAPE practice).
+double mean_absolute_percentage_error(std::span<const float> truth, std::span<const float> pred,
+                                      double eps = 1e-9);
+
+struct RegressionMetrics {
+  double r2 = 0.0;
+  double mae = 0.0;
+  double mape = 0.0;  // percent
+  std::size_t count = 0;
+};
+
+RegressionMetrics evaluate(std::span<const float> truth, std::span<const float> pred);
+
+// Table V style error histogram: bins <10%, 10-20%, ..., 40-50%, >50%.
+struct ErrorHistogram {
+  std::array<std::size_t, 6> bins{};
+  double mean_percent = 0.0;
+  double geomean_percent = 0.0;
+  std::size_t total() const;
+};
+
+// `errors` are relative errors as fractions (0.07 == 7%).
+ErrorHistogram error_histogram(std::span<const double> errors);
+
+}  // namespace paragraph::eval

@@ -1,0 +1,147 @@
+#include "gnn/sampler.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace paragraph::gnn {
+
+using graph::HeteroGraph;
+using graph::NodeType;
+
+namespace {
+
+// Per-node-type mapping from original local index to subgraph index;
+// assigns new indices on first touch.
+class NodeMap {
+ public:
+  // Returns subgraph index; marks the node live.
+  std::int32_t touch(NodeType t, std::int32_t original) {
+    auto& m = maps_[static_cast<std::size_t>(t)];
+    const auto [it, inserted] = m.emplace(original, static_cast<std::int32_t>(m.size()));
+    if (inserted) order_[static_cast<std::size_t>(t)].push_back(original);
+    return it->second;
+  }
+
+  bool contains(NodeType t, std::int32_t original) const {
+    return maps_[static_cast<std::size_t>(t)].contains(original);
+  }
+  std::int32_t at(NodeType t, std::int32_t original) const {
+    return maps_[static_cast<std::size_t>(t)].at(original);
+  }
+
+  const std::vector<std::int32_t>& order(NodeType t) const {
+    return order_[static_cast<std::size_t>(t)];
+  }
+
+ private:
+  std::array<std::unordered_map<std::int32_t, std::int32_t>, graph::kNumNodeTypes> maps_;
+  std::array<std::vector<std::int32_t>, graph::kNumNodeTypes> order_;
+};
+
+}  // namespace
+
+SampledSubgraph sample_subgraph(const HeteroGraph& g, NodeType seed_type,
+                                const std::vector<std::int32_t>& seeds,
+                                const SamplerConfig& config, util::Rng& rng) {
+  for (const auto s : seeds) {
+    if (s < 0 || static_cast<std::size_t>(s) >= g.num_nodes(seed_type))
+      throw std::out_of_range("sample_subgraph: seed out of range");
+  }
+
+  NodeMap node_map;
+  // Frontier per node type (original indices discovered in the last hop).
+  std::array<std::vector<std::int32_t>, graph::kNumNodeTypes> frontier;
+  for (const auto s : seeds) {
+    if (node_map.contains(seed_type, s)) continue;  // dedupe repeated seeds
+    node_map.touch(seed_type, s);
+    frontier[static_cast<std::size_t>(seed_type)].push_back(s);
+  }
+
+  struct SampledEdge {
+    std::size_t type_index;
+    std::int32_t src_original;
+    std::int32_t dst_original;
+  };
+  std::vector<SampledEdge> sampled_edges;
+
+  for (int hop = 0; hop < config.num_hops; ++hop) {
+    std::array<std::vector<std::int32_t>, graph::kNumNodeTypes> next;
+    for (const auto& te : g.edges()) {
+      const auto& info = graph::edge_type_registry()[te.type_index];
+      const auto dt = static_cast<std::size_t>(info.dst_type);
+      if (frontier[dt].empty()) continue;
+      for (const auto dst : frontier[dt]) {
+        const auto begin = static_cast<std::size_t>(
+            te.dst_segments.offsets[static_cast<std::size_t>(dst)]);
+        const auto end = static_cast<std::size_t>(
+            te.dst_segments.offsets[static_cast<std::size_t>(dst) + 1]);
+        const auto deg = end - begin;
+        if (deg == 0) continue;
+        // Sample up to fanout incoming edges without replacement.
+        std::vector<std::size_t> picks;
+        if (deg <= static_cast<std::size_t>(config.fanout_per_relation)) {
+          for (std::size_t e = begin; e < end; ++e) picks.push_back(e);
+        } else {
+          std::vector<std::size_t> all(deg);
+          for (std::size_t k = 0; k < deg; ++k) all[k] = begin + k;
+          rng.shuffle(all);
+          picks.assign(all.begin(), all.begin() + config.fanout_per_relation);
+          std::sort(picks.begin(), picks.end());  // deterministic ordering
+        }
+        for (const auto e : picks) {
+          const auto src = te.src[e];
+          const auto st = info.src_type;
+          if (!node_map.contains(st, src)) {
+            node_map.touch(st, src);
+            next[static_cast<std::size_t>(st)].push_back(src);
+          }
+          sampled_edges.push_back({te.type_index, src, dst});
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  // Build the subgraph: nodes with their original features, then edges.
+  SampledSubgraph out;
+  for (std::size_t t = 0; t < graph::kNumNodeTypes; ++t) {
+    const auto nt = static_cast<NodeType>(t);
+    const auto& order = node_map.order(nt);
+    out.original_index[t] = order;
+    nn::Matrix feats(order.size(), graph::feature_dim(nt), 0.0f);
+    std::vector<std::int32_t> origin(order.size());
+    const nn::Matrix& src_feats = g.features(nt);
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      origin[i] = g.origin(nt, static_cast<std::size_t>(order[i]));
+      for (std::size_t c = 0; c < feats.cols(); ++c)
+        feats(i, c) = src_feats(static_cast<std::size_t>(order[i]), c);
+    }
+    out.graph.set_nodes(nt, std::move(origin), std::move(feats));
+  }
+
+  // Group edges by type.
+  std::unordered_map<std::size_t, std::pair<std::vector<std::int32_t>, std::vector<std::int32_t>>>
+      by_type;
+  for (const auto& e : sampled_edges) {
+    const auto& info = graph::edge_type_registry()[e.type_index];
+    auto& bucket = by_type[e.type_index];
+    bucket.first.push_back(node_map.at(info.src_type, e.src_original));
+    bucket.second.push_back(node_map.at(info.dst_type, e.dst_original));
+  }
+  // Deterministic insertion order over type indices.
+  std::vector<std::size_t> type_order;
+  for (const auto& [k, v] : by_type) type_order.push_back(k);
+  std::sort(type_order.begin(), type_order.end());
+  for (const auto k : type_order) {
+    auto& bucket = by_type[k];
+    out.graph.add_edges(k, std::move(bucket.first), std::move(bucket.second));
+  }
+  out.graph.validate();
+
+  out.seed_local.reserve(seeds.size());
+  for (const auto s : seeds) out.seed_local.push_back(node_map.at(seed_type, s));
+  return out;
+}
+
+}  // namespace paragraph::gnn

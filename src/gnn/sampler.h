@@ -1,0 +1,42 @@
+// Neighbourhood sampling for minibatch GNN training (the scalability idea
+// at the heart of GraphSage, Hamilton et al. 2017).
+//
+// The paper trains full-graph on a 16 GB V100; circuits like t4 (500k+
+// devices) are near that limit, and CPU reproduction needs something
+// smaller still. sample_subgraph() extracts the L-hop neighbourhood of a
+// set of seed nodes with a per-relation fanout cap, producing a standalone
+// HeteroGraph plus the seed positions inside it, so any EmbeddingModel can
+// train on minibatches without seeing the full circuit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/hetero_graph.h"
+#include "util/rng.h"
+
+namespace paragraph::gnn {
+
+struct SamplerConfig {
+  int num_hops = 5;          // matches the embedding depth L
+  int fanout_per_relation = 8;  // incoming edges kept per node per relation
+};
+
+struct SampledSubgraph {
+  graph::HeteroGraph graph;
+  // Positions of the requested seeds inside `graph` (same node type as the
+  // seeds, local indices).
+  std::vector<std::int32_t> seed_local;
+  // For every node type: subgraph-local index -> original local index.
+  std::array<std::vector<std::int32_t>, graph::kNumNodeTypes> original_index;
+};
+
+// Samples the `config.num_hops`-hop in-neighbourhood of `seeds` (local
+// indices of `seed_type` nodes). Edges are sampled without replacement up
+// to `fanout_per_relation` per destination per relation. Deterministic in
+// `rng`'s state.
+SampledSubgraph sample_subgraph(const graph::HeteroGraph& g, graph::NodeType seed_type,
+                                const std::vector<std::int32_t>& seeds,
+                                const SamplerConfig& config, util::Rng& rng);
+
+}  // namespace paragraph::gnn

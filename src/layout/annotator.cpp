@@ -1,0 +1,82 @@
+#include "layout/annotator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "layout/diffusion.h"
+#include "layout/wire_model.h"
+#include "util/rng.h"
+
+namespace paragraph::layout {
+
+using circuit::Device;
+using circuit::DeviceId;
+using circuit::NetId;
+using circuit::Netlist;
+
+AnnotateResult annotate_layout(Netlist& nl, std::uint64_t seed, const TechRules& tech) {
+  util::Rng rng(seed ^ 0xa5a5a5a55a5a5a5aULL);
+  // Separate stream for the resistance extension so adding it does not
+  // perturb the capacitance/geometry noise of existing experiments.
+  util::Rng res_rng(seed ^ 0x5ee0f00ddeadbeefULL);
+  AnnotateResult result;
+
+  // 1) Diffusion chains (MTS) -> SA/DA/SP/DP and chain-local LDEs.
+  const auto chains = build_diffusion_chains(nl);
+  result.num_chains = chains.size();
+  for (const auto& c : chains)
+    for (const auto& s : c.slots)
+      result.num_shared_boundaries +=
+          static_cast<std::size_t>(s.shared_left) + static_cast<std::size_t>(s.shared_right);
+  apply_chain_geometry(nl, chains, tech, rng);
+
+  // 2) Placement -> positions and floorplan-dependent LDEs.
+  result.placement = place(nl, tech);
+  const Placement& pl = result.placement;
+  for (DeviceId id = 0; static_cast<std::size_t>(id) < nl.num_devices(); ++id) {
+    Device& d = nl.device(id);
+    if (!d.layout.has_value()) continue;
+    const Point& c = pl.device_center[static_cast<std::size_t>(id)];
+    // LDE3/LDE4: horizontal distance to the nearest well edge. The *true*
+    // value depends on the final floorplan, which is unknowable from the
+    // schematic; sigma_floorplan makes these intrinsically noisy (the paper
+    // reports MAPE > 100% on them).
+    d.layout->lde[2] = (c.x + tech.well_margin) * rng.lognormal(0.0, tech.sigma_floorplan);
+    d.layout->lde[3] =
+        (pl.chip_width - c.x + tech.well_margin) * rng.lognormal(0.0, tech.sigma_floorplan);
+    // LDE6: vertical distance to the diffusion-row edge.
+    d.layout->lde[5] = (tech.row_margin / 2.0 +
+                        pl.device_height[static_cast<std::size_t>(id)] / 2.0) *
+                       rng.lognormal(0.0, tech.sigma_floorplan);
+    // LDE7: OD-to-OD spacing to the neighbouring row.
+    d.layout->lde[6] = tech.row_margin * rng.lognormal(0.0, tech.sigma_floorplan);
+  }
+
+  // 3) Net parasitic capacitance = wire + pins.
+  const auto attachments = nl.net_attachments();
+  for (NetId nid = 0; static_cast<std::size_t>(nid) < nl.num_nets(); ++nid) {
+    circuit::Net& net = nl.net(nid);
+    if (net.is_supply) continue;
+    const auto& att = attachments[static_cast<std::size_t>(nid)];
+    std::vector<Point> pins;
+    pins.reserve(att.size());
+    double pin_cap = 0.0;
+    for (const auto& a : att) {
+      pins.push_back(pl.device_center[static_cast<std::size_t>(a.device)]);
+      pin_cap += pin_capacitance(nl.device(a.device), a.terminal_index, tech);
+    }
+    double wl = estimate_wirelength(pins, tech);
+    const int extra_sinks = static_cast<int>(att.size()) - tech.global_fanout_onset;
+    if (extra_sinks > 0) wl *= 1.0 + tech.global_detour * extra_sinks;
+    const double wire_cap = wl * tech.cap_per_meter * rng.lognormal(0.0, tech.sigma_cap);
+    // Even an unloaded net keeps a floor from its via stack / label shapes.
+    net.ground_truth_cap = std::max(wire_cap + pin_cap, 0.01e-15);
+    // Lumped resistance (future-work extension): trunk wire resistance plus
+    // the average via stack, with the same routing uncertainty.
+    const double wire_res = wl * tech.res_per_meter * res_rng.lognormal(0.0, tech.sigma_cap);
+    net.ground_truth_res = std::max(wire_res + tech.via_resistance, 0.1);
+  }
+  return result;
+}
+
+}  // namespace paragraph::layout

@@ -1,0 +1,27 @@
+// Ground-truth annotation: the "post-layout extraction" of this
+// reproduction.
+//
+// annotate_layout runs the full procedural flow — diffusion chaining,
+// geometry, placement, wire estimation — and writes the results into the
+// netlist: TransistorLayout (SA/DA/SP/DP, LDE1..8) on every transistor and
+// ground_truth_cap on every non-supply net. Deterministic in `seed`.
+#pragma once
+
+#include <cstdint>
+
+#include "circuit/netlist.h"
+#include "layout/placer.h"
+#include "layout/tech.h"
+
+namespace paragraph::layout {
+
+struct AnnotateResult {
+  Placement placement;
+  std::size_t num_chains = 0;
+  std::size_t num_shared_boundaries = 0;  // diffusion boundaries fused by MTS
+};
+
+AnnotateResult annotate_layout(circuit::Netlist& nl, std::uint64_t seed,
+                               const TechRules& tech = default_tech());
+
+}  // namespace paragraph::layout

@@ -1,0 +1,225 @@
+#include "layout/diffusion.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <tuple>
+
+namespace paragraph::layout {
+
+using circuit::Device;
+using circuit::DeviceId;
+using circuit::DeviceKind;
+using circuit::NetId;
+using circuit::Netlist;
+using circuit::Terminal;
+
+namespace {
+
+// Rows longer than this are broken in practice (well taps are inserted
+// roughly every dozen gate pitches, and routing congestion forces breaks).
+constexpr int kMaxChainFingers = 16;
+
+struct BoundaryNets {
+  NetId left;
+  NetId right;
+};
+
+// With fingers alternating S-D-S-..., an even finger count exposes the
+// source on both boundaries; an odd count exposes source left, drain right.
+BoundaryNets boundary_nets(const Device& d) {
+  const NetId src = d.conns[2];  // MOS conns: D G S B
+  const NetId drn = d.conns[0];
+  if (d.params.num_fingers % 2 == 0) return {src, src};
+  return {src, drn};
+}
+
+struct OpenEndKey {
+  DeviceKind kind;
+  int num_fins;
+  NetId net;
+  auto operator<=>(const OpenEndKey&) const = default;
+};
+
+// An open (unshared) boundary of a chain that future devices may fuse to.
+// In ChainSlot terms, boundary "b0" is the slot's source-end boundary and
+// maps to shared_left in the geometry walk; the opposite boundary maps to
+// shared_right.
+struct OpenEnd {
+  std::size_t chain;
+  bool chain_left;  // true: prepend new devices; false: append
+  bool slot_b0;     // which boundary of the end slot is the open one
+};
+
+}  // namespace
+
+std::vector<DiffusionChain> build_diffusion_chains(const Netlist& nl) {
+  std::vector<DiffusionChain> chains;
+  std::multimap<OpenEndKey, OpenEnd> open_ends;
+
+  for (DeviceId id = 0; static_cast<std::size_t>(id) < nl.num_devices(); ++id) {
+    const Device& d = nl.device(id);
+    if (!circuit::is_transistor(d.kind)) continue;
+    const BoundaryNets bn = boundary_nets(d);
+    const int nf = d.params.num_fingers;
+
+    ChainSlot slot;
+    slot.device = id;
+
+    // Try to fuse one of the device's boundaries to an open chain end.
+    // Sharing happens freely on signal nets (series stacks); on supply
+    // rails it happens only between devices of the same cell (adjacent in
+    // the netlist): cells abut with separate diffusions, so rail-connected
+    // boundaries never fuse across cell boundaries. Signal-net sharing is
+    // what the graph can see (supply nets are dropped from it), which is
+    // exactly the structure the paper's model is meant to learn.
+    bool attached = false;
+    for (const bool use_b0 : {true, false}) {
+      const NetId want = use_b0 ? bn.left : bn.right;
+      const bool supply_share = nl.net(want).is_supply;
+      auto [lo, hi] = open_ends.equal_range(OpenEndKey{d.kind, d.params.num_fins, want});
+      for (auto it = lo; it != hi; ++it) {
+        const OpenEnd end = it->second;
+        DiffusionChain& c = chains[end.chain];
+        if (c.total_fingers + nf > kMaxChainFingers) continue;
+        if (supply_share) {
+          const ChainSlot& neighbour_slot = end.chain_left ? c.slots.front() : c.slots.back();
+          if (std::abs(neighbour_slot.device - id) > 2) continue;  // different cell
+        }
+
+        // Mark the neighbour slot's fused boundary as shared.
+        ChainSlot& neighbour = end.chain_left ? c.slots.front() : c.slots.back();
+        (end.slot_b0 ? neighbour.shared_left : neighbour.shared_right) = true;
+        // Mark the device's fused boundary; the other one stays open.
+        (use_b0 ? slot.shared_left : slot.shared_right) = true;
+
+        if (end.chain_left) {
+          c.slots.insert(c.slots.begin(), slot);
+        } else {
+          c.slots.push_back(slot);
+        }
+        c.total_fingers += nf;
+        open_ends.erase(it);
+        const NetId open_net = use_b0 ? bn.right : bn.left;
+        open_ends.emplace(OpenEndKey{d.kind, d.params.num_fins, open_net},
+                          OpenEnd{end.chain, end.chain_left, /*slot_b0=*/!use_b0});
+        attached = true;
+        break;
+      }
+      if (attached) break;
+    }
+
+    if (!attached) {
+      DiffusionChain c;
+      c.kind = d.kind;
+      c.num_fins = d.params.num_fins;
+      c.total_fingers = nf;
+      c.slots.push_back(slot);
+      chains.push_back(std::move(c));
+      const std::size_t chain_idx = chains.size() - 1;
+      open_ends.emplace(OpenEndKey{d.kind, d.params.num_fins, bn.left},
+                        OpenEnd{chain_idx, /*chain_left=*/true, /*slot_b0=*/true});
+      open_ends.emplace(OpenEndKey{d.kind, d.params.num_fins, bn.right},
+                        OpenEnd{chain_idx, /*chain_left=*/false, /*slot_b0=*/false});
+    }
+  }
+
+  // Final pass: assign finger offsets from left.
+  for (auto& c : chains) {
+    int off = 0;
+    for (auto& s : c.slots) {
+      s.finger_offset = off;
+      off += nl.device(s.device).params.num_fingers;
+    }
+  }
+  return chains;
+}
+
+void apply_chain_geometry(Netlist& nl, const std::vector<DiffusionChain>& chains,
+                          const TechRules& tech, util::Rng& rng) {
+  for (const DiffusionChain& chain : chains) {
+    for (const ChainSlot& slot : chain.slots) {
+      Device& d = nl.device(slot.device);
+      const int nf = d.params.num_fingers;
+      const int multi = d.params.multiplier;
+      const double w = d.params.num_fins * tech.fin_pitch;  // diffusion width
+      const double e_int = tech.diff_ext_shared;
+      const double e_end = tech.diff_ext_end;
+
+      circuit::TransistorLayout lay;
+
+      // Walk the NF+1 diffusion boundaries; even index -> source.
+      double sa = 0, da = 0, sp = 0, dp = 0;
+      for (int b = 0; b <= nf; ++b) {
+        const bool is_source = (b % 2 == 0);
+        double area, perim;
+        if (b == 0) {  // left boundary
+          if (slot.shared_left) {
+            area = 0.5 * w * e_int;
+            perim = e_int;
+          } else {
+            area = w * e_end;
+            perim = w + 2 * e_end;
+          }
+        } else if (b == nf) {  // right boundary
+          if (slot.shared_right) {
+            area = 0.5 * w * e_int;
+            perim = e_int;
+          } else {
+            area = w * e_end;
+            perim = w + 2 * e_end;
+          }
+        } else {  // interior, shared between the device's own fingers
+          area = w * e_int;
+          perim = 2 * e_int;
+        }
+        if (is_source) {
+          sa += area;
+          sp += perim;
+        } else {
+          da += area;
+          dp += perim;
+        }
+      }
+      const double gnoise = rng.lognormal(0.0, tech.sigma_geometry);
+      lay.source_area = sa * multi * gnoise;
+      lay.drain_area = da * multi * rng.lognormal(0.0, tech.sigma_geometry);
+      lay.source_perimeter = sp * multi * rng.lognormal(0.0, tech.sigma_geometry);
+      lay.drain_perimeter = dp * multi * rng.lognormal(0.0, tech.sigma_geometry);
+
+      // LOD-type parameters (averaged over fingers, paper Section II-A).
+      const double cpp = tech.contacted_poly_pitch;
+      double lod_l = 0, lod_r = 0, dummy_dist = 0;
+      for (int j = 0; j < nf; ++j) {
+        const int gidx = slot.finger_offset + j;
+        const double dl = (gidx + 0.5) * cpp + e_end;
+        const double dr = (chain.total_fingers - gidx - 0.5) * cpp + e_end;
+        lod_l += dl;
+        lod_r += dr;
+        dummy_dist += std::min(dl, dr);
+      }
+      lod_l /= nf;
+      lod_r /= nf;
+      dummy_dist /= nf;
+
+      // LDE1/2: length-of-diffusion left/right.
+      lay.lde[0] = lod_l * rng.lognormal(0.0, tech.sigma_lod);
+      lay.lde[1] = lod_r * rng.lognormal(0.0, tech.sigma_lod);
+      // LDE5: average neighbouring-gate spacing. Long-channel devices use a
+      // stretched poly pitch, so the spacing is strongly length-dependent
+      // (and thereby learnable), with dummy-gate relief at open ends.
+      const double pitch = std::max(cpp, 1.6 * d.params.length + 30e-9);
+      const double end_fraction =
+          (slot.shared_left ? 0.0 : 0.5) + (slot.shared_right ? 0.0 : 0.5);
+      lay.lde[4] = pitch * (1.0 + end_fraction / std::max(1, nf)) *
+                   rng.lognormal(0.0, tech.sigma_lod);
+      // LDE8: distance to the nearest dummy poly / diffusion break.
+      lay.lde[7] = dummy_dist * rng.lognormal(0.0, tech.sigma_lod);
+      // LDE3/4/6/7 are floorplan-dependent; the annotator fills them.
+
+      d.layout = lay;
+    }
+  }
+}
+
+}  // namespace paragraph::layout

@@ -1,0 +1,57 @@
+// Diffusion-row construction (MTS identification) and per-transistor
+// geometry.
+//
+// The previous-generation flow the paper cites ([2]) required designers to
+// hand-identify "maximal transistor series" (MTS) groups — runs of
+// transistors sharing source/drain diffusion. Here the grouping is done
+// algorithmically, the way a layout engineer would place the devices:
+// transistors of the same kind and fin count whose source/drain nets match
+// are chained into shared-diffusion rows, and the chain determines each
+// device's diffusion areas/perimeters and LOD-type LDE parameters.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/netlist.h"
+#include "layout/tech.h"
+#include "util/rng.h"
+
+namespace paragraph::layout {
+
+// One transistor's position within a diffusion chain.
+struct ChainSlot {
+  circuit::DeviceId device = -1;
+  // True if the left/right boundary diffusion is shared with a neighbouring
+  // device in the chain.
+  bool shared_left = false;
+  bool shared_right = false;
+  // Index of the slot's first finger, counted in gate pitches from the
+  // chain's left diffusion edge (used for LOD).
+  int finger_offset = 0;
+};
+
+// A maximal run of transistors sharing one diffusion strip.
+struct DiffusionChain {
+  std::vector<ChainSlot> slots;
+  int total_fingers = 0;
+  circuit::DeviceKind kind = circuit::DeviceKind::kNmos;
+  int num_fins = 1;
+};
+
+// Builds diffusion chains for all transistors in the netlist. Devices are
+// chained greedily in netlist order: a device joins an existing chain when
+// the chain's open boundary net equals one of the device's source/drain
+// nets, the device kind and fin count match, and the shared net is not a
+// supply rail being used as a mere tie-off for more than `max_share_fanout`
+// devices. Every transistor appears in exactly one chain.
+std::vector<DiffusionChain> build_diffusion_chains(const circuit::Netlist& nl);
+
+// Fills dev.layout (SA/DA/SP/DP and the chain-derived LDE parameters 1,2,5,8)
+// for every transistor, from its chain position. The floorplan-dependent
+// LDE parameters (3,4,6,7) are filled later by the annotator once the
+// placer has assigned positions. `rng` adds the layout-uncertainty noise.
+void apply_chain_geometry(circuit::Netlist& nl, const std::vector<DiffusionChain>& chains,
+                          const TechRules& tech, util::Rng& rng);
+
+}  // namespace paragraph::layout

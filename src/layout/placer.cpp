@@ -1,0 +1,83 @@
+#include "layout/placer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace paragraph::layout {
+
+using circuit::Device;
+using circuit::DeviceKind;
+
+double device_footprint_width(const Device& d, const TechRules& tech) {
+  switch (d.kind) {
+    case DeviceKind::kNmos:
+    case DeviceKind::kPmos:
+    case DeviceKind::kNmosThick:
+    case DeviceKind::kPmosThick: {
+      // Thick-gate devices use a larger effective pitch (longer channel).
+      const double pitch = std::max(tech.contacted_poly_pitch, d.params.length * 1.6);
+      return (d.params.num_fingers * pitch + 2.0 * tech.diff_ext_end) * d.params.multiplier;
+    }
+    case DeviceKind::kResistor: {
+      // Serpentine poly resistor; length folded into a squarish footprint.
+      const double area = std::max(d.params.length, 0.5e-6) * 0.4e-6;
+      return std::sqrt(area);
+    }
+    case DeviceKind::kCapacitor: {
+      // MOM capacitor at ~2 fF/um^2.
+      const double area = std::max(d.params.value / 2e-3, 0.04e-12);
+      return std::sqrt(area);
+    }
+    case DeviceKind::kDiode: return std::sqrt(d.params.num_fingers * 0.5e-12);
+    case DeviceKind::kBjt: return std::sqrt(d.params.multiplier * 4.0e-12);
+  }
+  return 1e-6;
+}
+
+double device_footprint_height(const Device& d, const TechRules& tech) {
+  if (circuit::is_transistor(d.kind))
+    return d.params.num_fins * tech.fin_pitch + tech.row_margin;
+  return device_footprint_width(d, tech);  // non-MOS devices are squarish
+}
+
+Placement place(const circuit::Netlist& nl, const TechRules& tech) {
+  Placement p;
+  const std::size_t n = nl.num_devices();
+  p.device_center.resize(n);
+  p.device_width.resize(n);
+  p.device_height.resize(n);
+
+  double total_area = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Device& d = nl.device(static_cast<circuit::DeviceId>(i));
+    p.device_width[i] = device_footprint_width(d, tech);
+    p.device_height[i] = device_footprint_height(d, tech);
+    total_area += p.device_width[i] * p.device_height[i];
+  }
+  // 75% utilisation, near-square die.
+  const double row_width = std::sqrt(total_area / 0.75);
+
+  double x = 0.0;
+  double y = 0.0;
+  double row_height = 0.0;
+  double max_x = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double w = p.device_width[i];
+    const double h = p.device_height[i];
+    if (x > 0.0 && x + w > row_width) {
+      // Start the next row.
+      y += row_height + tech.row_margin;
+      x = 0.0;
+      row_height = 0.0;
+    }
+    p.device_center[i] = Point{x + w / 2.0, y + h / 2.0};
+    x += w;
+    row_height = std::max(row_height, h);
+    max_x = std::max(max_x, x);
+  }
+  p.chip_width = std::max(max_x, 1e-7);
+  p.chip_height = std::max(y + row_height, 1e-7);
+  return p;
+}
+
+}  // namespace paragraph::layout

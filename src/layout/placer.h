@@ -1,0 +1,36 @@
+// Row-based procedural placer.
+//
+// Devices are placed in netlist order (which the generator emits
+// block-by-block, so blocks land physically together, as a human layout
+// would) into rows of a near-square floorplan. Positions feed the wire
+// model (net HPWL) and the floorplan-dependent LDE parameters.
+#pragma once
+
+#include <vector>
+
+#include "circuit/netlist.h"
+#include "layout/tech.h"
+
+namespace paragraph::layout {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+struct Placement {
+  std::vector<Point> device_center;  // indexed by DeviceId
+  std::vector<double> device_width;
+  std::vector<double> device_height;
+  double chip_width = 0.0;
+  double chip_height = 0.0;
+  double chip_area() const { return chip_width * chip_height; }
+};
+
+// Footprint of one device under the tech rules [m].
+double device_footprint_width(const circuit::Device& d, const TechRules& tech);
+double device_footprint_height(const circuit::Device& d, const TechRules& tech);
+
+Placement place(const circuit::Netlist& nl, const TechRules& tech);
+
+}  // namespace paragraph::layout

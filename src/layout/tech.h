@@ -1,0 +1,54 @@
+// Technology rules for the procedural layout model.
+//
+// Constants approximate a sub-10nm FinFET node (contacted poly pitch,
+// fin pitch, diffusion extensions) plus a simple multi-layer wire-cap
+// model. They only need to be *consistent*: the learning task is to
+// recover the mapping they induce from schematic structure to parasitics.
+#pragma once
+
+namespace paragraph::layout {
+
+struct TechRules {
+  // FinFET geometry [m].
+  double contacted_poly_pitch = 54e-9;  // gate-to-gate pitch (CPP)
+  double fin_pitch = 27e-9;             // fin-to-fin pitch
+  double fin_width = 7e-9;
+  double diff_ext_shared = 27e-9;  // gate-to-diffusion-boundary, shared S/D
+  double diff_ext_end = 80e-9;     // diffusion extension at an unshared end
+  double row_margin = 60e-9;       // spacing between diffusion rows
+  double well_margin = 150e-9;     // block edge to well edge
+
+  // Wire / capacitance model.
+  double cap_per_meter = 0.22e-9;       // ~0.22 fF/um routed wire
+  double res_per_meter = 2.0e6;         // ~2 ohm/um routed wire
+  double via_resistance = 4.0;          // per-sink via stack [ohm]
+  double pin_stub_len = 1.2e-6;         // per-sink local routing stub [m]
+  double gate_cap_per_fin = 0.045e-15;  // gate pin cap per fin per finger [F]
+  double junction_cap_per_m2 = 9e-3;    // S/D junction cap per area [F/m^2]
+  double rc_pin_cap = 0.35e-15;         // resistor/capacitor terminal pin cap
+  double dio_pin_cap_per_finger = 0.50e-15;
+  double bjt_pin_cap = 1.2e-15;
+  // Steiner-tree scaling for multi-sink nets: L ~ k * sqrt(n * A).
+  double steiner_k = 0.65;
+  // Global nets (clock/bias trees) detour through top-level routing; wire
+  // length grows by this factor per sink beyond `global_fanout_onset`.
+  double global_detour = 0.012;
+  int global_fanout_onset = 8;
+
+  // Noise magnitudes (lognormal sigma) representing layout uncertainty.
+  double sigma_geometry = 0.08;   // SA/DA/SP/DP: well predictable
+  double sigma_lod = 0.18;        // LOD-style LDE: moderately predictable
+  double sigma_floorplan = 0.90;  // well/floorplan LDE: largely unpredictable
+  double sigma_cap = 0.28;        // net capacitance routing noise
+
+  // Device resistances for the metric simulator [ohm per fin-finger-multi].
+  double ron_per_strength = 9.0e3;
+  double thick_ron_factor = 2.5;
+};
+
+inline const TechRules& default_tech() {
+  static const TechRules rules;
+  return rules;
+}
+
+}  // namespace paragraph::layout

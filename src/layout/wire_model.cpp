@@ -1,0 +1,71 @@
+#include "layout/wire_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace paragraph::layout {
+
+using circuit::Device;
+using circuit::DeviceKind;
+using circuit::Terminal;
+
+double estimate_wirelength(const std::vector<Point>& pins, const TechRules& tech) {
+  if (pins.size() < 2) return pins.empty() ? 0.0 : tech.pin_stub_len;
+  double min_x = pins[0].x, max_x = pins[0].x;
+  double min_y = pins[0].y, max_y = pins[0].y;
+  for (const Point& p : pins) {
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+  const double hpwl = (max_x - min_x) + (max_y - min_y);
+  const double bbox_area = std::max((max_x - min_x) * (max_y - min_y), 1e-18);
+  const double n = static_cast<double>(pins.size());
+  // Multi-sink Steiner estimate; dominates HPWL once sinks fill the bbox.
+  const double steiner = tech.steiner_k * std::sqrt(n * bbox_area);
+  return std::max(hpwl, steiner) + tech.pin_stub_len * n;
+}
+
+double pin_capacitance(const Device& d, std::size_t terminal_index, const TechRules& tech) {
+  const Terminal t = circuit::terminals_for(d.kind).at(terminal_index);
+  switch (d.kind) {
+    case DeviceKind::kNmos:
+    case DeviceKind::kPmos:
+    case DeviceKind::kNmosThick:
+    case DeviceKind::kPmosThick: {
+      const auto& p = d.params;
+      switch (t) {
+        case Terminal::kGate: {
+          // Gate cap scales with fin count, fingers, multiplier, and
+          // (weakly) channel length relative to the minimum.
+          const double len_factor = std::pow(std::max(p.length, 16e-9) / 16e-9, 0.8);
+          return tech.gate_cap_per_fin * p.num_fins * p.num_fingers * p.multiplier * len_factor;
+        }
+        case Terminal::kSource:
+        case Terminal::kDrain: {
+          if (!d.layout.has_value())
+            throw std::logic_error("pin_capacitance: transistor lacks layout annotation");
+          const double area = (t == Terminal::kSource) ? d.layout->source_area
+                                                       : d.layout->drain_area;
+          const double perim = (t == Terminal::kSource) ? d.layout->source_perimeter
+                                                        : d.layout->drain_perimeter;
+          return tech.junction_cap_per_m2 * area + 0.04e-9 * perim;
+        }
+        case Terminal::kBulk: return 0.0;
+        default: throw std::logic_error("pin_capacitance: bad MOS terminal");
+      }
+    }
+    case DeviceKind::kResistor:
+      return tech.rc_pin_cap * (0.5 + d.params.length / 4e-6);
+    case DeviceKind::kCapacitor:
+      // Top/bottom-plate parasitic (a fraction of the intended value).
+      return tech.rc_pin_cap + 0.02 * d.params.value;
+    case DeviceKind::kDiode: return tech.dio_pin_cap_per_finger * d.params.num_fingers;
+    case DeviceKind::kBjt: return tech.bjt_pin_cap * d.params.multiplier;
+  }
+  return 0.0;
+}
+
+}  // namespace paragraph::layout

@@ -1,0 +1,24 @@
+// Net routing-length estimation and pin capacitance models.
+#pragma once
+
+#include <vector>
+
+#include "circuit/netlist.h"
+#include "layout/placer.h"
+#include "layout/tech.h"
+
+namespace paragraph::layout {
+
+// Estimated routed wirelength for pins at the given positions:
+// HPWL for few-pin nets, RISA-style Steiner scaling sqrt(n * bbox area)
+// for many-pin nets, plus a per-sink local stub.
+double estimate_wirelength(const std::vector<Point>& pins, const TechRules& tech);
+
+// Capacitance contributed by one device terminal to the attached net.
+// For transistor source/drain terminals this uses the device's ground-truth
+// diffusion areas (so junction and wire components stay physically
+// consistent); call after apply_chain_geometry.
+double pin_capacitance(const circuit::Device& d, std::size_t terminal_index,
+                       const TechRules& tech);
+
+}  // namespace paragraph::layout

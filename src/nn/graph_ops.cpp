@@ -1,0 +1,137 @@
+#include "nn/graph_ops.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace paragraph::nn {
+
+namespace {
+
+void check_index_bounds(const std::vector<std::int32_t>& idx, std::size_t n, const char* op) {
+  for (const auto i : idx) {
+    if (i < 0 || static_cast<std::size_t>(i) >= n)
+      throw std::out_of_range(std::string(op) + ": index out of range");
+  }
+}
+
+}  // namespace
+
+Tensor gather_rows(const Tensor& a, const std::vector<std::int32_t>& idx) {
+  check_index_bounds(idx, a.rows(), "gather_rows");
+  const std::size_t f = a.cols();
+  Matrix out(idx.size(), f);
+  for (std::size_t e = 0; e < idx.size(); ++e) {
+    const float* src = a.value().row(static_cast<std::size_t>(idx[e]));
+    float* dst = out.row(e);
+    for (std::size_t j = 0; j < f; ++j) dst[j] = src[j];
+  }
+  return Tensor::from_op(std::move(out), {a}, [a, idx, f](const Matrix& g) {
+    Matrix ga(a.rows(), f, 0.0f);
+    for (std::size_t e = 0; e < idx.size(); ++e) {
+      float* dst = ga.row(static_cast<std::size_t>(idx[e]));
+      const float* src = g.row(e);
+      for (std::size_t j = 0; j < f; ++j) dst[j] += src[j];
+    }
+    a.accumulate_grad(ga);
+  });
+}
+
+Tensor scatter_add_rows(const Tensor& a, const std::vector<std::int32_t>& idx,
+                        std::size_t num_out_rows) {
+  if (idx.size() != a.rows())
+    throw std::invalid_argument("scatter_add_rows: index count must equal input rows");
+  check_index_bounds(idx, num_out_rows, "scatter_add_rows");
+  const std::size_t f = a.cols();
+  Matrix out(num_out_rows, f, 0.0f);
+  for (std::size_t e = 0; e < idx.size(); ++e) {
+    float* dst = out.row(static_cast<std::size_t>(idx[e]));
+    const float* src = a.value().row(e);
+    for (std::size_t j = 0; j < f; ++j) dst[j] += src[j];
+  }
+  return Tensor::from_op(std::move(out), {a}, [a, idx, f](const Matrix& g) {
+    Matrix ga(idx.size(), f);
+    for (std::size_t e = 0; e < idx.size(); ++e) {
+      const float* src = g.row(static_cast<std::size_t>(idx[e]));
+      float* dst = ga.row(e);
+      for (std::size_t j = 0; j < f; ++j) dst[j] = src[j];
+    }
+    a.accumulate_grad(ga);
+  });
+}
+
+Tensor segment_softmax(const Tensor& logits, const SegmentIndex& seg) {
+  if (logits.cols() != 1)
+    throw std::invalid_argument("segment_softmax: logits must be a column vector");
+  if (seg.num_elements() != logits.rows())
+    throw std::invalid_argument("segment_softmax: segment index does not cover logits");
+  const std::size_t e_total = logits.rows();
+  Matrix out(e_total, 1);
+  for (std::size_t s = 0; s < seg.num_segments(); ++s) {
+    const auto begin = static_cast<std::size_t>(seg.offsets[s]);
+    const auto end = static_cast<std::size_t>(seg.offsets[s + 1]);
+    if (begin == end) continue;
+    float mx = logits.value()(begin, 0);
+    for (std::size_t e = begin; e < end; ++e) mx = std::max(mx, logits.value()(e, 0));
+    float denom = 0.0f;
+    for (std::size_t e = begin; e < end; ++e) {
+      const float v = std::exp(logits.value()(e, 0) - mx);
+      out(e, 0) = v;
+      denom += v;
+    }
+    for (std::size_t e = begin; e < end; ++e) out(e, 0) /= denom;
+  }
+  Matrix alpha = out;  // backward needs the outputs
+  return Tensor::from_op(std::move(out), {logits},
+                         [logits, seg, alpha = std::move(alpha)](const Matrix& g) {
+    // d logit_e = alpha_e * (g_e - sum_k alpha_k g_k) within each segment.
+    Matrix gl(alpha.rows(), 1);
+    for (std::size_t s = 0; s < seg.num_segments(); ++s) {
+      const auto begin = static_cast<std::size_t>(seg.offsets[s]);
+      const auto end = static_cast<std::size_t>(seg.offsets[s + 1]);
+      float dot = 0.0f;
+      for (std::size_t e = begin; e < end; ++e) dot += alpha(e, 0) * g(e, 0);
+      for (std::size_t e = begin; e < end; ++e)
+        gl(e, 0) = alpha(e, 0) * (g(e, 0) - dot);
+    }
+    logits.accumulate_grad(gl);
+  });
+}
+
+Tensor scale_rows_by(const Tensor& a, const Tensor& w) {
+  if (w.cols() != 1 || w.rows() != a.rows())
+    throw std::invalid_argument("scale_rows_by: weights must be (rows x 1)");
+  const std::size_t f = a.cols();
+  Matrix out = a.value();
+  for (std::size_t i = 0; i < out.rows(); ++i) {
+    const float c = w.value()(i, 0);
+    float* r = out.row(i);
+    for (std::size_t j = 0; j < f; ++j) r[j] *= c;
+  }
+  return Tensor::from_op(std::move(out), {a, w}, [a, w, f](const Matrix& g) {
+    Matrix ga(g.rows(), f);
+    Matrix gw(g.rows(), 1);
+    for (std::size_t i = 0; i < g.rows(); ++i) {
+      const float c = w.value()(i, 0);
+      const float* gr = g.row(i);
+      const float* ar = a.value().row(i);
+      float* gar = ga.row(i);
+      float acc = 0.0f;
+      for (std::size_t j = 0; j < f; ++j) {
+        gar[j] = gr[j] * c;
+        acc += gr[j] * ar[j];
+      }
+      gw(i, 0) = acc;
+    }
+    a.accumulate_grad(ga);
+    w.accumulate_grad(gw);
+  });
+}
+
+std::vector<float> index_counts(const std::vector<std::int32_t>& idx, std::size_t n) {
+  std::vector<float> counts(n, 0.0f);
+  check_index_bounds(idx, n, "index_counts");
+  for (const auto i : idx) counts[static_cast<std::size_t>(i)] += 1.0f;
+  return counts;
+}
+
+}  // namespace paragraph::nn

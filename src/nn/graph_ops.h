@@ -1,0 +1,43 @@
+// Differentiable graph kernels: the message-passing primitives every GNN
+// in src/gnn is assembled from.
+//
+// Edge lists are index vectors into node-embedding matrices. For attention
+// normalisation, edges of a relation are kept sorted by destination and a
+// CSR-style SegmentIndex delimits each destination's incoming edges.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace paragraph::nn {
+
+// Contiguous segments over an edge array (edges sorted by destination):
+// segment s covers [offsets[s], offsets[s+1]).
+struct SegmentIndex {
+  std::vector<std::int32_t> offsets;  // size = num_segments + 1
+
+  std::size_t num_segments() const { return offsets.empty() ? 0 : offsets.size() - 1; }
+  std::size_t num_elements() const { return offsets.empty() ? 0 : static_cast<std::size_t>(offsets.back()); }
+};
+
+// out[e] = a[idx[e]]  (E x F from N x F).
+Tensor gather_rows(const Tensor& a, const std::vector<std::int32_t>& idx);
+
+// out[idx[e]] += a[e]  (N x F from E x F). Rows never indexed stay zero.
+Tensor scatter_add_rows(const Tensor& a, const std::vector<std::int32_t>& idx,
+                        std::size_t num_out_rows);
+
+// Per-segment softmax over a column vector of logits (E x 1).
+// Numerically stabilised by per-segment max subtraction.
+Tensor segment_softmax(const Tensor& logits, const SegmentIndex& seg);
+
+// Rows of `a` (E x F) scaled by the scalar weight w[e] (E x 1 tensor);
+// both sides receive gradients. This is the attention-weighting step.
+Tensor scale_rows_by(const Tensor& a, const Tensor& w);
+
+// Utility (non-differentiable): counts occurrences of each index value.
+std::vector<float> index_counts(const std::vector<std::int32_t>& idx, std::size_t n);
+
+}  // namespace paragraph::nn

@@ -1,0 +1,115 @@
+#include "nn/matrix.h"
+
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace paragraph::nn {
+
+std::string Matrix::shape_str() const {
+  return util::format("(%zu x %zu)", rows_, cols_);
+}
+
+Matrix gemm(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows())
+    throw std::invalid_argument("gemm: inner dims mismatch " + a.shape_str() + " * " +
+                                b.shape_str());
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t n = b.cols();
+  Matrix c(m, n, 0.0f);
+  // ikj order: the innermost loop is a contiguous axpy over B's row, which
+  // the compiler vectorises.
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* crow = c.row(i);
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.row(p);
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix gemm_nt(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.cols())
+    throw std::invalid_argument("gemm_nt: inner dims mismatch " + a.shape_str() + " * " +
+                                b.shape_str() + "^T");
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  const std::size_t k = b.rows();
+  Matrix c(m, k, 0.0f);
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* crow = c.row(i);
+    for (std::size_t p = 0; p < k; ++p) {
+      const float* brow = b.row(p);
+      float acc = 0.0f;
+      for (std::size_t j = 0; j < n; ++j) acc += arow[j] * brow[j];
+      crow[p] = acc;
+    }
+  }
+  return c;
+}
+
+Matrix gemm_tn(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows())
+    throw std::invalid_argument("gemm_tn: inner dims mismatch " + a.shape_str() + "^T * " +
+                                b.shape_str());
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t n = b.cols();
+  Matrix c(k, n, 0.0f);
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    const float* brow = b.row(i);
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      float* crow = c.row(p);
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+void add_inplace(Matrix& dst, const Matrix& src) {
+  if (!dst.same_shape(src))
+    throw std::invalid_argument("add_inplace: shape mismatch " + dst.shape_str() + " += " +
+                                src.shape_str());
+  float* d = dst.data();
+  const float* s = src.data();
+  for (std::size_t i = 0; i < dst.size(); ++i) d[i] += s[i];
+}
+
+void axpy_inplace(Matrix& dst, float alpha, const Matrix& src) {
+  if (!dst.same_shape(src)) throw std::invalid_argument("axpy_inplace: shape mismatch");
+  float* d = dst.data();
+  const float* s = src.data();
+  for (std::size_t i = 0; i < dst.size(); ++i) d[i] += alpha * s[i];
+}
+
+Matrix transpose(const Matrix& a) {
+  Matrix t(a.cols(), a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) t(j, i) = a(i, j);
+  return t;
+}
+
+float max_abs_diff(const Matrix& a, const Matrix& b) {
+  if (!a.same_shape(b)) throw std::invalid_argument("max_abs_diff: shape mismatch");
+  float m = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    m = std::max(m, std::abs(a.data()[i] - b.data()[i]));
+  return m;
+}
+
+float frobenius_norm(const Matrix& a) {
+  float s = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a.data()[i] * a.data()[i];
+  return std::sqrt(s);
+}
+
+}  // namespace paragraph::nn

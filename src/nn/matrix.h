@@ -1,0 +1,67 @@
+// Dense row-major float32 matrix plus the handful of BLAS-like kernels the
+// autograd engine is built on. Single-threaded; compiled with -O3
+// -march=native the inner loops auto-vectorise, which is sufficient for the
+// CPU-scale graphs this reproduction targets (see DESIGN.md §4).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace paragraph::nn {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+  Matrix(std::size_t rows, std::size_t cols, std::vector<float> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    if (data_.size() != rows_ * cols_)
+      throw std::invalid_argument("Matrix: data size does not match shape");
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& operator()(std::size_t i, std::size_t j) { return data_[i * cols_ + j]; }
+  float operator()(std::size_t i, std::size_t j) const { return data_[i * cols_ + j]; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float* row(std::size_t i) { return data_.data() + i * cols_; }
+  const float* row(std::size_t i) const { return data_.data() + i * cols_; }
+
+  void fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+  bool same_shape(const Matrix& o) const { return rows_ == o.rows_ && cols_ == o.cols_; }
+  std::string shape_str() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+// C = A(m×k) * B(k×n)
+Matrix gemm(const Matrix& a, const Matrix& b);
+// C = A(m×n) * B(k×n)^T  -> (m×k)
+Matrix gemm_nt(const Matrix& a, const Matrix& b);
+// C = A(m×k)^T * B(m×n)  -> (k×n)
+Matrix gemm_tn(const Matrix& a, const Matrix& b);
+
+// dst += src (same shape)
+void add_inplace(Matrix& dst, const Matrix& src);
+// dst += alpha * src
+void axpy_inplace(Matrix& dst, float alpha, const Matrix& src);
+
+Matrix transpose(const Matrix& a);
+
+// Frobenius-norm helpers used by tests and gradient checking.
+float max_abs_diff(const Matrix& a, const Matrix& b);
+float frobenius_norm(const Matrix& a);
+
+}  // namespace paragraph::nn

@@ -1,0 +1,32 @@
+#include "nn/module.h"
+
+#include <stdexcept>
+
+#include "nn/init.h"
+
+namespace paragraph::nn {
+
+Linear::Linear(std::size_t in_features, std::size_t out_features, util::Rng& rng)
+    : weight_(register_parameter(xavier_uniform(in_features, out_features, rng))),
+      bias_(register_parameter(zeros(1, out_features))) {}
+
+Tensor Linear::forward(const Tensor& x) const { return add_bias(matmul(x, weight_), bias_); }
+
+Mlp::Mlp(const std::vector<std::size_t>& dims, util::Rng& rng) {
+  if (dims.size() < 2) throw std::invalid_argument("Mlp: need at least input and output dims");
+  for (std::size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.push_back(std::make_unique<Linear>(dims[i], dims[i + 1], rng));
+    register_module(layers_.back().get());
+  }
+}
+
+Tensor Mlp::forward(const Tensor& x) const {
+  Tensor h = x;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i]->forward(h);
+    if (i + 1 < layers_.size()) h = relu(h);
+  }
+  return h;
+}
+
+}  // namespace paragraph::nn

@@ -1,0 +1,85 @@
+// Minimal module system: a Module owns trainable parameters (Tensors with
+// requires_grad) and can contain child modules; parameters() flattens the
+// tree for the optimiser.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/ops.h"
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace paragraph::nn {
+
+class Module {
+ public:
+  virtual ~Module() = default;
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  // All trainable parameters of this module and its children.
+  std::vector<Tensor> parameters() const {
+    std::vector<Tensor> out;
+    collect_parameters(out);
+    return out;
+  }
+
+  std::size_t num_parameters() const {
+    std::size_t n = 0;
+    for (const auto& p : parameters()) n += p.value().size();
+    return n;
+  }
+
+ protected:
+  Tensor register_parameter(Matrix init) {
+    Tensor t(std::move(init), /*requires_grad=*/true);
+    params_.push_back(t);
+    return t;
+  }
+
+  void register_module(Module* child) { children_.push_back(child); }
+
+  virtual void collect_parameters(std::vector<Tensor>& out) const {
+    out.insert(out.end(), params_.begin(), params_.end());
+    for (const Module* c : children_) c->collect_parameters(out);
+  }
+
+ private:
+  std::vector<Tensor> params_;
+  std::vector<Module*> children_;  // non-owning; children are members
+};
+
+// Fully-connected layer: y = x W + b.
+class Linear : public Module {
+ public:
+  Linear(std::size_t in_features, std::size_t out_features, util::Rng& rng);
+
+  Tensor forward(const Tensor& x) const;
+
+  const Tensor& weight() const { return weight_; }
+  const Tensor& bias() const { return bias_; }
+
+ private:
+  Tensor weight_;
+  Tensor bias_;
+};
+
+// Stack of Linear layers with ReLU between them (none after the last).
+// Matches the paper's FC regression heads: all hidden layers have the
+// embedding dimension F; the final layer has 1 output.
+class Mlp : public Module {
+ public:
+  // dims = {in, h1, ..., out}; at least {in, out}.
+  Mlp(const std::vector<std::size_t>& dims, util::Rng& rng);
+
+  Tensor forward(const Tensor& x) const;
+
+  std::size_t num_layers() const { return layers_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Linear>> layers_;
+};
+
+}  // namespace paragraph::nn

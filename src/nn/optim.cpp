@@ -1,0 +1,76 @@
+#include "nn/optim.h"
+
+#include <cmath>
+
+namespace paragraph::nn {
+
+Sgd::Sgd(std::vector<Tensor> params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  velocity_.reserve(params_.size());
+  for (const auto& p : params_) velocity_.emplace_back(p.value().rows(), p.value().cols(), 0.0f);
+}
+
+void Sgd::step() {
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    auto& p = params_[k];
+    const Matrix& g = p.grad();
+    Matrix& vel = velocity_[k];
+    float* w = p.mutable_value().data();
+    const float* gd = g.data();
+    float* vd = vel.data();
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      vd[i] = momentum_ * vd[i] - lr_ * gd[i];
+      w[i] += vd[i];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Tensor> params, float lr, float beta1, float beta2, float eps)
+    : Optimizer(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(p.value().rows(), p.value().cols(), 0.0f);
+    v_.emplace_back(p.value().rows(), p.value().cols(), 0.0f);
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    auto& p = params_[k];
+    const Matrix& g = p.grad();
+    float* w = p.mutable_value().data();
+    const float* gd = g.data();
+    float* md = m_[k].data();
+    float* vd = v_[k].data();
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      md[i] = beta1_ * md[i] + (1.0f - beta1_) * gd[i];
+      vd[i] = beta2_ * vd[i] + (1.0f - beta2_) * gd[i] * gd[i];
+      const float mhat = md[i] / bc1;
+      const float vhat = vd[i] / bc2;
+      w[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+float clip_grad_norm(const std::vector<Tensor>& params, float max_norm) {
+  double total = 0.0;
+  for (const auto& p : params) {
+    const Matrix& g = p.grad();
+    for (std::size_t i = 0; i < g.size(); ++i) total += static_cast<double>(g.data()[i]) * g.data()[i];
+  }
+  const float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm && norm > 0.0f) {
+    const float s = max_norm / norm;
+    for (auto p : params) {
+      Matrix& g = p.mutable_grad();
+      for (std::size_t i = 0; i < g.size(); ++i) g.data()[i] *= s;
+    }
+  }
+  return norm;
+}
+
+}  // namespace paragraph::nn

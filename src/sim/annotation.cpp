@@ -1,0 +1,157 @@
+#include "sim/annotation.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace paragraph::sim {
+
+using circuit::Device;
+using circuit::DeviceId;
+using circuit::NetId;
+using circuit::Netlist;
+using circuit::TransistorLayout;
+using layout::TechRules;
+
+TransistorLayout nominal_layout(const Device& d, const TechRules& tech) {
+  TransistorLayout lay;
+  const int nf = d.params.num_fingers;
+  const int multi = d.params.multiplier;
+  const double w = d.params.num_fins * tech.fin_pitch;
+  const double e_int = tech.diff_ext_shared;
+  const double e_end = tech.diff_ext_end;
+  double sa = 0, da = 0, sp = 0, dp = 0;
+  for (int b = 0; b <= nf; ++b) {
+    const bool is_source = (b % 2 == 0);
+    const bool end = (b == 0 || b == nf);
+    const double area = end ? w * e_end : w * e_int;
+    const double perim = end ? w + 2 * e_end : 2 * e_int;
+    (is_source ? sa : da) += area;
+    (is_source ? sp : dp) += perim;
+  }
+  lay.source_area = sa * multi;
+  lay.drain_area = da * multi;
+  lay.source_perimeter = sp * multi;
+  lay.drain_perimeter = dp * multi;
+  const double cpp = tech.contacted_poly_pitch;
+  double lod_l = 0, lod_r = 0, dummy = 0;
+  for (int j = 0; j < nf; ++j) {
+    const double dl = (j + 0.5) * cpp + e_end;
+    const double dr = (nf - j - 0.5) * cpp + e_end;
+    lod_l += dl;
+    lod_r += dr;
+    dummy += std::min(dl, dr);
+  }
+  lay.lde[0] = lod_l / nf;
+  lay.lde[1] = lod_r / nf;
+  lay.lde[2] = tech.well_margin;
+  lay.lde[3] = tech.well_margin;
+  // Mirrors apply_chain_geometry's length-stretched poly pitch.
+  lay.lde[4] = std::max(cpp, 1.6 * d.params.length + 30e-9) * (1.0 + 1.0 / std::max(1, nf));
+  lay.lde[5] = tech.row_margin / 2.0 + w / 2.0;
+  lay.lde[6] = tech.row_margin;
+  lay.lde[7] = dummy / nf;
+  return lay;
+}
+
+namespace {
+
+SimAnnotation nominal_base(const Netlist& nl, const TechRules& tech, std::string name) {
+  SimAnnotation ann;
+  ann.source = std::move(name);
+  ann.net_cap.assign(nl.num_nets(), 0.0);
+  ann.net_res.assign(nl.num_nets(), tech.via_resistance);
+  ann.device_layout.resize(nl.num_devices());
+  for (DeviceId id = 0; static_cast<std::size_t>(id) < nl.num_devices(); ++id) {
+    const Device& d = nl.device(id);
+    if (circuit::is_transistor(d.kind)) ann.device_layout[static_cast<std::size_t>(id)] =
+        nominal_layout(d, tech);
+  }
+  return ann;
+}
+
+}  // namespace
+
+SimAnnotation ground_truth_annotation(const Netlist& nl, const TechRules& tech) {
+  SimAnnotation ann = nominal_base(nl, tech, "post-layout");
+  for (NetId id = 0; static_cast<std::size_t>(id) < nl.num_nets(); ++id) {
+    const auto& cap = nl.net(id).ground_truth_cap;
+    if (cap.has_value()) ann.net_cap[static_cast<std::size_t>(id)] = *cap;
+    const auto& res = nl.net(id).ground_truth_res;
+    if (res.has_value()) ann.net_res[static_cast<std::size_t>(id)] = *res;
+  }
+  for (DeviceId id = 0; static_cast<std::size_t>(id) < nl.num_devices(); ++id) {
+    const auto& lay = nl.device(id).layout;
+    if (lay.has_value()) ann.device_layout[static_cast<std::size_t>(id)] = *lay;
+  }
+  return ann;
+}
+
+SimAnnotation no_parasitics_annotation(const Netlist& nl, const TechRules& tech) {
+  return nominal_base(nl, tech, "no-parasitics");
+}
+
+SimAnnotation designer_annotation(const Netlist& nl, const TechRules& tech,
+                                  std::uint64_t designer_seed) {
+  SimAnnotation ann = nominal_base(nl, tech, "designer-estimate");
+  util::Rng rng(designer_seed ^ 0xdecafbadULL);
+  // Each circuit is annotated by "one designer" with a systematic bias plus
+  // per-net judgment noise. The sigmas are large on purpose: the paper
+  // found designer estimates help some metrics but blow up others (mean
+  // simulation error > 100%).
+  const double designer_bias = rng.lognormal(0.0, 0.85);
+  const auto fanout = nl.net_fanout();
+  for (NetId id = 0; static_cast<std::size_t>(id) < nl.num_nets(); ++id) {
+    if (nl.net(id).is_supply) continue;
+    const double rule_of_thumb = 0.8e-15 * fanout[static_cast<std::size_t>(id)];
+    ann.net_cap[static_cast<std::size_t>(id)] =
+        rule_of_thumb * designer_bias * rng.lognormal(0.0, 0.6);
+    // Resistance rule of thumb: a few ohms of via plus per-sink trunk.
+    ann.net_res[static_cast<std::size_t>(id)] =
+        (tech.via_resistance + 3.0 * fanout[static_cast<std::size_t>(id)]) * designer_bias *
+        rng.lognormal(0.0, 0.6);
+  }
+  return ann;
+}
+
+SimAnnotation make_predicted_annotation(const Netlist& nl, const graph::HeteroGraph& g,
+                                        const TechRules& tech, const std::string& name,
+                                        const std::vector<float>& cap_ff,
+                                        const std::vector<float>& sa,
+                                        const std::vector<float>& da,
+                                        const std::vector<float>& lde1,
+                                        const std::vector<float>& lde2,
+                                        const std::vector<float>& res_ohm) {
+  SimAnnotation ann = nominal_base(nl, tech, name);
+  const auto& net_origins = g.origins(graph::NodeType::kNet);
+  if (cap_ff.size() != net_origins.size())
+    throw std::invalid_argument("make_predicted_annotation: cap vector misaligned");
+  if (!res_ohm.empty() && res_ohm.size() != net_origins.size())
+    throw std::invalid_argument("make_predicted_annotation: res vector misaligned");
+  for (std::size_t i = 0; i < net_origins.size(); ++i) {
+    // Clamp negative regression outputs to a tiny positive floor.
+    ann.net_cap[static_cast<std::size_t>(net_origins[i])] =
+        std::max(static_cast<double>(cap_ff[i]), 1e-3) * 1e-15;
+    if (!res_ohm.empty())
+      ann.net_res[static_cast<std::size_t>(net_origins[i])] =
+          std::max(static_cast<double>(res_ohm[i]), 0.1);
+  }
+  std::vector<std::int32_t> mos_origins = g.origins(graph::NodeType::kTransistor);
+  const auto& thick = g.origins(graph::NodeType::kTransistorThick);
+  mos_origins.insert(mos_origins.end(), thick.begin(), thick.end());
+  if (sa.size() != mos_origins.size() || da.size() != mos_origins.size() ||
+      lde1.size() != mos_origins.size() || lde2.size() != mos_origins.size())
+    throw std::invalid_argument("make_predicted_annotation: device vectors misaligned");
+  for (std::size_t i = 0; i < mos_origins.size(); ++i) {
+    TransistorLayout& lay = ann.device_layout[static_cast<std::size_t>(mos_origins[i])];
+    // Units: dataset areas are 1e3 nm^2 = 1e-15 m^2; LDE are nm.
+    lay.source_area = std::max(static_cast<double>(sa[i]), 1e-3) * 1e-15;
+    lay.drain_area = std::max(static_cast<double>(da[i]), 1e-3) * 1e-15;
+    lay.lde[0] = std::max(static_cast<double>(lde1[i]), 1.0) * 1e-9;
+    lay.lde[1] = std::max(static_cast<double>(lde2[i]), 1.0) * 1e-9;
+  }
+  return ann;
+}
+
+}  // namespace paragraph::sim

@@ -1,0 +1,66 @@
+// Parasitic/device-parameter annotation sources for the Table V study.
+//
+// A SimAnnotation carries the per-net lumped capacitance and per-transistor
+// layout parameters used when simulating a circuit. The study compares
+// metrics computed under four sources against the post-layout reference:
+//   1. ground truth (the reference itself),
+//   2. no parasitics (layout netlist without extraction),
+//   3. the designer's rule-of-thumb estimate,
+//   4. model predictions (XGBoost / ParaGraph), assembled by the caller
+//      from predict_all() outputs via make_predicted_annotation().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.h"
+#include "graph/hetero_graph.h"
+#include "layout/tech.h"
+
+namespace paragraph::sim {
+
+struct SimAnnotation {
+  std::string source;
+  std::vector<double> net_cap;                        // [NetId] in farads
+  std::vector<double> net_res;                        // [NetId] in ohms
+  std::vector<circuit::TransistorLayout> device_layout;  // [DeviceId]
+};
+
+// Isolated-device geometry with no layout context (what a schematic-only
+// netlist implies): unshared diffusion on both ends, nominal LDE values.
+circuit::TransistorLayout nominal_layout(const circuit::Device& d,
+                                         const layout::TechRules& tech);
+
+// Source 1: copies the ground truth stored in the netlist by annotate_layout.
+SimAnnotation ground_truth_annotation(const circuit::Netlist& nl,
+                                      const layout::TechRules& tech);
+
+// Source 2: zero net parasitics, nominal device geometry.
+SimAnnotation no_parasitics_annotation(const circuit::Netlist& nl,
+                                       const layout::TechRules& tech);
+
+// Source 3: experience-based estimate. Net caps follow a per-pin rule of
+// thumb scaled by a per-designer lognormal bias (sigma ~0.7, the paper's
+// "variability between designers"); device geometry stays nominal.
+SimAnnotation designer_annotation(const circuit::Netlist& nl, const layout::TechRules& tech,
+                                  std::uint64_t designer_seed);
+
+// Source 4 helper: builds an annotation from model predictions aligned with
+// the graph's node ordering. cap_ff: one value per net node (fF).
+// sa/da/lde1/lde2: one value per transistor node, both transistor type
+// slots concatenated (units as produced by the dataset module: 1e3 nm^2
+// for areas, nm for LDE). res_ohm (optional, may be empty): one value per
+// net node in ohms from the RES extension model; empty falls back to the
+// nominal via-stack resistance. Remaining parameters fall back to nominal.
+SimAnnotation make_predicted_annotation(const circuit::Netlist& nl,
+                                        const graph::HeteroGraph& g,
+                                        const layout::TechRules& tech, const std::string& name,
+                                        const std::vector<float>& cap_ff,
+                                        const std::vector<float>& sa,
+                                        const std::vector<float>& da,
+                                        const std::vector<float>& lde1,
+                                        const std::vector<float>& lde2,
+                                        const std::vector<float>& res_ohm = {});
+
+}  // namespace paragraph::sim

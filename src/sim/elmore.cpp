@@ -1,0 +1,48 @@
+#include "sim/elmore.h"
+
+#include <stdexcept>
+
+namespace paragraph::sim {
+
+RcTree::RcTree() { nodes_.push_back(Node{}); }
+
+int RcTree::add_node(int parent, double resistance, double cap) {
+  if (parent < 0 || static_cast<std::size_t>(parent) >= nodes_.size())
+    throw std::invalid_argument("RcTree::add_node: invalid parent");
+  if (resistance < 0.0 || cap < 0.0)
+    throw std::invalid_argument("RcTree::add_node: negative R or C");
+  nodes_.push_back(Node{parent, resistance, cap});
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+void RcTree::add_cap(int node, double cap) {
+  nodes_.at(static_cast<std::size_t>(node)).cap += cap;
+}
+
+double RcTree::total_cap() const {
+  double c = 0.0;
+  for (const Node& n : nodes_) c += n.cap;
+  return c;
+}
+
+std::vector<double> RcTree::downstream_caps() const {
+  // Children always follow parents (construction order), so one reverse
+  // sweep accumulates subtree capacitance.
+  std::vector<double> down(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) down[i] = nodes_[i].cap;
+  for (std::size_t i = nodes_.size(); i-- > 1;)
+    down[static_cast<std::size_t>(nodes_[i].parent)] += down[i];
+  return down;
+}
+
+double RcTree::elmore_delay(int node) const {
+  if (node < 0 || static_cast<std::size_t>(node) >= nodes_.size())
+    throw std::invalid_argument("RcTree::elmore_delay: invalid node");
+  const std::vector<double> down = downstream_caps();
+  double delay = 0.0;
+  for (int i = node; i > 0; i = nodes_[static_cast<std::size_t>(i)].parent)
+    delay += nodes_[static_cast<std::size_t>(i)].r * down[static_cast<std::size_t>(i)];
+  return delay;
+}
+
+}  // namespace paragraph::sim

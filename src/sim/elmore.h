@@ -1,0 +1,45 @@
+// RC-tree Elmore delay engine.
+//
+// Models a driven net as a resistance tree with grounded capacitances and
+// computes the classic Elmore delay at any node: the sum over tree
+// resistances of (resistance x total capacitance downstream of it) along
+// the root-to-node path. Used with the annotated net resistances (the
+// paper's future-work extension) to upgrade the stage-delay metric from a
+// lumped-C to a distributed-RC estimate.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace paragraph::sim {
+
+class RcTree {
+ public:
+  // Creates the root node (the driver output); returns its index (0).
+  RcTree();
+
+  // Adds a node hanging off `parent` through `resistance`, loaded with
+  // `cap` to ground. Parents must be created before children.
+  int add_node(int parent, double resistance, double cap);
+
+  void add_cap(int node, double cap);
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  double total_cap() const;
+
+  // Elmore delay from the root to `node`:
+  //   sum over edges e on the path of R(e) * C_downstream(e).
+  double elmore_delay(int node) const;
+
+ private:
+  struct Node {
+    int parent = -1;
+    double r = 0.0;
+    double cap = 0.0;
+  };
+  std::vector<Node> nodes_;
+
+  std::vector<double> downstream_caps() const;
+};
+
+}  // namespace paragraph::sim

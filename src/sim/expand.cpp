@@ -1,0 +1,120 @@
+#include "sim/expand.h"
+
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace paragraph::sim {
+
+using circuit::Device;
+using circuit::DeviceId;
+using circuit::DeviceKind;
+using circuit::NetId;
+using circuit::Netlist;
+
+circuit::Netlist expand_parasitics(const Netlist& nl, const SimAnnotation& ann,
+                                   const ExpandOptions& opts, ExpandStats* stats) {
+  if (ann.net_cap.size() != nl.num_nets() || ann.net_res.size() != nl.num_nets())
+    throw std::invalid_argument("expand_parasitics: annotation does not match netlist");
+
+  Netlist out(nl.name() + "_rc");
+  ExpandStats local;
+
+  // 1) Recreate every original net (trunk nodes keep their names).
+  for (NetId id = 0; static_cast<std::size_t>(id) < nl.num_nets(); ++id)
+    out.add_net(nl.net(id).name, nl.net(id).is_supply);
+
+  const auto attachments = nl.net_attachments();
+
+  // 2) Decide which nets get expanded and precompute per-terminal stubs.
+  // stub_net[net][k] = the sub-net for attachment k of `net`.
+  std::vector<std::vector<NetId>> stub_net(nl.num_nets());
+  for (NetId id = 0; static_cast<std::size_t>(id) < nl.num_nets(); ++id) {
+    const auto& att = attachments[static_cast<std::size_t>(id)];
+    const auto idx = static_cast<std::size_t>(id);
+    const bool expand = !nl.net(id).is_supply && ann.net_res[idx] >= opts.min_res_ohm &&
+                        att.size() >= 2;
+    if (!expand) continue;
+    ++local.nets_expanded;
+    const double stub_res =
+        ann.net_res[idx] * (1.0 - opts.trunk_fraction) / static_cast<double>(att.size());
+    const double node_cap =
+        ann.net_cap[idx] / static_cast<double>(att.size() + 1);  // trunk + stubs
+    const NetId trunk = out.net_id(nl.net(id).name);
+
+    // Trunk resistance: a series element from the trunk to a mid node that
+    // the stubs hang off (the "multi-path" topology in star form).
+    const NetId mid = out.add_net(nl.net(id).name + "__rc_mid");
+    Device trunk_res;
+    trunk_res.name = nl.net(id).name + "__rtrunk";
+    trunk_res.kind = DeviceKind::kResistor;
+    trunk_res.conns = {trunk, mid};
+    trunk_res.params.value = std::max(ann.net_res[idx] * opts.trunk_fraction, 1e-3);
+    out.add_device(std::move(trunk_res));
+    ++local.resistors_added;
+
+    Device trunk_cap;
+    trunk_cap.name = nl.net(id).name + "__ctrunk";
+    trunk_cap.kind = DeviceKind::kCapacitor;
+    trunk_cap.conns = {trunk, out.add_net("vss", true)};
+    trunk_cap.params.value = node_cap;
+    out.add_device(std::move(trunk_cap));
+    ++local.capacitors_added;
+
+    stub_net[idx].reserve(att.size());
+    for (std::size_t k = 0; k < att.size(); ++k) {
+      const NetId stub = out.add_net(util::format("%s__rc%zu", nl.net(id).name.c_str(), k));
+      Device r;
+      r.name = util::format("%s__r%zu", nl.net(id).name.c_str(), k);
+      r.kind = DeviceKind::kResistor;
+      r.conns = {mid, stub};
+      r.params.value = std::max(stub_res, 1e-3);
+      out.add_device(std::move(r));
+      ++local.resistors_added;
+      Device c;
+      c.name = util::format("%s__c%zu", nl.net(id).name.c_str(), k);
+      c.kind = DeviceKind::kCapacitor;
+      c.conns = {stub, out.add_net("vss", true)};
+      c.params.value = node_cap;
+      out.add_device(std::move(c));
+      ++local.capacitors_added;
+      stub_net[idx].push_back(stub);
+    }
+  }
+
+  // 3) Re-emit the devices, reconnecting terminals on expanded nets to
+  // their stubs. Unexpanded annotated nets get a single lumped cap.
+  std::vector<std::size_t> seen_attachment(nl.num_nets(), 0);
+  for (DeviceId id = 0; static_cast<std::size_t>(id) < nl.num_devices(); ++id) {
+    Device d = nl.device(id);
+    for (std::size_t t = 0; t < d.conns.size(); ++t) {
+      const NetId orig = d.conns[t];
+      const auto oi = static_cast<std::size_t>(orig);
+      if (!stub_net[oi].empty()) {
+        d.conns[t] = stub_net[oi][seen_attachment[oi]++];
+      } else {
+        d.conns[t] = out.net_id(nl.net(orig).name);
+      }
+    }
+    d.layout = nl.device(id).layout;
+    out.add_device(std::move(d));
+  }
+  for (NetId id = 0; static_cast<std::size_t>(id) < nl.num_nets(); ++id) {
+    const auto idx = static_cast<std::size_t>(id);
+    if (!stub_net[idx].empty() || nl.net(id).is_supply) continue;
+    if (ann.net_cap[idx] <= 0.0) continue;
+    Device c;
+    c.name = nl.net(id).name + "__clump";
+    c.kind = DeviceKind::kCapacitor;
+    c.conns = {out.net_id(nl.net(id).name), out.add_net("vss", true)};
+    c.params.value = ann.net_cap[idx];
+    out.add_device(std::move(c));
+    ++local.capacitors_added;
+  }
+
+  out.validate();
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace paragraph::sim

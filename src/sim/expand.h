@@ -1,0 +1,43 @@
+// Distributed-parasitic netlist expansion.
+//
+// The paper predicts *lumped* capacitance per net and notes (§II-A) that
+// including multi-path trace resistances "significantly complicates
+// circuit netlists by orders of magnitude". This module performs that
+// complication: given an annotated netlist, expand_parasitics() rewrites
+// every annotated signal net as a star RC network — a trunk node plus one
+// stub per attached terminal, stub resistances splitting the net's lumped
+// resistance and the lumped capacitance distributed across the new nodes
+// as explicit capacitor devices. The result is an ordinary Netlist a
+// simulation flow (or our own SPICE writer) can consume, and demonstrates
+// exactly why the paper defers resistance modelling: device counts grow by
+// roughly (fanout + 1) elements per net.
+#pragma once
+
+#include "circuit/netlist.h"
+#include "sim/annotation.h"
+
+namespace paragraph::sim {
+
+struct ExpandOptions {
+  // Nets with lumped resistance below this stay lumped (a single cap).
+  double min_res_ohm = 1.0;
+  // Fraction of the net resistance assigned to the shared trunk; the rest
+  // is split evenly across the per-terminal stubs.
+  double trunk_fraction = 0.5;
+};
+
+struct ExpandStats {
+  std::size_t nets_expanded = 0;
+  std::size_t resistors_added = 0;
+  std::size_t capacitors_added = 0;
+};
+
+// Returns a new netlist in which each annotated non-supply net is replaced
+// by its star RC network. Device terminals are reconnected to their stub
+// nodes; the original net name survives as the trunk node. `stats` (if
+// non-null) receives growth counters.
+circuit::Netlist expand_parasitics(const circuit::Netlist& nl, const SimAnnotation& ann,
+                                   const ExpandOptions& opts = {},
+                                   ExpandStats* stats = nullptr);
+
+}  // namespace paragraph::sim

@@ -1,0 +1,216 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/elmore.h"
+#include "sim/mna.h"
+
+namespace paragraph::sim {
+
+using circuit::Device;
+using circuit::DeviceId;
+using circuit::DeviceKind;
+using circuit::NetId;
+using circuit::Netlist;
+using circuit::Terminal;
+using circuit::TransistorLayout;
+using layout::TechRules;
+
+double effective_ron(const Device& d, const TransistorLayout& lay, const TechRules& tech,
+                     const MetricOptions& opts) {
+  const auto& p = d.params;
+  const double strength = static_cast<double>(p.num_fins) * p.num_fingers * p.multiplier;
+  double ron = tech.ron_per_strength / std::max(strength, 1e-9);
+  // Longer channels drive less current.
+  ron *= std::max(p.length, 16e-9) / 16e-9;
+  if (circuit::is_thick_gate(d.kind)) ron *= tech.thick_ron_factor;
+  // LDE: the diffusion-edge strain effect modulates mobility; we model it
+  // as a power law on the average LOD.
+  const double lod_avg = std::max((lay.lde[0] + lay.lde[1]) / 2.0, 1e-9);
+  double factor = std::pow(opts.lod_ref / lod_avg, opts.lod_strength);
+  factor = std::clamp(factor, 0.6, 1.6);
+  return ron * factor;
+}
+
+namespace {
+
+// Pin capacitance under a given annotation (gate cap is annotation-
+// independent; junction caps come from the annotated SA/DA).
+double annotated_pin_cap(const Netlist& nl, const SimAnnotation& ann, DeviceId id,
+                         std::size_t terminal_index, const TechRules& tech) {
+  const Device& d = nl.device(id);
+  if (!circuit::is_transistor(d.kind)) {
+    // Same constant models as extraction; build a temporary layout-free call.
+    switch (d.kind) {
+      case DeviceKind::kResistor: return tech.rc_pin_cap * (0.5 + d.params.length / 4e-6);
+      case DeviceKind::kCapacitor: return tech.rc_pin_cap + 0.02 * d.params.value;
+      case DeviceKind::kDiode: return tech.dio_pin_cap_per_finger * d.params.num_fingers;
+      case DeviceKind::kBjt: return tech.bjt_pin_cap * d.params.multiplier;
+      default: return 0.0;
+    }
+  }
+  const TransistorLayout& lay = ann.device_layout[static_cast<std::size_t>(id)];
+  const Terminal t = circuit::terminals_for(d.kind).at(terminal_index);
+  switch (t) {
+    case Terminal::kGate: {
+      const double len_factor = std::pow(std::max(d.params.length, 16e-9) / 16e-9, 0.8);
+      return tech.gate_cap_per_fin * d.params.num_fins * d.params.num_fingers *
+             d.params.multiplier * len_factor;
+    }
+    case Terminal::kSource:
+      return tech.junction_cap_per_m2 * lay.source_area + 0.04e-9 * lay.source_perimeter;
+    case Terminal::kDrain:
+      return tech.junction_cap_per_m2 * lay.drain_area + 0.04e-9 * lay.drain_perimeter;
+    default: return 0.0;
+  }
+}
+
+}  // namespace
+
+double net_load_cap(const Netlist& nl, const SimAnnotation& ann, NetId net,
+                    const TechRules& tech,
+                    const std::vector<std::vector<circuit::Netlist::Attachment>>& attachments) {
+  double cap = ann.net_cap[static_cast<std::size_t>(net)];
+  for (const auto& a : attachments[static_cast<std::size_t>(net)])
+    cap += annotated_pin_cap(nl, ann, a.device, a.terminal_index, tech);
+  return cap;
+}
+
+double net_load_cap(const Netlist& nl, const SimAnnotation& ann, NetId net,
+                    const TechRules& tech) {
+  return net_load_cap(nl, ann, net, tech, nl.net_attachments());
+}
+
+std::vector<CircuitMetric> evaluate_metrics(const Netlist& nl, const SimAnnotation& ann,
+                                            const TechRules& tech, const MetricOptions& opts) {
+  std::vector<CircuitMetric> metrics;
+  const auto attachments = nl.net_attachments();
+  const auto fanout = nl.net_fanout();
+
+  // ---- choose stage nets: highest fanout, driven by a transistor drain ----
+  struct StageNet {
+    NetId net;
+    DeviceId driver;
+    int fanout;
+  };
+  std::vector<StageNet> stages;
+  for (NetId id = 0; static_cast<std::size_t>(id) < nl.num_nets(); ++id) {
+    if (nl.net(id).is_supply) continue;
+    DeviceId best_driver = -1;
+    double best_strength = 0.0;
+    for (const auto& a : attachments[static_cast<std::size_t>(id)]) {
+      const Device& d = nl.device(a.device);
+      if (!circuit::is_transistor(d.kind)) continue;
+      if (circuit::terminals_for(d.kind)[a.terminal_index] != Terminal::kDrain) continue;
+      const double s = static_cast<double>(d.params.num_fins) * d.params.num_fingers *
+                       d.params.multiplier;
+      if (s > best_strength) {
+        best_strength = s;
+        best_driver = a.device;
+      }
+    }
+    if (best_driver >= 0)
+      stages.push_back({id, best_driver, fanout[static_cast<std::size_t>(id)]});
+  }
+  std::sort(stages.begin(), stages.end(), [&nl](const StageNet& a, const StageNet& b) {
+    if (a.fanout != b.fanout) return a.fanout > b.fanout;
+    return nl.net(a.net).name < nl.net(b.net).name;  // deterministic tie-break
+  });
+  // Sample across the fanout spectrum (not just the top): real metric sets
+  // mix wire-dominated global nets with pin-dominated local ones, which is
+  // what makes some metrics parasitic-sensitive and others not.
+  if (stages.size() > static_cast<std::size_t>(opts.max_stage_nets)) {
+    std::vector<StageNet> spread;
+    const std::size_t n = stages.size();
+    const auto want = static_cast<std::size_t>(opts.max_stage_nets);
+    for (std::size_t k = 0; k < want; ++k)
+      spread.push_back(stages[k * (n - 1) / std::max<std::size_t>(want - 1, 1)]);
+    stages = std::move(spread);
+  }
+
+  int bw_count = 0;
+  for (const StageNet& st : stages) {
+    const Device& drv = nl.device(st.driver);
+    const TransistorLayout& lay = ann.device_layout[static_cast<std::size_t>(st.driver)];
+    const double ron = effective_ron(drv, lay, tech, opts);
+    const double cap = std::max(net_load_cap(nl, ann, st.net, tech, attachments), 1e-18);
+    const double rnet = std::max(ann.net_res[static_cast<std::size_t>(st.net)], 0.1);
+
+    // Distributed stage: step source -> Ron -> pi model of the net
+    // (C/2, R_net, C/2 + receiver loads).
+    MnaCircuit ckt;
+    const NodeIndex in = ckt.add_node();
+    const NodeIndex near = ckt.add_node();
+    const NodeIndex far = ckt.add_node();
+    const int vs = ckt.add_voltage_source(in, kGround, 0.0);
+    ckt.add_resistor(in, near, ron);
+    ckt.add_capacitor(near, kGround, cap / 2.0);
+    ckt.add_resistor(near, far, rnet);
+    ckt.add_capacitor(far, kGround, cap / 2.0);
+    const double tau = (ron + rnet) * cap;
+    const double t_end = 8.0 * tau;
+    const double dt = tau / 40.0;
+    auto res = ckt.transient(t_end, dt, [vs, opts](MnaCircuit& c, double) {
+      c.set_voltage_source(vs, opts.vdd);  // step at the first timestep
+    });
+    const double t50 = res.crossing_time(far, 0.5 * opts.vdd, /*rising=*/true);
+    const double t20 = res.crossing_time(far, 0.2 * opts.vdd, /*rising=*/true);
+    const double t80 = res.crossing_time(far, 0.8 * opts.vdd, /*rising=*/true);
+    const std::string base = nl.net(st.net).name;
+    metrics.push_back({"delay:" + base, t50 > 0 ? t50 : t_end});
+    metrics.push_back({"slew:" + base, (t80 > 0 && t20 >= 0) ? t80 - t20 : t_end});
+
+    // Tree-Elmore estimate of the same stage (uses the annotated net
+    // resistance; exercises the RES extension end to end).
+    RcTree tree;
+    const int tnear = tree.add_node(0, ron, cap / 2.0);
+    const int tfar = tree.add_node(tnear, rnet, cap / 2.0);
+    metrics.push_back({"elmore_tree:" + base, tree.elmore_delay(tfar)});
+
+    // AC bandwidth of the stage for the first few nets.
+    if (bw_count < opts.max_bw_nets) {
+      ++bw_count;
+      MnaCircuit acckt;
+      const NodeIndex ain = acckt.add_node();
+      const NodeIndex anear = acckt.add_node();
+      const NodeIndex afar = acckt.add_node();
+      acckt.add_voltage_source(ain, kGround, 1.0);
+      acckt.add_resistor(ain, anear, ron);
+      acckt.add_capacitor(anear, kGround, cap / 2.0);
+      acckt.add_resistor(anear, afar, rnet);
+      acckt.add_capacitor(afar, kGround, cap / 2.0);
+      metrics.push_back({"bw:" + base, acckt.find_3db_frequency(afar)});
+    }
+  }
+
+  // ---- total dynamic power ----
+  {
+    double switched_cap = 0.0;
+    for (NetId id = 0; static_cast<std::size_t>(id) < nl.num_nets(); ++id) {
+      if (nl.net(id).is_supply) continue;
+      switched_cap += net_load_cap(nl, ann, id, tech, attachments);
+    }
+    metrics.push_back(
+        {"power:total", switched_cap * opts.vdd * opts.vdd * opts.clock_hz * opts.activity});
+  }
+
+  // ---- Elmore delay through resistor chains ----
+  int elmore_count = 0;
+  for (DeviceId id = 0; static_cast<std::size_t>(id) < nl.num_devices() &&
+                        elmore_count < opts.max_elmore_paths;
+       ++id) {
+    const Device& d = nl.device(id);
+    if (d.kind != DeviceKind::kResistor) continue;
+    const NetId a = d.conns[0];
+    const NetId b = d.conns[1];
+    if (nl.net(a).is_supply || nl.net(b).is_supply) continue;
+    const double c_out = std::max(net_load_cap(nl, ann, b, tech, attachments), 1e-18);
+    metrics.push_back({"elmore:" + d.name, d.params.value * c_out});
+    ++elmore_count;
+  }
+
+  return metrics;
+}
+
+}  // namespace paragraph::sim

@@ -1,0 +1,61 @@
+// Circuit-metric extraction for the Table V simulation-error study.
+//
+// Given a netlist and a SimAnnotation, evaluate_metrics() computes a
+// deterministic set of circuit metrics:
+//   * stage delay and output slew on the highest-fanout nets, via a
+//     backward-Euler MNA transient of the linearised driver stage
+//     (switch-level Ron with an LDE mobility correction, annotated net
+//     capacitance, receiver gate and junction pin loads),
+//   * total dynamic power (sum of switched capacitance),
+//   * Elmore delays through resistor paths.
+// The metric *set* depends only on the netlist, so the same metrics can be
+// compared across annotation sources (Table V compares each source against
+// the post-layout reference).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.h"
+#include "layout/tech.h"
+#include "sim/annotation.h"
+
+namespace paragraph::sim {
+
+struct CircuitMetric {
+  std::string name;
+  double value = 0.0;
+};
+
+struct MetricOptions {
+  int max_stage_nets = 4;   // nets getting delay/slew/tree-Elmore metrics
+  int max_bw_nets = 2;      // of those, how many also get an AC bandwidth
+  int max_elmore_paths = 2; // resistor-chain lumped Elmore metrics
+  double vdd = 0.8;
+  double clock_hz = 1e9;
+  double activity = 0.1;
+  // LDE mobility correction: Ron *= (lod_ref / lod_avg)^strength.
+  double lod_ref = 200e-9;
+  double lod_strength = 0.15;
+};
+
+std::vector<CircuitMetric> evaluate_metrics(const circuit::Netlist& nl,
+                                            const SimAnnotation& ann,
+                                            const layout::TechRules& tech,
+                                            const MetricOptions& opts = {});
+
+// Effective switch-level on-resistance of a transistor under the
+// annotation's LDE parameters.
+double effective_ron(const circuit::Device& d, const circuit::TransistorLayout& lay,
+                     const layout::TechRules& tech, const MetricOptions& opts);
+
+// Total capacitive load the annotation implies on a net: annotated wire cap
+// plus all attached gate and source/drain junction pin caps. The overload
+// taking precomputed attachments avoids re-walking the netlist per call.
+double net_load_cap(const circuit::Netlist& nl, const SimAnnotation& ann, circuit::NetId net,
+                    const layout::TechRules& tech);
+double net_load_cap(const circuit::Netlist& nl, const SimAnnotation& ann, circuit::NetId net,
+                    const layout::TechRules& tech,
+                    const std::vector<std::vector<circuit::Netlist::Attachment>>& attachments);
+
+}  // namespace paragraph::sim

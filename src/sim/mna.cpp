@@ -1,0 +1,295 @@
+#include "sim/mna.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace paragraph::sim {
+
+namespace {
+
+constexpr double kGmin = 1e-12;  // leak to ground keeps matrices non-singular
+
+// Dense LU solve with partial pivoting; a is n x n row-major, b length n.
+std::vector<double> lu_solve(std::vector<double> a, std::vector<double> b) {
+  const std::size_t n = b.size();
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t piv = col;
+    for (std::size_t r = col + 1; r < n; ++r)
+      if (std::abs(a[r * n + col]) > std::abs(a[piv * n + col])) piv = r;
+    if (std::abs(a[piv * n + col]) < 1e-30)
+      throw std::runtime_error("MnaCircuit: singular system");
+    if (piv != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a[piv * n + c], a[col * n + c]);
+      std::swap(b[piv], b[col]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double m = a[r * n + col] / a[col * n + col];
+      if (m == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a[r * n + c] -= m * a[col * n + c];
+      b[r] -= m * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t row = n; row-- > 0;) {
+    double s = b[row];
+    for (std::size_t c = row + 1; c < n; ++c) s -= a[row * n + c] * x[c];
+    x[row] = s / a[row * n + row];
+  }
+  return x;
+}
+
+}  // namespace
+
+MnaCircuit::MnaCircuit() = default;
+
+NodeIndex MnaCircuit::add_node() { return static_cast<NodeIndex>(num_nodes_++); }
+
+void MnaCircuit::add_resistor(NodeIndex a, NodeIndex b, double ohms) {
+  if (ohms <= 0.0) throw std::invalid_argument("add_resistor: non-positive resistance");
+  resistors_.push_back(Res{a, b, 1.0 / ohms});
+}
+
+void MnaCircuit::add_capacitor(NodeIndex a, NodeIndex b, double farads) {
+  if (farads < 0.0) throw std::invalid_argument("add_capacitor: negative capacitance");
+  capacitors_.push_back(Cap{a, b, farads});
+}
+
+void MnaCircuit::add_current_source(NodeIndex from, NodeIndex to, double amps) {
+  currents_.push_back(Isrc{from, to, amps});
+}
+
+int MnaCircuit::add_voltage_source(NodeIndex pos, NodeIndex neg, double volts) {
+  voltages_.push_back(Vsrc{pos, neg, volts});
+  return static_cast<int>(voltages_.size()) - 1;
+}
+
+void MnaCircuit::set_voltage_source(int source_index, double volts) {
+  voltages_.at(static_cast<std::size_t>(source_index)).v = volts;
+}
+
+void MnaCircuit::add_vccs(NodeIndex out_pos, NodeIndex out_neg, NodeIndex ctrl_pos,
+                          NodeIndex ctrl_neg, double gm) {
+  vccs_.push_back(Vccs{out_pos, out_neg, ctrl_pos, ctrl_neg, gm});
+}
+
+std::vector<double> MnaCircuit::solve(const std::vector<double>& cap_g,
+                                      const std::vector<double>& cap_b) const {
+  // Unknowns: node voltages 1..num_nodes_-1, then voltage-source currents.
+  const std::size_t nv = num_nodes_ - 1;
+  const std::size_t n = nv + voltages_.size();
+  std::vector<double> a(n * n, 0.0);
+  std::vector<double> b(n, 0.0);
+
+  auto stamp_g = [&](NodeIndex x, NodeIndex y, double g) {
+    if (x != kGround) a[static_cast<std::size_t>(x - 1) * n + static_cast<std::size_t>(x - 1)] += g;
+    if (y != kGround) a[static_cast<std::size_t>(y - 1) * n + static_cast<std::size_t>(y - 1)] += g;
+    if (x != kGround && y != kGround) {
+      a[static_cast<std::size_t>(x - 1) * n + static_cast<std::size_t>(y - 1)] -= g;
+      a[static_cast<std::size_t>(y - 1) * n + static_cast<std::size_t>(x - 1)] -= g;
+    }
+  };
+
+  for (const Res& r : resistors_) stamp_g(r.a, r.b, r.g);
+  for (std::size_t i = 0; i < nv; ++i) a[i * n + i] += kGmin;
+
+  // Capacitor companion models (backward Euler), already expanded by the
+  // caller into per-capacitor conductance and current terms.
+  for (std::size_t k = 0; k < capacitors_.size(); ++k) {
+    if (cap_g.empty() || cap_g[k] == 0.0) continue;
+    const Cap& c = capacitors_[k];
+    stamp_g(c.a, c.b, cap_g[k]);
+    if (c.a != kGround) b[static_cast<std::size_t>(c.a - 1)] += cap_b[k];
+    if (c.b != kGround) b[static_cast<std::size_t>(c.b - 1)] -= cap_b[k];
+  }
+
+  for (const Isrc& s : currents_) {
+    if (s.to != kGround) b[static_cast<std::size_t>(s.to - 1)] += s.i;
+    if (s.from != kGround) b[static_cast<std::size_t>(s.from - 1)] -= s.i;
+  }
+
+  // VCCS: I(out_pos -> out_neg) = gm * (V(ctrl_pos) - V(ctrl_neg)).
+  for (const Vccs& v2 : vccs_) {
+    auto stamp = [&](NodeIndex row, NodeIndex col, double g) {
+      if (row != kGround && col != kGround)
+        a[static_cast<std::size_t>(row - 1) * n + static_cast<std::size_t>(col - 1)] += g;
+    };
+    stamp(v2.out_pos, v2.ctrl_pos, v2.gm);
+    stamp(v2.out_pos, v2.ctrl_neg, -v2.gm);
+    stamp(v2.out_neg, v2.ctrl_pos, -v2.gm);
+    stamp(v2.out_neg, v2.ctrl_neg, v2.gm);
+  }
+
+  for (std::size_t k = 0; k < voltages_.size(); ++k) {
+    const Vsrc& v = voltages_[k];
+    const std::size_t br = nv + k;
+    if (v.pos != kGround) {
+      a[static_cast<std::size_t>(v.pos - 1) * n + br] += 1.0;
+      a[br * n + static_cast<std::size_t>(v.pos - 1)] += 1.0;
+    }
+    if (v.neg != kGround) {
+      a[static_cast<std::size_t>(v.neg - 1) * n + br] -= 1.0;
+      a[br * n + static_cast<std::size_t>(v.neg - 1)] -= 1.0;
+    }
+    b[br] = v.v;
+  }
+
+  std::vector<double> x = lu_solve(std::move(a), std::move(b));
+  std::vector<double> out(num_nodes_, 0.0);
+  for (std::size_t i = 0; i < nv; ++i) out[i + 1] = x[i];
+  return out;
+}
+
+std::vector<double> MnaCircuit::dc() const { return solve({}, {}); }
+
+namespace {
+
+// Complex dense LU with partial pivoting (AC analysis).
+std::vector<std::complex<double>> lu_solve_complex(std::vector<std::complex<double>> a,
+                                                   std::vector<std::complex<double>> b) {
+  const std::size_t n = b.size();
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t piv = col;
+    for (std::size_t r = col + 1; r < n; ++r)
+      if (std::abs(a[r * n + col]) > std::abs(a[piv * n + col])) piv = r;
+    if (std::abs(a[piv * n + col]) < 1e-30)
+      throw std::runtime_error("MnaCircuit::ac: singular system");
+    if (piv != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a[piv * n + c], a[col * n + c]);
+      std::swap(b[piv], b[col]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const std::complex<double> m = a[r * n + col] / a[col * n + col];
+      if (m == std::complex<double>(0.0, 0.0)) continue;
+      for (std::size_t c = col; c < n; ++c) a[r * n + c] -= m * a[col * n + c];
+      b[r] -= m * b[col];
+    }
+  }
+  std::vector<std::complex<double>> x(n);
+  for (std::size_t row = n; row-- > 0;) {
+    std::complex<double> s = b[row];
+    for (std::size_t c = row + 1; c < n; ++c) s -= a[row * n + c] * x[c];
+    x[row] = s / a[row * n + row];
+  }
+  return x;
+}
+
+}  // namespace
+
+std::vector<std::complex<double>> MnaCircuit::ac(double frequency_hz) const {
+  const std::size_t nv = num_nodes_ - 1;
+  const std::size_t n = nv + voltages_.size();
+  std::vector<std::complex<double>> a(n * n, 0.0);
+  std::vector<std::complex<double>> b(n, 0.0);
+  const std::complex<double> jw(0.0, 2.0 * M_PI * frequency_hz);
+
+  auto stamp_y = [&](NodeIndex x, NodeIndex y, std::complex<double> g) {
+    if (x != kGround)
+      a[static_cast<std::size_t>(x - 1) * n + static_cast<std::size_t>(x - 1)] += g;
+    if (y != kGround)
+      a[static_cast<std::size_t>(y - 1) * n + static_cast<std::size_t>(y - 1)] += g;
+    if (x != kGround && y != kGround) {
+      a[static_cast<std::size_t>(x - 1) * n + static_cast<std::size_t>(y - 1)] -= g;
+      a[static_cast<std::size_t>(y - 1) * n + static_cast<std::size_t>(x - 1)] -= g;
+    }
+  };
+  for (const Res& r : resistors_) stamp_y(r.a, r.b, r.g);
+  for (const Cap& c : capacitors_) stamp_y(c.a, c.b, jw * c.c);
+  for (std::size_t i = 0; i < nv; ++i) a[i * n + i] += 1e-12;
+
+  for (const Vccs& v2 : vccs_) {
+    auto stamp = [&](NodeIndex row, NodeIndex col, double g) {
+      if (row != kGround && col != kGround)
+        a[static_cast<std::size_t>(row - 1) * n + static_cast<std::size_t>(col - 1)] += g;
+    };
+    stamp(v2.out_pos, v2.ctrl_pos, v2.gm);
+    stamp(v2.out_pos, v2.ctrl_neg, -v2.gm);
+    stamp(v2.out_neg, v2.ctrl_pos, -v2.gm);
+    stamp(v2.out_neg, v2.ctrl_neg, v2.gm);
+  }
+
+  for (const Isrc& s : currents_) {
+    if (s.to != kGround) b[static_cast<std::size_t>(s.to - 1)] += s.i;
+    if (s.from != kGround) b[static_cast<std::size_t>(s.from - 1)] -= s.i;
+  }
+  for (std::size_t k = 0; k < voltages_.size(); ++k) {
+    const Vsrc& v = voltages_[k];
+    const std::size_t br = nv + k;
+    if (v.pos != kGround) {
+      a[static_cast<std::size_t>(v.pos - 1) * n + br] += 1.0;
+      a[br * n + static_cast<std::size_t>(v.pos - 1)] += 1.0;
+    }
+    if (v.neg != kGround) {
+      a[static_cast<std::size_t>(v.neg - 1) * n + br] -= 1.0;
+      a[br * n + static_cast<std::size_t>(v.neg - 1)] -= 1.0;
+    }
+    b[br] = v.v;
+  }
+
+  std::vector<std::complex<double>> x = lu_solve_complex(std::move(a), std::move(b));
+  std::vector<std::complex<double>> out(num_nodes_, 0.0);
+  for (std::size_t i = 0; i < nv; ++i) out[i + 1] = x[i];
+  return out;
+}
+
+double MnaCircuit::find_3db_frequency(NodeIndex node, double f_low, double f_high) const {
+  const double ref = std::abs(ac(f_low)[static_cast<std::size_t>(node)]);
+  if (ref <= 0.0) return f_high;
+  const double target = ref / std::sqrt(2.0);
+  if (std::abs(ac(f_high)[static_cast<std::size_t>(node)]) > target) return f_high;
+  double lo = f_low;
+  double hi = f_high;
+  for (int iter = 0; iter < 60 && hi / lo > 1.0005; ++iter) {
+    const double mid = std::sqrt(lo * hi);  // bisection in log space
+    if (std::abs(ac(mid)[static_cast<std::size_t>(node)]) > target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return std::sqrt(lo * hi);
+}
+
+double MnaCircuit::TransientResult::crossing_time(NodeIndex node, double level,
+                                                  bool rising) const {
+  for (std::size_t s = 1; s < time.size(); ++s) {
+    const double v0 = voltages[s - 1][static_cast<std::size_t>(node)];
+    const double v1 = voltages[s][static_cast<std::size_t>(node)];
+    const bool crossed = rising ? (v0 < level && v1 >= level) : (v0 > level && v1 <= level);
+    if (crossed) {
+      const double frac = (level - v0) / (v1 - v0);
+      return time[s - 1] + frac * (time[s] - time[s - 1]);
+    }
+  }
+  return -1.0;
+}
+
+MnaCircuit::TransientResult MnaCircuit::transient(
+    double t_end, double dt, const std::function<void(MnaCircuit&, double)>& step_fn) const {
+  if (dt <= 0.0 || t_end <= 0.0) throw std::invalid_argument("transient: bad time parameters");
+  MnaCircuit work = *this;
+  TransientResult result;
+
+  std::vector<double> v = work.dc();
+  result.time.push_back(0.0);
+  result.voltages.push_back(v);
+
+  std::vector<double> cap_g(capacitors_.size(), 0.0);
+  std::vector<double> cap_b(capacitors_.size(), 0.0);
+  for (double t = dt; t <= t_end + dt * 0.5; t += dt) {
+    if (step_fn) step_fn(work, t);
+    for (std::size_t k = 0; k < work.capacitors_.size(); ++k) {
+      const Cap& c = work.capacitors_[k];
+      const double g = c.c / dt;
+      cap_g[k] = g;
+      const double va = v[static_cast<std::size_t>(c.a)];
+      const double vb = v[static_cast<std::size_t>(c.b)];
+      cap_b[k] = g * (va - vb);
+    }
+    v = work.solve(cap_g, cap_b);
+    result.time.push_back(t);
+    result.voltages.push_back(v);
+  }
+  return result;
+}
+
+}  // namespace paragraph::sim

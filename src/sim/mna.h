@@ -1,0 +1,104 @@
+// Small Modified-Nodal-Analysis circuit simulator.
+//
+// Supports linear R/C elements, voltage-controlled current sources (for
+// small-signal gm models), independent current and voltage sources, DC
+// operating point, single-frequency complex AC analysis, and backward-
+// Euler transient analysis — enough to evaluate the stage-delay / slew /
+// bandwidth / RC-path circuit metrics of the Table V study on linearised
+// (switch-level or small-signal) views of the netlists.
+#pragma once
+
+#include <complex>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace paragraph::sim {
+
+using NodeIndex = int;
+constexpr NodeIndex kGround = 0;
+
+class MnaCircuit {
+ public:
+  MnaCircuit();
+
+  // Creates a new node; node 0 is ground and always exists.
+  NodeIndex add_node();
+  std::size_t num_nodes() const { return num_nodes_; }
+
+  void add_resistor(NodeIndex a, NodeIndex b, double ohms);
+  void add_capacitor(NodeIndex a, NodeIndex b, double farads);
+  // Current flowing from `from` into `to` through the source.
+  void add_current_source(NodeIndex from, NodeIndex to, double amps);
+  // Ideal voltage source V(pos) - V(neg) = volts; returns source index.
+  int add_voltage_source(NodeIndex pos, NodeIndex neg, double volts);
+  void set_voltage_source(int source_index, double volts);
+  // Voltage-controlled current source: gm * (V(cp) - V(cn)) flows from
+  // `out_pos` to `out_neg` (small-signal transconductance stamp).
+  void add_vccs(NodeIndex out_pos, NodeIndex out_neg, NodeIndex ctrl_pos, NodeIndex ctrl_neg,
+                double gm);
+
+  // DC operating point; returns per-node voltages (index 0 = ground = 0 V).
+  // Floating subcircuits get a tiny leak to ground to keep the system
+  // non-singular. Throws std::runtime_error if the solve still fails.
+  std::vector<double> dc() const;
+
+  struct TransientResult {
+    std::vector<double> time;
+    std::vector<std::vector<double>> voltages;  // [step][node]
+
+    // First time the node crosses `level` (linear interpolation);
+    // -1 if never.
+    double crossing_time(NodeIndex node, double level, bool rising) const;
+  };
+
+  // Backward-Euler integration from the DC point at t=0; `step_fn` (if
+  // given) may change sources at each step time (e.g. input steps).
+  TransientResult transient(double t_end, double dt,
+                            const std::function<void(MnaCircuit&, double)>& step_fn = nullptr) const;
+
+  // Single-frequency AC analysis: solves (G + j*2*pi*f*C) x = b with the
+  // independent sources as phasor amplitudes. Returns per-node complex
+  // voltages (index 0 = ground).
+  std::vector<std::complex<double>> ac(double frequency_hz) const;
+
+  // Frequency (Hz) where |V(node)| falls to 1/sqrt(2) of its value at
+  // `f_low`, found by bisection on [f_low, f_high]; returns f_high if the
+  // response never drops below the -3 dB point in range.
+  double find_3db_frequency(NodeIndex node, double f_low = 1e3, double f_high = 1e12) const;
+
+ private:
+  struct Res {
+    NodeIndex a, b;
+    double g;
+  };
+  struct Cap {
+    NodeIndex a, b;
+    double c;
+  };
+  struct Isrc {
+    NodeIndex from, to;
+    double i;
+  };
+  struct Vsrc {
+    NodeIndex pos, neg;
+    double v;
+  };
+  struct Vccs {
+    NodeIndex out_pos, out_neg, ctrl_pos, ctrl_neg;
+    double gm;
+  };
+
+  // Solves (G + extra stamps) x = b via dense LU; x excludes ground.
+  std::vector<double> solve(const std::vector<double>& cap_g,
+                            const std::vector<double>& cap_b) const;
+
+  std::size_t num_nodes_ = 1;  // ground
+  std::vector<Res> resistors_;
+  std::vector<Cap> capacitors_;
+  std::vector<Isrc> currents_;
+  std::vector<Vsrc> voltages_;
+  std::vector<Vccs> vccs_;
+};
+
+}  // namespace paragraph::sim

@@ -1,0 +1,22 @@
+// Descriptive-statistics helpers shared by the evaluation and bench code.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace paragraph::util {
+
+double mean(std::span<const double> v);
+// Population standard deviation (ddof = 0); 0 for fewer than 2 samples.
+double stddev(std::span<const double> v);
+double min_of(std::span<const double> v);
+double max_of(std::span<const double> v);
+// Geometric mean of |v_i| with zero values clamped to `floor`.
+double geometric_mean(std::span<const double> v, double floor = 1e-12);
+// Linear-interpolated percentile, p in [0, 100].
+double percentile(std::vector<double> v, double p);
+// Pearson correlation; 0 when either side is constant.
+double pearson(std::span<const double> a, std::span<const double> b);
+
+}  // namespace paragraph::util

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/gbrt.h"
+#include "baselines/regressor.h"
+#include "eval/metrics.h"
+#include "util/rng.h"
+
+namespace paragraph::baselines {
+namespace {
+
+TEST(LinearRegression, RecoversKnownCoefficients) {
+  util::Rng rng(1);
+  nn::Matrix x(200, 2);
+  std::vector<float> y(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    x(i, 0) = static_cast<float>(rng.uniform(-1, 1));
+    x(i, 1) = static_cast<float>(rng.uniform(-1, 1));
+    y[i] = 3.0f * x(i, 0) - 2.0f * x(i, 1) + 0.5f;
+  }
+  LinearRegression lr;
+  lr.fit(x, y);
+  ASSERT_EQ(lr.coefficients().size(), 3u);
+  EXPECT_NEAR(lr.coefficients()[0], 3.0, 1e-4);
+  EXPECT_NEAR(lr.coefficients()[1], -2.0, 1e-4);
+  EXPECT_NEAR(lr.coefficients()[2], 0.5, 1e-4);
+}
+
+TEST(LinearRegression, PredictMatchesFit) {
+  nn::Matrix x(3, 1);
+  x(0, 0) = 0.0f;
+  x(1, 0) = 1.0f;
+  x(2, 0) = 2.0f;
+  LinearRegression lr;
+  lr.fit(x, {1.0f, 3.0f, 5.0f});  // y = 2x + 1
+  const auto p = lr.predict(x);
+  EXPECT_NEAR(p[2], 5.0f, 1e-4f);
+}
+
+TEST(LinearRegression, Validation) {
+  LinearRegression lr;
+  nn::Matrix x(2, 1);
+  EXPECT_THROW(lr.fit(x, {1.0f}), std::invalid_argument);
+  EXPECT_THROW(lr.predict(x), std::logic_error);  // before fit
+  lr.fit(x, {1.0f, 2.0f});
+  nn::Matrix wrong(2, 3);
+  EXPECT_THROW(lr.predict(wrong), std::invalid_argument);
+}
+
+TEST(LinearRegression, HandlesConstantFeature) {
+  nn::Matrix x(4, 1, 1.0f);  // degenerate: same value everywhere
+  LinearRegression lr;
+  EXPECT_NO_THROW(lr.fit(x, {2.0f, 2.0f, 2.0f, 2.0f}));
+  EXPECT_NEAR(lr.predict(x)[0], 2.0f, 1e-3f);
+}
+
+TEST(Gbrt, FitsNonlinearFunction) {
+  util::Rng rng(2);
+  nn::Matrix x(400, 2);
+  std::vector<float> y(400);
+  for (std::size_t i = 0; i < 400; ++i) {
+    x(i, 0) = static_cast<float>(rng.uniform(-2, 2));
+    x(i, 1) = static_cast<float>(rng.uniform(-2, 2));
+    y[i] = std::sin(x(i, 0)) * 2.0f + x(i, 1) * x(i, 1);
+  }
+  Gbrt gb;
+  gb.fit(x, y);
+  const auto p = gb.predict(x);
+  EXPECT_GT(eval::r_squared(y, p), 0.95);
+}
+
+TEST(Gbrt, BeatsLinearOnNonlinearData) {
+  util::Rng rng(3);
+  nn::Matrix x(300, 1);
+  std::vector<float> y(300);
+  for (std::size_t i = 0; i < 300; ++i) {
+    x(i, 0) = static_cast<float>(rng.uniform(-3, 3));
+    y[i] = x(i, 0) * x(i, 0);
+  }
+  Gbrt gb;
+  gb.fit(x, y);
+  LinearRegression lr;
+  lr.fit(x, y);
+  EXPECT_GT(eval::r_squared(y, gb.predict(x)), eval::r_squared(y, lr.predict(x)) + 0.3);
+}
+
+TEST(Gbrt, RespectsTreeCount) {
+  GbrtParams p;
+  p.num_trees = 7;
+  Gbrt gb(p);
+  nn::Matrix x(50, 1);
+  std::vector<float> y(50);
+  for (std::size_t i = 0; i < 50; ++i) {
+    x(i, 0) = static_cast<float>(i);
+    y[i] = static_cast<float>(i % 5);
+  }
+  gb.fit(x, y);
+  EXPECT_EQ(gb.num_trees(), 7u);
+}
+
+TEST(Gbrt, ConstantTargetGivesConstantPrediction) {
+  nn::Matrix x(20, 1);
+  for (std::size_t i = 0; i < 20; ++i) x(i, 0) = static_cast<float>(i);
+  Gbrt gb;
+  gb.fit(x, std::vector<float>(20, 3.5f));
+  for (const float v : gb.predict(x)) EXPECT_NEAR(v, 3.5f, 1e-3f);
+}
+
+TEST(Gbrt, MinChildWeightLimitsSplits) {
+  GbrtParams p;
+  p.min_child_weight = 100.0;  // more than the sample count: no splits
+  p.num_trees = 5;
+  Gbrt gb(p);
+  nn::Matrix x(30, 1);
+  std::vector<float> y(30);
+  for (std::size_t i = 0; i < 30; ++i) {
+    x(i, 0) = static_cast<float>(i);
+    y[i] = static_cast<float>(i);
+  }
+  gb.fit(x, y);
+  // Stumps only: prediction collapses toward the mean.
+  const auto pred = gb.predict(x);
+  EXPECT_LT(eval::r_squared(y, pred), 0.99);
+}
+
+TEST(Gbrt, Validation) {
+  Gbrt gb;
+  nn::Matrix x(2, 1);
+  EXPECT_THROW(gb.fit(x, {1.0f}), std::invalid_argument);
+  EXPECT_THROW(gb.fit(nn::Matrix(0, 1), {}), std::invalid_argument);
+}
+
+TEST(Gbrt, DuplicateFeatureValuesNoInvalidSplit) {
+  // All feature values identical: no split possible, must not crash.
+  nn::Matrix x(10, 1, 5.0f);
+  std::vector<float> y(10);
+  for (std::size_t i = 0; i < 10; ++i) y[i] = static_cast<float>(i);
+  Gbrt gb;
+  EXPECT_NO_THROW(gb.fit(x, y));
+  EXPECT_NEAR(gb.predict(x)[0], 4.5f, 0.5f);
+}
+
+}  // namespace
+}  // namespace paragraph::baselines

@@ -1,0 +1,122 @@
+#include "circuit/netlist.h"
+
+#include <gtest/gtest.h>
+
+namespace paragraph::circuit {
+namespace {
+
+Device make_nmos(const std::string& name, NetId d, NetId g, NetId s, NetId b) {
+  Device dev;
+  dev.name = name;
+  dev.kind = DeviceKind::kNmos;
+  dev.conns = {d, g, s, b};
+  return dev;
+}
+
+TEST(Netlist, AddNetDeduplicates) {
+  Netlist nl;
+  const NetId a = nl.add_net("x");
+  const NetId b = nl.add_net("x");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(nl.num_nets(), 1u);
+}
+
+TEST(Netlist, SupplyFlagSticks) {
+  Netlist nl;
+  nl.add_net("vdd");
+  nl.add_net("vdd", /*is_supply=*/true);
+  EXPECT_TRUE(nl.net(nl.net_id("vdd")).is_supply);
+}
+
+TEST(Netlist, AddDeviceValidatesTerminalCount) {
+  Netlist nl;
+  const NetId n = nl.add_net("n");
+  Device d = make_nmos("m1", n, n, n, n);
+  d.conns.pop_back();
+  EXPECT_THROW(nl.add_device(std::move(d)), std::invalid_argument);
+}
+
+TEST(Netlist, AddDeviceRejectsDuplicates) {
+  Netlist nl;
+  const NetId n = nl.add_net("n");
+  nl.add_device(make_nmos("m1", n, n, n, n));
+  EXPECT_THROW(nl.add_device(make_nmos("m1", n, n, n, n)), std::invalid_argument);
+}
+
+TEST(Netlist, AddDeviceRejectsBadNetId) {
+  Netlist nl;
+  EXPECT_THROW(nl.add_device(make_nmos("m1", 5, 0, 0, 0)), std::invalid_argument);
+}
+
+TEST(Netlist, NetIdLookup) {
+  Netlist nl;
+  nl.add_net("a");
+  EXPECT_NO_THROW(nl.net_id("a"));
+  EXPECT_THROW(nl.net_id("missing"), std::invalid_argument);
+  EXPECT_TRUE(nl.has_net("a"));
+  EXPECT_FALSE(nl.has_net("missing"));
+}
+
+TEST(Netlist, FanoutCountsTerminals) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId b = nl.add_net("b");
+  nl.add_device(make_nmos("m1", a, a, b, b));
+  const auto fanout = nl.net_fanout();
+  EXPECT_EQ(fanout[static_cast<std::size_t>(a)], 2);
+  EXPECT_EQ(fanout[static_cast<std::size_t>(b)], 2);
+}
+
+TEST(Netlist, AttachmentsRecordTerminalIndex) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId b = nl.add_net("b");
+  nl.add_device(make_nmos("m1", a, b, a, a));
+  const auto att = nl.net_attachments();
+  EXPECT_EQ(att[static_cast<std::size_t>(a)].size(), 3u);
+  ASSERT_EQ(att[static_cast<std::size_t>(b)].size(), 1u);
+  EXPECT_EQ(att[static_cast<std::size_t>(b)][0].terminal_index, 1u);  // gate
+}
+
+TEST(Netlist, StatsCountsKinds) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId v = nl.add_net("vdd", true);
+  nl.add_device(make_nmos("m1", a, a, v, v));
+  Device r;
+  r.name = "r1";
+  r.kind = DeviceKind::kResistor;
+  r.conns = {a, v};
+  nl.add_device(std::move(r));
+  const auto st = nl.stats();
+  EXPECT_EQ(st.transistors(), 1u);
+  EXPECT_EQ(st.thick_transistors(), 0u);
+  EXPECT_EQ(st.device_count[static_cast<std::size_t>(DeviceKind::kResistor)], 1u);
+  EXPECT_EQ(st.num_nets, 1u);
+  EXPECT_EQ(st.num_supply_nets, 1u);
+}
+
+TEST(Netlist, ValidateCatchesBadSizing) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  Device d = make_nmos("m1", a, a, a, a);
+  d.params.num_fins = 0;
+  nl.add_device(std::move(d));
+  EXPECT_THROW(nl.validate(), std::logic_error);
+}
+
+TEST(DeviceKinds, TerminalTables) {
+  EXPECT_EQ(terminals_for(DeviceKind::kNmos).size(), 4u);
+  EXPECT_EQ(terminals_for(DeviceKind::kResistor).size(), 2u);
+  EXPECT_EQ(terminals_for(DeviceKind::kDiode).size(), 2u);
+  EXPECT_EQ(terminals_for(DeviceKind::kBjt).size(), 3u);
+  EXPECT_TRUE(is_transistor(DeviceKind::kPmosThick));
+  EXPECT_FALSE(is_transistor(DeviceKind::kBjt));
+  EXPECT_TRUE(is_thick_gate(DeviceKind::kNmosThick));
+  EXPECT_FALSE(is_thick_gate(DeviceKind::kNmos));
+  EXPECT_STREQ(device_kind_name(DeviceKind::kCapacitor), "capacitor");
+  EXPECT_STREQ(terminal_name(Terminal::kGate), "gate");
+}
+
+}  // namespace
+}  // namespace paragraph::circuit

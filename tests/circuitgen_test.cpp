@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include "circuitgen/blocks.h"
+#include "circuitgen/generator.h"
+
+namespace paragraph::circuitgen {
+namespace {
+
+struct Fixture {
+  Netlist nl{"test"};
+  util::Rng rng{123};
+  BlockContext ctx{nl, rng, "test"};
+};
+
+TEST(Blocks, InverterIsTwoTransistors) {
+  Fixture f;
+  const NetId in = f.nl.add_net("in");
+  inverter(f.ctx, in);
+  EXPECT_EQ(f.nl.num_devices(), 2u);
+  const auto st = f.nl.stats();
+  EXPECT_EQ(st.device_count[static_cast<std::size_t>(circuit::DeviceKind::kNmos)], 1u);
+  EXPECT_EQ(st.device_count[static_cast<std::size_t>(circuit::DeviceKind::kPmos)], 1u);
+}
+
+TEST(Blocks, ThickInverterUsesThickDevices) {
+  Fixture f;
+  inverter(f.ctx, f.nl.add_net("in"), circuit::kInvalidNet, /*thick=*/true);
+  const auto st = f.nl.stats();
+  EXPECT_EQ(st.thick_transistors(), 2u);
+  EXPECT_EQ(st.transistors(), 0u);
+}
+
+TEST(Blocks, Nand2DeviceCount) {
+  Fixture f;
+  nand2(f.ctx, f.nl.add_net("a"), f.nl.add_net("b"));
+  EXPECT_EQ(f.nl.num_devices(), 4u);
+}
+
+TEST(Blocks, DffHasMasterAndSlave) {
+  Fixture f;
+  const NetId q = dff(f.ctx, f.nl.add_net("d"), f.nl.add_net("clk"));
+  EXPECT_GE(f.nl.num_devices(), 16u);
+  EXPECT_NE(q, circuit::kInvalidNet);
+  f.nl.validate();
+}
+
+TEST(Blocks, RingOscillatorRequiresOddStages) {
+  Fixture f;
+  EXPECT_THROW(ring_oscillator(f.ctx, f.nl.add_net("en"), 4), std::invalid_argument);
+  EXPECT_THROW(ring_oscillator(f.ctx, f.nl.add_net("en2"), 1), std::invalid_argument);
+  EXPECT_NO_THROW(ring_oscillator(f.ctx, f.nl.add_net("en3"), 5));
+}
+
+TEST(Blocks, GlueLogicProducesRequestedGates) {
+  Fixture f;
+  const std::vector<NetId> ins = {f.nl.add_net("a"), f.nl.add_net("b")};
+  const auto outs = glue_logic(f.ctx, ins, 10);
+  EXPECT_EQ(outs.size(), 10u);
+  EXPECT_THROW(glue_logic(f.ctx, {}, 3), std::invalid_argument);
+}
+
+TEST(Blocks, OtaAndOpamp) {
+  Fixture f;
+  const NetId bias = bias_generator(f.ctx);
+  const NetId o1 = ota_5t(f.ctx, f.nl.add_net("p"), f.nl.add_net("n"), bias);
+  EXPECT_NE(o1, circuit::kInvalidNet);
+  const std::size_t before = f.nl.num_devices();
+  two_stage_opamp(f.ctx, f.nl.add_net("p2"), f.nl.add_net("n2"), bias);
+  // Second stage adds OTA (5) + CS stage (2) + RC compensation (2).
+  EXPECT_EQ(f.nl.num_devices() - before, 9u);
+  const auto st = f.nl.stats();
+  EXPECT_EQ(st.device_count[static_cast<std::size_t>(circuit::DeviceKind::kCapacitor)], 1u);
+}
+
+TEST(Blocks, CurrentMirrorOutputs) {
+  Fixture f;
+  const NetId bias = bias_generator(f.ctx);
+  const auto outs = current_mirror(f.ctx, bias, 3, /*pmos_mirror=*/true);
+  EXPECT_EQ(outs.size(), 3u);
+}
+
+TEST(Blocks, CapDacIsBinaryWeighted) {
+  Fixture f;
+  std::vector<NetId> drivers;
+  for (int i = 0; i < 4; ++i) drivers.push_back(f.nl.add_net("b" + std::to_string(i)));
+  cap_dac(f.ctx, drivers);
+  // 4 bit caps + 1 termination cap.
+  double max_v = 0, min_v = 1e9;
+  for (const auto& d : f.nl.devices()) {
+    if (d.kind != circuit::DeviceKind::kCapacitor) continue;
+    max_v = std::max(max_v, d.params.value);
+    min_v = std::min(min_v, d.params.value);
+  }
+  EXPECT_NEAR(max_v / min_v, 8.0, 1e-9);  // 2^3 weighting
+}
+
+TEST(Blocks, BandgapUsesBjts) {
+  Fixture f;
+  const NetId bias = bias_generator(f.ctx);
+  bandgap_core(f.ctx, bias);
+  const auto st = f.nl.stats();
+  EXPECT_EQ(st.device_count[static_cast<std::size_t>(circuit::DeviceKind::kBjt)], 2u);
+  EXPECT_GE(st.device_count[static_cast<std::size_t>(circuit::DeviceKind::kResistor)], 3u);
+}
+
+TEST(Blocks, EsdClampAddsDiodes) {
+  Fixture f;
+  esd_clamp(f.ctx, f.nl.add_net("pad"));
+  const auto st = f.nl.stats();
+  EXPECT_EQ(st.device_count[static_cast<std::size_t>(circuit::DeviceKind::kDiode)], 2u);
+}
+
+TEST(Blocks, IoDriverTapers) {
+  Fixture f;
+  io_driver(f.ctx, f.nl.add_net("in"), 3);
+  EXPECT_EQ(f.nl.stats().thick_transistors(), 6u);
+}
+
+TEST(Blocks, SramCellIsSixTransistors) {
+  Fixture f;
+  sram_cell(f.ctx, f.nl.add_net("wl"), f.nl.add_net("bl"), f.nl.add_net("blb"));
+  EXPECT_EQ(f.nl.num_devices(), 6u);
+  f.nl.validate();
+}
+
+TEST(Blocks, SramArrayHasHighFanoutLines) {
+  Fixture f;
+  const auto wordlines = sram_array(f.ctx, 4, 8);
+  EXPECT_EQ(wordlines.size(), 4u);
+  // 4*8 cells x 6T + 16 precharge devices.
+  EXPECT_EQ(f.nl.num_devices(), 4u * 8u * 6u + 16u);
+  const auto fanout = f.nl.net_fanout();
+  // Each wordline drives 2 access gates per cell in its row.
+  EXPECT_EQ(fanout[static_cast<std::size_t>(wordlines[0])], 16);
+  EXPECT_THROW(sram_array(f.ctx, 0, 1), std::invalid_argument);
+}
+
+TEST(Blocks, LdoHasPassDeviceAndDivider) {
+  Fixture f;
+  const NetId bias = bias_generator(f.ctx);
+  const NetId out = ldo(f.ctx, f.nl.add_net("vref"), bias);
+  EXPECT_NE(out, circuit::kInvalidNet);
+  const auto st = f.nl.stats();
+  EXPECT_GE(st.device_count[static_cast<std::size_t>(circuit::DeviceKind::kResistor)], 3u);
+  EXPECT_GE(st.device_count[static_cast<std::size_t>(circuit::DeviceKind::kCapacitor)], 1u);
+  f.nl.validate();
+}
+
+TEST(Blocks, ChargePumpStages) {
+  Fixture f;
+  const NetId clk = f.nl.add_net("clk");
+  const NetId clkb = inverter(f.ctx, clk);
+  const std::size_t before = f.nl.num_devices();
+  charge_pump(f.ctx, clk, clkb, 3);
+  // 3 diode devices + 3 pump caps + 1 reservoir cap.
+  EXPECT_EQ(f.nl.num_devices() - before, 7u);
+  EXPECT_THROW(charge_pump(f.ctx, clk, clkb, 0), std::invalid_argument);
+}
+
+TEST(Blocks, ClockDividerAndDelayLine) {
+  Fixture f;
+  const NetId clk = f.nl.add_net("clk");
+  EXPECT_NE(clock_divider(f.ctx, clk, 2), circuit::kInvalidNet);
+  EXPECT_THROW(clock_divider(f.ctx, clk, 0), std::invalid_argument);
+  const std::size_t before = f.nl.num_devices();
+  delay_line(f.ctx, f.nl.add_net("in"), f.nl.add_net("vc"), 4);
+  EXPECT_EQ(f.nl.num_devices() - before, 12u);  // 3 transistors per stage
+  f.nl.validate();
+}
+
+TEST(Generator, DeterministicInSeed) {
+  CircuitSpec spec;
+  spec.name = "x";
+  spec.seed = 77;
+  spec.glue_gates = 20;
+  spec.dffs = 2;
+  const Netlist a = generate_circuit(spec);
+  const Netlist b = generate_circuit(spec);
+  EXPECT_EQ(a.num_devices(), b.num_devices());
+  EXPECT_EQ(a.num_nets(), b.num_nets());
+  for (std::size_t i = 0; i < a.num_devices(); ++i) {
+    EXPECT_EQ(a.device(static_cast<circuit::DeviceId>(i)).name,
+              b.device(static_cast<circuit::DeviceId>(i)).name);
+    EXPECT_EQ(a.device(static_cast<circuit::DeviceId>(i)).params.num_fins,
+              b.device(static_cast<circuit::DeviceId>(i)).params.num_fins);
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  CircuitSpec spec;
+  spec.glue_gates = 30;
+  spec.seed = 1;
+  const Netlist a = generate_circuit(spec);
+  spec.seed = 2;
+  const Netlist b = generate_circuit(spec);
+  // Same block counts but different sizing/wiring.
+  bool any_diff = a.num_nets() != b.num_nets();
+  for (std::size_t i = 0; !any_diff && i < std::min(a.num_devices(), b.num_devices()); ++i)
+    any_diff = a.device(static_cast<circuit::DeviceId>(i)).params.num_fins !=
+               b.device(static_cast<circuit::DeviceId>(i)).params.num_fins;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Generator, SuiteHasPaperShape) {
+  const auto suite = build_paper_suite(42, 0.2);
+  EXPECT_EQ(suite.train.size(), 18u);
+  EXPECT_EQ(suite.test.size(), 4u);
+  EXPECT_EQ(suite.train[0].name(), "t1");
+  EXPECT_EQ(suite.test[3].name(), "e4");
+}
+
+TEST(Generator, T8T9ArePureThickGate) {
+  const auto suite = build_paper_suite(42, 0.2);
+  for (const auto idx : {7, 8}) {  // t8, t9
+    const auto st = suite.train[static_cast<std::size_t>(idx)].stats();
+    EXPECT_EQ(st.transistors(), 0u) << suite.train[static_cast<std::size_t>(idx)].name();
+    EXPECT_GT(st.thick_transistors(), 0u);
+  }
+}
+
+TEST(Generator, PureDigitalCircuitsHaveNoPassives) {
+  const auto suite = build_paper_suite(42, 0.2);
+  const auto st = suite.train[9].stats();  // t10
+  EXPECT_EQ(st.device_count[static_cast<std::size_t>(circuit::DeviceKind::kResistor)], 0u);
+  EXPECT_EQ(st.device_count[static_cast<std::size_t>(circuit::DeviceKind::kCapacitor)], 0u);
+  EXPECT_GT(st.transistors(), 0u);
+}
+
+TEST(Generator, EveryNetHasAttachments) {
+  const auto suite = build_paper_suite(7, 0.2);
+  for (const auto& nl : suite.test) {
+    const auto fanout = nl.net_fanout();
+    std::size_t floating = 0;
+    for (circuit::NetId id = 0; static_cast<std::size_t>(id) < nl.num_nets(); ++id) {
+      if (!nl.net(id).is_supply && fanout[static_cast<std::size_t>(id)] == 0) ++floating;
+    }
+    // Primary inputs may stay unused (at most 8 are created), but the bulk
+    // of nets must be wired.
+    EXPECT_LE(floating, 9u);
+    EXPECT_LT(floating, nl.num_nets() / 4);
+  }
+}
+
+TEST(Generator, ScalingChangesSize) {
+  CircuitSpec spec;
+  spec.glue_gates = 100;
+  spec.dffs = 10;
+  const CircuitSpec half = spec.scaled(0.5);
+  EXPECT_EQ(half.glue_gates, 50);
+  EXPECT_EQ(half.dffs, 5);
+  // Nonzero counts never scale to zero.
+  CircuitSpec tiny;
+  tiny.opamps = 1;
+  EXPECT_EQ(tiny.scaled(0.01).opamps, 1);
+  EXPECT_EQ(tiny.scaled(0.01).dffs, 0);
+}
+
+}  // namespace
+}  // namespace paragraph::circuitgen

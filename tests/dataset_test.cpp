@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dataset/dataset.h"
+
+namespace paragraph::dataset {
+namespace {
+
+SuiteDataset tiny_dataset() { return build_dataset(11, 0.05); }
+
+TEST(Targets, NamesAndOrder) {
+  EXPECT_EQ(all_targets().size(), kNumTargets);
+  EXPECT_STREQ(target_name(TargetKind::kCap), "CAP");
+  EXPECT_STREQ(target_name(TargetKind::kLde5), "LDE5");
+  EXPECT_STREQ(target_name(TargetKind::kSourceArea), "SA");
+  EXPECT_EQ(device_targets().size(), kNumTargets - 2);  // minus CAP and RES
+  EXPECT_EQ(device_targets().front(), TargetKind::kLde1);
+  EXPECT_EQ(device_targets().back(), TargetKind::kDrainPerimeter);
+  EXPECT_STREQ(target_name(TargetKind::kRes), "RES");
+  EXPECT_EQ(target_node_types(TargetKind::kRes)[0], graph::NodeType::kNet);
+}
+
+TEST(Targets, NodeTypesForTargets) {
+  EXPECT_EQ(target_node_types(TargetKind::kCap).size(), 1u);
+  EXPECT_EQ(target_node_types(TargetKind::kCap)[0], graph::NodeType::kNet);
+  EXPECT_EQ(target_node_types(TargetKind::kDrainArea).size(), 2u);
+}
+
+TEST(Dataset, BuildsSuiteWithSplit) {
+  const SuiteDataset ds = tiny_dataset();
+  EXPECT_EQ(ds.train.size(), 18u);
+  EXPECT_EQ(ds.test.size(), 4u);
+  EXPECT_TRUE(ds.normalizer.fitted());
+}
+
+TEST(Dataset, TargetsAlignWithGraphNodes) {
+  const SuiteDataset ds = tiny_dataset();
+  for (const Sample& s : ds.train) {
+    EXPECT_EQ(s.target_values(TargetKind::kCap).size(),
+              s.graph.num_nodes(graph::NodeType::kNet));
+    EXPECT_EQ(s.target_values(TargetKind::kSourceArea, 0).size(),
+              s.graph.num_nodes(graph::NodeType::kTransistor));
+    EXPECT_EQ(s.target_values(TargetKind::kSourceArea, 1).size(),
+              s.graph.num_nodes(graph::NodeType::kTransistorThick));
+  }
+}
+
+TEST(Dataset, CapTargetsAreInFemtofarads) {
+  const SuiteDataset ds = tiny_dataset();
+  for (const Sample& s : ds.test) {
+    for (const float v : s.target_values(TargetKind::kCap)) {
+      EXPECT_GT(v, 1e-3f);  // >= 0.01 fF floor
+      EXPECT_LT(v, 1e6f);   // well below a microfarad
+    }
+  }
+}
+
+TEST(Dataset, AllTargetsPositive) {
+  const SuiteDataset ds = tiny_dataset();
+  for (const TargetKind t : all_targets()) {
+    for (const Sample& s : ds.train) {
+      for (std::size_t slot = 0; slot < target_node_types(t).size(); ++slot) {
+        for (const float v : s.target_values(t, slot)) EXPECT_GT(v, 0.0f);
+      }
+    }
+  }
+}
+
+TEST(Dataset, NormalizerStandardisesTrainFeatures) {
+  const SuiteDataset ds = tiny_dataset();
+  // Pool normalised transistor features over train: mean ~0, std ~1.
+  double sum = 0.0, sum2 = 0.0;
+  std::size_t n = 0;
+  for (const Sample& s : ds.train) {
+    const nn::Matrix f = ds.normalizer.apply(s.graph, graph::NodeType::kTransistor);
+    for (std::size_t r = 0; r < f.rows(); ++r) {
+      sum += f(r, 0);
+      sum2 += f(r, 0) * f(r, 0);
+      ++n;
+    }
+  }
+  ASSERT_GT(n, 0u);
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / n - mean * mean, 1.0, 0.1);
+}
+
+TEST(Dataset, NormalizerRejectsUnfitted) {
+  FeatureNormalizer norm;
+  const SuiteDataset ds = tiny_dataset();
+  EXPECT_THROW(norm.apply(ds.train[0].graph, graph::NodeType::kNet), std::logic_error);
+}
+
+TEST(Dataset, PooledTargetsConcatenateEverything) {
+  const SuiteDataset ds = tiny_dataset();
+  std::size_t expect = 0;
+  for (const Sample& s : ds.train) expect += s.target_values(TargetKind::kCap).size();
+  EXPECT_EQ(SuiteDataset::pooled_targets(ds.train, TargetKind::kCap).size(), expect);
+}
+
+TEST(Dataset, DeterministicInSeed) {
+  const SuiteDataset a = build_dataset(5, 0.05);
+  const SuiteDataset b = build_dataset(5, 0.05);
+  const auto& ca = a.train[0].target_values(TargetKind::kCap);
+  const auto& cb = b.train[0].target_values(TargetKind::kCap);
+  ASSERT_EQ(ca.size(), cb.size());
+  for (std::size_t i = 0; i < ca.size(); ++i) EXPECT_FLOAT_EQ(ca[i], cb[i]);
+}
+
+TEST(Dataset, ExtractTargetsValidatesNodeType) {
+  const SuiteDataset ds = tiny_dataset();
+  const Sample& s = ds.train[0];
+  EXPECT_THROW(extract_targets(s.netlist, s.graph, graph::NodeType::kTransistor,
+                               TargetKind::kCap),
+               std::invalid_argument);
+  EXPECT_THROW(extract_targets(s.netlist, s.graph, graph::NodeType::kNet,
+                               TargetKind::kSourceArea),
+               std::invalid_argument);
+}
+
+TEST(Dataset, LdeTargetsSpanAllEight) {
+  const SuiteDataset ds = tiny_dataset();
+  const Sample& s = ds.train[0];
+  for (int k = 0; k < 8; ++k) {
+    const auto t = static_cast<TargetKind>(static_cast<int>(TargetKind::kLde1) + k);
+    const auto& v = s.target_values(t, 0);
+    EXPECT_EQ(v.size(), s.graph.num_nodes(graph::NodeType::kTransistor));
+  }
+}
+
+}  // namespace
+}  // namespace paragraph::dataset

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+
+namespace paragraph::eval {
+namespace {
+
+TEST(Metrics, PerfectPredictionR2IsOne) {
+  const std::vector<float> y = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(r_squared(y, y), 1.0);
+}
+
+TEST(Metrics, MeanPredictionR2IsZero) {
+  const std::vector<float> y = {1, 2, 3, 4};
+  const std::vector<float> p(4, 2.5f);
+  EXPECT_NEAR(r_squared(y, p), 0.0, 1e-9);
+}
+
+TEST(Metrics, BadPredictionR2Negative) {
+  const std::vector<float> y = {1, 2, 3, 4};
+  const std::vector<float> p = {4, 3, 2, 1};
+  EXPECT_LT(r_squared(y, p), 0.0);
+}
+
+TEST(Metrics, ConstantTruthR2IsZero) {
+  const std::vector<float> y = {2, 2, 2};
+  const std::vector<float> p = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(r_squared(y, p), 0.0);
+}
+
+TEST(Metrics, MaeKnownValue) {
+  const std::vector<float> y = {0, 0};
+  const std::vector<float> p = {1, -3};
+  EXPECT_DOUBLE_EQ(mean_absolute_error(y, p), 2.0);
+  EXPECT_DOUBLE_EQ(mean_absolute_error({}, {}), 0.0);
+}
+
+TEST(Metrics, MapeKnownValueAndZeroSkip) {
+  const std::vector<float> y = {10, 0, 20};
+  const std::vector<float> p = {11, 5, 18};
+  // Zero truth skipped: mean(10%, 10%) = 10%.
+  EXPECT_NEAR(mean_absolute_percentage_error(y, p), 10.0, 1e-5);
+}
+
+TEST(Metrics, SizeMismatchThrows) {
+  const std::vector<float> y = {1};
+  const std::vector<float> p = {1, 2};
+  EXPECT_THROW(r_squared(y, p), std::invalid_argument);
+  EXPECT_THROW(mean_absolute_error(y, p), std::invalid_argument);
+  EXPECT_THROW(mean_absolute_percentage_error(y, p), std::invalid_argument);
+}
+
+TEST(Metrics, EvaluateBundles) {
+  const std::vector<float> y = {1, 2, 3};
+  const std::vector<float> p = {1, 2, 3};
+  const RegressionMetrics m = evaluate(y, p);
+  EXPECT_DOUBLE_EQ(m.r2, 1.0);
+  EXPECT_DOUBLE_EQ(m.mae, 0.0);
+  EXPECT_EQ(m.count, 3u);
+}
+
+TEST(ErrorHistogramTest, BinsMatchTableV) {
+  // 5%, 15%, 25%, 35%, 45%, 80% -> one per bin.
+  const std::vector<double> e = {0.05, 0.15, 0.25, 0.35, 0.45, 0.80};
+  const ErrorHistogram h = error_histogram(e);
+  for (const auto b : h.bins) EXPECT_EQ(b, 1u);
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_NEAR(h.mean_percent, (5 + 15 + 25 + 35 + 45 + 80) / 6.0, 1e-9);
+}
+
+TEST(ErrorHistogramTest, GeomeanUsesLogs) {
+  const std::vector<double> e = {0.01, 1.0};  // 1% and 100%
+  const ErrorHistogram h = error_histogram(e);
+  EXPECT_NEAR(h.geomean_percent, 10.0, 1e-6);
+}
+
+TEST(ErrorHistogramTest, NegativeErrorsUseAbs) {
+  const std::vector<double> e = {-0.05};
+  const ErrorHistogram h = error_histogram(e);
+  EXPECT_EQ(h.bins[0], 1u);
+}
+
+TEST(ErrorHistogramTest, EmptyIsAllZero) {
+  const ErrorHistogram h = error_histogram({});
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean_percent, 0.0);
+}
+
+}  // namespace
+}  // namespace paragraph::eval

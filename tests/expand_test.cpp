@@ -1,0 +1,117 @@
+#include "sim/expand.h"
+
+#include <gtest/gtest.h>
+
+#include "circuit/spice_parser.h"
+#include "circuit/spice_writer.h"
+#include "layout/annotator.h"
+
+namespace paragraph::sim {
+namespace {
+
+circuit::Netlist annotated() {
+  auto nl = circuit::parse_spice_string(R"(
+Mn1 out in vss vss nmos L=16n NFIN=2
+Mp1 out in vdd vdd pmos L=16n NFIN=4
+Mn2 o2 out vss vss nmos L=16n NFIN=2
+Mp2 o2 out vdd vdd pmos L=16n NFIN=4
+)");
+  layout::annotate_layout(nl, 17);
+  return nl;
+}
+
+TEST(Expand, GrowsNetlistByOrdersOfFanout) {
+  const auto nl = annotated();
+  const auto ann = ground_truth_annotation(nl, layout::default_tech());
+  ExpandStats stats;
+  const auto rc = expand_parasitics(nl, ann, {}, &stats);
+  EXPECT_GT(stats.nets_expanded, 0u);
+  EXPECT_GT(rc.num_devices(), nl.num_devices());
+  EXPECT_GT(rc.num_nets(), nl.num_nets());
+  // The paper's point: resistive expansion multiplies element counts.
+  EXPECT_GE(stats.resistors_added, 2u);
+  EXPECT_GE(stats.capacitors_added, stats.resistors_added);
+  rc.validate();
+}
+
+TEST(Expand, CapacitanceIsConserved) {
+  const auto nl = annotated();
+  const auto ann = ground_truth_annotation(nl, layout::default_tech());
+  const auto rc = expand_parasitics(nl, ann);
+  double total_added_cap = 0.0;
+  for (const auto& d : rc.devices()) {
+    if (d.kind == circuit::DeviceKind::kCapacitor &&
+        d.name.find("__c") != std::string::npos)
+      total_added_cap += d.params.value;
+  }
+  double total_ann_cap = 0.0;
+  for (circuit::NetId id = 0; static_cast<std::size_t>(id) < nl.num_nets(); ++id)
+    if (!nl.net(id).is_supply) total_ann_cap += ann.net_cap[static_cast<std::size_t>(id)];
+  EXPECT_NEAR(total_added_cap / total_ann_cap, 1.0, 1e-9);
+}
+
+TEST(Expand, ResistanceIsConservedPerNet) {
+  const auto nl = annotated();
+  const auto ann = ground_truth_annotation(nl, layout::default_tech());
+  ExpandOptions opts;
+  opts.trunk_fraction = 0.5;
+  const auto rc = expand_parasitics(nl, ann, opts);
+  // For net "out" (fanout 4): trunk R = R/2, each of 4 stubs = R/8.
+  const auto idx = static_cast<std::size_t>(nl.net_id("out"));
+  double trunk = -1.0, stub = -1.0;
+  for (const auto& d : rc.devices()) {
+    if (d.name == "out__rtrunk") trunk = d.params.value;
+    if (d.name == "out__r0") stub = d.params.value;
+  }
+  ASSERT_GT(trunk, 0.0);
+  ASSERT_GT(stub, 0.0);
+  EXPECT_NEAR(trunk, ann.net_res[idx] * 0.5, ann.net_res[idx] * 1e-6);
+  EXPECT_NEAR(stub, ann.net_res[idx] * 0.5 / 4.0, ann.net_res[idx] * 1e-6);
+}
+
+TEST(Expand, DevicesReconnectToStubs) {
+  const auto nl = annotated();
+  const auto ann = ground_truth_annotation(nl, layout::default_tech());
+  const auto rc = expand_parasitics(nl, ann);
+  // Original devices must no longer connect directly to expanded trunks.
+  const auto att = rc.net_attachments();
+  const auto trunk = rc.net_id("out");
+  for (const auto& a : att[static_cast<std::size_t>(trunk)]) {
+    const auto& d = rc.device(a.device);
+    // Only the trunk resistor/cap touch the trunk node now.
+    EXPECT_TRUE(d.name.find("__rtrunk") != std::string::npos ||
+                d.name.find("__ctrunk") != std::string::npos)
+        << d.name;
+  }
+}
+
+TEST(Expand, LowResistanceNetsStayLumped) {
+  const auto nl = annotated();
+  auto ann = ground_truth_annotation(nl, layout::default_tech());
+  for (auto& r : ann.net_res) r = 0.0;  // force everything below threshold
+  ExpandStats stats;
+  const auto rc = expand_parasitics(nl, ann, {}, &stats);
+  EXPECT_EQ(stats.nets_expanded, 0u);
+  EXPECT_EQ(stats.resistors_added, 0u);
+  EXPECT_GT(stats.capacitors_added, 0u);  // lumped caps still emitted
+}
+
+TEST(Expand, ExpandedNetlistIsWritableSpice) {
+  const auto nl = annotated();
+  const auto ann = ground_truth_annotation(nl, layout::default_tech());
+  const auto rc = expand_parasitics(nl, ann);
+  const std::string text = circuit::write_spice_string(rc);
+  const auto reparsed = circuit::parse_spice_string(text);
+  EXPECT_EQ(reparsed.num_devices(), rc.num_devices());
+}
+
+TEST(Expand, AnnotationSizeMismatchThrows) {
+  const auto nl = annotated();
+  SimAnnotation bad;
+  bad.net_cap.assign(1, 0.0);
+  bad.net_res.assign(1, 0.0);
+  EXPECT_THROW(expand_parasitics(nl, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace paragraph::sim

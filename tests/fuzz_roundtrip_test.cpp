@@ -1,0 +1,89 @@
+// Randomised round-trip sweeps: for a range of generator seeds and specs,
+// the full pipeline (generate -> write SPICE -> reparse -> graph ->
+// layout -> targets) must hold its invariants.
+#include <gtest/gtest.h>
+
+#include "circuit/spice_parser.h"
+#include "circuit/spice_writer.h"
+#include "circuitgen/generator.h"
+#include "graph/hetero_graph.h"
+#include "layout/annotator.h"
+#include "util/rng.h"
+
+namespace paragraph {
+namespace {
+
+class RoundTripFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+circuitgen::CircuitSpec fuzz_spec(std::uint64_t seed) {
+  util::Rng rng(seed * 31 + 5);
+  circuitgen::CircuitSpec spec;
+  spec.name = "fz" + std::to_string(seed);
+  spec.seed = seed;
+  spec.opamps = static_cast<int>(rng.uniform_int(0, 2));
+  spec.otas = static_cast<int>(rng.uniform_int(0, 2));
+  spec.comparators = static_cast<int>(rng.uniform_int(0, 2));
+  spec.mirrors = static_cast<int>(rng.uniform_int(0, 3));
+  spec.bandgaps = static_cast<int>(rng.uniform_int(0, 1));
+  spec.rc_filters = static_cast<int>(rng.uniform_int(0, 3));
+  spec.ladders = static_cast<int>(rng.uniform_int(0, 2));
+  spec.cap_dacs = static_cast<int>(rng.uniform_int(0, 2));
+  spec.glue_gates = static_cast<int>(rng.uniform_int(5, 40));
+  spec.dffs = static_cast<int>(rng.uniform_int(0, 5));
+  spec.ring_oscs = static_cast<int>(rng.uniform_int(0, 1));
+  spec.level_shifters = static_cast<int>(rng.uniform_int(0, 6));
+  spec.io_drivers = static_cast<int>(rng.uniform_int(0, 2));
+  spec.esd_pads = static_cast<int>(rng.uniform_int(0, 2));
+  return spec;
+}
+
+TEST_P(RoundTripFuzz, PipelineInvariantsHold) {
+  const auto spec = fuzz_spec(GetParam());
+  circuit::Netlist nl = circuitgen::generate_circuit(spec);
+  ASSERT_NO_THROW(nl.validate());
+
+  // SPICE round trip preserves device populations.
+  const circuit::Netlist re = circuit::parse_spice_string(circuit::write_spice_string(nl));
+  const auto s1 = nl.stats();
+  const auto s2 = re.stats();
+  for (std::size_t k = 0; k < circuit::kNumDeviceKinds; ++k)
+    ASSERT_EQ(s1.device_count[k], s2.device_count[k]) << "seed " << GetParam();
+
+  // Layout annotates every transistor and every non-supply net.
+  layout::annotate_layout(nl, GetParam() ^ 0x1234);
+  for (const auto& d : nl.devices()) {
+    if (!circuit::is_transistor(d.kind)) continue;
+    ASSERT_TRUE(d.layout.has_value());
+    ASSERT_GT(d.layout->source_area, 0.0);
+    ASSERT_GT(d.layout->drain_area, 0.0);
+    for (const double v : d.layout->lde) ASSERT_GT(v, 0.0);
+  }
+  std::size_t caps = 0;
+  for (const auto& n : nl.nets()) {
+    if (n.is_supply) continue;
+    ASSERT_TRUE(n.ground_truth_cap.has_value());
+    ASSERT_TRUE(n.ground_truth_res.has_value());
+    ASSERT_GE(*n.ground_truth_cap, 0.01e-15);
+    ASSERT_GE(*n.ground_truth_res, 0.1);
+    ++caps;
+  }
+  ASSERT_GT(caps, 0u);
+
+  // Graph construction: edges come in opposite-direction pairs and the
+  // graph validates.
+  const graph::HeteroGraph g = graph::build_graph(nl);
+  ASSERT_NO_THROW(g.validate());
+  std::size_t fwd = 0, bwd = 0;
+  for (const auto& te : g.edges()) {
+    const auto& info = graph::edge_type_registry()[te.type_index];
+    if (info.src_type == graph::NodeType::kNet) fwd += te.num_edges();
+    else bwd += te.num_edges();
+  }
+  ASSERT_EQ(fwd, bwd);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace paragraph

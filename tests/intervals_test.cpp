@@ -1,0 +1,92 @@
+#include "core/intervals.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace paragraph::core {
+namespace {
+
+TEST(Conformal, Validation) {
+  ConformalCalibrator c;
+  EXPECT_THROW(c.half_width(1.0f), std::logic_error);  // before calibrate
+  EXPECT_THROW(c.calibrate({1.0f}, {1.0f, 2.0f}), std::invalid_argument);
+  EXPECT_THROW(c.calibrate({}, {}), std::invalid_argument);
+  EXPECT_THROW(c.calibrate({1.0f}, {1.0f}, 1.5), std::invalid_argument);
+  EXPECT_THROW(ConformalCalibrator(2, 2), std::invalid_argument);
+}
+
+TEST(Conformal, CoversHomoscedasticNoise) {
+  util::Rng rng(1);
+  std::vector<float> truth, pred;
+  for (int i = 0; i < 2000; ++i) {
+    const float p = static_cast<float>(rng.uniform(1.0, 100.0));
+    pred.push_back(p);
+    truth.push_back(p + static_cast<float>(rng.normal(0.0, 2.0)));
+  }
+  ConformalCalibrator c;
+  c.calibrate(truth, pred, 0.9);
+  // Fresh data from the same distribution.
+  std::vector<float> t2, p2;
+  for (int i = 0; i < 2000; ++i) {
+    const float p = static_cast<float>(rng.uniform(1.0, 100.0));
+    p2.push_back(p);
+    t2.push_back(p + static_cast<float>(rng.normal(0.0, 2.0)));
+  }
+  EXPECT_NEAR(c.empirical_coverage(t2, p2), 0.9, 0.03);
+  // Half-width near the 90% quantile of |N(0,2)| = 2 * 1.645.
+  EXPECT_NEAR(c.half_width(50.0f), 2.0 * 1.645, 0.4);
+}
+
+TEST(Conformal, AdaptsToHeteroscedasticDecades) {
+  // Noise proportional to magnitude: big predictions need big intervals.
+  util::Rng rng(2);
+  std::vector<float> truth, pred;
+  for (int i = 0; i < 4000; ++i) {
+    const double mag = std::pow(10.0, rng.uniform(-1.0, 3.0));
+    const float p = static_cast<float>(mag);
+    pred.push_back(p);
+    truth.push_back(p + static_cast<float>(rng.normal(0.0, 0.1 * mag)));
+  }
+  ConformalCalibrator c;
+  c.calibrate(truth, pred, 0.9);
+  EXPECT_GT(c.half_width(500.0f), 10.0 * c.half_width(0.5f));
+  const auto iv = c.interval(500.0f);
+  EXPECT_LT(iv.lo, 500.0);
+  EXPECT_GT(iv.hi, 500.0);
+}
+
+TEST(Conformal, SparseBucketFallsBackToGlobal) {
+  // All calibration data in one decade; a query in another decade must
+  // still produce a finite width (the global quantile).
+  util::Rng rng(3);
+  std::vector<float> truth, pred;
+  for (int i = 0; i < 200; ++i) {
+    const float p = static_cast<float>(rng.uniform(10.0, 99.0));
+    pred.push_back(p);
+    truth.push_back(p + static_cast<float>(rng.normal(0.0, 1.0)));
+  }
+  ConformalCalibrator c;
+  c.calibrate(truth, pred, 0.9);
+  EXPECT_GT(c.half_width(0.01f), 0.0);
+  EXPECT_DOUBLE_EQ(c.half_width(0.01f), c.half_width(1e6f));
+}
+
+TEST(Conformal, HigherCoverageWiderIntervals) {
+  util::Rng rng(4);
+  std::vector<float> truth, pred;
+  for (int i = 0; i < 1000; ++i) {
+    const float p = static_cast<float>(rng.uniform(1.0, 10.0));
+    pred.push_back(p);
+    truth.push_back(p + static_cast<float>(rng.normal(0.0, 1.0)));
+  }
+  ConformalCalibrator c80, c99;
+  c80.calibrate(truth, pred, 0.8);
+  c99.calibrate(truth, pred, 0.99);
+  EXPECT_GT(c99.half_width(5.0f), c80.half_width(5.0f));
+}
+
+}  // namespace
+}  // namespace paragraph::core

@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include "circuit/spice_parser.h"
+#include "layout/annotator.h"
+#include "layout/diffusion.h"
+#include "layout/placer.h"
+#include "layout/wire_model.h"
+
+namespace paragraph::layout {
+namespace {
+
+using circuit::DeviceId;
+using circuit::DeviceKind;
+using circuit::Netlist;
+
+// Two NMOS in series sharing net "mid": a classic MTS pair.
+Netlist series_pair() {
+  return circuit::parse_spice_string(R"(
+M1 mid a vss vss nmos L=16n NFIN=4 NF=1
+M2 out b mid vss nmos L=16n NFIN=4 NF=1
+)");
+}
+
+TEST(Diffusion, SeriesPairSharesDiffusion) {
+  const Netlist nl = series_pair();
+  const auto chains = build_diffusion_chains(nl);
+  ASSERT_EQ(chains.size(), 1u);
+  EXPECT_EQ(chains[0].slots.size(), 2u);
+  EXPECT_EQ(chains[0].total_fingers, 2);
+  // Exactly one boundary of each device is fused.
+  int shared = 0;
+  for (const auto& s : chains[0].slots)
+    shared += static_cast<int>(s.shared_left) + static_cast<int>(s.shared_right);
+  EXPECT_EQ(shared, 2);
+}
+
+TEST(Diffusion, DifferentFinCountsDoNotChain) {
+  const Netlist nl = circuit::parse_spice_string(R"(
+M1 mid a vss vss nmos L=16n NFIN=4
+M2 out b mid vss nmos L=16n NFIN=8
+)");
+  const auto chains = build_diffusion_chains(nl);
+  EXPECT_EQ(chains.size(), 2u);
+}
+
+TEST(Diffusion, NmosAndPmosNeverChain) {
+  const Netlist nl = circuit::parse_spice_string(R"(
+M1 mid a vss vss nmos L=16n NFIN=4
+M2 mid b vdd vdd pmos L=16n NFIN=4
+)");
+  const auto chains = build_diffusion_chains(nl);
+  EXPECT_EQ(chains.size(), 2u);
+}
+
+TEST(Diffusion, ChainLengthIsBounded) {
+  // A long series stack of same-size devices must be split into rows.
+  std::string text;
+  std::string prev = "n0";
+  for (int i = 0; i < 40; ++i) {
+    const std::string next = "n" + std::to_string(i + 1);
+    text += "M" + std::to_string(i) + " " + next + " g " + prev + " vss nmos L=16n NFIN=2 NF=4\n";
+    prev = next;
+  }
+  const Netlist nl = circuit::parse_spice_string(text);
+  const auto chains = build_diffusion_chains(nl);
+  EXPECT_GT(chains.size(), 1u);
+  for (const auto& c : chains) EXPECT_LE(c.total_fingers, 48);
+}
+
+TEST(Diffusion, SharedDrainHalvesDrainArea) {
+  Netlist nl = series_pair();
+  const auto chains = build_diffusion_chains(nl);
+  util::Rng rng(1);
+  TechRules tech;
+  tech.sigma_geometry = 0.0;  // exact geometry for the assertion
+  tech.sigma_lod = 0.0;
+  apply_chain_geometry(nl, chains, tech, rng);
+
+  // M1 (NF=1): boundaries are source (b0) and drain (b1). Its drain "mid"
+  // is shared with M2, so DA should be half the shared-interior area while
+  // SA keeps the full end extension: SA/DA = e_end / (0.5 * e_int).
+  const auto& lay = nl.device(0).layout.value();
+  const double expected_ratio = tech.diff_ext_end / (0.5 * tech.diff_ext_shared);
+  EXPECT_NEAR(lay.source_area / lay.drain_area, expected_ratio, 1e-6);
+}
+
+TEST(Diffusion, IsolatedDeviceSymmetricOddFingers) {
+  Netlist nl = circuit::parse_spice_string("M1 d g s vss nmos L=16n NFIN=4 NF=3\n");
+  const auto chains = build_diffusion_chains(nl);
+  util::Rng rng(1);
+  TechRules tech;
+  tech.sigma_geometry = 0.0;
+  tech.sigma_lod = 0.0;
+  apply_chain_geometry(nl, chains, tech, rng);
+  const auto& lay = nl.device(0).layout.value();
+  // NF=3: boundaries alternate S D S D, so source and drain each own one
+  // unshared end and one interior boundary -> equal areas.
+  const double w = 4 * tech.fin_pitch;
+  EXPECT_NEAR(lay.source_area, w * (tech.diff_ext_end + tech.diff_ext_shared), 1e-20);
+  EXPECT_NEAR(lay.drain_area, lay.source_area, 1e-20);
+}
+
+TEST(Diffusion, MultiplierScalesAreas) {
+  Netlist nl = circuit::parse_spice_string(
+      "M1 d g s vss nmos L=16n NFIN=4 NF=2 M=1\n"
+      "M2 d2 g2 s2 vss nmos L=16n NFIN=4 NF=2 M=3\n");
+  const auto chains = build_diffusion_chains(nl);
+  util::Rng rng(1);
+  TechRules tech;
+  tech.sigma_geometry = 0.0;
+  tech.sigma_lod = 0.0;
+  apply_chain_geometry(nl, chains, tech, rng);
+  EXPECT_NEAR(nl.device(1).layout->source_area / nl.device(0).layout->source_area, 3.0, 1e-6);
+}
+
+TEST(Diffusion, LodGrowsTowardChainInterior) {
+  // In a 3-device chain the middle device is farther from both edges.
+  Netlist nl = circuit::parse_spice_string(R"(
+M1 n1 a n0 vss nmos L=16n NFIN=4 NF=1
+M2 n2 b n1 vss nmos L=16n NFIN=4 NF=1
+M3 n3 c n2 vss nmos L=16n NFIN=4 NF=1
+)");
+  const auto chains = build_diffusion_chains(nl);
+  ASSERT_EQ(chains.size(), 1u);
+  ASSERT_EQ(chains[0].slots.size(), 3u);
+  util::Rng rng(1);
+  TechRules tech;
+  tech.sigma_lod = 0.0;
+  apply_chain_geometry(nl, chains, tech, rng);
+  const DeviceId middle = chains[0].slots[1].device;
+  const DeviceId left = chains[0].slots[0].device;
+  const auto& lm = nl.device(middle).layout.value();
+  const auto& ll = nl.device(left).layout.value();
+  EXPECT_GT(lm.lde[0], ll.lde[0]);  // middle device farther from left edge
+}
+
+TEST(Placer, FootprintsArePositive) {
+  const Netlist nl = circuit::parse_spice_string(R"(
+M1 d g s vss nmos L=16n NFIN=4 NF=2
+R1 a b 10k L=2u
+C1 a vss 10f
+D1 a vss dio NF=2
+Q1 a b vss npn
+)");
+  const TechRules tech;
+  for (std::size_t i = 0; i < nl.num_devices(); ++i) {
+    const auto& d = nl.device(static_cast<DeviceId>(i));
+    EXPECT_GT(device_footprint_width(d, tech), 0.0) << d.name;
+    EXPECT_GT(device_footprint_height(d, tech), 0.0) << d.name;
+  }
+}
+
+TEST(Placer, DevicesDoNotEscapeDie) {
+  const Netlist nl = series_pair();
+  const Placement p = place(nl, TechRules{});
+  for (std::size_t i = 0; i < nl.num_devices(); ++i) {
+    EXPECT_GE(p.device_center[i].x, 0.0);
+    EXPECT_LE(p.device_center[i].x, p.chip_width);
+    EXPECT_GE(p.device_center[i].y, 0.0);
+    EXPECT_LE(p.device_center[i].y, p.chip_height);
+  }
+  EXPECT_GT(p.chip_area(), 0.0);
+}
+
+TEST(Placer, LargerCircuitLargerDie) {
+  std::string small_text, big_text;
+  for (int i = 0; i < 4; ++i)
+    small_text += "M" + std::to_string(i) + " d g s vss nmos L=16n NFIN=2\n";
+  for (int i = 0; i < 64; ++i)
+    big_text += "M" + std::to_string(i) + " d g s vss nmos L=16n NFIN=2\n";
+  const Placement ps = place(circuit::parse_spice_string(small_text), TechRules{});
+  const Placement pb = place(circuit::parse_spice_string(big_text), TechRules{});
+  EXPECT_GT(pb.chip_area(), ps.chip_area() * 4);
+}
+
+TEST(WireModel, WirelengthMonotonicInSpread) {
+  const TechRules tech;
+  const std::vector<Point> close = {{0, 0}, {1e-6, 1e-6}};
+  const std::vector<Point> far = {{0, 0}, {10e-6, 10e-6}};
+  EXPECT_GT(estimate_wirelength(far, tech), estimate_wirelength(close, tech));
+}
+
+TEST(WireModel, SteinerKicksInForManyPins) {
+  const TechRules tech;
+  std::vector<Point> two = {{0, 0}, {10e-6, 10e-6}};
+  std::vector<Point> many = two;
+  for (int i = 1; i < 30; ++i)
+    many.push_back({i * 0.3e-6, (30 - i) * 0.3e-6});
+  // Same bounding box, many more sinks -> longer estimated route.
+  EXPECT_GT(estimate_wirelength(many, tech), 2.0 * estimate_wirelength(two, tech));
+}
+
+TEST(WireModel, PinCapRequiresLayoutForJunctions) {
+  const Netlist nl = series_pair();
+  const TechRules tech;
+  // Terminal 0 = drain: needs layout annotation.
+  EXPECT_THROW(pin_capacitance(nl.device(0), 0, tech), std::logic_error);
+  // Gate cap works without layout.
+  EXPECT_GT(pin_capacitance(nl.device(0), 1, tech), 0.0);
+}
+
+TEST(Annotator, FillsEverything) {
+  Netlist nl = series_pair();
+  const auto result = annotate_layout(nl, 99);
+  EXPECT_GT(result.num_chains, 0u);
+  for (const auto& d : nl.devices())
+    if (circuit::is_transistor(d.kind)) {
+      ASSERT_TRUE(d.layout.has_value());
+      EXPECT_GT(d.layout->source_area, 0.0);
+      for (const double lde : d.layout->lde) EXPECT_GT(lde, 0.0);
+    }
+  for (const auto& n : nl.nets())
+    if (!n.is_supply) {
+      ASSERT_TRUE(n.ground_truth_cap.has_value());
+      EXPECT_GE(*n.ground_truth_cap, 0.01e-15);
+    }
+}
+
+TEST(Annotator, DeterministicInSeed) {
+  Netlist a = series_pair();
+  Netlist b = series_pair();
+  annotate_layout(a, 5);
+  annotate_layout(b, 5);
+  for (std::size_t i = 0; i < a.num_nets(); ++i) {
+    if (a.net(static_cast<circuit::NetId>(i)).is_supply) continue;
+    EXPECT_DOUBLE_EQ(*a.net(static_cast<circuit::NetId>(i)).ground_truth_cap,
+                     *b.net(static_cast<circuit::NetId>(i)).ground_truth_cap);
+  }
+}
+
+TEST(Annotator, DifferentSeedsGiveDifferentNoise) {
+  Netlist a = series_pair();
+  Netlist b = series_pair();
+  annotate_layout(a, 5);
+  annotate_layout(b, 6);
+  EXPECT_NE(*a.net(a.net_id("mid")).ground_truth_cap, *b.net(b.net_id("mid")).ground_truth_cap);
+}
+
+TEST(Annotator, HigherFanoutMoreCap) {
+  // A net touching many gates must carry more capacitance than a leaf net.
+  std::string text = "M0 out in vss vss nmos L=16n NFIN=2\n";
+  for (int i = 0; i < 20; ++i)
+    text += "M" + std::to_string(i + 1) + " o" + std::to_string(i) +
+            " out vss vss nmos L=16n NFIN=2\n";
+  Netlist nl = circuit::parse_spice_string(text);
+  annotate_layout(nl, 3);
+  EXPECT_GT(*nl.net(nl.net_id("out")).ground_truth_cap,
+            *nl.net(nl.net_id("in")).ground_truth_cap);
+}
+
+TEST(Annotator, SupplyNetsGetNoCap) {
+  Netlist nl = series_pair();
+  annotate_layout(nl, 1);
+  EXPECT_FALSE(nl.net(nl.net_id("vss")).ground_truth_cap.has_value());
+}
+
+}  // namespace
+}  // namespace paragraph::layout

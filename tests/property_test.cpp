@@ -1,0 +1,190 @@
+// Property-based tests: invariants checked over parameter sweeps rather
+// than single examples (TEST_P / INSTANTIATE_TEST_SUITE_P).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/spice_parser.h"
+#include "core/predictor.h"
+#include "layout/annotator.h"
+#include "layout/diffusion.h"
+#include "layout/wire_model.h"
+#include "nn/graph_ops.h"
+#include "nn/ops.h"
+#include "sim/mna.h"
+#include "test_util.h"
+#include "util/strings.h"
+
+namespace paragraph {
+namespace {
+
+// ---- autograd gradients hold across shapes ----
+
+class AutogradShapeTest : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(AutogradShapeTest, LinearReluMseGradient) {
+  const auto [rows, cols] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(rows * 131 + cols));
+  nn::Tensor x(testing::random_matrix(static_cast<std::size_t>(rows),
+                                      static_cast<std::size_t>(cols), rng),
+               true);
+  nn::Tensor w(testing::random_matrix(static_cast<std::size_t>(cols), 3, rng), true);
+  const nn::Matrix target(static_cast<std::size_t>(rows), 3, 0.25f);
+  testing::check_gradient(x, [&](const nn::Tensor& t) {
+    return nn::mse_loss(nn::leaky_relu(nn::matmul(t, w)), target);
+  });
+  testing::check_gradient(w, [&](const nn::Tensor& t) {
+    return nn::mse_loss(nn::leaky_relu(nn::matmul(x, t)), target);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, AutogradShapeTest,
+                         ::testing::Values(std::pair{1, 1}, std::pair{1, 7}, std::pair{5, 1},
+                                           std::pair{4, 4}, std::pair{9, 3}, std::pair{2, 16}));
+
+// ---- segment softmax partitions to 1 for arbitrary segmenting ----
+
+class SegmentSoftmaxTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SegmentSoftmaxTest, EachSegmentSumsToOne) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  nn::SegmentIndex seg;
+  seg.offsets.push_back(0);
+  for (int s = 0; s < GetParam(); ++s) {
+    const auto len = rng.uniform_int(0, 7);  // empty segments allowed
+    seg.offsets.push_back(seg.offsets.back() + static_cast<std::int32_t>(len));
+  }
+  const auto total = static_cast<std::size_t>(seg.offsets.back());
+  if (total == 0) return;
+  nn::Tensor logits(testing::random_matrix(total, 1, rng));
+  const nn::Tensor alpha = nn::segment_softmax(logits, seg);
+  for (std::size_t s = 0; s + 1 < seg.offsets.size(); ++s) {
+    const auto b = static_cast<std::size_t>(seg.offsets[s]);
+    const auto e = static_cast<std::size_t>(seg.offsets[s + 1]);
+    if (b == e) continue;
+    float sum = 0.0f;
+    for (std::size_t i = b; i < e; ++i) {
+      sum += alpha.value()(i, 0);
+      EXPECT_GE(alpha.value()(i, 0), 0.0f);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SegmentCounts, SegmentSoftmaxTest, ::testing::Values(1, 3, 8, 32));
+
+// ---- diffusion geometry invariants over finger counts ----
+
+class FingerCountTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FingerCountTest, IsolatedGeometryInvariants) {
+  const int nf = GetParam();
+  circuit::Netlist nl = circuit::parse_spice_string(
+      util::format("M1 d g s vss nmos L=16n NFIN=4 NF=%d\n", nf));
+  const auto chains = layout::build_diffusion_chains(nl);
+  ASSERT_EQ(chains.size(), 1u);
+  util::Rng rng(1);
+  layout::TechRules tech;
+  tech.sigma_geometry = 0.0;
+  tech.sigma_lod = 0.0;
+  layout::apply_chain_geometry(nl, chains, tech, rng);
+  const auto& lay = nl.device(0).layout.value();
+
+  // Total diffusion area equals the sum over all NF+1 boundaries.
+  const double w = 4 * tech.fin_pitch;
+  const double expected_total =
+      2 * w * tech.diff_ext_end + (nf - 1) * w * tech.diff_ext_shared;
+  EXPECT_NEAR(lay.source_area + lay.drain_area, expected_total, 1e-20);
+  EXPECT_GT(lay.source_area, 0.0);
+  EXPECT_GT(lay.drain_area, 0.0);
+  // Sources own ceil((NF+1)/2) boundaries: never less area than drains.
+  EXPECT_GE(lay.source_area, lay.drain_area - 1e-20);
+  // LOD symmetric for an isolated device.
+  EXPECT_NEAR(lay.lde[0], lay.lde[1], 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fingers, FingerCountTest, ::testing::Values(1, 2, 3, 4, 6, 8));
+
+// ---- wire model monotonicity ----
+
+TEST(WireModelProperty, AddingPinNeverShortensRoute) {
+  util::Rng rng(9);
+  layout::TechRules tech;
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<layout::Point> pins;
+    const int n = static_cast<int>(rng.uniform_int(2, 12));
+    for (int i = 0; i < n; ++i)
+      pins.push_back({rng.uniform(0, 50e-6), rng.uniform(0, 50e-6)});
+    const double base = layout::estimate_wirelength(pins, tech);
+    pins.push_back({rng.uniform(0, 50e-6), rng.uniform(0, 50e-6)});
+    EXPECT_GE(layout::estimate_wirelength(pins, tech), base - 1e-12);
+  }
+}
+
+// ---- target scaler round trips over magnitudes ----
+
+class ScalerRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(ScalerRoundTrip, CapScaler) {
+  const core::TargetScaler s = core::TargetScaler::for_cap(GetParam());
+  util::Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const float v = static_cast<float>(rng.uniform(0.0, GetParam()));
+    EXPECT_NEAR(s.inverse(s.transform(v)), v, std::max(1e-5 * GetParam(), 1e-6));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MaxValues, ScalerRoundTrip, ::testing::Values(1.0, 10.0, 100.0, 1e4));
+
+// ---- MNA: RC ladder delays increase monotonically downstream ----
+
+TEST(MnaProperty, LadderDelaysMonotonic) {
+  sim::MnaCircuit ckt;
+  const auto in = ckt.add_node();
+  std::vector<sim::NodeIndex> taps;
+  const int vs = ckt.add_voltage_source(in, sim::kGround, 0.0);
+  sim::NodeIndex prev = in;
+  for (int i = 0; i < 4; ++i) {
+    const auto n = ckt.add_node();
+    ckt.add_resistor(prev, n, 2e3);
+    ckt.add_capacitor(n, sim::kGround, 0.5e-12);
+    taps.push_back(n);
+    prev = n;
+  }
+  const auto res = ckt.transient(60e-9, 0.05e-9, [vs](sim::MnaCircuit& c, double) {
+    c.set_voltage_source(vs, 1.0);
+  });
+  double last = 0.0;
+  for (const auto tap : taps) {
+    const double t50 = res.crossing_time(tap, 0.5, true);
+    ASSERT_GT(t50, 0.0);
+    EXPECT_GT(t50, last);
+    last = t50;
+  }
+}
+
+// ---- annotation noise statistics ----
+
+TEST(LayoutProperty, CapNoiseIsUnbiasedInLogSpace) {
+  // Across many seeds, the ground-truth cap of a fixed net varies but its
+  // log-mean stays near the log of the deterministic part (lognormal with
+  // small sigma is nearly median-centred).
+  std::vector<double> caps;
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    circuit::Netlist nl = circuit::parse_spice_string(
+        "M1 out in vss vss nmos L=16n NFIN=4 NF=2\n"
+        "M2 o2 out vss vss nmos L=16n NFIN=4 NF=2\n");
+    layout::annotate_layout(nl, seed);
+    caps.push_back(*nl.net(nl.net_id("out")).ground_truth_cap);
+  }
+  double lo = caps[0], hi = caps[0];
+  for (const double c : caps) {
+    lo = std::min(lo, c);
+    hi = std::max(hi, c);
+  }
+  EXPECT_GT(hi / lo, 1.01);  // noise is present
+  EXPECT_LT(hi / lo, 10.0);  // but bounded (sigma is moderate)
+}
+
+}  // namespace
+}  // namespace paragraph

@@ -1,0 +1,155 @@
+#include "gnn/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include "circuit/spice_parser.h"
+#include "circuitgen/generator.h"
+#include "gnn/models.h"
+
+namespace paragraph::gnn {
+namespace {
+
+using graph::HeteroGraph;
+using graph::NodeType;
+
+HeteroGraph chain_graph() {
+  // in -> inv1 -> n1 -> inv2 -> n2 -> inv3 -> out (plus pmos halves).
+  return graph::build_graph(circuit::parse_spice_string(R"(
+Mn1 n1 in vss vss nmos L=16n NFIN=2
+Mp1 n1 in vdd vdd pmos L=16n NFIN=2
+Mn2 n2 n1 vss vss nmos L=16n NFIN=2
+Mp2 n2 n1 vdd vdd pmos L=16n NFIN=2
+Mn3 out n2 vss vss nmos L=16n NFIN=2
+Mp3 out n2 vdd vdd pmos L=16n NFIN=2
+)"));
+}
+
+TEST(Sampler, SeedValidation) {
+  const HeteroGraph g = chain_graph();
+  util::Rng rng(1);
+  EXPECT_THROW(sample_subgraph(g, NodeType::kNet, {99}, {}, rng), std::out_of_range);
+}
+
+TEST(Sampler, OneHopContainsDirectNeighboursOnly) {
+  const HeteroGraph g = chain_graph();
+  util::Rng rng(2);
+  SamplerConfig cfg;
+  cfg.num_hops = 1;
+  // Seed: the net "out" (find its local index).
+  std::int32_t seed = -1;
+  const auto nets = g.origins(NodeType::kNet);
+  for (std::size_t i = 0; i < nets.size(); ++i) seed = static_cast<std::int32_t>(i);
+  // Use the last net as seed; its 1-hop neighbourhood is its attached
+  // transistors only.
+  const auto sub = sample_subgraph(g, NodeType::kNet, {seed}, cfg, rng);
+  EXPECT_EQ(sub.graph.num_nodes(NodeType::kNet), 1u);
+  EXPECT_GE(sub.graph.num_nodes(NodeType::kTransistor), 1u);
+  EXPECT_LE(sub.graph.num_nodes(NodeType::kTransistor), 3u);
+  ASSERT_EQ(sub.seed_local.size(), 1u);
+  EXPECT_EQ(sub.seed_local[0], 0);
+}
+
+TEST(Sampler, MoreHopsReachMoreNodes) {
+  const HeteroGraph g = chain_graph();
+  util::Rng rng(3);
+  SamplerConfig one;
+  one.num_hops = 1;
+  SamplerConfig many;
+  many.num_hops = 6;
+  const std::vector<std::int32_t> seeds = {0};
+  const auto sub1 = sample_subgraph(g, NodeType::kNet, seeds, one, rng);
+  const auto sub6 = sample_subgraph(g, NodeType::kNet, seeds, many, rng);
+  EXPECT_GT(sub6.graph.total_nodes(), sub1.graph.total_nodes());
+  // With 6 hops on a 3-stage chain, everything is reachable.
+  EXPECT_EQ(sub6.graph.total_nodes(), g.total_nodes());
+}
+
+TEST(Sampler, FanoutCapLimitsEdges) {
+  // A net with many drivers: fanout cap must bound sampled in-edges.
+  std::string text;
+  for (int i = 0; i < 20; ++i)
+    text += "M" + std::to_string(i) + " out in" + std::to_string(i) +
+            " vss vss nmos L=16n NFIN=2\n";
+  const HeteroGraph g = graph::build_graph(circuit::parse_spice_string(text));
+  util::Rng rng(4);
+  SamplerConfig cfg;
+  cfg.num_hops = 1;
+  cfg.fanout_per_relation = 5;
+  // Seed = the "out" net: the only net with 20 attachments.
+  const auto fan = g.features(NodeType::kNet);
+  std::int32_t seed = -1;
+  for (std::size_t i = 0; i < fan.rows(); ++i)
+    if (fan(i, 0) == 20.0f) seed = static_cast<std::int32_t>(i);
+  ASSERT_GE(seed, 0);
+  const auto sub = sample_subgraph(g, NodeType::kNet, {seed}, cfg, rng);
+  EXPECT_EQ(sub.graph.num_nodes(NodeType::kTransistor), 5u);
+  for (const auto& te : sub.graph.edges()) EXPECT_LE(te.num_edges(), 5u);
+}
+
+TEST(Sampler, FeaturesAndOriginsCarryOver) {
+  const HeteroGraph g = chain_graph();
+  util::Rng rng(5);
+  SamplerConfig cfg;
+  cfg.num_hops = 2;
+  const auto sub = sample_subgraph(g, NodeType::kNet, {0, 1}, cfg, rng);
+  // Every subgraph node's features match the original node's features.
+  for (std::size_t t = 0; t < graph::kNumNodeTypes; ++t) {
+    const auto nt = static_cast<NodeType>(t);
+    for (std::size_t i = 0; i < sub.graph.num_nodes(nt); ++i) {
+      const auto orig_local = static_cast<std::size_t>(sub.original_index[t][i]);
+      for (std::size_t c = 0; c < graph::feature_dim(nt); ++c)
+        EXPECT_FLOAT_EQ(sub.graph.features(nt)(i, c), g.features(nt)(orig_local, c));
+      EXPECT_EQ(sub.graph.origin(nt, i), g.origin(nt, orig_local));
+    }
+  }
+}
+
+TEST(Sampler, DuplicateSeedsDeduplicated) {
+  const HeteroGraph g = chain_graph();
+  util::Rng rng(6);
+  SamplerConfig cfg;
+  cfg.num_hops = 1;
+  const auto sub = sample_subgraph(g, NodeType::kNet, {0, 0, 0}, cfg, rng);
+  EXPECT_EQ(sub.seed_local.size(), 3u);
+  EXPECT_EQ(sub.seed_local[0], sub.seed_local[1]);
+  EXPECT_EQ(sub.graph.num_nodes(NodeType::kNet), 1u);
+}
+
+TEST(Sampler, SubgraphTrainsWithParaGraph) {
+  // End-to-end: sample a minibatch neighbourhood from a real generated
+  // circuit and run a ParaGraph embedding over it.
+  circuitgen::CircuitSpec spec;
+  spec.name = "s";
+  spec.seed = 8;
+  spec.glue_gates = 40;
+  spec.dffs = 4;
+  const auto nl = circuitgen::generate_circuit(spec);
+  const HeteroGraph g = graph::build_graph(nl);
+  util::Rng rng(7);
+  SamplerConfig cfg;
+  cfg.num_hops = 3;
+  cfg.fanout_per_relation = 4;
+  std::vector<std::int32_t> seeds;
+  for (std::int32_t i = 0; i < 8; ++i) seeds.push_back(i);
+  const auto sub = sample_subgraph(g, NodeType::kNet, seeds, cfg, rng);
+  EXPECT_LT(sub.graph.total_nodes(), g.total_nodes());
+
+  util::Rng mrng(9);
+  auto model = make_model(ModelKind::kParaGraph, 8, 3, mrng);
+  GraphBatch batch;
+  batch.graph = &sub.graph;
+  for (std::size_t t = 0; t < graph::kNumNodeTypes; ++t) {
+    const auto nt = static_cast<NodeType>(t);
+    if (sub.graph.num_nodes(nt) == 0) continue;
+    batch.features[t] = nn::Tensor(sub.graph.features(nt));
+  }
+  const auto emb = model->embed(batch);
+  const auto& net_emb = emb[static_cast<std::size_t>(NodeType::kNet)];
+  ASSERT_TRUE(net_emb.defined());
+  for (const auto s : sub.seed_local) {
+    EXPECT_LT(static_cast<std::size_t>(s), net_emb.rows());
+  }
+}
+
+}  // namespace
+}  // namespace paragraph::gnn

@@ -1,0 +1,193 @@
+// Tests for the simulator extensions: VCCS stamps, AC analysis, the
+// RC-tree Elmore engine, and the net-resistance annotation path.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/spice_parser.h"
+#include "layout/annotator.h"
+#include "sim/annotation.h"
+#include "sim/elmore.h"
+#include "sim/metrics.h"
+#include "sim/mna.h"
+
+namespace paragraph::sim {
+namespace {
+
+TEST(Vccs, InvertingAmplifierGain) {
+  // gm into a load resistor: V(out) = -gm * R * V(in).
+  MnaCircuit ckt;
+  const NodeIndex in = ckt.add_node();
+  const NodeIndex out = ckt.add_node();
+  ckt.add_voltage_source(in, kGround, 0.01);  // 10 mV input
+  ckt.add_vccs(out, kGround, in, kGround, 1e-3);  // gm = 1 mS, current out of `out`
+  ckt.add_resistor(out, kGround, 10e3);
+  const auto v = ckt.dc();
+  // Current gm*Vin flows from `out` node to ground -> V(out) = -gm*R*Vin.
+  EXPECT_NEAR(v[static_cast<std::size_t>(out)], -0.01 * 1e-3 * 10e3, 1e-6);
+}
+
+TEST(Ac, MagnitudeMatchesRcTransfer) {
+  // |H(jw)| of a first-order RC lowpass = 1/sqrt(1 + (w R C)^2).
+  MnaCircuit ckt;
+  const NodeIndex in = ckt.add_node();
+  const NodeIndex out = ckt.add_node();
+  ckt.add_voltage_source(in, kGround, 1.0);
+  ckt.add_resistor(in, out, 1e3);
+  ckt.add_capacitor(out, kGround, 1e-12);
+  const double fc = 1.0 / (2.0 * M_PI * 1e3 * 1e-12);
+  for (const double f : {fc / 10.0, fc, fc * 10.0}) {
+    const double mag = std::abs(ckt.ac(f)[static_cast<std::size_t>(out)]);
+    const double expect = 1.0 / std::sqrt(1.0 + (f / fc) * (f / fc));
+    EXPECT_NEAR(mag, expect, 2e-3) << "f=" << f;
+  }
+}
+
+TEST(Ac, Find3dbFrequencyOfRcPole) {
+  MnaCircuit ckt;
+  const NodeIndex in = ckt.add_node();
+  const NodeIndex out = ckt.add_node();
+  ckt.add_voltage_source(in, kGround, 1.0);
+  ckt.add_resistor(in, out, 2e3);
+  ckt.add_capacitor(out, kGround, 0.5e-12);
+  const double fc = 1.0 / (2.0 * M_PI * 2e3 * 0.5e-12);
+  EXPECT_NEAR(ckt.find_3db_frequency(out) / fc, 1.0, 0.02);
+}
+
+TEST(Ac, GmStageBandwidth) {
+  // gm driving R || C: gain gm*R at DC, pole at 1/(2 pi R C).
+  MnaCircuit ckt;
+  const NodeIndex in = ckt.add_node();
+  const NodeIndex out = ckt.add_node();
+  ckt.add_voltage_source(in, kGround, 1.0);
+  ckt.add_vccs(out, kGround, in, kGround, 2e-3);
+  ckt.add_resistor(out, kGround, 5e3);
+  ckt.add_capacitor(out, kGround, 1e-12);
+  const double dc_gain = std::abs(ckt.ac(1e3)[static_cast<std::size_t>(out)]);
+  EXPECT_NEAR(dc_gain, 2e-3 * 5e3, 1e-2);
+  const double fc = 1.0 / (2.0 * M_PI * 5e3 * 1e-12);
+  EXPECT_NEAR(ckt.find_3db_frequency(out) / fc, 1.0, 0.02);
+}
+
+TEST(Elmore, SingleSegmentMatchesRc) {
+  RcTree tree;
+  const int n1 = tree.add_node(0, 1e3, 1e-12);
+  EXPECT_NEAR(tree.elmore_delay(n1), 1e-9, 1e-15);
+}
+
+TEST(Elmore, LadderAccumulates) {
+  // Two segments R=1k, C=1p each: delay(far) = R1*(C1+C2) + R2*C2 = 3 ns.
+  RcTree tree;
+  const int n1 = tree.add_node(0, 1e3, 1e-12);
+  const int n2 = tree.add_node(n1, 1e3, 1e-12);
+  EXPECT_NEAR(tree.elmore_delay(n2), 3e-9, 1e-15);
+  EXPECT_NEAR(tree.elmore_delay(n1), 2e-9, 1e-15);
+}
+
+TEST(Elmore, BranchesShareUpstreamResistance) {
+  // A branch's cap loads the shared trunk for both leaves.
+  RcTree tree;
+  const int trunk = tree.add_node(0, 1e3, 0.0);
+  const int left = tree.add_node(trunk, 1e3, 1e-12);
+  const int right = tree.add_node(trunk, 2e3, 2e-12);
+  // delay(left) = R_trunk*(C_l + C_r) + R_l*C_l = 1k*3p + 1k*1p = 4 ns.
+  EXPECT_NEAR(tree.elmore_delay(left), 4e-9, 1e-15);
+  // delay(right) = 1k*3p + 2k*2p = 7 ns.
+  EXPECT_NEAR(tree.elmore_delay(right), 7e-9, 1e-15);
+}
+
+TEST(Elmore, Validation) {
+  RcTree tree;
+  EXPECT_THROW(tree.add_node(5, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(tree.add_node(0, -1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(tree.elmore_delay(9), std::invalid_argument);
+  tree.add_cap(0, 1e-12);
+  EXPECT_NEAR(tree.total_cap(), 1e-12, 1e-20);
+}
+
+// ---- net resistance annotations ----
+
+circuit::Netlist annotated() {
+  auto nl = circuit::parse_spice_string(R"(
+Mn1 out in mid vss nmos L=16n NFIN=4 NF=2
+Mn2 mid in2 vss vss nmos L=16n NFIN=4 NF=1
+R1 out flt 10k L=2u
+)");
+  layout::annotate_layout(nl, 91);
+  return nl;
+}
+
+TEST(ResAnnotation, GroundTruthHasResistance) {
+  const auto nl = annotated();
+  const auto ann = ground_truth_annotation(nl, layout::default_tech());
+  const auto out = static_cast<std::size_t>(nl.net_id("out"));
+  EXPECT_GT(ann.net_res[out], 0.1);
+  EXPECT_DOUBLE_EQ(ann.net_res[out], *nl.net(nl.net_id("out")).ground_truth_res);
+}
+
+TEST(ResAnnotation, DesignerScalesWithFanout) {
+  const auto nl = annotated();
+  const auto ann = designer_annotation(nl, layout::default_tech(), 3);
+  const auto out = static_cast<std::size_t>(nl.net_id("out"));
+  EXPECT_GT(ann.net_res[out], 0.0);
+}
+
+TEST(ResAnnotation, PredictedResIsApplied) {
+  const auto nl = annotated();
+  const auto g = graph::build_graph(nl);
+  const auto& tech = layout::default_tech();
+  const std::size_t n_net = g.num_nodes(graph::NodeType::kNet);
+  const std::size_t n_mos = g.num_nodes(graph::NodeType::kTransistor);
+  const std::vector<float> caps(n_net, 1.0f);
+  const std::vector<float> areas(n_mos, 2.0f);
+  const std::vector<float> ldes(n_mos, 150.0f);
+  const std::vector<float> res(n_net, 42.0f);
+  const auto ann =
+      make_predicted_annotation(nl, g, tech, "p", caps, areas, areas, ldes, ldes, res);
+  const auto out = static_cast<std::size_t>(nl.net_id("out"));
+  EXPECT_NEAR(ann.net_res[out], 42.0, 1e-9);
+  const std::vector<float> bad_res(n_net + 1, 1.0f);
+  EXPECT_THROW(
+      make_predicted_annotation(nl, g, tech, "p", caps, areas, areas, ldes, ldes, bad_res),
+      std::invalid_argument);
+}
+
+TEST(MetricsExt, IncludesTreeElmoreAndBandwidth) {
+  const auto nl = annotated();
+  const auto& tech = layout::default_tech();
+  const auto metrics = evaluate_metrics(nl, ground_truth_annotation(nl, tech), tech);
+  bool tree = false, bw = false;
+  for (const auto& m : metrics) {
+    if (m.name.rfind("elmore_tree:", 0) == 0) {
+      tree = true;
+      EXPECT_GT(m.value, 0.0);
+    }
+    if (m.name.rfind("bw:", 0) == 0) {
+      bw = true;
+      EXPECT_GT(m.value, 0.0);
+    }
+  }
+  EXPECT_TRUE(tree);
+  EXPECT_TRUE(bw);
+}
+
+TEST(MetricsExt, MoreNetResistanceMoreTreeDelay) {
+  const auto nl = annotated();
+  const auto& tech = layout::default_tech();
+  auto base = ground_truth_annotation(nl, tech);
+  auto heavy = base;
+  for (auto& r : heavy.net_res) r *= 50.0;
+  const auto m1 = evaluate_metrics(nl, base, tech);
+  const auto m2 = evaluate_metrics(nl, heavy, tech);
+  for (std::size_t i = 0; i < m1.size(); ++i) {
+    if (m1[i].name.rfind("elmore_tree:", 0) == 0) {
+      EXPECT_GT(m2[i].value, m1[i].value);
+    }
+    if (m1[i].name.rfind("bw:", 0) == 0) {
+      EXPECT_LT(m2[i].value, m1[i].value);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace paragraph::sim

@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/spice_parser.h"
+#include "layout/annotator.h"
+#include "sim/annotation.h"
+#include "sim/metrics.h"
+#include "sim/mna.h"
+
+namespace paragraph::sim {
+namespace {
+
+TEST(Mna, VoltageDividerDc) {
+  MnaCircuit ckt;
+  const NodeIndex top = ckt.add_node();
+  const NodeIndex mid = ckt.add_node();
+  ckt.add_voltage_source(top, kGround, 2.0);
+  ckt.add_resistor(top, mid, 1e3);
+  ckt.add_resistor(mid, kGround, 3e3);
+  const auto v = ckt.dc();
+  EXPECT_NEAR(v[static_cast<std::size_t>(top)], 2.0, 1e-9);
+  EXPECT_NEAR(v[static_cast<std::size_t>(mid)], 1.5, 1e-6);
+}
+
+TEST(Mna, CurrentSourceIntoResistor) {
+  MnaCircuit ckt;
+  const NodeIndex n = ckt.add_node();
+  ckt.add_current_source(kGround, n, 1e-3);
+  ckt.add_resistor(n, kGround, 2e3);
+  EXPECT_NEAR(ckt.dc()[static_cast<std::size_t>(n)], 2.0, 1e-6);
+}
+
+TEST(Mna, CapacitorIsOpenAtDc) {
+  MnaCircuit ckt;
+  const NodeIndex a = ckt.add_node();
+  const NodeIndex b = ckt.add_node();
+  ckt.add_voltage_source(a, kGround, 1.0);
+  ckt.add_resistor(a, b, 1e3);
+  ckt.add_capacitor(b, kGround, 1e-12);
+  // No DC path through the cap: node b floats up to 1 V through R.
+  EXPECT_NEAR(ckt.dc()[static_cast<std::size_t>(b)], 1.0, 1e-3);
+}
+
+TEST(Mna, RcStepResponseTimeConstant) {
+  // R = 1k, C = 1pF -> tau = 1ns; V(tau) = 1 - e^-1 ~ 0.632.
+  MnaCircuit ckt;
+  const NodeIndex in = ckt.add_node();
+  const NodeIndex out = ckt.add_node();
+  const int vs = ckt.add_voltage_source(in, kGround, 0.0);
+  ckt.add_resistor(in, out, 1e3);
+  ckt.add_capacitor(out, kGround, 1e-12);
+  const double tau = 1e-9;
+  auto res = ckt.transient(5 * tau, tau / 200.0, [vs](MnaCircuit& c, double) {
+    c.set_voltage_source(vs, 1.0);
+  });
+  const double t63 = res.crossing_time(out, 1.0 - std::exp(-1.0), true);
+  EXPECT_NEAR(t63, tau, tau * 0.03);
+}
+
+TEST(Mna, CrossingTimeFalling) {
+  MnaCircuit ckt;
+  const NodeIndex in = ckt.add_node();
+  const NodeIndex out = ckt.add_node();
+  const int vs = ckt.add_voltage_source(in, kGround, 1.0);
+  ckt.add_resistor(in, out, 1e3);
+  ckt.add_capacitor(out, kGround, 1e-12);
+  auto res = ckt.transient(5e-9, 5e-12, [vs](MnaCircuit& c, double) {
+    c.set_voltage_source(vs, 0.0);  // step down
+  });
+  EXPECT_GT(res.crossing_time(out, 0.5, /*rising=*/false), 0.0);
+  EXPECT_LT(res.crossing_time(out, 0.5, /*rising=*/true), 0.0);  // never rises
+}
+
+TEST(Mna, Validation) {
+  MnaCircuit ckt;
+  const NodeIndex n = ckt.add_node();
+  EXPECT_THROW(ckt.add_resistor(n, kGround, 0.0), std::invalid_argument);
+  EXPECT_THROW(ckt.add_capacitor(n, kGround, -1e-15), std::invalid_argument);
+  EXPECT_THROW(ckt.transient(0.0, 1e-12), std::invalid_argument);
+}
+
+// ---- annotations ----
+
+circuit::Netlist annotated_netlist() {
+  auto nl = circuit::parse_spice_string(R"(
+Mn1 out in mid vss nmos L=16n NFIN=4 NF=2
+Mn2 mid in2 vss vss nmos L=16n NFIN=4 NF=1
+Mp1 out in vdd vdd pmos L=16n NFIN=8 NF=2
+R1 out flt 10k L=2u
+C1 flt vss 5f
+)");
+  layout::annotate_layout(nl, 42);
+  return nl;
+}
+
+TEST(Annotation, GroundTruthCopiesNetlist) {
+  const auto nl = annotated_netlist();
+  const auto ann = ground_truth_annotation(nl, layout::default_tech());
+  const auto out = nl.net_id("out");
+  EXPECT_DOUBLE_EQ(ann.net_cap[static_cast<std::size_t>(out)],
+                   *nl.net(out).ground_truth_cap);
+}
+
+TEST(Annotation, NoParasiticsIsZeroCapNominalGeometry) {
+  const auto nl = annotated_netlist();
+  const auto ann = no_parasitics_annotation(nl, layout::default_tech());
+  for (const double c : ann.net_cap) EXPECT_DOUBLE_EQ(c, 0.0);
+  // Nominal geometry differs from the extracted one (which has sharing).
+  const auto truth = ground_truth_annotation(nl, layout::default_tech());
+  bool any_diff = false;
+  for (std::size_t i = 0; i < ann.device_layout.size(); ++i) {
+    if (!circuit::is_transistor(nl.device(static_cast<circuit::DeviceId>(i)).kind)) continue;
+    if (std::abs(ann.device_layout[i].drain_area - truth.device_layout[i].drain_area) > 1e-22)
+      any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Annotation, NominalLayoutMatchesHandComputation) {
+  const auto nl = annotated_netlist();
+  const auto& tech = layout::default_tech();
+  // Mn2: NF=1, NFIN=4 -> SA = DA = w * e_end.
+  const auto lay = nominal_layout(nl.device(1), tech);
+  const double w = 4 * tech.fin_pitch;
+  EXPECT_NEAR(lay.source_area, w * tech.diff_ext_end, 1e-20);
+  EXPECT_NEAR(lay.drain_area, w * tech.diff_ext_end, 1e-20);
+  EXPECT_GT(lay.lde[0], 0.0);
+}
+
+TEST(Annotation, DesignerEstimateScalesWithFanoutAndIsBiased) {
+  const auto nl = annotated_netlist();
+  const auto& tech = layout::default_tech();
+  const auto a = designer_annotation(nl, tech, 1);
+  const auto b = designer_annotation(nl, tech, 2);
+  const auto out = static_cast<std::size_t>(nl.net_id("out"));
+  const auto in2 = static_cast<std::size_t>(nl.net_id("in2"));
+  EXPECT_GT(a.net_cap[out], 0.0);
+  // fanout(out)=3 > fanout(in2)=1 within one designer's consistent rule...
+  // noise makes per-net ordering fuzzy, so compare across many nets by sum.
+  EXPECT_NE(a.net_cap[out], b.net_cap[out]);  // designers differ
+  // Deterministic per seed.
+  const auto a2 = designer_annotation(nl, tech, 1);
+  EXPECT_DOUBLE_EQ(a.net_cap[in2], a2.net_cap[in2]);
+}
+
+TEST(Annotation, PredictedAnnotationAlignsWithGraph) {
+  const auto nl = annotated_netlist();
+  const auto g = graph::build_graph(nl);
+  const auto& tech = layout::default_tech();
+  const std::size_t n_net = g.num_nodes(graph::NodeType::kNet);
+  const std::size_t n_mos = g.num_nodes(graph::NodeType::kTransistor) +
+                            g.num_nodes(graph::NodeType::kTransistorThick);
+  const std::vector<float> caps(n_net, 2.0f);  // 2 fF everywhere
+  const std::vector<float> areas(n_mos, 3.0f);
+  const std::vector<float> ldes(n_mos, 150.0f);
+  const auto ann = make_predicted_annotation(nl, g, tech, "pred", caps, areas, areas, ldes, ldes);
+  const auto out = static_cast<std::size_t>(nl.net_id("out"));
+  EXPECT_NEAR(ann.net_cap[out], 2e-15, 1e-21);
+  EXPECT_THROW(make_predicted_annotation(nl, g, tech, "bad", {}, areas, areas, ldes, ldes),
+               std::invalid_argument);
+}
+
+TEST(Annotation, PredictedValuesAreClamped) {
+  const auto nl = annotated_netlist();
+  const auto g = graph::build_graph(nl);
+  const auto& tech = layout::default_tech();
+  const std::size_t n_net = g.num_nodes(graph::NodeType::kNet);
+  const std::size_t n_mos = g.num_nodes(graph::NodeType::kTransistor);
+  const std::vector<float> caps(n_net, -5.0f);  // negative regression output
+  const std::vector<float> areas(n_mos, -1.0f);
+  const std::vector<float> ldes(n_mos, -10.0f);
+  const auto ann = make_predicted_annotation(nl, g, tech, "pred", caps, areas, areas, ldes, ldes);
+  for (const auto origin : g.origins(graph::NodeType::kNet))
+    EXPECT_GT(ann.net_cap[static_cast<std::size_t>(origin)], 0.0);
+}
+
+// ---- metrics ----
+
+TEST(Metrics, DeterministicSetAcrossAnnotations) {
+  const auto nl = annotated_netlist();
+  const auto& tech = layout::default_tech();
+  const auto m1 = evaluate_metrics(nl, ground_truth_annotation(nl, tech), tech);
+  const auto m2 = evaluate_metrics(nl, no_parasitics_annotation(nl, tech), tech);
+  ASSERT_EQ(m1.size(), m2.size());
+  for (std::size_t i = 0; i < m1.size(); ++i) EXPECT_EQ(m1[i].name, m2[i].name);
+}
+
+TEST(Metrics, MoreCapMeansMoreDelay) {
+  const auto nl = annotated_netlist();
+  const auto& tech = layout::default_tech();
+  auto truth = ground_truth_annotation(nl, tech);
+  auto heavy = truth;
+  for (auto& c : heavy.net_cap) c *= 10.0;
+  const auto m1 = evaluate_metrics(nl, truth, tech);
+  const auto m2 = evaluate_metrics(nl, heavy, tech);
+  for (std::size_t i = 0; i < m1.size(); ++i) {
+    if (m1[i].name.rfind("delay:", 0) == 0) {
+      EXPECT_GT(m2[i].value, m1[i].value) << m1[i].name;
+    }
+  }
+}
+
+TEST(Metrics, PowerSumsSwitchedCap) {
+  const auto nl = annotated_netlist();
+  const auto& tech = layout::default_tech();
+  const auto metrics = evaluate_metrics(nl, ground_truth_annotation(nl, tech), tech);
+  bool found = false;
+  for (const auto& m : metrics) {
+    if (m.name == "power:total") {
+      found = true;
+      EXPECT_GT(m.value, 0.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Metrics, EffectiveRonMonotonicInStrength) {
+  const auto nl = annotated_netlist();
+  const auto& tech = layout::default_tech();
+  const MetricOptions opts;
+  const auto lay = nominal_layout(nl.device(0), tech);
+  // Mn1 (NFIN=4 NF=2) vs Mn2 (NFIN=4 NF=1): stronger device, lower Ron.
+  const auto lay2 = nominal_layout(nl.device(1), tech);
+  EXPECT_LT(effective_ron(nl.device(0), lay, tech, opts),
+            effective_ron(nl.device(1), lay2, tech, opts));
+}
+
+TEST(Metrics, ThickGateHasHigherRon) {
+  auto nl = circuit::parse_spice_string(
+      "M1 d g s vss nmos L=150n NFIN=4 NF=1\n"
+      "M2 d2 g2 s2 vss nmos_thick L=150n NFIN=4 NF=1\n");
+  const auto& tech = layout::default_tech();
+  const MetricOptions opts;
+  const auto l1 = nominal_layout(nl.device(0), tech);
+  const auto l2 = nominal_layout(nl.device(1), tech);
+  EXPECT_GT(effective_ron(nl.device(1), l2, tech, opts),
+            effective_ron(nl.device(0), l1, tech, opts));
+}
+
+TEST(Metrics, LodAffectsRon) {
+  const auto nl = annotated_netlist();
+  const auto& tech = layout::default_tech();
+  const MetricOptions opts;
+  auto lay = nominal_layout(nl.device(0), tech);
+  const double base = effective_ron(nl.device(0), lay, tech, opts);
+  lay.lde[0] *= 8.0;
+  lay.lde[1] *= 8.0;
+  const double relaxed = effective_ron(nl.device(0), lay, tech, opts);
+  EXPECT_NE(base, relaxed);
+}
+
+TEST(Metrics, NetLoadIncludesPins) {
+  const auto nl = annotated_netlist();
+  const auto& tech = layout::default_tech();
+  const auto ann = ground_truth_annotation(nl, tech);
+  const auto out = nl.net_id("out");
+  EXPECT_GT(net_load_cap(nl, ann, out, tech), ann.net_cap[static_cast<std::size_t>(out)]);
+}
+
+}  // namespace
+}  // namespace paragraph::sim

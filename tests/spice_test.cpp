@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "circuit/spice_parser.h"
+#include "circuit/spice_writer.h"
+
+namespace paragraph::circuit {
+namespace {
+
+TEST(SpiceParser, ParsesInverter) {
+  const std::string text = R"(
+* simple inverter
+.global vdd vss
+Mn1 out in vss vss nmos_lvt L=16n NFIN=2 NF=1 M=1
+Mp1 out in vdd vdd pmos_lvt L=16n NFIN=4 NF=1 M=1
+.end
+)";
+  const Netlist nl = parse_spice_string(text);
+  EXPECT_EQ(nl.num_devices(), 2u);
+  const auto st = nl.stats();
+  EXPECT_EQ(st.transistors(), 2u);
+  EXPECT_EQ(st.num_nets, 2u);  // out, in
+  EXPECT_TRUE(nl.net(nl.net_id("vdd")).is_supply);
+  const Device& mn = nl.device(0);
+  EXPECT_EQ(mn.kind, DeviceKind::kNmos);
+  EXPECT_NEAR(mn.params.length, 16e-9, 1e-15);
+  EXPECT_EQ(mn.params.num_fins, 2);
+}
+
+TEST(SpiceParser, ModelNameSelectsKind) {
+  const std::string text = R"(
+M1 a b c vss nmos L=16n
+M2 a b c vdd pmos L=16n
+M3 a b c vss nmos_thick L=150n
+M4 a b c vdd pmos_io L=150n
+)";
+  const Netlist nl = parse_spice_string(text);
+  EXPECT_EQ(nl.device(0).kind, DeviceKind::kNmos);
+  EXPECT_EQ(nl.device(1).kind, DeviceKind::kPmos);
+  EXPECT_EQ(nl.device(2).kind, DeviceKind::kNmosThick);
+  EXPECT_EQ(nl.device(3).kind, DeviceKind::kPmosThick);
+}
+
+TEST(SpiceParser, ParsesPassivesAndBjt) {
+  const std::string text = R"(
+R1 a b 10k L=2u
+C1 b 0 1.5f M=2
+D1 a 0 dio NF=4
+Q1 c b 0 npn M=3
+)";
+  const Netlist nl = parse_spice_string(text);
+  EXPECT_EQ(nl.device(0).kind, DeviceKind::kResistor);
+  EXPECT_NEAR(nl.device(0).params.value, 10e3, 1e-6);
+  EXPECT_NEAR(nl.device(0).params.length, 2e-6, 1e-12);
+  EXPECT_EQ(nl.device(1).kind, DeviceKind::kCapacitor);
+  EXPECT_NEAR(nl.device(1).params.value, 1.5e-15, 1e-21);
+  EXPECT_EQ(nl.device(1).params.multiplier, 2);
+  EXPECT_EQ(nl.device(2).params.num_fingers, 4);
+  EXPECT_EQ(nl.device(3).kind, DeviceKind::kBjt);
+  EXPECT_EQ(nl.device(3).params.multiplier, 3);
+  EXPECT_TRUE(nl.net(nl.net_id("0")).is_supply);
+}
+
+TEST(SpiceParser, ContinuationLines) {
+  const std::string text =
+      "M1 a b c vss nmos\n"
+      "+ L=20n NFIN=3\n";
+  const Netlist nl = parse_spice_string(text);
+  EXPECT_NEAR(nl.device(0).params.length, 20e-9, 1e-15);
+  EXPECT_EQ(nl.device(0).params.num_fins, 3);
+}
+
+TEST(SpiceParser, CommentsAndInlineDollar) {
+  const std::string text =
+      "* full comment\n"
+      "R1 a b 1k $ trailing comment\n";
+  const Netlist nl = parse_spice_string(text);
+  EXPECT_EQ(nl.num_devices(), 1u);
+}
+
+TEST(SpiceParser, SubcktFlattening) {
+  const std::string text = R"(
+.subckt inv in out
+Mn out in vss vss nmos L=16n
+Mp out in vdd vdd pmos L=16n
+.ends
+X1 a b inv
+X2 b c inv
+)";
+  const Netlist nl = parse_spice_string(text);
+  EXPECT_EQ(nl.num_devices(), 4u);
+  // Port mapping: X1's "out" is net b, shared with X2's "in".
+  EXPECT_TRUE(nl.has_net("b"));
+  EXPECT_FALSE(nl.has_net("out"));  // ports resolve away
+  const auto fanout = nl.net_fanout();
+  EXPECT_EQ(fanout[static_cast<std::size_t>(nl.net_id("b"))], 4);
+}
+
+TEST(SpiceParser, NestedSubckts) {
+  const std::string text = R"(
+.subckt inv in out
+Mn out in vss vss nmos L=16n
+.ends
+.subckt buf in out
+Xi1 in mid inv
+Xi2 mid out inv
+.ends
+X1 a b buf
+)";
+  const Netlist nl = parse_spice_string(text);
+  EXPECT_EQ(nl.num_devices(), 2u);
+  // Internal net got a hierarchical name.
+  EXPECT_TRUE(nl.has_net("X1/mid"));
+}
+
+TEST(SpiceParser, Errors) {
+  EXPECT_THROW(parse_spice_string("X1 a b missing_sub\n"), ParseError);
+  EXPECT_THROW(parse_spice_string("M1 a b nmos\n"), ParseError);        // too few nets
+  EXPECT_THROW(parse_spice_string("R1 a b notanumber\n"), ParseError);  // bad value
+  EXPECT_THROW(parse_spice_string("+ L=3n\n"), ParseError);             // dangling continuation
+  EXPECT_THROW(parse_spice_string(".subckt foo a\nR1 a b 1k\n"), ParseError);  // unterminated
+  EXPECT_THROW(parse_spice_string("Zq a b c\n"), ParseError);           // unknown card
+}
+
+TEST(SpiceParser, GlobalNetsStayFlatInSubckts) {
+  const std::string text = R"(
+.global vbias
+.subckt cell in out
+M1 out vbias in vss nmos L=16n
+.ends
+X1 a b cell
+)";
+  const Netlist nl = parse_spice_string(text);
+  EXPECT_TRUE(nl.has_net("vbias"));
+  EXPECT_FALSE(nl.has_net("X1/vbias"));
+}
+
+TEST(SpiceParser, SupplyNameConventions) {
+  EXPECT_TRUE(is_supply_name("vdd"));
+  EXPECT_TRUE(is_supply_name("VDDIO"));
+  EXPECT_TRUE(is_supply_name("vss_core"));
+  EXPECT_TRUE(is_supply_name("gnd"));
+  EXPECT_TRUE(is_supply_name("0"));
+  EXPECT_TRUE(is_supply_name("avdd1"));
+  EXPECT_FALSE(is_supply_name("video"));  // starts with 'v' but not a rail
+  EXPECT_FALSE(is_supply_name("out"));
+}
+
+TEST(SpiceWriter, RoundTripPreservesStructure) {
+  const std::string text = R"(
+.global vdd vss
+Mn1 out in vss vss nmos_lvt L=16n NFIN=2 NF=2 M=1
+Mp1 out in vdd vdd pmos_lvt L=20n NFIN=4 NF=1 M=2
+R1 out mid 12k L=1.5u
+C1 mid vss 2f M=1
+D1 out vdd dio NF=2
+Q1 out mid vss npn M=1
+)";
+  const Netlist nl = parse_spice_string(text);
+  const std::string emitted = write_spice_string(nl);
+  const Netlist re = parse_spice_string(emitted);
+  EXPECT_EQ(re.num_devices(), nl.num_devices());
+  const auto s1 = nl.stats();
+  const auto s2 = re.stats();
+  EXPECT_EQ(s1.num_nets, s2.num_nets);
+  for (std::size_t k = 0; k < circuit::kNumDeviceKinds; ++k)
+    EXPECT_EQ(s1.device_count[k], s2.device_count[k]) << "device kind " << k;
+  // Sizing survives the round trip.
+  EXPECT_EQ(re.device(0).params.num_fingers, 2);
+  EXPECT_NEAR(re.device(2).params.value, 12e3, 1.0);
+}
+
+TEST(SpiceWriter, EmitsParasiticAnnotations) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  nl.add_net("vss", true);
+  Device r;
+  r.name = "r1";
+  r.kind = DeviceKind::kResistor;
+  r.conns = {a, nl.net_id("vss")};
+  r.params.value = 1e3;
+  nl.add_device(std::move(r));
+  std::unordered_map<NetId, double> caps{{a, 2.5e-15}};
+  WriteOptions opts;
+  opts.net_caps = &caps;
+  const std::string s = write_spice_string(nl, opts);
+  EXPECT_NE(s.find("Cpara0 a vss 2.5f"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace paragraph::circuit

@@ -1,0 +1,52 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace paragraph::testing {
+
+// Fills a matrix with uniform values in [-1, 1].
+inline nn::Matrix random_matrix(std::size_t rows, std::size_t cols, util::Rng& rng) {
+  nn::Matrix m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i)
+    m.data()[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return m;
+}
+
+// Verifies d(scalar fn)/d(input) against central finite differences for
+// every element of `input`. `fn` must build a fresh graph from the leaf on
+// each call (so perturbed values propagate).
+inline void check_gradient(nn::Tensor& input,
+                           const std::function<nn::Tensor(const nn::Tensor&)>& fn,
+                           float eps = 1e-2f, float tol = 2e-2f) {
+  nn::Tensor loss = fn(input);
+  ASSERT_EQ(loss.rows(), 1u);
+  ASSERT_EQ(loss.cols(), 1u);
+  input.zero_grad();
+  loss.backward();
+  nn::Matrix analytic = input.grad();
+
+  nn::Matrix& x = input.mutable_value();
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const float orig = x.data()[i];
+    x.data()[i] = orig + eps;
+    const float up = fn(input).item();
+    x.data()[i] = orig - eps;
+    const float down = fn(input).item();
+    x.data()[i] = orig;
+    const float numeric = (up - down) / (2.0f * eps);
+    const float a = analytic.data()[i];
+    const float denom = std::max({std::abs(a), std::abs(numeric), 1.0f});
+    EXPECT_NEAR(a / denom, numeric / denom, tol)
+        << "gradient mismatch at flat index " << i << " (analytic " << a << ", numeric "
+        << numeric << ")";
+  }
+}
+
+}  // namespace paragraph::testing

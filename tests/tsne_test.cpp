@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/tsne.h"
+#include "util/rng.h"
+
+namespace paragraph::analysis {
+namespace {
+
+// Two well-separated Gaussian blobs in 8 dimensions.
+nn::Matrix two_blobs(std::size_t per_blob, util::Rng& rng) {
+  nn::Matrix x(2 * per_blob, 8);
+  for (std::size_t i = 0; i < 2 * per_blob; ++i) {
+    const float center = i < per_blob ? -4.0f : 4.0f;
+    for (std::size_t c = 0; c < 8; ++c)
+      x(i, c) = center + static_cast<float>(rng.normal(0.0, 0.3));
+  }
+  return x;
+}
+
+TEST(Tsne, RequiresEnoughPoints) {
+  nn::Matrix x(3, 2, 1.0f);
+  EXPECT_THROW(tsne(x), std::invalid_argument);
+}
+
+TEST(Tsne, OutputShape) {
+  util::Rng rng(1);
+  TsneConfig cfg;
+  cfg.iterations = 50;
+  const nn::Matrix y = tsne(two_blobs(10, rng), cfg);
+  EXPECT_EQ(y.rows(), 20u);
+  EXPECT_EQ(y.cols(), 2u);
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_FALSE(std::isnan(y.data()[i]));
+}
+
+TEST(Tsne, SeparatesBlobs) {
+  util::Rng rng(2);
+  TsneConfig cfg;
+  cfg.iterations = 400;
+  cfg.learning_rate = 50.0;  // small point count: the default lr overshoots
+  cfg.seed = 3;
+  const std::size_t per = 25;
+  const nn::Matrix y = tsne(two_blobs(per, rng), cfg);
+  // Inter-blob centroid distance must exceed intra-blob spread.
+  double cx[2] = {0, 0}, cy[2] = {0, 0};
+  for (std::size_t i = 0; i < 2 * per; ++i) {
+    cx[i / per] += y(i, 0) / per;
+    cy[i / per] += y(i, 1) / per;
+  }
+  double spread = 0.0;
+  for (std::size_t i = 0; i < 2 * per; ++i) {
+    const double dx = y(i, 0) - cx[i / per];
+    const double dy = y(i, 1) - cy[i / per];
+    spread += std::sqrt(dx * dx + dy * dy) / (2 * per);
+  }
+  const double inter =
+      std::sqrt((cx[0] - cx[1]) * (cx[0] - cx[1]) + (cy[0] - cy[1]) * (cy[0] - cy[1]));
+  EXPECT_GT(inter, 2.0 * spread);
+}
+
+TEST(Tsne, DeterministicInSeed) {
+  util::Rng rng(4);
+  const nn::Matrix x = two_blobs(8, rng);
+  TsneConfig cfg;
+  cfg.iterations = 60;
+  cfg.seed = 9;
+  const nn::Matrix a = tsne(x, cfg);
+  const nn::Matrix b = tsne(x, cfg);
+  EXPECT_LT(nn::max_abs_diff(a, b), 1e-6f);
+}
+
+TEST(KnnScore, HighForStructuredEmbedding) {
+  // Value = x coordinate: kNN in 2-D recovers it almost exactly.
+  util::Rng rng(5);
+  nn::Matrix emb(100, 2);
+  std::vector<float> values(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    emb(i, 0) = static_cast<float>(rng.uniform(-1, 1));
+    emb(i, 1) = static_cast<float>(rng.uniform(-1, 1));
+    values[i] = emb(i, 0);
+  }
+  EXPECT_GT(knn_separation_score(emb, values, 5), 0.8);
+}
+
+TEST(KnnScore, LowForRandomValues) {
+  util::Rng rng(6);
+  nn::Matrix emb(100, 2);
+  std::vector<float> values(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    emb(i, 0) = static_cast<float>(rng.uniform(-1, 1));
+    emb(i, 1) = static_cast<float>(rng.uniform(-1, 1));
+    values[i] = static_cast<float>(rng.uniform(-1, 1));  // unrelated
+  }
+  EXPECT_LT(knn_separation_score(emb, values, 5), 0.3);
+}
+
+TEST(KnnScore, Validation) {
+  nn::Matrix emb(5, 2, 0.0f);
+  EXPECT_THROW(knn_separation_score(emb, std::vector<float>(4), 2), std::invalid_argument);
+  EXPECT_THROW(knn_separation_score(emb, std::vector<float>(5), 10), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace paragraph::analysis

@@ -1,0 +1,198 @@
+// paragraph — command-line front end to the library.
+//
+//   paragraph generate --out DIR [--seed N] [--scale F]
+//       Generate the Table IV-style circuit suite as SPICE files with
+//       ground-truth annotations.
+//   paragraph train --save MODEL.bin [--target CAP] [--model ParaGraph]
+//                   [--epochs N] [--scale F] [--seed N] [--max-v FF]
+//       Train a predictor on the synthetic suite and save it.
+//   paragraph predict --model MODEL.bin --netlist FILE.sp
+//       Predict the model's target for every net/transistor of a SPICE
+//       netlist (pre-layout: no annotation needed).
+//   paragraph evaluate --model MODEL.bin [--scale F] [--seed N]
+//       Evaluate a saved model on the generated test circuits.
+//   paragraph annotate --netlist FILE.sp [--seed N]
+//       Run the procedural layout and emit the annotated netlist to stdout.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "circuit/spice_parser.h"
+#include "circuit/spice_writer.h"
+#include "core/learners.h"
+#include "core/serialize.h"
+#include "dataset/dataset.h"
+#include "layout/annotator.h"
+#include "util/args.h"
+
+using namespace paragraph;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: paragraph <generate|train|predict|evaluate|annotate> [options]\n"
+               "run with a command and --help for the option list in the file header\n");
+  return 2;
+}
+
+dataset::TargetKind parse_target(const std::string& name) {
+  for (const auto t : dataset::all_targets()) {
+    if (name == dataset::target_name(t)) return t;
+  }
+  throw std::invalid_argument("unknown target '" + name + "' (use CAP, LDE1..LDE8, SA, DA, SP, DP, RES)");
+}
+
+gnn::ModelKind parse_model(const std::string& name) {
+  for (const auto k : {gnn::ModelKind::kGcn, gnn::ModelKind::kGraphSage, gnn::ModelKind::kRgcn,
+                       gnn::ModelKind::kGat, gnn::ModelKind::kParaGraph}) {
+    if (name == gnn::model_kind_name(k)) return k;
+  }
+  throw std::invalid_argument("unknown model '" + name +
+                              "' (use GCN, GraphSage, RGCN, GAT, ParaGraph)");
+}
+
+dataset::Sample sample_from_netlist(circuit::Netlist nl) {
+  dataset::Sample s;
+  s.name = nl.name();
+  s.graph = graph::build_graph(nl);
+  s.netlist = std::move(nl);
+  return s;
+}
+
+int cmd_generate(const util::ArgParser& args) {
+  const std::string out_dir = args.get("out", "suite");
+  std::filesystem::create_directories(out_dir);
+  auto suite = circuitgen::build_paper_suite(
+      static_cast<std::uint64_t>(args.get_int("seed", 42)), args.get_double("scale", 0.25));
+  auto emit = [&](circuit::Netlist& nl) {
+    layout::annotate_layout(nl, static_cast<std::uint64_t>(args.get_int("seed", 42)) + 7);
+    std::unordered_map<circuit::NetId, double> caps;
+    for (circuit::NetId id = 0; static_cast<std::size_t>(id) < nl.num_nets(); ++id)
+      if (nl.net(id).ground_truth_cap) caps.emplace(id, *nl.net(id).ground_truth_cap);
+    circuit::WriteOptions opts;
+    opts.net_caps = &caps;
+    opts.emit_layout_params = true;
+    std::ofstream f(out_dir + "/" + nl.name() + ".sp");
+    circuit::write_spice(f, nl, opts);
+    std::printf("wrote %s/%s.sp (%zu devices)\n", out_dir.c_str(), nl.name().c_str(),
+                nl.num_devices());
+  };
+  for (auto& nl : suite.train) emit(nl);
+  for (auto& nl : suite.test) emit(nl);
+  return 0;
+}
+
+int cmd_train(const util::ArgParser& args) {
+  const std::string save_path = args.get("save");
+  if (save_path.empty()) {
+    std::fprintf(stderr, "train: --save PATH is required\n");
+    return 2;
+  }
+  core::PredictorConfig pc;
+  pc.target = parse_target(args.get("target", "CAP"));
+  pc.model = parse_model(args.get("model", "ParaGraph"));
+  pc.epochs = static_cast<int>(args.get_int("epochs", 150));
+  pc.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  pc.max_v_ff = args.get_double("max-v", 1e4);
+  std::printf("building dataset (scale %.2f)...\n", args.get_double("scale", 0.25));
+  const auto ds = dataset::build_dataset(pc.seed, args.get_double("scale", 0.25));
+  std::printf("training %s for %s (%d epochs)...\n", gnn::model_kind_name(pc.model),
+              dataset::target_name(pc.target), pc.epochs);
+  core::GnnPredictor predictor(pc);
+  const auto losses = predictor.train(ds);
+  const auto m = predictor.evaluate(ds, ds.test).pooled();
+  std::printf("final loss %.6f; test R2=%.3f MAE=%.4f MAPE=%.1f%% over %zu nodes\n",
+              losses.back(), m.r2, m.mae, m.mape, m.count);
+  core::save_predictor(predictor, save_path);
+  std::printf("saved model to %s\n", save_path.c_str());
+  return 0;
+}
+
+int cmd_predict(const util::ArgParser& args) {
+  const std::string model_path = args.get("model");
+  const std::string netlist_path = args.get("netlist");
+  if (model_path.empty() || netlist_path.empty()) {
+    std::fprintf(stderr, "predict: --model and --netlist are required\n");
+    return 2;
+  }
+  const core::GnnPredictor predictor = core::load_predictor(model_path);
+  // The saved model's normaliser statistics live in the dataset; rebuild it
+  // with the training seed recorded in the model config.
+  const auto ds = dataset::build_dataset(predictor.config().seed,
+                                         args.get_double("scale", 0.25));
+  const auto sample = sample_from_netlist(circuit::parse_spice_file(netlist_path));
+  const auto preds = predictor.predict_all(ds, sample);
+  const auto target = predictor.config().target;
+  std::printf("# %s predictions for %s\n", dataset::target_name(target), netlist_path.c_str());
+  std::size_t k = 0;
+  for (const auto nt : dataset::target_node_types(target)) {
+    for (const auto origin : sample.graph.origins(nt)) {
+      const std::string& name = nt == graph::NodeType::kNet
+                                    ? sample.netlist.net(origin).name
+                                    : sample.netlist.device(origin).name;
+      std::printf("%-32s %g\n", name.c_str(), preds[k++]);
+    }
+  }
+  return 0;
+}
+
+int cmd_evaluate(const util::ArgParser& args) {
+  const std::string model_path = args.get("model");
+  if (model_path.empty()) {
+    std::fprintf(stderr, "evaluate: --model is required\n");
+    return 2;
+  }
+  const core::GnnPredictor predictor = core::load_predictor(model_path);
+  const auto ds = dataset::build_dataset(
+      static_cast<std::uint64_t>(args.get_int("seed", static_cast<long>(predictor.config().seed))),
+      args.get_double("scale", 0.25));
+  const auto res = predictor.evaluate(ds, ds.test);
+  for (const auto& c : res.circuits) {
+    const auto m = c.metrics();
+    std::printf("%-6s R2=%7.3f MAE=%10.4f MAPE=%7.1f%% n=%zu\n", c.name.c_str(), m.r2, m.mae,
+                m.mape, m.count);
+  }
+  const auto m = res.pooled();
+  std::printf("%-6s R2=%7.3f MAE=%10.4f MAPE=%7.1f%% n=%zu\n", "all", m.r2, m.mae, m.mape,
+              m.count);
+  return 0;
+}
+
+int cmd_annotate(const util::ArgParser& args) {
+  const std::string netlist_path = args.get("netlist");
+  if (netlist_path.empty()) {
+    std::fprintf(stderr, "annotate: --netlist is required\n");
+    return 2;
+  }
+  circuit::Netlist nl = circuit::parse_spice_file(netlist_path);
+  layout::annotate_layout(nl, static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  std::unordered_map<circuit::NetId, double> caps;
+  for (circuit::NetId id = 0; static_cast<std::size_t>(id) < nl.num_nets(); ++id)
+    if (nl.net(id).ground_truth_cap) caps.emplace(id, *nl.net(id).ground_truth_cap);
+  circuit::WriteOptions opts;
+  opts.net_caps = &caps;
+  opts.emit_layout_params = true;
+  circuit::write_spice(std::cout, nl, opts);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const util::ArgParser args(argc - 1, argv + 1);
+  try {
+    if (command == "generate") return cmd_generate(args);
+    if (command == "train") return cmd_train(args);
+    if (command == "predict") return cmd_predict(args);
+    if (command == "evaluate") return cmd_evaluate(args);
+    if (command == "annotate") return cmd_annotate(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "paragraph %s: %s\n", command.c_str(), e.what());
+    return 1;
+  }
+  return usage();
+}
