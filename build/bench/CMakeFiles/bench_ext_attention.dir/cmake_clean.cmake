@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_attention.dir/bench_ext_attention.cpp.o"
+  "CMakeFiles/bench_ext_attention.dir/bench_ext_attention.cpp.o.d"
+  "bench_ext_attention"
+  "bench_ext_attention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_attention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_multihead.dir/bench_ext_multihead.cpp.o"
+  "CMakeFiles/bench_ext_multihead.dir/bench_ext_multihead.cpp.o.d"
+  "bench_ext_multihead"
+  "bench_ext_multihead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_multihead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_resistance.dir/bench_ext_resistance.cpp.o"
+  "CMakeFiles/bench_ext_resistance.dir/bench_ext_resistance.cpp.o.d"
+  "bench_ext_resistance"
+  "bench_ext_resistance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_resistance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

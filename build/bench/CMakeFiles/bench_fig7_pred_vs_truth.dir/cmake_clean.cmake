@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_pred_vs_truth.dir/bench_fig7_pred_vs_truth.cpp.o"
+  "CMakeFiles/bench_fig7_pred_vs_truth.dir/bench_fig7_pred_vs_truth.cpp.o.d"
+  "bench_fig7_pred_vs_truth"
+  "bench_fig7_pred_vs_truth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_pred_vs_truth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_tsne.dir/bench_fig8_tsne.cpp.o"
+  "CMakeFiles/bench_fig8_tsne.dir/bench_fig8_tsne.cpp.o.d"
+  "bench_fig8_tsne"
+  "bench_fig8_tsne.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_tsne.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

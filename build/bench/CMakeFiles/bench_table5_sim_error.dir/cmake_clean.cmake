@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_sim_error.dir/bench_table5_sim_error.cpp.o"
+  "CMakeFiles/bench_table5_sim_error.dir/bench_table5_sim_error.cpp.o.d"
+  "bench_table5_sim_error"
+  "bench_table5_sim_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_sim_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

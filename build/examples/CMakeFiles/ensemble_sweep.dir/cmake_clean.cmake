@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ensemble_sweep.dir/ensemble_sweep.cpp.o"
+  "CMakeFiles/ensemble_sweep.dir/ensemble_sweep.cpp.o.d"
+  "ensemble_sweep"
+  "ensemble_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ensemble_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

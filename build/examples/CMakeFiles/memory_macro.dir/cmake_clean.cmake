@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_macro.dir/memory_macro.cpp.o"
+  "CMakeFiles/memory_macro.dir/memory_macro.cpp.o.d"
+  "memory_macro"
+  "memory_macro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_macro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opamp_flow.dir/opamp_flow.cpp.o"
+  "CMakeFiles/opamp_flow.dir/opamp_flow.cpp.o.d"
+  "opamp_flow"
+  "opamp_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opamp_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

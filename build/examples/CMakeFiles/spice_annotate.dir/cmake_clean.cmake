@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_annotate.dir/spice_annotate.cpp.o"
+  "CMakeFiles/spice_annotate.dir/spice_annotate.cpp.o.d"
+  "spice_annotate"
+  "spice_annotate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_annotate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paragraph_analysis.dir/tsne.cpp.o"
+  "CMakeFiles/paragraph_analysis.dir/tsne.cpp.o.d"
+  "libparagraph_analysis.a"
+  "libparagraph_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paragraph_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

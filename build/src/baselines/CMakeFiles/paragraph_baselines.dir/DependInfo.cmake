@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/gbrt.cpp" "src/baselines/CMakeFiles/paragraph_baselines.dir/gbrt.cpp.o" "gcc" "src/baselines/CMakeFiles/paragraph_baselines.dir/gbrt.cpp.o.d"
+  "/root/repo/src/baselines/regressor.cpp" "src/baselines/CMakeFiles/paragraph_baselines.dir/regressor.cpp.o" "gcc" "src/baselines/CMakeFiles/paragraph_baselines.dir/regressor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/paragraph_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/paragraph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

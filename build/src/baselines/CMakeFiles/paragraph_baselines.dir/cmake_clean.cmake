@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paragraph_baselines.dir/gbrt.cpp.o"
+  "CMakeFiles/paragraph_baselines.dir/gbrt.cpp.o.d"
+  "CMakeFiles/paragraph_baselines.dir/regressor.cpp.o"
+  "CMakeFiles/paragraph_baselines.dir/regressor.cpp.o.d"
+  "libparagraph_baselines.a"
+  "libparagraph_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paragraph_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/netlist.cpp" "src/circuit/CMakeFiles/paragraph_circuit.dir/netlist.cpp.o" "gcc" "src/circuit/CMakeFiles/paragraph_circuit.dir/netlist.cpp.o.d"
+  "/root/repo/src/circuit/spice_parser.cpp" "src/circuit/CMakeFiles/paragraph_circuit.dir/spice_parser.cpp.o" "gcc" "src/circuit/CMakeFiles/paragraph_circuit.dir/spice_parser.cpp.o.d"
+  "/root/repo/src/circuit/spice_writer.cpp" "src/circuit/CMakeFiles/paragraph_circuit.dir/spice_writer.cpp.o" "gcc" "src/circuit/CMakeFiles/paragraph_circuit.dir/spice_writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/paragraph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

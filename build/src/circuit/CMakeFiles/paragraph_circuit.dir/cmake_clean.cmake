@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paragraph_circuit.dir/netlist.cpp.o"
+  "CMakeFiles/paragraph_circuit.dir/netlist.cpp.o.d"
+  "CMakeFiles/paragraph_circuit.dir/spice_parser.cpp.o"
+  "CMakeFiles/paragraph_circuit.dir/spice_parser.cpp.o.d"
+  "CMakeFiles/paragraph_circuit.dir/spice_writer.cpp.o"
+  "CMakeFiles/paragraph_circuit.dir/spice_writer.cpp.o.d"
+  "libparagraph_circuit.a"
+  "libparagraph_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paragraph_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuitgen/blocks.cpp" "src/circuitgen/CMakeFiles/paragraph_circuitgen.dir/blocks.cpp.o" "gcc" "src/circuitgen/CMakeFiles/paragraph_circuitgen.dir/blocks.cpp.o.d"
+  "/root/repo/src/circuitgen/generator.cpp" "src/circuitgen/CMakeFiles/paragraph_circuitgen.dir/generator.cpp.o" "gcc" "src/circuitgen/CMakeFiles/paragraph_circuitgen.dir/generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/paragraph_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/paragraph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paragraph_circuitgen.dir/blocks.cpp.o"
+  "CMakeFiles/paragraph_circuitgen.dir/blocks.cpp.o.d"
+  "CMakeFiles/paragraph_circuitgen.dir/generator.cpp.o"
+  "CMakeFiles/paragraph_circuitgen.dir/generator.cpp.o.d"
+  "libparagraph_circuitgen.a"
+  "libparagraph_circuitgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paragraph_circuitgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paragraph_core.dir/ensemble.cpp.o"
+  "CMakeFiles/paragraph_core.dir/ensemble.cpp.o.d"
+  "CMakeFiles/paragraph_core.dir/intervals.cpp.o"
+  "CMakeFiles/paragraph_core.dir/intervals.cpp.o.d"
+  "CMakeFiles/paragraph_core.dir/learners.cpp.o"
+  "CMakeFiles/paragraph_core.dir/learners.cpp.o.d"
+  "CMakeFiles/paragraph_core.dir/predictor.cpp.o"
+  "CMakeFiles/paragraph_core.dir/predictor.cpp.o.d"
+  "CMakeFiles/paragraph_core.dir/serialize.cpp.o"
+  "CMakeFiles/paragraph_core.dir/serialize.cpp.o.d"
+  "libparagraph_core.a"
+  "libparagraph_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paragraph_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataset/dataset.cpp" "src/dataset/CMakeFiles/paragraph_dataset.dir/dataset.cpp.o" "gcc" "src/dataset/CMakeFiles/paragraph_dataset.dir/dataset.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/paragraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuitgen/CMakeFiles/paragraph_circuitgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/paragraph_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/paragraph_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/paragraph_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/paragraph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

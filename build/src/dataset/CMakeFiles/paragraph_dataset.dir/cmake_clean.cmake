@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paragraph_dataset.dir/dataset.cpp.o"
+  "CMakeFiles/paragraph_dataset.dir/dataset.cpp.o.d"
+  "libparagraph_dataset.a"
+  "libparagraph_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paragraph_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

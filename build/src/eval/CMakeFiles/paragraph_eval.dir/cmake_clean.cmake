@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paragraph_eval.dir/metrics.cpp.o"
+  "CMakeFiles/paragraph_eval.dir/metrics.cpp.o.d"
+  "libparagraph_eval.a"
+  "libparagraph_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paragraph_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

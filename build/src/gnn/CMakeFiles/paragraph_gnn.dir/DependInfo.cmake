@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gnn/common.cpp" "src/gnn/CMakeFiles/paragraph_gnn.dir/common.cpp.o" "gcc" "src/gnn/CMakeFiles/paragraph_gnn.dir/common.cpp.o.d"
+  "/root/repo/src/gnn/models.cpp" "src/gnn/CMakeFiles/paragraph_gnn.dir/models.cpp.o" "gcc" "src/gnn/CMakeFiles/paragraph_gnn.dir/models.cpp.o.d"
+  "/root/repo/src/gnn/sampler.cpp" "src/gnn/CMakeFiles/paragraph_gnn.dir/sampler.cpp.o" "gcc" "src/gnn/CMakeFiles/paragraph_gnn.dir/sampler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/paragraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/paragraph_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/paragraph_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/paragraph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

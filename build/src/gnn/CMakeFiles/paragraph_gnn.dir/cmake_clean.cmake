@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paragraph_gnn.dir/common.cpp.o"
+  "CMakeFiles/paragraph_gnn.dir/common.cpp.o.d"
+  "CMakeFiles/paragraph_gnn.dir/models.cpp.o"
+  "CMakeFiles/paragraph_gnn.dir/models.cpp.o.d"
+  "CMakeFiles/paragraph_gnn.dir/sampler.cpp.o"
+  "CMakeFiles/paragraph_gnn.dir/sampler.cpp.o.d"
+  "libparagraph_gnn.a"
+  "libparagraph_gnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paragraph_gnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

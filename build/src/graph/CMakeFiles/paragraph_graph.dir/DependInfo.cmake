@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/hetero_graph.cpp" "src/graph/CMakeFiles/paragraph_graph.dir/hetero_graph.cpp.o" "gcc" "src/graph/CMakeFiles/paragraph_graph.dir/hetero_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/paragraph_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/paragraph_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/paragraph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paragraph_graph.dir/hetero_graph.cpp.o"
+  "CMakeFiles/paragraph_graph.dir/hetero_graph.cpp.o.d"
+  "libparagraph_graph.a"
+  "libparagraph_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paragraph_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

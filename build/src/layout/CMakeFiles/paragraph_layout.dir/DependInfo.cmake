@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/annotator.cpp" "src/layout/CMakeFiles/paragraph_layout.dir/annotator.cpp.o" "gcc" "src/layout/CMakeFiles/paragraph_layout.dir/annotator.cpp.o.d"
+  "/root/repo/src/layout/diffusion.cpp" "src/layout/CMakeFiles/paragraph_layout.dir/diffusion.cpp.o" "gcc" "src/layout/CMakeFiles/paragraph_layout.dir/diffusion.cpp.o.d"
+  "/root/repo/src/layout/placer.cpp" "src/layout/CMakeFiles/paragraph_layout.dir/placer.cpp.o" "gcc" "src/layout/CMakeFiles/paragraph_layout.dir/placer.cpp.o.d"
+  "/root/repo/src/layout/wire_model.cpp" "src/layout/CMakeFiles/paragraph_layout.dir/wire_model.cpp.o" "gcc" "src/layout/CMakeFiles/paragraph_layout.dir/wire_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/paragraph_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/paragraph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paragraph_layout.dir/annotator.cpp.o"
+  "CMakeFiles/paragraph_layout.dir/annotator.cpp.o.d"
+  "CMakeFiles/paragraph_layout.dir/diffusion.cpp.o"
+  "CMakeFiles/paragraph_layout.dir/diffusion.cpp.o.d"
+  "CMakeFiles/paragraph_layout.dir/placer.cpp.o"
+  "CMakeFiles/paragraph_layout.dir/placer.cpp.o.d"
+  "CMakeFiles/paragraph_layout.dir/wire_model.cpp.o"
+  "CMakeFiles/paragraph_layout.dir/wire_model.cpp.o.d"
+  "libparagraph_layout.a"
+  "libparagraph_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paragraph_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

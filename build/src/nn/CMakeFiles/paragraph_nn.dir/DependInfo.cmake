@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/graph_ops.cpp" "src/nn/CMakeFiles/paragraph_nn.dir/graph_ops.cpp.o" "gcc" "src/nn/CMakeFiles/paragraph_nn.dir/graph_ops.cpp.o.d"
+  "/root/repo/src/nn/init.cpp" "src/nn/CMakeFiles/paragraph_nn.dir/init.cpp.o" "gcc" "src/nn/CMakeFiles/paragraph_nn.dir/init.cpp.o.d"
+  "/root/repo/src/nn/matrix.cpp" "src/nn/CMakeFiles/paragraph_nn.dir/matrix.cpp.o" "gcc" "src/nn/CMakeFiles/paragraph_nn.dir/matrix.cpp.o.d"
+  "/root/repo/src/nn/module.cpp" "src/nn/CMakeFiles/paragraph_nn.dir/module.cpp.o" "gcc" "src/nn/CMakeFiles/paragraph_nn.dir/module.cpp.o.d"
+  "/root/repo/src/nn/ops.cpp" "src/nn/CMakeFiles/paragraph_nn.dir/ops.cpp.o" "gcc" "src/nn/CMakeFiles/paragraph_nn.dir/ops.cpp.o.d"
+  "/root/repo/src/nn/optim.cpp" "src/nn/CMakeFiles/paragraph_nn.dir/optim.cpp.o" "gcc" "src/nn/CMakeFiles/paragraph_nn.dir/optim.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/nn/CMakeFiles/paragraph_nn.dir/tensor.cpp.o" "gcc" "src/nn/CMakeFiles/paragraph_nn.dir/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/paragraph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

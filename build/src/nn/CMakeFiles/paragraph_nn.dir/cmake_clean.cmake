@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paragraph_nn.dir/graph_ops.cpp.o"
+  "CMakeFiles/paragraph_nn.dir/graph_ops.cpp.o.d"
+  "CMakeFiles/paragraph_nn.dir/init.cpp.o"
+  "CMakeFiles/paragraph_nn.dir/init.cpp.o.d"
+  "CMakeFiles/paragraph_nn.dir/matrix.cpp.o"
+  "CMakeFiles/paragraph_nn.dir/matrix.cpp.o.d"
+  "CMakeFiles/paragraph_nn.dir/module.cpp.o"
+  "CMakeFiles/paragraph_nn.dir/module.cpp.o.d"
+  "CMakeFiles/paragraph_nn.dir/ops.cpp.o"
+  "CMakeFiles/paragraph_nn.dir/ops.cpp.o.d"
+  "CMakeFiles/paragraph_nn.dir/optim.cpp.o"
+  "CMakeFiles/paragraph_nn.dir/optim.cpp.o.d"
+  "CMakeFiles/paragraph_nn.dir/tensor.cpp.o"
+  "CMakeFiles/paragraph_nn.dir/tensor.cpp.o.d"
+  "libparagraph_nn.a"
+  "libparagraph_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paragraph_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libparagraph_nn.a"
+)

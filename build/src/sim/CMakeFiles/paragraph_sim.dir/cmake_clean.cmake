@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paragraph_sim.dir/annotation.cpp.o"
+  "CMakeFiles/paragraph_sim.dir/annotation.cpp.o.d"
+  "CMakeFiles/paragraph_sim.dir/elmore.cpp.o"
+  "CMakeFiles/paragraph_sim.dir/elmore.cpp.o.d"
+  "CMakeFiles/paragraph_sim.dir/expand.cpp.o"
+  "CMakeFiles/paragraph_sim.dir/expand.cpp.o.d"
+  "CMakeFiles/paragraph_sim.dir/metrics.cpp.o"
+  "CMakeFiles/paragraph_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/paragraph_sim.dir/mna.cpp.o"
+  "CMakeFiles/paragraph_sim.dir/mna.cpp.o.d"
+  "libparagraph_sim.a"
+  "libparagraph_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paragraph_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paragraph_util.dir/args.cpp.o"
+  "CMakeFiles/paragraph_util.dir/args.cpp.o.d"
+  "CMakeFiles/paragraph_util.dir/rng.cpp.o"
+  "CMakeFiles/paragraph_util.dir/rng.cpp.o.d"
+  "CMakeFiles/paragraph_util.dir/stats.cpp.o"
+  "CMakeFiles/paragraph_util.dir/stats.cpp.o.d"
+  "CMakeFiles/paragraph_util.dir/strings.cpp.o"
+  "CMakeFiles/paragraph_util.dir/strings.cpp.o.d"
+  "CMakeFiles/paragraph_util.dir/table.cpp.o"
+  "CMakeFiles/paragraph_util.dir/table.cpp.o.d"
+  "libparagraph_util.a"
+  "libparagraph_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paragraph_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuitgen_test.dir/circuitgen_test.cpp.o"
+  "CMakeFiles/circuitgen_test.dir/circuitgen_test.cpp.o.d"
+  "circuitgen_test"
+  "circuitgen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuitgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expand_test.dir/expand_test.cpp.o"
+  "CMakeFiles/expand_test.dir/expand_test.cpp.o.d"
+  "expand_test"
+  "expand_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expand_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tsne_test.cpp" "tests/CMakeFiles/tsne_test.dir/tsne_test.cpp.o" "gcc" "tests/CMakeFiles/tsne_test.dir/tsne_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/paragraph_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/paragraph_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/paragraph_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/gnn/CMakeFiles/paragraph_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/paragraph_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/paragraph_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/paragraph_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuitgen/CMakeFiles/paragraph_circuitgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/paragraph_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/paragraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/paragraph_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/paragraph_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/paragraph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
