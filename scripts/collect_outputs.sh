@@ -26,3 +26,19 @@ ctest --test-dir build 2>&1 | tee test_output.txt
   done
 } | tee bench_output.txt >/dev/null
 echo "wrote test_output.txt and bench_output.txt"
+
+# Observability artefacts: any metrics/trace JSON dropped under
+# bench_results/obs/ (e.g. by `paragraph train --metrics-out
+# bench_results/obs/train_metrics.json --trace-out ...`) is validated and
+# listed so stale or truncated dumps are caught at collection time.
+if compgen -G "bench_results/obs/*.json" >/dev/null; then
+  for f in bench_results/obs/*.json; do
+    if ! command -v python3 >/dev/null; then
+      echo "obs artefact (unvalidated, no python3): $f"
+    elif python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$f" 2>/dev/null; then
+      echo "obs artefact ok: $f"
+    else
+      echo "obs artefact INVALID JSON: $f" >&2
+    fi
+  done
+fi

@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "obs/log.h"
+#include "obs/profile.h"
+
 namespace paragraph::core {
 
 using dataset::Sample;
@@ -24,10 +27,17 @@ CapEnsemble::CapEnsemble(const EnsembleConfig& config) : config_(config) {
 }
 
 void CapEnsemble::train(const SuiteDataset& ds) {
-  for (auto& m : models_) m->train(ds);
+  PARAGRAPH_TIMED_SCOPE("ensemble_train");
+  for (std::size_t i = 0; i < models_.size(); ++i) {
+    PARAGRAPH_TIMED_SCOPE("member");
+    obs::log_debug("ensemble", "training member",
+                   {{"member", i}, {"max_v_ff", config_.max_vs_ff[i]}});
+    models_[i]->train(ds);
+  }
 }
 
 std::vector<float> CapEnsemble::predict(const SuiteDataset& ds, const Sample& sample) const {
+  PARAGRAPH_TIMED_SCOPE("ensemble_combine");
   // Algorithm 2: start from the lowest-range model M1; move to model Mi
   // whenever Mi's prediction exceeds M(i-1)'s max prediction value.
   std::vector<float> p = models_[0]->predict_all(ds, sample);

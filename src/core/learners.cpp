@@ -4,6 +4,7 @@
 
 #include "baselines/gbrt.h"
 #include "baselines/regressor.h"
+#include "obs/profile.h"
 
 namespace paragraph::core {
 
@@ -83,6 +84,7 @@ ClassicalPredictor::ClassicalPredictor(LearnerKind learner, TargetKind target, d
 }
 
 void ClassicalPredictor::fit(const SuiteDataset& ds) {
+  PARAGRAPH_TIMED_SCOPE("baseline_fit");
   if (target_ == TargetKind::kCap) {
     scaler_ = TargetScaler::for_cap(max_v_ff_);
   } else if (target_ == TargetKind::kRes) {
@@ -115,6 +117,7 @@ void ClassicalPredictor::fit(const SuiteDataset& ds) {
 }
 
 std::vector<float> ClassicalPredictor::predict_all(const Sample& sample) const {
+  PARAGRAPH_TIMED_SCOPE("baseline_predict");
   if (regressor_ == nullptr) throw std::logic_error("ClassicalPredictor: predict before fit");
   const Matrix x = baseline_feature_matrix(sample, target_);
   const auto pred = regressor_->predict(x);

@@ -1,12 +1,16 @@
 #include "core/predictor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <numeric>
 #include <stdexcept>
 
 #include "nn/optim.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -143,7 +147,22 @@ Tensor GnnPredictor::forward_predictions(const GraphBatch& batch, std::size_t ty
   return head_->forward(z);
 }
 
-std::vector<double> GnnPredictor::train(const SuiteDataset& ds) {
+namespace {
+
+double global_grad_norm(const std::vector<Tensor>& params) {
+  double total = 0.0;
+  for (const auto& p : params) {
+    const Matrix& g = p.grad();
+    for (std::size_t i = 0; i < g.size(); ++i)
+      total += static_cast<double>(g.data()[i]) * g.data()[i];
+  }
+  return std::sqrt(total);
+}
+
+}  // namespace
+
+std::vector<double> GnnPredictor::train(const SuiteDataset& ds, const EpochCallback& on_epoch) {
+  PARAGRAPH_TIMED_SCOPE("train");
   const auto& types = dataset::target_node_types(config_.target);
 
   if (config_.target == TargetKind::kRes) {
@@ -161,26 +180,29 @@ std::vector<double> GnnPredictor::train(const SuiteDataset& ds) {
     std::vector<Matrix> target;                  // per type slot, scaled
   };
   std::vector<Prepared> prepared;
-  for (const Sample& s : ds.train) {
-    Prepared p;
-    p.sample = &s;
-    if (needs_homo()) p.homo = std::make_unique<HomoView>(gnn::build_homo_view(s.graph));
-    p.batch = make_batch(ds, s, p.homo.get());
-    bool any = false;
-    for (std::size_t slot = 0; slot < types.size(); ++slot) {
-      const auto& raw = s.target_values(config_.target, slot);
-      std::vector<std::int32_t> idx;
-      std::vector<float> scaled;
-      for (std::size_t i = 0; i < raw.size(); ++i) {
-        if (!scaler_.in_range(raw[i])) continue;
-        idx.push_back(static_cast<std::int32_t>(i));
-        scaled.push_back(scaler_.transform(raw[i]));
+  {
+    PARAGRAPH_TIMED_SCOPE("prepare");
+    for (const Sample& s : ds.train) {
+      Prepared p;
+      p.sample = &s;
+      if (needs_homo()) p.homo = std::make_unique<HomoView>(gnn::build_homo_view(s.graph));
+      p.batch = make_batch(ds, s, p.homo.get());
+      bool any = false;
+      for (std::size_t slot = 0; slot < types.size(); ++slot) {
+        const auto& raw = s.target_values(config_.target, slot);
+        std::vector<std::int32_t> idx;
+        std::vector<float> scaled;
+        for (std::size_t i = 0; i < raw.size(); ++i) {
+          if (!scaler_.in_range(raw[i])) continue;
+          idx.push_back(static_cast<std::int32_t>(i));
+          scaled.push_back(scaler_.transform(raw[i]));
+        }
+        p.idx.push_back(std::move(idx));
+        p.target.emplace_back(scaled.size(), 1, std::move(scaled));
+        if (!p.idx.back().empty()) any = true;
       }
-      p.idx.push_back(std::move(idx));
-      p.target.emplace_back(scaled.size(), 1, std::move(scaled));
-      if (!p.idx.back().empty()) any = true;
+      if (any) prepared.push_back(std::move(p));
     }
-    if (any) prepared.push_back(std::move(p));
   }
   if (prepared.empty()) throw std::logic_error("GnnPredictor::train: no training data in range");
 
@@ -205,10 +227,18 @@ std::vector<double> GnnPredictor::train(const SuiteDataset& ds) {
       params[i].mutable_value() = best_params[i];
   };
 
+  // Per-epoch telemetry is cheap (one clock read per epoch) so it is
+  // collected unconditionally; the obs sinks below are gated.
+  const bool want_telemetry =
+      on_epoch != nullptr || obs::enabled() ||
+      obs::Logger::instance().should_log(obs::LogLevel::kDebug);
+
   std::vector<double> epoch_losses;
   std::vector<std::size_t> order(prepared.size());
   std::iota(order.begin(), order.end(), 0);
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    PARAGRAPH_TIMED_SCOPE("epoch");
+    const auto epoch_start = std::chrono::steady_clock::now();
     float lr = config_.learning_rate;
     if (config_.lr_final_fraction < 1.0f && config_.epochs > 1) {
       const float progress = static_cast<float>(epoch) / static_cast<float>(config_.epochs - 1);
@@ -220,36 +250,83 @@ std::vector<double> GnnPredictor::train(const SuiteDataset& ds) {
     shuffle_rng.shuffle(order);
     double loss_sum = 0.0;
     std::size_t loss_count = 0;
+    double last_grad_norm = 0.0;
     for (const std::size_t k : order) {
       Prepared& p = prepared[k];
-      gnn::TypeTensors emb = embedding_->embed(p.batch);
       std::vector<Tensor> losses;
-      for (std::size_t slot = 0; slot < types.size(); ++slot) {
-        if (p.idx[slot].empty()) continue;
-        const Tensor& z = emb[static_cast<std::size_t>(types[slot])];
-        if (!z.defined()) continue;
-        Tensor zsel = nn::gather_rows(z, p.idx[slot]);
-        Tensor pred = head_->forward(zsel);
-        losses.push_back(nn::mse_loss(pred, p.target[slot]));
+      Tensor loss;
+      {
+        PARAGRAPH_TIMED_SCOPE("forward");
+        gnn::TypeTensors emb = embedding_->embed(p.batch);
+        for (std::size_t slot = 0; slot < types.size(); ++slot) {
+          if (p.idx[slot].empty()) continue;
+          const Tensor& z = emb[static_cast<std::size_t>(types[slot])];
+          if (!z.defined()) continue;
+          Tensor zsel = nn::gather_rows(z, p.idx[slot]);
+          Tensor pred = head_->forward(zsel);
+          losses.push_back(nn::mse_loss(pred, p.target[slot]));
+        }
+        if (losses.empty()) continue;
+        loss = losses.size() == 1 ? losses[0] : nn::sum_tensors(losses);
+        if (losses.size() > 1) loss = nn::scale(loss, 1.0f / static_cast<float>(losses.size()));
       }
-      if (losses.empty()) continue;
-      Tensor loss = losses.size() == 1 ? losses[0] : nn::sum_tensors(losses);
-      if (losses.size() > 1) loss = nn::scale(loss, 1.0f / static_cast<float>(losses.size()));
-      opt.zero_grad();
-      loss.backward();
-      if (config_.grad_clip > 0.0f) nn::clip_grad_norm(params, config_.grad_clip);
-      opt.step();
+      {
+        PARAGRAPH_TIMED_SCOPE("backward");
+        opt.zero_grad();
+        loss.backward();
+      }
+      {
+        PARAGRAPH_TIMED_SCOPE("optimizer");
+        if (config_.grad_clip > 0.0f) {
+          last_grad_norm = nn::clip_grad_norm(params, config_.grad_clip);
+        } else if (want_telemetry) {
+          last_grad_norm = global_grad_norm(params);
+        }
+        opt.step();
+      }
       loss_sum += loss.item();
       ++loss_count;
     }
     const double epoch_loss = loss_count ? loss_sum / static_cast<double>(loss_count) : 0.0;
     epoch_losses.push_back(epoch_loss);
+    if (want_telemetry) {
+      EpochRecord rec;
+      rec.epoch = epoch;
+      rec.loss = epoch_loss;
+      rec.grad_norm = last_grad_norm;
+      rec.wall_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - epoch_start)
+                        .count();
+      rec.lr = static_cast<double>(lr * lr_scale);
+      obs::log_debug("train", "epoch",
+                     {{"epoch", rec.epoch},
+                      {"loss", rec.loss},
+                      {"grad_norm", rec.grad_norm},
+                      {"wall_ms", rec.wall_ms},
+                      {"lr", rec.lr}});
+      if (obs::enabled()) {
+        obs::JsonValue r = obs::JsonValue::object();
+        r.set("epoch", rec.epoch);
+        r.set("loss", rec.loss);
+        r.set("grad_norm", rec.grad_norm);
+        r.set("wall_ms", rec.wall_ms);
+        r.set("lr", rec.lr);
+        obs::MetricsRegistry::instance().append_record("train.epochs", std::move(r));
+        obs::MetricsRegistry::instance().histogram("train.epoch_ms").record(rec.wall_ms);
+        obs::MetricsRegistry::instance().gauge("train.loss").set(rec.loss);
+      }
+      if (on_epoch) on_epoch(rec);
+    }
     if (epoch_loss < best_loss) {
       best_loss = epoch_loss;
       snapshot();
     } else if (!best_params.empty() && epoch_loss > 10.0 * best_loss) {
       restore();
       lr_scale = std::max(lr_scale * 0.5f, 0.05f);
+      obs::log_debug("train", "divergence rollback",
+                     {{"epoch", epoch},
+                      {"loss", epoch_loss},
+                      {"lr_scale", static_cast<double>(lr_scale)}});
     }
   }
   if (!best_params.empty()) restore();
@@ -258,6 +335,7 @@ std::vector<double> GnnPredictor::train(const SuiteDataset& ds) {
 
 EvalResult GnnPredictor::evaluate(const SuiteDataset& ds,
                                   const std::vector<Sample>& samples) const {
+  PARAGRAPH_TIMED_SCOPE("evaluate");
   const auto& types = dataset::target_node_types(config_.target);
   EvalResult result;
   for (const Sample& s : samples) {
@@ -285,6 +363,7 @@ EvalResult GnnPredictor::evaluate(const SuiteDataset& ds,
 
 std::vector<float> GnnPredictor::predict_all(const SuiteDataset& ds,
                                              const Sample& sample) const {
+  PARAGRAPH_TIMED_SCOPE("predict");
   const auto& types = dataset::target_node_types(config_.target);
   std::unique_ptr<HomoView> homo;
   if (needs_homo()) homo = std::make_unique<HomoView>(gnn::build_homo_view(sample.graph));

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -38,6 +39,10 @@ struct PredictorConfig {
   // locks in the good optimum instead of bouncing out of it late.
   float lr_final_fraction = 0.02f;
   std::uint64_t seed = 1;
+  // Dataset-generation scale the model was trained against. Persisted by
+  // core/serialize so predict/evaluate can rebuild the exact normaliser
+  // statistics without the caller re-supplying --scale.
+  double scale = 0.25;
 
   std::size_t effective_fc_layers() const {
     if (fc_layers != 0) return fc_layers;
@@ -94,14 +99,27 @@ struct EvalResult {
   eval::RegressionMetrics pooled() const;
 };
 
+// Per-epoch training telemetry handed to the optional train() callback
+// and mirrored into the obs metrics registry when instrumentation is on.
+struct EpochRecord {
+  int epoch = 0;          // 0-based
+  double loss = 0.0;      // mean loss over the epoch's batches
+  double grad_norm = 0.0; // pre-clip global gradient norm of the last step
+  double wall_ms = 0.0;   // epoch wall time
+  double lr = 0.0;        // effective learning rate this epoch
+};
+using EpochCallback = std::function<void(const EpochRecord&)>;
+
 class GnnPredictor {
  public:
   GnnPredictor(const PredictorConfig& config);
 
   const PredictorConfig& config() const { return config_; }
 
-  // Trains on ds.train; returns per-epoch mean losses.
-  std::vector<double> train(const dataset::SuiteDataset& ds);
+  // Trains on ds.train; returns per-epoch mean losses. `on_epoch`, when
+  // set, fires after every epoch with that epoch's telemetry.
+  std::vector<double> train(const dataset::SuiteDataset& ds,
+                            const EpochCallback& on_epoch = nullptr);
 
   // Predicts raw-unit values for in-range nodes of each sample.
   EvalResult evaluate(const dataset::SuiteDataset& ds,

@@ -9,7 +9,12 @@ namespace paragraph::core {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x50477230;  // "PGr0"
-constexpr std::uint32_t kVersion = 1;
+// Version history:
+//   1: initial format
+//   2: adds PredictorConfig::scale after the seed (the dataset-generation
+//      scale used at training time, so predict/evaluate rebuild the same
+//      normaliser statistics)
+constexpr std::uint32_t kVersion = 2;
 
 template <typename T>
 void write_pod(std::ostream& os, const T& v) {
@@ -44,6 +49,7 @@ void save_predictor(const GnnPredictor& predictor, const std::string& path) {
   write_pod(os, c.grad_clip);
   write_pod(os, c.lr_final_fraction);
   write_pod(os, c.seed);
+  write_pod(os, c.scale);
 
   const TargetScaler::State s = predictor.scaler().state();
   write_pod(os, s.zscore);
@@ -69,7 +75,8 @@ GnnPredictor load_predictor(const std::string& path) {
   if (!is) throw std::runtime_error("load_predictor: cannot open '" + path + "'");
   if (read_pod<std::uint32_t>(is) != kMagic)
     throw std::runtime_error("load_predictor: '" + path + "' is not a ParaGraph model file");
-  if (read_pod<std::uint32_t>(is) != kVersion)
+  const auto version = read_pod<std::uint32_t>(is);
+  if (version < 1 || version > kVersion)
     throw std::runtime_error("load_predictor: unsupported format version in '" + path + "'");
 
   PredictorConfig c;
@@ -84,6 +91,9 @@ GnnPredictor load_predictor(const std::string& path) {
   c.grad_clip = read_pod<float>(is);
   c.lr_final_fraction = read_pod<float>(is);
   c.seed = read_pod<std::uint64_t>(is);
+  // Version 1 predates the scale field; keep the PredictorConfig default
+  // (which matches the CLI's historical --scale default).
+  if (version >= 2) c.scale = read_pod<double>(is);
 
   TargetScaler::State s;
   s.zscore = read_pod<bool>(is);

@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "layout/annotator.h"
+#include "obs/log.h"
+#include "obs/profile.h"
 
 namespace paragraph::dataset {
 
@@ -149,9 +151,13 @@ nn::Matrix FeatureNormalizer::apply(const HeteroGraph& g, NodeType t) const {
 namespace {
 
 Sample make_sample(Netlist nl) {
+  PARAGRAPH_TIMED_SCOPE("sample");
   Sample s;
   s.name = nl.name();
-  s.graph = graph::build_graph(nl);
+  {
+    PARAGRAPH_TIMED_SCOPE("graph_build");
+    s.graph = graph::build_graph(nl);
+  }
   for (const TargetKind t : all_targets()) {
     auto& per_type = s.targets[static_cast<std::size_t>(t)];
     for (const NodeType nt : target_node_types(t))
@@ -173,23 +179,51 @@ std::vector<float> SuiteDataset::pooled_targets(const std::vector<Sample>& sampl
 }
 
 SuiteDataset build_dataset(std::uint64_t seed, double scale) {
-  return build_dataset_from_suite(circuitgen::build_paper_suite(seed, scale), seed ^ 0x1234567);
+  PARAGRAPH_TIMED_SCOPE("dataset_build");
+  circuitgen::Suite suite;
+  {
+    PARAGRAPH_TIMED_SCOPE("generate_suite");
+    suite = circuitgen::build_paper_suite(seed, scale);
+  }
+  return build_dataset_from_suite(std::move(suite), seed ^ 0x1234567);
 }
 
 SuiteDataset build_dataset_from_suite(circuitgen::Suite suite, std::uint64_t layout_seed) {
+  PARAGRAPH_TIMED_SCOPE("dataset_from_suite");
   SuiteDataset ds;
   std::uint64_t k = 0;
   for (auto& nl : suite.train) {
-    layout::annotate_layout(nl, layout_seed + 1000 + k++);
+    {
+      PARAGRAPH_TIMED_SCOPE("annotate_layout");
+      layout::annotate_layout(nl, layout_seed + 1000 + k++);
+    }
     ds.train.push_back(make_sample(std::move(nl)));
   }
   for (auto& nl : suite.test) {
-    layout::annotate_layout(nl, layout_seed + 2000 + k++);
+    {
+      PARAGRAPH_TIMED_SCOPE("annotate_layout");
+      layout::annotate_layout(nl, layout_seed + 2000 + k++);
+    }
     ds.test.push_back(make_sample(std::move(nl)));
   }
   std::vector<const HeteroGraph*> train_graphs;
   for (const Sample& s : ds.train) train_graphs.push_back(&s.graph);
-  ds.normalizer.fit(train_graphs);
+  {
+    PARAGRAPH_TIMED_SCOPE("fit_normalizer");
+    ds.normalizer.fit(train_graphs);
+  }
+  if (obs::Logger::instance().should_log(obs::LogLevel::kDebug)) {
+    std::size_t nodes = 0, edges = 0;
+    for (const Sample& s : ds.train) {
+      nodes += s.graph.total_nodes();
+      edges += s.graph.total_edges();
+    }
+    obs::log_debug("dataset", "built",
+              {{"train_circuits", ds.train.size()},
+               {"test_circuits", ds.test.size()},
+               {"train_nodes", nodes},
+               {"train_edges", edges}});
+  }
   return ds;
 }
 

@@ -4,6 +4,7 @@
 
 #include "nn/graph_ops.h"
 #include "nn/init.h"
+#include "obs/profile.h"
 
 namespace paragraph::gnn {
 
@@ -33,6 +34,14 @@ namespace {
 // (dead network), which we observed with the attention models.
 Tensor act(const Tensor& x) { return nn::leaky_relu(x, 0.1f); }
 
+// Stable per-layer phase names for the scoped timers (ScopedTimer keeps
+// the pointer alive past the scope).
+const char* layer_scope_name(std::size_t l) {
+  static const char* names[] = {"layer0", "layer1", "layer2", "layer3",
+                                "layer4", "layer5", "layer6", "layer7"};
+  return l < 8 ? names[l] : "layer8plus";
+}
+
 // ---------------------------------------------------------------- GCN ----
 // h' = relu(b + sum_j 1/c_ij W h_j) over the self-loop-augmented graph.
 class GcnModel final : public EmbeddingModel {
@@ -50,9 +59,11 @@ class GcnModel final : public EmbeddingModel {
 
   TypeTensors embed(const GraphBatch& batch) const override {
     if (batch.homo == nullptr) throw std::invalid_argument("GCN needs a HomoView");
+    PARAGRAPH_TIMED_SCOPE("forward_gcn");
     const HomoView& v = *batch.homo;
     Tensor h = flatten_types(input_.forward(batch), v, embed_dim_);
     for (std::size_t l = 0; l < num_layers_; ++l) {
+      PARAGRAPH_TIMED_SCOPE(layer_scope_name(l));
       Tensor m = nn::matmul(h, weights_[l]);
       Tensor msg = nn::gather_rows(m, v.sl_src);
       msg = nn::scale_rows(msg, v.gcn_coeff);
@@ -85,9 +96,11 @@ class SageModel final : public EmbeddingModel {
 
   TypeTensors embed(const GraphBatch& batch) const override {
     if (batch.homo == nullptr) throw std::invalid_argument("GraphSage needs a HomoView");
+    PARAGRAPH_TIMED_SCOPE("forward_graphsage");
     const HomoView& v = *batch.homo;
     Tensor h = flatten_types(input_.forward(batch), v, embed_dim_);
     for (std::size_t l = 0; l < num_layers_; ++l) {
+      PARAGRAPH_TIMED_SCOPE(layer_scope_name(l));
       Tensor msg = nn::gather_rows(h, v.src);
       Tensor agg = nn::scatter_add_rows(msg, v.dst, v.total_nodes);
       agg = nn::scale_rows(agg, v.inv_in_degree);  // mean aggregator
@@ -124,14 +137,17 @@ class RgcnModel final : public EmbeddingModel {
   ModelKind kind() const override { return ModelKind::kRgcn; }
 
   TypeTensors embed(const GraphBatch& batch) const override {
+    PARAGRAPH_TIMED_SCOPE("forward_rgcn");
     const HeteroGraph& g = *batch.graph;
     TypeTensors h = input_.forward(batch);
     for (std::size_t l = 0; l < num_layers_; ++l) {
+      PARAGRAPH_TIMED_SCOPE(layer_scope_name(l));
       // Per-destination-type accumulators.
       TypeTensors agg;
       for (const auto& te : g.edges()) {
         if (te.num_edges() == 0) continue;
         const auto& info = graph::edge_type_registry()[te.type_index];
+        PARAGRAPH_TIMED_SCOPE(info.name.c_str());
         const auto st = static_cast<std::size_t>(info.src_type);
         const auto dt = static_cast<std::size_t>(info.dst_type);
         if (!h[st].defined()) continue;
@@ -185,9 +201,11 @@ class GatModel final : public EmbeddingModel {
 
   TypeTensors embed(const GraphBatch& batch) const override {
     if (batch.homo == nullptr) throw std::invalid_argument("GAT needs a HomoView");
+    PARAGRAPH_TIMED_SCOPE("forward_gat");
     const HomoView& v = *batch.homo;
     Tensor h = flatten_types(input_.forward(batch), v, embed_dim_);
     for (std::size_t l = 0; l < num_layers_; ++l) {
+      PARAGRAPH_TIMED_SCOPE(layer_scope_name(l));
       // Attention over the self-loop-augmented edges, so a node can keep
       // its own features (standard practice when applying GAT).
       Tensor m = nn::matmul(h, weights_[l]);
@@ -247,9 +265,11 @@ class ParaGraphModel final : public EmbeddingModel {
   ModelKind kind() const override { return kind_; }
 
   TypeTensors embed(const GraphBatch& batch) const override {
+    PARAGRAPH_TIMED_SCOPE("forward_paragraph");
     const HeteroGraph& g = *batch.graph;
     TypeTensors h = input_.forward(batch);
     for (std::size_t l = 0; l < num_layers_; ++l) {
+      PARAGRAPH_TIMED_SCOPE(layer_scope_name(l));
       TypeTensors agg;
       for (const auto& te : g.edges()) {
         if (te.num_edges() == 0) continue;
@@ -257,11 +277,13 @@ class ParaGraphModel final : public EmbeddingModel {
         const auto st = static_cast<std::size_t>(info.src_type);
         const auto dt = static_cast<std::size_t>(info.dst_type);
         if (!h[st].defined() || !h[dt].defined()) continue;
+        PARAGRAPH_TIMED_SCOPE(info.name.c_str());
         const Tensor& w = rel_weights_[l][use_edge_types_ ? te.type_index : 0];
         Tensor ms = nn::matmul(h[st], w);  // W_t h_j for sources
         Tensor msg = nn::gather_rows(ms, te.src);
         Tensor a;
         if (use_attention_) {
+          PARAGRAPH_TIMED_SCOPE("attention");
           Tensor md = nn::matmul(h[dt], w);  // W_t h_i for destinations
           // One attention distribution per head; head outputs averaged.
           std::vector<Tensor> heads;
@@ -295,6 +317,7 @@ class ParaGraphModel final : public EmbeddingModel {
         }
         agg[dt] = agg[dt].defined() ? nn::add(agg[dt], a) : a;
       }
+      PARAGRAPH_TIMED_SCOPE("update");
       for (std::size_t t = 0; t < graph::kNumNodeTypes; ++t) {
         if (!h[t].defined()) continue;
         Tensor neigh = agg[t].defined()

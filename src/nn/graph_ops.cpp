@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace paragraph::nn {
 
 namespace {
@@ -18,6 +20,12 @@ void check_index_bounds(const std::vector<std::int32_t>& idx, std::size_t n, con
 
 Tensor gather_rows(const Tensor& a, const std::vector<std::int32_t>& idx) {
   check_index_bounds(idx, a.rows(), "gather_rows");
+  if (obs::enabled()) {
+    static obs::Counter& calls = obs::MetricsRegistry::instance().counter("nn.gather_rows.calls");
+    static obs::Counter& rows = obs::MetricsRegistry::instance().counter("nn.gather_rows.rows");
+    calls.add();
+    rows.add(idx.size());
+  }
   const std::size_t f = a.cols();
   Matrix out(idx.size(), f);
   for (std::size_t e = 0; e < idx.size(); ++e) {
@@ -41,6 +49,14 @@ Tensor scatter_add_rows(const Tensor& a, const std::vector<std::int32_t>& idx,
   if (idx.size() != a.rows())
     throw std::invalid_argument("scatter_add_rows: index count must equal input rows");
   check_index_bounds(idx, num_out_rows, "scatter_add_rows");
+  if (obs::enabled()) {
+    static obs::Counter& calls =
+        obs::MetricsRegistry::instance().counter("nn.scatter_add_rows.calls");
+    static obs::Counter& rows =
+        obs::MetricsRegistry::instance().counter("nn.scatter_add_rows.rows");
+    calls.add();
+    rows.add(idx.size());
+  }
   const std::size_t f = a.cols();
   Matrix out(num_out_rows, f, 0.0f);
   for (std::size_t e = 0; e < idx.size(); ++e) {
@@ -64,6 +80,14 @@ Tensor segment_softmax(const Tensor& logits, const SegmentIndex& seg) {
     throw std::invalid_argument("segment_softmax: logits must be a column vector");
   if (seg.num_elements() != logits.rows())
     throw std::invalid_argument("segment_softmax: segment index does not cover logits");
+  if (obs::enabled()) {
+    static obs::Counter& calls =
+        obs::MetricsRegistry::instance().counter("nn.segment_softmax.calls");
+    static obs::Counter& edges =
+        obs::MetricsRegistry::instance().counter("nn.segment_softmax.edges");
+    calls.add();
+    edges.add(logits.rows());
+  }
   const std::size_t e_total = logits.rows();
   Matrix out(e_total, 1);
   for (std::size_t s = 0; s < seg.num_segments(); ++s) {

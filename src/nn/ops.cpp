@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace paragraph::nn {
 
 namespace {
@@ -16,6 +18,12 @@ void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
 }  // namespace
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
+  if (obs::enabled()) {
+    static obs::Counter& calls = obs::MetricsRegistry::instance().counter("nn.matmul.calls");
+    static obs::Counter& flops = obs::MetricsRegistry::instance().counter("nn.matmul.flops");
+    calls.add();
+    flops.add(2ull * a.rows() * a.cols() * b.cols());
+  }
   Matrix out = gemm(a.value(), b.value());
   return Tensor::from_op(std::move(out), {a, b}, [a, b](const Matrix& g) {
     a.accumulate_grad(gemm_nt(g, b.value()));

@@ -1,0 +1,29 @@
+// Master runtime switch for the instrumentation layer.
+//
+// Scoped timers and the hot-path kernel counters all check this one flag
+// (a relaxed atomic load plus a predictable branch), so a disabled build
+// pays essentially nothing — tier-1 bench throughput must be unaffected.
+// The flag defaults to off; the CLI turns it on when the user asks for
+// --metrics-out/--trace-out, and PARAGRAPH_OBS=1 turns it on from the
+// environment.
+#pragma once
+
+#include <atomic>
+
+namespace paragraph::obs {
+
+namespace detail {
+extern std::atomic<bool> g_instrumentation_enabled;
+}
+
+inline bool enabled() {
+  return detail::g_instrumentation_enabled.load(std::memory_order_relaxed);
+}
+
+void set_enabled(bool on);
+
+// Reads PARAGRAPH_OBS (instrumentation on/off) and PARAGRAPH_LOG (logger
+// level name) from the environment. Safe to call more than once.
+void init_from_env();
+
+}  // namespace paragraph::obs

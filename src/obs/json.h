@@ -1,0 +1,85 @@
+// Minimal JSON value: build, serialise, and parse.
+//
+// The observability layer emits machine-readable artefacts (metrics
+// dumps, Chrome trace files, JSONL log records) and the tests parse them
+// back to guard well-formedness, so both directions live here. Objects
+// preserve insertion order to keep dumps diffable across runs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace paragraph::obs {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  JsonValue() = default;  // null
+  JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}
+  JsonValue(int v) : kind_(Kind::kInt), int_(v) {}
+  JsonValue(long v) : kind_(Kind::kInt), int_(v) {}
+  JsonValue(long long v) : kind_(Kind::kInt), int_(v) {}
+  JsonValue(unsigned v) : kind_(Kind::kInt), int_(static_cast<std::int64_t>(v)) {}
+  JsonValue(unsigned long v) : kind_(Kind::kInt), int_(static_cast<std::int64_t>(v)) {}
+  JsonValue(unsigned long long v) : kind_(Kind::kInt), int_(static_cast<std::int64_t>(v)) {}
+  JsonValue(double v) : kind_(Kind::kDouble), double_(v) {}
+  JsonValue(const char* s) : kind_(Kind::kString), str_(s) {}
+  JsonValue(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}
+
+  static JsonValue array();
+  static JsonValue object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kInt || kind_ == Kind::kDouble; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool() const { return bool_; }
+  std::int64_t as_int() const { return kind_ == Kind::kDouble ? static_cast<std::int64_t>(double_) : int_; }
+  double as_double() const { return kind_ == Kind::kInt ? static_cast<double>(int_) : double_; }
+  const std::string& as_string() const { return str_; }
+
+  // Object access. `set` overwrites an existing key in place.
+  JsonValue& set(std::string key, JsonValue v);
+  const JsonValue* find(std::string_view key) const;  // nullptr when absent
+  const JsonValue& at(std::string_view key) const;    // throws std::out_of_range
+  const std::vector<std::pair<std::string, JsonValue>>& items() const { return obj_; }
+
+  // Array access.
+  void push_back(JsonValue v);
+  const std::vector<JsonValue>& elements() const { return arr_; }
+  const JsonValue& operator[](std::size_t i) const { return arr_.at(i); }
+
+  // Array length or object member count; 0 for scalars.
+  std::size_t size() const;
+
+  // Compact serialisation (no whitespace). Non-finite doubles emit null.
+  std::string dump() const;
+  void dump_to(std::string& out) const;
+
+  // Strict JSON parser. Returns nullopt (and fills `error`, if given) on
+  // malformed input, including trailing garbage.
+  static std::optional<JsonValue> parse(std::string_view text, std::string* error = nullptr);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string str_;
+  std::vector<JsonValue> arr_;
+  std::vector<std::pair<std::string, JsonValue>> obj_;
+};
+
+// Escapes and quotes `s` as a JSON string literal.
+void json_escape_to(std::string_view s, std::string& out);
+
+}  // namespace paragraph::obs

@@ -1,0 +1,155 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+
+#include "util/stats.h"
+
+namespace paragraph::obs {
+
+std::uint64_t Gauge::pack(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  return bits;
+}
+
+double Gauge::unpack(std::uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+void Histogram::record(double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+  if (samples_.size() < kMaxSamples) samples_.push_back(v);
+}
+
+HistogramSummary Histogram::summary() const {
+  std::vector<double> samples;
+  HistogramSummary s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.count = count_;
+    s.sum = sum_;
+    s.min = min_;
+    s.max = max_;
+    s.samples_capped = count_ > samples_.size();
+    samples = samples_;
+  }
+  if (s.count == 0) return s;
+  s.mean = s.sum / static_cast<double>(s.count);
+  s.p50 = util::percentile(samples, 50.0);
+  s.p95 = util::percentile(samples, 95.0);
+  s.p99 = util::percentile(std::move(samples), 99.0);
+  return s;
+}
+
+std::size_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+void Histogram::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_.clear();
+  count_ = 0;
+  sum_ = min_ = max_ = 0.0;
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void MetricsRegistry::append_record(const std::string& series, JsonValue record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  series_[series].push_back(std::move(record));
+}
+
+JsonValue MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonValue root = JsonValue::object();
+
+  JsonValue counters = JsonValue::object();
+  for (const auto& [name, c] : counters_)
+    if (c->value() != 0) counters.set(name, c->value());
+  root.set("counters", std::move(counters));
+
+  JsonValue gauges = JsonValue::object();
+  for (const auto& [name, g] : gauges_) gauges.set(name, g->value());
+  root.set("gauges", std::move(gauges));
+
+  JsonValue histograms = JsonValue::object();
+  for (const auto& [name, h] : histograms_) {
+    const HistogramSummary s = h->summary();
+    if (s.count == 0) continue;
+    JsonValue o = JsonValue::object();
+    o.set("count", s.count);
+    o.set("min", s.min);
+    o.set("max", s.max);
+    o.set("mean", s.mean);
+    o.set("sum", s.sum);
+    o.set("p50", s.p50);
+    o.set("p95", s.p95);
+    o.set("p99", s.p99);
+    if (s.samples_capped) o.set("samples_capped", true);
+    histograms.set(name, std::move(o));
+  }
+  root.set("histograms", std::move(histograms));
+
+  JsonValue series = JsonValue::object();
+  for (const auto& [name, records] : series_) {
+    JsonValue arr = JsonValue::array();
+    for (const JsonValue& r : records) arr.push_back(r);
+    series.set(name, std::move(arr));
+  }
+  root.set("series", std::move(series));
+  return root;
+}
+
+bool MetricsRegistry::write_json(const std::string& path) const {
+  std::ofstream os(path, std::ios::out | std::ios::trunc);
+  if (!os) return false;
+  os << to_json().dump() << '\n';
+  return static_cast<bool>(os);
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+  series_.clear();
+}
+
+}  // namespace paragraph::obs

@@ -1,0 +1,103 @@
+// Process-wide metrics registry: counters, gauges, histograms with
+// percentile summaries, and named record series (e.g. per-epoch training
+// stats), all exportable as one JSON document.
+//
+// Lookup by name takes a mutex, so hot paths cache the returned reference
+// (registered instruments are never deallocated; reset() zeroes values in
+// place, keeping cached references valid):
+//
+//   if (obs::enabled()) {
+//     static obs::Counter& calls = obs::MetricsRegistry::instance().counter("nn.matmul.calls");
+//     calls.add();
+//   }
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/control.h"
+#include "obs/json.h"
+
+namespace paragraph::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { bits_.store(pack(v), std::memory_order_relaxed); }
+  double value() const { return unpack(bits_.load(std::memory_order_relaxed)); }
+  void reset() { set(0.0); }
+
+ private:
+  static std::uint64_t pack(double v);
+  static double unpack(std::uint64_t bits);
+  std::atomic<std::uint64_t> bits_{0};
+};
+
+struct HistogramSummary {
+  std::size_t count = 0;
+  double min = 0.0, max = 0.0, mean = 0.0, sum = 0.0;
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+  // True when the per-sample buffer hit its cap; count/sum/min/max remain
+  // exact, percentiles cover the retained prefix.
+  bool samples_capped = false;
+};
+
+class Histogram {
+ public:
+  void record(double v);
+  HistogramSummary summary() const;
+  std::size_t count() const;
+  void reset();
+
+ private:
+  static constexpr std::size_t kMaxSamples = 1 << 20;
+  mutable std::mutex mu_;
+  std::vector<double> samples_;
+  std::size_t count_ = 0;
+  double sum_ = 0.0, min_ = 0.0, max_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  // Appends a JSON object to the named series (per-epoch records etc.).
+  void append_record(const std::string& series, JsonValue record);
+
+  // {"counters": {...}, "gauges": {...}, "histograms": {name: summary},
+  //  "series": {name: [...]}}  — instruments with no activity are skipped.
+  JsonValue to_json() const;
+  bool write_json(const std::string& path) const;
+
+  // Zeroes every instrument and clears series without deallocating, so
+  // references cached by hot paths stay valid.
+  void reset();
+
+ private:
+  MetricsRegistry() = default;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::vector<JsonValue>> series_;
+};
+
+}  // namespace paragraph::obs

@@ -1,0 +1,19 @@
+// Umbrella header for the observability layer: structured logging
+// (obs/log.h), metrics registry (obs/metrics.h), hierarchical scoped
+// profiling (obs/profile.h), and Chrome trace export (obs/trace.h).
+//
+// Typical CLI wiring:
+//   obs::init_from_env();                 // PARAGRAPH_LOG / PARAGRAPH_OBS
+//   obs::set_enabled(true);               // turn instrumentation on
+//   obs::TraceCollector::instance().set_enabled(true);
+//   ... run ...
+//   obs::MetricsRegistry::instance().write_json("metrics.json");
+//   obs::TraceCollector::instance().write_json("trace.json");
+#pragma once
+
+#include "obs/control.h"
+#include "obs/json.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"

@@ -1,0 +1,96 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <fstream>
+
+namespace paragraph::obs {
+
+std::int64_t now_us() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point start = clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(clock::now() - start).count();
+}
+
+namespace {
+
+std::uint32_t current_tid() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t tid = next.fetch_add(1);
+  return tid;
+}
+
+}  // namespace
+
+TraceCollector& TraceCollector::instance() {
+  static TraceCollector collector;
+  return collector;
+}
+
+void TraceCollector::set_capacity(std::size_t cap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = cap;
+}
+
+void TraceCollector::add_complete(std::string name, const char* category, std::int64_t ts_us,
+                                  std::int64_t dur_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  events_.push_back(Event{std::move(name), category, 'X', ts_us, dur_us, current_tid()});
+}
+
+void TraceCollector::add_instant(std::string name, const char* category) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  events_.push_back(Event{std::move(name), category, 'i', now_us(), 0, current_tid()});
+}
+
+std::size_t TraceCollector::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+JsonValue TraceCollector::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonValue root = JsonValue::object();
+  JsonValue events = JsonValue::array();
+  for (const Event& e : events_) {
+    JsonValue o = JsonValue::object();
+    o.set("name", e.name);
+    o.set("cat", e.category);
+    o.set("ph", std::string(1, e.phase));
+    o.set("ts", e.ts_us);
+    if (e.phase == 'X') o.set("dur", e.dur_us);
+    o.set("pid", 1);
+    o.set("tid", e.tid);
+    events.push_back(std::move(o));
+  }
+  root.set("traceEvents", std::move(events));
+  root.set("displayTimeUnit", "ms");
+  if (const std::uint64_t d = dropped_.load(std::memory_order_relaxed); d > 0) {
+    JsonValue meta = JsonValue::object();
+    meta.set("dropped_events", d);
+    root.set("metadata", std::move(meta));
+  }
+  return root;
+}
+
+bool TraceCollector::write_json(const std::string& path) const {
+  std::ofstream os(path, std::ios::out | std::ios::trunc);
+  if (!os) return false;
+  os << to_json().dump() << '\n';
+  return static_cast<bool>(os);
+}
+
+void TraceCollector::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace paragraph::obs

@@ -1,0 +1,64 @@
+// Chrome trace-event collector.
+//
+// Scoped timers (obs/profile.h) feed complete ("X") events here while
+// tracing is enabled; write_json() emits the standard
+// {"traceEvents": [...]} document that chrome://tracing and Perfetto load
+// directly. Timestamps are microseconds on the shared steady clock
+// (obs::now_us), so events from every thread share one timeline.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace paragraph::obs {
+
+// Microseconds since process start on the steady clock.
+std::int64_t now_us();
+
+class TraceCollector {
+ public:
+  static TraceCollector& instance();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  // Events beyond the cap are dropped (counted) to bound memory on long
+  // runs with fine-grained scopes.
+  void set_capacity(std::size_t cap);
+
+  void add_complete(std::string name, const char* category, std::int64_t ts_us,
+                    std::int64_t dur_us);
+  void add_instant(std::string name, const char* category);
+
+  std::size_t size() const;
+  std::uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  JsonValue to_json() const;
+  bool write_json(const std::string& path) const;
+  void reset();
+
+ private:
+  TraceCollector() = default;
+
+  struct Event {
+    std::string name;
+    const char* category;  // static string
+    char phase;            // 'X' complete, 'i' instant
+    std::int64_t ts_us;
+    std::int64_t dur_us;
+    std::uint32_t tid;
+  };
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> dropped_{0};
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  std::size_t capacity_ = 1 << 20;
+};
+
+}  // namespace paragraph::obs

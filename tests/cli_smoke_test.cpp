@@ -1,0 +1,125 @@
+// End-to-end smoke test for the paragraph CLI: trains a tiny model with
+// --metrics-out/--trace-out and validates that both artefacts are
+// well-formed JSON with the promised structure (per-epoch records, phase
+// histograms with percentiles, Chrome trace events), then reloads the
+// model with `evaluate` to exercise the persisted --scale.
+//
+// The CLI binary path arrives as argv[1] (see tests/CMakeLists.txt), so
+// this test provides its own main() instead of linking gtest_main.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+
+namespace {
+
+using paragraph::obs::JsonValue;
+
+std::string g_cli_path;
+
+std::string read_file(const std::filesystem::path& p) {
+  std::ifstream is(p, std::ios::binary);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+struct TempDir {
+  std::filesystem::path path;
+  TempDir() {
+    path = std::filesystem::temp_directory_path() / "paragraph_cli_smoke";
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+};
+
+int run(const std::string& cmdline) {
+  const int rc = std::system(cmdline.c_str());
+  return rc;
+}
+
+TEST(CliSmokeTest, TrainEmitsValidMetricsAndTrace) {
+  ASSERT_FALSE(g_cli_path.empty()) << "CLI binary path must be passed as argv[1]";
+  TempDir tmp;
+  const auto model = (tmp.path / "model.bin").string();
+  const auto metrics = (tmp.path / "metrics.json").string();
+  const auto trace = (tmp.path / "trace.json").string();
+
+  const std::string train_cmd = "\"" + g_cli_path + "\" train --save \"" + model +
+                                "\" --scale 0.05 --epochs 3 --eval-every 2" +
+                                " --metrics-out \"" + metrics + "\" --trace-out \"" + trace +
+                                "\" > /dev/null 2>&1";
+  ASSERT_EQ(run(train_cmd), 0) << train_cmd;
+  ASSERT_TRUE(std::filesystem::exists(model));
+
+  // Metrics document: parseable, with per-epoch records, phase-time
+  // histograms carrying p50/p95/p99, and the hierarchical profile.
+  std::string error;
+  const auto mdoc = JsonValue::parse(read_file(metrics), &error);
+  ASSERT_TRUE(mdoc.has_value()) << error;
+  const JsonValue& epochs = mdoc->at("series").at("train.epochs");
+  ASSERT_TRUE(epochs.is_array());
+  ASSERT_EQ(epochs.size(), 3u);
+  for (const JsonValue& rec : epochs.elements()) {
+    EXPECT_TRUE(rec.at("epoch").is_number());
+    EXPECT_TRUE(rec.at("loss").is_number());
+    EXPECT_TRUE(rec.at("grad_norm").is_number());
+    EXPECT_TRUE(rec.at("wall_ms").is_number());
+    EXPECT_TRUE(rec.at("lr").is_number());
+  }
+  const JsonValue& evals = mdoc->at("series").at("train.eval");
+  ASSERT_GE(evals.size(), 1u);
+  EXPECT_TRUE(evals[0].at("test_r2").is_number());
+
+  const JsonValue& hists = mdoc->at("histograms");
+  ASSERT_NE(hists.find("train.epoch_ms"), nullptr);
+  bool saw_phase_hist = false;
+  for (const auto& [name, h] : hists.items()) {
+    EXPECT_TRUE(h.at("p50").is_number()) << name;
+    EXPECT_TRUE(h.at("p95").is_number()) << name;
+    EXPECT_TRUE(h.at("p99").is_number()) << name;
+    if (name.rfind("time/", 0) == 0) saw_phase_hist = true;
+  }
+  EXPECT_TRUE(saw_phase_hist);
+
+  const JsonValue& profile = mdoc->at("profile");
+  ASSERT_TRUE(profile.is_object());
+  ASSERT_NE(profile.find("train"), nullptr);
+  EXPECT_EQ(profile.at("train").at("count").as_int(), 1);
+  ASSERT_NE(profile.find("train/epoch"), nullptr);
+  EXPECT_EQ(profile.at("train/epoch").at("count").as_int(), 3);
+
+  // Trace document: the Chrome trace-event shape.
+  const auto tdoc = JsonValue::parse(read_file(trace), &error);
+  ASSERT_TRUE(tdoc.has_value()) << error;
+  const JsonValue& events = tdoc->at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  ASSERT_GE(events.size(), 4u);
+  bool saw_epoch = false;
+  for (const JsonValue& e : events.elements()) {
+    EXPECT_TRUE(e.at("name").is_string());
+    EXPECT_TRUE(e.at("ts").is_number());
+    if (e.at("name").as_string() == "epoch") saw_epoch = true;
+  }
+  EXPECT_TRUE(saw_epoch);
+
+  // evaluate must reconstruct the dataset from the persisted scale — no
+  // --scale on the command line.
+  const std::string eval_cmd =
+      "\"" + g_cli_path + "\" evaluate --model \"" + model + "\" > /dev/null 2>&1";
+  EXPECT_EQ(run(eval_cmd), 0) << eval_cmd;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  if (argc > 1) g_cli_path = argv[1];
+  return RUN_ALL_TESTS();
+}

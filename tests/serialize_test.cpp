@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 
 #include "core/serialize.h"
@@ -52,6 +54,74 @@ TEST_F(SerializeTest, RoundTripZscoreScaler) {
   EXPECT_EQ(s1.zscore, s2.zscore);
   EXPECT_DOUBLE_EQ(s1.mean, s2.mean);
   EXPECT_DOUBLE_EQ(s1.stdev, s2.stdev);
+}
+
+TEST_F(SerializeTest, ScaleRoundTrips) {
+  const auto ds = dataset::build_dataset(80, 0.05);
+  PredictorConfig pc;
+  pc.target = dataset::TargetKind::kCap;
+  pc.scale = 0.05;
+  pc.epochs = 2;
+  pc.num_layers = 1;
+  pc.embed_dim = 4;
+  GnnPredictor trained(pc);
+  trained.train(ds);
+  save_predictor(trained, path_);
+  const GnnPredictor loaded = load_predictor(path_);
+  EXPECT_DOUBLE_EQ(loaded.config().scale, 0.05);
+}
+
+TEST_F(SerializeTest, ReadsVersion1FilesWithDefaultScale) {
+  const auto ds = dataset::build_dataset(81, 0.05);
+  PredictorConfig pc;
+  pc.target = dataset::TargetKind::kCap;
+  pc.scale = 0.05;
+  pc.epochs = 2;
+  pc.num_layers = 1;
+  pc.embed_dim = 4;
+  GnnPredictor trained(pc);
+  trained.train(ds);
+  const auto before = trained.predict_all(ds, ds.test[0]);
+  save_predictor(trained, path_);
+
+  // Rewrite the v2 file as a v1 file: the version word sits at byte
+  // offset 4 and the scale double occupies [72, 80) — between the seed
+  // and the scaler state (see serialize.cpp field order).
+  std::ifstream in(path_, std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GE(data.size(), 80u);
+  const std::uint32_t v1 = 1;
+  std::memcpy(data.data() + 4, &v1, sizeof(v1));
+  data.erase(72, sizeof(double));
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  out.close();
+
+  const GnnPredictor loaded = load_predictor(path_);
+  // v1 predates the scale field; the loader keeps the historical default.
+  EXPECT_DOUBLE_EQ(loaded.config().scale, 0.25);
+  const auto after = loaded.predict_all(ds, ds.test[0]);
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i) EXPECT_FLOAT_EQ(before[i], after[i]);
+}
+
+TEST_F(SerializeTest, RejectsUnsupportedVersion) {
+  const auto ds = dataset::build_dataset(82, 0.05);
+  PredictorConfig pc;
+  pc.target = dataset::TargetKind::kCap;
+  pc.epochs = 1;
+  pc.num_layers = 1;
+  pc.embed_dim = 4;
+  GnnPredictor trained(pc);
+  trained.train(ds);
+  save_predictor(trained, path_);
+  std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(4);
+  const std::uint32_t future = 99;
+  f.write(reinterpret_cast<const char*>(&future), sizeof(future));
+  f.close();
+  EXPECT_THROW(load_predictor(path_), std::runtime_error);
 }
 
 TEST_F(SerializeTest, RejectsGarbageFile) {

@@ -5,7 +5,10 @@
 //       ground-truth annotations.
 //   paragraph train --save MODEL.bin [--target CAP] [--model ParaGraph]
 //                   [--epochs N] [--scale F] [--seed N] [--max-v FF]
-//       Train a predictor on the synthetic suite and save it.
+//                   [--eval-every N]
+//       Train a predictor on the synthetic suite and save it. The --scale
+//       used here is persisted in the model file and reused by
+//       predict/evaluate.
 //   paragraph predict --model MODEL.bin --netlist FILE.sp
 //       Predict the model's target for every net/transistor of a SPICE
 //       netlist (pre-layout: no annotation needed).
@@ -13,6 +16,17 @@
 //       Evaluate a saved model on the generated test circuits.
 //   paragraph annotate --netlist FILE.sp [--seed N]
 //       Run the procedural layout and emit the annotated netlist to stdout.
+//
+// Observability options (every command):
+//   --log-level L      trace|debug|info|warn|error|off (default: info, or
+//                      the PARAGRAPH_LOG environment variable)
+//   --log-jsonl PATH   mirror log records to PATH as JSON lines
+//   --metrics-out PATH write counters/gauges/histograms (p50/p95/p99),
+//                      per-epoch records, and the phase-time profile as JSON
+//   --trace-out PATH   write a Chrome trace-event file (chrome://tracing,
+//                      Perfetto)
+// --metrics-out/--trace-out enable the instrumentation layer, which is
+// otherwise off and costs nothing.
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -24,6 +38,7 @@
 #include "core/serialize.h"
 #include "dataset/dataset.h"
 #include "layout/annotator.h"
+#include "obs/obs.h"
 #include "util/args.h"
 
 using namespace paragraph;
@@ -61,6 +76,58 @@ dataset::Sample sample_from_netlist(circuit::Netlist nl) {
   return s;
 }
 
+// Observability wiring shared by every command: --log-level/--log-jsonl
+// configure the logger; --metrics-out/--trace-out pick output paths and
+// switch the (default-off) instrumentation layer on.
+struct ObsOutputs {
+  std::string metrics_out;
+  std::string trace_out;
+};
+
+ObsOutputs setup_observability(const util::ArgParser& args) {
+  if (args.has("log-level")) {
+    const std::string name = args.get("log-level");
+    const auto level = obs::parse_log_level(name);
+    if (!level)
+      throw std::invalid_argument("unknown --log-level '" + name +
+                                  "' (use trace, debug, info, warn, error, off)");
+    obs::Logger::instance().set_level(*level);
+  }
+  if (args.has("log-jsonl")) {
+    const std::string path = args.get("log-jsonl");
+    if (!obs::Logger::instance().open_jsonl(path))
+      throw std::runtime_error("cannot open --log-jsonl file '" + path + "'");
+  }
+  ObsOutputs out{args.get("metrics-out"), args.get("trace-out")};
+  if (!out.metrics_out.empty() || !out.trace_out.empty()) obs::set_enabled(true);
+  if (!out.trace_out.empty()) obs::TraceCollector::instance().set_enabled(true);
+  return out;
+}
+
+void flush_observability(const ObsOutputs& out) {
+  if (!out.metrics_out.empty()) {
+    // The hierarchical phase profile rides along in the metrics document.
+    obs::JsonValue doc = obs::MetricsRegistry::instance().to_json();
+    doc.set("profile", obs::Profiler::instance().to_json());
+    std::ofstream os(out.metrics_out, std::ios::out | std::ios::trunc);
+    if (os) {
+      os << doc.dump() << '\n';
+      std::printf("wrote metrics to %s\n", out.metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "paragraph: cannot write metrics to '%s'\n", out.metrics_out.c_str());
+    }
+  }
+  if (!out.trace_out.empty()) {
+    if (obs::TraceCollector::instance().write_json(out.trace_out)) {
+      std::printf("wrote trace to %s (%zu events)\n", out.trace_out.c_str(),
+                  obs::TraceCollector::instance().size());
+    } else {
+      std::fprintf(stderr, "paragraph: cannot write trace to '%s'\n", out.trace_out.c_str());
+    }
+  }
+  obs::Logger::instance().close_jsonl();
+}
+
 int cmd_generate(const util::ArgParser& args) {
   const std::string out_dir = args.get("out", "suite");
   std::filesystem::create_directories(out_dir);
@@ -96,15 +163,47 @@ int cmd_train(const util::ArgParser& args) {
   pc.epochs = static_cast<int>(args.get_int("epochs", 150));
   pc.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
   pc.max_v_ff = args.get_double("max-v", 1e4);
-  std::printf("building dataset (scale %.2f)...\n", args.get_double("scale", 0.25));
-  const auto ds = dataset::build_dataset(pc.seed, args.get_double("scale", 0.25));
+  pc.scale = args.get_double("scale", 0.25);
+  std::printf("building dataset (scale %.2f)...\n", pc.scale);
+  const auto ds = dataset::build_dataset(pc.seed, pc.scale);
   std::printf("training %s for %s (%d epochs)...\n", gnn::model_kind_name(pc.model),
               dataset::target_name(pc.target), pc.epochs);
   core::GnnPredictor predictor(pc);
-  const auto losses = predictor.train(ds);
+  // Per-epoch telemetry: every record lands in the metrics series /
+  // debug log from inside train(); this callback adds periodic test-set
+  // evaluation (--eval-every N epochs, 0 = only implicitly at the end).
+  const int eval_every = static_cast<int>(args.get_int("eval-every", 0));
+  const core::EpochCallback on_epoch = [&](const core::EpochRecord& rec) {
+    if (eval_every <= 0 || (rec.epoch + 1) % eval_every != 0) return;
+    const auto em = predictor.evaluate(ds, ds.test).pooled();
+    obs::log_info("train", "eval",
+                  {{"epoch", rec.epoch},
+                   {"loss", rec.loss},
+                   {"test_r2", em.r2},
+                   {"test_mae", em.mae}});
+    if (obs::enabled()) {
+      obs::JsonValue r = obs::JsonValue::object();
+      r.set("epoch", rec.epoch);
+      r.set("test_r2", em.r2);
+      r.set("test_mae", em.mae);
+      r.set("test_mape", em.mape);
+      obs::MetricsRegistry::instance().append_record("train.eval", std::move(r));
+    }
+  };
+  const auto losses = predictor.train(ds, on_epoch);
   const auto m = predictor.evaluate(ds, ds.test).pooled();
   std::printf("final loss %.6f; test R2=%.3f MAE=%.4f MAPE=%.1f%% over %zu nodes\n",
               losses.back(), m.r2, m.mae, m.mape, m.count);
+  // Final-epoch eval record, unless the --eval-every cadence already
+  // produced one for the last epoch.
+  if (obs::enabled() && !(eval_every > 0 && pc.epochs % eval_every == 0)) {
+    obs::JsonValue r = obs::JsonValue::object();
+    r.set("epoch", pc.epochs - 1);
+    r.set("test_r2", m.r2);
+    r.set("test_mae", m.mae);
+    r.set("test_mape", m.mape);
+    obs::MetricsRegistry::instance().append_record("train.eval", std::move(r));
+  }
   core::save_predictor(predictor, save_path);
   std::printf("saved model to %s\n", save_path.c_str());
   return 0;
@@ -119,9 +218,11 @@ int cmd_predict(const util::ArgParser& args) {
   }
   const core::GnnPredictor predictor = core::load_predictor(model_path);
   // The saved model's normaliser statistics live in the dataset; rebuild it
-  // with the training seed recorded in the model config.
-  const auto ds = dataset::build_dataset(predictor.config().seed,
-                                         args.get_double("scale", 0.25));
+  // with the seed and scale recorded in the model config (an explicit
+  // --scale overrides, e.g. for models saved before scale was persisted).
+  const double scale =
+      args.has("scale") ? args.get_double("scale", 0.25) : predictor.config().scale;
+  const auto ds = dataset::build_dataset(predictor.config().seed, scale);
   const auto sample = sample_from_netlist(circuit::parse_spice_file(netlist_path));
   const auto preds = predictor.predict_all(ds, sample);
   const auto target = predictor.config().target;
@@ -145,9 +246,11 @@ int cmd_evaluate(const util::ArgParser& args) {
     return 2;
   }
   const core::GnnPredictor predictor = core::load_predictor(model_path);
+  const double scale =
+      args.has("scale") ? args.get_double("scale", 0.25) : predictor.config().scale;
   const auto ds = dataset::build_dataset(
       static_cast<std::uint64_t>(args.get_int("seed", static_cast<long>(predictor.config().seed))),
-      args.get_double("scale", 0.25));
+      scale);
   const auto res = predictor.evaluate(ds, ds.test);
   for (const auto& c : res.circuits) {
     const auto m = c.metrics();
@@ -184,15 +287,29 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   const util::ArgParser args(argc - 1, argv + 1);
+  obs::init_from_env();
+  ObsOutputs obs_out;
   try {
-    if (command == "generate") return cmd_generate(args);
-    if (command == "train") return cmd_train(args);
-    if (command == "predict") return cmd_predict(args);
-    if (command == "evaluate") return cmd_evaluate(args);
-    if (command == "annotate") return cmd_annotate(args);
+    obs_out = setup_observability(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "paragraph %s: %s\n", command.c_str(), e.what());
+    return 2;
+  }
+  int rc = -1;
+  try {
+    if (command == "generate") rc = cmd_generate(args);
+    else if (command == "train") rc = cmd_train(args);
+    else if (command == "predict") rc = cmd_predict(args);
+    else if (command == "evaluate") rc = cmd_evaluate(args);
+    else if (command == "annotate") rc = cmd_annotate(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "paragraph %s: %s\n", command.c_str(), e.what());
+    // Flush whatever was collected before the failure; partial metrics and
+    // traces are exactly what you want when diagnosing a crash.
+    flush_observability(obs_out);
     return 1;
   }
-  return usage();
+  if (rc < 0) return usage();
+  flush_observability(obs_out);
+  return rc;
 }
