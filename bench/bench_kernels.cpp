@@ -5,6 +5,7 @@
 
 #include "circuitgen/generator.h"
 #include "gnn/models.h"
+#include "gnn/plan.h"
 #include "nn/graph_ops.h"
 #include "nn/ops.h"
 #include "util/rng.h"
@@ -65,6 +66,151 @@ void BM_SegmentSoftmax(benchmark::State& state) {
 }
 BENCHMARK(BM_SegmentSoftmax)->Arg(1024)->Arg(16384);
 
+// ---------------------------------------------- fused vs composed ops ----
+// Each fused kernel benchmarked against the composed chain it replaces,
+// same shapes, forward + backward (the backward is where the fused
+// hand-derived gradients save tape nodes and intermediate matrices).
+
+void BM_ScatterMeanComposed(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t e = n * 4;
+  util::Rng rng(21);
+  nn::Tensor msg(random_matrix(e, 32, 22), true);
+  std::vector<std::int32_t> dst(e);
+  for (std::size_t i = 0; i < e; ++i)
+    dst[i] = static_cast<std::int32_t>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  const std::vector<float> inv = nn::inverse_index_counts(dst, n);
+  const nn::Matrix target(n, 32, 0.1f);
+  for (auto _ : state) {
+    nn::Tensor agg = nn::scale_rows(nn::scatter_add_rows(msg, dst, n), inv);
+    nn::Tensor loss = nn::mse_loss(agg, target);
+    loss.backward();
+    benchmark::DoNotOptimize(loss.item());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(e));
+}
+BENCHMARK(BM_ScatterMeanComposed)->Arg(1024)->Arg(16384);
+
+void BM_ScatterMeanFused(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t e = n * 4;
+  util::Rng rng(21);
+  nn::Tensor msg(random_matrix(e, 32, 22), true);
+  std::vector<std::int32_t> dst(e);
+  for (std::size_t i = 0; i < e; ++i)
+    dst[i] = static_cast<std::int32_t>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  const auto idx = nn::make_index(dst);
+  const auto inv = nn::make_coeffs(nn::inverse_index_counts(dst, n));
+  const nn::Matrix target(n, 32, 0.1f);
+  for (auto _ : state) {
+    nn::Tensor agg = nn::scatter_mean_rows(msg, idx, inv, n);
+    nn::Tensor loss = nn::mse_loss(agg, target);
+    loss.backward();
+    benchmark::DoNotOptimize(loss.item());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(e));
+}
+BENCHMARK(BM_ScatterMeanFused)->Arg(1024)->Arg(16384);
+
+// Typed-edge message transform: only a quarter of the rows are touched by
+// the edge list, the realistic case for per-relation transforms.
+void BM_GatherMatmulComposed(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t e = n;  // edges touch n/4 distinct rows, 4 edges each
+  util::Rng rng(23);
+  nn::Tensor h(random_matrix(n, 32, 24), true);
+  nn::Tensor w(random_matrix(32, 32, 25), true);
+  std::vector<std::int32_t> src(e);
+  for (std::size_t i = 0; i < e; ++i)
+    src[i] = static_cast<std::int32_t>(rng.uniform_int(0, static_cast<std::int64_t>(n) / 4 - 1));
+  const nn::Matrix target(e, 32, 0.1f);
+  for (auto _ : state) {
+    nn::Tensor msg = nn::gather_rows(nn::matmul(h, w), src);
+    nn::Tensor loss = nn::mse_loss(msg, target);
+    loss.backward();
+    benchmark::DoNotOptimize(loss.item());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(e));
+}
+BENCHMARK(BM_GatherMatmulComposed)->Arg(1024)->Arg(16384);
+
+void BM_GatherMatmulFused(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t e = n;
+  util::Rng rng(23);
+  nn::Tensor h(random_matrix(n, 32, 24), true);
+  nn::Tensor w(random_matrix(32, 32, 25), true);
+  std::vector<std::int32_t> src(e);
+  for (std::size_t i = 0; i < e; ++i)
+    src[i] = static_cast<std::int32_t>(rng.uniform_int(0, static_cast<std::int64_t>(n) / 4 - 1));
+  const nn::CompactIndex ci = nn::build_compact_index(src, n);
+  const nn::Matrix target(e, 32, 0.1f);
+  for (auto _ : state) {
+    nn::Tensor msg = nn::gather_matmul(h, ci, w);
+    nn::Tensor loss = nn::mse_loss(msg, target);
+    loss.backward();
+    benchmark::DoNotOptimize(loss.item());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(e));
+}
+BENCHMARK(BM_GatherMatmulFused)->Arg(1024)->Arg(16384);
+
+// One GAT-style attention block: 6 incoming edges per destination.
+struct AttentionBench {
+  std::size_t n, e;
+  nn::Tensor el, er, msg;
+  std::vector<std::int32_t> src, dst;
+  nn::SegmentIndex seg;
+  AttentionBench(std::size_t nodes, std::uint64_t seed) : n(nodes), e(nodes * 6) {
+    util::Rng rng(seed);
+    el = nn::Tensor(random_matrix(n, 1, seed + 1), true);
+    er = nn::Tensor(random_matrix(n, 1, seed + 2), true);
+    msg = nn::Tensor(random_matrix(e, 32, seed + 3), true);
+    seg.offsets.push_back(0);
+    for (std::size_t s = 0; s < n; ++s) {
+      for (std::size_t k = 0; k < 6; ++k) {
+        dst.push_back(static_cast<std::int32_t>(s));
+        src.push_back(
+            static_cast<std::int32_t>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1)));
+      }
+      seg.offsets.push_back(static_cast<std::int32_t>(dst.size()));
+    }
+  }
+};
+
+void BM_EdgeAttentionComposed(benchmark::State& state) {
+  AttentionBench b(static_cast<std::size_t>(state.range(0)), 31);
+  const nn::Matrix target(b.n, 32, 0.1f);
+  for (auto _ : state) {
+    nn::Tensor logits =
+        nn::add(nn::gather_rows(b.el, b.dst), nn::gather_rows(b.er, b.src));
+    nn::Tensor alpha = nn::segment_softmax(nn::leaky_relu(logits), b.seg);
+    nn::Tensor agg = nn::scatter_add_rows(nn::scale_rows_by(b.msg, alpha), b.dst, b.n);
+    nn::Tensor loss = nn::mse_loss(agg, target);
+    loss.backward();
+    benchmark::DoNotOptimize(loss.item());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(b.e));
+}
+BENCHMARK(BM_EdgeAttentionComposed)->Arg(1024)->Arg(16384);
+
+void BM_EdgeAttentionFused(benchmark::State& state) {
+  AttentionBench b(static_cast<std::size_t>(state.range(0)), 31);
+  const auto eli = nn::make_index(b.dst);
+  const auto eri = nn::make_index(b.src);
+  const auto di = nn::make_index(b.dst);
+  const auto seg = nn::make_segments(b.seg);
+  const nn::Matrix target(b.n, 32, 0.1f);
+  for (auto _ : state) {
+    nn::Tensor agg = nn::edge_attention(b.el, b.er, b.msg, eli, eri, di, seg, b.n);
+    nn::Tensor loss = nn::mse_loss(agg, target);
+    loss.backward();
+    benchmark::DoNotOptimize(loss.item());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(b.e));
+}
+BENCHMARK(BM_EdgeAttentionFused)->Arg(1024)->Arg(16384);
+
 void BM_ParaGraphForwardBackward(benchmark::State& state) {
   circuitgen::CircuitSpec spec;
   spec.name = "bench";
@@ -97,6 +243,43 @@ void BM_ParaGraphForwardBackward(benchmark::State& state) {
   state.counters["edges"] = static_cast<double>(g.total_edges());
 }
 BENCHMARK(BM_ParaGraphForwardBackward)->Arg(40)->Arg(160)->Unit(benchmark::kMillisecond);
+
+// Same workload with the GraphPlan built once outside the loop, the way
+// the trainer runs: no per-forward plan construction or degree buffers.
+void BM_ParaGraphPlanned(benchmark::State& state) {
+  circuitgen::CircuitSpec spec;
+  spec.name = "bench";
+  spec.seed = 9;
+  spec.glue_gates = static_cast<int>(state.range(0));
+  spec.dffs = static_cast<int>(state.range(0) / 8);
+  spec.opamps = 2;
+  const auto nl = circuitgen::generate_circuit(spec);
+  const auto g = graph::build_graph(nl);
+  util::Rng rng(11);
+  auto model = gnn::make_model(gnn::ModelKind::kParaGraph, 32, 5, rng);
+  const gnn::GraphPlan plan = gnn::GraphPlan::build(g);
+  gnn::GraphBatch batch;
+  batch.graph = &g;
+  batch.plan = &plan;
+  for (std::size_t t = 0; t < graph::kNumNodeTypes; ++t) {
+    const auto nt = static_cast<graph::NodeType>(t);
+    if (g.num_nodes(nt) == 0) continue;
+    batch.features[t] = nn::Tensor(g.features(nt));
+  }
+  const std::size_t n_nets = g.num_nodes(graph::NodeType::kNet);
+  const nn::Matrix target(n_nets, 1, 0.5f);
+  nn::Linear head(32, 1, rng);
+  for (auto _ : state) {
+    const auto emb = model->embed(batch);
+    nn::Tensor pred = head.forward(emb[static_cast<std::size_t>(graph::NodeType::kNet)]);
+    nn::Tensor loss = nn::mse_loss(pred, target);
+    loss.backward();
+    benchmark::DoNotOptimize(loss.item());
+  }
+  state.counters["nodes"] = static_cast<double>(g.total_nodes());
+  state.counters["edges"] = static_cast<double>(g.total_edges());
+}
+BENCHMARK(BM_ParaGraphPlanned)->Arg(40)->Arg(160)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

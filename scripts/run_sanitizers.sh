@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Builds the project under ASan and UBSan (separate build trees, so the
+# primary ./build stays untouched) and runs the test suite under each.
+# Usage:
+#   scripts/run_sanitizers.sh              # both sanitizers, all tests
+#   scripts/run_sanitizers.sh address      # one sanitizer
+#   scripts/run_sanitizers.sh undefined -R plan_test   # extra ctest args
+set -eu
+
+cd "$(dirname "$0")/.."
+
+sans="address undefined"
+case "${1:-}" in
+  address|undefined) sans="$1"; shift ;;
+esac
+
+for san in $sans; do
+  build="build-${san}san"
+  echo "==> ${san} sanitizer (${build})"
+  cmake -B "$build" -S . -DPARAGRAPH_SANITIZE="$san" -DCMAKE_BUILD_TYPE=Debug > /dev/null
+  cmake --build "$build" -j"$(nproc)" > /dev/null
+  # halt_on_error makes UBSan findings fail the run instead of just logging.
+  UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1 \
+  ASAN_OPTIONS=detect_leaks=0 \
+    ctest --test-dir "$build" --output-on-failure "$@"
+done
+echo "==> sanitizers clean"

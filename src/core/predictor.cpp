@@ -7,6 +7,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "gnn/plan.h"
 #include "nn/optim.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -21,7 +22,6 @@ using dataset::SuiteDataset;
 using dataset::TargetKind;
 using graph::NodeType;
 using gnn::GraphBatch;
-using gnn::HomoView;
 using nn::Matrix;
 using nn::Tensor;
 
@@ -126,10 +126,10 @@ bool GnnPredictor::needs_homo() const {
 }
 
 GraphBatch GnnPredictor::make_batch(const SuiteDataset& ds, const Sample& sample,
-                                    const HomoView* homo) const {
+                                    const gnn::GraphPlan* plan) const {
   GraphBatch b;
   b.graph = &sample.graph;
-  b.homo = homo;
+  b.plan = plan;
   for (std::size_t t = 0; t < graph::kNumNodeTypes; ++t) {
     const auto nt = static_cast<NodeType>(t);
     if (sample.graph.num_nodes(nt) == 0) continue;
@@ -171,13 +171,14 @@ std::vector<double> GnnPredictor::train(const SuiteDataset& ds, const EpochCallb
     scaler_ = TargetScaler::fit_zscore(SuiteDataset::pooled_targets(ds.train, config_.target));
   }
 
-  // Precompute batches, per-slot training indices, and scaled targets.
+  // Precompute the graph plan, batch, per-slot training indices, and
+  // scaled targets once per sample; every epoch's forward reuses them.
   struct Prepared {
     const Sample* sample;
-    std::unique_ptr<HomoView> homo;
+    std::unique_ptr<gnn::GraphPlan> plan;
     GraphBatch batch;
-    std::vector<std::vector<std::int32_t>> idx;  // per type slot
-    std::vector<Matrix> target;                  // per type slot, scaled
+    std::vector<nn::IndexHandle> idx;  // per type slot
+    std::vector<Matrix> target;        // per type slot, scaled
   };
   std::vector<Prepared> prepared;
   {
@@ -185,8 +186,8 @@ std::vector<double> GnnPredictor::train(const SuiteDataset& ds, const EpochCallb
     for (const Sample& s : ds.train) {
       Prepared p;
       p.sample = &s;
-      if (needs_homo()) p.homo = std::make_unique<HomoView>(gnn::build_homo_view(s.graph));
-      p.batch = make_batch(ds, s, p.homo.get());
+      p.plan = std::make_unique<gnn::GraphPlan>(gnn::GraphPlan::build(s.graph, needs_homo()));
+      p.batch = make_batch(ds, s, p.plan.get());
       bool any = false;
       for (std::size_t slot = 0; slot < types.size(); ++slot) {
         const auto& raw = s.target_values(config_.target, slot);
@@ -197,9 +198,9 @@ std::vector<double> GnnPredictor::train(const SuiteDataset& ds, const EpochCallb
           idx.push_back(static_cast<std::int32_t>(i));
           scaled.push_back(scaler_.transform(raw[i]));
         }
-        p.idx.push_back(std::move(idx));
+        p.idx.push_back(nn::make_index(std::move(idx)));
         p.target.emplace_back(scaled.size(), 1, std::move(scaled));
-        if (!p.idx.back().empty()) any = true;
+        if (!p.idx.back()->empty()) any = true;
       }
       if (any) prepared.push_back(std::move(p));
     }
@@ -259,7 +260,7 @@ std::vector<double> GnnPredictor::train(const SuiteDataset& ds, const EpochCallb
         PARAGRAPH_TIMED_SCOPE("forward");
         gnn::TypeTensors emb = embedding_->embed(p.batch);
         for (std::size_t slot = 0; slot < types.size(); ++slot) {
-          if (p.idx[slot].empty()) continue;
+          if (p.idx[slot]->empty()) continue;
           const Tensor& z = emb[static_cast<std::size_t>(types[slot])];
           if (!z.defined()) continue;
           Tensor zsel = nn::gather_rows(z, p.idx[slot]);
@@ -339,9 +340,8 @@ EvalResult GnnPredictor::evaluate(const SuiteDataset& ds,
   const auto& types = dataset::target_node_types(config_.target);
   EvalResult result;
   for (const Sample& s : samples) {
-    std::unique_ptr<HomoView> homo;
-    if (needs_homo()) homo = std::make_unique<HomoView>(gnn::build_homo_view(s.graph));
-    const GraphBatch batch = make_batch(ds, s, homo.get());
+    const gnn::GraphPlan plan = gnn::GraphPlan::build(s.graph, needs_homo());
+    const GraphBatch batch = make_batch(ds, s, &plan);
     CircuitPrediction cp;
     cp.name = s.name;
     gnn::TypeTensors emb = embedding_->embed(batch);
@@ -365,9 +365,8 @@ std::vector<float> GnnPredictor::predict_all(const SuiteDataset& ds,
                                              const Sample& sample) const {
   PARAGRAPH_TIMED_SCOPE("predict");
   const auto& types = dataset::target_node_types(config_.target);
-  std::unique_ptr<HomoView> homo;
-  if (needs_homo()) homo = std::make_unique<HomoView>(gnn::build_homo_view(sample.graph));
-  const GraphBatch batch = make_batch(ds, sample, homo.get());
+  const gnn::GraphPlan plan = gnn::GraphPlan::build(sample.graph, needs_homo());
+  const GraphBatch batch = make_batch(ds, sample, &plan);
   gnn::TypeTensors emb = embedding_->embed(batch);
   std::vector<float> out;
   for (std::size_t slot = 0; slot < types.size(); ++slot) {
@@ -386,9 +385,8 @@ std::vector<float> GnnPredictor::predict_all(const SuiteDataset& ds,
 
 nn::Matrix GnnPredictor::embeddings(const SuiteDataset& ds, const Sample& sample,
                                     NodeType type) const {
-  std::unique_ptr<HomoView> homo;
-  if (needs_homo()) homo = std::make_unique<HomoView>(gnn::build_homo_view(sample.graph));
-  const GraphBatch batch = make_batch(ds, sample, homo.get());
+  const gnn::GraphPlan plan = gnn::GraphPlan::build(sample.graph, needs_homo());
+  const GraphBatch batch = make_batch(ds, sample, &plan);
   gnn::TypeTensors emb = embedding_->embed(batch);
   const Tensor& z = emb[static_cast<std::size_t>(type)];
   if (!z.defined()) return Matrix();
@@ -397,9 +395,8 @@ nn::Matrix GnnPredictor::embeddings(const SuiteDataset& ds, const Sample& sample
 
 gnn::AttentionRecord GnnPredictor::attention_analysis(const SuiteDataset& ds,
                                                       const Sample& sample) const {
-  std::unique_ptr<HomoView> homo;
-  if (needs_homo()) homo = std::make_unique<HomoView>(gnn::build_homo_view(sample.graph));
-  GraphBatch batch = make_batch(ds, sample, homo.get());
+  const gnn::GraphPlan plan = gnn::GraphPlan::build(sample.graph, needs_homo());
+  GraphBatch batch = make_batch(ds, sample, &plan);
   gnn::AttentionRecord record;
   batch.attention_out = &record;
   embedding_->embed(batch);

@@ -150,7 +150,7 @@ class GnnPredictor {
 
  private:
   gnn::GraphBatch make_batch(const dataset::SuiteDataset& ds, const dataset::Sample& sample,
-                             const gnn::HomoView* homo) const;
+                             const gnn::GraphPlan* plan) const;
   nn::Tensor forward_predictions(const gnn::GraphBatch& batch, std::size_t type_slot) const;
   bool needs_homo() const;
 

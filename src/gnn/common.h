@@ -63,11 +63,17 @@ struct AttentionRecord {
   std::vector<std::map<std::size_t, Entry>> layers;
 };
 
+class GraphPlan;  // gnn/plan.h
+
 // Everything a model needs for one circuit. Feature tensors are constant
-// leaves (already normalised); homo is lazily built by the trainer.
+// leaves (already normalised). `plan` is the preferred way to supply graph
+// structure: built once per graph (gnn/plan.h) and reused across every
+// forward. When it is null the model builds a transient plan from `graph`
+// (and `homo`, for the homogeneous baselines) on each call.
 struct GraphBatch {
   const graph::HeteroGraph* graph = nullptr;
   const HomoView* homo = nullptr;
+  const GraphPlan* plan = nullptr;
   TypeTensors features;
   // When set, attention-based models append per-layer statistics here.
   AttentionRecord* attention_out = nullptr;

@@ -1,16 +1,19 @@
 #include "gnn/models.h"
 
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
-#include "nn/graph_ops.h"
-#include "nn/init.h"
+#include "gnn/mp_layer.h"
+#include "gnn/plan.h"
 #include "obs/profile.h"
 
 namespace paragraph::gnn {
 
-using graph::HeteroGraph;
-using graph::NodeType;
-using nn::Matrix;
 using nn::Tensor;
 
 const char* model_kind_name(ModelKind k) {
@@ -29,319 +32,125 @@ const char* model_kind_name(ModelKind k) {
 
 namespace {
 
-// Model activation. LeakyReLU instead of plain ReLU keeps full-graph
-// training alive: with ReLU a single bad step can zero every activation
-// (dead network), which we observed with the attention models.
-Tensor act(const Tensor& x) { return nn::leaky_relu(x, 0.1f); }
-
-// Stable per-layer phase names for the scoped timers (ScopedTimer keeps
-// the pointer alive past the scope).
+// Stable per-layer phase names for the scoped timers (ScopedTimer keeps the
+// pointer alive past the scope). Interned on demand, so any depth works.
 const char* layer_scope_name(std::size_t l) {
-  static const char* names[] = {"layer0", "layer1", "layer2", "layer3",
-                                "layer4", "layer5", "layer6", "layer7"};
-  return l < 8 ? names[l] : "layer8plus";
+  static std::mutex mu;
+  static std::map<std::size_t, std::string> names;
+  const std::lock_guard<std::mutex> lock(mu);
+  auto it = names.find(l);
+  if (it == names.end()) it = names.emplace(l, "layer" + std::to_string(l)).first;
+  return it->second.c_str();
 }
 
-// ---------------------------------------------------------------- GCN ----
-// h' = relu(b + sum_j 1/c_ij W h_j) over the self-loop-augmented graph.
-class GcnModel final : public EmbeddingModel {
- public:
-  GcnModel(std::size_t f, std::size_t l, util::Rng& rng)
-      : EmbeddingModel(f, l), input_(f, rng) {
-    register_module(&input_);
-    for (std::size_t i = 0; i < l; ++i) {
-      weights_.push_back(register_parameter(nn::xavier_uniform(f, f, rng)));
-      biases_.push_back(register_parameter(nn::zeros(1, f)));
-    }
-  }
-
-  ModelKind kind() const override { return ModelKind::kGcn; }
-
-  TypeTensors embed(const GraphBatch& batch) const override {
-    if (batch.homo == nullptr) throw std::invalid_argument("GCN needs a HomoView");
-    PARAGRAPH_TIMED_SCOPE("forward_gcn");
-    const HomoView& v = *batch.homo;
-    Tensor h = flatten_types(input_.forward(batch), v, embed_dim_);
-    for (std::size_t l = 0; l < num_layers_; ++l) {
-      PARAGRAPH_TIMED_SCOPE(layer_scope_name(l));
-      Tensor m = nn::matmul(h, weights_[l]);
-      Tensor msg = nn::gather_rows(m, v.sl_src);
-      msg = nn::scale_rows(msg, v.gcn_coeff);
-      Tensor agg = nn::scatter_add_rows(msg, v.sl_dst, v.total_nodes);
-      h = act(nn::add_bias(agg, biases_[l]));
-    }
-    return split_types(h, v);
-  }
-
- private:
-  InputTransform input_;
-  std::vector<Tensor> weights_;
-  std::vector<Tensor> biases_;
+// A model is a compute space (flattened or typed), a layer policy, and a
+// timing-scope name. The MessagePassingLayer does the rest.
+struct ModelSpec {
+  LayerPolicy policy;
+  const char* scope = "forward";
+  bool homogeneous = false;
 };
 
-// ---------------------------------------------------------- GraphSage ----
-// h_N = mean(neighbors); h' = relu(W concat(h, h_N) + b); h' /= ||h'||.
-class SageModel final : public EmbeddingModel {
+ModelSpec spec_for(ModelKind kind, std::size_t num_heads) {
+  using Agg = LayerPolicy::Aggregator;
+  using Upd = LayerPolicy::Update;
+  ModelSpec s;
+  switch (kind) {
+    case ModelKind::kGcn:
+      s.policy.aggregator = Agg::kGcnSum;
+      s.policy.update = Upd::kBias;
+      s.scope = "forward_gcn";
+      s.homogeneous = true;
+      return s;
+    case ModelKind::kGraphSage:
+      s.policy.aggregator = Agg::kMeanConcat;
+      s.policy.update = Upd::kSageConcat;
+      s.scope = "forward_graphsage";
+      s.homogeneous = true;
+      return s;
+    case ModelKind::kGat:
+      s.policy.aggregator = Agg::kAttention;
+      s.policy.update = Upd::kBias;
+      s.scope = "forward_gat";
+      s.homogeneous = true;
+      return s;
+    case ModelKind::kRgcn:
+      s.policy.aggregator = Agg::kTypedMean;
+      s.policy.update = Upd::kSelfLoop;
+      s.scope = "forward_rgcn";
+      return s;
+    case ModelKind::kParaGraph:
+    case ModelKind::kParaGraphNoAttention:
+    case ModelKind::kParaGraphNoEdgeTypes:
+    case ModelKind::kParaGraphNoConcat:
+      s.policy.aggregator = kind == ModelKind::kParaGraphNoAttention ? Agg::kTypedMean
+                                                                     : Agg::kTypedAttention;
+      s.policy.update =
+          kind == ModelKind::kParaGraphNoConcat ? Upd::kDense : Upd::kConcat;
+      s.policy.per_type_weights = kind != ModelKind::kParaGraphNoEdgeTypes;
+      s.policy.num_heads = std::max<std::size_t>(num_heads, 1);
+      s.policy.attention_params = true;
+      s.policy.require_dst_features = true;
+      s.scope = "forward_paragraph";
+      return s;
+  }
+  throw std::invalid_argument("spec_for: unknown kind");
+}
+
+// The one concrete model: L policy-configured MessagePassingLayers behind
+// the shared input transform, running on a GraphPlan (the batch's, or a
+// transient one built from the raw graph for plan-less callers).
+class UnifiedModel final : public EmbeddingModel {
  public:
-  SageModel(std::size_t f, std::size_t l, util::Rng& rng)
-      : EmbeddingModel(f, l), input_(f, rng) {
+  UnifiedModel(ModelKind kind, std::size_t f, std::size_t l, util::Rng& rng,
+               std::size_t num_heads)
+      : EmbeddingModel(f, l), kind_(kind), spec_(spec_for(kind, num_heads)), input_(f, rng) {
+    for (std::size_t i = 0; i < l; ++i)
+      layers_.push_back(std::make_unique<MessagePassingLayer>(f, spec_.policy, rng));
+    // Registration order defines the serialized parameter layout: layer
+    // parameters first, input transform last, matching the legacy classes
+    // (which registered their own parameters after the input child module).
+    for (auto& layer : layers_) register_module(layer.get());
     register_module(&input_);
-    for (std::size_t i = 0; i < l; ++i) {
-      weights_.push_back(register_parameter(nn::xavier_uniform(2 * f, f, rng)));
-      biases_.push_back(register_parameter(nn::zeros(1, f)));
-    }
-  }
-
-  ModelKind kind() const override { return ModelKind::kGraphSage; }
-
-  TypeTensors embed(const GraphBatch& batch) const override {
-    if (batch.homo == nullptr) throw std::invalid_argument("GraphSage needs a HomoView");
-    PARAGRAPH_TIMED_SCOPE("forward_graphsage");
-    const HomoView& v = *batch.homo;
-    Tensor h = flatten_types(input_.forward(batch), v, embed_dim_);
-    for (std::size_t l = 0; l < num_layers_; ++l) {
-      PARAGRAPH_TIMED_SCOPE(layer_scope_name(l));
-      Tensor msg = nn::gather_rows(h, v.src);
-      Tensor agg = nn::scatter_add_rows(msg, v.dst, v.total_nodes);
-      agg = nn::scale_rows(agg, v.inv_in_degree);  // mean aggregator
-      Tensor cat = nn::concat_cols(h, agg);
-      h = act(nn::add_bias(nn::matmul(cat, weights_[l]), biases_[l]));
-      h = nn::row_l2_normalize(h);
-    }
-    return split_types(h, v);
-  }
-
- private:
-  InputTransform input_;
-  std::vector<Tensor> weights_;
-  std::vector<Tensor> biases_;
-};
-
-// --------------------------------------------------------------- RGCN ----
-// h' = relu(W0 h + sum_r sum_{j in N_r} 1/|N_r| W_r h_j), per edge type.
-class RgcnModel final : public EmbeddingModel {
- public:
-  RgcnModel(std::size_t f, std::size_t l, util::Rng& rng)
-      : EmbeddingModel(f, l), input_(f, rng) {
-    register_module(&input_);
-    const std::size_t num_rel = graph::edge_type_registry().size();
-    for (std::size_t i = 0; i < l; ++i) {
-      self_weights_.push_back(register_parameter(nn::xavier_uniform(f, f, rng)));
-      biases_.push_back(register_parameter(nn::zeros(1, f)));
-      rel_weights_.emplace_back();
-      for (std::size_t r = 0; r < num_rel; ++r)
-        rel_weights_.back().push_back(register_parameter(nn::xavier_uniform(f, f, rng)));
-    }
-  }
-
-  ModelKind kind() const override { return ModelKind::kRgcn; }
-
-  TypeTensors embed(const GraphBatch& batch) const override {
-    PARAGRAPH_TIMED_SCOPE("forward_rgcn");
-    const HeteroGraph& g = *batch.graph;
-    TypeTensors h = input_.forward(batch);
-    for (std::size_t l = 0; l < num_layers_; ++l) {
-      PARAGRAPH_TIMED_SCOPE(layer_scope_name(l));
-      // Per-destination-type accumulators.
-      TypeTensors agg;
-      for (const auto& te : g.edges()) {
-        if (te.num_edges() == 0) continue;
-        const auto& info = graph::edge_type_registry()[te.type_index];
-        PARAGRAPH_TIMED_SCOPE(info.name.c_str());
-        const auto st = static_cast<std::size_t>(info.src_type);
-        const auto dt = static_cast<std::size_t>(info.dst_type);
-        if (!h[st].defined()) continue;
-        Tensor m = nn::matmul(h[st], rel_weights_[l][te.type_index]);
-        Tensor msg = nn::gather_rows(m, te.src);
-        Tensor a = nn::scatter_add_rows(msg, te.dst, g.num_nodes(info.dst_type));
-        // Mean within the relation: scale by 1/|N_r(i)|.
-        std::vector<float> inv(g.num_nodes(info.dst_type), 0.0f);
-        for (std::size_t i = 0; i < inv.size(); ++i) {
-          const auto deg = te.dst_segments.offsets[i + 1] - te.dst_segments.offsets[i];
-          if (deg > 0) inv[i] = 1.0f / static_cast<float>(deg);
-        }
-        a = nn::scale_rows(a, inv);
-        agg[dt] = agg[dt].defined() ? nn::add(agg[dt], a) : a;
-      }
-      for (std::size_t t = 0; t < graph::kNumNodeTypes; ++t) {
-        if (!h[t].defined()) continue;
-        Tensor self = nn::matmul(h[t], self_weights_[l]);
-        Tensor combined = agg[t].defined() ? nn::add(agg[t], self) : self;
-        h[t] = act(nn::add_bias(combined, biases_[l]));
-      }
-    }
-    return h;
-  }
-
- private:
-  InputTransform input_;
-  std::vector<Tensor> self_weights_;
-  std::vector<Tensor> biases_;
-  std::vector<std::vector<Tensor>> rel_weights_;  // [layer][edge type]
-};
-
-// ---------------------------------------------------------------- GAT ----
-// alpha = softmax_i(LeakyReLU(a^T [Wh_i || Wh_j])); h' = relu(sum alpha Wh_j).
-class GatModel final : public EmbeddingModel {
- public:
-  GatModel(std::size_t f, std::size_t l, util::Rng& rng)
-      : EmbeddingModel(f, l), input_(f, rng) {
-    register_module(&input_);
-    for (std::size_t i = 0; i < l; ++i) {
-      weights_.push_back(register_parameter(nn::xavier_uniform(f, f, rng)));
-      // Zero-init attention: layer starts as uniform (mean) aggregation and
-      // learns to attend, which avoids early logit blow-ups.
-      attn_dst_.push_back(register_parameter(nn::zeros(f, 1)));
-      attn_src_.push_back(register_parameter(nn::zeros(f, 1)));
-      biases_.push_back(register_parameter(nn::zeros(1, f)));
-    }
-  }
-
-  ModelKind kind() const override { return ModelKind::kGat; }
-
-  TypeTensors embed(const GraphBatch& batch) const override {
-    if (batch.homo == nullptr) throw std::invalid_argument("GAT needs a HomoView");
-    PARAGRAPH_TIMED_SCOPE("forward_gat");
-    const HomoView& v = *batch.homo;
-    Tensor h = flatten_types(input_.forward(batch), v, embed_dim_);
-    for (std::size_t l = 0; l < num_layers_; ++l) {
-      PARAGRAPH_TIMED_SCOPE(layer_scope_name(l));
-      // Attention over the self-loop-augmented edges, so a node can keep
-      // its own features (standard practice when applying GAT).
-      Tensor m = nn::matmul(h, weights_[l]);
-      Tensor el = nn::matmul(m, attn_dst_[l]);  // contribution of h_i (dst)
-      Tensor er = nn::matmul(m, attn_src_[l]);  // contribution of h_j (src)
-      Tensor logits = nn::add(nn::gather_rows(el, v.sl_dst), nn::gather_rows(er, v.sl_src));
-      Tensor alpha = nn::segment_softmax(nn::leaky_relu(logits), v.sl_dst_segments);
-      Tensor msg = nn::scale_rows_by(nn::gather_rows(m, v.sl_src), alpha);
-      Tensor agg = nn::scatter_add_rows(msg, v.sl_dst, v.total_nodes);
-      h = act(nn::add_bias(agg, biases_[l]));
-    }
-    return split_types(h, v);
-  }
-
- private:
-  InputTransform input_;
-  std::vector<Tensor> weights_;
-  std::vector<Tensor> attn_dst_;
-  std::vector<Tensor> attn_src_;
-  std::vector<Tensor> biases_;
-};
-
-// ---------------------------------------------------------- ParaGraph ----
-// Algorithm 1: per edge type t, GAT-style attention with weight W_t; sum
-// the per-type aggregates; GraphSage-style concat update with shared W^l.
-// Flags implement the ablation variants.
-class ParaGraphModel final : public EmbeddingModel {
- public:
-  ParaGraphModel(std::size_t f, std::size_t l, util::Rng& rng, bool use_attention,
-                 bool use_edge_types, bool use_concat, ModelKind kind,
-                 std::size_t num_heads = 1)
-      : EmbeddingModel(f, l),
-        input_(f, rng),
-        use_attention_(use_attention),
-        use_edge_types_(use_edge_types),
-        use_concat_(use_concat),
-        num_heads_(std::max<std::size_t>(num_heads, 1)),
-        kind_(kind) {
-    register_module(&input_);
-    const std::size_t num_rel = use_edge_types_ ? graph::edge_type_registry().size() : 1;
-    for (std::size_t i = 0; i < l; ++i) {
-      rel_weights_.emplace_back();
-      for (std::size_t r = 0; r < num_rel; ++r)
-        rel_weights_.back().push_back(register_parameter(nn::xavier_uniform(f, f, rng)));
-      attn_dst_.emplace_back();
-      attn_src_.emplace_back();
-      for (std::size_t h = 0; h < num_heads_; ++h) {
-        attn_dst_.back().push_back(register_parameter(nn::zeros(f, 1)));
-        attn_src_.back().push_back(register_parameter(nn::zeros(f, 1)));
-      }
-      update_weights_.push_back(
-          register_parameter(nn::xavier_uniform(use_concat_ ? 2 * f : f, f, rng)));
-      biases_.push_back(register_parameter(nn::zeros(1, f)));
-    }
   }
 
   ModelKind kind() const override { return kind_; }
 
   TypeTensors embed(const GraphBatch& batch) const override {
-    PARAGRAPH_TIMED_SCOPE("forward_paragraph");
-    const HeteroGraph& g = *batch.graph;
+    if (spec_.homogeneous && batch.plan == nullptr && batch.homo == nullptr)
+      throw std::invalid_argument(std::string(model_kind_name(kind_)) + " needs a HomoView");
+    PARAGRAPH_TIMED_SCOPE(spec_.scope);
+    GraphPlan local;
+    const GraphPlan* plan = batch.plan;
+    if (plan == nullptr) {
+      local = GraphPlan::build(*batch.graph, batch.homo);
+      plan = &local;
+    }
+    if (spec_.homogeneous) {
+      if (!plan->has_homo())
+        throw std::invalid_argument(std::string(model_kind_name(kind_)) + " needs a HomoView");
+      const HomoPlan& hp = plan->homo();
+      Tensor h = flatten_types(input_.forward(batch), hp, embed_dim_);
+      for (std::size_t l = 0; l < num_layers_; ++l) {
+        PARAGRAPH_TIMED_SCOPE(layer_scope_name(l));
+        h = layers_[l]->forward(h, hp);
+      }
+      return split_types(h, hp);
+    }
     TypeTensors h = input_.forward(batch);
     for (std::size_t l = 0; l < num_layers_; ++l) {
       PARAGRAPH_TIMED_SCOPE(layer_scope_name(l));
-      TypeTensors agg;
-      for (const auto& te : g.edges()) {
-        if (te.num_edges() == 0) continue;
-        const auto& info = graph::edge_type_registry()[te.type_index];
-        const auto st = static_cast<std::size_t>(info.src_type);
-        const auto dt = static_cast<std::size_t>(info.dst_type);
-        if (!h[st].defined() || !h[dt].defined()) continue;
-        PARAGRAPH_TIMED_SCOPE(info.name.c_str());
-        const Tensor& w = rel_weights_[l][use_edge_types_ ? te.type_index : 0];
-        Tensor ms = nn::matmul(h[st], w);  // W_t h_j for sources
-        Tensor msg = nn::gather_rows(ms, te.src);
-        Tensor a;
-        if (use_attention_) {
-          PARAGRAPH_TIMED_SCOPE("attention");
-          Tensor md = nn::matmul(h[dt], w);  // W_t h_i for destinations
-          // One attention distribution per head; head outputs averaged.
-          std::vector<Tensor> heads;
-          for (std::size_t hd = 0; hd < num_heads_; ++hd) {
-            Tensor el = nn::matmul(md, attn_dst_[l][hd]);
-            Tensor er = nn::matmul(ms, attn_src_[l][hd]);
-            Tensor logits =
-                nn::add(nn::gather_rows(el, te.dst), nn::gather_rows(er, te.src));
-            Tensor alpha = nn::segment_softmax(nn::leaky_relu(logits), te.dst_segments);
-            if (batch.attention_out != nullptr && hd == 0) {
-              if (batch.attention_out->layers.size() < num_layers_)
-                batch.attention_out->layers.resize(num_layers_);
-              batch.attention_out->layers[l][te.type_index] =
-                  summarize_attention(alpha.value(), te.dst_segments);
-            }
-            heads.push_back(nn::scatter_add_rows(nn::scale_rows_by(msg, alpha), te.dst,
-                                                 g.num_nodes(info.dst_type)));
-          }
-          a = heads.size() == 1
-                  ? heads[0]
-                  : nn::scale(nn::sum_tensors(heads), 1.0f / static_cast<float>(heads.size()));
-        } else {
-          // Ablation: mean aggregation within the edge-type group.
-          a = nn::scatter_add_rows(msg, te.dst, g.num_nodes(info.dst_type));
-          std::vector<float> inv(g.num_nodes(info.dst_type), 0.0f);
-          for (std::size_t i = 0; i < inv.size(); ++i) {
-            const auto deg = te.dst_segments.offsets[i + 1] - te.dst_segments.offsets[i];
-            if (deg > 0) inv[i] = 1.0f / static_cast<float>(deg);
-          }
-          a = nn::scale_rows(a, inv);
-        }
-        agg[dt] = agg[dt].defined() ? nn::add(agg[dt], a) : a;
-      }
-      PARAGRAPH_TIMED_SCOPE("update");
-      for (std::size_t t = 0; t < graph::kNumNodeTypes; ++t) {
-        if (!h[t].defined()) continue;
-        Tensor neigh = agg[t].defined()
-                           ? agg[t]
-                           : Tensor(Matrix(h[t].rows(), embed_dim_, 0.0f));
-        Tensor pre = use_concat_ ? nn::concat_cols(h[t], neigh) : neigh;
-        h[t] = act(nn::add_bias(nn::matmul(pre, update_weights_[l]), biases_[l]));
-      }
+      const AttentionProbe probe{batch.attention_out, l, num_layers_};
+      h = layers_[l]->forward(h, *plan, probe);
     }
     return h;
   }
 
  private:
-  InputTransform input_;
-  bool use_attention_;
-  bool use_edge_types_;
-  bool use_concat_;
-  std::size_t num_heads_;
   ModelKind kind_;
-  std::vector<std::vector<Tensor>> rel_weights_;
-  std::vector<std::vector<Tensor>> attn_dst_;  // [layer][head]
-  std::vector<std::vector<Tensor>> attn_src_;
-  std::vector<Tensor> update_weights_;
-  std::vector<Tensor> biases_;
+  ModelSpec spec_;
+  InputTransform input_;
+  std::vector<std::unique_ptr<MessagePassingLayer>> layers_;
 };
 
 }  // namespace
@@ -349,25 +158,7 @@ class ParaGraphModel final : public EmbeddingModel {
 std::unique_ptr<EmbeddingModel> make_model(ModelKind kind, std::size_t embed_dim,
                                            std::size_t num_layers, util::Rng& rng,
                                            std::size_t num_heads) {
-  switch (kind) {
-    case ModelKind::kGcn: return std::make_unique<GcnModel>(embed_dim, num_layers, rng);
-    case ModelKind::kGraphSage: return std::make_unique<SageModel>(embed_dim, num_layers, rng);
-    case ModelKind::kRgcn: return std::make_unique<RgcnModel>(embed_dim, num_layers, rng);
-    case ModelKind::kGat: return std::make_unique<GatModel>(embed_dim, num_layers, rng);
-    case ModelKind::kParaGraph:
-      return std::make_unique<ParaGraphModel>(embed_dim, num_layers, rng, true, true, true,
-                                              kind, num_heads);
-    case ModelKind::kParaGraphNoAttention:
-      return std::make_unique<ParaGraphModel>(embed_dim, num_layers, rng, false, true, true,
-                                              kind, num_heads);
-    case ModelKind::kParaGraphNoEdgeTypes:
-      return std::make_unique<ParaGraphModel>(embed_dim, num_layers, rng, true, false, true,
-                                              kind, num_heads);
-    case ModelKind::kParaGraphNoConcat:
-      return std::make_unique<ParaGraphModel>(embed_dim, num_layers, rng, true, true, false,
-                                              kind, num_heads);
-  }
-  throw std::invalid_argument("make_model: unknown kind");
+  return std::make_unique<UnifiedModel>(kind, embed_dim, num_layers, rng, num_heads);
 }
 
 }  // namespace paragraph::gnn

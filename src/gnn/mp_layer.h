@@ -1,0 +1,93 @@
+// The unified message-passing layer: one layer class, parameterised by an
+// aggregator policy (how neighbour messages are combined) and an update
+// policy (how the aggregate is merged into the node state). Every model in
+// models.cpp — GCN, GraphSage, RGCN, GAT and the ParaGraph family — is a
+// thin configuration of this layer plus a compute-space choice.
+//
+// Parameter registration order is policy-driven and byte-compatible with
+// the legacy per-model classes (core/serialize streams parameters
+// positionally, so v1/v2 model files must keep loading unchanged):
+//   GCN        W(f,f), b
+//   GraphSage  W(2f,f), b
+//   RGCN       self_W(f,f), b, rel_W[r](f,f) for every registry relation
+//   GAT        W(f,f), attn_dst(f,1), attn_src(f,1), b
+//   ParaGraph  rel_W[r](f,f), (attn_dst, attn_src) per head,
+//              update_W(2f or f, f), b
+// The ParaGraph no-attention ablation still registers its (zero) attention
+// vectors so the serialized layout is identical across ablations.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "gnn/plan.h"
+#include "nn/module.h"
+
+namespace paragraph::gnn {
+
+struct LayerPolicy {
+  enum class Aggregator {
+    kGcnSum,          // homo: transform, 1/sqrt(di dj) coeffs, sum over self-loop edges
+    kMeanConcat,      // homo: plain-edge mean of raw neighbour states (GraphSage)
+    kAttention,       // homo: GAT attention over self-loop edges
+    kTypedMean,       // typed: per-relation transform + mean, summed over relations
+    kTypedAttention,  // typed: per-relation transform + attention, summed over relations
+  };
+  enum class Update {
+    kBias,        // act(agg + b)                    (GCN, GAT)
+    kSageConcat,  // l2norm(act(W [h || agg] + b))   (GraphSage)
+    kSelfLoop,    // act(agg + W0 h + b)             (RGCN)
+    kConcat,      // act(W [h || agg] + b)           (ParaGraph)
+    kDense,       // act(W agg + b)                  (ParaGraph-noconcat)
+  };
+
+  Aggregator aggregator = Aggregator::kTypedAttention;
+  Update update = Update::kConcat;
+  bool per_type_weights = true;  // typed: one message transform per relation
+  std::size_t num_heads = 1;     // typed attention heads (outputs averaged)
+  // ParaGraph registers attention parameters even in the no-attention
+  // ablation (stable serialized layout); RGCN registers none.
+  bool attention_params = false;
+  // ParaGraph skips a relation when the destination type has no features;
+  // RGCN only requires the source side.
+  bool require_dst_features = false;
+
+  bool typed() const {
+    return aggregator == Aggregator::kTypedMean || aggregator == Aggregator::kTypedAttention;
+  }
+};
+
+// Destination for per-relation attention statistics (set only on typed
+// attention layers when the caller wants the interpretability probe).
+struct AttentionProbe {
+  AttentionRecord* record = nullptr;
+  std::size_t layer = 0;
+  std::size_t num_layers = 0;
+};
+
+class MessagePassingLayer : public nn::Module {
+ public:
+  MessagePassingLayer(std::size_t embed_dim, const LayerPolicy& policy, util::Rng& rng);
+
+  // Homogeneous-space forward over the flattened graph.
+  nn::Tensor forward(const nn::Tensor& h, const HomoPlan& plan) const;
+
+  // Typed-space forward (RGCN / ParaGraph family).
+  TypeTensors forward(const TypeTensors& h, const GraphPlan& plan,
+                      const AttentionProbe& probe = {}) const;
+
+ private:
+  nn::Tensor typed_attention(const nn::Tensor& h_src, const nn::Tensor& h_dst,
+                             const EdgeTypePlan& ep, const AttentionProbe& probe) const;
+
+  std::size_t embed_dim_;
+  LayerPolicy policy_;
+  // Which slots are populated depends on the policy (see the constructor).
+  std::vector<nn::Tensor> rel_weights_;          // message transform(s)
+  std::vector<nn::Tensor> attn_dst_, attn_src_;  // one pair per head
+  nn::Tensor self_weight_;                       // RGCN W0
+  nn::Tensor update_weight_;                     // Sage / ParaGraph update W
+  nn::Tensor bias_;
+};
+
+}  // namespace paragraph::gnn

@@ -1,0 +1,109 @@
+#include "gnn/plan.h"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "nn/ops.h"
+#include "obs/metrics.h"
+
+namespace paragraph::gnn {
+
+namespace {
+
+// Inverse in-degree from a destination-sorted CSR segment index. This is
+// the buffer RGCN/ParaGraph used to rebuild inside the layer loop on every
+// forward; the plan computes it exactly once per graph. The obs counter
+// lets tests assert no per-forward rebuilds happen.
+std::vector<float> inverse_degree_from_segments(const nn::SegmentIndex& seg) {
+  if (obs::enabled())
+    obs::MetricsRegistry::instance().counter("gnn.plan.degree_buffers").add();
+  std::vector<float> inv(seg.num_segments(), 0.0f);
+  for (std::size_t i = 0; i < inv.size(); ++i) {
+    const auto deg = seg.offsets[i + 1] - seg.offsets[i];
+    if (deg > 0) inv[i] = 1.0f / static_cast<float>(deg);
+  }
+  return inv;
+}
+
+}  // namespace
+
+GraphPlan GraphPlan::build(const graph::HeteroGraph& g, bool with_homo) {
+  if (!with_homo) return build(g, nullptr);
+  const HomoView homo = build_homo_view(g);
+  return build(g, &homo);
+}
+
+GraphPlan GraphPlan::build(const graph::HeteroGraph& g, const HomoView* homo) {
+  if (obs::enabled()) obs::MetricsRegistry::instance().counter("gnn.plan.builds").add();
+  GraphPlan p;
+  for (std::size_t t = 0; t < graph::kNumNodeTypes; ++t)
+    p.num_nodes_[t] = g.num_nodes(static_cast<graph::NodeType>(t));
+
+  for (const auto& te : g.edges()) {
+    if (te.num_edges() == 0) continue;
+    const auto& info = graph::edge_type_registry()[te.type_index];
+    EdgeTypePlan ep;
+    ep.type_index = te.type_index;
+    ep.src_type = static_cast<std::size_t>(info.src_type);
+    ep.dst_type = static_cast<std::size_t>(info.dst_type);
+    ep.num_src_nodes = g.num_nodes(info.src_type);
+    ep.num_dst_nodes = g.num_nodes(info.dst_type);
+    ep.src = nn::make_index(te.src);
+    ep.dst = nn::make_index(te.dst);
+    ep.dst_segments = nn::make_segments(te.dst_segments);
+    ep.inv_dst_degree = nn::make_coeffs(inverse_degree_from_segments(te.dst_segments));
+    ep.src_compact = nn::build_compact_index(te.src, ep.num_src_nodes);
+    ep.dst_compact = nn::build_compact_index(te.dst, ep.num_dst_nodes);
+    p.edge_types_.push_back(std::move(ep));
+  }
+
+  if (homo != nullptr) {
+    auto hp = std::make_shared<HomoPlan>();
+    hp->total_nodes = homo->total_nodes;
+    hp->type_offset = homo->type_offset;
+    hp->type_count = homo->type_count;
+    hp->src = nn::make_index(homo->src);
+    hp->dst = nn::make_index(homo->dst);
+    hp->dst_segments = nn::make_segments(homo->dst_segments);
+    hp->inv_in_degree = nn::make_coeffs(homo->inv_in_degree);
+    hp->sl_src = nn::make_index(homo->sl_src);
+    hp->sl_dst = nn::make_index(homo->sl_dst);
+    hp->sl_dst_segments = nn::make_segments(homo->sl_dst_segments);
+    hp->gcn_coeff = nn::make_coeffs(homo->gcn_coeff);
+    for (std::size_t t = 0; t < graph::kNumNodeTypes; ++t) {
+      if (hp->type_count[t] == 0) continue;
+      std::vector<std::int32_t> idx(hp->type_count[t]);
+      std::iota(idx.begin(), idx.end(), static_cast<std::int32_t>(hp->type_offset[t]));
+      hp->type_rows[t] = nn::make_index(std::move(idx));
+    }
+    p.homo_ = std::move(hp);
+  }
+  return p;
+}
+
+nn::Tensor flatten_types(const TypeTensors& typed, const HomoPlan& homo,
+                         std::size_t embed_dim) {
+  std::vector<nn::Tensor> blocks;
+  for (std::size_t t = 0; t < graph::kNumNodeTypes; ++t) {
+    if (typed[t].defined()) {
+      if (typed[t].rows() != homo.type_count[t])
+        throw std::logic_error("flatten_types: row count mismatch for node type");
+      blocks.push_back(typed[t]);
+    } else if (homo.type_count[t] != 0) {
+      // Types with nodes but no features should not happen; guard anyway.
+      blocks.push_back(nn::Tensor(nn::Matrix(homo.type_count[t], embed_dim, 0.0f)));
+    }
+  }
+  return nn::concat_rows(blocks);
+}
+
+TypeTensors split_types(const nn::Tensor& global, const HomoPlan& homo) {
+  TypeTensors out;
+  for (std::size_t t = 0; t < graph::kNumNodeTypes; ++t) {
+    if (homo.type_count[t] == 0) continue;
+    out[t] = nn::gather_rows(global, homo.type_rows[t]);
+  }
+  return out;
+}
+
+}  // namespace paragraph::gnn

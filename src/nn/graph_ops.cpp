@@ -1,5 +1,6 @@
 #include "nn/graph_ops.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -16,27 +17,60 @@ void check_index_bounds(const std::vector<std::int32_t>& idx, std::size_t n, con
   }
 }
 
+void count_op(const char* calls_name, const char* rows_name, std::size_t rows) {
+  if (!obs::enabled()) return;
+  obs::MetricsRegistry::instance().counter(calls_name).add();
+  obs::MetricsRegistry::instance().counter(rows_name).add(rows);
+}
+
+// Per-segment softmax shared by segment_softmax and edge_attention; the
+// fused kernel must be bitwise-identical to the composed op.
+void softmax_over_segments(const Matrix& z, const SegmentIndex& seg, Matrix& alpha) {
+  for (std::size_t s = 0; s < seg.num_segments(); ++s) {
+    const auto begin = static_cast<std::size_t>(seg.offsets[s]);
+    const auto end = static_cast<std::size_t>(seg.offsets[s + 1]);
+    if (begin == end) continue;
+    float mx = z(begin, 0);
+    for (std::size_t e = begin; e < end; ++e) mx = std::max(mx, z(e, 0));
+    float denom = 0.0f;
+    for (std::size_t e = begin; e < end; ++e) {
+      const float v = std::exp(z(e, 0) - mx);
+      alpha(e, 0) = v;
+      denom += v;
+    }
+    for (std::size_t e = begin; e < end; ++e) alpha(e, 0) /= denom;
+  }
+}
+
 }  // namespace
 
-Tensor gather_rows(const Tensor& a, const std::vector<std::int32_t>& idx) {
-  check_index_bounds(idx, a.rows(), "gather_rows");
-  if (obs::enabled()) {
-    static obs::Counter& calls = obs::MetricsRegistry::instance().counter("nn.gather_rows.calls");
-    static obs::Counter& rows = obs::MetricsRegistry::instance().counter("nn.gather_rows.rows");
-    calls.add();
-    rows.add(idx.size());
-  }
+IndexHandle make_index(std::vector<std::int32_t> idx) {
+  return std::make_shared<const std::vector<std::int32_t>>(std::move(idx));
+}
+
+CoeffHandle make_coeffs(std::vector<float> coeffs) {
+  return std::make_shared<const std::vector<float>>(std::move(coeffs));
+}
+
+SegmentHandle make_segments(SegmentIndex seg) {
+  return std::make_shared<const SegmentIndex>(std::move(seg));
+}
+
+Tensor gather_rows(const Tensor& a, const IndexHandle& idx) {
+  if (idx == nullptr) throw std::invalid_argument("gather_rows: null index handle");
+  check_index_bounds(*idx, a.rows(), "gather_rows");
+  count_op("nn.gather_rows.calls", "nn.gather_rows.rows", idx->size());
   const std::size_t f = a.cols();
-  Matrix out(idx.size(), f);
-  for (std::size_t e = 0; e < idx.size(); ++e) {
-    const float* src = a.value().row(static_cast<std::size_t>(idx[e]));
+  Matrix out(idx->size(), f);
+  for (std::size_t e = 0; e < idx->size(); ++e) {
+    const float* src = a.value().row(static_cast<std::size_t>((*idx)[e]));
     float* dst = out.row(e);
     for (std::size_t j = 0; j < f; ++j) dst[j] = src[j];
   }
   return Tensor::from_op(std::move(out), {a}, [a, idx, f](const Matrix& g) {
     Matrix ga(a.rows(), f, 0.0f);
-    for (std::size_t e = 0; e < idx.size(); ++e) {
-      float* dst = ga.row(static_cast<std::size_t>(idx[e]));
+    for (std::size_t e = 0; e < idx->size(); ++e) {
+      float* dst = ga.row(static_cast<std::size_t>((*idx)[e]));
       const float* src = g.row(e);
       for (std::size_t j = 0; j < f; ++j) dst[j] += src[j];
     }
@@ -44,30 +78,27 @@ Tensor gather_rows(const Tensor& a, const std::vector<std::int32_t>& idx) {
   });
 }
 
-Tensor scatter_add_rows(const Tensor& a, const std::vector<std::int32_t>& idx,
-                        std::size_t num_out_rows) {
-  if (idx.size() != a.rows())
+Tensor gather_rows(const Tensor& a, const std::vector<std::int32_t>& idx) {
+  return gather_rows(a, make_index(idx));
+}
+
+Tensor scatter_add_rows(const Tensor& a, const IndexHandle& idx, std::size_t num_out_rows) {
+  if (idx == nullptr) throw std::invalid_argument("scatter_add_rows: null index handle");
+  if (idx->size() != a.rows())
     throw std::invalid_argument("scatter_add_rows: index count must equal input rows");
-  check_index_bounds(idx, num_out_rows, "scatter_add_rows");
-  if (obs::enabled()) {
-    static obs::Counter& calls =
-        obs::MetricsRegistry::instance().counter("nn.scatter_add_rows.calls");
-    static obs::Counter& rows =
-        obs::MetricsRegistry::instance().counter("nn.scatter_add_rows.rows");
-    calls.add();
-    rows.add(idx.size());
-  }
+  check_index_bounds(*idx, num_out_rows, "scatter_add_rows");
+  count_op("nn.scatter_add_rows.calls", "nn.scatter_add_rows.rows", idx->size());
   const std::size_t f = a.cols();
   Matrix out(num_out_rows, f, 0.0f);
-  for (std::size_t e = 0; e < idx.size(); ++e) {
-    float* dst = out.row(static_cast<std::size_t>(idx[e]));
+  for (std::size_t e = 0; e < idx->size(); ++e) {
+    float* dst = out.row(static_cast<std::size_t>((*idx)[e]));
     const float* src = a.value().row(e);
     for (std::size_t j = 0; j < f; ++j) dst[j] += src[j];
   }
   return Tensor::from_op(std::move(out), {a}, [a, idx, f](const Matrix& g) {
-    Matrix ga(idx.size(), f);
-    for (std::size_t e = 0; e < idx.size(); ++e) {
-      const float* src = g.row(static_cast<std::size_t>(idx[e]));
+    Matrix ga(idx->size(), f);
+    for (std::size_t e = 0; e < idx->size(); ++e) {
+      const float* src = g.row(static_cast<std::size_t>((*idx)[e]));
       float* dst = ga.row(e);
       for (std::size_t j = 0; j < f; ++j) dst[j] = src[j];
     }
@@ -75,35 +106,19 @@ Tensor scatter_add_rows(const Tensor& a, const std::vector<std::int32_t>& idx,
   });
 }
 
+Tensor scatter_add_rows(const Tensor& a, const std::vector<std::int32_t>& idx,
+                        std::size_t num_out_rows) {
+  return scatter_add_rows(a, make_index(idx), num_out_rows);
+}
+
 Tensor segment_softmax(const Tensor& logits, const SegmentIndex& seg) {
   if (logits.cols() != 1)
     throw std::invalid_argument("segment_softmax: logits must be a column vector");
   if (seg.num_elements() != logits.rows())
     throw std::invalid_argument("segment_softmax: segment index does not cover logits");
-  if (obs::enabled()) {
-    static obs::Counter& calls =
-        obs::MetricsRegistry::instance().counter("nn.segment_softmax.calls");
-    static obs::Counter& edges =
-        obs::MetricsRegistry::instance().counter("nn.segment_softmax.edges");
-    calls.add();
-    edges.add(logits.rows());
-  }
-  const std::size_t e_total = logits.rows();
-  Matrix out(e_total, 1);
-  for (std::size_t s = 0; s < seg.num_segments(); ++s) {
-    const auto begin = static_cast<std::size_t>(seg.offsets[s]);
-    const auto end = static_cast<std::size_t>(seg.offsets[s + 1]);
-    if (begin == end) continue;
-    float mx = logits.value()(begin, 0);
-    for (std::size_t e = begin; e < end; ++e) mx = std::max(mx, logits.value()(e, 0));
-    float denom = 0.0f;
-    for (std::size_t e = begin; e < end; ++e) {
-      const float v = std::exp(logits.value()(e, 0) - mx);
-      out(e, 0) = v;
-      denom += v;
-    }
-    for (std::size_t e = begin; e < end; ++e) out(e, 0) /= denom;
-  }
+  count_op("nn.segment_softmax.calls", "nn.segment_softmax.edges", logits.rows());
+  Matrix out(logits.rows(), 1);
+  softmax_over_segments(logits.value(), seg, out);
   Matrix alpha = out;  // backward needs the outputs
   return Tensor::from_op(std::move(out), {logits},
                          [logits, seg, alpha = std::move(alpha)](const Matrix& g) {
@@ -151,11 +166,246 @@ Tensor scale_rows_by(const Tensor& a, const Tensor& w) {
   });
 }
 
+Tensor scale_rows(const Tensor& a, const CoeffHandle& coeffs) {
+  if (coeffs == nullptr) throw std::invalid_argument("scale_rows: null coefficient handle");
+  if (coeffs->size() != a.rows())
+    throw std::invalid_argument("scale_rows: coeff count must equal row count");
+  Matrix out = a.value();
+  for (std::size_t i = 0; i < out.rows(); ++i) {
+    float* r = out.row(i);
+    for (std::size_t j = 0; j < out.cols(); ++j) r[j] *= (*coeffs)[i];
+  }
+  return Tensor::from_op(std::move(out), {a}, [a, coeffs](const Matrix& g) {
+    Matrix ga = g;
+    for (std::size_t i = 0; i < ga.rows(); ++i) {
+      float* r = ga.row(i);
+      for (std::size_t j = 0; j < ga.cols(); ++j) r[j] *= (*coeffs)[i];
+    }
+    a.accumulate_grad(ga);
+  });
+}
+
+Tensor scatter_mean_rows(const Tensor& a, const IndexHandle& idx, const CoeffHandle& inv,
+                         std::size_t num_out_rows) {
+  if (idx == nullptr || inv == nullptr)
+    throw std::invalid_argument("scatter_mean_rows: null handle");
+  if (idx->size() != a.rows())
+    throw std::invalid_argument("scatter_mean_rows: index count must equal input rows");
+  if (inv->size() != num_out_rows)
+    throw std::invalid_argument("scatter_mean_rows: coefficient count must equal output rows");
+  check_index_bounds(*idx, num_out_rows, "scatter_mean_rows");
+  count_op("nn.scatter_mean_rows.calls", "nn.scatter_mean_rows.rows", idx->size());
+  const std::size_t f = a.cols();
+  Matrix out(num_out_rows, f, 0.0f);
+  for (std::size_t e = 0; e < idx->size(); ++e) {
+    float* dst = out.row(static_cast<std::size_t>((*idx)[e]));
+    const float* src = a.value().row(e);
+    for (std::size_t j = 0; j < f; ++j) dst[j] += src[j];
+  }
+  for (std::size_t i = 0; i < num_out_rows; ++i) {
+    const float c = (*inv)[i];
+    float* r = out.row(i);
+    for (std::size_t j = 0; j < f; ++j) r[j] *= c;
+  }
+  return Tensor::from_op(std::move(out), {a}, [a, idx, inv, f](const Matrix& g) {
+    // d a[e] = g[idx[e]] * inv[idx[e]]: the scatter's gradient copy and the
+    // mean's scaling folded into one pass.
+    Matrix ga(idx->size(), f);
+    for (std::size_t e = 0; e < idx->size(); ++e) {
+      const auto i = static_cast<std::size_t>((*idx)[e]);
+      const float c = (*inv)[i];
+      const float* src = g.row(i);
+      float* dst = ga.row(e);
+      for (std::size_t j = 0; j < f; ++j) dst[j] = src[j] * c;
+    }
+    a.accumulate_grad(ga);
+  });
+}
+
+CompactIndex build_compact_index(const std::vector<std::int32_t>& edges, std::size_t num_rows) {
+  check_index_bounds(edges, num_rows, "build_compact_index");
+  // position[r] = slot of row r among the touched rows, ascending.
+  std::vector<std::int32_t> position(num_rows, -1);
+  for (const auto e : edges) position[static_cast<std::size_t>(e)] = 0;
+  std::vector<std::int32_t> rows;
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    if (position[r] < 0) continue;
+    position[r] = static_cast<std::int32_t>(rows.size());
+    rows.push_back(static_cast<std::int32_t>(r));
+  }
+  std::vector<std::int32_t> remap(edges.size());
+  for (std::size_t e = 0; e < edges.size(); ++e)
+    remap[e] = position[static_cast<std::size_t>(edges[e])];
+  CompactIndex ci;
+  ci.rows = make_index(std::move(rows));
+  ci.remap = make_index(std::move(remap));
+  return ci;
+}
+
+Tensor gather_matmul(const Tensor& a, const CompactIndex& ci, const Tensor& w) {
+  if (ci.rows == nullptr || ci.remap == nullptr)
+    throw std::invalid_argument("gather_matmul: null compact index");
+  if (a.cols() != w.rows())
+    throw std::invalid_argument("gather_matmul: inner dimensions differ");
+  check_index_bounds(*ci.rows, a.rows(), "gather_matmul");
+  check_index_bounds(*ci.remap, ci.rows->size(), "gather_matmul");
+  count_op("nn.gather_matmul.calls", "nn.gather_matmul.rows", ci.remap->size());
+  if (obs::enabled()) {
+    obs::MetricsRegistry::instance()
+        .counter("nn.gather_matmul.flops")
+        .add(2ull * ci.rows->size() * a.cols() * w.cols());
+  }
+  const std::size_t fin = a.cols();
+  const std::size_t fout = w.cols();
+  const std::size_t u = ci.rows->size();
+  Matrix compact(u, fin);
+  for (std::size_t k = 0; k < u; ++k) {
+    const float* src = a.value().row(static_cast<std::size_t>((*ci.rows)[k]));
+    float* dst = compact.row(k);
+    for (std::size_t j = 0; j < fin; ++j) dst[j] = src[j];
+  }
+  Matrix tmp = gemm(compact, w.value());  // U x fout, each touched row once
+  Matrix out(ci.remap->size(), fout);
+  for (std::size_t e = 0; e < ci.remap->size(); ++e) {
+    const float* src = tmp.row(static_cast<std::size_t>((*ci.remap)[e]));
+    float* dst = out.row(e);
+    for (std::size_t j = 0; j < fout; ++j) dst[j] = src[j];
+  }
+  return Tensor::from_op(
+      std::move(out), {a, w},
+      [a, w, ci, compact = std::move(compact), fin, fout, u](const Matrix& g) {
+        Matrix gtmp(u, fout, 0.0f);
+        for (std::size_t e = 0; e < ci.remap->size(); ++e) {
+          float* dst = gtmp.row(static_cast<std::size_t>((*ci.remap)[e]));
+          const float* src = g.row(e);
+          for (std::size_t j = 0; j < fout; ++j) dst[j] += src[j];
+        }
+        w.accumulate_grad(gemm_tn(compact, gtmp));
+        const Matrix gcompact = gemm_nt(gtmp, w.value());
+        Matrix ga(a.rows(), fin, 0.0f);
+        for (std::size_t k = 0; k < u; ++k) {
+          float* dst = ga.row(static_cast<std::size_t>((*ci.rows)[k]));
+          const float* src = gcompact.row(k);
+          for (std::size_t j = 0; j < fin; ++j) dst[j] = src[j];
+        }
+        a.accumulate_grad(ga);
+      });
+}
+
+Tensor edge_attention(const Tensor& el, const Tensor& er, const Tensor& msg,
+                      const IndexHandle& el_idx, const IndexHandle& er_idx,
+                      const IndexHandle& dst, const SegmentHandle& seg,
+                      std::size_t num_out_rows, float negative_slope, Matrix* alpha_out) {
+  if (dst == nullptr || seg == nullptr)
+    throw std::invalid_argument("edge_attention: null dst/segment handle");
+  const std::size_t e_total = dst->size();
+  if (msg.rows() != e_total)
+    throw std::invalid_argument("edge_attention: message rows must equal edge count");
+  if (el.cols() != 1 || er.cols() != 1)
+    throw std::invalid_argument("edge_attention: logits must be column vectors");
+  if (el_idx == nullptr && el.rows() != e_total)
+    throw std::invalid_argument("edge_attention: per-edge el must have one row per edge");
+  if (er_idx == nullptr && er.rows() != e_total)
+    throw std::invalid_argument("edge_attention: per-edge er must have one row per edge");
+  if (el_idx != nullptr) {
+    if (el_idx->size() != e_total)
+      throw std::invalid_argument("edge_attention: el index must have one entry per edge");
+    check_index_bounds(*el_idx, el.rows(), "edge_attention");
+  }
+  if (er_idx != nullptr) {
+    if (er_idx->size() != e_total)
+      throw std::invalid_argument("edge_attention: er index must have one entry per edge");
+    check_index_bounds(*er_idx, er.rows(), "edge_attention");
+  }
+  if (seg->num_elements() != e_total)
+    throw std::invalid_argument("edge_attention: segment index does not cover edges");
+  check_index_bounds(*dst, num_out_rows, "edge_attention");
+  count_op("nn.edge_attention.calls", "nn.edge_attention.edges", e_total);
+
+  const std::size_t f = msg.cols();
+  // logit -> leaky-relu -> per-segment softmax, all in one pass over E.
+  Matrix logit(e_total, 1);
+  Matrix z(e_total, 1);
+  for (std::size_t e = 0; e < e_total; ++e) {
+    const std::size_t li = el_idx ? static_cast<std::size_t>((*el_idx)[e]) : e;
+    const std::size_t ri = er_idx ? static_cast<std::size_t>((*er_idx)[e]) : e;
+    const float v = el.value()(li, 0) + er.value()(ri, 0);
+    logit(e, 0) = v;
+    z(e, 0) = v > 0.0f ? v : negative_slope * v;
+  }
+  Matrix alpha(e_total, 1);
+  softmax_over_segments(z, *seg, alpha);
+  if (alpha_out != nullptr) *alpha_out = alpha;
+
+  Matrix out(num_out_rows, f, 0.0f);
+  for (std::size_t e = 0; e < e_total; ++e) {
+    const float c = alpha(e, 0);
+    float* d = out.row(static_cast<std::size_t>((*dst)[e]));
+    const float* m = msg.value().row(e);
+    for (std::size_t j = 0; j < f; ++j) d[j] += c * m[j];
+  }
+
+  return Tensor::from_op(
+      std::move(out), {el, er, msg},
+      [el, er, msg, el_idx, er_idx, dst, seg, negative_slope, f, e_total,
+       logit = std::move(logit), alpha = std::move(alpha)](const Matrix& g) {
+        // Reverse of the fused chain:
+        //   d msg[e]  = alpha_e * g[dst[e]]
+        //   d alpha_e = <g[dst[e]], msg[e]>
+        //   d z_e     = alpha_e * (d alpha_e - sum_k alpha_k d alpha_k)   (softmax)
+        //   d logit_e = d z_e * (logit_e > 0 ? 1 : slope)                 (leaky relu)
+        //   d el[i]  += d logit_e over edges with el_idx[e] == i (resp. er).
+        Matrix gmsg(e_total, f);
+        Matrix galpha(e_total, 1);
+        for (std::size_t e = 0; e < e_total; ++e) {
+          const float* gr = g.row(static_cast<std::size_t>((*dst)[e]));
+          const float* mr = msg.value().row(e);
+          float* gm = gmsg.row(e);
+          const float c = alpha(e, 0);
+          float acc = 0.0f;
+          for (std::size_t j = 0; j < f; ++j) {
+            gm[j] = gr[j] * c;
+            acc += gr[j] * mr[j];
+          }
+          galpha(e, 0) = acc;
+        }
+        Matrix glogit(e_total, 1);
+        for (std::size_t s = 0; s < seg->num_segments(); ++s) {
+          const auto begin = static_cast<std::size_t>(seg->offsets[s]);
+          const auto end = static_cast<std::size_t>(seg->offsets[s + 1]);
+          float dot = 0.0f;
+          for (std::size_t e = begin; e < end; ++e) dot += alpha(e, 0) * galpha(e, 0);
+          for (std::size_t e = begin; e < end; ++e) {
+            const float gz = alpha(e, 0) * (galpha(e, 0) - dot);
+            glogit(e, 0) = logit(e, 0) > 0.0f ? gz : gz * negative_slope;
+          }
+        }
+        Matrix gel(el.rows(), 1, 0.0f);
+        Matrix ger(er.rows(), 1, 0.0f);
+        for (std::size_t e = 0; e < e_total; ++e) {
+          const std::size_t li = el_idx ? static_cast<std::size_t>((*el_idx)[e]) : e;
+          const std::size_t ri = er_idx ? static_cast<std::size_t>((*er_idx)[e]) : e;
+          gel(li, 0) += glogit(e, 0);
+          ger(ri, 0) += glogit(e, 0);
+        }
+        el.accumulate_grad(gel);
+        er.accumulate_grad(ger);
+        msg.accumulate_grad(gmsg);
+      });
+}
+
 std::vector<float> index_counts(const std::vector<std::int32_t>& idx, std::size_t n) {
   std::vector<float> counts(n, 0.0f);
   check_index_bounds(idx, n, "index_counts");
   for (const auto i : idx) counts[static_cast<std::size_t>(i)] += 1.0f;
   return counts;
+}
+
+std::vector<float> inverse_index_counts(const std::vector<std::int32_t>& idx, std::size_t n) {
+  std::vector<float> inv = index_counts(idx, n);
+  for (auto& v : inv)
+    if (v > 0.0f) v = 1.0f / v;
+  return inv;
 }
 
 }  // namespace paragraph::nn

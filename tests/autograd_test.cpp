@@ -163,8 +163,8 @@ TEST(Autograd, GatherRowsGradient) {
 
 TEST(Autograd, GatherRowsOutOfRangeThrows) {
   Tensor a(Matrix(2, 2, 1.0f));
-  EXPECT_THROW(gather_rows(a, {0, 2}), std::out_of_range);
-  EXPECT_THROW(gather_rows(a, {-1}), std::out_of_range);
+  EXPECT_THROW(gather_rows(a, std::vector<std::int32_t>{0, 2}), std::out_of_range);
+  EXPECT_THROW(gather_rows(a, std::vector<std::int32_t>{-1}), std::out_of_range);
 }
 
 TEST(Autograd, ScatterAddRowsGradient) {
@@ -178,7 +178,7 @@ TEST(Autograd, ScatterAddRowsGradient) {
 
 TEST(Autograd, ScatterAddAccumulates) {
   Tensor a(Matrix(3, 1, std::vector<float>{1.0f, 2.0f, 4.0f}));
-  const Tensor s = scatter_add_rows(a, {0, 0, 1}, 2);
+  const Tensor s = scatter_add_rows(a, std::vector<std::int32_t>{0, 0, 1}, 2);
   EXPECT_FLOAT_EQ(s.value()(0, 0), 3.0f);
   EXPECT_FLOAT_EQ(s.value()(1, 0), 4.0f);
 }

@@ -1,0 +1,213 @@
+// The fused kernels (scatter_mean_rows, gather_matmul, edge_attention)
+// carry hand-derived backward passes. Each is checked two ways: the
+// forward must match the composed op chain it replaces exactly, and the
+// gradient must match central finite differences — including the edge
+// cases (empty segments, isolated output rows, a single edge type,
+// per-edge vs node-indexed attention logits).
+#include <gtest/gtest.h>
+
+#include "nn/graph_ops.h"
+#include "nn/ops.h"
+#include "test_util.h"
+
+namespace paragraph::nn {
+namespace {
+
+using paragraph::testing::check_gradient;
+using paragraph::testing::random_matrix;
+
+Matrix ones_target(std::size_t r, std::size_t c) { return Matrix(r, c, 0.3f); }
+
+void expect_matrices_equal(const Matrix& a, const Matrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(a.data()[i], b.data()[i]);
+}
+
+// ------------------------------------------------------ scatter_mean ----
+
+TEST(FusedKernels, ScatterMeanMatchesComposed) {
+  util::Rng rng(51);
+  Tensor a(random_matrix(6, 3, rng), true);
+  // Row 2 of the output is never indexed (isolated destination).
+  const std::vector<std::int32_t> idx = {0, 0, 1, 3, 3, 3};
+  const auto ih = make_index(idx);
+  const auto inv = make_coeffs(inverse_index_counts(idx, 4));
+
+  const Tensor fused = scatter_mean_rows(a, ih, inv, 4);
+  const Tensor composed = scale_rows(scatter_add_rows(a, idx, 4), inverse_index_counts(idx, 4));
+  expect_matrices_equal(fused.value(), composed.value());
+}
+
+TEST(FusedKernels, ScatterMeanGradient) {
+  util::Rng rng(52);
+  Tensor a(random_matrix(5, 2, rng), true);
+  const std::vector<std::int32_t> idx = {1, 0, 1, 2, 2};
+  const auto ih = make_index(idx);
+  const auto inv = make_coeffs(inverse_index_counts(idx, 4));
+  check_gradient(a, [&](const Tensor& x) {
+    return mse_loss(scatter_mean_rows(x, ih, inv, 4), ones_target(4, 2));
+  });
+}
+
+TEST(FusedKernels, ScatterMeanValidatesShapes) {
+  Tensor a(Matrix(3, 2, 1.0f));
+  const auto idx = make_index({0, 1, 1});
+  EXPECT_THROW(scatter_mean_rows(a, idx, make_coeffs({1.0f}), 2), std::invalid_argument);
+  EXPECT_THROW(scatter_mean_rows(a, make_index({0, 5, 1}), make_coeffs({1.0f, 1.0f}), 2),
+               std::out_of_range);
+}
+
+// ----------------------------------------------------- gather_matmul ----
+
+TEST(FusedKernels, GatherMatmulMatchesComposed) {
+  util::Rng rng(53);
+  Tensor a(random_matrix(7, 4, rng), true);
+  Tensor w(random_matrix(4, 3, rng), true);
+  // Rows 1, 3, 6 are touched; the rest must not reach the GEMM.
+  const std::vector<std::int32_t> edges = {3, 1, 3, 6, 6};
+  const CompactIndex ci = build_compact_index(edges, 7);
+  ASSERT_EQ(ci.rows->size(), 3u);
+
+  const Tensor fused = gather_matmul(a, ci, w);
+  const Tensor composed = gather_rows(matmul(a, w), edges);
+  expect_matrices_equal(fused.value(), composed.value());
+}
+
+TEST(FusedKernels, GatherMatmulGradients) {
+  util::Rng rng(54);
+  Tensor a(random_matrix(5, 3, rng), true);
+  Tensor w(random_matrix(3, 2, rng), true);
+  const CompactIndex ci = build_compact_index({4, 0, 4, 2}, 5);
+  check_gradient(a, [&](const Tensor& x) {
+    return mse_loss(gather_matmul(x, ci, w), ones_target(4, 2));
+  });
+  check_gradient(w, [&](const Tensor& x) {
+    return mse_loss(gather_matmul(a, ci, x), ones_target(4, 2));
+  });
+}
+
+TEST(FusedKernels, GatherMatmulSingleEdge) {
+  util::Rng rng(55);
+  Tensor a(random_matrix(4, 3, rng), true);
+  Tensor w(random_matrix(3, 3, rng), true);
+  const CompactIndex ci = build_compact_index({2}, 4);
+  const Tensor fused = gather_matmul(a, ci, w);
+  expect_matrices_equal(fused.value(),
+                        gather_rows(matmul(a, w), std::vector<std::int32_t>{2}).value());
+  check_gradient(a, [&](const Tensor& x) {
+    return mse_loss(gather_matmul(x, ci, w), ones_target(1, 3));
+  });
+}
+
+// ---------------------------------------------------- edge_attention ----
+
+// Shared case: 3 destination nodes; node 1 has no incoming edges (empty
+// segment), node 0 has three, node 2 has one (single-edge softmax).
+struct AttentionCase {
+  std::vector<std::int32_t> src = {0, 1, 3, 2};
+  std::vector<std::int32_t> dst = {0, 0, 0, 2};
+  SegmentIndex seg{{0, 3, 3, 4}};
+  std::size_t num_src = 4;
+  std::size_t num_dst = 3;
+};
+
+// Composed reference chain for node-indexed logits, as the pre-engine GAT
+// implementation wrote it.
+Tensor composed_attention(const Tensor& el, const Tensor& er, const Tensor& msg,
+                          const AttentionCase& c) {
+  Tensor logits = add(gather_rows(el, c.dst), gather_rows(er, c.src));
+  Tensor alpha = segment_softmax(leaky_relu(logits), c.seg);
+  return scatter_add_rows(scale_rows_by(msg, alpha), c.dst, c.num_dst);
+}
+
+TEST(FusedKernels, EdgeAttentionMatchesComposed) {
+  util::Rng rng(56);
+  const AttentionCase c;
+  Tensor el(random_matrix(c.num_dst, 1, rng), true);
+  Tensor er(random_matrix(c.num_src, 1, rng), true);
+  Tensor msg(random_matrix(c.dst.size(), 3, rng), true);
+
+  const Tensor fused = edge_attention(el, er, msg, make_index(c.dst), make_index(c.src),
+                                      make_index(c.dst), make_segments(c.seg), c.num_dst);
+  expect_matrices_equal(fused.value(), composed_attention(el, er, msg, c).value());
+}
+
+TEST(FusedKernels, EdgeAttentionGradients) {
+  util::Rng rng(57);
+  const AttentionCase c;
+  Tensor el(random_matrix(c.num_dst, 1, rng), true);
+  Tensor er(random_matrix(c.num_src, 1, rng), true);
+  Tensor msg(random_matrix(c.dst.size(), 2, rng), true);
+  const auto eli = make_index(c.dst);
+  const auto eri = make_index(c.src);
+  const auto di = make_index(c.dst);
+  const auto seg = make_segments(c.seg);
+
+  const auto run = [&](const Tensor& l, const Tensor& r, const Tensor& m) {
+    return mse_loss(edge_attention(l, r, m, eli, eri, di, seg, c.num_dst),
+                    ones_target(c.num_dst, 2));
+  };
+  check_gradient(el, [&](const Tensor& x) { return run(x, er, msg); });
+  check_gradient(er, [&](const Tensor& x) { return run(el, x, msg); });
+  check_gradient(msg, [&](const Tensor& x) { return run(el, er, x); });
+}
+
+// The ParaGraph layers pass per-edge logit vectors (null index handles).
+TEST(FusedKernels, EdgeAttentionPerEdgeLogits) {
+  util::Rng rng(58);
+  const AttentionCase c;
+  const std::size_t e = c.dst.size();
+  Tensor el(random_matrix(e, 1, rng), true);
+  Tensor er(random_matrix(e, 1, rng), true);
+  Tensor msg(random_matrix(e, 2, rng), true);
+  const auto di = make_index(c.dst);
+  const auto seg = make_segments(c.seg);
+
+  // Reference: the same math with explicit identity gathers.
+  Tensor logits = add(el, er);
+  Tensor alpha = segment_softmax(leaky_relu(logits), c.seg);
+  const Tensor composed = scatter_add_rows(scale_rows_by(msg, alpha), c.dst, c.num_dst);
+  const Tensor fused = edge_attention(el, er, msg, nullptr, nullptr, di, seg, c.num_dst);
+  expect_matrices_equal(fused.value(), composed.value());
+
+  check_gradient(el, [&](const Tensor& x) {
+    return mse_loss(edge_attention(x, er, msg, nullptr, nullptr, di, seg, c.num_dst),
+                    ones_target(c.num_dst, 2));
+  });
+  check_gradient(msg, [&](const Tensor& x) {
+    return mse_loss(edge_attention(el, er, x, nullptr, nullptr, di, seg, c.num_dst),
+                    ones_target(c.num_dst, 2));
+  });
+}
+
+TEST(FusedKernels, EdgeAttentionRecordsAlpha) {
+  util::Rng rng(59);
+  const AttentionCase c;
+  Tensor el(random_matrix(c.num_dst, 1, rng));
+  Tensor er(random_matrix(c.num_src, 1, rng));
+  Tensor msg(random_matrix(c.dst.size(), 2, rng));
+  Matrix alpha;
+  edge_attention(el, er, msg, make_index(c.dst), make_index(c.src), make_index(c.dst),
+                 make_segments(c.seg), c.num_dst, 0.2f, &alpha);
+  ASSERT_EQ(alpha.rows(), c.dst.size());
+  // Each non-empty segment's weights sum to one.
+  EXPECT_NEAR(alpha(0, 0) + alpha(1, 0) + alpha(2, 0), 1.0f, 1e-6f);
+  EXPECT_NEAR(alpha(3, 0), 1.0f, 1e-6f);  // single-edge softmax
+}
+
+TEST(FusedKernels, EdgeAttentionValidatesShapes) {
+  Tensor el(Matrix(2, 1, 0.0f));
+  Tensor er(Matrix(2, 1, 0.0f));
+  Tensor msg(Matrix(2, 2, 1.0f));
+  const auto di = make_index({0, 1});
+  SegmentIndex seg{{0, 1, 2}};
+  EXPECT_THROW(edge_attention(el, er, msg, nullptr, nullptr, nullptr, make_segments(seg), 2),
+               std::invalid_argument);
+  EXPECT_THROW(edge_attention(el, er, Tensor(Matrix(3, 2, 1.0f)), nullptr, nullptr, di,
+                              make_segments(seg), 2),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace paragraph::nn

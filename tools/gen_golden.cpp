@@ -1,0 +1,47 @@
+// Regenerates the golden equivalence fixtures under tests/golden/.
+//
+// For every ModelKind (plus a 2-head ParaGraph variant) this runs a
+// seed-fixed forward + backward on a deterministic generated circuit and
+// writes the per-type embeddings and every parameter gradient to a binary
+// fixture. The committed fixtures were produced by the pre-refactor
+// per-model implementations; tests/golden_equivalence_test.cpp replays the
+// same computation against the current message-passing engine and demands
+// max-abs agreement within 1e-5.
+//
+// Usage: gen_golden <output-dir>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "circuitgen/generator.h"
+#include "gnn/golden.h"
+#include "gnn/models.h"
+
+using namespace paragraph;
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <output-dir>\n", argv[0]);
+    return 2;
+  }
+  const std::string dir = argv[1];
+  for (const auto& c : gnn::golden_cases()) {
+    const gnn::GoldenResult r = gnn::run_golden_case(c);
+    const std::string path = dir + "/" + c.file_stem + ".bin";
+    std::ofstream os(path, std::ios::binary);
+    if (!os) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 1;
+    }
+    gnn::write_golden(os, r);
+    if (!os) {
+      std::fprintf(stderr, "write failed for %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu embedding blocks, %zu params, loss %.6f)\n", path.c_str(),
+                r.embeddings.size(), r.param_grads.size(), r.loss);
+  }
+  return 0;
+}
