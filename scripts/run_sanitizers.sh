@@ -1,27 +1,38 @@
 #!/usr/bin/env sh
-# Builds the project under ASan and UBSan (separate build trees, so the
-# primary ./build stays untouched) and runs the test suite under each.
+# Builds the project under ASan, UBSan, and TSan (separate build trees, so
+# the primary ./build stays untouched) and runs the test suite under each.
+# The thread flavour runs with PARAGRAPH_THREADS=4 so the pool, the
+# parallel kernels, and the data-parallel trainer actually race; it uses
+# RelWithDebInfo (TSan under -O0 is too slow for the full suite).
 # Usage:
-#   scripts/run_sanitizers.sh              # both sanitizers, all tests
-#   scripts/run_sanitizers.sh address      # one sanitizer
+#   scripts/run_sanitizers.sh              # all three sanitizers, all tests
+#   scripts/run_sanitizers.sh thread       # one sanitizer
 #   scripts/run_sanitizers.sh undefined -R plan_test   # extra ctest args
 set -eu
 
 cd "$(dirname "$0")/.."
 
-sans="address undefined"
+sans="address undefined thread"
 case "${1:-}" in
-  address|undefined) sans="$1"; shift ;;
+  address|undefined|thread) sans="$1"; shift ;;
 esac
 
 for san in $sans; do
   build="build-${san}san"
   echo "==> ${san} sanitizer (${build})"
-  cmake -B "$build" -S . -DPARAGRAPH_SANITIZE="$san" -DCMAKE_BUILD_TYPE=Debug > /dev/null
-  cmake --build "$build" -j"$(nproc)" > /dev/null
-  # halt_on_error makes UBSan findings fail the run instead of just logging.
-  UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1 \
-  ASAN_OPTIONS=detect_leaks=0 \
-    ctest --test-dir "$build" --output-on-failure "$@"
+  if [ "$san" = "thread" ]; then
+    cmake -B "$build" -S . -DPARAGRAPH_SANITIZE=thread \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+    cmake --build "$build" -j"$(nproc)" > /dev/null
+    PARAGRAPH_THREADS=4 TSAN_OPTIONS=halt_on_error=1 \
+      ctest --test-dir "$build" --output-on-failure "$@"
+  else
+    cmake -B "$build" -S . -DPARAGRAPH_SANITIZE="$san" -DCMAKE_BUILD_TYPE=Debug > /dev/null
+    cmake --build "$build" -j"$(nproc)" > /dev/null
+    # halt_on_error makes UBSan findings fail the run instead of just logging.
+    UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1 \
+    ASAN_OPTIONS=detect_leaks=0 \
+      ctest --test-dir "$build" --output-on-failure "$@"
+  fi
 done
 echo "==> sanitizers clean"

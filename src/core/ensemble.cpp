@@ -2,8 +2,10 @@
 
 #include <stdexcept>
 
+#include "gnn/plan.h"
 #include "obs/log.h"
 #include "obs/profile.h"
+#include "runtime/thread_pool.h"
 
 namespace paragraph::core {
 
@@ -37,12 +39,19 @@ void CapEnsemble::train(const SuiteDataset& ds) {
 }
 
 std::vector<float> CapEnsemble::predict(const SuiteDataset& ds, const Sample& sample) const {
+  // All members share a model kind, so one plan serves every member.
+  const gnn::GraphPlan plan = gnn::GraphPlan::build(sample.graph, models_[0]->needs_homo());
+  return predict_with_plan(ds, sample, plan);
+}
+
+std::vector<float> CapEnsemble::predict_with_plan(const SuiteDataset& ds, const Sample& sample,
+                                                  const gnn::GraphPlan& plan) const {
   PARAGRAPH_TIMED_SCOPE("ensemble_combine");
   // Algorithm 2: start from the lowest-range model M1; move to model Mi
   // whenever Mi's prediction exceeds M(i-1)'s max prediction value.
-  std::vector<float> p = models_[0]->predict_all(ds, sample);
+  std::vector<float> p = models_[0]->predict_all(ds, sample, plan);
   for (std::size_t i = 1; i < models_.size(); ++i) {
-    const std::vector<float> pi = models_[i]->predict_all(ds, sample);
+    const std::vector<float> pi = models_[i]->predict_all(ds, sample, plan);
     const double prev_max = config_.max_vs_ff[i - 1];
     for (std::size_t n = 0; n < p.size(); ++n) {
       if (pi[n] > prev_max) p[n] = pi[n];
@@ -54,13 +63,21 @@ std::vector<float> CapEnsemble::predict(const SuiteDataset& ds, const Sample& sa
 EvalResult CapEnsemble::evaluate(const SuiteDataset& ds,
                                  const std::vector<Sample>& samples) const {
   EvalResult result;
-  for (const Sample& s : samples) {
-    CircuitPrediction cp;
-    cp.name = s.name;
-    cp.truth = s.target_values(dataset::TargetKind::kCap);
-    cp.pred = predict(ds, s);
-    result.circuits.push_back(std::move(cp));
-  }
+  result.circuits.resize(samples.size());
+  // One circuit per pool chunk; the plan is built once per circuit and
+  // shared across the K member models. Results land at their sample index,
+  // so output order matches the serial loop.
+  runtime::parallel_for(samples.size(), 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t si = lo; si < hi; ++si) {
+      const Sample& s = samples[si];
+      const gnn::GraphPlan plan = gnn::GraphPlan::build(s.graph, models_[0]->needs_homo());
+      CircuitPrediction cp;
+      cp.name = s.name;
+      cp.truth = s.target_values(dataset::TargetKind::kCap);
+      cp.pred = predict_with_plan(ds, s, plan);
+      result.circuits[si] = std::move(cp);
+    }
+  });
   return result;
 }
 

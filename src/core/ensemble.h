@@ -29,6 +29,11 @@ class CapEnsemble {
   std::vector<float> predict(const dataset::SuiteDataset& ds,
                              const dataset::Sample& sample) const;
 
+  // Same, reusing a caller-built GraphPlan shared across the K members.
+  std::vector<float> predict_with_plan(const dataset::SuiteDataset& ds,
+                                       const dataset::Sample& sample,
+                                       const gnn::GraphPlan& plan) const;
+
   // Evaluates over the full truth range (no max_v filtering).
   EvalResult evaluate(const dataset::SuiteDataset& ds,
                       const std::vector<dataset::Sample>& samples) const;

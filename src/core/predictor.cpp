@@ -12,6 +12,7 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
+#include "runtime/thread_pool.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -211,6 +212,58 @@ std::vector<double> GnnPredictor::train(const SuiteDataset& ds, const EpochCallb
   nn::Adam opt(params, config_.learning_rate);
   util::Rng shuffle_rng(config_.seed ^ 0xfeedface1234ULL);
 
+  // Graph-level data parallelism (batch_size > 1): each of the B circuits
+  // in a step runs forward/backward against its own replica of the model
+  // (identical construction seed -> identical parameter layout), and the
+  // replica gradients are merged in circuit order and averaged before the
+  // single Adam step. Replica forward/backward runs one circuit per pool
+  // chunk; kernels inside a chunk execute inline, so per-circuit results
+  // match the serial computation exactly and the merged gradient is
+  // identical at any thread count.
+  struct Replica {
+    std::unique_ptr<gnn::EmbeddingModel> embedding;
+    std::unique_ptr<nn::Mlp> head;
+    std::vector<Tensor> params;
+  };
+  const std::size_t batch =
+      std::min<std::size_t>(std::max<std::size_t>(config_.batch_size, 1), prepared.size());
+  std::vector<Replica> replicas;
+  if (batch > 1) {
+    for (std::size_t r = 0; r < batch; ++r) {
+      util::Rng rng(config_.seed * 0x9e3779b9ULL + 17);
+      Replica rep;
+      rep.embedding = gnn::make_model(config_.model, config_.embed_dim, config_.num_layers, rng,
+                                      config_.attention_heads);
+      std::vector<std::size_t> dims(config_.effective_fc_layers(), config_.embed_dim);
+      dims.push_back(1);
+      rep.head = std::make_unique<nn::Mlp>(dims, rng);
+      rep.params = rep.embedding->parameters();
+      const auto hp = rep.head->parameters();
+      rep.params.insert(rep.params.end(), hp.begin(), hp.end());
+      if (rep.params.size() != params.size())
+        throw std::logic_error("GnnPredictor::train: replica parameter layout mismatch");
+      replicas.push_back(std::move(rep));
+    }
+  }
+  const auto& type_list = types;
+  auto circuit_loss = [&](gnn::EmbeddingModel& emb_model, nn::Mlp& head,
+                          const Prepared& p) -> Tensor {
+    std::vector<Tensor> losses;
+    gnn::TypeTensors emb = emb_model.embed(p.batch);
+    for (std::size_t slot = 0; slot < type_list.size(); ++slot) {
+      if (p.idx[slot]->empty()) continue;
+      const Tensor& z = emb[static_cast<std::size_t>(type_list[slot])];
+      if (!z.defined()) continue;
+      Tensor zsel = nn::gather_rows(z, p.idx[slot]);
+      Tensor pred = head.forward(zsel);
+      losses.push_back(nn::mse_loss(pred, p.target[slot]));
+    }
+    if (losses.empty()) return Tensor();
+    Tensor loss = losses.size() == 1 ? losses[0] : nn::sum_tensors(losses);
+    if (losses.size() > 1) loss = nn::scale(loss, 1.0f / static_cast<float>(losses.size()));
+    return loss;
+  };
+
   // Divergence recovery: keep a snapshot of the best-so-far parameters.
   // Full-range MSE targets occasionally blow a step up so badly that Adam
   // never recovers (the loss parks at the predict-the-mean plateau); on a
@@ -252,41 +305,83 @@ std::vector<double> GnnPredictor::train(const SuiteDataset& ds, const EpochCallb
     double loss_sum = 0.0;
     std::size_t loss_count = 0;
     double last_grad_norm = 0.0;
-    for (const std::size_t k : order) {
-      Prepared& p = prepared[k];
-      std::vector<Tensor> losses;
-      Tensor loss;
-      {
-        PARAGRAPH_TIMED_SCOPE("forward");
-        gnn::TypeTensors emb = embedding_->embed(p.batch);
-        for (std::size_t slot = 0; slot < types.size(); ++slot) {
-          if (p.idx[slot]->empty()) continue;
-          const Tensor& z = emb[static_cast<std::size_t>(types[slot])];
-          if (!z.defined()) continue;
-          Tensor zsel = nn::gather_rows(z, p.idx[slot]);
-          Tensor pred = head_->forward(zsel);
-          losses.push_back(nn::mse_loss(pred, p.target[slot]));
+    if (batch == 1) {
+      for (const std::size_t k : order) {
+        Prepared& p = prepared[k];
+        Tensor loss;
+        {
+          PARAGRAPH_TIMED_SCOPE("forward");
+          loss = circuit_loss(*embedding_, *head_, p);
+          if (!loss.defined()) continue;
         }
-        if (losses.empty()) continue;
-        loss = losses.size() == 1 ? losses[0] : nn::sum_tensors(losses);
-        if (losses.size() > 1) loss = nn::scale(loss, 1.0f / static_cast<float>(losses.size()));
-      }
-      {
-        PARAGRAPH_TIMED_SCOPE("backward");
-        opt.zero_grad();
-        loss.backward();
-      }
-      {
-        PARAGRAPH_TIMED_SCOPE("optimizer");
-        if (config_.grad_clip > 0.0f) {
-          last_grad_norm = nn::clip_grad_norm(params, config_.grad_clip);
-        } else if (want_telemetry) {
-          last_grad_norm = global_grad_norm(params);
+        {
+          PARAGRAPH_TIMED_SCOPE("backward");
+          opt.zero_grad();
+          loss.backward();
         }
-        opt.step();
+        {
+          PARAGRAPH_TIMED_SCOPE("optimizer");
+          if (config_.grad_clip > 0.0f) {
+            last_grad_norm = nn::clip_grad_norm(params, config_.grad_clip);
+          } else if (want_telemetry) {
+            last_grad_norm = global_grad_norm(params);
+          }
+          opt.step();
+        }
+        loss_sum += loss.item();
+        ++loss_count;
       }
-      loss_sum += loss.item();
-      ++loss_count;
+    } else {
+      for (std::size_t start = 0; start < order.size(); start += batch) {
+        const std::size_t gcount = std::min(batch, order.size() - start);
+        {
+          PARAGRAPH_TIMED_SCOPE("stage");
+          for (std::size_t r = 0; r < gcount; ++r)
+            for (std::size_t pi = 0; pi < params.size(); ++pi)
+              replicas[r].params[pi].mutable_value() = params[pi].value();
+        }
+        std::vector<double> circuit_losses(gcount, -1.0);
+        {
+          PARAGRAPH_TIMED_SCOPE("forward_backward");
+          runtime::parallel_for(gcount, 1, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t r = lo; r < hi; ++r) {
+              Replica& rep = replicas[r];
+              const Prepared& p = prepared[order[start + r]];
+              for (auto& t : rep.params) t.zero_grad();
+              Tensor loss = circuit_loss(*rep.embedding, *rep.head, p);
+              if (!loss.defined()) continue;
+              loss.backward();
+              circuit_losses[r] = loss.item();
+            }
+          });
+        }
+        std::size_t used = 0;
+        for (const double l : circuit_losses)
+          if (l >= 0.0) ++used;
+        if (used == 0) continue;
+        {
+          PARAGRAPH_TIMED_SCOPE("optimizer");
+          opt.zero_grad();
+          const float inv = 1.0f / static_cast<float>(used);
+          for (std::size_t pi = 0; pi < params.size(); ++pi) {
+            Matrix merged(params[pi].value().rows(), params[pi].value().cols(), 0.0f);
+            for (std::size_t r = 0; r < gcount; ++r) {
+              if (circuit_losses[r] < 0.0) continue;
+              nn::axpy_inplace(merged, inv, replicas[r].params[pi].grad());
+            }
+            params[pi].accumulate_grad(merged);
+          }
+          if (config_.grad_clip > 0.0f) {
+            last_grad_norm = nn::clip_grad_norm(params, config_.grad_clip);
+          } else if (want_telemetry) {
+            last_grad_norm = global_grad_norm(params);
+          }
+          opt.step();
+        }
+        for (const double l : circuit_losses)
+          if (l >= 0.0) loss_sum += l;
+        loss_count += used;
+      }
     }
     const double epoch_loss = loss_count ? loss_sum / static_cast<double>(loss_count) : 0.0;
     epoch_losses.push_back(epoch_loss);
@@ -339,33 +434,45 @@ EvalResult GnnPredictor::evaluate(const SuiteDataset& ds,
   PARAGRAPH_TIMED_SCOPE("evaluate");
   const auto& types = dataset::target_node_types(config_.target);
   EvalResult result;
-  for (const Sample& s : samples) {
-    const gnn::GraphPlan plan = gnn::GraphPlan::build(s.graph, needs_homo());
-    const GraphBatch batch = make_batch(ds, s, &plan);
-    CircuitPrediction cp;
-    cp.name = s.name;
-    gnn::TypeTensors emb = embedding_->embed(batch);
-    for (std::size_t slot = 0; slot < types.size(); ++slot) {
-      const Tensor& z = emb[static_cast<std::size_t>(types[slot])];
-      if (!z.defined()) continue;
-      const Tensor pred = head_->forward(z);
-      const auto& raw = s.target_values(config_.target, slot);
-      for (std::size_t i = 0; i < raw.size(); ++i) {
-        if (!scaler_.in_range(raw[i])) continue;
-        cp.truth.push_back(raw[i]);
-        cp.pred.push_back(scaler_.inverse(pred.value()(i, 0)));
+  result.circuits.resize(samples.size());
+  // Inference is read-only on the model, so circuits run one per pool
+  // chunk; results land at their sample index, keeping output order (and
+  // values — per-circuit kernels execute inline) identical to serial.
+  runtime::parallel_for(samples.size(), 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t si = lo; si < hi; ++si) {
+      const Sample& s = samples[si];
+      const gnn::GraphPlan plan = gnn::GraphPlan::build(s.graph, needs_homo());
+      const GraphBatch batch = make_batch(ds, s, &plan);
+      CircuitPrediction cp;
+      cp.name = s.name;
+      gnn::TypeTensors emb = embedding_->embed(batch);
+      for (std::size_t slot = 0; slot < types.size(); ++slot) {
+        const Tensor& z = emb[static_cast<std::size_t>(types[slot])];
+        if (!z.defined()) continue;
+        const Tensor pred = head_->forward(z);
+        const auto& raw = s.target_values(config_.target, slot);
+        for (std::size_t i = 0; i < raw.size(); ++i) {
+          if (!scaler_.in_range(raw[i])) continue;
+          cp.truth.push_back(raw[i]);
+          cp.pred.push_back(scaler_.inverse(pred.value()(i, 0)));
+        }
       }
+      result.circuits[si] = std::move(cp);
     }
-    result.circuits.push_back(std::move(cp));
-  }
+  });
   return result;
 }
 
 std::vector<float> GnnPredictor::predict_all(const SuiteDataset& ds,
                                              const Sample& sample) const {
+  const gnn::GraphPlan plan = gnn::GraphPlan::build(sample.graph, needs_homo());
+  return predict_all(ds, sample, plan);
+}
+
+std::vector<float> GnnPredictor::predict_all(const SuiteDataset& ds, const Sample& sample,
+                                             const gnn::GraphPlan& plan) const {
   PARAGRAPH_TIMED_SCOPE("predict");
   const auto& types = dataset::target_node_types(config_.target);
-  const gnn::GraphPlan plan = gnn::GraphPlan::build(sample.graph, needs_homo());
   const GraphBatch batch = make_batch(ds, sample, &plan);
   gnn::TypeTensors emb = embedding_->embed(batch);
   std::vector<float> out;

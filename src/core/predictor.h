@@ -43,6 +43,15 @@ struct PredictorConfig {
   // core/serialize so predict/evaluate can rebuild the exact normaliser
   // statistics without the caller re-supplying --scale.
   double scale = 0.25;
+  // Graph-level data parallelism: number of circuits whose forward/backward
+  // run concurrently per optimiser step, with gradients merged in circuit
+  // order and averaged before Adam. 1 (default) keeps the classic
+  // one-step-per-graph schedule bit-for-bit; >1 is a different (batched)
+  // schedule whose results are deterministic for any thread count.
+  std::size_t batch_size = 1;
+  // Runtime thread count recorded at training time (model-file metadata;
+  // 0 = unrecorded). Purely informational — results don't depend on it.
+  std::size_t train_threads = 0;
 
   std::size_t effective_fc_layers() const {
     if (fc_layers != 0) return fc_layers;
@@ -130,6 +139,15 @@ class GnnPredictor {
   std::vector<float> predict_all(const dataset::SuiteDataset& ds,
                                  const dataset::Sample& sample) const;
 
+  // Same, reusing a caller-built GraphPlan (batched inference paths build
+  // the plan once per circuit and share it across models/calls).
+  std::vector<float> predict_all(const dataset::SuiteDataset& ds, const dataset::Sample& sample,
+                                 const gnn::GraphPlan& plan) const;
+
+  // True when this model's plans need the homogenised edge view; callers
+  // building shared GraphPlans pass this to gnn::GraphPlan::build.
+  bool needs_homo() const;
+
   // Final-layer embeddings for one node type (e.g. for the t-SNE study).
   nn::Matrix embeddings(const dataset::SuiteDataset& ds, const dataset::Sample& sample,
                         graph::NodeType type) const;
@@ -152,7 +170,6 @@ class GnnPredictor {
   gnn::GraphBatch make_batch(const dataset::SuiteDataset& ds, const dataset::Sample& sample,
                              const gnn::GraphPlan* plan) const;
   nn::Tensor forward_predictions(const gnn::GraphBatch& batch, std::size_t type_slot) const;
-  bool needs_homo() const;
 
   PredictorConfig config_;
   TargetScaler scaler_;

@@ -14,7 +14,10 @@ constexpr std::uint32_t kMagic = 0x50477230;  // "PGr0"
 //   2: adds PredictorConfig::scale after the seed (the dataset-generation
 //      scale used at training time, so predict/evaluate rebuild the same
 //      normaliser statistics)
-constexpr std::uint32_t kVersion = 2;
+//   3: adds PredictorConfig::batch_size and train_threads after the scale
+//      (the graph-level data-parallel batch and the runtime thread count
+//      the model was trained with)
+constexpr std::uint32_t kVersion = 3;
 
 template <typename T>
 void write_pod(std::ostream& os, const T& v) {
@@ -50,6 +53,8 @@ void save_predictor(const GnnPredictor& predictor, const std::string& path) {
   write_pod(os, c.lr_final_fraction);
   write_pod(os, c.seed);
   write_pod(os, c.scale);
+  write_pod(os, static_cast<std::uint64_t>(c.batch_size));
+  write_pod(os, static_cast<std::uint64_t>(c.train_threads));
 
   const TargetScaler::State s = predictor.scaler().state();
   write_pod(os, s.zscore);
@@ -94,6 +99,12 @@ GnnPredictor load_predictor(const std::string& path) {
   // Version 1 predates the scale field; keep the PredictorConfig default
   // (which matches the CLI's historical --scale default).
   if (version >= 2) c.scale = read_pod<double>(is);
+  // Version 2 predates the parallel runtime; defaults (batch 1, threads
+  // unrecorded) reproduce the serial training schedule those models used.
+  if (version >= 3) {
+    c.batch_size = static_cast<std::size_t>(read_pod<std::uint64_t>(is));
+    c.train_threads = static_cast<std::size_t>(read_pod<std::uint64_t>(is));
+  }
 
   TargetScaler::State s;
   s.zscore = read_pod<bool>(is);

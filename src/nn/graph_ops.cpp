@@ -5,10 +5,17 @@
 #include <stdexcept>
 
 #include "obs/metrics.h"
+#include "runtime/parallel.h"
+#include "runtime/thread_pool.h"
 
 namespace paragraph::nn {
 
 namespace {
+
+// Chunk grains (pure functions of the problem size — see DESIGN.md §7).
+constexpr std::size_t kEdgeGrain = 1024;   // per-edge gather/scatter loops
+constexpr std::size_t kRowGrain = 256;     // per-row loops
+constexpr std::size_t kSegmentGrain = 256; // per-segment loops
 
 void check_index_bounds(const std::vector<std::int32_t>& idx, std::size_t n, const char* op) {
   for (const auto i : idx) {
@@ -24,22 +31,55 @@ void count_op(const char* calls_name, const char* rows_name, std::size_t rows) {
 }
 
 // Per-segment softmax shared by segment_softmax and edge_attention; the
-// fused kernel must be bitwise-identical to the composed op.
+// fused kernel must be bitwise-identical to the composed op. Segments own
+// disjoint edge ranges, so the segment loop parallelizes bit-identically.
 void softmax_over_segments(const Matrix& z, const SegmentIndex& seg, Matrix& alpha) {
-  for (std::size_t s = 0; s < seg.num_segments(); ++s) {
-    const auto begin = static_cast<std::size_t>(seg.offsets[s]);
-    const auto end = static_cast<std::size_t>(seg.offsets[s + 1]);
-    if (begin == end) continue;
-    float mx = z(begin, 0);
-    for (std::size_t e = begin; e < end; ++e) mx = std::max(mx, z(e, 0));
-    float denom = 0.0f;
-    for (std::size_t e = begin; e < end; ++e) {
-      const float v = std::exp(z(e, 0) - mx);
-      alpha(e, 0) = v;
-      denom += v;
+  runtime::parallel_for(seg.num_segments(), kSegmentGrain,
+                        [&](std::size_t slo, std::size_t shi) {
+    for (std::size_t s = slo; s < shi; ++s) {
+      const auto begin = static_cast<std::size_t>(seg.offsets[s]);
+      const auto end = static_cast<std::size_t>(seg.offsets[s + 1]);
+      if (begin == end) continue;
+      float mx = z(begin, 0);
+      for (std::size_t e = begin; e < end; ++e) mx = std::max(mx, z(e, 0));
+      float denom = 0.0f;
+      for (std::size_t e = begin; e < end; ++e) {
+        const float v = std::exp(z(e, 0) - mx);
+        alpha(e, 0) = v;
+        denom += v;
+      }
+      for (std::size_t e = begin; e < end; ++e) alpha(e, 0) /= denom;
     }
-    for (std::size_t e = begin; e < end; ++e) alpha(e, 0) /= denom;
+  });
+}
+
+// Deterministic scatter-accumulate: body(begin, end, target) adds edges
+// [begin, end) into `target`, indexing rows through the scatter index. With
+// one effective thread the body runs once against `out` — the pre-runtime
+// serial loop. Ascending indices (GraphPlan edges are dst-sorted) take a
+// sorted-span path whose chunks own disjoint output rows, bit-identical to
+// serial at any thread count; unsorted indices accumulate per-chunk partial
+// buffers merged in ascending chunk order (deterministic for every thread
+// count >= 2, within FP-reorder epsilon of serial).
+template <typename Body>
+void scatter_into(Matrix& out, const std::vector<std::int32_t>& idx, Body&& body) {
+  const std::size_t n = idx.size();
+  if (n == 0) return;
+  if (runtime::chunk_count(n, kEdgeGrain) == 1 || runtime::num_threads() == 1 ||
+      runtime::in_parallel_region()) {
+    body(0, n, out);
+    return;
   }
+  if (runtime::is_ascending(idx)) {
+    runtime::parallel_for_sorted_spans(
+        idx, kEdgeGrain, [&](std::size_t b, std::size_t e) { body(b, e, out); });
+    return;
+  }
+  runtime::parallel_reduce<Matrix>(
+      n, runtime::bounded_grain(n, kEdgeGrain),
+      [&] { return Matrix(out.rows(), out.cols(), 0.0f); },
+      [&](std::size_t b, std::size_t e, Matrix& p) { body(b, e, p); },
+      [&](Matrix& p) { add_inplace(out, p); });
 }
 
 }  // namespace
@@ -62,18 +102,22 @@ Tensor gather_rows(const Tensor& a, const IndexHandle& idx) {
   count_op("nn.gather_rows.calls", "nn.gather_rows.rows", idx->size());
   const std::size_t f = a.cols();
   Matrix out(idx->size(), f);
-  for (std::size_t e = 0; e < idx->size(); ++e) {
-    const float* src = a.value().row(static_cast<std::size_t>((*idx)[e]));
-    float* dst = out.row(e);
-    for (std::size_t j = 0; j < f; ++j) dst[j] = src[j];
-  }
+  runtime::parallel_for(idx->size(), kEdgeGrain, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t e = lo; e < hi; ++e) {
+      const float* src = a.value().row(static_cast<std::size_t>((*idx)[e]));
+      float* dst = out.row(e);
+      for (std::size_t j = 0; j < f; ++j) dst[j] = src[j];
+    }
+  });
   return Tensor::from_op(std::move(out), {a}, [a, idx, f](const Matrix& g) {
     Matrix ga(a.rows(), f, 0.0f);
-    for (std::size_t e = 0; e < idx->size(); ++e) {
-      float* dst = ga.row(static_cast<std::size_t>((*idx)[e]));
-      const float* src = g.row(e);
-      for (std::size_t j = 0; j < f; ++j) dst[j] += src[j];
-    }
+    scatter_into(ga, *idx, [&](std::size_t lo, std::size_t hi, Matrix& t) {
+      for (std::size_t e = lo; e < hi; ++e) {
+        float* dst = t.row(static_cast<std::size_t>((*idx)[e]));
+        const float* src = g.row(e);
+        for (std::size_t j = 0; j < f; ++j) dst[j] += src[j];
+      }
+    });
     a.accumulate_grad(ga);
   });
 }
@@ -90,18 +134,22 @@ Tensor scatter_add_rows(const Tensor& a, const IndexHandle& idx, std::size_t num
   count_op("nn.scatter_add_rows.calls", "nn.scatter_add_rows.rows", idx->size());
   const std::size_t f = a.cols();
   Matrix out(num_out_rows, f, 0.0f);
-  for (std::size_t e = 0; e < idx->size(); ++e) {
-    float* dst = out.row(static_cast<std::size_t>((*idx)[e]));
-    const float* src = a.value().row(e);
-    for (std::size_t j = 0; j < f; ++j) dst[j] += src[j];
-  }
+  scatter_into(out, *idx, [&](std::size_t lo, std::size_t hi, Matrix& t) {
+    for (std::size_t e = lo; e < hi; ++e) {
+      float* dst = t.row(static_cast<std::size_t>((*idx)[e]));
+      const float* src = a.value().row(e);
+      for (std::size_t j = 0; j < f; ++j) dst[j] += src[j];
+    }
+  });
   return Tensor::from_op(std::move(out), {a}, [a, idx, f](const Matrix& g) {
     Matrix ga(idx->size(), f);
-    for (std::size_t e = 0; e < idx->size(); ++e) {
-      const float* src = g.row(static_cast<std::size_t>((*idx)[e]));
-      float* dst = ga.row(e);
-      for (std::size_t j = 0; j < f; ++j) dst[j] = src[j];
-    }
+    runtime::parallel_for(idx->size(), kEdgeGrain, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t e = lo; e < hi; ++e) {
+        const float* src = g.row(static_cast<std::size_t>((*idx)[e]));
+        float* dst = ga.row(e);
+        for (std::size_t j = 0; j < f; ++j) dst[j] = src[j];
+      }
+    });
     a.accumulate_grad(ga);
   });
 }
@@ -124,14 +172,17 @@ Tensor segment_softmax(const Tensor& logits, const SegmentIndex& seg) {
                          [logits, seg, alpha = std::move(alpha)](const Matrix& g) {
     // d logit_e = alpha_e * (g_e - sum_k alpha_k g_k) within each segment.
     Matrix gl(alpha.rows(), 1);
-    for (std::size_t s = 0; s < seg.num_segments(); ++s) {
-      const auto begin = static_cast<std::size_t>(seg.offsets[s]);
-      const auto end = static_cast<std::size_t>(seg.offsets[s + 1]);
-      float dot = 0.0f;
-      for (std::size_t e = begin; e < end; ++e) dot += alpha(e, 0) * g(e, 0);
-      for (std::size_t e = begin; e < end; ++e)
-        gl(e, 0) = alpha(e, 0) * (g(e, 0) - dot);
-    }
+    runtime::parallel_for(seg.num_segments(), kSegmentGrain,
+                          [&](std::size_t slo, std::size_t shi) {
+      for (std::size_t s = slo; s < shi; ++s) {
+        const auto begin = static_cast<std::size_t>(seg.offsets[s]);
+        const auto end = static_cast<std::size_t>(seg.offsets[s + 1]);
+        float dot = 0.0f;
+        for (std::size_t e = begin; e < end; ++e) dot += alpha(e, 0) * g(e, 0);
+        for (std::size_t e = begin; e < end; ++e)
+          gl(e, 0) = alpha(e, 0) * (g(e, 0) - dot);
+      }
+    });
     logits.accumulate_grad(gl);
   });
 }
@@ -141,26 +192,30 @@ Tensor scale_rows_by(const Tensor& a, const Tensor& w) {
     throw std::invalid_argument("scale_rows_by: weights must be (rows x 1)");
   const std::size_t f = a.cols();
   Matrix out = a.value();
-  for (std::size_t i = 0; i < out.rows(); ++i) {
-    const float c = w.value()(i, 0);
-    float* r = out.row(i);
-    for (std::size_t j = 0; j < f; ++j) r[j] *= c;
-  }
+  runtime::parallel_for(out.rows(), kRowGrain, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const float c = w.value()(i, 0);
+      float* r = out.row(i);
+      for (std::size_t j = 0; j < f; ++j) r[j] *= c;
+    }
+  });
   return Tensor::from_op(std::move(out), {a, w}, [a, w, f](const Matrix& g) {
     Matrix ga(g.rows(), f);
     Matrix gw(g.rows(), 1);
-    for (std::size_t i = 0; i < g.rows(); ++i) {
-      const float c = w.value()(i, 0);
-      const float* gr = g.row(i);
-      const float* ar = a.value().row(i);
-      float* gar = ga.row(i);
-      float acc = 0.0f;
-      for (std::size_t j = 0; j < f; ++j) {
-        gar[j] = gr[j] * c;
-        acc += gr[j] * ar[j];
+    runtime::parallel_for(g.rows(), kRowGrain, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        const float c = w.value()(i, 0);
+        const float* gr = g.row(i);
+        const float* ar = a.value().row(i);
+        float* gar = ga.row(i);
+        float acc = 0.0f;
+        for (std::size_t j = 0; j < f; ++j) {
+          gar[j] = gr[j] * c;
+          acc += gr[j] * ar[j];
+        }
+        gw(i, 0) = acc;
       }
-      gw(i, 0) = acc;
-    }
+    });
     a.accumulate_grad(ga);
     w.accumulate_grad(gw);
   });
@@ -171,16 +226,20 @@ Tensor scale_rows(const Tensor& a, const CoeffHandle& coeffs) {
   if (coeffs->size() != a.rows())
     throw std::invalid_argument("scale_rows: coeff count must equal row count");
   Matrix out = a.value();
-  for (std::size_t i = 0; i < out.rows(); ++i) {
-    float* r = out.row(i);
-    for (std::size_t j = 0; j < out.cols(); ++j) r[j] *= (*coeffs)[i];
-  }
+  runtime::parallel_for(out.rows(), kRowGrain, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      float* r = out.row(i);
+      for (std::size_t j = 0; j < out.cols(); ++j) r[j] *= (*coeffs)[i];
+    }
+  });
   return Tensor::from_op(std::move(out), {a}, [a, coeffs](const Matrix& g) {
     Matrix ga = g;
-    for (std::size_t i = 0; i < ga.rows(); ++i) {
-      float* r = ga.row(i);
-      for (std::size_t j = 0; j < ga.cols(); ++j) r[j] *= (*coeffs)[i];
-    }
+    runtime::parallel_for(ga.rows(), kRowGrain, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        float* r = ga.row(i);
+        for (std::size_t j = 0; j < ga.cols(); ++j) r[j] *= (*coeffs)[i];
+      }
+    });
     a.accumulate_grad(ga);
   });
 }
@@ -197,27 +256,33 @@ Tensor scatter_mean_rows(const Tensor& a, const IndexHandle& idx, const CoeffHan
   count_op("nn.scatter_mean_rows.calls", "nn.scatter_mean_rows.rows", idx->size());
   const std::size_t f = a.cols();
   Matrix out(num_out_rows, f, 0.0f);
-  for (std::size_t e = 0; e < idx->size(); ++e) {
-    float* dst = out.row(static_cast<std::size_t>((*idx)[e]));
-    const float* src = a.value().row(e);
-    for (std::size_t j = 0; j < f; ++j) dst[j] += src[j];
-  }
-  for (std::size_t i = 0; i < num_out_rows; ++i) {
-    const float c = (*inv)[i];
-    float* r = out.row(i);
-    for (std::size_t j = 0; j < f; ++j) r[j] *= c;
-  }
+  scatter_into(out, *idx, [&](std::size_t lo, std::size_t hi, Matrix& t) {
+    for (std::size_t e = lo; e < hi; ++e) {
+      float* dst = t.row(static_cast<std::size_t>((*idx)[e]));
+      const float* src = a.value().row(e);
+      for (std::size_t j = 0; j < f; ++j) dst[j] += src[j];
+    }
+  });
+  runtime::parallel_for(num_out_rows, kRowGrain, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const float c = (*inv)[i];
+      float* r = out.row(i);
+      for (std::size_t j = 0; j < f; ++j) r[j] *= c;
+    }
+  });
   return Tensor::from_op(std::move(out), {a}, [a, idx, inv, f](const Matrix& g) {
     // d a[e] = g[idx[e]] * inv[idx[e]]: the scatter's gradient copy and the
     // mean's scaling folded into one pass.
     Matrix ga(idx->size(), f);
-    for (std::size_t e = 0; e < idx->size(); ++e) {
-      const auto i = static_cast<std::size_t>((*idx)[e]);
-      const float c = (*inv)[i];
-      const float* src = g.row(i);
-      float* dst = ga.row(e);
-      for (std::size_t j = 0; j < f; ++j) dst[j] = src[j] * c;
-    }
+    runtime::parallel_for(idx->size(), kEdgeGrain, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t e = lo; e < hi; ++e) {
+        const auto i = static_cast<std::size_t>((*idx)[e]);
+        const float c = (*inv)[i];
+        const float* src = g.row(i);
+        float* dst = ga.row(e);
+        for (std::size_t j = 0; j < f; ++j) dst[j] = src[j] * c;
+      }
+    });
     a.accumulate_grad(ga);
   });
 }
@@ -259,35 +324,44 @@ Tensor gather_matmul(const Tensor& a, const CompactIndex& ci, const Tensor& w) {
   const std::size_t fout = w.cols();
   const std::size_t u = ci.rows->size();
   Matrix compact(u, fin);
-  for (std::size_t k = 0; k < u; ++k) {
-    const float* src = a.value().row(static_cast<std::size_t>((*ci.rows)[k]));
-    float* dst = compact.row(k);
-    for (std::size_t j = 0; j < fin; ++j) dst[j] = src[j];
-  }
+  runtime::parallel_for(u, kRowGrain, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t k = lo; k < hi; ++k) {
+      const float* src = a.value().row(static_cast<std::size_t>((*ci.rows)[k]));
+      float* dst = compact.row(k);
+      for (std::size_t j = 0; j < fin; ++j) dst[j] = src[j];
+    }
+  });
   Matrix tmp = gemm(compact, w.value());  // U x fout, each touched row once
   Matrix out(ci.remap->size(), fout);
-  for (std::size_t e = 0; e < ci.remap->size(); ++e) {
-    const float* src = tmp.row(static_cast<std::size_t>((*ci.remap)[e]));
-    float* dst = out.row(e);
-    for (std::size_t j = 0; j < fout; ++j) dst[j] = src[j];
-  }
+  runtime::parallel_for(ci.remap->size(), kEdgeGrain, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t e = lo; e < hi; ++e) {
+      const float* src = tmp.row(static_cast<std::size_t>((*ci.remap)[e]));
+      float* dst = out.row(e);
+      for (std::size_t j = 0; j < fout; ++j) dst[j] = src[j];
+    }
+  });
   return Tensor::from_op(
       std::move(out), {a, w},
       [a, w, ci, compact = std::move(compact), fin, fout, u](const Matrix& g) {
         Matrix gtmp(u, fout, 0.0f);
-        for (std::size_t e = 0; e < ci.remap->size(); ++e) {
-          float* dst = gtmp.row(static_cast<std::size_t>((*ci.remap)[e]));
-          const float* src = g.row(e);
-          for (std::size_t j = 0; j < fout; ++j) dst[j] += src[j];
-        }
+        scatter_into(gtmp, *ci.remap, [&](std::size_t lo, std::size_t hi, Matrix& t) {
+          for (std::size_t e = lo; e < hi; ++e) {
+            float* dst = t.row(static_cast<std::size_t>((*ci.remap)[e]));
+            const float* src = g.row(e);
+            for (std::size_t j = 0; j < fout; ++j) dst[j] += src[j];
+          }
+        });
         w.accumulate_grad(gemm_tn(compact, gtmp));
         const Matrix gcompact = gemm_nt(gtmp, w.value());
         Matrix ga(a.rows(), fin, 0.0f);
-        for (std::size_t k = 0; k < u; ++k) {
-          float* dst = ga.row(static_cast<std::size_t>((*ci.rows)[k]));
-          const float* src = gcompact.row(k);
-          for (std::size_t j = 0; j < fin; ++j) dst[j] = src[j];
-        }
+        // ci.rows entries are unique, so chunks write disjoint rows of ga.
+        runtime::parallel_for(u, kRowGrain, [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t k = lo; k < hi; ++k) {
+            float* dst = ga.row(static_cast<std::size_t>((*ci.rows)[k]));
+            const float* src = gcompact.row(k);
+            for (std::size_t j = 0; j < fin; ++j) dst[j] = src[j];
+          }
+        });
         a.accumulate_grad(ga);
       });
 }
@@ -326,24 +400,28 @@ Tensor edge_attention(const Tensor& el, const Tensor& er, const Tensor& msg,
   // logit -> leaky-relu -> per-segment softmax, all in one pass over E.
   Matrix logit(e_total, 1);
   Matrix z(e_total, 1);
-  for (std::size_t e = 0; e < e_total; ++e) {
-    const std::size_t li = el_idx ? static_cast<std::size_t>((*el_idx)[e]) : e;
-    const std::size_t ri = er_idx ? static_cast<std::size_t>((*er_idx)[e]) : e;
-    const float v = el.value()(li, 0) + er.value()(ri, 0);
-    logit(e, 0) = v;
-    z(e, 0) = v > 0.0f ? v : negative_slope * v;
-  }
+  runtime::parallel_for(e_total, kEdgeGrain, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t e = lo; e < hi; ++e) {
+      const std::size_t li = el_idx ? static_cast<std::size_t>((*el_idx)[e]) : e;
+      const std::size_t ri = er_idx ? static_cast<std::size_t>((*er_idx)[e]) : e;
+      const float v = el.value()(li, 0) + er.value()(ri, 0);
+      logit(e, 0) = v;
+      z(e, 0) = v > 0.0f ? v : negative_slope * v;
+    }
+  });
   Matrix alpha(e_total, 1);
   softmax_over_segments(z, *seg, alpha);
   if (alpha_out != nullptr) *alpha_out = alpha;
 
   Matrix out(num_out_rows, f, 0.0f);
-  for (std::size_t e = 0; e < e_total; ++e) {
-    const float c = alpha(e, 0);
-    float* d = out.row(static_cast<std::size_t>((*dst)[e]));
-    const float* m = msg.value().row(e);
-    for (std::size_t j = 0; j < f; ++j) d[j] += c * m[j];
-  }
+  scatter_into(out, *dst, [&](std::size_t lo, std::size_t hi, Matrix& t) {
+    for (std::size_t e = lo; e < hi; ++e) {
+      const float c = alpha(e, 0);
+      float* d = t.row(static_cast<std::size_t>((*dst)[e]));
+      const float* m = msg.value().row(e);
+      for (std::size_t j = 0; j < f; ++j) d[j] += c * m[j];
+    }
+  });
 
   return Tensor::from_op(
       std::move(out), {el, er, msg},
@@ -357,36 +435,55 @@ Tensor edge_attention(const Tensor& el, const Tensor& er, const Tensor& msg,
         //   d el[i]  += d logit_e over edges with el_idx[e] == i (resp. er).
         Matrix gmsg(e_total, f);
         Matrix galpha(e_total, 1);
-        for (std::size_t e = 0; e < e_total; ++e) {
-          const float* gr = g.row(static_cast<std::size_t>((*dst)[e]));
-          const float* mr = msg.value().row(e);
-          float* gm = gmsg.row(e);
-          const float c = alpha(e, 0);
-          float acc = 0.0f;
-          for (std::size_t j = 0; j < f; ++j) {
-            gm[j] = gr[j] * c;
-            acc += gr[j] * mr[j];
+        runtime::parallel_for(e_total, kEdgeGrain, [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t e = lo; e < hi; ++e) {
+            const float* gr = g.row(static_cast<std::size_t>((*dst)[e]));
+            const float* mr = msg.value().row(e);
+            float* gm = gmsg.row(e);
+            const float c = alpha(e, 0);
+            float acc = 0.0f;
+            for (std::size_t j = 0; j < f; ++j) {
+              gm[j] = gr[j] * c;
+              acc += gr[j] * mr[j];
+            }
+            galpha(e, 0) = acc;
           }
-          galpha(e, 0) = acc;
-        }
+        });
         Matrix glogit(e_total, 1);
-        for (std::size_t s = 0; s < seg->num_segments(); ++s) {
-          const auto begin = static_cast<std::size_t>(seg->offsets[s]);
-          const auto end = static_cast<std::size_t>(seg->offsets[s + 1]);
-          float dot = 0.0f;
-          for (std::size_t e = begin; e < end; ++e) dot += alpha(e, 0) * galpha(e, 0);
-          for (std::size_t e = begin; e < end; ++e) {
-            const float gz = alpha(e, 0) * (galpha(e, 0) - dot);
-            glogit(e, 0) = logit(e, 0) > 0.0f ? gz : gz * negative_slope;
+        runtime::parallel_for(seg->num_segments(), kSegmentGrain,
+                              [&](std::size_t slo, std::size_t shi) {
+          for (std::size_t s = slo; s < shi; ++s) {
+            const auto begin = static_cast<std::size_t>(seg->offsets[s]);
+            const auto end = static_cast<std::size_t>(seg->offsets[s + 1]);
+            float dot = 0.0f;
+            for (std::size_t e = begin; e < end; ++e) dot += alpha(e, 0) * galpha(e, 0);
+            for (std::size_t e = begin; e < end; ++e) {
+              const float gz = alpha(e, 0) * (galpha(e, 0) - dot);
+              glogit(e, 0) = logit(e, 0) > 0.0f ? gz : gz * negative_slope;
+            }
           }
-        }
+        });
         Matrix gel(el.rows(), 1, 0.0f);
         Matrix ger(er.rows(), 1, 0.0f);
-        for (std::size_t e = 0; e < e_total; ++e) {
-          const std::size_t li = el_idx ? static_cast<std::size_t>((*el_idx)[e]) : e;
-          const std::size_t ri = er_idx ? static_cast<std::size_t>((*er_idx)[e]) : e;
-          gel(li, 0) += glogit(e, 0);
-          ger(ri, 0) += glogit(e, 0);
+        if (el_idx) {
+          scatter_into(gel, *el_idx, [&](std::size_t lo, std::size_t hi, Matrix& t) {
+            for (std::size_t e = lo; e < hi; ++e)
+              t(static_cast<std::size_t>((*el_idx)[e]), 0) += glogit(e, 0);
+          });
+        } else {
+          runtime::parallel_for(e_total, kEdgeGrain, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t e = lo; e < hi; ++e) gel(e, 0) = glogit(e, 0);
+          });
+        }
+        if (er_idx) {
+          scatter_into(ger, *er_idx, [&](std::size_t lo, std::size_t hi, Matrix& t) {
+            for (std::size_t e = lo; e < hi; ++e)
+              t(static_cast<std::size_t>((*er_idx)[e]), 0) += glogit(e, 0);
+          });
+        } else {
+          runtime::parallel_for(e_total, kEdgeGrain, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t e = lo; e < hi; ++e) ger(e, 0) = glogit(e, 0);
+          });
         }
         el.accumulate_grad(gel);
         er.accumulate_grad(ger);

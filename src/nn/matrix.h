@@ -1,7 +1,9 @@
 // Dense row-major float32 matrix plus the handful of BLAS-like kernels the
-// autograd engine is built on. Single-threaded; compiled with -O3
-// -march=native the inner loops auto-vectorise, which is sufficient for the
-// CPU-scale graphs this reproduction targets (see DESIGN.md §4).
+// autograd engine is built on. Kernels run on the deterministic parallel
+// runtime (src/runtime): row chunks are a pure function of the shape, so
+// results are bit-identical at any thread count, and with --threads 1 the
+// loops run inline exactly as the original serial code (see DESIGN.md §7).
+// Compiled with -O3 -march=native the inner loops auto-vectorise.
 #pragma once
 
 #include <cstddef>

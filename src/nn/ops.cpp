@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.h"
+#include "runtime/thread_pool.h"
 
 namespace paragraph::nn {
 
@@ -13,6 +14,21 @@ void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
   if (!a.value().same_shape(b.value()))
     throw std::invalid_argument(std::string(op) + ": shape mismatch " + a.value().shape_str() +
                                 " vs " + b.value().shape_str());
+}
+
+// Chunk grains for elementwise (flat index) and per-row loops. Chunks write
+// disjoint ranges, so every op here is bit-identical at any thread count.
+constexpr std::size_t kEltGrain = 16384;
+constexpr std::size_t kRowGrain = 256;
+
+template <typename F>
+void par_elements(std::size_t n, F&& body) {
+  runtime::parallel_for(n, kEltGrain, std::forward<F>(body));
+}
+
+template <typename F>
+void par_rows(std::size_t n, F&& body) {
+  runtime::parallel_for(n, kRowGrain, std::forward<F>(body));
 }
 
 }  // namespace
@@ -48,7 +64,9 @@ Tensor sub(const Tensor& a, const Tensor& b) {
   return Tensor::from_op(std::move(out), {a, b}, [a, b](const Matrix& g) {
     a.accumulate_grad(g);
     Matrix ng = g;
-    for (std::size_t i = 0; i < ng.size(); ++i) ng.data()[i] = -ng.data()[i];
+    par_elements(ng.size(), [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) ng.data()[i] = -ng.data()[i];
+    });
     b.accumulate_grad(ng);
   });
 }
@@ -56,13 +74,19 @@ Tensor sub(const Tensor& a, const Tensor& b) {
 Tensor mul(const Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "mul");
   Matrix out = a.value();
-  for (std::size_t i = 0; i < out.size(); ++i) out.data()[i] *= b.value().data()[i];
+  par_elements(out.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) out.data()[i] *= b.value().data()[i];
+  });
   return Tensor::from_op(std::move(out), {a, b}, [a, b](const Matrix& g) {
     Matrix ga = g;
-    for (std::size_t i = 0; i < ga.size(); ++i) ga.data()[i] *= b.value().data()[i];
+    par_elements(ga.size(), [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) ga.data()[i] *= b.value().data()[i];
+    });
     a.accumulate_grad(ga);
     Matrix gb = g;
-    for (std::size_t i = 0; i < gb.size(); ++i) gb.data()[i] *= a.value().data()[i];
+    par_elements(gb.size(), [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) gb.data()[i] *= a.value().data()[i];
+    });
     b.accumulate_grad(gb);
   });
 }
@@ -71,28 +95,38 @@ Tensor add_bias(const Tensor& a, const Tensor& bias) {
   if (bias.rows() != 1 || bias.cols() != a.cols())
     throw std::invalid_argument("add_bias: bias must be 1 x cols of input");
   Matrix out = a.value();
-  for (std::size_t i = 0; i < out.rows(); ++i) {
-    float* r = out.row(i);
+  par_rows(out.rows(), [&](std::size_t lo, std::size_t hi) {
     const float* b = bias.value().row(0);
-    for (std::size_t j = 0; j < out.cols(); ++j) r[j] += b[j];
-  }
+    for (std::size_t i = lo; i < hi; ++i) {
+      float* r = out.row(i);
+      for (std::size_t j = 0; j < out.cols(); ++j) r[j] += b[j];
+    }
+  });
   return Tensor::from_op(std::move(out), {a, bias}, [a, bias](const Matrix& g) {
     a.accumulate_grad(g);
     Matrix gb(1, g.cols(), 0.0f);
-    for (std::size_t i = 0; i < g.rows(); ++i) {
-      const float* r = g.row(i);
-      for (std::size_t j = 0; j < g.cols(); ++j) gb(0, j) += r[j];
-    }
+    // Column chunks: each chunk reduces its own columns over all rows in
+    // ascending row order, matching the serial accumulation per element.
+    runtime::parallel_for(g.cols(), 16, [&](std::size_t jlo, std::size_t jhi) {
+      for (std::size_t i = 0; i < g.rows(); ++i) {
+        const float* r = g.row(i);
+        for (std::size_t j = jlo; j < jhi; ++j) gb(0, j) += r[j];
+      }
+    });
     bias.accumulate_grad(gb);
   });
 }
 
 Tensor scale(const Tensor& a, float alpha) {
   Matrix out = a.value();
-  for (std::size_t i = 0; i < out.size(); ++i) out.data()[i] *= alpha;
+  par_elements(out.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) out.data()[i] *= alpha;
+  });
   return Tensor::from_op(std::move(out), {a}, [a, alpha](const Matrix& g) {
     Matrix ga = g;
-    for (std::size_t i = 0; i < ga.size(); ++i) ga.data()[i] *= alpha;
+    par_elements(ga.size(), [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) ga.data()[i] *= alpha;
+    });
     a.accumulate_grad(ga);
   });
 }
@@ -104,21 +138,25 @@ Tensor concat_cols(const Tensor& a, const Tensor& b) {
   const std::size_t ca = a.cols();
   const std::size_t cb = b.cols();
   Matrix out(a.rows(), ca + cb);
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    float* r = out.row(i);
-    const float* ra = a.value().row(i);
-    const float* rb = b.value().row(i);
-    for (std::size_t j = 0; j < ca; ++j) r[j] = ra[j];
-    for (std::size_t j = 0; j < cb; ++j) r[ca + j] = rb[j];
-  }
+  par_rows(a.rows(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      float* r = out.row(i);
+      const float* ra = a.value().row(i);
+      const float* rb = b.value().row(i);
+      for (std::size_t j = 0; j < ca; ++j) r[j] = ra[j];
+      for (std::size_t j = 0; j < cb; ++j) r[ca + j] = rb[j];
+    }
+  });
   return Tensor::from_op(std::move(out), {a, b}, [a, b, ca, cb](const Matrix& g) {
     Matrix ga(g.rows(), ca);
     Matrix gb(g.rows(), cb);
-    for (std::size_t i = 0; i < g.rows(); ++i) {
-      const float* r = g.row(i);
-      for (std::size_t j = 0; j < ca; ++j) ga(i, j) = r[j];
-      for (std::size_t j = 0; j < cb; ++j) gb(i, j) = r[ca + j];
-    }
+    par_rows(g.rows(), [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        const float* r = g.row(i);
+        for (std::size_t j = 0; j < ca; ++j) ga(i, j) = r[j];
+        for (std::size_t j = 0; j < cb; ++j) gb(i, j) = r[ca + j];
+      }
+    });
     a.accumulate_grad(ga);
     b.accumulate_grad(gb);
   });
@@ -160,50 +198,66 @@ Tensor concat_rows(const std::vector<Tensor>& ts) {
 
 Tensor relu(const Tensor& a) {
   Matrix out = a.value();
-  for (std::size_t i = 0; i < out.size(); ++i) out.data()[i] = std::max(0.0f, out.data()[i]);
+  par_elements(out.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) out.data()[i] = std::max(0.0f, out.data()[i]);
+  });
   return Tensor::from_op(std::move(out), {a}, [a](const Matrix& g) {
     Matrix ga = g;
-    for (std::size_t i = 0; i < ga.size(); ++i)
-      if (a.value().data()[i] <= 0.0f) ga.data()[i] = 0.0f;
+    par_elements(ga.size(), [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i)
+        if (a.value().data()[i] <= 0.0f) ga.data()[i] = 0.0f;
+    });
     a.accumulate_grad(ga);
   });
 }
 
 Tensor leaky_relu(const Tensor& a, float negative_slope) {
   Matrix out = a.value();
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    const float v = out.data()[i];
-    out.data()[i] = v > 0.0f ? v : negative_slope * v;
-  }
+  par_elements(out.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const float v = out.data()[i];
+      out.data()[i] = v > 0.0f ? v : negative_slope * v;
+    }
+  });
   return Tensor::from_op(std::move(out), {a}, [a, negative_slope](const Matrix& g) {
     Matrix ga = g;
-    for (std::size_t i = 0; i < ga.size(); ++i)
-      if (a.value().data()[i] <= 0.0f) ga.data()[i] *= negative_slope;
+    par_elements(ga.size(), [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i)
+        if (a.value().data()[i] <= 0.0f) ga.data()[i] *= negative_slope;
+    });
     a.accumulate_grad(ga);
   });
 }
 
 Tensor sigmoid(const Tensor& a) {
   Matrix out = a.value();
-  for (std::size_t i = 0; i < out.size(); ++i)
-    out.data()[i] = 1.0f / (1.0f + std::exp(-out.data()[i]));
+  par_elements(out.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i)
+      out.data()[i] = 1.0f / (1.0f + std::exp(-out.data()[i]));
+  });
   Matrix y = out;  // backward needs the output value
   return Tensor::from_op(std::move(out), {a}, [a, y = std::move(y)](const Matrix& g) {
     Matrix ga = g;
-    for (std::size_t i = 0; i < ga.size(); ++i)
-      ga.data()[i] *= y.data()[i] * (1.0f - y.data()[i]);
+    par_elements(ga.size(), [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i)
+        ga.data()[i] *= y.data()[i] * (1.0f - y.data()[i]);
+    });
     a.accumulate_grad(ga);
   });
 }
 
 Tensor tanh_op(const Tensor& a) {
   Matrix out = a.value();
-  for (std::size_t i = 0; i < out.size(); ++i) out.data()[i] = std::tanh(out.data()[i]);
+  par_elements(out.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) out.data()[i] = std::tanh(out.data()[i]);
+  });
   Matrix y = out;
   return Tensor::from_op(std::move(out), {a}, [a, y = std::move(y)](const Matrix& g) {
     Matrix ga = g;
-    for (std::size_t i = 0; i < ga.size(); ++i)
-      ga.data()[i] *= 1.0f - y.data()[i] * y.data()[i];
+    par_elements(ga.size(), [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i)
+        ga.data()[i] *= 1.0f - y.data()[i] * y.data()[i];
+    });
     a.accumulate_grad(ga);
   });
 }
@@ -212,35 +266,39 @@ Tensor row_l2_normalize(const Tensor& a, float eps) {
   const Matrix& x = a.value();
   std::vector<float> norms(x.rows());
   Matrix out(x.rows(), x.cols());
-  for (std::size_t i = 0; i < x.rows(); ++i) {
-    const float* r = x.row(i);
-    float s = 0.0f;
-    for (std::size_t j = 0; j < x.cols(); ++j) s += r[j] * r[j];
-    const float n = std::sqrt(s);
-    norms[i] = n;
-    const float inv = n < eps ? 1.0f : 1.0f / n;
-    float* o = out.row(i);
-    for (std::size_t j = 0; j < x.cols(); ++j) o[j] = r[j] * inv;
-  }
+  par_rows(x.rows(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const float* r = x.row(i);
+      float s = 0.0f;
+      for (std::size_t j = 0; j < x.cols(); ++j) s += r[j] * r[j];
+      const float n = std::sqrt(s);
+      norms[i] = n;
+      const float inv = n < eps ? 1.0f : 1.0f / n;
+      float* o = out.row(i);
+      for (std::size_t j = 0; j < x.cols(); ++j) o[j] = r[j] * inv;
+    }
+  });
   return Tensor::from_op(std::move(out), {a},
                          [a, norms = std::move(norms), eps](const Matrix& g) {
     // d/dx (x/||x||) = (I - y y^T)/||x|| with y = x/||x||.
     const Matrix& x = a.value();
     Matrix ga(g.rows(), g.cols());
-    for (std::size_t i = 0; i < g.rows(); ++i) {
-      const float n = norms[i];
-      const float* gr = g.row(i);
-      const float* xr = x.row(i);
-      float* gar = ga.row(i);
-      if (n < eps) {
-        for (std::size_t j = 0; j < g.cols(); ++j) gar[j] = gr[j];
-        continue;
+    par_rows(g.rows(), [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        const float n = norms[i];
+        const float* gr = g.row(i);
+        const float* xr = x.row(i);
+        float* gar = ga.row(i);
+        if (n < eps) {
+          for (std::size_t j = 0; j < g.cols(); ++j) gar[j] = gr[j];
+          continue;
+        }
+        float dot = 0.0f;  // g . y
+        for (std::size_t j = 0; j < g.cols(); ++j) dot += gr[j] * xr[j] / n;
+        for (std::size_t j = 0; j < g.cols(); ++j)
+          gar[j] = (gr[j] - dot * xr[j] / n) / n;
       }
-      float dot = 0.0f;  // g . y
-      for (std::size_t j = 0; j < g.cols(); ++j) dot += gr[j] * xr[j] / n;
-      for (std::size_t j = 0; j < g.cols(); ++j)
-        gar[j] = (gr[j] - dot * xr[j] / n) / n;
-    }
+    });
     a.accumulate_grad(ga);
   });
 }
@@ -249,16 +307,20 @@ Tensor scale_rows(const Tensor& a, const std::vector<float>& coeffs) {
   if (coeffs.size() != a.rows())
     throw std::invalid_argument("scale_rows: coeff count must equal row count");
   Matrix out = a.value();
-  for (std::size_t i = 0; i < out.rows(); ++i) {
-    float* r = out.row(i);
-    for (std::size_t j = 0; j < out.cols(); ++j) r[j] *= coeffs[i];
-  }
+  par_rows(out.rows(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      float* r = out.row(i);
+      for (std::size_t j = 0; j < out.cols(); ++j) r[j] *= coeffs[i];
+    }
+  });
   return Tensor::from_op(std::move(out), {a}, [a, coeffs](const Matrix& g) {
     Matrix ga = g;
-    for (std::size_t i = 0; i < ga.rows(); ++i) {
-      float* r = ga.row(i);
-      for (std::size_t j = 0; j < ga.cols(); ++j) r[j] *= coeffs[i];
-    }
+    par_rows(ga.rows(), [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        float* r = ga.row(i);
+        for (std::size_t j = 0; j < ga.cols(); ++j) r[j] *= coeffs[i];
+      }
+    });
     a.accumulate_grad(ga);
   });
 }
@@ -286,8 +348,10 @@ Tensor mse_loss(const Tensor& pred, const Matrix& target) {
     const float go = g(0, 0);
     Matrix gp(pred.rows(), pred.cols());
     const float c = 2.0f * go / static_cast<float>(n);
-    for (std::size_t i = 0; i < n; ++i)
-      gp.data()[i] = c * (pred.value().data()[i] - target.data()[i]);
+    par_elements(n, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i)
+        gp.data()[i] = c * (pred.value().data()[i] - target.data()[i]);
+    });
     pred.accumulate_grad(gp);
   });
 }
@@ -304,10 +368,12 @@ Tensor l1_loss(const Tensor& pred, const Matrix& target) {
     const float go = g(0, 0);
     Matrix gp(pred.rows(), pred.cols());
     const float c = go / static_cast<float>(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      const float d = pred.value().data()[i] - target.data()[i];
-      gp.data()[i] = d > 0.0f ? c : (d < 0.0f ? -c : 0.0f);
-    }
+    par_elements(n, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        const float d = pred.value().data()[i] - target.data()[i];
+        gp.data()[i] = d > 0.0f ? c : (d < 0.0f ? -c : 0.0f);
+      }
+    });
     pred.accumulate_grad(gp);
   });
 }

@@ -1,0 +1,87 @@
+// Deterministic parallel helpers layered on the thread pool: bounded-chunk
+// grains for reductions, per-chunk partial-buffer reduction, and
+// segment-aligned chunking over ascending (destination-sorted) index
+// vectors so scatter kernels keep serial per-row accumulation order.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+
+namespace paragraph::runtime {
+
+// Grain that caps a reduction at `max_chunks` partial buffers while never
+// dropping below `base`. A pure function of n — chunk boundaries stay
+// independent of the thread count.
+inline std::size_t bounded_grain(std::size_t n, std::size_t base, std::size_t max_chunks = 8) {
+  if (max_chunks == 0) max_chunks = 1;
+  const std::size_t min_grain = (n + max_chunks - 1) / max_chunks;
+  return std::max(base, min_grain);
+}
+
+inline bool is_ascending(const std::vector<std::int32_t>& idx) {
+  for (std::size_t e = 1; e < idx.size(); ++e)
+    if (idx[e] < idx[e - 1]) return false;
+  return true;
+}
+
+// Chunked loop over an ascending index vector where every chunk owns a
+// disjoint set of index values: a chunk skips leading elements whose value
+// it shares with the previous chunk (that chunk owns the row) and extends
+// past its nominal end while its last value continues. Scatter bodies that
+// accumulate out[idx[e]] in ascending-e order therefore produce results
+// bit-identical to the serial loop at any thread count.
+template <typename Body>
+void parallel_for_sorted_spans(const std::vector<std::int32_t>& idx, std::size_t grain,
+                               Body&& body) {
+  const std::size_t n = idx.size();
+  if (grain == 0) grain = 1;
+  parallel_for_chunks(n, grain, [&](std::size_t begin, std::size_t end, std::size_t) {
+    std::size_t b = begin;
+    if (b > 0) {
+      const std::int32_t prev = idx[b - 1];
+      while (b < end && idx[b] == prev) ++b;
+    }
+    if (b >= end) return;  // the whole chunk belongs to an earlier row
+    std::size_t e = end;
+    const std::int32_t last = idx[e - 1];
+    while (e < n && idx[e] == last) ++e;
+    body(b, e);
+  });
+}
+
+// Deterministic scatter reduction for overlapping accumulation with an
+// unsorted index: each chunk accumulates into its own zero-initialised
+// partial buffer and the partials are merged in ascending chunk order.
+// With a single effective thread (or a single chunk) the body runs once
+// directly against `out` — bit-for-bit the serial loop.
+//
+// Partial must be zero-constructible via `make()`; `body(begin, end, p)`
+// accumulates elements [begin, end) into p; `merge(p)` folds a partial
+// into the final output.
+template <typename Partial, typename MakeFn, typename BodyFn, typename MergeFn>
+void parallel_reduce(std::size_t n, std::size_t grain, MakeFn&& make, BodyFn&& body,
+                     MergeFn&& merge) {
+  if (grain == 0) grain = 1;
+  const std::size_t chunks = chunk_count(n, grain);
+  if (chunks == 0) return;
+  if (chunks == 1 || num_threads() == 1 || in_parallel_region()) {
+    // Serial: accumulate straight through in element order (no partials),
+    // reproducing the pre-runtime kernels exactly.
+    Partial p = make();
+    body(0, n, p);
+    merge(p);
+    return;
+  }
+  std::vector<Partial> partials;
+  partials.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) partials.push_back(make());
+  parallel_for_chunks(n, grain, [&](std::size_t begin, std::size_t end, std::size_t c) {
+    body(begin, end, partials[c]);
+  });
+  for (std::size_t c = 0; c < chunks; ++c) merge(partials[c]);
+}
+
+}  // namespace paragraph::runtime

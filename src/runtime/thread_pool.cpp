@@ -1,0 +1,254 @@
+#include "runtime/thread_pool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace paragraph::runtime {
+
+namespace {
+
+// Explicit override (set_num_threads), 0 = unset.
+std::atomic<std::size_t> g_explicit_threads{0};
+
+// PARAGRAPH_THREADS, read once; 0 = unset/absent.
+std::atomic<std::size_t> g_env_threads{0};
+std::once_flag g_env_once;
+
+// True while this thread is executing a chunk of some region.
+thread_local bool t_in_region = false;
+
+std::size_t read_env_threads() {
+  std::call_once(g_env_once, [] {
+    if (const char* env = std::getenv("PARAGRAPH_THREADS")) {
+      char* end = nullptr;
+      const long v = std::strtol(env, &end, 10);
+      if (end != env && v > 0) g_env_threads.store(static_cast<std::size_t>(v));
+    }
+  });
+  return g_env_threads.load();
+}
+
+std::size_t default_threads() {
+  if (const std::size_t env = read_env_threads(); env > 0) return env;
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? static_cast<std::size_t>(hc) : 1;
+}
+
+// Created on first ThreadPool::instance() call; tracked here so
+// set_num_threads can resize only if the pool already exists.
+std::atomic<ThreadPool*> g_pool{nullptr};
+
+}  // namespace
+
+std::size_t num_threads() {
+  if (const std::size_t e = g_explicit_threads.load(std::memory_order_relaxed); e > 0) return e;
+  return default_threads();
+}
+
+void set_num_threads(std::size_t n) {
+  g_explicit_threads.store(n, std::memory_order_relaxed);
+  if (ThreadPool* pool = g_pool.load()) pool->resize(num_threads());
+  if (obs::enabled())
+    obs::MetricsRegistry::instance().gauge("runtime.threads").set(
+        static_cast<double>(num_threads()));
+}
+
+void init_from_env() { (void)read_env_threads(); }
+
+bool in_parallel_region() { return t_in_region; }
+
+// ------------------------------------------------------------------
+
+// One parallel region's complete state. Heap-allocated and shared_ptr-owned
+// so a worker that wakes late — after the caller drained the region,
+// returned, and possibly started the next one — still holds valid memory.
+// Such a stale worker claims from THIS region's counter, which the caller
+// left at >= total (it drains every chunk before returning), so the worker
+// breaks out immediately and never touches the region's function.
+struct Region {
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::size_t total = 0;
+  std::atomic<std::size_t> next_chunk{0};
+  std::atomic<std::size_t> done_chunks{0};
+  std::atomic<bool> abort{false};
+  std::mutex err_mu;
+  std::exception_ptr error;
+};
+
+struct ThreadPool::Impl {
+  std::mutex mu;
+  std::condition_variable cv_work;  // workers: a new region or shutdown
+  std::condition_variable cv_done;  // caller: region complete
+  std::vector<std::thread> workers;
+  bool shutdown = false;
+
+  // Serialises top-level run() calls; the pool executes one region at a
+  // time (nested calls never reach run(), they execute inline).
+  std::mutex region_mu;
+
+  // The active region and its publish counter; guarded by mu.
+  std::shared_ptr<Region> region;
+  std::uint64_t generation = 0;
+
+  // Grabs chunks until the region is drained. Returns the number of
+  // chunks this thread executed.
+  std::size_t work(Region& r) {
+    std::size_t ran = 0;
+    t_in_region = true;
+    for (;;) {
+      const std::size_t c = r.next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= r.total) break;
+      if (!r.abort.load(std::memory_order_relaxed)) {
+        try {
+          (*r.body)(c);
+          ++ran;
+        } catch (...) {
+          {
+            std::lock_guard<std::mutex> lock(r.err_mu);
+            if (!r.error) r.error = std::current_exception();
+          }
+          r.abort.store(true, std::memory_order_relaxed);
+        }
+      }
+      if (r.done_chunks.fetch_add(1, std::memory_order_acq_rel) + 1 == r.total) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv_done.notify_all();
+      }
+    }
+    t_in_region = false;
+    return ran;
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::shared_ptr<Region> r;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv_work.wait(lock, [&] { return shutdown || (region != nullptr && generation != seen); });
+        if (shutdown) return;
+        seen = generation;
+        r = region;
+      }
+      work(*r);
+    }
+  }
+
+  void start_workers(std::size_t n) {
+    workers.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) workers.emplace_back([this] { worker_loop(); });
+  }
+
+  void stop_workers() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      shutdown = true;
+    }
+    cv_work.notify_all();
+    for (auto& w : workers) w.join();
+    workers.clear();
+    shutdown = false;
+  }
+};
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool;
+  g_pool.store(&pool);
+  return pool;
+}
+
+ThreadPool::ThreadPool() : impl_(new Impl) {
+  impl_->start_workers(num_threads() > 0 ? num_threads() - 1 : 0);
+  if (obs::enabled())
+    obs::MetricsRegistry::instance().gauge("runtime.threads").set(
+        static_cast<double>(num_threads()));
+}
+
+ThreadPool::~ThreadPool() {
+  impl_->stop_workers();
+  delete impl_;
+}
+
+std::size_t ThreadPool::num_workers() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->workers.size();
+}
+
+void ThreadPool::resize(std::size_t threads) {
+  const std::size_t want = threads > 0 ? threads - 1 : 0;
+  std::lock_guard<std::mutex> region_lock(impl_->region_mu);  // no active region
+  if (impl_->workers.size() == want) return;
+  impl_->stop_workers();
+  impl_->start_workers(want);
+}
+
+void ThreadPool::run(std::size_t total, const std::function<void(std::size_t)>& fn) {
+  if (total == 0) return;
+  std::lock_guard<std::mutex> region_lock(impl_->region_mu);
+  auto r = std::make_shared<Region>();
+  r->body = &fn;
+  r->total = total;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->region = r;
+    ++impl_->generation;
+  }
+  impl_->cv_work.notify_all();
+
+  const std::size_t caller_ran = impl_->work(*r);
+
+  {
+    std::unique_lock<std::mutex> lock(impl_->mu);
+    impl_->cv_done.wait(lock, [&] {
+      return r->done_chunks.load(std::memory_order_acquire) == r->total;
+    });
+    impl_->region.reset();
+  }
+
+  if (obs::enabled()) {
+    auto& reg = obs::MetricsRegistry::instance();
+    static obs::Counter& regions = reg.counter("runtime.regions");
+    static obs::Counter& chunks = reg.counter("runtime.chunks");
+    static obs::Counter& caller_c = reg.counter("runtime.chunks_caller");
+    static obs::Counter& worker_c = reg.counter("runtime.chunks_worker");
+    regions.add();
+    chunks.add(total);
+    caller_c.add(caller_ran);
+    // done == total here, so everything the caller didn't run, workers did.
+    if (total > caller_ran) worker_c.add(total - caller_ran);
+  }
+
+  if (r->error) std::rethrow_exception(r->error);
+}
+
+// ------------------------------------------------------------------
+
+void parallel_for_chunks(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  if (grain == 0) grain = 1;
+  const std::size_t chunks = chunk_count(n, grain);
+  if (chunks == 0) return;
+  // Serial path: one chunk, a single configured thread, or a nested call
+  // from inside a worker chunk. Identical chunk sequence either way.
+  if (chunks == 1 || t_in_region || num_threads() == 1) {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t begin = c * grain;
+      body(begin, std::min(n, begin + grain), c);
+    }
+    return;
+  }
+  ThreadPool::instance().run(chunks, [&](std::size_t c) {
+    const std::size_t begin = c * grain;
+    body(begin, std::min(n, begin + grain), c);
+  });
+}
+
+}  // namespace paragraph::runtime

@@ -1,0 +1,98 @@
+// Deterministic parallel runtime: a lazily-initialized global thread pool
+// driving chunked parallel-for loops.
+//
+// The determinism contract (see DESIGN.md §7):
+//   * Work is split into chunks whose boundaries depend ONLY on the
+//     problem size and the per-call grain — never on the thread count.
+//   * Chunks write to disjoint output ranges, or accumulate into
+//     per-chunk partial buffers that the caller merges in ascending chunk
+//     order after the loop. Either way the result is bit-identical at any
+//     thread count, including 1.
+//   * With one configured thread the loop body runs inline on the calling
+//     thread over the same chunk sequence — today's serial behaviour.
+//
+// Thread count resolution order: set_num_threads() (CLI --threads) >
+// PARAGRAPH_THREADS environment variable > std::thread::hardware_concurrency.
+// The pool spins up on first use and keeps num_threads()-1 workers (the
+// calling thread participates in every loop).
+//
+// Nested parallel_for calls (a loop body that itself reaches a parallel
+// kernel) execute inline on the worker: same chunk sequence, no deadlock,
+// no oversubscription.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace paragraph::runtime {
+
+// Configured logical thread count (callers + workers), always >= 1.
+std::size_t num_threads();
+
+// Overrides the thread count; 0 restores the default resolution
+// (PARAGRAPH_THREADS, then hardware concurrency). Resizes the pool if it
+// is already running. Not safe to call from inside a parallel region.
+void set_num_threads(std::size_t n);
+
+// Reads PARAGRAPH_THREADS. Safe to call more than once; an explicit
+// set_num_threads() wins over the environment.
+void init_from_env();
+
+// True while the current thread is executing a chunk on behalf of a
+// parallel region (used to run nested regions inline).
+bool in_parallel_region();
+
+class ThreadPool {
+ public:
+  // The process-wide pool, created (and its workers started) on first use.
+  static ThreadPool& instance();
+
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Runs body(chunk) for every chunk in [0, num_chunks) across the workers
+  // and the calling thread. Blocks until every chunk finished. The first
+  // exception thrown by any chunk is rethrown on the calling thread after
+  // the region completes (remaining chunks are skipped best-effort).
+  void run(std::size_t num_chunks, const std::function<void(std::size_t)>& body);
+
+  // Worker threads currently running (excludes the caller).
+  std::size_t num_workers() const;
+
+  // Stops and restarts workers so that total parallelism = `threads`
+  // (i.e. threads - 1 workers). Called by set_num_threads.
+  void resize(std::size_t threads);
+
+ private:
+  ThreadPool();
+  struct Impl;
+  Impl* impl_;
+};
+
+// ------------------------------------------------------------------
+// Deterministic chunking: ceil(n / grain) chunks of `grain` elements
+// (the last chunk may be short). Pure function of (n, grain).
+
+inline std::size_t chunk_count(std::size_t n, std::size_t grain) {
+  if (n == 0) return 0;
+  if (grain == 0) grain = 1;
+  return (n + grain - 1) / grain;
+}
+
+// parallel_for over [0, n): body(begin, end, chunk_index) for each chunk.
+// Chunks are executed serially in index order when the pool has one
+// thread, when there is a single chunk, or when called from inside
+// another parallel region.
+void parallel_for_chunks(std::size_t n, std::size_t grain,
+                         const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
+
+// Convenience wrapper for bodies that do not need the chunk index.
+template <typename F>
+void parallel_for(std::size_t n, std::size_t grain, F&& body) {
+  parallel_for_chunks(
+      n, grain,
+      [&body](std::size_t begin, std::size_t end, std::size_t) { body(begin, end); });
+}
+
+}  // namespace paragraph::runtime

@@ -1,0 +1,250 @@
+// Unit tests for the deterministic parallel runtime: chunking, coverage,
+// exception propagation, nested-call safety, sorted-span chunking, and
+// partial-buffer reductions. Thread counts are varied per test via
+// set_num_threads; every test restores the override on exit.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "runtime/parallel.h"
+#include "runtime/thread_pool.h"
+
+namespace paragraph::runtime {
+namespace {
+
+// Sets the runtime thread count for one scope and restores the default
+// resolution (env / hardware) afterwards so tests don't leak state.
+class ThreadGuard {
+ public:
+  explicit ThreadGuard(std::size_t n) { set_num_threads(n); }
+  ~ThreadGuard() { set_num_threads(0); }
+};
+
+TEST(ChunkCountTest, IsPureFunctionOfSizeAndGrain) {
+  EXPECT_EQ(chunk_count(0, 8), 0u);
+  EXPECT_EQ(chunk_count(1, 8), 1u);
+  EXPECT_EQ(chunk_count(8, 8), 1u);
+  EXPECT_EQ(chunk_count(9, 8), 2u);
+  EXPECT_EQ(chunk_count(64, 8), 8u);
+  EXPECT_EQ(chunk_count(5, 0), 5u);  // grain 0 treated as 1
+}
+
+TEST(BoundedGrainTest, CapsChunksWithoutDroppingBelowBase) {
+  EXPECT_EQ(bounded_grain(1000, 16, 8), 125u);
+  EXPECT_EQ(chunk_count(1000, bounded_grain(1000, 16, 8)), 8u);
+  EXPECT_EQ(bounded_grain(10, 16, 8), 16u);  // base wins for small n
+  EXPECT_LE(chunk_count(1 << 20, bounded_grain(1 << 20, 16, 8)), 8u);
+}
+
+TEST(ParallelForTest, CoversEveryElementExactlyOnce) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    ThreadGuard guard(threads);
+    const std::size_t n = 10007;
+    std::vector<int> hits(n, 0);  // disjoint writes, no synchronisation needed
+    parallel_for(n, 64, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+    });
+    EXPECT_EQ(std::count(hits.begin(), hits.end(), 1), static_cast<long>(n))
+        << "threads=" << threads;
+  }
+}
+
+TEST(ParallelForTest, EmptyRangeNeverCallsBody) {
+  ThreadGuard guard(4);
+  bool called = false;
+  parallel_for(0, 16, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, ChunkBoundariesIndependentOfThreadCount) {
+  using Chunk = std::tuple<std::size_t, std::size_t, std::size_t>;
+  const auto collect = [](std::size_t threads) {
+    ThreadGuard guard(threads);
+    std::mutex mu;
+    std::vector<Chunk> chunks;
+    parallel_for_chunks(1234, 100, [&](std::size_t lo, std::size_t hi, std::size_t c) {
+      std::lock_guard<std::mutex> lock(mu);
+      chunks.emplace_back(lo, hi, c);
+    });
+    std::sort(chunks.begin(), chunks.end(),
+              [](const Chunk& a, const Chunk& b) { return std::get<2>(a) < std::get<2>(b); });
+    return chunks;
+  };
+  const auto serial = collect(1);
+  EXPECT_EQ(serial.size(), chunk_count(1234, 100));
+  EXPECT_EQ(collect(2), serial);
+  EXPECT_EQ(collect(4), serial);
+}
+
+TEST(ParallelForTest, ExceptionPropagatesAndPoolStaysUsable) {
+  ThreadGuard guard(4);
+  EXPECT_THROW(parallel_for(1000, 10,
+                            [&](std::size_t lo, std::size_t) {
+                              if (lo == 500) throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+  // The pool must drain the failed region and accept the next one.
+  std::atomic<std::size_t> total{0};
+  parallel_for(1000, 10, [&](std::size_t lo, std::size_t hi) { total += hi - lo; });
+  EXPECT_EQ(total.load(), 1000u);
+}
+
+TEST(ParallelForTest, NestedCallsRunInlineWithoutDeadlock) {
+  ThreadGuard guard(4);
+  const std::size_t rows = 32, cols = 1000;
+  std::vector<std::size_t> row_sums(rows, 0);
+  std::atomic<int> saw_region{0};
+  parallel_for(rows, 1, [&](std::size_t rlo, std::size_t rhi) {
+    if (in_parallel_region()) saw_region.fetch_add(1);
+    for (std::size_t r = rlo; r < rhi; ++r) {
+      // Nested region: must execute inline on this thread, serially.
+      parallel_for(cols, 100, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) row_sums[r] += i;
+      });
+    }
+  });
+  const std::size_t expect = (cols - 1) * cols / 2;
+  for (std::size_t r = 0; r < rows; ++r) EXPECT_EQ(row_sums[r], expect) << "row " << r;
+  EXPECT_GT(saw_region.load(), 0);
+}
+
+TEST(ParallelForTest, SetNumThreadsResizesPool) {
+  set_num_threads(3);
+  EXPECT_EQ(num_threads(), 3u);
+  // Force pool creation and check worker count (= threads - 1).
+  parallel_for(100, 10, [](std::size_t, std::size_t) {});
+  EXPECT_EQ(ThreadPool::instance().num_workers(), 2u);
+  set_num_threads(1);
+  EXPECT_EQ(num_threads(), 1u);
+  EXPECT_EQ(ThreadPool::instance().num_workers(), 0u);
+  set_num_threads(0);
+  EXPECT_GE(num_threads(), 1u);
+}
+
+TEST(SortedSpansTest, SpansAlignToValueBoundariesAndCoverEverything) {
+  // Ascending destination indices with repeated runs straddling the grain.
+  std::vector<std::int32_t> idx;
+  for (std::int32_t row = 0; row < 40; ++row)
+    for (int k = 0; k < 1 + (row % 7); ++k) idx.push_back(row);
+  ASSERT_TRUE(is_ascending(idx));
+  const std::size_t n = idx.size();
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    ThreadGuard guard(threads);
+    std::mutex mu;
+    std::vector<std::pair<std::size_t, std::size_t>> spans;
+    parallel_for_sorted_spans(idx, 16, [&](std::size_t b, std::size_t e) {
+      std::lock_guard<std::mutex> lock(mu);
+      spans.emplace_back(b, e);
+    });
+    std::sort(spans.begin(), spans.end());
+    std::size_t covered = 0, expect_next = 0;
+    for (const auto& [b, e] : spans) {
+      EXPECT_EQ(b, expect_next);  // contiguous, no gap, no overlap
+      EXPECT_LT(b, e);
+      // A span never starts or ends in the middle of a row's run.
+      if (b > 0) EXPECT_NE(idx[b], idx[b - 1]);
+      if (e < n) EXPECT_NE(idx[e - 1], idx[e]);
+      covered += e - b;
+      expect_next = e;
+    }
+    EXPECT_EQ(covered, n) << "threads=" << threads;
+  }
+}
+
+TEST(SortedSpansTest, ScatterAccumulationMatchesSerialBitwise) {
+  std::vector<std::int32_t> idx;
+  std::vector<float> val;
+  for (std::int32_t row = 0; row < 25; ++row) {
+    for (int k = 0; k < 3 + (row % 5); ++k) {
+      idx.push_back(row);
+      val.push_back(0.1f * static_cast<float>(idx.size()) - 1.7f);
+    }
+  }
+  std::vector<float> serial(25, 0.0f);
+  for (std::size_t e = 0; e < idx.size(); ++e) serial[static_cast<std::size_t>(idx[e])] += val[e];
+
+  ThreadGuard guard(4);
+  std::vector<float> parallel_out(25, 0.0f);
+  parallel_for_sorted_spans(idx, 8, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i)
+      parallel_out[static_cast<std::size_t>(idx[i])] += val[i];
+  });
+  for (std::size_t r = 0; r < serial.size(); ++r) {
+    EXPECT_EQ(serial[r], parallel_out[r]) << "row " << r;  // bit-identical
+  }
+}
+
+TEST(ParallelReduceTest, MatchesManualPartialMergeBitwise) {
+  const std::size_t n = 5000;
+  std::vector<float> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = 1.0f / static_cast<float>(i + 1) - 0.3f * static_cast<float>(i % 11);
+
+  const std::size_t grain = 640;
+  // Expected result of the partial-buffer path: per-chunk sums folded in
+  // ascending chunk order, computed here without the pool.
+  float expected = 0.0f;
+  for (std::size_t c = 0; c < chunk_count(n, grain); ++c) {
+    float partial = 0.0f;
+    for (std::size_t i = c * grain; i < std::min(n, (c + 1) * grain); ++i) partial += v[i];
+    expected += partial;
+  }
+
+  const auto reduce_at = [&](std::size_t threads) {
+    ThreadGuard guard(threads);
+    float total = 0.0f;
+    parallel_reduce<float>(
+        n, grain, [] { return 0.0f; },
+        [&](std::size_t lo, std::size_t hi, float& p) {
+          for (std::size_t i = lo; i < hi; ++i) p += v[i];
+        },
+        [&](const float& p) { total += p; });
+    return total;
+  };
+
+  // Any thread count >= 2 takes the partial path: bit-identical to the
+  // manual merge and to each other.
+  EXPECT_EQ(reduce_at(2), expected);
+  EXPECT_EQ(reduce_at(4), expected);
+  EXPECT_EQ(reduce_at(8), expected);
+
+  // One thread takes the serial direct path: plain left-to-right sum.
+  float serial = 0.0f;
+  for (const float x : v) serial += x;
+  EXPECT_EQ(reduce_at(1), serial);
+  // Serial and partial-merged sums agree within float epsilon.
+  EXPECT_NEAR(serial, expected, 1e-5 * std::abs(static_cast<double>(expected)));
+}
+
+TEST(ParallelReduceTest, FallsBackToSerialInsideNestedRegion) {
+  ThreadGuard guard(4);
+  std::vector<float> results(8, 0.0f);
+  parallel_for(8, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t r = lo; r < hi; ++r) {
+      // Inside a region parallel_reduce must use the serial direct path —
+      // identical to a plain loop, no partial buffers.
+      float total = 0.0f;
+      parallel_reduce<float>(
+          100, 10, [] { return 0.0f; },
+          [&](std::size_t a, std::size_t b, float& p) {
+            for (std::size_t i = a; i < b; ++i) p += static_cast<float>(i) * 0.25f;
+          },
+          [&](const float& p) { total += p; });
+      results[r] = total;
+    }
+  });
+  float serial = 0.0f;
+  for (std::size_t i = 0; i < 100; ++i) serial += static_cast<float>(i) * 0.25f;
+  for (const float r : results) EXPECT_EQ(r, serial);
+}
+
+}  // namespace
+}  // namespace paragraph::runtime

@@ -5,10 +5,12 @@
 //       ground-truth annotations.
 //   paragraph train --save MODEL.bin [--target CAP] [--model ParaGraph]
 //                   [--epochs N] [--scale F] [--seed N] [--max-v FF]
-//                   [--eval-every N]
+//                   [--eval-every N] [--batch-size B]
 //       Train a predictor on the synthetic suite and save it. The --scale
 //       used here is persisted in the model file and reused by
-//       predict/evaluate.
+//       predict/evaluate. --batch-size B runs B circuits' forward/backward
+//       concurrently per optimiser step with gradients averaged in circuit
+//       order (1 = the classic one-step-per-graph schedule).
 //   paragraph predict --model MODEL.bin --netlist FILE.sp
 //       Predict the model's target for every net/transistor of a SPICE
 //       netlist (pre-layout: no annotation needed).
@@ -16,6 +18,12 @@
 //       Evaluate a saved model on the generated test circuits.
 //   paragraph annotate --netlist FILE.sp [--seed N]
 //       Run the procedural layout and emit the annotated netlist to stdout.
+//
+// Runtime options (every command):
+//   --threads N        parallel runtime thread count (default: the
+//                      PARAGRAPH_THREADS environment variable, then the
+//                      hardware concurrency; 1 = serial). Results are
+//                      identical at any thread count.
 //
 // Observability options (every command):
 //   --log-level L      trace|debug|info|warn|error|off (default: info, or
@@ -38,7 +46,9 @@
 #include "core/serialize.h"
 #include "dataset/dataset.h"
 #include "layout/annotator.h"
+#include "obs/metrics.h"
 #include "obs/obs.h"
+#include "runtime/thread_pool.h"
 #include "util/args.h"
 
 using namespace paragraph;
@@ -104,6 +114,23 @@ ObsOutputs setup_observability(const util::ArgParser& args) {
   return out;
 }
 
+// --threads N (then PARAGRAPH_THREADS, then hardware concurrency)
+// configures the parallel runtime; shared by every command. The effective
+// count is recorded as the runtime.threads gauge so it lands in the
+// metrics JSON alongside the training series.
+void setup_runtime(const util::ArgParser& args) {
+  runtime::init_from_env();
+  if (args.has("threads")) {
+    const long t = args.get_int("threads", 0);
+    if (t <= 0) throw std::invalid_argument("--threads must be a positive integer");
+    runtime::set_num_threads(static_cast<std::size_t>(t));
+  }
+  if (obs::enabled())
+    obs::MetricsRegistry::instance()
+        .gauge("runtime.threads")
+        .set(static_cast<double>(runtime::num_threads()));
+}
+
 void flush_observability(const ObsOutputs& out) {
   if (!out.metrics_out.empty()) {
     // The hierarchical phase profile rides along in the metrics document.
@@ -164,6 +191,13 @@ int cmd_train(const util::ArgParser& args) {
   pc.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
   pc.max_v_ff = args.get_double("max-v", 1e4);
   pc.scale = args.get_double("scale", 0.25);
+  const long batch = args.get_int("batch-size", 1);
+  if (batch <= 0) {
+    std::fprintf(stderr, "train: --batch-size must be a positive integer\n");
+    return 2;
+  }
+  pc.batch_size = static_cast<std::size_t>(batch);
+  pc.train_threads = runtime::num_threads();
   std::printf("building dataset (scale %.2f)...\n", pc.scale);
   const auto ds = dataset::build_dataset(pc.seed, pc.scale);
   std::printf("training %s for %s (%d epochs)...\n", gnn::model_kind_name(pc.model),
@@ -291,6 +325,7 @@ int main(int argc, char** argv) {
   ObsOutputs obs_out;
   try {
     obs_out = setup_observability(args);
+    setup_runtime(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "paragraph %s: %s\n", command.c_str(), e.what());
     return 2;
