@@ -9,13 +9,24 @@
 //   full     paper-faithful epochs/runs (hours)
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "dataset/dataset.h"
+#include "obs/json.h"
+#include "obs/memory.h"
+#include "runtime/thread_pool.h"
 #include "util/strings.h"
+
+#ifndef PARAGRAPH_BUILD_TYPE
+#define PARAGRAPH_BUILD_TYPE "unknown"
+#endif
 
 namespace paragraph::bench {
 
@@ -53,6 +64,99 @@ class Timer {
 
  private:
   std::chrono::steady_clock::time_point start_;
+};
+
+// Canonical machine-readable bench protocol (schema paragraph-bench-v1).
+//
+// Every bench funnels its measurements through a BenchReporter and writes
+// bench_results/BENCH_<name>.json next to its free-form .txt output, so
+// tools/perf_diff can gate PRs on noise-aware median comparisons:
+//
+//   {"schema": "paragraph-bench-v1", "bench": "...", "build_type": "Release",
+//    "threads": N, "peak_rss_kb": K,
+//    "metrics": [{"name": "...", "unit": "ns", "better": "lower",
+//                 "reps": [..], "min": .., "median": .., "count": R}, ...]}
+//
+// A metric's repetitions are individual observations (per-epoch wall
+// times, per-repetition throughputs, per-run benchmark timings); direction
+// is inferred from the unit ("…/s" is higher-is-better, durations are
+// lower-is-better). Insertion order is preserved so dumps stay diffable.
+class BenchReporter {
+ public:
+  explicit BenchReporter(std::string bench_name) : bench_(std::move(bench_name)) {}
+
+  // Appends one observation of `metric`. The unit must be consistent
+  // across repetitions of the same metric.
+  void add_rep(const std::string& metric, const std::string& unit, double value) {
+    auto it = index_.find(metric);
+    if (it == index_.end()) {
+      index_.emplace(metric, metrics_.size());
+      metrics_.push_back(Metric{metric, unit, {value}});
+    } else {
+      metrics_[it->second].reps.push_back(value);
+    }
+  }
+
+  bool empty() const { return metrics_.empty(); }
+
+  obs::JsonValue to_json() const {
+    obs::JsonValue root = obs::JsonValue::object();
+    root.set("schema", "paragraph-bench-v1");
+    root.set("bench", bench_);
+    root.set("build_type", PARAGRAPH_BUILD_TYPE);
+    root.set("threads", runtime::num_threads());
+    const obs::ProcMemory pm = obs::sample_process_memory();
+    root.set("peak_rss_kb", pm.ok ? pm.vm_hwm_kb : 0);
+    root.set("matrix_peak_bytes", obs::MemTracker::instance().peak_bytes());
+    obs::JsonValue metrics = obs::JsonValue::array();
+    for (const Metric& m : metrics_) {
+      obs::JsonValue o = obs::JsonValue::object();
+      o.set("name", m.name);
+      o.set("unit", m.unit);
+      o.set("better", m.unit.find("/s") != std::string::npos ? "higher" : "lower");
+      std::vector<double> sorted = m.reps;
+      std::sort(sorted.begin(), sorted.end());
+      obs::JsonValue reps = obs::JsonValue::array();
+      for (const double v : m.reps) reps.push_back(v);
+      o.set("reps", std::move(reps));
+      o.set("count", sorted.size());
+      o.set("min", sorted.front());
+      o.set("max", sorted.back());
+      o.set("median", sorted.size() % 2 == 1
+                          ? sorted[sorted.size() / 2]
+                          : 0.5 * (sorted[sorted.size() / 2 - 1] + sorted[sorted.size() / 2]));
+      metrics.push_back(std::move(o));
+    }
+    root.set("metrics", std::move(metrics));
+    return root;
+  }
+
+  // Writes bench_results/BENCH_<name>.json (directory overridable via
+  // PARAGRAPH_BENCH_OUT). Returns false (with a stderr note) on I/O error.
+  bool write() const {
+    const char* env = std::getenv("PARAGRAPH_BENCH_OUT");
+    const std::string dir = env != nullptr ? env : "bench_results";
+    const std::string path = dir + "/BENCH_" + bench_ + ".json";
+    std::ofstream os(path, std::ios::out | std::ios::trunc);
+    if (os) os << to_json().dump() << '\n';
+    if (!os) {
+      std::fprintf(stderr, "%s: cannot write %s (run from the repo root or set "
+                   "PARAGRAPH_BENCH_OUT)\n", bench_.c_str(), path.c_str());
+      return false;
+    }
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  struct Metric {
+    std::string name;
+    std::string unit;
+    std::vector<double> reps;
+  };
+  std::string bench_;
+  std::vector<Metric> metrics_;
+  std::map<std::string, std::size_t> index_;
 };
 
 inline dataset::SuiteDataset build_bench_dataset(const BenchProfile& p) {

@@ -1,7 +1,14 @@
 // google-benchmark micro-benchmarks for the kernels the GNN training loop
 // spends its time in: GEMM, gather/scatter, segment softmax, and a full
 // ParaGraph embedding forward+backward on a realistic circuit graph.
+//
+// Alongside the console output, every run emits the canonical
+// bench_results/BENCH_bench_kernels.json (schema paragraph-bench-v1, see
+// bench_common.h) consumed by tools/perf_diff; pass
+// --benchmark_repetitions=N for noise-aware medians.
 #include <benchmark/benchmark.h>
+
+#include "bench_common.h"
 
 #include "circuitgen/generator.h"
 #include "gnn/models.h"
@@ -281,6 +288,35 @@ void BM_ParaGraphPlanned(benchmark::State& state) {
 }
 BENCHMARK(BM_ParaGraphPlanned)->Arg(40)->Arg(160)->Unit(benchmark::kMillisecond);
 
+// Forwards every per-repetition run to the console reporter unchanged and
+// mirrors it into the canonical bench JSON (aggregate rows are skipped —
+// perf_diff computes its own median over the reps).
+class ProtocolReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit ProtocolReporter(bench::BenchReporter& out) : out_(out) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      out_.add_rep(run.benchmark_name(), benchmark::GetTimeUnitString(run.time_unit),
+                   run.GetAdjustedRealTime());
+    }
+  }
+
+ private:
+  bench::BenchReporter& out_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  bench::BenchReporter reporter("bench_kernels");
+  ProtocolReporter display(reporter);
+  benchmark::RunSpecifiedBenchmarks(&display);
+  benchmark::Shutdown();
+  if (!reporter.empty()) reporter.write();
+  return 0;
+}

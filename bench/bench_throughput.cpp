@@ -1,5 +1,5 @@
 // Parallel-runtime throughput bench: training epoch wall time and batched
-// inference throughput (nets/sec, graphs/sec) at 1/2/4/8 threads.
+// inference throughput (nets/sec, graphs/sec) across thread counts.
 //
 // Inference reuses one cached GraphPlan per circuit across repetitions,
 // matching the batched predict/evaluate paths. Results are deterministic
@@ -8,7 +8,14 @@
 //
 // Speedups depend on the host: on a single-core container every thread
 // count resolves to the same core and the ratios stay ~1.0x.
+//
+// Output: the usual console table plus the canonical
+// bench_results/BENCH_bench_throughput.json (schema paragraph-bench-v1,
+// see bench_common.h) with per-epoch wall times and per-repetition
+// inference throughputs as repetitions, consumed by tools/perf_diff.
+// `--quick` shrinks the run for CI smoke (smoke profile, threads {1, 2}).
 #include <algorithm>
+#include <cstring>
 #include <iostream>
 #include <vector>
 
@@ -30,8 +37,13 @@ struct Measurement {
 };
 
 Measurement measure(const dataset::SuiteDataset& ds, const bench::BenchProfile& profile,
-                    std::size_t threads, int epochs, int reps) {
+                    std::size_t threads, int epochs, int reps,
+                    bench::BenchReporter& reporter) {
   runtime::set_num_threads(threads);
+  // Metric names carry the profile so perf_diff never compares a smoke-
+  // profile run against a default-profile baseline: mismatched names are
+  // neutral (kNewMetric), matching ones gate like-for-like.
+  const std::string tag = "/" + profile.name + "/t" + std::to_string(threads);
   Measurement m;
   m.threads = threads;
 
@@ -42,8 +54,12 @@ Measurement measure(const dataset::SuiteDataset& ds, const bench::BenchProfile& 
   pc.epochs = epochs;
   core::GnnPredictor predictor(pc);
   {
+    // Each epoch's wall time is one repetition; the median is what
+    // perf_diff gates on, so a single slow warm-up epoch cannot fail a PR.
     bench::Timer t;
-    predictor.train(ds);
+    predictor.train(ds, [&](const core::EpochRecord& rec) {
+      reporter.add_rep("train.epoch_ms" + tag, "ms", rec.wall_ms);
+    });
     m.epoch_ms = t.seconds() * 1000.0 / epochs;
   }
 
@@ -54,15 +70,24 @@ Measurement measure(const dataset::SuiteDataset& ds, const bench::BenchProfile& 
     plans.push_back(gnn::GraphPlan::build(s.graph, predictor.needs_homo()));
 
   std::size_t graphs = 0, nets = 0;
-  bench::Timer t;
+  bench::Timer total;
   for (int rep = 0; rep < reps; ++rep) {
+    std::size_t rep_graphs = 0, rep_nets = 0;
+    bench::Timer t;
     for (std::size_t si = 0; si < ds.test.size(); ++si) {
       const auto preds = predictor.predict_all(ds, ds.test[si], plans[si]);
-      ++graphs;
-      nets += preds.size();
+      ++rep_graphs;
+      rep_nets += preds.size();
     }
+    const double rep_secs = std::max(t.seconds(), 1e-9);
+    reporter.add_rep("infer.graphs_per_s" + tag, "graphs/s",
+                     static_cast<double>(rep_graphs) / rep_secs);
+    reporter.add_rep("infer.nets_per_s" + tag, "nets/s",
+                     static_cast<double>(rep_nets) / rep_secs);
+    graphs += rep_graphs;
+    nets += rep_nets;
   }
-  const double secs = std::max(t.seconds(), 1e-9);
+  const double secs = std::max(total.seconds(), 1e-9);
   m.graphs_per_s = static_cast<double>(graphs) / secs;
   m.nets_per_s = static_cast<double>(nets) / secs;
   return m;
@@ -70,20 +95,28 @@ Measurement measure(const dataset::SuiteDataset& ds, const bench::BenchProfile& 
 
 }  // namespace
 
-int main() {
-  const auto profile = bench::BenchProfile::from_env();
-  profile.print_banner("Parallel runtime throughput");
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+
+  auto profile = bench::BenchProfile::from_env();
+  if (quick) profile = bench::BenchProfile{"smoke", 0.08, 30, 1, 42};
+  profile.print_banner(quick ? "Parallel runtime throughput (quick)"
+                             : "Parallel runtime throughput");
 
   const auto ds = bench::build_bench_dataset(profile);
-  // Throughput only needs enough epochs for a stable per-epoch mean.
+  // Throughput only needs enough epochs for a stable per-epoch median.
   const int epochs = std::max(3, profile.gnn_epochs / 15);
-  const int reps = profile.name == "smoke" ? 3 : 10;
+  const int reps = (quick || profile.name == "smoke") ? 3 : 10;
+  const std::vector<std::size_t> thread_counts =
+      quick ? std::vector<std::size_t>{1, 2} : std::vector<std::size_t>{1, 2, 4, 8};
 
+  bench::BenchReporter reporter("bench_throughput");
   std::vector<Measurement> rows;
-  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4},
-                                    std::size_t{8}}) {
+  for (const std::size_t threads : thread_counts) {
     std::printf("measuring %zu thread%s...\n", threads, threads == 1 ? "" : "s");
-    rows.push_back(measure(ds, profile, threads, epochs, reps));
+    rows.push_back(measure(ds, profile, threads, epochs, reps, reporter));
   }
   runtime::set_num_threads(0);
 
@@ -102,5 +135,6 @@ int main() {
   std::printf("\n%d training epochs per point; inference = %d passes over the %zu test "
               "circuits with cached GraphPlans.\n",
               epochs, reps, ds.test.size());
+  reporter.write();
   return 0;
 }

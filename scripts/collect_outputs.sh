@@ -42,3 +42,33 @@ if compgen -G "bench_results/obs/*.json" >/dev/null; then
     fi
   done
 fi
+
+# Bench protocol artefacts (paragraph-bench-v1, see DESIGN.md §8): each
+# BENCH_*.json emitted by scripts/run_benchmarks.sh must parse and carry
+# the keys tools/perf_diff relies on, so a truncated or hand-edited file
+# is caught here rather than silently skipped by the gate.
+if compgen -G "bench_results/BENCH_*.json" >/dev/null || \
+   compgen -G "bench_results/baselines/BENCH_*.json" >/dev/null; then
+  for f in bench_results/BENCH_*.json bench_results/baselines/BENCH_*.json; do
+    [ -f "$f" ] || continue
+    if ! command -v python3 >/dev/null; then
+      echo "bench artefact (unvalidated, no python3): $f"
+    elif python3 - "$f" <<'PYEOF' 2>/dev/null
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "paragraph-bench-v1"
+for key in ("bench", "build_type", "threads", "peak_rss_kb", "metrics"):
+    assert key in doc, key
+assert doc["metrics"], "empty metrics"
+for m in doc["metrics"]:
+    for key in ("name", "unit", "median", "reps"):
+        assert key in m, key
+    assert m["reps"], "empty reps"
+PYEOF
+    then
+      echo "bench artefact ok: $f"
+    else
+      echo "bench artefact INVALID (schema or keys): $f" >&2
+    fi
+  done
+fi

@@ -1,0 +1,77 @@
+#!/bin/bash
+# Runs the protocol benches, emits canonical paragraph-bench-v1 JSON under
+# bench_results/, and gates the results against the checked-in baselines in
+# bench_results/baselines/ with tools/perf_diff.
+#
+#   scripts/run_benchmarks.sh           full run: default bench profile,
+#                                       perf_diff gates (exit 1 on a
+#                                       >threshold median regression)
+#   scripts/run_benchmarks.sh --quick   CI smoke: tiny profiles, perf_diff
+#                                       in --advisory mode (reports deltas,
+#                                       never fails on timing) plus a hard
+#                                       self-compare check of the gate
+#
+# BUILD_DIR selects the build tree (default: build). Baselines are only
+# comparable within one build type / machine: refresh them with
+#   scripts/run_benchmarks.sh && cp bench_results/BENCH_*.json bench_results/baselines/
+# after verifying the regression is intended. A missing baseline is
+# neutral (perf_diff exits 0), so adding a bench never fails the gate.
+set -u
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+# Where the benches drop BENCH_*.json (bench_common.h reads the same env
+# var). The perf_smoke ctest points this at the build tree so a CI run
+# never dirties the checked-in artefacts.
+OUT_DIR="${PARAGRAPH_BENCH_OUT:-bench_results}"
+QUICK=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK=1 ;;
+    *) echo "usage: $0 [--quick]" >&2; exit 2 ;;
+  esac
+done
+
+for bin in bench/bench_kernels bench/bench_throughput tools/perf_diff; do
+  if [ ! -x "$BUILD_DIR/$bin" ]; then
+    echo "run_benchmarks: missing $BUILD_DIR/$bin (build the repo first)" >&2
+    exit 2
+  fi
+done
+
+mkdir -p "$OUT_DIR"
+FAIL=0
+
+if [ "$QUICK" -eq 1 ]; then
+  # Smoke: the small-argument kernel benches with enough reps for a median.
+  "$BUILD_DIR/bench/bench_kernels" \
+    --benchmark_filter='/1024$' \
+    --benchmark_repetitions=3 --benchmark_min_time=0.05 || FAIL=1
+  "$BUILD_DIR/bench/bench_throughput" --quick || FAIL=1
+else
+  "$BUILD_DIR/bench/bench_kernels" --benchmark_repetitions=3 || FAIL=1
+  "$BUILD_DIR/bench/bench_throughput" || FAIL=1
+fi
+
+# The gate. Quick mode is advisory (CI smoke must not flake on a noisy
+# shared core); the full run enforces the threshold.
+ADVISORY=""
+[ "$QUICK" -eq 1 ] && ADVISORY="--advisory"
+for name in bench_kernels bench_throughput; do
+  CUR="$OUT_DIR/BENCH_$name.json"
+  BASE="bench_results/baselines/BENCH_$name.json"
+  if [ ! -f "$CUR" ]; then
+    echo "run_benchmarks: bench did not emit $CUR" >&2
+    FAIL=1
+    continue
+  fi
+  # Self-compare must always pass: a gate that can flag an unchanged file
+  # is broken, so this check is hard even in --quick mode.
+  if ! "$BUILD_DIR/tools/perf_diff" "$CUR" "$CUR" >/dev/null; then
+    echo "run_benchmarks: perf_diff self-compare failed for $CUR" >&2
+    FAIL=1
+  fi
+  "$BUILD_DIR/tools/perf_diff" $ADVISORY "$BASE" "$CUR" || FAIL=1
+done
+
+exit $FAIL

@@ -10,6 +10,7 @@
 #include "gnn/plan.h"
 #include "nn/optim.h"
 #include "obs/log.h"
+#include "obs/memory.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "runtime/thread_pool.h"
@@ -343,7 +344,7 @@ std::vector<double> GnnPredictor::train(const SuiteDataset& ds, const EpochCallb
         std::vector<double> circuit_losses(gcount, -1.0);
         {
           PARAGRAPH_TIMED_SCOPE("forward_backward");
-          runtime::parallel_for(gcount, 1, [&](std::size_t lo, std::size_t hi) {
+          runtime::parallel_for("train.batch", gcount, 1, [&](std::size_t lo, std::size_t hi) {
             for (std::size_t r = lo; r < hi; ++r) {
               Replica& rep = replicas[r];
               const Prepared& p = prepared[order[start + r]];
@@ -394,6 +395,10 @@ std::vector<double> GnnPredictor::train(const SuiteDataset& ds, const EpochCallb
                         std::chrono::steady_clock::now() - epoch_start)
                         .count();
       rec.lr = static_cast<double>(lr * lr_scale);
+      // One /proc read per epoch (~µs against ≥ms epochs); VmRSS tracks
+      // resident growth across the run, VmHWM the high-water mark.
+      if (const obs::ProcMemory pm = obs::sample_process_memory(); pm.ok)
+        rec.rss_kb = pm.vm_rss_kb;
       obs::log_debug("train", "epoch",
                      {{"epoch", rec.epoch},
                       {"loss", rec.loss},
@@ -407,6 +412,8 @@ std::vector<double> GnnPredictor::train(const SuiteDataset& ds, const EpochCallb
         r.set("grad_norm", rec.grad_norm);
         r.set("wall_ms", rec.wall_ms);
         r.set("lr", rec.lr);
+        r.set("rss_kb", rec.rss_kb);
+        r.set("matrix_peak_bytes", obs::MemTracker::instance().peak_bytes());
         obs::MetricsRegistry::instance().append_record("train.epochs", std::move(r));
         obs::MetricsRegistry::instance().histogram("train.epoch_ms").record(rec.wall_ms);
         obs::MetricsRegistry::instance().gauge("train.loss").set(rec.loss);
@@ -438,7 +445,7 @@ EvalResult GnnPredictor::evaluate(const SuiteDataset& ds,
   // Inference is read-only on the model, so circuits run one per pool
   // chunk; results land at their sample index, keeping output order (and
   // values — per-circuit kernels execute inline) identical to serial.
-  runtime::parallel_for(samples.size(), 1, [&](std::size_t lo, std::size_t hi) {
+  runtime::parallel_for("eval.circuits", samples.size(), 1, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t si = lo; si < hi; ++si) {
       const Sample& s = samples[si];
       const gnn::GraphPlan plan = gnn::GraphPlan::build(s.graph, needs_homo());

@@ -116,6 +116,7 @@ struct EpochRecord {
   double grad_norm = 0.0; // pre-clip global gradient norm of the last step
   double wall_ms = 0.0;   // epoch wall time
   double lr = 0.0;        // effective learning rate this epoch
+  std::uint64_t rss_kb = 0;  // resident set at epoch end (0 off-Linux)
 };
 using EpochCallback = std::function<void(const EpochRecord&)>;
 

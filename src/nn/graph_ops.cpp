@@ -34,7 +34,7 @@ void count_op(const char* calls_name, const char* rows_name, std::size_t rows) {
 // fused kernel must be bitwise-identical to the composed op. Segments own
 // disjoint edge ranges, so the segment loop parallelizes bit-identically.
 void softmax_over_segments(const Matrix& z, const SegmentIndex& seg, Matrix& alpha) {
-  runtime::parallel_for(seg.num_segments(), kSegmentGrain,
+  runtime::parallel_for("graph.segment_softmax", seg.num_segments(), kSegmentGrain,
                         [&](std::size_t slo, std::size_t shi) {
     for (std::size_t s = slo; s < shi; ++s) {
       const auto begin = static_cast<std::size_t>(seg.offsets[s]);
@@ -72,14 +72,15 @@ void scatter_into(Matrix& out, const std::vector<std::int32_t>& idx, Body&& body
   }
   if (runtime::is_ascending(idx)) {
     runtime::parallel_for_sorted_spans(
-        idx, kEdgeGrain, [&](std::size_t b, std::size_t e) { body(b, e, out); });
+        idx, kEdgeGrain, [&](std::size_t b, std::size_t e) { body(b, e, out); },
+        "graph.scatter");
     return;
   }
   runtime::parallel_reduce<Matrix>(
       n, runtime::bounded_grain(n, kEdgeGrain),
       [&] { return Matrix(out.rows(), out.cols(), 0.0f); },
       [&](std::size_t b, std::size_t e, Matrix& p) { body(b, e, p); },
-      [&](Matrix& p) { add_inplace(out, p); });
+      [&](Matrix& p) { add_inplace(out, p); }, "graph.scatter");
 }
 
 }  // namespace
@@ -102,7 +103,7 @@ Tensor gather_rows(const Tensor& a, const IndexHandle& idx) {
   count_op("nn.gather_rows.calls", "nn.gather_rows.rows", idx->size());
   const std::size_t f = a.cols();
   Matrix out(idx->size(), f);
-  runtime::parallel_for(idx->size(), kEdgeGrain, [&](std::size_t lo, std::size_t hi) {
+  runtime::parallel_for("graph.edges", idx->size(), kEdgeGrain, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t e = lo; e < hi; ++e) {
       const float* src = a.value().row(static_cast<std::size_t>((*idx)[e]));
       float* dst = out.row(e);
@@ -143,7 +144,7 @@ Tensor scatter_add_rows(const Tensor& a, const IndexHandle& idx, std::size_t num
   });
   return Tensor::from_op(std::move(out), {a}, [a, idx, f](const Matrix& g) {
     Matrix ga(idx->size(), f);
-    runtime::parallel_for(idx->size(), kEdgeGrain, [&](std::size_t lo, std::size_t hi) {
+    runtime::parallel_for("graph.edges", idx->size(), kEdgeGrain, [&](std::size_t lo, std::size_t hi) {
       for (std::size_t e = lo; e < hi; ++e) {
         const float* src = g.row(static_cast<std::size_t>((*idx)[e]));
         float* dst = ga.row(e);
@@ -172,7 +173,7 @@ Tensor segment_softmax(const Tensor& logits, const SegmentIndex& seg) {
                          [logits, seg, alpha = std::move(alpha)](const Matrix& g) {
     // d logit_e = alpha_e * (g_e - sum_k alpha_k g_k) within each segment.
     Matrix gl(alpha.rows(), 1);
-    runtime::parallel_for(seg.num_segments(), kSegmentGrain,
+    runtime::parallel_for("graph.segments", seg.num_segments(), kSegmentGrain,
                           [&](std::size_t slo, std::size_t shi) {
       for (std::size_t s = slo; s < shi; ++s) {
         const auto begin = static_cast<std::size_t>(seg.offsets[s]);
@@ -192,7 +193,7 @@ Tensor scale_rows_by(const Tensor& a, const Tensor& w) {
     throw std::invalid_argument("scale_rows_by: weights must be (rows x 1)");
   const std::size_t f = a.cols();
   Matrix out = a.value();
-  runtime::parallel_for(out.rows(), kRowGrain, [&](std::size_t lo, std::size_t hi) {
+  runtime::parallel_for("graph.rows", out.rows(), kRowGrain, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) {
       const float c = w.value()(i, 0);
       float* r = out.row(i);
@@ -202,7 +203,7 @@ Tensor scale_rows_by(const Tensor& a, const Tensor& w) {
   return Tensor::from_op(std::move(out), {a, w}, [a, w, f](const Matrix& g) {
     Matrix ga(g.rows(), f);
     Matrix gw(g.rows(), 1);
-    runtime::parallel_for(g.rows(), kRowGrain, [&](std::size_t lo, std::size_t hi) {
+    runtime::parallel_for("graph.rows", g.rows(), kRowGrain, [&](std::size_t lo, std::size_t hi) {
       for (std::size_t i = lo; i < hi; ++i) {
         const float c = w.value()(i, 0);
         const float* gr = g.row(i);
@@ -226,7 +227,7 @@ Tensor scale_rows(const Tensor& a, const CoeffHandle& coeffs) {
   if (coeffs->size() != a.rows())
     throw std::invalid_argument("scale_rows: coeff count must equal row count");
   Matrix out = a.value();
-  runtime::parallel_for(out.rows(), kRowGrain, [&](std::size_t lo, std::size_t hi) {
+  runtime::parallel_for("graph.rows", out.rows(), kRowGrain, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) {
       float* r = out.row(i);
       for (std::size_t j = 0; j < out.cols(); ++j) r[j] *= (*coeffs)[i];
@@ -234,7 +235,7 @@ Tensor scale_rows(const Tensor& a, const CoeffHandle& coeffs) {
   });
   return Tensor::from_op(std::move(out), {a}, [a, coeffs](const Matrix& g) {
     Matrix ga = g;
-    runtime::parallel_for(ga.rows(), kRowGrain, [&](std::size_t lo, std::size_t hi) {
+    runtime::parallel_for("graph.rows", ga.rows(), kRowGrain, [&](std::size_t lo, std::size_t hi) {
       for (std::size_t i = lo; i < hi; ++i) {
         float* r = ga.row(i);
         for (std::size_t j = 0; j < ga.cols(); ++j) r[j] *= (*coeffs)[i];
@@ -263,7 +264,7 @@ Tensor scatter_mean_rows(const Tensor& a, const IndexHandle& idx, const CoeffHan
       for (std::size_t j = 0; j < f; ++j) dst[j] += src[j];
     }
   });
-  runtime::parallel_for(num_out_rows, kRowGrain, [&](std::size_t lo, std::size_t hi) {
+  runtime::parallel_for("graph.rows", num_out_rows, kRowGrain, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) {
       const float c = (*inv)[i];
       float* r = out.row(i);
@@ -274,7 +275,7 @@ Tensor scatter_mean_rows(const Tensor& a, const IndexHandle& idx, const CoeffHan
     // d a[e] = g[idx[e]] * inv[idx[e]]: the scatter's gradient copy and the
     // mean's scaling folded into one pass.
     Matrix ga(idx->size(), f);
-    runtime::parallel_for(idx->size(), kEdgeGrain, [&](std::size_t lo, std::size_t hi) {
+    runtime::parallel_for("graph.edges", idx->size(), kEdgeGrain, [&](std::size_t lo, std::size_t hi) {
       for (std::size_t e = lo; e < hi; ++e) {
         const auto i = static_cast<std::size_t>((*idx)[e]);
         const float c = (*inv)[i];
@@ -324,7 +325,7 @@ Tensor gather_matmul(const Tensor& a, const CompactIndex& ci, const Tensor& w) {
   const std::size_t fout = w.cols();
   const std::size_t u = ci.rows->size();
   Matrix compact(u, fin);
-  runtime::parallel_for(u, kRowGrain, [&](std::size_t lo, std::size_t hi) {
+  runtime::parallel_for("graph.rows", u, kRowGrain, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t k = lo; k < hi; ++k) {
       const float* src = a.value().row(static_cast<std::size_t>((*ci.rows)[k]));
       float* dst = compact.row(k);
@@ -333,7 +334,7 @@ Tensor gather_matmul(const Tensor& a, const CompactIndex& ci, const Tensor& w) {
   });
   Matrix tmp = gemm(compact, w.value());  // U x fout, each touched row once
   Matrix out(ci.remap->size(), fout);
-  runtime::parallel_for(ci.remap->size(), kEdgeGrain, [&](std::size_t lo, std::size_t hi) {
+  runtime::parallel_for("graph.edges", ci.remap->size(), kEdgeGrain, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t e = lo; e < hi; ++e) {
       const float* src = tmp.row(static_cast<std::size_t>((*ci.remap)[e]));
       float* dst = out.row(e);
@@ -355,7 +356,7 @@ Tensor gather_matmul(const Tensor& a, const CompactIndex& ci, const Tensor& w) {
         const Matrix gcompact = gemm_nt(gtmp, w.value());
         Matrix ga(a.rows(), fin, 0.0f);
         // ci.rows entries are unique, so chunks write disjoint rows of ga.
-        runtime::parallel_for(u, kRowGrain, [&](std::size_t lo, std::size_t hi) {
+        runtime::parallel_for("graph.rows", u, kRowGrain, [&](std::size_t lo, std::size_t hi) {
           for (std::size_t k = lo; k < hi; ++k) {
             float* dst = ga.row(static_cast<std::size_t>((*ci.rows)[k]));
             const float* src = gcompact.row(k);
@@ -400,7 +401,7 @@ Tensor edge_attention(const Tensor& el, const Tensor& er, const Tensor& msg,
   // logit -> leaky-relu -> per-segment softmax, all in one pass over E.
   Matrix logit(e_total, 1);
   Matrix z(e_total, 1);
-  runtime::parallel_for(e_total, kEdgeGrain, [&](std::size_t lo, std::size_t hi) {
+  runtime::parallel_for("graph.edges", e_total, kEdgeGrain, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t e = lo; e < hi; ++e) {
       const std::size_t li = el_idx ? static_cast<std::size_t>((*el_idx)[e]) : e;
       const std::size_t ri = er_idx ? static_cast<std::size_t>((*er_idx)[e]) : e;
@@ -435,7 +436,7 @@ Tensor edge_attention(const Tensor& el, const Tensor& er, const Tensor& msg,
         //   d el[i]  += d logit_e over edges with el_idx[e] == i (resp. er).
         Matrix gmsg(e_total, f);
         Matrix galpha(e_total, 1);
-        runtime::parallel_for(e_total, kEdgeGrain, [&](std::size_t lo, std::size_t hi) {
+        runtime::parallel_for("graph.edges", e_total, kEdgeGrain, [&](std::size_t lo, std::size_t hi) {
           for (std::size_t e = lo; e < hi; ++e) {
             const float* gr = g.row(static_cast<std::size_t>((*dst)[e]));
             const float* mr = msg.value().row(e);
@@ -450,7 +451,7 @@ Tensor edge_attention(const Tensor& el, const Tensor& er, const Tensor& msg,
           }
         });
         Matrix glogit(e_total, 1);
-        runtime::parallel_for(seg->num_segments(), kSegmentGrain,
+        runtime::parallel_for("graph.segments", seg->num_segments(), kSegmentGrain,
                               [&](std::size_t slo, std::size_t shi) {
           for (std::size_t s = slo; s < shi; ++s) {
             const auto begin = static_cast<std::size_t>(seg->offsets[s]);
@@ -471,7 +472,7 @@ Tensor edge_attention(const Tensor& el, const Tensor& er, const Tensor& msg,
               t(static_cast<std::size_t>((*el_idx)[e]), 0) += glogit(e, 0);
           });
         } else {
-          runtime::parallel_for(e_total, kEdgeGrain, [&](std::size_t lo, std::size_t hi) {
+          runtime::parallel_for("graph.edges", e_total, kEdgeGrain, [&](std::size_t lo, std::size_t hi) {
             for (std::size_t e = lo; e < hi; ++e) gel(e, 0) = glogit(e, 0);
           });
         }
@@ -481,7 +482,7 @@ Tensor edge_attention(const Tensor& el, const Tensor& er, const Tensor& msg,
               t(static_cast<std::size_t>((*er_idx)[e]), 0) += glogit(e, 0);
           });
         } else {
-          runtime::parallel_for(e_total, kEdgeGrain, [&](std::size_t lo, std::size_t hi) {
+          runtime::parallel_for("graph.edges", e_total, kEdgeGrain, [&](std::size_t lo, std::size_t hi) {
             for (std::size_t e = lo; e < hi; ++e) ger(e, 0) = glogit(e, 0);
           });
         }

@@ -29,7 +29,7 @@ Matrix gemm(const Matrix& a, const Matrix& b) {
   Matrix c(m, n, 0.0f);
   // ikj order: the innermost loop is a contiguous axpy over B's row, which
   // the compiler vectorises. Chunks own disjoint rows of C.
-  runtime::parallel_for(m, kGemmRowGrain, [&](std::size_t ib, std::size_t ie) {
+  runtime::parallel_for("gemm", m, kGemmRowGrain, [&](std::size_t ib, std::size_t ie) {
     for (std::size_t i = ib; i < ie; ++i) {
       const float* arow = a.row(i);
       float* crow = c.row(i);
@@ -52,7 +52,7 @@ Matrix gemm_nt(const Matrix& a, const Matrix& b) {
   const std::size_t n = a.cols();
   const std::size_t k = b.rows();
   Matrix c(m, k, 0.0f);
-  runtime::parallel_for(m, kGemmRowGrain, [&](std::size_t ib, std::size_t ie) {
+  runtime::parallel_for("gemm_nt", m, kGemmRowGrain, [&](std::size_t ib, std::size_t ie) {
     for (std::size_t i = ib; i < ie; ++i) {
       const float* arow = a.row(i);
       float* crow = c.row(i);
@@ -78,7 +78,7 @@ Matrix gemm_tn(const Matrix& a, const Matrix& b) {
   // Loop order is (p, i) so chunks own disjoint rows of C; per output
   // element the i-accumulation order matches the serial (i, p) loop, so the
   // result is bit-identical at any thread count.
-  runtime::parallel_for(k, kGemmRowGrain, [&](std::size_t pb, std::size_t pe) {
+  runtime::parallel_for("gemm_tn", k, kGemmRowGrain, [&](std::size_t pb, std::size_t pe) {
     for (std::size_t p = pb; p < pe; ++p) {
       float* crow = c.row(p);
       for (std::size_t i = 0; i < m; ++i) {
@@ -98,7 +98,7 @@ void add_inplace(Matrix& dst, const Matrix& src) {
                                 src.shape_str());
   float* d = dst.data();
   const float* s = src.data();
-  runtime::parallel_for(dst.size(), kEltGrain, [&](std::size_t b, std::size_t e) {
+  runtime::parallel_for("add", dst.size(), kEltGrain, [&](std::size_t b, std::size_t e) {
     for (std::size_t i = b; i < e; ++i) d[i] += s[i];
   });
 }
@@ -107,7 +107,7 @@ void axpy_inplace(Matrix& dst, float alpha, const Matrix& src) {
   if (!dst.same_shape(src)) throw std::invalid_argument("axpy_inplace: shape mismatch");
   float* d = dst.data();
   const float* s = src.data();
-  runtime::parallel_for(dst.size(), kEltGrain, [&](std::size_t b, std::size_t e) {
+  runtime::parallel_for("axpy", dst.size(), kEltGrain, [&](std::size_t b, std::size_t e) {
     for (std::size_t i = b; i < e; ++i) d[i] += alpha * s[i];
   });
 }

@@ -12,18 +12,61 @@
 #include <string>
 #include <vector>
 
+#include "obs/memory.h"
+
 namespace paragraph::nn {
 
+// Matrix buffers dominate the process heap (tensor values, gradients,
+// optimizer state), so every construction/destruction reports its bytes
+// to obs::MemTracker when instrumentation is on. `tracked_bytes_`
+// remembers what this object registered, so a buffer allocated while
+// tracking was enabled is un-counted exactly once even if the flag flips
+// before the free; when disabled the hooks cost one relaxed load plus a
+// branch and perform no atomic RMW (guarded by tests/memory_obs_test.cpp).
 class Matrix {
  public:
   Matrix() = default;
   Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f)
-      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+    track_alloc();
+  }
   Matrix(std::size_t rows, std::size_t cols, std::vector<float> data)
       : rows_(rows), cols_(cols), data_(std::move(data)) {
     if (data_.size() != rows_ * cols_)
       throw std::invalid_argument("Matrix: data size does not match shape");
+    track_alloc();
   }
+
+  Matrix(const Matrix& o) : rows_(o.rows_), cols_(o.cols_), data_(o.data_) { track_alloc(); }
+  Matrix(Matrix&& o) noexcept
+      : rows_(o.rows_), cols_(o.cols_), data_(std::move(o.data_)),
+        tracked_bytes_(o.tracked_bytes_) {
+    o.rows_ = o.cols_ = 0;
+    o.tracked_bytes_ = 0;
+  }
+  Matrix& operator=(const Matrix& o) {
+    if (this != &o) {
+      track_free();
+      rows_ = o.rows_;
+      cols_ = o.cols_;
+      data_ = o.data_;
+      track_alloc();
+    }
+    return *this;
+  }
+  Matrix& operator=(Matrix&& o) noexcept {
+    if (this != &o) {
+      track_free();
+      rows_ = o.rows_;
+      cols_ = o.cols_;
+      data_ = std::move(o.data_);
+      tracked_bytes_ = o.tracked_bytes_;
+      o.rows_ = o.cols_ = 0;
+      o.tracked_bytes_ = 0;
+    }
+    return *this;
+  }
+  ~Matrix() { track_free(); }
 
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
@@ -43,9 +86,24 @@ class Matrix {
   std::string shape_str() const;
 
  private:
+  void track_alloc() {
+    if (!obs::enabled()) return;
+    const std::size_t bytes = data_.capacity() * sizeof(float);
+    if (bytes == 0) return;
+    tracked_bytes_ = bytes;
+    obs::matrix_alloc_hook(bytes);
+  }
+  void track_free() {
+    if (tracked_bytes_ != 0) {
+      obs::matrix_free_hook(tracked_bytes_);
+      tracked_bytes_ = 0;
+    }
+  }
+
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
   std::vector<float> data_;
+  std::size_t tracked_bytes_ = 0;  // bytes registered with MemTracker, 0 if none
 };
 
 // C = A(m×k) * B(k×n)

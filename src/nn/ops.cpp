@@ -23,12 +23,12 @@ constexpr std::size_t kRowGrain = 256;
 
 template <typename F>
 void par_elements(std::size_t n, F&& body) {
-  runtime::parallel_for(n, kEltGrain, std::forward<F>(body));
+  runtime::parallel_for("nn.elt", n, kEltGrain, std::forward<F>(body));
 }
 
 template <typename F>
 void par_rows(std::size_t n, F&& body) {
-  runtime::parallel_for(n, kRowGrain, std::forward<F>(body));
+  runtime::parallel_for("nn.rows", n, kRowGrain, std::forward<F>(body));
 }
 
 }  // namespace
@@ -107,7 +107,7 @@ Tensor add_bias(const Tensor& a, const Tensor& bias) {
     Matrix gb(1, g.cols(), 0.0f);
     // Column chunks: each chunk reduces its own columns over all rows in
     // ascending row order, matching the serial accumulation per element.
-    runtime::parallel_for(g.cols(), 16, [&](std::size_t jlo, std::size_t jhi) {
+    runtime::parallel_for("nn.add_bias_grad", g.cols(), 16, [&](std::size_t jlo, std::size_t jhi) {
       for (std::size_t i = 0; i < g.rows(); ++i) {
         const float* r = g.row(i);
         for (std::size_t j = jlo; j < jhi; ++j) gb(0, j) += r[j];

@@ -1,0 +1,49 @@
+#include "obs/memory.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "obs/metrics.h"
+
+namespace paragraph::obs {
+
+ProcMemory sample_process_memory() {
+  ProcMemory m;
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return m;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    // Lines look like "VmRSS:     12345 kB".
+    unsigned long long kb = 0;
+    if (std::strncmp(line, "VmRSS:", 6) == 0 && std::sscanf(line + 6, "%llu", &kb) == 1) {
+      m.vm_rss_kb = kb;
+      m.ok = true;
+    } else if (std::strncmp(line, "VmHWM:", 6) == 0 &&
+               std::sscanf(line + 6, "%llu", &kb) == 1) {
+      m.vm_hwm_kb = kb;
+      m.ok = true;
+    }
+    if (m.vm_rss_kb > 0 && m.vm_hwm_kb > 0) break;
+  }
+  std::fclose(f);
+  return m;
+}
+
+void publish_memory_metrics() {
+  auto& reg = MetricsRegistry::instance();
+  const MemTracker& t = MemTracker::instance();
+  reg.gauge("mem.matrix.bytes").set(static_cast<double>(t.current_bytes()));
+  reg.gauge("mem.matrix.peak_bytes").set(static_cast<double>(t.peak_bytes()));
+  // Counters in the registry are cumulative; advance them by the delta so
+  // repeated publishes stay idempotent (only this function writes them).
+  Counter& allocs = reg.counter("mem.matrix.allocs");
+  Counter& frees = reg.counter("mem.matrix.frees");
+  if (t.allocs() > allocs.value()) allocs.add(t.allocs() - allocs.value());
+  if (t.frees() > frees.value()) frees.add(t.frees() - frees.value());
+  if (const ProcMemory pm = sample_process_memory(); pm.ok) {
+    reg.gauge("mem.process.rss_kb").set(static_cast<double>(pm.vm_rss_kb));
+    reg.gauge("mem.process.peak_rss_kb").set(static_cast<double>(pm.vm_hwm_kb));
+  }
+}
+
+}  // namespace paragraph::obs

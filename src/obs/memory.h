@@ -1,0 +1,98 @@
+// Memory telemetry: byte-accounting for nn::Matrix buffers plus a Linux
+// process-RSS sampler.
+//
+// MemTracker keeps current/peak byte gauges and alloc/free counts behind
+// relaxed atomics. The hooks are called from the Matrix allocation paths,
+// which are as hot as it gets, so the contract mirrors the kernel
+// counters: callers check obs::enabled() first and a disabled run does no
+// atomic RMW at all (see tests/memory_obs_test.cpp for the counter-delta
+// guard). Each Matrix remembers how many bytes it registered, so a
+// tracked buffer is always un-counted exactly once even when
+// instrumentation is toggled between its allocation and its free.
+//
+// This header stays lightweight (atomics only) because nn/matrix.h
+// includes it; publishing into the MetricsRegistry and the /proc parser
+// live in memory.cpp.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "obs/control.h"
+
+namespace paragraph::obs {
+
+class MemTracker {
+ public:
+  static MemTracker& instance() {
+    static MemTracker tracker;
+    return tracker;
+  }
+
+  // Hot-path hooks. Callers gate on obs::enabled(); the hooks themselves
+  // stay branch-free so the enabled cost is three relaxed RMWs (plus the
+  // peak CAS, which only loops while the high-water mark is moving).
+  void on_alloc(std::uint64_t bytes) {
+    const std::uint64_t cur = current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    allocs_.fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t peak = peak_.load(std::memory_order_relaxed);
+    while (cur > peak &&
+           !peak_.compare_exchange_weak(peak, cur, std::memory_order_relaxed)) {
+    }
+  }
+  void on_free(std::uint64_t bytes) {
+    current_.fetch_sub(bytes, std::memory_order_relaxed);
+    frees_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t current_bytes() const { return current_.load(std::memory_order_relaxed); }
+  std::uint64_t peak_bytes() const { return peak_.load(std::memory_order_relaxed); }
+  std::uint64_t allocs() const { return allocs_.load(std::memory_order_relaxed); }
+  std::uint64_t frees() const { return frees_.load(std::memory_order_relaxed); }
+
+  // Zeroes every gauge and count. Matrices allocated while tracking was on
+  // still un-count themselves on free, so only reset between workloads
+  // (tests, bench repetition boundaries), not mid-flight.
+  void reset() {
+    current_.store(0, std::memory_order_relaxed);
+    peak_.store(0, std::memory_order_relaxed);
+    allocs_.store(0, std::memory_order_relaxed);
+    frees_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  MemTracker() = default;
+  std::atomic<std::uint64_t> current_{0};
+  std::atomic<std::uint64_t> peak_{0};
+  std::atomic<std::uint64_t> allocs_{0};
+  std::atomic<std::uint64_t> frees_{0};
+};
+
+// Matrix hook shims: one relaxed load + branch when disabled, the
+// MemTracker RMWs when enabled. Kept as free functions so nn/matrix.h can
+// inline them without pulling in the registry.
+inline void matrix_alloc_hook(std::size_t bytes) {
+  MemTracker::instance().on_alloc(static_cast<std::uint64_t>(bytes));
+}
+inline void matrix_free_hook(std::size_t bytes) {
+  MemTracker::instance().on_free(static_cast<std::uint64_t>(bytes));
+}
+
+// Snapshot of /proc/self/status. `ok` is false when the file is missing
+// or unparsable (non-Linux hosts); the fields are then zero.
+struct ProcMemory {
+  std::uint64_t vm_rss_kb = 0;  // current resident set (VmRSS)
+  std::uint64_t vm_hwm_kb = 0;  // peak resident set (VmHWM)
+  bool ok = false;
+};
+
+ProcMemory sample_process_memory();
+
+// Publishes the tracker and the RSS sample into the MetricsRegistry:
+// gauges mem.matrix.bytes / mem.matrix.peak_bytes / mem.process.rss_kb /
+// mem.process.peak_rss_kb and counters mem.matrix.allocs /
+// mem.matrix.frees. Call once right before dumping metrics; idempotent.
+void publish_memory_metrics();
+
+}  // namespace paragraph::obs

@@ -1,6 +1,7 @@
 // Umbrella header for the observability layer: structured logging
 // (obs/log.h), metrics registry (obs/metrics.h), hierarchical scoped
-// profiling (obs/profile.h), and Chrome trace export (obs/trace.h).
+// profiling (obs/profile.h), Chrome trace export (obs/trace.h), and
+// memory telemetry (obs/memory.h).
 //
 // Typical CLI wiring:
 //   obs::init_from_env();                 // PARAGRAPH_LOG / PARAGRAPH_OBS
@@ -14,6 +15,7 @@
 #include "obs/control.h"
 #include "obs/json.h"
 #include "obs/log.h"
+#include "obs/memory.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/trace.h"

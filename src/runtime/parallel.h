@@ -35,21 +35,24 @@ inline bool is_ascending(const std::vector<std::int32_t>& idx) {
 // bit-identical to the serial loop at any thread count.
 template <typename Body>
 void parallel_for_sorted_spans(const std::vector<std::int32_t>& idx, std::size_t grain,
-                               Body&& body) {
+                               Body&& body, const char* name = nullptr) {
   const std::size_t n = idx.size();
   if (grain == 0) grain = 1;
-  parallel_for_chunks(n, grain, [&](std::size_t begin, std::size_t end, std::size_t) {
-    std::size_t b = begin;
-    if (b > 0) {
-      const std::int32_t prev = idx[b - 1];
-      while (b < end && idx[b] == prev) ++b;
-    }
-    if (b >= end) return;  // the whole chunk belongs to an earlier row
-    std::size_t e = end;
-    const std::int32_t last = idx[e - 1];
-    while (e < n && idx[e] == last) ++e;
-    body(b, e);
-  });
+  parallel_for_chunks(
+      n, grain,
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        std::size_t b = begin;
+        if (b > 0) {
+          const std::int32_t prev = idx[b - 1];
+          while (b < end && idx[b] == prev) ++b;
+        }
+        if (b >= end) return;  // the whole chunk belongs to an earlier row
+        std::size_t e = end;
+        const std::int32_t last = idx[e - 1];
+        while (e < n && idx[e] == last) ++e;
+        body(b, e);
+      },
+      name);
 }
 
 // Deterministic scatter reduction for overlapping accumulation with an
@@ -63,7 +66,7 @@ void parallel_for_sorted_spans(const std::vector<std::int32_t>& idx, std::size_t
 // into the final output.
 template <typename Partial, typename MakeFn, typename BodyFn, typename MergeFn>
 void parallel_reduce(std::size_t n, std::size_t grain, MakeFn&& make, BodyFn&& body,
-                     MergeFn&& merge) {
+                     MergeFn&& merge, const char* name = nullptr) {
   if (grain == 0) grain = 1;
   const std::size_t chunks = chunk_count(n, grain);
   if (chunks == 0) return;
@@ -78,9 +81,10 @@ void parallel_reduce(std::size_t n, std::size_t grain, MakeFn&& make, BodyFn&& b
   std::vector<Partial> partials;
   partials.reserve(chunks);
   for (std::size_t c = 0; c < chunks; ++c) partials.push_back(make());
-  parallel_for_chunks(n, grain, [&](std::size_t begin, std::size_t end, std::size_t c) {
-    body(begin, end, partials[c]);
-  });
+  parallel_for_chunks(
+      n, grain,
+      [&](std::size_t begin, std::size_t end, std::size_t c) { body(begin, end, partials[c]); },
+      name);
   for (std::size_t c = 0; c < chunks; ++c) merge(partials[c]);
 }
 

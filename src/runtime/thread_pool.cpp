@@ -1,6 +1,8 @@
 #include "runtime/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <memory>
@@ -9,10 +11,34 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace paragraph::runtime {
 
 namespace {
+
+// Pool telemetry, all relaxed atomics touched only when obs::enabled().
+// Slot 0 is the calling thread; workers take 1..n (slots persist across
+// pool resizes, so busy time accumulates per position, not per thread
+// object). The utilization window opens at the first instrumented region
+// so enabling instrumentation late does not dilute the ratio.
+struct PoolTelemetry {
+  static constexpr std::size_t kMaxSlots = 64;
+  std::atomic<std::uint64_t> busy_ns[kMaxSlots] = {};
+  std::atomic<std::int64_t> window_start_us{-1};
+
+  void open_window(std::int64_t now) {
+    std::int64_t expected = -1;
+    window_start_us.compare_exchange_strong(expected, now, std::memory_order_relaxed);
+  }
+  std::uint64_t total_busy_ns() const {
+    std::uint64_t total = 0;
+    for (const auto& b : busy_ns) total += b.load(std::memory_order_relaxed);
+    return total;
+  }
+};
+
+PoolTelemetry g_telemetry;
 
 // Explicit override (set_num_threads), 0 = unset.
 std::atomic<std::size_t> g_explicit_threads{0};
@@ -74,6 +100,8 @@ bool in_parallel_region() { return t_in_region; }
 // breaks out immediately and never touches the region's function.
 struct Region {
   const std::function<void(std::size_t)>* body = nullptr;
+  const char* name = nullptr;     // telemetry label, storage outlives the region
+  std::int64_t submit_us = -1;    // obs::now_us at publish; -1 = obs was off
   std::size_t total = 0;
   std::atomic<std::size_t> next_chunk{0};
   std::atomic<std::size_t> done_chunks{0};
@@ -98,14 +126,37 @@ struct ThreadPool::Impl {
   std::uint64_t generation = 0;
 
   // Grabs chunks until the region is drained. Returns the number of
-  // chunks this thread executed.
-  std::size_t work(Region& r) {
+  // chunks this thread executed. `slot` indexes the telemetry busy-time
+  // accumulator (0 = calling thread, workers 1..n).
+  std::size_t work(Region& r, std::size_t slot) {
+    // Snapshot the obs flag once per region: a region whose submit saw
+    // instrumentation off carries submit_us == -1 and stays untimed even
+    // if the flag flips mid-flight.
+    const bool timed = r.submit_us >= 0;
+    const bool tracing = timed && obs::TraceCollector::instance().enabled();
+    using clock = std::chrono::steady_clock;
+    std::uint64_t busy_ns = 0;
+    std::int64_t span_start_us = -1;
     std::size_t ran = 0;
     t_in_region = true;
     for (;;) {
       const std::size_t c = r.next_chunk.fetch_add(1, std::memory_order_relaxed);
       if (c >= r.total) break;
       if (!r.abort.load(std::memory_order_relaxed)) {
+        clock::time_point t0;
+        if (timed) {
+          if (ran == 0) {
+            span_start_us = obs::now_us();
+            if (slot != 0) {
+              // Worker dispatch latency: notify-to-first-chunk. The caller
+              // (slot 0) starts synchronously, so only workers record it.
+              static obs::Histogram& dispatch =
+                  obs::MetricsRegistry::instance().histogram("runtime.dispatch_us");
+              dispatch.record(static_cast<double>(span_start_us - r.submit_us));
+            }
+          }
+          t0 = clock::now();
+        }
         try {
           (*r.body)(c);
           ++ran;
@@ -116,6 +167,9 @@ struct ThreadPool::Impl {
           }
           r.abort.store(true, std::memory_order_relaxed);
         }
+        if (timed)
+          busy_ns += static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - t0).count());
       }
       if (r.done_chunks.fetch_add(1, std::memory_order_acq_rel) + 1 == r.total) {
         std::lock_guard<std::mutex> lock(mu);
@@ -123,10 +177,22 @@ struct ThreadPool::Impl {
       }
     }
     t_in_region = false;
+    if (timed && ran > 0) {
+      if (slot < PoolTelemetry::kMaxSlots)
+        g_telemetry.busy_ns[slot].fetch_add(busy_ns, std::memory_order_relaxed);
+      if (tracing) {
+        // One span per participating thread per region: parallel regions
+        // show up per-tid in chrome://tracing.
+        const std::int64_t end_us = obs::now_us();
+        obs::TraceCollector::instance().add_complete(
+            std::string("region:") + (r.name != nullptr ? r.name : "anon"), "runtime",
+            span_start_us, std::max<std::int64_t>(end_us - span_start_us, 1));
+      }
+    }
     return ran;
   }
 
-  void worker_loop() {
+  void worker_loop(std::size_t slot) {
     std::uint64_t seen = 0;
     for (;;) {
       std::shared_ptr<Region> r;
@@ -137,13 +203,14 @@ struct ThreadPool::Impl {
         seen = generation;
         r = region;
       }
-      work(*r);
+      work(*r, slot);
     }
   }
 
   void start_workers(std::size_t n) {
     workers.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) workers.emplace_back([this] { worker_loop(); });
+    for (std::size_t i = 0; i < n; ++i)
+      workers.emplace_back([this, slot = i + 1] { worker_loop(slot); });
   }
 
   void stop_workers() {
@@ -189,12 +256,19 @@ void ThreadPool::resize(std::size_t threads) {
   impl_->start_workers(want);
 }
 
-void ThreadPool::run(std::size_t total, const std::function<void(std::size_t)>& fn) {
+void ThreadPool::run(std::size_t total, const std::function<void(std::size_t)>& fn,
+                     const char* name) {
   if (total == 0) return;
   std::lock_guard<std::mutex> region_lock(impl_->region_mu);
+  const bool timed = obs::enabled();
   auto r = std::make_shared<Region>();
   r->body = &fn;
+  r->name = name;
   r->total = total;
+  if (timed) {
+    r->submit_us = obs::now_us();
+    g_telemetry.open_window(r->submit_us);
+  }
   {
     std::lock_guard<std::mutex> lock(impl_->mu);
     impl_->region = r;
@@ -202,7 +276,8 @@ void ThreadPool::run(std::size_t total, const std::function<void(std::size_t)>& 
   }
   impl_->cv_work.notify_all();
 
-  const std::size_t caller_ran = impl_->work(*r);
+  const std::size_t caller_ran = impl_->work(*r, /*slot=*/0);
+  const std::int64_t caller_done_us = timed ? obs::now_us() : 0;
 
   {
     std::unique_lock<std::mutex> lock(impl_->mu);
@@ -212,27 +287,54 @@ void ThreadPool::run(std::size_t total, const std::function<void(std::size_t)>& 
     impl_->region.reset();
   }
 
-  if (obs::enabled()) {
+  if (timed) {
     auto& reg = obs::MetricsRegistry::instance();
     static obs::Counter& regions = reg.counter("runtime.regions");
     static obs::Counter& chunks = reg.counter("runtime.chunks");
     static obs::Counter& caller_c = reg.counter("runtime.chunks_caller");
     static obs::Counter& worker_c = reg.counter("runtime.chunks_worker");
+    static obs::Histogram& region_us = reg.histogram("runtime.region_us");
+    static obs::Histogram& wait_us = reg.histogram("runtime.region_wait_us");
     regions.add();
     chunks.add(total);
     caller_c.add(caller_ran);
     // done == total here, so everything the caller didn't run, workers did.
     if (total > caller_ran) worker_c.add(total - caller_ran);
+    const std::int64_t end_us = obs::now_us();
+    region_us.record(static_cast<double>(end_us - r->submit_us));
+    // Straggler wait: how long the caller sat in cv_done after finishing
+    // its own share — the price of imbalanced chunking.
+    wait_us.record(static_cast<double>(end_us - caller_done_us));
   }
 
   if (r->error) std::rethrow_exception(r->error);
+}
+
+void publish_runtime_metrics() {
+  const std::int64_t start = g_telemetry.window_start_us.load(std::memory_order_relaxed);
+  if (start < 0) return;  // no instrumented region yet
+  const std::uint64_t busy = g_telemetry.total_busy_ns();
+  if (busy == 0) return;
+  auto& reg = obs::MetricsRegistry::instance();
+  for (std::size_t slot = 0; slot < PoolTelemetry::kMaxSlots; ++slot) {
+    const std::uint64_t ns = g_telemetry.busy_ns[slot].load(std::memory_order_relaxed);
+    if (ns == 0) continue;
+    reg.gauge("runtime.worker." + std::to_string(slot) + ".busy_ms")
+        .set(static_cast<double>(ns) / 1e6);
+  }
+  const double window_us = static_cast<double>(obs::now_us() - start);
+  const double capacity_us = window_us * static_cast<double>(num_threads());
+  if (capacity_us <= 0.0) return;
+  const double utilization = static_cast<double>(busy) / 1e3 / capacity_us;
+  reg.gauge("runtime.utilization").set(std::clamp(utilization, 1e-9, 1.0));
 }
 
 // ------------------------------------------------------------------
 
 void parallel_for_chunks(
     std::size_t n, std::size_t grain,
-    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body,
+    const char* name) {
   if (grain == 0) grain = 1;
   const std::size_t chunks = chunk_count(n, grain);
   if (chunks == 0) return;
@@ -245,10 +347,13 @@ void parallel_for_chunks(
     }
     return;
   }
-  ThreadPool::instance().run(chunks, [&](std::size_t c) {
-    const std::size_t begin = c * grain;
-    body(begin, std::min(n, begin + grain), c);
-  });
+  ThreadPool::instance().run(
+      chunks,
+      [&](std::size_t c) {
+        const std::size_t begin = c * grain;
+        body(begin, std::min(n, begin + grain), c);
+      },
+      name);
 }
 
 }  // namespace paragraph::runtime

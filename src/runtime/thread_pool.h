@@ -42,6 +42,17 @@ void init_from_env();
 // parallel region (used to run nested regions inline).
 bool in_parallel_region();
 
+// Publishes pool telemetry into the obs metrics registry: the
+// runtime.threads gauge, per-slot busy-time gauges
+// (runtime.worker.<slot>.busy_ms; slot 0 is the calling thread), and
+// runtime.utilization — total busy time across slots divided by
+// threads x the wall time since the first instrumented region, clamped
+// to (0, 1]. No-op until a region has run with obs::enabled(); call right
+// before dumping metrics. The wait/dispatch histograms
+// (runtime.dispatch_us, runtime.region_wait_us, runtime.region_us) are
+// recorded live and need no publish step.
+void publish_runtime_metrics();
+
 class ThreadPool {
  public:
   // The process-wide pool, created (and its workers started) on first use.
@@ -55,7 +66,10 @@ class ThreadPool {
   // and the calling thread. Blocks until every chunk finished. The first
   // exception thrown by any chunk is rethrown on the calling thread after
   // the region completes (remaining chunks are skipped best-effort).
-  void run(std::size_t num_chunks, const std::function<void(std::size_t)>& body);
+  // `name` labels the region in telemetry (trace spans, histograms); it
+  // must outlive the call — pass a string literal.
+  void run(std::size_t num_chunks, const std::function<void(std::size_t)>& body,
+           const char* name = nullptr);
 
   // Worker threads currently running (excludes the caller).
   std::size_t num_workers() const;
@@ -83,9 +97,12 @@ inline std::size_t chunk_count(std::size_t n, std::size_t grain) {
 // parallel_for over [0, n): body(begin, end, chunk_index) for each chunk.
 // Chunks are executed serially in index order when the pool has one
 // thread, when there is a single chunk, or when called from inside
-// another parallel region.
+// another parallel region. `name`, when given (a string literal or other
+// storage outliving the call), labels the region in trace spans
+// ("region:<name>") and telemetry.
 void parallel_for_chunks(std::size_t n, std::size_t grain,
-                         const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
+                         const std::function<void(std::size_t, std::size_t, std::size_t)>& body,
+                         const char* name = nullptr);
 
 // Convenience wrapper for bodies that do not need the chunk index.
 template <typename F>
@@ -93,6 +110,15 @@ void parallel_for(std::size_t n, std::size_t grain, F&& body) {
   parallel_for_chunks(
       n, grain,
       [&body](std::size_t begin, std::size_t end, std::size_t) { body(begin, end); });
+}
+
+// Named variant: the label shows up per-worker in Chrome traces, making
+// the hot kernels attributable in chrome://tracing.
+template <typename F>
+void parallel_for(const char* name, std::size_t n, std::size_t grain, F&& body) {
+  parallel_for_chunks(
+      n, grain,
+      [&body](std::size_t begin, std::size_t end, std::size_t) { body(begin, end); }, name);
 }
 
 }  // namespace paragraph::runtime

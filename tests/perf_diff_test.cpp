@@ -1,0 +1,125 @@
+// Tests for the perf_diff comparison engine (tools/perf_diff.h): schema
+// parsing, the candidate-best-vs-baseline-median noise rule in both metric
+// directions, self-compare neutrality, and missing-baseline handling.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "../tools/perf_diff.h"
+
+namespace paragraph::perfdiff {
+namespace {
+
+std::string doc(const std::string& metrics) {
+  return R"({"schema":"paragraph-bench-v1","bench":"t","build_type":"Release",)"
+         R"("metrics":[)" + metrics + "]}";
+}
+
+std::string metric(const std::string& name, const std::string& better, double median,
+                   const std::string& reps) {
+  return R"({"name":")" + name + R"(","unit":"ms","better":")" + better +
+         R"(","median":)" + std::to_string(median) + R"(,"reps":)" + reps + "}";
+}
+
+TEST(ParseTest, AcceptsCanonicalDocumentAndComputesBestRep) {
+  std::string error;
+  const auto f = parse_bench_json(doc(metric("gemm", "lower", 10.0, "[12.0,10.0,9.0]")), &error);
+  ASSERT_TRUE(f.has_value()) << error;
+  ASSERT_EQ(f->metrics.size(), 1u);
+  EXPECT_EQ(f->build_type, "Release");
+  EXPECT_DOUBLE_EQ(f->metrics[0].median, 10.0);
+  EXPECT_DOUBLE_EQ(f->metrics[0].best, 9.0);  // min: lower is better
+  EXPECT_EQ(f->metrics[0].reps, 3u);
+}
+
+TEST(ParseTest, BestRepIsMaxForHigherBetterMetrics) {
+  std::string error;
+  const auto f =
+      parse_bench_json(doc(metric("tput", "higher", 100.0, "[90.0,110.0,100.0]")), &error);
+  ASSERT_TRUE(f.has_value()) << error;
+  EXPECT_DOUBLE_EQ(f->metrics[0].best, 110.0);
+}
+
+TEST(ParseTest, RejectsWrongSchemaAndMalformedMetrics) {
+  std::string error;
+  EXPECT_FALSE(parse_bench_json(R"({"schema":"v2","metrics":[]})", &error).has_value());
+  EXPECT_FALSE(parse_bench_json(R"({"schema":"paragraph-bench-v1"})", &error).has_value());
+  EXPECT_FALSE(parse_bench_json(
+                   doc(R"({"name":"x","median":1.0,"reps":[]})"), &error)
+                   .has_value());  // empty reps
+  EXPECT_FALSE(parse_bench_json("not json", &error).has_value());
+}
+
+TEST(DiffTest, SelfCompareReportsNoRegressions) {
+  std::string error;
+  const auto f = parse_bench_json(
+      doc(metric("a", "lower", 10.0, "[11.0,10.0,9.0]") + "," +
+          metric("b", "higher", 50.0, "[45.0,50.0,55.0]")),
+      &error);
+  ASSERT_TRUE(f.has_value()) << error;
+  const auto r = diff(*f, *f, 0.25);
+  EXPECT_EQ(r.regressions, 0u);
+  EXPECT_EQ(r.rows.size(), 2u);
+}
+
+TEST(DiffTest, DetectsRegressionBeyondThreshold) {
+  std::string error;
+  const auto base = parse_bench_json(doc(metric("a", "lower", 10.0, "[10.0]")), &error);
+  // Every rep is >= 14ms: even the best rep is 40% above the baseline median.
+  const auto bad = parse_bench_json(doc(metric("a", "lower", 15.0, "[14.0,15.0,16.0]")), &error);
+  ASSERT_TRUE(base && bad);
+  const auto r = diff(*base, *bad, 0.25);
+  EXPECT_EQ(r.regressions, 1u);
+  EXPECT_EQ(r.rows[0].status, Status::kRegression);
+  EXPECT_NEAR(r.rows[0].delta, 0.40, 1e-9);
+}
+
+TEST(DiffTest, SingleNoisyRepWithinBestRepRuleDoesNotFail) {
+  std::string error;
+  const auto base = parse_bench_json(doc(metric("a", "lower", 10.0, "[10.0]")), &error);
+  // Median shifted to 30ms by two bad reps, but one rep still hits 10ms:
+  // the machine can still achieve the baseline, so the gate stays green.
+  const auto noisy =
+      parse_bench_json(doc(metric("a", "lower", 30.0, "[10.0,30.0,35.0]")), &error);
+  ASSERT_TRUE(base && noisy);
+  EXPECT_EQ(diff(*base, *noisy, 0.25).regressions, 0u);
+}
+
+TEST(DiffTest, HigherBetterRegressionUsesNegatedDelta) {
+  std::string error;
+  const auto base = parse_bench_json(doc(metric("tput", "higher", 100.0, "[100.0]")), &error);
+  const auto slow =
+      parse_bench_json(doc(metric("tput", "higher", 60.0, "[55.0,60.0,65.0]")), &error);
+  ASSERT_TRUE(base && slow);
+  const auto r = diff(*base, *slow, 0.25);
+  EXPECT_EQ(r.regressions, 1u);  // best rep 65/s is 35% below baseline median
+  const auto fast =
+      parse_bench_json(doc(metric("tput", "higher", 140.0, "[130.0,140.0,150.0]")), &error);
+  ASSERT_TRUE(fast.has_value());
+  const auto r2 = diff(*base, *fast, 0.25);
+  EXPECT_EQ(r2.regressions, 0u);
+  EXPECT_EQ(r2.improvements, 1u);
+}
+
+TEST(DiffTest, MetricMissingFromBaselineIsNeutral) {
+  std::string error;
+  const auto base = parse_bench_json(doc(metric("a", "lower", 10.0, "[10.0]")), &error);
+  const auto cand = parse_bench_json(
+      doc(metric("a", "lower", 10.0, "[10.0]") + "," +
+          metric("brand_new", "lower", 999.0, "[999.0]")),
+      &error);
+  ASSERT_TRUE(base && cand);
+  const auto r = diff(*base, *cand, 0.25);
+  EXPECT_EQ(r.regressions, 0u);
+  EXPECT_EQ(r.new_metrics, 1u);
+  EXPECT_EQ(r.rows[1].status, Status::kNewMetric);
+}
+
+TEST(LoadTest, MissingFileReturnsError) {
+  std::string error;
+  EXPECT_FALSE(load_bench_file("/nonexistent/BENCH_x.json", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace paragraph::perfdiff

@@ -13,6 +13,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/control.h"
+#include "obs/metrics.h"
 #include "runtime/parallel.h"
 #include "runtime/thread_pool.h"
 
@@ -244,6 +246,55 @@ TEST(ParallelReduceTest, FallsBackToSerialInsideNestedRegion) {
   float serial = 0.0f;
   for (std::size_t i = 0; i < 100; ++i) serial += static_cast<float>(i) * 0.25f;
   for (const float r : results) EXPECT_EQ(r, serial);
+}
+
+// Pool telemetry accumulates monotonically for the process lifetime (the
+// utilization window opens at the first instrumented region and never
+// resets), so the disabled-path test must run before any obs-enabled
+// region executes in this binary. Keep these two tests in this order.
+TEST(PoolTelemetryTest, DisabledRunsPublishNothing) {
+  ThreadGuard guard(2);
+  obs::set_enabled(false);
+  auto& reg = obs::MetricsRegistry::instance();
+  reg.reset();
+  std::vector<double> v(4096, 1.0);
+  parallel_for(v.size(), 64, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) v[i] += 1.0;
+  });
+  publish_runtime_metrics();
+  // No instrumented region ever opened the utilization window, so the
+  // publisher must not invent a gauge value.
+  EXPECT_EQ(reg.gauge("runtime.utilization").value(), 0.0);
+  EXPECT_EQ(reg.histogram("runtime.region_us").count(), 0u);
+  reg.reset();
+}
+
+TEST(PoolTelemetryTest, UtilizationLandsInUnitIntervalWithBusyWorkers) {
+  obs::set_enabled(true);
+  auto& reg = obs::MetricsRegistry::instance();
+  reg.reset();
+  // With obs on, set_num_threads publishes the runtime.threads gauge.
+  ThreadGuard guard(4);
+  // Enough work per chunk that every region accumulates measurable busy
+  // time; the names show up as region:<name> spans when tracing is on.
+  std::vector<double> v(1 << 14, 1.0);
+  for (int round = 0; round < 8; ++round) {
+    parallel_for("telemetry.test", v.size(), 256, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) v[i] = v[i] * 1.0000001 + 1e-9;
+    });
+  }
+  publish_runtime_metrics();
+  const double util = reg.gauge("runtime.utilization").value();
+  EXPECT_GT(util, 0.0);
+  EXPECT_LE(util, 1.0);
+  EXPECT_EQ(reg.gauge("runtime.threads").value(), 4.0);
+  // The caller slot always executes chunks, so its busy gauge is positive.
+  EXPECT_GT(reg.gauge("runtime.worker.0.busy_ms").value(), 0.0);
+  // Region wall-time histograms are recorded per instrumented region.
+  EXPECT_EQ(reg.histogram("runtime.region_us").count(), 8u);
+  EXPECT_EQ(reg.histogram("runtime.region_wait_us").count(), 8u);
+  reg.reset();
+  obs::set_enabled(false);
 }
 
 }  // namespace

@@ -32,9 +32,11 @@
 //   --metrics-out PATH write counters/gauges/histograms (p50/p95/p99),
 //                      per-epoch records, and the phase-time profile as JSON
 //   --trace-out PATH   write a Chrome trace-event file (chrome://tracing,
-//                      Perfetto)
-// --metrics-out/--trace-out enable the instrumentation layer, which is
-// otherwise off and costs nothing.
+//                      Perfetto) with per-worker region:<name> spans
+//   --mem-stats        print a one-line peak-RSS / peak-Matrix-bytes
+//                      summary on exit (works without --metrics-out)
+// --metrics-out/--trace-out/--mem-stats enable the instrumentation layer,
+// which is otherwise off and costs nothing.
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -92,6 +94,7 @@ dataset::Sample sample_from_netlist(circuit::Netlist nl) {
 struct ObsOutputs {
   std::string metrics_out;
   std::string trace_out;
+  bool mem_stats = false;
 };
 
 ObsOutputs setup_observability(const util::ArgParser& args) {
@@ -108,8 +111,9 @@ ObsOutputs setup_observability(const util::ArgParser& args) {
     if (!obs::Logger::instance().open_jsonl(path))
       throw std::runtime_error("cannot open --log-jsonl file '" + path + "'");
   }
-  ObsOutputs out{args.get("metrics-out"), args.get("trace-out")};
-  if (!out.metrics_out.empty() || !out.trace_out.empty()) obs::set_enabled(true);
+  ObsOutputs out{args.get("metrics-out"), args.get("trace-out"), args.has("mem-stats")};
+  if (!out.metrics_out.empty() || !out.trace_out.empty() || out.mem_stats)
+    obs::set_enabled(true);
   if (!out.trace_out.empty()) obs::TraceCollector::instance().set_enabled(true);
   return out;
 }
@@ -132,6 +136,12 @@ void setup_runtime(const util::ArgParser& args) {
 }
 
 void flush_observability(const ObsOutputs& out) {
+  // Dump-time telemetry: memory gauges and pool utilization are computed
+  // lazily, so they have to be published into the registry before the dump.
+  if (obs::enabled()) {
+    obs::publish_memory_metrics();
+    runtime::publish_runtime_metrics();
+  }
   if (!out.metrics_out.empty()) {
     // The hierarchical phase profile rides along in the metrics document.
     obs::JsonValue doc = obs::MetricsRegistry::instance().to_json();
@@ -151,6 +161,18 @@ void flush_observability(const ObsOutputs& out) {
     } else {
       std::fprintf(stderr, "paragraph: cannot write trace to '%s'\n", out.trace_out.c_str());
     }
+  }
+  if (out.mem_stats) {
+    // One line, independent of --metrics-out, so a quick `--mem-stats` run
+    // answers "how much memory did that take" without a JSON detour.
+    const obs::ProcMemory pm = obs::sample_process_memory();
+    const auto& mt = obs::MemTracker::instance();
+    std::printf("mem-stats: peak_rss=%llu KB  matrix_peak=%llu bytes  "
+                "matrix_allocs=%llu  matrix_frees=%llu\n",
+                static_cast<unsigned long long>(pm.ok ? pm.vm_hwm_kb : 0),
+                static_cast<unsigned long long>(mt.peak_bytes()),
+                static_cast<unsigned long long>(mt.allocs()),
+                static_cast<unsigned long long>(mt.frees()));
   }
   obs::Logger::instance().close_jsonl();
 }

@@ -1,0 +1,106 @@
+// perf_diff — the PR perf-regression gate over paragraph-bench-v1 JSON.
+//
+//   perf_diff [--threshold PCT] [--advisory] BASELINE.json CANDIDATE.json
+//
+// Compares every candidate metric against the baseline median using the
+// noise-aware rule in perf_diff.h (candidate best rep vs baseline median,
+// relative threshold, default 25% — generous because the recorded
+// baselines come from a noisy shared single-core container; see
+// bench_results/obs/RUNTIME_SPEEDUP.md). Exit codes:
+//   0  no regression (including: baseline file absent — neutral, so the
+//      gate cannot fail before a baseline has ever been recorded)
+//   1  at least one metric regressed beyond the threshold
+//   2  usage or parse error
+// --advisory reports regressions but always exits 0 (CI smoke mode).
+// PARAGRAPH_PERF_THRESHOLD overrides the default threshold (percent).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "perf_diff.h"
+
+using namespace paragraph;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: perf_diff [--threshold PCT] [--advisory] BASELINE.json CANDIDATE.json\n");
+  return 2;
+}
+
+const char* status_str(perfdiff::Status s) {
+  switch (s) {
+    case perfdiff::Status::kRegression: return "REGRESSION";
+    case perfdiff::Status::kImproved: return "improved";
+    case perfdiff::Status::kNewMetric: return "new";
+    case perfdiff::Status::kOk: return "ok";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double threshold = 0.25;
+  if (const char* env = std::getenv("PARAGRAPH_PERF_THRESHOLD"))
+    threshold = std::atof(env) / 100.0;
+  bool advisory = false;
+  std::string paths[2];
+  std::size_t n_paths = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--advisory") == 0) {
+      advisory = true;
+    } else if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
+      threshold = std::atof(argv[++i]) / 100.0;
+    } else if (argv[i][0] == '-') {
+      return usage();
+    } else if (n_paths < 2) {
+      paths[n_paths++] = argv[i];
+    } else {
+      return usage();
+    }
+  }
+  if (n_paths != 2 || threshold <= 0.0) return usage();
+
+  std::string error;
+  const auto baseline = perfdiff::load_bench_file(paths[0], &error);
+  if (!baseline) {
+    // A missing or unreadable baseline is neutral: record one with
+    // scripts/run_benchmarks.sh before the gate can bite.
+    std::printf("perf_diff: no usable baseline (%s) — skipping comparison\n", error.c_str());
+    return 0;
+  }
+  const auto candidate = perfdiff::load_bench_file(paths[1], &error);
+  if (!candidate) {
+    std::fprintf(stderr, "perf_diff: cannot load candidate: %s\n", error.c_str());
+    return 2;
+  }
+  if (!baseline->build_type.empty() && !candidate->build_type.empty() &&
+      baseline->build_type != candidate->build_type) {
+    std::printf("perf_diff: build types differ (%s vs %s) — skipping comparison\n",
+                baseline->build_type.c_str(), candidate->build_type.c_str());
+    return 0;
+  }
+
+  const auto result = perfdiff::diff(*baseline, *candidate, threshold);
+  std::printf("perf_diff: %s vs %s (threshold %.0f%%, candidate best rep vs baseline median)\n",
+              paths[0].c_str(), paths[1].c_str(), threshold * 100.0);
+  for (const auto& row : result.rows) {
+    if (row.status == perfdiff::Status::kNewMetric) {
+      std::printf("  %-44s %10s  (no baseline)\n", row.name.c_str(), status_str(row.status));
+    } else {
+      std::printf("  %-44s %10s  base %12.4g  now %12.4g  %+6.1f%%\n", row.name.c_str(),
+                  status_str(row.status), row.baseline, row.current, row.delta * 100.0);
+    }
+  }
+  std::printf("perf_diff: %zu metric%s, %zu regression%s, %zu improved, %zu new\n",
+              result.rows.size(), result.rows.size() == 1 ? "" : "s", result.regressions,
+              result.regressions == 1 ? "" : "s", result.improvements, result.new_metrics);
+  if (result.regressions > 0 && advisory) {
+    std::printf("perf_diff: advisory mode — regressions reported, exit 0\n");
+    return 0;
+  }
+  return result.regressions > 0 ? 1 : 0;
+}

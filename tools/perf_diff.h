@@ -1,0 +1,148 @@
+// Comparison engine behind tools/perf_diff: loads two paragraph-bench-v1
+// JSON artefacts (bench_common.h's BenchReporter emits them) and flags
+// per-metric regressions with a noise-aware rule.
+//
+// The rule: the baseline is represented by its median, the candidate by
+// its *best* repetition (min for lower-is-better metrics, max for
+// higher-is-better). A machine that can still hit the baseline median in
+// any repetition has not regressed — one noisy rep can't fail a PR, while
+// a genuine slowdown shifts every rep and trips the relative threshold.
+// Header-only so tests/perf_diff_test.cpp exercises the logic in-process.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace paragraph::perfdiff {
+
+struct Metric {
+  std::string name;
+  std::string unit;
+  bool higher_better = false;
+  double median = 0.0;
+  double best = 0.0;  // min of reps when lower is better, max otherwise
+  std::size_t reps = 0;
+};
+
+struct BenchFile {
+  std::string bench;
+  std::string build_type;
+  std::vector<Metric> metrics;
+
+  const Metric* find(const std::string& name) const {
+    for (const Metric& m : metrics)
+      if (m.name == name) return &m;
+    return nullptr;
+  }
+};
+
+inline std::optional<BenchFile> parse_bench_json(const std::string& text, std::string* error) {
+  const auto parsed = obs::JsonValue::parse(text, error);
+  if (!parsed) return std::nullopt;
+  const auto fail = [&](const char* msg) {
+    if (error != nullptr) *error = msg;
+    return std::nullopt;
+  };
+  const obs::JsonValue* schema = parsed->find("schema");
+  if (schema == nullptr || schema->as_string() != "paragraph-bench-v1")
+    return fail("not a paragraph-bench-v1 document");
+  const obs::JsonValue* metrics = parsed->find("metrics");
+  if (metrics == nullptr || !metrics->is_array()) return fail("missing metrics array");
+  BenchFile out;
+  if (const auto* b = parsed->find("bench")) out.bench = b->as_string();
+  if (const auto* b = parsed->find("build_type")) out.build_type = b->as_string();
+  for (const obs::JsonValue& m : metrics->elements()) {
+    const obs::JsonValue* name = m.find("name");
+    const obs::JsonValue* median = m.find("median");
+    const obs::JsonValue* reps = m.find("reps");
+    if (name == nullptr || median == nullptr || reps == nullptr || !reps->is_array() ||
+        reps->size() == 0)
+      return fail("metric missing name/median/reps");
+    Metric metric;
+    metric.name = name->as_string();
+    if (const auto* u = m.find("unit")) metric.unit = u->as_string();
+    if (const auto* d = m.find("better")) metric.higher_better = d->as_string() == "higher";
+    metric.median = median->as_double();
+    metric.reps = reps->size();
+    metric.best = (*reps)[0].as_double();
+    for (const obs::JsonValue& r : reps->elements())
+      metric.best = metric.higher_better ? std::max(metric.best, r.as_double())
+                                         : std::min(metric.best, r.as_double());
+    out.metrics.push_back(std::move(metric));
+  }
+  return out;
+}
+
+inline std::optional<BenchFile> load_bench_file(const std::string& path, std::string* error) {
+  std::ifstream is(path);
+  if (!is) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return parse_bench_json(ss.str(), error);
+}
+
+enum class Status { kOk, kImproved, kRegression, kNewMetric };
+
+struct Comparison {
+  std::string name;
+  Status status = Status::kOk;
+  double baseline = 0.0;  // baseline median
+  double current = 0.0;   // candidate best rep
+  double delta = 0.0;     // signed relative change, + = worse
+};
+
+struct DiffResult {
+  std::vector<Comparison> rows;
+  std::size_t regressions = 0;
+  std::size_t improvements = 0;
+  std::size_t new_metrics = 0;  // present in candidate only: neutral
+};
+
+// Compares every candidate metric against the baseline. `threshold` is the
+// relative change that counts as a regression (0.25 = 25% worse); the same
+// margin symmetric around zero reports improvements (informational only).
+// Metrics absent from the baseline are neutral (kNewMetric), so adding a
+// benchmark never fails the gate until a new baseline is recorded.
+inline DiffResult diff(const BenchFile& baseline, const BenchFile& candidate,
+                       double threshold) {
+  DiffResult out;
+  for (const Metric& cur : candidate.metrics) {
+    Comparison row;
+    row.name = cur.name;
+    const Metric* base = baseline.find(cur.name);
+    if (base == nullptr) {
+      row.status = Status::kNewMetric;
+      row.current = cur.best;
+      ++out.new_metrics;
+      out.rows.push_back(std::move(row));
+      continue;
+    }
+    row.baseline = base->median;
+    row.current = cur.best;
+    if (base->median != 0.0) {
+      const double rel = (cur.best - base->median) / std::abs(base->median);
+      row.delta = cur.higher_better ? -rel : rel;  // + = worse either way
+    }
+    if (row.delta > threshold) {
+      row.status = Status::kRegression;
+      ++out.regressions;
+    } else if (row.delta < -threshold) {
+      row.status = Status::kImproved;
+      ++out.improvements;
+    }
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace paragraph::perfdiff
