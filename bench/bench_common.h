@@ -22,6 +22,7 @@
 #include "obs/json.h"
 #include "obs/memory.h"
 #include "runtime/thread_pool.h"
+#include "util/atomic_file.h"
 #include "util/strings.h"
 
 #ifndef PARAGRAPH_BUILD_TYPE
@@ -137,9 +138,8 @@ class BenchReporter {
     const char* env = std::getenv("PARAGRAPH_BENCH_OUT");
     const std::string dir = env != nullptr ? env : "bench_results";
     const std::string path = dir + "/BENCH_" + bench_ + ".json";
-    std::ofstream os(path, std::ios::out | std::ios::trunc);
-    if (os) os << to_json().dump() << '\n';
-    if (!os) {
+    // Atomic publish: the perf gate never reads a half-written document.
+    if (!paragraph::util::try_write_file_atomic(path, to_json().dump() + '\n')) {
       std::fprintf(stderr, "%s: cannot write %s (run from the repo root or set "
                    "PARAGRAPH_BENCH_OUT)\n", bench_.c_str(), path.c_str());
       return false;

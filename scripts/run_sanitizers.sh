@@ -8,6 +8,12 @@
 #   scripts/run_sanitizers.sh              # all three sanitizers, all tests
 #   scripts/run_sanitizers.sh thread       # one sanitizer
 #   scripts/run_sanitizers.sh undefined -R plan_test   # extra ctest args
+#   scripts/run_sanitizers.sh robustness   # the robustness label (corrupt-
+#                                          # artifact matrix, parser corpus,
+#                                          # kill-and-resume, fault suite)
+#                                          # under all three sanitizers; the
+#                                          # thread flavour runs it with
+#                                          # PARAGRAPH_THREADS=4
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -15,6 +21,7 @@ cd "$(dirname "$0")/.."
 sans="address undefined thread"
 case "${1:-}" in
   address|undefined|thread) sans="$1"; shift ;;
+  robustness) shift; set -- -L robustness "$@" ;;
 esac
 
 for san in $sans; do

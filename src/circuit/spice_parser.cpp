@@ -26,10 +26,13 @@ struct SubcktDef {
   std::string name;
   std::vector<std::string> ports;
   std::vector<Card> cards;
+  int start_line = 0;
 };
 
-[[noreturn]] void fail(int line_no, const std::string& msg) {
-  throw ParseError("spice parse error at line " + std::to_string(line_no) + ": " + msg);
+// All parse failures carry source:line so malformed decks point at the
+// offending card even through continuation lines and subckt expansion.
+[[noreturn]] void fail_at(const std::string& source, int line_no, const std::string& msg) {
+  throw ParseError("spice parse error at " + source + ":" + std::to_string(line_no) + ": " + msg);
 }
 
 // Splits "k=v" option tokens into a map; returns positional tokens.
@@ -56,22 +59,10 @@ DeviceKind mos_kind_from_model(const std::string& model) {
   return thick ? DeviceKind::kNmosThick : DeviceKind::kNmos;
 }
 
-double parse_number_or_fail(const std::string& tok, int line_no, const char* what) {
-  double v = 0.0;
-  if (!parse_spice_number(tok, v)) fail(line_no, std::string("bad ") + what + " '" + tok + "'");
-  return v;
-}
-
-int parse_int_or_fail(const std::string& tok, int line_no, const char* what) {
-  const double v = parse_number_or_fail(tok, line_no, what);
-  if (v < 1.0 || v != static_cast<double>(static_cast<long long>(v)))
-    fail(line_no, std::string("expected positive integer for ") + what + ", got '" + tok + "'");
-  return static_cast<int>(v);
-}
-
 class Parser {
  public:
-  Parser(std::istream& in, std::string top_name) : top_name_(std::move(top_name)) {
+  Parser(std::istream& in, std::string top_name, std::string source)
+      : top_name_(std::move(top_name)), source_(std::move(source)) {
     read_cards(in);
   }
 
@@ -86,6 +77,23 @@ class Parser {
   }
 
  private:
+  [[noreturn]] void fail(int line_no, const std::string& msg) const {
+    fail_at(source_, line_no, msg);
+  }
+
+  double parse_number_or_fail(const std::string& tok, int line_no, const char* what) const {
+    double v = 0.0;
+    if (!parse_spice_number(tok, v)) fail(line_no, std::string("bad ") + what + " '" + tok + "'");
+    return v;
+  }
+
+  int parse_int_or_fail(const std::string& tok, int line_no, const char* what) const {
+    const double v = parse_number_or_fail(tok, line_no, what);
+    if (v < 1.0 || v != static_cast<double>(static_cast<long long>(v)))
+      fail(line_no, std::string("expected positive integer for ") + what + ", got '" + tok + "'");
+    return static_cast<int>(v);
+  }
+
   void read_cards(std::istream& in) {
     std::string raw;
     int line_no = 0;
@@ -106,6 +114,9 @@ class Parser {
         logical_line_nos.push_back(line_no);
       }
     }
+    if (in.bad())
+      throw ParseError("spice parse error: I/O error reading " + source_ + " near line " +
+                       std::to_string(line_no));
 
     SubcktDef* current = nullptr;
     for (std::size_t i = 0; i < logical_lines.size(); ++i) {
@@ -117,7 +128,18 @@ class Parser {
         if (card.tokens.size() < 2) fail(card.line_no, ".subckt needs a name");
         SubcktDef def;
         def.name = to_lower(card.tokens[1]);
-        for (std::size_t p = 2; p < card.tokens.size(); ++p) def.ports.push_back(card.tokens[p]);
+        def.start_line = card.line_no;
+        if (subckts_.contains(def.name))
+          fail(card.line_no, "duplicate .subckt definition of '" + def.name +
+                                 "' (first defined at line " +
+                                 std::to_string(subckts_[def.name].start_line) + ")");
+        std::unordered_set<std::string> seen_ports;
+        for (std::size_t p = 2; p < card.tokens.size(); ++p) {
+          if (!seen_ports.insert(to_lower(card.tokens[p])).second)
+            fail(card.line_no,
+                 "duplicate port '" + card.tokens[p] + "' on .subckt '" + def.name + "'");
+          def.ports.push_back(card.tokens[p]);
+        }
         subckts_[def.name] = std::move(def);
         current = &subckts_[to_lower(card.tokens[1])];
       } else if (head == ".ends") {
@@ -135,7 +157,8 @@ class Parser {
         top_cards_.push_back(std::move(card));
       }
     }
-    if (current != nullptr) throw ParseError("spice parse error: unterminated .subckt");
+    if (current != nullptr)
+      fail(current->start_line, "unterminated .subckt '" + current->name + "' (missing .ends)");
   }
 
   std::string resolve_net(const std::string& name, const std::string& prefix,
@@ -158,14 +181,21 @@ class Parser {
           prefix.empty() ? card.tokens[0] : prefix + "/" + card.tokens[0];
       std::unordered_map<std::string, std::string> opts;
       const auto pos = split_options(card.tokens, opts);
-      switch (kind) {
-        case 'm': emit_mos(nl, card, pos, opts, inst_name, prefix, port_map); break;
-        case 'r': emit_rc(nl, card, pos, opts, inst_name, prefix, port_map, DeviceKind::kResistor); break;
-        case 'c': emit_rc(nl, card, pos, opts, inst_name, prefix, port_map, DeviceKind::kCapacitor); break;
-        case 'd': emit_diode(nl, card, pos, opts, inst_name, prefix, port_map); break;
-        case 'q': emit_bjt(nl, card, pos, opts, inst_name, prefix, port_map); break;
-        case 'x': emit_subckt(nl, card, pos, inst_name, prefix, port_map, depth); break;
-        default: fail(card.line_no, std::string("unsupported card '") + card.tokens[0] + "'");
+      // Netlist construction rejects duplicate devices, bad terminal
+      // counts, and non-positive sizing; pin those to the card's source
+      // location instead of surfacing a bare invalid_argument.
+      try {
+        switch (kind) {
+          case 'm': emit_mos(nl, card, pos, opts, inst_name, prefix, port_map); break;
+          case 'r': emit_rc(nl, card, pos, opts, inst_name, prefix, port_map, DeviceKind::kResistor); break;
+          case 'c': emit_rc(nl, card, pos, opts, inst_name, prefix, port_map, DeviceKind::kCapacitor); break;
+          case 'd': emit_diode(nl, card, pos, opts, inst_name, prefix, port_map); break;
+          case 'q': emit_bjt(nl, card, pos, opts, inst_name, prefix, port_map); break;
+          case 'x': emit_subckt(nl, card, pos, inst_name, prefix, port_map, depth); break;
+          default: fail(card.line_no, std::string("unsupported card '") + card.tokens[0] + "'");
+        }
+      } catch (const std::invalid_argument& ex) {
+        fail(card.line_no, ex.what());
       }
     }
   }
@@ -259,6 +289,7 @@ class Parser {
   }
 
   std::string top_name_;
+  std::string source_;  // label for error messages (file path or "<string>")
   std::vector<Card> top_cards_;
   std::unordered_map<std::string, SubcktDef> subckts_;
   std::unordered_set<std::string> globals_;
@@ -274,19 +305,21 @@ bool is_supply_name(const std::string& name) {
 }
 
 Netlist parse_spice(std::istream& in, const std::string& top_name) {
-  Parser p(in, top_name);
+  Parser p(in, top_name, "<stream>");
   return p.build();
 }
 
 Netlist parse_spice_string(const std::string& text, const std::string& top_name) {
   std::istringstream ss(text);
-  return parse_spice(ss, top_name);
+  Parser p(ss, top_name, "<string>");
+  return p.build();
 }
 
 Netlist parse_spice_file(const std::string& path) {
   std::ifstream f(path);
   if (!f) throw ParseError("cannot open spice file '" + path + "'");
-  return parse_spice(f, path);
+  Parser p(f, path, path);
+  return p.build();
 }
 
 }  // namespace paragraph::circuit

@@ -1,0 +1,51 @@
+// Durable training checkpoints.
+//
+// A checkpoint captures everything GnnPredictor::train needs to continue a
+// run as if it had never stopped: the model blob (config + scaler +
+// current weights, in the model-file format), the Adam moments and step
+// count, the shuffle RNG stream, the divergence-recovery state (best
+// snapshot, learning-rate scale, non-finite streak), and the next epoch
+// index. A resumed run is bit-identical to an uninterrupted one — proved
+// by tests/checkpoint_test.cpp, which kills training mid-run.
+//
+// Files are written atomically (temp + fsync + rename) and carry a
+// trailing FNV-1a-64 checksum; loads are length-checked and bounded like
+// model files, raising util::CorruptArtifactError on any damage.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/matrix.h"
+#include "util/rng.h"
+
+namespace paragraph::core {
+
+struct TrainCheckpoint {
+  // Epoch to run next (i.e. epochs completed so far).
+  int next_epoch = 0;
+  // Divergence-recovery state (see GnnPredictor::train).
+  float lr_scale = 1.0f;
+  int nonfinite_streak = 0;
+  bool has_best = false;
+  double best_loss = 0.0;
+  std::vector<nn::Matrix> best_params;
+  // Exact shuffle stream position.
+  util::Rng::State shuffle_rng;
+  // Adam state.
+  long adam_steps = 0;
+  std::vector<nn::Matrix> adam_m;
+  std::vector<nn::Matrix> adam_v;
+  // Model-file bytes (core/serialize format) holding config, scaler, and
+  // the current (not best) weights.
+  std::string model_bytes;
+};
+
+// Atomic write; throws util::IoError on I/O failure.
+void save_checkpoint(const TrainCheckpoint& ckpt, const std::string& path);
+
+// Throws util::IoError (unreadable) or util::CorruptArtifactError
+// (truncated / checksum mismatch / out-of-bounds counts).
+TrainCheckpoint load_checkpoint(const std::string& path);
+
+}  // namespace paragraph::core

@@ -1,16 +1,30 @@
 #include "core/ensemble.h"
 
+#include <sstream>
 #include <stdexcept>
 
+#include "core/serialize.h"
 #include "gnn/plan.h"
 #include "obs/log.h"
 #include "obs/profile.h"
 #include "runtime/thread_pool.h"
+#include "util/atomic_file.h"
+#include "util/errors.h"
 
 namespace paragraph::core {
 
 using dataset::Sample;
 using dataset::SuiteDataset;
+
+namespace {
+
+constexpr std::size_t kMaxMembers = 64;
+
+std::string member_path(const std::string& manifest_path, std::size_t i) {
+  return manifest_path + ".m" + std::to_string(i);
+}
+
+}  // namespace
 
 CapEnsemble::CapEnsemble(const EnsembleConfig& config) : config_(config) {
   if (config_.max_vs_ff.size() < 2)
@@ -58,6 +72,70 @@ std::vector<float> CapEnsemble::predict_with_plan(const SuiteDataset& ds, const 
     }
   }
   return p;
+}
+
+void CapEnsemble::save(const std::string& path) const {
+  // Members first, manifest last: the manifest is the commit point.
+  for (std::size_t i = 0; i < models_.size(); ++i)
+    save_predictor(*models_[i], member_path(path, i));
+  std::ostringstream manifest;
+  manifest << "paragraph-ensemble 1\n";
+  manifest << "members " << models_.size() << "\n";
+  util::write_file_atomic(path, manifest.str());
+}
+
+CapEnsemble CapEnsemble::load(const std::string& path) {
+  const std::string text = read_artifact_file(path, "CapEnsemble::load", std::uint64_t{1} << 20);
+  const std::string context = "CapEnsemble::load: '" + path + "'";
+  std::istringstream in(text);
+  std::string tag;
+  int version = 0;
+  std::string members_word;
+  std::size_t count = 0;
+  if (!(in >> tag >> version >> members_word >> count) || tag != "paragraph-ensemble" ||
+      members_word != "members")
+    throw util::CorruptArtifactError(context + ": not an ensemble manifest");
+  if (version != 1)
+    throw util::CorruptArtifactError(context + ": unsupported manifest version " +
+                                     std::to_string(version));
+  if (count < 1 || count > kMaxMembers)
+    throw util::CorruptArtifactError(context + ": implausible member count " +
+                                     std::to_string(count));
+
+  CapEnsemble e;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::string mp = member_path(path, i);
+    try {
+      auto model = std::make_unique<GnnPredictor>(load_predictor(mp));
+      if (model->config().target != dataset::TargetKind::kCap)
+        throw util::CorruptArtifactError("member '" + mp + "' is not a CAP model");
+      e.models_.push_back(std::move(model));
+    } catch (const util::IoError& ex) {
+      obs::log_warn("ensemble", "member unreadable, skipping",
+                    {{"member", i}, {"path", mp}, {"error", ex.what()}});
+      e.degraded_ = true;
+    } catch (const util::CorruptArtifactError& ex) {
+      obs::log_warn("ensemble", "member corrupt, skipping",
+                    {{"member", i}, {"path", mp}, {"error", ex.what()}});
+      e.degraded_ = true;
+    }
+  }
+  if (e.models_.empty())
+    throw util::CorruptArtifactError(context + ": no usable member models");
+  // The Algorithm 2 cascade needs strictly ascending ranges; rebuild the
+  // range list from the survivors so a degraded ensemble stays coherent.
+  e.config_.max_vs_ff.clear();
+  for (const auto& m : e.models_) {
+    const double mv = m->config().max_v_ff;
+    if (!e.config_.max_vs_ff.empty() && mv <= e.config_.max_vs_ff.back())
+      throw util::CorruptArtifactError(context + ": member ranges not strictly ascending");
+    e.config_.max_vs_ff.push_back(mv);
+  }
+  e.config_.base = e.models_.front()->config();
+  if (e.degraded_)
+    obs::log_warn("ensemble", "loaded degraded",
+                  {{"loaded", e.models_.size()}, {"expected", count}});
+  return e;
 }
 
 EvalResult CapEnsemble::evaluate(const SuiteDataset& ds,

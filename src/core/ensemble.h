@@ -41,9 +41,30 @@ class CapEnsemble {
   std::size_t num_models() const { return models_.size(); }
   const GnnPredictor& model(std::size_t i) const { return *models_.at(i); }
 
+  // Persists the ensemble: each member model goes to `path`.m<i> (model
+  // file format) and a small manifest to `path`. Members are written
+  // before the manifest, and every write is atomic, so a crash mid-save
+  // never publishes a manifest pointing at missing members. Throws
+  // util::IoError on I/O failure.
+  void save(const std::string& path) const;
+
+  // Loads a saved ensemble. A member whose file is missing or corrupt is
+  // skipped with a warning and Algorithm 2 runs over the surviving ranges
+  // (graceful degradation; `degraded()` reports it). Throws
+  // util::CorruptArtifactError when the manifest is damaged, a surviving
+  // member is not a CAP model, the ranges are not strictly ascending, or
+  // no member survives; util::IoError when the manifest is unreadable.
+  static CapEnsemble load(const std::string& path);
+
+  // True when load() had to drop at least one member.
+  bool degraded() const { return degraded_; }
+
  private:
+  CapEnsemble() = default;
+
   EnsembleConfig config_;
   std::vector<std::unique_ptr<GnnPredictor>> models_;  // ascending max_v
+  bool degraded_ = false;
 };
 
 }  // namespace paragraph::core

@@ -7,6 +7,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "core/checkpoint.h"
+#include "core/serialize.h"
 #include "gnn/plan.h"
 #include "nn/optim.h"
 #include "obs/log.h"
@@ -14,6 +16,8 @@
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "runtime/thread_pool.h"
+#include "util/errors.h"
+#include "util/faultinject.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -163,7 +167,8 @@ double global_grad_norm(const std::vector<Tensor>& params) {
 
 }  // namespace
 
-std::vector<double> GnnPredictor::train(const SuiteDataset& ds, const EpochCallback& on_epoch) {
+std::vector<double> GnnPredictor::train(const SuiteDataset& ds, const EpochCallback& on_epoch,
+                                        const TrainOptions& options) {
   PARAGRAPH_TIMED_SCOPE("train");
   const auto& types = dataset::target_node_types(config_.target);
 
@@ -282,6 +287,64 @@ std::vector<double> GnnPredictor::train(const SuiteDataset& ds, const EpochCallb
       params[i].mutable_value() = best_params[i];
   };
 
+  // Per-step numeric guardrail state. A non-finite loss or gradient norm
+  // skips the step (weights and Adam moments untouched), restores the
+  // best-snapshot weights, and halves the learning rate (bounded below);
+  // kMaxNonfiniteStreak consecutive failures abort the run cleanly.
+  constexpr int kMaxNonfiniteStreak = 5;
+  constexpr float kMinLrScale = 0.05f;
+  int nonfinite_streak = 0;
+
+  int start_epoch = 0;
+  if (options.resume != nullptr) {
+    const TrainCheckpoint& ck = *options.resume;
+    if (ck.next_epoch > config_.epochs)
+      throw util::CorruptArtifactError(
+          "resume: checkpoint has completed " + std::to_string(ck.next_epoch) +
+          " epochs but the configured budget is " + std::to_string(config_.epochs));
+    if (ck.has_best && ck.best_params.size() != params.size())
+      throw util::CorruptArtifactError("resume: best-snapshot parameter count mismatch");
+    opt.set_state(ck.adam_m, ck.adam_v, ck.adam_steps);
+    start_epoch = ck.next_epoch;
+    lr_scale = ck.lr_scale;
+    nonfinite_streak = ck.nonfinite_streak;
+    if (ck.has_best) {
+      for (std::size_t i = 0; i < params.size(); ++i) {
+        if (ck.best_params[i].rows() != params[i].value().rows() ||
+            ck.best_params[i].cols() != params[i].value().cols())
+          throw util::CorruptArtifactError("resume: best-snapshot shape mismatch at parameter " +
+                                           std::to_string(i));
+      }
+      best_params = ck.best_params;
+      best_loss = ck.best_loss;
+    }
+    obs::log_info("train", "resumed from checkpoint",
+                  {{"next_epoch", start_epoch}, {"lr_scale", static_cast<double>(lr_scale)}});
+  }
+
+  auto on_nonfinite = [&](int epoch, float epoch_lr, double loss_val, double grad_norm) {
+    ++nonfinite_streak;
+    const float prev_scale = lr_scale;
+    lr_scale = std::max(lr_scale * 0.5f, kMinLrScale);
+    opt.set_learning_rate(epoch_lr * lr_scale);
+    if (!best_params.empty()) restore();
+    if (obs::enabled()) {
+      obs::MetricsRegistry::instance().counter("train.nonfinite_steps").add();
+      if (lr_scale != prev_scale)
+        obs::MetricsRegistry::instance().counter("train.lr_backoffs").add();
+    }
+    obs::log_warn("train", "non-finite step skipped",
+                  {{"epoch", epoch},
+                   {"loss", loss_val},
+                   {"grad_norm", grad_norm},
+                   {"streak", nonfinite_streak},
+                   {"lr_scale", static_cast<double>(lr_scale)}});
+    if (nonfinite_streak >= kMaxNonfiniteStreak)
+      throw util::DivergenceError("training diverged: " + std::to_string(nonfinite_streak) +
+                                  " consecutive non-finite steps (epoch " +
+                                  std::to_string(epoch) + ")");
+  };
+
   // Per-epoch telemetry is cheap (one clock read per epoch) so it is
   // collected unconditionally; the obs sinks below are gated.
   const bool want_telemetry =
@@ -291,7 +354,23 @@ std::vector<double> GnnPredictor::train(const SuiteDataset& ds, const EpochCallb
   std::vector<double> epoch_losses;
   std::vector<std::size_t> order(prepared.size());
   std::iota(order.begin(), order.end(), 0);
-  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+  if (options.resume != nullptr) {
+    // The shuffle permutation is cumulative (each epoch shuffles the
+    // previous epoch's order), so replay the interrupted run's shuffles.
+    // This also reproduces the RNG stream position; the checkpoint's
+    // stored state then acts as an integrity check that the dataset (and
+    // so the shuffle stream) matches the interrupted run.
+    for (int e = 0; e < start_epoch; ++e) shuffle_rng.shuffle(order);
+    const util::Rng::State got = shuffle_rng.state();
+    const util::Rng::State& want = options.resume->shuffle_rng;
+    if (got.words[0] != want.words[0] || got.words[1] != want.words[1] ||
+        got.words[2] != want.words[2] || got.words[3] != want.words[3] ||
+        got.has_cached_normal != want.has_cached_normal)
+      throw util::CorruptArtifactError(
+          "resume: shuffle stream mismatch (checkpoint was taken against a "
+          "different dataset or seed)");
+  }
+  for (int epoch = start_epoch; epoch < config_.epochs; ++epoch) {
     PARAGRAPH_TIMED_SCOPE("epoch");
     const auto epoch_start = std::chrono::steady_clock::now();
     float lr = config_.learning_rate;
@@ -315,6 +394,13 @@ std::vector<double> GnnPredictor::train(const SuiteDataset& ds, const EpochCallb
           loss = circuit_loss(*embedding_, *head_, p);
           if (!loss.defined()) continue;
         }
+        double loss_val = loss.item();
+        if (util::fault::should_fail("train.loss"))
+          loss_val = std::numeric_limits<double>::quiet_NaN();
+        if (!std::isfinite(loss_val)) {
+          on_nonfinite(epoch, lr, loss_val, 0.0);
+          continue;
+        }
         {
           PARAGRAPH_TIMED_SCOPE("backward");
           opt.zero_grad();
@@ -324,12 +410,17 @@ std::vector<double> GnnPredictor::train(const SuiteDataset& ds, const EpochCallb
           PARAGRAPH_TIMED_SCOPE("optimizer");
           if (config_.grad_clip > 0.0f) {
             last_grad_norm = nn::clip_grad_norm(params, config_.grad_clip);
-          } else if (want_telemetry) {
+          } else {
             last_grad_norm = global_grad_norm(params);
+          }
+          if (!std::isfinite(last_grad_norm)) {
+            on_nonfinite(epoch, lr, loss_val, last_grad_norm);
+            continue;
           }
           opt.step();
         }
-        loss_sum += loss.item();
+        nonfinite_streak = 0;
+        loss_sum += loss_val;
         ++loss_count;
       }
     } else {
@@ -352,14 +443,27 @@ std::vector<double> GnnPredictor::train(const SuiteDataset& ds, const EpochCallb
               Tensor loss = circuit_loss(*rep.embedding, *rep.head, p);
               if (!loss.defined()) continue;
               loss.backward();
-              circuit_losses[r] = loss.item();
+              double lv = loss.item();
+              if (util::fault::should_fail("train.loss"))
+                lv = std::numeric_limits<double>::quiet_NaN();
+              circuit_losses[r] = lv;
             }
           });
         }
+        // -1 marks a circuit with no in-range loss; a non-finite entry
+        // means the whole merged step would be poisoned, so skip it.
         std::size_t used = 0;
-        for (const double l : circuit_losses)
-          if (l >= 0.0) ++used;
+        bool poisoned = false;
+        for (const double l : circuit_losses) {
+          if (!std::isfinite(l)) poisoned = true;
+          else if (l >= 0.0) ++used;
+        }
+        if (poisoned) {
+          on_nonfinite(epoch, lr, std::numeric_limits<double>::quiet_NaN(), 0.0);
+          continue;
+        }
         if (used == 0) continue;
+        bool stepped = false;
         {
           PARAGRAPH_TIMED_SCOPE("optimizer");
           opt.zero_grad();
@@ -374,11 +478,19 @@ std::vector<double> GnnPredictor::train(const SuiteDataset& ds, const EpochCallb
           }
           if (config_.grad_clip > 0.0f) {
             last_grad_norm = nn::clip_grad_norm(params, config_.grad_clip);
-          } else if (want_telemetry) {
+          } else {
             last_grad_norm = global_grad_norm(params);
           }
-          opt.step();
+          if (std::isfinite(last_grad_norm)) {
+            opt.step();
+            stepped = true;
+          }
         }
+        if (!stepped) {
+          on_nonfinite(epoch, lr, 0.0, last_grad_norm);
+          continue;
+        }
+        nonfinite_streak = 0;
         for (const double l : circuit_losses)
           if (l >= 0.0) loss_sum += l;
         loss_count += used;
@@ -431,6 +543,29 @@ std::vector<double> GnnPredictor::train(const SuiteDataset& ds, const EpochCallb
                       {"loss", epoch_loss},
                       {"lr_scale", static_cast<double>(lr_scale)}});
     }
+    if (options.checkpoint_every > 0 && !options.checkpoint_path.empty() &&
+        (epoch + 1) % options.checkpoint_every == 0) {
+      TrainCheckpoint ck;
+      ck.next_epoch = epoch + 1;
+      ck.lr_scale = lr_scale;
+      ck.nonfinite_streak = nonfinite_streak;
+      ck.has_best = !best_params.empty();
+      ck.best_loss = ck.has_best ? best_loss : 0.0;
+      ck.best_params = best_params;
+      ck.shuffle_rng = shuffle_rng.state();
+      ck.adam_steps = opt.steps();
+      ck.adam_m = opt.moments1();
+      ck.adam_v = opt.moments2();
+      ck.model_bytes = predictor_to_bytes(*this);
+      save_checkpoint(ck, options.checkpoint_path);
+      obs::log_debug("train", "checkpoint written",
+                     {{"epoch", epoch}, {"path", options.checkpoint_path}});
+    }
+    // Test hook: simulate the process dying between epochs (see
+    // tests/checkpoint_test.cpp kill-and-resume).
+    if (util::fault::should_fail("train.epoch"))
+      throw util::IoError("fault injected: training interrupted after epoch " +
+                          std::to_string(epoch));
   }
   if (!best_params.empty()) restore();
   return epoch_losses;

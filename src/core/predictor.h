@@ -120,16 +120,42 @@ struct EpochRecord {
 };
 using EpochCallback = std::function<void(const EpochRecord&)>;
 
+struct TrainCheckpoint;  // core/checkpoint.h
+
+// Fault-tolerance knobs for train().
+struct TrainOptions {
+  // Write a checkpoint to `checkpoint_path` after every N completed
+  // epochs (0 = off). Writes are atomic, so an interrupted run always
+  // finds the last complete checkpoint.
+  int checkpoint_every = 0;
+  std::string checkpoint_path;
+  // Resume state from core::load_checkpoint. The predictor itself must
+  // have been reconstructed from the checkpoint's model bytes
+  // (predictor_from_bytes), so weights/scaler/config already match; train
+  // restores the optimiser moments, shuffle stream, and recovery state,
+  // making the resumed run bit-identical to an uninterrupted one.
+  const TrainCheckpoint* resume = nullptr;
+};
+
 class GnnPredictor {
  public:
   GnnPredictor(const PredictorConfig& config);
 
   const PredictorConfig& config() const { return config_; }
 
-  // Trains on ds.train; returns per-epoch mean losses. `on_epoch`, when
-  // set, fires after every epoch with that epoch's telemetry.
+  // Trains on ds.train; returns per-epoch mean losses (resumed runs:
+  // losses of the epochs this call ran). `on_epoch`, when set, fires
+  // after every epoch with that epoch's telemetry.
+  //
+  // Numeric guardrails: a step whose loss or gradient norm is non-finite
+  // is skipped (weights and Adam state untouched), the best-snapshot
+  // weights are restored, and the learning rate is backed off (bounded);
+  // after 5 consecutive non-finite steps train throws
+  // util::DivergenceError. Counters: train.nonfinite_steps,
+  // train.lr_backoffs.
   std::vector<double> train(const dataset::SuiteDataset& ds,
-                            const EpochCallback& on_epoch = nullptr);
+                            const EpochCallback& on_epoch = nullptr,
+                            const TrainOptions& options = {});
 
   // Predicts raw-unit values for in-range nodes of each sample.
   EvalResult evaluate(const dataset::SuiteDataset& ds,

@@ -1,8 +1,13 @@
 #include "core/serialize.h"
 
+#include <cmath>
 #include <cstdint>
 #include <fstream>
-#include <stdexcept>
+#include <sstream>
+
+#include "util/atomic_file.h"
+#include "util/bytes.h"
+#include "util/faultinject.h"
 
 namespace paragraph::core {
 
@@ -17,26 +22,38 @@ constexpr std::uint32_t kMagic = 0x50477230;  // "PGr0"
 //   3: adds PredictorConfig::batch_size and train_threads after the scale
 //      (the graph-level data-parallel batch and the runtime thread count
 //      the model was trained with)
-constexpr std::uint32_t kVersion = 3;
+//   4: appends an FNV-1a-64 checksum of the whole payload as the trailing
+//      8 bytes, and the loader rejects trailing garbage. Field layout is
+//      unchanged from v3.
+constexpr std::uint32_t kVersion = 4;
+
+// Sane maxima for decoded dims/counts. A corrupt or adversarial file must
+// not be able to drive multi-gigabyte allocations before the shape check
+// against the freshly constructed model runs; these bounds comfortably
+// contain every real configuration (paper: embed_dim 32, 5 layers).
+constexpr std::uint64_t kMaxEmbedDim = 1024;
+constexpr std::uint64_t kMaxLayers = 64;
+constexpr std::uint64_t kMaxParams = 1 << 20;
+constexpr std::uint64_t kMaxMatrixDim = 1 << 24;
+constexpr std::uint64_t kMaxBatch = 1 << 16;
+constexpr std::uint64_t kMaxThreads = 1 << 16;
+constexpr std::uint32_t kMaxModelKind = static_cast<std::uint32_t>(gnn::ModelKind::kParaGraphNoConcat);
+constexpr std::uint32_t kMaxTargetKind = static_cast<std::uint32_t>(dataset::kNumTargets) - 1;
 
 template <typename T>
 void write_pod(std::ostream& os, const T& v) {
   os.write(reinterpret_cast<const char*>(&v), sizeof(T));
 }
 
-template <typename T>
-T read_pod(std::istream& is) {
-  T v{};
-  is.read(reinterpret_cast<char*>(&v), sizeof(T));
-  if (!is) throw std::runtime_error("load_predictor: truncated file");
+double finite_or_corrupt(double v, util::ByteReader& r, const char* what) {
+  if (!std::isfinite(v)) r.corrupt(std::string("non-finite ") + what);
   return v;
 }
 
 }  // namespace
 
-void save_predictor(const GnnPredictor& predictor, const std::string& path) {
-  std::ofstream os(path, std::ios::binary);
-  if (!os) throw std::runtime_error("save_predictor: cannot open '" + path + "'");
+std::string predictor_to_bytes(const GnnPredictor& predictor) {
+  std::ostringstream os(std::ios::binary);
   write_pod(os, kMagic);
   write_pod(os, kVersion);
 
@@ -72,65 +89,133 @@ void save_predictor(const GnnPredictor& predictor, const std::string& path) {
     os.write(reinterpret_cast<const char*>(m.data()),
              static_cast<std::streamsize>(m.size() * sizeof(float)));
   }
-  if (!os) throw std::runtime_error("save_predictor: write failed for '" + path + "'");
+  std::string bytes = os.str();
+  const std::uint64_t checksum = util::fnv1a64(bytes);
+  bytes.append(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  return bytes;
 }
 
-GnnPredictor load_predictor(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) throw std::runtime_error("load_predictor: cannot open '" + path + "'");
-  if (read_pod<std::uint32_t>(is) != kMagic)
-    throw std::runtime_error("load_predictor: '" + path + "' is not a ParaGraph model file");
-  const auto version = read_pod<std::uint32_t>(is);
+GnnPredictor predictor_from_bytes(std::string_view bytes, const std::string& context) {
+  util::ByteReader header(bytes, context);
+  if (header.pod<std::uint32_t>("magic") != kMagic)
+    header.corrupt("not a ParaGraph model file (bad magic)");
+  const auto version = header.pod<std::uint32_t>("version");
   if (version < 1 || version > kVersion)
-    throw std::runtime_error("load_predictor: unsupported format version in '" + path + "'");
+    header.corrupt("unsupported format version " + std::to_string(version) + " (this build reads 1.." +
+                   std::to_string(kVersion) + ")");
+
+  // v4 carries a trailing checksum over everything before it; verify it
+  // first so every later parse error means "malformed", not "bit rot".
+  std::string_view payload = bytes;
+  if (version >= 4) {
+    if (bytes.size() < sizeof(std::uint64_t)) header.corrupt("truncated before checksum");
+    payload = bytes.substr(0, bytes.size() - sizeof(std::uint64_t));
+    std::uint64_t stored = 0;
+    std::memcpy(&stored, bytes.data() + payload.size(), sizeof(stored));
+    if (stored != util::fnv1a64(payload)) header.corrupt("payload checksum mismatch");
+  }
+
+  util::ByteReader r(payload, context);
+  r.pod<std::uint32_t>("magic");
+  r.pod<std::uint32_t>("version");
+
+  if (util::fault::should_fail("model.load")) r.corrupt("fault injected (model.load)");
 
   PredictorConfig c;
-  c.model = static_cast<gnn::ModelKind>(read_pod<std::uint32_t>(is));
-  c.target = static_cast<dataset::TargetKind>(read_pod<std::uint32_t>(is));
-  c.embed_dim = static_cast<std::size_t>(read_pod<std::uint64_t>(is));
-  c.num_layers = static_cast<std::size_t>(read_pod<std::uint64_t>(is));
-  c.fc_layers = static_cast<std::size_t>(read_pod<std::uint64_t>(is));
-  c.max_v_ff = read_pod<double>(is);
-  c.epochs = read_pod<int>(is);
-  c.learning_rate = read_pod<float>(is);
-  c.grad_clip = read_pod<float>(is);
-  c.lr_final_fraction = read_pod<float>(is);
-  c.seed = read_pod<std::uint64_t>(is);
+  c.model = static_cast<gnn::ModelKind>(
+      r.bounded(r.pod<std::uint32_t>("model kind"), 0, kMaxModelKind, "model kind"));
+  c.target = static_cast<dataset::TargetKind>(
+      r.bounded(r.pod<std::uint32_t>("target kind"), 0, kMaxTargetKind, "target kind"));
+  c.embed_dim = static_cast<std::size_t>(
+      r.bounded(r.pod<std::uint64_t>("embed_dim"), 1, kMaxEmbedDim, "embed_dim"));
+  c.num_layers = static_cast<std::size_t>(
+      r.bounded(r.pod<std::uint64_t>("num_layers"), 1, kMaxLayers, "num_layers"));
+  c.fc_layers = static_cast<std::size_t>(
+      r.bounded(r.pod<std::uint64_t>("fc_layers"), 0, kMaxLayers, "fc_layers"));
+  c.max_v_ff = finite_or_corrupt(r.pod<double>("max_v_ff"), r, "max_v_ff");
+  c.epochs = r.pod<int>("epochs");
+  c.learning_rate =
+      static_cast<float>(finite_or_corrupt(r.pod<float>("learning_rate"), r, "learning_rate"));
+  c.grad_clip = static_cast<float>(finite_or_corrupt(r.pod<float>("grad_clip"), r, "grad_clip"));
+  c.lr_final_fraction = static_cast<float>(
+      finite_or_corrupt(r.pod<float>("lr_final_fraction"), r, "lr_final_fraction"));
+  c.seed = r.pod<std::uint64_t>("seed");
   // Version 1 predates the scale field; keep the PredictorConfig default
   // (which matches the CLI's historical --scale default).
-  if (version >= 2) c.scale = read_pod<double>(is);
+  if (version >= 2) c.scale = finite_or_corrupt(r.pod<double>("scale"), r, "scale");
   // Version 2 predates the parallel runtime; defaults (batch 1, threads
   // unrecorded) reproduce the serial training schedule those models used.
   if (version >= 3) {
-    c.batch_size = static_cast<std::size_t>(read_pod<std::uint64_t>(is));
-    c.train_threads = static_cast<std::size_t>(read_pod<std::uint64_t>(is));
+    c.batch_size = static_cast<std::size_t>(
+        r.bounded(r.pod<std::uint64_t>("batch_size"), 1, kMaxBatch, "batch_size"));
+    c.train_threads = static_cast<std::size_t>(
+        r.bounded(r.pod<std::uint64_t>("train_threads"), 0, kMaxThreads, "train_threads"));
   }
 
   TargetScaler::State s;
-  s.zscore = read_pod<bool>(is);
-  s.log_space = read_pod<bool>(is);
-  s.mean = read_pod<double>(is);
-  s.stdev = read_pod<double>(is);
-  s.max_v = read_pod<double>(is);
+  s.zscore = r.pod<bool>("scaler.zscore");
+  s.log_space = r.pod<bool>("scaler.log_space");
+  s.mean = finite_or_corrupt(r.pod<double>("scaler.mean"), r, "scaler.mean");
+  s.stdev = finite_or_corrupt(r.pod<double>("scaler.stdev"), r, "scaler.stdev");
+  if (s.zscore && !(s.stdev > 0.0)) r.corrupt("non-positive scaler.stdev");
+  s.max_v = finite_or_corrupt(r.pod<double>("scaler.max_v"), r, "scaler.max_v");
 
   GnnPredictor predictor(c);
   predictor.set_scaler(TargetScaler::from_state(s));
 
   const auto params = predictor.parameters();
-  const auto count = read_pod<std::uint64_t>(is);
+  const auto count = r.bounded(r.pod<std::uint64_t>("parameter count"), 0, kMaxParams,
+                               "parameter count");
   if (count != params.size())
-    throw std::runtime_error("load_predictor: parameter count mismatch in '" + path + "'");
+    r.corrupt("parameter count mismatch (file has " + std::to_string(count) + ", model expects " +
+              std::to_string(params.size()) + ")");
   for (auto p : params) {
-    const auto rows = static_cast<std::size_t>(read_pod<std::uint64_t>(is));
-    const auto cols = static_cast<std::size_t>(read_pod<std::uint64_t>(is));
+    const auto rows =
+        static_cast<std::size_t>(r.bounded(r.pod<std::uint64_t>("rows"), 0, kMaxMatrixDim, "rows"));
+    const auto cols =
+        static_cast<std::size_t>(r.bounded(r.pod<std::uint64_t>("cols"), 0, kMaxMatrixDim, "cols"));
     nn::Matrix& m = p.mutable_value();
     if (rows != m.rows() || cols != m.cols())
-      throw std::runtime_error("load_predictor: parameter shape mismatch in '" + path + "'");
-    is.read(reinterpret_cast<char*>(m.data()),
-            static_cast<std::streamsize>(m.size() * sizeof(float)));
-    if (!is) throw std::runtime_error("load_predictor: truncated parameter data");
+      r.corrupt("parameter shape mismatch (file has " + std::to_string(rows) + "x" +
+                std::to_string(cols) + ", model expects " + std::to_string(m.rows()) + "x" +
+                std::to_string(m.cols()) + ")");
+    const std::string_view data = r.bytes(m.size() * sizeof(float), "parameter data");
+    std::memcpy(m.data(), data.data(), data.size());
   }
+  // v1-v3 files may carry trailing bytes (historical tools appended
+  // nothing, but the loader never policed it); from v4 on the checksum
+  // covers the exact payload, so leftovers mean corruption.
+  if (version >= 4 && r.remaining() != 0)
+    r.corrupt(std::to_string(r.remaining()) + " trailing bytes after parameter data");
   return predictor;
+}
+
+void save_predictor(const GnnPredictor& predictor, const std::string& path) {
+  // AtomicFile publishes with temp + fsync + rename, so a crash or full
+  // disk mid-save leaves any previous model file intact.
+  util::write_file_atomic(path, predictor_to_bytes(predictor));
+}
+
+std::string read_artifact_file(const std::string& path, const char* what,
+                               std::uint64_t max_bytes) {
+  std::ifstream is(path, std::ios::binary | std::ios::ate);
+  if (!is) throw util::IoError(std::string(what) + ": cannot open '" + path + "'");
+  const auto end = is.tellg();
+  if (end < 0) throw util::IoError(std::string(what) + ": cannot stat '" + path + "'");
+  const auto size = static_cast<std::uint64_t>(end);
+  if (size > max_bytes)
+    throw util::CorruptArtifactError(std::string(what) + ": '" + path + "' is implausibly large (" +
+                                     std::to_string(size) + " bytes)");
+  is.seekg(0);
+  std::string bytes(static_cast<std::size_t>(size), '\0');
+  is.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!is) throw util::IoError(std::string(what) + ": short read from '" + path + "'");
+  return bytes;
+}
+
+GnnPredictor load_predictor(const std::string& path) {
+  const std::string bytes = read_artifact_file(path, "load_predictor");
+  return predictor_from_bytes(bytes, "load_predictor: '" + path + "'");
 }
 
 }  // namespace paragraph::core

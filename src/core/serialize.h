@@ -7,17 +7,34 @@
 // freshly constructed model.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "core/predictor.h"
 
 namespace paragraph::core {
 
+// Atomically writes the model file (temp + fsync + rename); a crash or
+// full disk mid-save leaves any previous file intact. Throws
+// util::IoError on I/O failure.
 void save_predictor(const GnnPredictor& predictor, const std::string& path);
 
 // Reconstructs the architecture from the stored config and restores the
-// trained weights and scaler. Throws std::runtime_error on corrupt or
-// incompatible files.
+// trained weights and scaler. Every read is length-checked, dims/counts
+// are bounded against sane maxima, and (format >= 4) the trailing payload
+// checksum is verified; corrupt files raise util::CorruptArtifactError,
+// unreadable ones util::IoError. Formats 1-4 load.
 GnnPredictor load_predictor(const std::string& path);
+
+// In-memory forms of the same format; the checkpoint writer embeds the
+// model blob alongside its optimiser/RNG state.
+std::string predictor_to_bytes(const GnnPredictor& predictor);
+GnnPredictor predictor_from_bytes(std::string_view bytes, const std::string& context);
+
+// Slurps an artifact file with a size sanity bound. Throws util::IoError
+// (unreadable) or util::CorruptArtifactError (implausibly large).
+std::string read_artifact_file(const std::string& path, const char* what,
+                               std::uint64_t max_bytes = std::uint64_t{1} << 30);
 
 }  // namespace paragraph::core

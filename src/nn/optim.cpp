@@ -1,6 +1,8 @@
 #include "nn/optim.h"
 
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 namespace paragraph::nn {
 
@@ -54,6 +56,20 @@ void Adam::step() {
       w[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
     }
   }
+}
+
+void Adam::set_state(std::vector<Matrix> m, std::vector<Matrix> v, long t) {
+  if (m.size() != params_.size() || v.size() != params_.size() || t < 0)
+    throw std::invalid_argument("Adam::set_state: state does not match parameter list");
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    if (m[k].rows() != params_[k].value().rows() || m[k].cols() != params_[k].value().cols() ||
+        v[k].rows() != params_[k].value().rows() || v[k].cols() != params_[k].value().cols())
+      throw std::invalid_argument("Adam::set_state: moment shape mismatch at parameter " +
+                                  std::to_string(k));
+  }
+  m_ = std::move(m);
+  v_ = std::move(v);
+  t_ = t;
 }
 
 float clip_grad_norm(const std::vector<Tensor>& params, float max_norm) {

@@ -47,6 +47,15 @@ class Adam final : public Optimizer {
   void step() override;
   void set_learning_rate(float lr) override { lr_ = lr; }
 
+  // Moment/step-count access for checkpointing: a resumed run restores
+  // the exact optimiser state, so its updates are bit-identical to an
+  // uninterrupted run. set_state validates shapes against the parameter
+  // list and throws std::invalid_argument on mismatch.
+  const std::vector<Matrix>& moments1() const { return m_; }
+  const std::vector<Matrix>& moments2() const { return v_; }
+  long steps() const { return t_; }
+  void set_state(std::vector<Matrix> m, std::vector<Matrix> v, long t);
+
  private:
   float lr_, beta1_, beta2_, eps_;
   std::vector<Matrix> m_, v_;

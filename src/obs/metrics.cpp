@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cstring>
-#include <fstream>
 
+#include "util/atomic_file.h"
 #include "util/stats.h"
 
 namespace paragraph::obs {
@@ -138,10 +138,7 @@ JsonValue MetricsRegistry::to_json() const {
 }
 
 bool MetricsRegistry::write_json(const std::string& path) const {
-  std::ofstream os(path, std::ios::out | std::ios::trunc);
-  if (!os) return false;
-  os << to_json().dump() << '\n';
-  return static_cast<bool>(os);
+  return util::try_write_file_atomic(path, to_json().dump() + '\n');
 }
 
 void MetricsRegistry::reset() {

@@ -1,7 +1,8 @@
 #include "obs/trace.h"
 
 #include <chrono>
-#include <fstream>
+
+#include "util/atomic_file.h"
 
 namespace paragraph::obs {
 
@@ -81,10 +82,7 @@ JsonValue TraceCollector::to_json() const {
 }
 
 bool TraceCollector::write_json(const std::string& path) const {
-  std::ofstream os(path, std::ios::out | std::ios::trunc);
-  if (!os) return false;
-  os << to_json().dump() << '\n';
-  return static_cast<bool>(os);
+  return util::try_write_file_atomic(path, to_json().dump() + '\n');
 }
 
 void TraceCollector::reset() {

@@ -1,0 +1,114 @@
+#include "util/atomic_file.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "util/faultinject.h"
+
+#if defined(_WIN32)
+#include <io.h>
+#else
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace paragraph::util {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw IoError(what + " '" + path + "': " + std::strerror(errno ? errno : EIO));
+}
+
+#if !defined(_WIN32)
+
+// Flush the directory entry so the rename itself survives a crash.
+void fsync_parent_dir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash + 1);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) return;  // best-effort: not all filesystems allow it
+  ::fsync(dfd);
+  ::close(dfd);
+}
+
+void publish(const std::string& path, std::string_view contents) {
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  errno = 0;
+  int fd = fault::should_fail("atomic.open")
+               ? -1
+               : ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail("AtomicFile: cannot create", tmp);
+  std::size_t off = 0;
+  bool write_fault = fault::should_fail("atomic.write");
+  while (off < contents.size()) {
+    const ssize_t n =
+        write_fault ? -1 : ::write(fd, contents.data() + off, contents.size() - off);
+    if (n < 0) {
+      if (!write_fault && errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      fail("AtomicFile: write failed for", tmp);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (fault::should_fail("atomic.fsync") || ::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    fail("AtomicFile: fsync failed for", tmp);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    fail("AtomicFile: close failed for", tmp);
+  }
+  if (fault::should_fail("atomic.rename") || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    fail("AtomicFile: rename failed for", path);
+  }
+  fsync_parent_dir(path);
+}
+
+#else  // _WIN32 fallback: plain stdio without fsync semantics.
+
+void publish(const std::string& path, std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = fault::should_fail("atomic.open") ? nullptr : std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) fail("AtomicFile: cannot create", tmp);
+  const bool ok = !fault::should_fail("atomic.write") &&
+                  std::fwrite(contents.data(), 1, contents.size(), f) == contents.size();
+  if (std::fclose(f) != 0 || !ok || fault::should_fail("atomic.fsync")) {
+    std::remove(tmp.c_str());
+    fail("AtomicFile: write failed for", tmp);
+  }
+  std::remove(path.c_str());
+  if (fault::should_fail("atomic.rename") || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    fail("AtomicFile: rename failed for", path);
+  }
+}
+
+#endif
+
+}  // namespace
+
+void AtomicFile::commit() {
+  if (committed_) throw IoError("AtomicFile: double commit for '" + path_ + "'");
+  committed_ = true;
+  publish(path_, buf_.str());
+}
+
+void write_file_atomic(const std::string& path, std::string_view contents) {
+  publish(path, contents);
+}
+
+bool try_write_file_atomic(const std::string& path, std::string_view contents) {
+  try {
+    publish(path, contents);
+    return true;
+  } catch (const IoError&) {
+    return false;
+  }
+}
+
+}  // namespace paragraph::util

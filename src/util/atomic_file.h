@@ -1,0 +1,45 @@
+// Crash-safe artifact writes: stage the full contents, then publish with
+// write-to-temp + fsync + rename so readers only ever observe the old
+// complete file or the new complete file — never a truncated mix. Used by
+// model saves, training checkpoints, and the metrics/trace/bench JSON
+// writers.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "util/errors.h"
+
+namespace paragraph::util {
+
+// Accumulates contents in memory; commit() publishes them atomically.
+// A destroyed-uncommitted AtomicFile leaves the target untouched.
+class AtomicFile {
+ public:
+  explicit AtomicFile(std::string path) : path_(std::move(path)) {}
+
+  // Write the payload here (binary-safe).
+  std::ostream& stream() { return buf_; }
+
+  const std::string& path() const { return path_; }
+
+  // temp write + fsync + rename over path(). Throws IoError, leaving the
+  // previous file (if any) intact; at most one commit per instance.
+  void commit();
+
+ private:
+  std::string path_;
+  std::ostringstream buf_;
+  bool committed_ = false;
+};
+
+// One-shot convenience: atomically replace `path` with `contents`.
+// Throws IoError on failure.
+void write_file_atomic(const std::string& path, std::string_view contents);
+
+// Same, but reports failure as a bool for callers with a non-throwing
+// contract (obs writers).
+bool try_write_file_atomic(const std::string& path, std::string_view contents);
+
+}  // namespace paragraph::util

@@ -1,0 +1,80 @@
+// Bounded binary decoding for artifact loaders.
+//
+// ByteReader wraps an in-memory buffer with an explicit cursor: every read
+// is length-checked against the remaining bytes and failures surface as
+// CorruptArtifactError carrying the caller's context string, so a
+// truncated or bit-flipped file can never drive reads past the end or
+// silently return bad data. fnv1a64 is the payload checksum used by the
+// v4 model format and the checkpoint format.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "util/errors.h"
+
+namespace paragraph::util {
+
+inline std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+class ByteReader {
+ public:
+  ByteReader(std::string_view buf, std::string context)
+      : buf_(buf), context_(std::move(context)) {}
+
+  std::size_t remaining() const { return buf_.size() - pos_; }
+  std::size_t position() const { return pos_; }
+
+  template <typename T>
+  T pod(const char* what) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    need(sizeof(T), what);
+    T v{};
+    std::memcpy(&v, buf_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  // Raw view of the next n bytes (advances the cursor).
+  std::string_view bytes(std::size_t n, const char* what) {
+    need(n, what);
+    const std::string_view v = buf_.substr(pos_, n);
+    pos_ += n;
+    return v;
+  }
+
+  [[noreturn]] void corrupt(const std::string& why) const {
+    throw CorruptArtifactError(context_ + ": " + why);
+  }
+
+  // Asserts `v` lies in [lo, hi]; part of the sane-maxima bounds that keep
+  // corrupt dims/counts from driving huge allocations.
+  std::uint64_t bounded(std::uint64_t v, std::uint64_t lo, std::uint64_t hi, const char* what) {
+    if (v < lo || v > hi)
+      corrupt(std::string(what) + " out of range (" + std::to_string(v) + " not in [" +
+              std::to_string(lo) + ", " + std::to_string(hi) + "])");
+    return v;
+  }
+
+ private:
+  void need(std::size_t n, const char* what) const {
+    if (remaining() < n)
+      corrupt(std::string("truncated reading ") + what + " (need " + std::to_string(n) +
+              " bytes, " + std::to_string(remaining()) + " left)");
+  }
+
+  std::string_view buf_;
+  std::size_t pos_ = 0;
+  std::string context_;
+};
+
+}  // namespace paragraph::util

@@ -1,0 +1,47 @@
+// Typed error taxonomy for the robustness layer.
+//
+// The library throws these instead of bare std::runtime_error so callers
+// (the CLI front end in particular) can map failure classes to distinct
+// exit codes without string-matching messages:
+//
+//   kUsage    (2)  bad command line / unknown option value
+//   kBadInput (3)  malformed or corrupt external input: netlists, model
+//                  files, checkpoints, unwritable artifact paths
+//   kDiverged (4)  training hit the non-finite guardrail K times in a row
+//   kInternal (1)  everything else (bugs, resource exhaustion)
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace paragraph::util {
+
+enum ExitCode : int {
+  kExitOk = 0,
+  kExitInternal = 1,
+  kExitUsage = 2,
+  kExitBadInput = 3,
+  kExitDiverged = 4,
+};
+
+// Failure touching bytes on disk: open/write/fsync/rename of an artifact.
+class IoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// On-disk artifact exists but its contents are invalid: truncated model
+// file, bad magic/version, checksum mismatch, out-of-bounds dimensions.
+class CorruptArtifactError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Training aborted by the numeric guardrail (K consecutive non-finite
+// steps with learning-rate backoff exhausted).
+class DivergenceError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace paragraph::util

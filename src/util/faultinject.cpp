@@ -1,0 +1,80 @@
+#include "util/faultinject.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace paragraph::util::fault {
+
+namespace {
+
+struct Site {
+  std::uint64_t nth = 0;      // 1-based hit index that fails
+  bool sticky = false;        // "+" suffix: every hit >= nth fails
+  std::uint64_t hits = 0;
+};
+
+std::atomic<bool> g_armed{false};
+std::mutex g_mu;
+std::map<std::string, Site>& sites() {
+  static std::map<std::string, Site> s;
+  return s;
+}
+
+}  // namespace
+
+bool armed() { return g_armed.load(std::memory_order_relaxed); }
+
+bool should_fail(const char* site) {
+  if (!armed()) return false;
+  std::lock_guard<std::mutex> lock(g_mu);
+  auto it = sites().find(site);
+  if (it == sites().end()) return false;
+  Site& s = it->second;
+  ++s.hits;
+  return s.sticky ? s.hits >= s.nth : s.hits == s.nth;
+}
+
+void configure(const std::string& spec) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  sites().clear();
+  for (const std::string& entry : split(spec, ",")) {
+    const auto colon = entry.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 == entry.size())
+      throw std::invalid_argument("PARAGRAPH_FAULT: expected <site>:<nth>[+], got '" + entry + "'");
+    Site s;
+    std::string nth = entry.substr(colon + 1);
+    if (!nth.empty() && nth.back() == '+') {
+      s.sticky = true;
+      nth.pop_back();
+    }
+    std::size_t pos = 0;
+    unsigned long long v = 0;
+    try {
+      v = std::stoull(nth, &pos);
+    } catch (const std::exception&) {
+      pos = 0;
+    }
+    if (pos != nth.size() || v == 0)
+      throw std::invalid_argument("PARAGRAPH_FAULT: bad hit index in '" + entry + "'");
+    s.nth = v;
+    sites()[entry.substr(0, colon)] = s;
+  }
+  g_armed.store(!sites().empty(), std::memory_order_relaxed);
+}
+
+void init_from_env() {
+  const char* env = std::getenv("PARAGRAPH_FAULT");
+  configure(env != nullptr ? std::string(env) : std::string());
+}
+
+void reset_counts() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  for (auto& [name, s] : sites()) s.hits = 0;
+}
+
+}  // namespace paragraph::util::fault

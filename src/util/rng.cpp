@@ -78,6 +78,20 @@ double Rng::lognormal(double mu, double sigma) { return std::exp(normal(mu, sigm
 
 bool Rng::bernoulli(double p) { return uniform() < p; }
 
+Rng::State Rng::state() const {
+  State s;
+  for (int i = 0; i < 4; ++i) s.words[i] = state_[i];
+  s.cached_normal = cached_normal_;
+  s.has_cached_normal = has_cached_normal_;
+  return s;
+}
+
+void Rng::set_state(const State& s) {
+  for (int i = 0; i < 4; ++i) state_[i] = s.words[i];
+  cached_normal_ = s.cached_normal;
+  has_cached_normal_ = s.has_cached_normal;
+}
+
 std::size_t Rng::weighted_choice(const std::vector<double>& weights) {
   if (weights.empty()) throw std::invalid_argument("Rng::weighted_choice: empty weights");
   const double total = std::accumulate(weights.begin(), weights.end(), 0.0);

@@ -47,6 +47,18 @@ class Rng {
   // Throws std::invalid_argument on empty or non-positive-sum weights.
   std::size_t weighted_choice(const std::vector<double>& weights);
 
+  // Plain-data snapshot of the full generator state (xoshiro words plus
+  // the Box-Muller cache), so checkpointed training resumes the exact
+  // random stream. Restoring is bit-exact: the restored generator produces
+  // the same sequence the original would have.
+  struct State {
+    std::uint64_t words[4] = {0, 0, 0, 0};
+    double cached_normal = 0.0;
+    bool has_cached_normal = false;
+  };
+  State state() const;
+  void set_state(const State& s);
+
   // In-place Fisher-Yates shuffle.
   template <typename T>
   void shuffle(std::vector<T>& v) {

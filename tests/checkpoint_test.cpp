@@ -1,0 +1,153 @@
+// Kill-and-resume: training interrupted mid-run (via the train.epoch
+// fault site, standing in for a crash) and resumed from its last
+// checkpoint must produce a model bit-identical to an uninterrupted run —
+// at any thread count and for both the serial and batched schedules.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/checkpoint.h"
+#include "core/predictor.h"
+#include "core/serialize.h"
+#include "runtime/thread_pool.h"
+#include "util/errors.h"
+#include "util/faultinject.h"
+
+namespace paragraph::core {
+namespace {
+
+const dataset::SuiteDataset& suite() {
+  static const dataset::SuiteDataset ds = dataset::build_dataset(91, 0.05);
+  return ds;
+}
+
+PredictorConfig tiny_config(std::size_t batch_size) {
+  PredictorConfig pc;
+  pc.target = dataset::TargetKind::kCap;
+  pc.embed_dim = 4;
+  pc.num_layers = 1;
+  pc.epochs = 4;
+  pc.scale = 0.05;
+  pc.seed = 91;
+  pc.batch_size = batch_size;
+  return pc;
+}
+
+std::string train_uninterrupted(const PredictorConfig& pc) {
+  GnnPredictor p(pc);
+  p.train(suite());
+  return predictor_to_bytes(p);
+}
+
+// Trains with per-epoch checkpointing, killed by fault injection after
+// `kill_after` epochs; then resumes from the checkpoint and returns the
+// final model bytes.
+std::string train_killed_and_resumed(const PredictorConfig& pc, int kill_after,
+                                     const std::string& ckpt_path) {
+  TrainOptions topts;
+  topts.checkpoint_every = 1;
+  topts.checkpoint_path = ckpt_path;
+  {
+    GnnPredictor p(pc);
+    util::fault::configure("train.epoch:" + std::to_string(kill_after));
+    EXPECT_THROW(p.train(suite(), nullptr, topts), util::IoError);
+    util::fault::configure("");
+  }
+  const TrainCheckpoint ck = load_checkpoint(ckpt_path);
+  EXPECT_EQ(ck.next_epoch, kill_after);
+  GnnPredictor resumed = predictor_from_bytes(ck.model_bytes, "checkpoint model");
+  TrainOptions ropts;
+  ropts.resume = &ck;
+  const auto losses = resumed.train(suite(), nullptr, ropts);
+  EXPECT_EQ(static_cast<int>(losses.size()), pc.epochs - kill_after);
+  return predictor_to_bytes(resumed);
+}
+
+class CheckpointResumeTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    util::fault::configure("");
+    runtime::set_num_threads(1);
+    std::remove(ckpt_path_.c_str());
+  }
+  std::string ckpt_path_ = ::testing::TempDir() + "paragraph_resume.ckpt";
+};
+
+TEST_F(CheckpointResumeTest, ResumeIsBitIdenticalSerial) {
+  runtime::set_num_threads(1);
+  const PredictorConfig pc = tiny_config(1);
+  const std::string full = train_uninterrupted(pc);
+  const std::string resumed = train_killed_and_resumed(pc, 2, ckpt_path_);
+  EXPECT_EQ(full, resumed);
+}
+
+TEST_F(CheckpointResumeTest, ResumeIsBitIdenticalThreadedBatched) {
+  runtime::set_num_threads(4);
+  const PredictorConfig pc = tiny_config(2);
+  const std::string full = train_uninterrupted(pc);
+  const std::string resumed = train_killed_and_resumed(pc, 2, ckpt_path_);
+  EXPECT_EQ(full, resumed);
+}
+
+TEST_F(CheckpointResumeTest, KillAtEveryEpochResumesIdentically) {
+  runtime::set_num_threads(1);
+  const PredictorConfig pc = tiny_config(1);
+  const std::string full = train_uninterrupted(pc);
+  for (int kill_after = 1; kill_after < pc.epochs; ++kill_after) {
+    EXPECT_EQ(full, train_killed_and_resumed(pc, kill_after, ckpt_path_))
+        << "killed after epoch " << kill_after;
+  }
+}
+
+TEST_F(CheckpointResumeTest, ResumeAtFinalEpochRunsZeroEpochs) {
+  runtime::set_num_threads(1);
+  const PredictorConfig pc = tiny_config(1);
+  GnnPredictor p(pc);
+  TrainOptions topts;
+  topts.checkpoint_every = pc.epochs;  // one checkpoint, after the last epoch
+  topts.checkpoint_path = ckpt_path_;
+  p.train(suite(), nullptr, topts);
+  const std::string full = predictor_to_bytes(p);
+
+  const TrainCheckpoint ck = load_checkpoint(ckpt_path_);
+  ASSERT_EQ(ck.next_epoch, pc.epochs);
+  GnnPredictor resumed = predictor_from_bytes(ck.model_bytes, "final checkpoint");
+  TrainOptions ropts;
+  ropts.resume = &ck;
+  const auto losses = resumed.train(suite(), nullptr, ropts);
+  EXPECT_TRUE(losses.empty());
+  EXPECT_EQ(predictor_to_bytes(resumed), full);
+}
+
+TEST_F(CheckpointResumeTest, ResumeRejectsEpochOverrunAndBadShapes) {
+  runtime::set_num_threads(1);
+  const PredictorConfig pc = tiny_config(1);
+  GnnPredictor p(pc);
+  TrainOptions topts;
+  topts.checkpoint_every = 1;
+  topts.checkpoint_path = ckpt_path_;
+  p.train(suite(), nullptr, topts);
+  TrainCheckpoint ck = load_checkpoint(ckpt_path_);
+
+  {
+    TrainCheckpoint bad = ck;
+    bad.next_epoch = pc.epochs + 1;
+    GnnPredictor r = predictor_from_bytes(ck.model_bytes, "overrun");
+    TrainOptions ropts;
+    ropts.resume = &bad;
+    EXPECT_THROW(r.train(suite(), nullptr, ropts), util::CorruptArtifactError);
+  }
+  {
+    TrainCheckpoint bad = ck;
+    bad.has_best = true;
+    bad.best_params = {nn::Matrix(1, 1, {0.0f})};  // wrong parameter count
+    GnnPredictor r = predictor_from_bytes(ck.model_bytes, "bad best");
+    TrainOptions ropts;
+    ropts.resume = &bad;
+    EXPECT_THROW(r.train(suite(), nullptr, ropts), util::CorruptArtifactError);
+  }
+}
+
+}  // namespace
+}  // namespace paragraph::core

@@ -13,6 +13,9 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#ifndef _WIN32
+#include <sys/wait.h>
+#endif
 
 #include "obs/json.h"
 
@@ -42,6 +45,16 @@ struct TempDir {
 int run(const std::string& cmdline) {
   const int rc = std::system(cmdline.c_str());
   return rc;
+}
+
+// Exit status of the command (std::system wraps it in wait() encoding).
+int exit_code(const std::string& cmdline) {
+  const int rc = std::system(cmdline.c_str());
+#ifdef _WIN32
+  return rc;
+#else
+  return WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+#endif
 }
 
 TEST(CliSmokeTest, TrainEmitsValidMetricsAndTrace) {
@@ -114,6 +127,66 @@ TEST(CliSmokeTest, TrainEmitsValidMetricsAndTrace) {
   const std::string eval_cmd =
       "\"" + g_cli_path + "\" evaluate --model \"" + model + "\" > /dev/null 2>&1";
   EXPECT_EQ(run(eval_cmd), 0) << eval_cmd;
+}
+
+// The documented exit-code taxonomy: 2 = usage, 3 = bad input/artifact,
+// 4 = training diverged, 1 = internal. Scripts branch on these.
+TEST(CliSmokeTest, ExitCodeTaxonomy) {
+  ASSERT_FALSE(g_cli_path.empty());
+  TempDir tmp;
+  const std::string quiet = " > /dev/null 2>&1";
+
+  // Usage errors -> 2.
+  EXPECT_EQ(exit_code("\"" + g_cli_path + "\"" + quiet), 2);
+  EXPECT_EQ(exit_code("\"" + g_cli_path + "\" frobnicate" + quiet), 2);
+  EXPECT_EQ(exit_code("\"" + g_cli_path + "\" train" + quiet), 2);  // no --save
+  EXPECT_EQ(exit_code("\"" + g_cli_path + "\" train --save x --target NOPE" + quiet), 2);
+  EXPECT_EQ(exit_code("\"" + g_cli_path + "\" train --save x --threads 0" + quiet), 2);
+
+  // Bad input / corrupt artifact -> 3.
+  const auto model = (tmp.path / "model.bin").string();
+  EXPECT_EQ(exit_code("\"" + g_cli_path + "\" evaluate --model /nonexistent/model.bin" + quiet),
+            3);
+  std::ofstream(model) << "corrupt model bytes";
+  EXPECT_EQ(exit_code("\"" + g_cli_path + "\" evaluate --model \"" + model + "\"" + quiet), 3);
+  const auto deck = (tmp.path / "bad.sp").string();
+  std::ofstream(deck) << "Zq a b c\n";
+  EXPECT_EQ(exit_code("\"" + g_cli_path + "\" annotate --netlist \"" + deck + "\"" + quiet), 3);
+  EXPECT_EQ(
+      exit_code("\"" + g_cli_path + "\" train --save x --resume /nonexistent/run.ckpt" + quiet),
+      3);
+
+  // Training divergence (every step's loss poisoned via the
+  // deterministic fault harness) -> 4.
+  const auto diverged = (tmp.path / "diverged.bin").string();
+  EXPECT_EQ(exit_code("PARAGRAPH_FAULT=train.loss:1+ \"" + g_cli_path + "\" train --save \"" +
+                      diverged + "\" --scale 0.05 --epochs 2" + quiet),
+            4);
+}
+
+// --checkpoint-every / --resume: an interrupted run (simulated process
+// death via PARAGRAPH_FAULT=train.epoch:N) resumed from its checkpoint
+// must produce a bit-identical model file.
+TEST(CliSmokeTest, KillAndResumeProducesIdenticalModel) {
+  ASSERT_FALSE(g_cli_path.empty());
+  TempDir tmp;
+  const std::string quiet = " > /dev/null 2>&1";
+  const std::string common = " --scale 0.05 --epochs 4 --seed 7";
+  const auto full = (tmp.path / "full.bin").string();
+  const auto interrupted = (tmp.path / "int.bin").string();
+  const auto resumed = (tmp.path / "resumed.bin").string();
+
+  ASSERT_EQ(exit_code("\"" + g_cli_path + "\" train --save \"" + full + "\"" + common + quiet),
+            0);
+  ASSERT_EQ(exit_code("PARAGRAPH_FAULT=train.epoch:2 \"" + g_cli_path + "\" train --save \"" +
+                      interrupted + "\"" + common + " --checkpoint-every 1" + quiet),
+            3);
+  EXPECT_FALSE(std::filesystem::exists(interrupted));  // died before save
+  ASSERT_TRUE(std::filesystem::exists(interrupted + ".ckpt"));
+  ASSERT_EQ(exit_code("\"" + g_cli_path + "\" train --save \"" + resumed + "\" --resume \"" +
+                      interrupted + ".ckpt\"" + quiet),
+            0);
+  EXPECT_EQ(read_file(full), read_file(resumed));
 }
 
 }  // namespace

@@ -1,0 +1,102 @@
+// Malformed-input corpus for the SPICE parser: every rejection must be a
+// circuit::ParseError whose message pins the offending source location
+// (source:line), and no malformed deck may crash or silently produce a
+// netlist.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "circuit/spice_parser.h"
+
+namespace paragraph::circuit {
+namespace {
+
+// Parses the deck, expecting ParseError; returns the message ("" if the
+// deck unexpectedly parsed).
+std::string error_of(const std::string& deck) {
+  try {
+    parse_spice_string(deck);
+  } catch (const ParseError& e) {
+    return e.what();
+  }
+  return "";
+}
+
+struct Malformed {
+  const char* label;
+  const char* deck;
+  const char* expect_substr;  // must appear in the error message
+  int expect_line;            // 0 = don't check the line tag
+};
+
+TEST(ParserRobustness, MalformedCorpusRejectsWithLocation) {
+  const Malformed corpus[] = {
+      {"dangling continuation", "+ L=3n\n", "continuation", 1},
+      {"unsupported card", "Zq a b c\n", "unsupported card", 1},
+      {"mos too few tokens", "M1 a b nmos\n", "MOS card", 1},
+      {"rc too few tokens", "R1 a b\n", "R/C card", 1},
+      {"rc bad value", "R1 a b notanumber\n", "bad value", 1},
+      {"bad multiplier", "C1 a b 1f M=0\n", "positive integer", 1},
+      {"bad nfin", "M1 d g s b nmos NFIN=0.5\n", "NFIN", 1},
+      {"diode too few tokens", "D1 a\n", "D card", 1},
+      {"bjt too few tokens", "Q1 a b\n", "Q card", 1},
+      {"x too few tokens", "X1\n", "X card", 1},
+      {"unknown subckt", "X1 a b missing_sub\n", "unknown subckt", 1},
+      {"port count mismatch",
+       ".subckt s p q\nR1 p q 1k\n.ends\nX1 n1 s\n", "expects 2 ports", 4},
+      {"ends without subckt", ".ends\n", ".ends without .subckt", 1},
+      {"nested subckt", ".subckt s a\n.subckt t b\n", "nested .subckt", 2},
+      {"subckt without name", ".subckt\n", "needs a name", 1},
+      {"duplicate subckt",
+       ".subckt s a\nR1 a 0 1k\n.ends\n.subckt s a\n.ends\n",
+       "duplicate .subckt", 4},
+      {"duplicate port", ".subckt s a a\n.ends\n", "duplicate port", 1},
+      {"unterminated subckt", "* top\n.subckt s a\nR1 a 0 1k\n",
+       "unterminated .subckt 's'", 2},
+      {"duplicate device", "R1 a b 1k\nR1 a b 2k\n", "duplicate device", 2},
+      // Line numbers must survive continuation folding: the card starts
+      // on line 2, the bad parameter arrives on the continuation line.
+      {"error through continuation", "* header\nM1 d g s b nmos\n+ NFIN=0\n",
+       "NFIN", 2},
+  };
+  for (const auto& c : corpus) {
+    const std::string msg = error_of(c.deck);
+    ASSERT_FALSE(msg.empty()) << c.label << ": deck parsed without error";
+    EXPECT_NE(msg.find(c.expect_substr), std::string::npos)
+        << c.label << ": message '" << msg << "' lacks '" << c.expect_substr << "'";
+    if (c.expect_line > 0) {
+      const std::string tag = "<string>:" + std::to_string(c.expect_line);
+      EXPECT_NE(msg.find(tag), std::string::npos)
+          << c.label << ": message '" << msg << "' lacks location '" << tag << "'";
+    }
+  }
+}
+
+TEST(ParserRobustness, SelfInstantiatingSubcktHitsRecursionGuard) {
+  const std::string msg = error_of(".subckt s a\nXinner a s\n.ends\nX1 n s\n");
+  ASSERT_FALSE(msg.empty());
+  EXPECT_NE(msg.find("recursion"), std::string::npos) << msg;
+}
+
+TEST(ParserRobustness, FileErrorsCarryThePath) {
+  try {
+    parse_spice_file("/nonexistent/deck.sp");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("/nonexistent/deck.sp"), std::string::npos);
+  }
+}
+
+TEST(ParserRobustness, BenignOddInputStillParses) {
+  // Comments, blank lines, inline '$', ignored dot-cards, .end mid-file,
+  // and an empty deck must all stay accepted.
+  EXPECT_NO_THROW(parse_spice_string(""));
+  EXPECT_NO_THROW(parse_spice_string("* only a comment\n\n"));
+  EXPECT_NO_THROW(parse_spice_string(".param x=1\n.option scale=1\n"));
+  const Netlist nl = parse_spice_string(
+      "R1 a b 1k $ trailing comment\n.end\nR1 would_be_duplicate b 1k\n");
+  EXPECT_EQ(nl.num_devices(), 1u);  // .end stops the deck
+}
+
+}  // namespace
+}  // namespace paragraph::circuit

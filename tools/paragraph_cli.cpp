@@ -6,11 +6,18 @@
 //   paragraph train --save MODEL.bin [--target CAP] [--model ParaGraph]
 //                   [--epochs N] [--scale F] [--seed N] [--max-v FF]
 //                   [--eval-every N] [--batch-size B]
+//                   [--checkpoint-every N] [--checkpoint PATH] [--resume PATH]
 //       Train a predictor on the synthetic suite and save it. The --scale
 //       used here is persisted in the model file and reused by
 //       predict/evaluate. --batch-size B runs B circuits' forward/backward
 //       concurrently per optimiser step with gradients averaged in circuit
 //       order (1 = the classic one-step-per-graph schedule).
+//       --checkpoint-every N writes a crash-safe checkpoint (model + Adam
+//       moments + RNG stream + schedule state) every N epochs to
+//       --checkpoint PATH (default: MODEL.bin.ckpt). --resume PATH picks a
+//       run back up from such a checkpoint; the resumed run is
+//       bit-identical to an uninterrupted one, and the model/target/seed
+//       options are taken from the checkpoint, not the command line.
 //   paragraph predict --model MODEL.bin --netlist FILE.sp
 //       Predict the model's target for every net/transistor of a SPICE
 //       netlist (pre-layout: no annotation needed).
@@ -37,13 +44,23 @@
 //                      summary on exit (works without --metrics-out)
 // --metrics-out/--trace-out/--mem-stats enable the instrumentation layer,
 // which is otherwise off and costs nothing.
+//
+// Exit codes:
+//   0  success
+//   1  internal error (unexpected exception)
+//   2  usage error (unknown command, bad option value)
+//   3  bad input or artifact (unreadable/corrupt model, checkpoint, or
+//      netlist; SPICE parse errors)
+//   4  training diverged (persistent non-finite loss/gradients)
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <optional>
 
 #include "circuit/spice_parser.h"
 #include "circuit/spice_writer.h"
+#include "core/checkpoint.h"
 #include "core/learners.h"
 #include "core/serialize.h"
 #include "dataset/dataset.h"
@@ -52,6 +69,9 @@
 #include "obs/obs.h"
 #include "runtime/thread_pool.h"
 #include "util/args.h"
+#include "util/atomic_file.h"
+#include "util/errors.h"
+#include "util/faultinject.h"
 
 using namespace paragraph;
 
@@ -146,9 +166,7 @@ void flush_observability(const ObsOutputs& out) {
     // The hierarchical phase profile rides along in the metrics document.
     obs::JsonValue doc = obs::MetricsRegistry::instance().to_json();
     doc.set("profile", obs::Profiler::instance().to_json());
-    std::ofstream os(out.metrics_out, std::ios::out | std::ios::trunc);
-    if (os) {
-      os << doc.dump() << '\n';
+    if (util::try_write_file_atomic(out.metrics_out, doc.dump() + '\n')) {
       std::printf("wrote metrics to %s\n", out.metrics_out.c_str());
     } else {
       std::fprintf(stderr, "paragraph: cannot write metrics to '%s'\n", out.metrics_out.c_str());
@@ -206,25 +224,51 @@ int cmd_train(const util::ArgParser& args) {
     std::fprintf(stderr, "train: --save PATH is required\n");
     return 2;
   }
-  core::PredictorConfig pc;
-  pc.target = parse_target(args.get("target", "CAP"));
-  pc.model = parse_model(args.get("model", "ParaGraph"));
-  pc.epochs = static_cast<int>(args.get_int("epochs", 150));
-  pc.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
-  pc.max_v_ff = args.get_double("max-v", 1e4);
-  pc.scale = args.get_double("scale", 0.25);
-  const long batch = args.get_int("batch-size", 1);
-  if (batch <= 0) {
-    std::fprintf(stderr, "train: --batch-size must be a positive integer\n");
+  const long ck_every = args.get_int("checkpoint-every", 0);
+  if (ck_every < 0) {
+    std::fprintf(stderr, "train: --checkpoint-every must be >= 0\n");
     return 2;
   }
-  pc.batch_size = static_cast<std::size_t>(batch);
-  pc.train_threads = runtime::num_threads();
+  core::TrainOptions topts;
+  topts.checkpoint_every = static_cast<int>(ck_every);
+  if (topts.checkpoint_every > 0)
+    topts.checkpoint_path = args.get("checkpoint", save_path + ".ckpt");
+
+  core::PredictorConfig pc;
+  core::TrainCheckpoint resume_ck;
+  std::optional<core::GnnPredictor> predictor_slot;
+  if (args.has("resume")) {
+    const std::string resume_path = args.get("resume");
+    resume_ck = core::load_checkpoint(resume_path);
+    predictor_slot.emplace(
+        core::predictor_from_bytes(resume_ck.model_bytes, "resume: '" + resume_path + "'"));
+    // The checkpoint's config is authoritative: the dataset, architecture,
+    // and schedule must match the interrupted run for bit-identity.
+    pc = predictor_slot->config();
+    topts.resume = &resume_ck;
+    std::printf("resuming from %s at epoch %d/%d\n", resume_path.c_str(), resume_ck.next_epoch,
+                pc.epochs);
+  } else {
+    pc.target = parse_target(args.get("target", "CAP"));
+    pc.model = parse_model(args.get("model", "ParaGraph"));
+    pc.epochs = static_cast<int>(args.get_int("epochs", 150));
+    pc.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+    pc.max_v_ff = args.get_double("max-v", 1e4);
+    pc.scale = args.get_double("scale", 0.25);
+    const long batch = args.get_int("batch-size", 1);
+    if (batch <= 0) {
+      std::fprintf(stderr, "train: --batch-size must be a positive integer\n");
+      return 2;
+    }
+    pc.batch_size = static_cast<std::size_t>(batch);
+    pc.train_threads = runtime::num_threads();
+    predictor_slot.emplace(pc);
+  }
   std::printf("building dataset (scale %.2f)...\n", pc.scale);
   const auto ds = dataset::build_dataset(pc.seed, pc.scale);
   std::printf("training %s for %s (%d epochs)...\n", gnn::model_kind_name(pc.model),
               dataset::target_name(pc.target), pc.epochs);
-  core::GnnPredictor predictor(pc);
+  core::GnnPredictor& predictor = *predictor_slot;
   // Per-epoch telemetry: every record lands in the metrics series /
   // debug log from inside train(); this callback adds periodic test-set
   // evaluation (--eval-every N epochs, 0 = only implicitly at the end).
@@ -246,10 +290,12 @@ int cmd_train(const util::ArgParser& args) {
       obs::MetricsRegistry::instance().append_record("train.eval", std::move(r));
     }
   };
-  const auto losses = predictor.train(ds, on_epoch);
+  const auto losses = predictor.train(ds, on_epoch, topts);
   const auto m = predictor.evaluate(ds, ds.test).pooled();
+  // A resume at the final epoch runs zero epochs and reports no loss.
+  const double final_loss = losses.empty() ? 0.0 : losses.back();
   std::printf("final loss %.6f; test R2=%.3f MAE=%.4f MAPE=%.1f%% over %zu nodes\n",
-              losses.back(), m.r2, m.mae, m.mape, m.count);
+              final_loss, m.r2, m.mae, m.mape, m.count);
   // Final-epoch eval record, unless the --eval-every cadence already
   // produced one for the last epoch.
   if (obs::enabled() && !(eval_every > 0 && pc.epochs % eval_every == 0)) {
@@ -337,6 +383,16 @@ int cmd_annotate(const util::ArgParser& args) {
   return 0;
 }
 
+// Maps a thrown exception to the documented exit-code taxonomy.
+int exit_code_for(const std::exception& e) {
+  if (dynamic_cast<const util::DivergenceError*>(&e) != nullptr) return util::kExitDiverged;
+  if (dynamic_cast<const util::CorruptArtifactError*>(&e) != nullptr) return util::kExitBadInput;
+  if (dynamic_cast<const util::IoError*>(&e) != nullptr) return util::kExitBadInput;
+  if (dynamic_cast<const circuit::ParseError*>(&e) != nullptr) return util::kExitBadInput;
+  if (dynamic_cast<const std::invalid_argument*>(&e) != nullptr) return util::kExitUsage;
+  return util::kExitInternal;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -344,13 +400,14 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   const util::ArgParser args(argc - 1, argv + 1);
   obs::init_from_env();
+  util::fault::init_from_env();
   ObsOutputs obs_out;
   try {
     obs_out = setup_observability(args);
     setup_runtime(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "paragraph %s: %s\n", command.c_str(), e.what());
-    return 2;
+    return util::kExitUsage;
   }
   int rc = -1;
   try {
@@ -364,7 +421,7 @@ int main(int argc, char** argv) {
     // Flush whatever was collected before the failure; partial metrics and
     // traces are exactly what you want when diagnosing a crash.
     flush_observability(obs_out);
-    return 1;
+    return exit_code_for(e);
   }
   if (rc < 0) return usage();
   flush_observability(obs_out);
