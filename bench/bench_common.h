@@ -81,20 +81,28 @@ class Timer {
 // A metric's repetitions are individual observations (per-epoch wall
 // times, per-repetition throughputs, per-run benchmark timings); direction
 // is inferred from the unit ("…/s" is higher-is-better, durations are
-// lower-is-better). Insertion order is preserved so dumps stay diffable.
+// lower-is-better) unless overridden per rep — quality scores like R² or
+// a correlation coefficient are higher-is-better but carry no rate unit.
+// Insertion order is preserved so dumps stay diffable.
 class BenchReporter {
  public:
+  // Comparison direction for a metric; kAuto infers from the unit.
+  enum class Better { kAuto, kLower, kHigher };
+
   explicit BenchReporter(std::string bench_name) : bench_(std::move(bench_name)) {}
 
   // Appends one observation of `metric`. The unit must be consistent
-  // across repetitions of the same metric.
-  void add_rep(const std::string& metric, const std::string& unit, double value) {
+  // across repetitions of the same metric, as must `better` (the last
+  // non-kAuto value wins).
+  void add_rep(const std::string& metric, const std::string& unit, double value,
+               Better better = Better::kAuto) {
     auto it = index_.find(metric);
     if (it == index_.end()) {
       index_.emplace(metric, metrics_.size());
-      metrics_.push_back(Metric{metric, unit, {value}});
+      metrics_.push_back(Metric{metric, unit, {value}, better});
     } else {
       metrics_[it->second].reps.push_back(value);
+      if (better != Better::kAuto) metrics_[it->second].better = better;
     }
   }
 
@@ -114,7 +122,10 @@ class BenchReporter {
       obs::JsonValue o = obs::JsonValue::object();
       o.set("name", m.name);
       o.set("unit", m.unit);
-      o.set("better", m.unit.find("/s") != std::string::npos ? "higher" : "lower");
+      const bool higher = m.better == Better::kAuto
+                              ? m.unit.find("/s") != std::string::npos
+                              : m.better == Better::kHigher;
+      o.set("better", higher ? "higher" : "lower");
       std::vector<double> sorted = m.reps;
       std::sort(sorted.begin(), sorted.end());
       obs::JsonValue reps = obs::JsonValue::array();
@@ -153,6 +164,7 @@ class BenchReporter {
     std::string name;
     std::string unit;
     std::vector<double> reps;
+    Better better = Better::kAuto;
   };
   std::string bench_;
   std::vector<Metric> metrics_;

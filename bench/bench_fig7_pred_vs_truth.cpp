@@ -5,8 +5,10 @@
 // The paper's qualitative finding: CAP and SA track the diagonal tightly
 // (MAPE 15.0% / 10.3%) while the LDE parameters scatter (MAPE > 100%,
 // attributed to inherent layout uncertainty). The bench reports MAPE and
-// log-space correlation per target and dumps a scatter CSV per target for
-// plotting.
+// log-space correlation per target, dumps a scatter CSV per target for
+// plotting, and emits the per-target summary metrics (MAPE/MAE/R²/pearson)
+// through the paragraph-bench-v1 reporter so perf_diff can track
+// model-quality movements the same way it tracks runtime.
 #include <cmath>
 #include <fstream>
 #include <iostream>
@@ -25,9 +27,10 @@ int main() {
   const auto ds = bench::build_bench_dataset(profile);
 
   util::Table table({"target", "MAPE [%]", "MAE", "R2", "log-log pearson", "n"});
+  bench::BenchReporter reporter("bench_fig7_pred_vs_truth");
 
-  auto report = [&table](const char* name, const std::vector<float>& truth,
-                         const std::vector<float>& pred) {
+  auto report = [&table, &reporter](const char* name, const std::vector<float>& truth,
+                                    const std::vector<float>& pred) {
     double mape = 0.0, mae = 0.0;
     std::vector<double> lt, lp;
     for (std::size_t i = 0; i < truth.size(); ++i) {
@@ -36,10 +39,19 @@ int main() {
       lt.push_back(std::log10(std::max(truth[i], 1e-3f)));
       lp.push_back(std::log10(std::max(pred[i], 1e-3f)));
     }
-    table.add_row({name, util::format("%.1f", 100.0 * mape / truth.size()),
-                   util::format("%.3f", mae / truth.size()),
-                   util::format("%.3f", eval::r_squared(truth, pred)),
-                   util::format("%.3f", util::pearson(lt, lp)), std::to_string(truth.size())});
+    const double mape_pct = 100.0 * mape / static_cast<double>(truth.size());
+    const double mean_ae = mae / static_cast<double>(truth.size());
+    const double r2 = eval::r_squared(truth, pred);
+    const double corr = util::pearson(lt, lp);
+    table.add_row({name, util::format("%.1f", mape_pct), util::format("%.3f", mean_ae),
+                   util::format("%.3f", r2), util::format("%.3f", corr),
+                   std::to_string(truth.size())});
+    const std::string prefix = std::string(name) + ".";
+    reporter.add_rep(prefix + "mape", "%", mape_pct);
+    reporter.add_rep(prefix + "mae", "abs", mean_ae);
+    reporter.add_rep(prefix + "r2", "score", r2, bench::BenchReporter::Better::kHigher);
+    reporter.add_rep(prefix + "loglog_pearson", "score", corr,
+                     bench::BenchReporter::Better::kHigher);
     std::ofstream csv(std::string("fig7_") + name + ".csv");
     csv << "truth,pred\n";
     for (std::size_t i = 0; i < truth.size(); ++i)
@@ -93,5 +105,6 @@ int main() {
   std::printf("\nFig 7 summary (paper: CAP MAPE 15.0%%, SA MAPE 10.3%%, LDE MAPEs > 100%%):\n");
   table.print(std::cout);
   std::printf("\nscatter data written to fig7_<target>.csv\n");
+  reporter.write();
   return 0;
 }

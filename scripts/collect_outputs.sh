@@ -72,3 +72,39 @@ PYEOF
     fi
   done
 fi
+
+# Quality dashboard (paragraph-quality-v1, see DESIGN.md §10): train a
+# tiny model and run `paragraph report` over it so the recorded artefacts
+# include a current dashboard pair, then validate the JSON half against
+# the schema keys tools consume. Skipped when the CLI binary is missing
+# (e.g. partial builds).
+CLI=build/tools/paragraph
+if [ -x "$CLI" ]; then
+  mkdir -p bench_results/obs
+  tmp_model=$(mktemp /tmp/paragraph_report_model.XXXXXX.bin)
+  if "$CLI" train --save "$tmp_model" --scale 0.05 --epochs 3 --seed 7 >/dev/null 2>&1 &&
+     "$CLI" report --model "$tmp_model" --out bench_results/obs/quality_report >/dev/null; then
+    if ! command -v python3 >/dev/null; then
+      echo "quality report (unvalidated, no python3): bench_results/obs/quality_report.{json,md}"
+    elif python3 - bench_results/obs/quality_report.json <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "paragraph-quality-v1"
+for key in ("pairs", "dimensions", "calibration", "worst_nets", "meta"):
+    assert key in doc, key
+assert doc["pairs"] > 0
+assert "decade" in doc["dimensions"] and "target" in doc["dimensions"]
+for bucket in doc["dimensions"]["decade"].values():
+    for key in ("count", "r2", "mae", "mape"):
+        assert key in bucket, key
+PYEOF
+    then
+      echo "quality report ok: bench_results/obs/quality_report.{json,md}"
+    else
+      echo "quality report INVALID (schema or keys): bench_results/obs/quality_report.json" >&2
+    fi
+  else
+    echo "quality report generation FAILED (train or report exited nonzero)" >&2
+  fi
+  rm -f "$tmp_model"
+fi

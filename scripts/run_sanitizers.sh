@@ -14,6 +14,10 @@
 #                                          # under all three sanitizers; the
 #                                          # thread flavour runs it with
 #                                          # PARAGRAPH_THREADS=4
+#   scripts/run_sanitizers.sh quality      # the quality label (drift
+#                                          # sketches/PSI, quality accounting
+#                                          # + report, flight recorder) under
+#                                          # all three sanitizers
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -22,6 +26,7 @@ sans="address undefined thread"
 case "${1:-}" in
   address|undefined|thread) sans="$1"; shift ;;
   robustness) shift; set -- -L robustness "$@" ;;
+  quality) shift; set -- -L quality "$@" ;;
 esac
 
 for san in $sans; do

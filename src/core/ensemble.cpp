@@ -59,16 +59,32 @@ std::vector<float> CapEnsemble::predict(const SuiteDataset& ds, const Sample& sa
 }
 
 std::vector<float> CapEnsemble::predict_with_plan(const SuiteDataset& ds, const Sample& sample,
-                                                  const gnn::GraphPlan& plan) const {
+                                                  const gnn::GraphPlan& plan,
+                                                  MemberAttribution* attribution) const {
   PARAGRAPH_TIMED_SCOPE("ensemble_combine");
   // Algorithm 2: start from the lowest-range model M1; move to model Mi
   // whenever Mi's prediction exceeds M(i-1)'s max prediction value.
   std::vector<float> p = models_[0]->predict_all(ds, sample, plan);
+  if (attribution != nullptr) {
+    attribution->member.assign(p.size(), 0);
+    attribution->pairs.assign(models_.size() - 1, {});
+  }
   for (std::size_t i = 1; i < models_.size(); ++i) {
     const std::vector<float> pi = models_[i]->predict_all(ds, sample, plan);
     const double prev_max = config_.max_vs_ff[i - 1];
     for (std::size_t n = 0; n < p.size(); ++n) {
-      if (pi[n] > prev_max) p[n] = pi[n];
+      if (attribution != nullptr) {
+        // The boundary hand-off: the lower cascade keeps the net inside
+        // the previous range while the upper member escalates it out (or
+        // vice versa).
+        auto& pair = attribution->pairs[i - 1];
+        ++pair.checked;
+        if ((p[n] > prev_max) != (pi[n] > prev_max)) ++pair.disagreements;
+      }
+      if (pi[n] > prev_max) {
+        p[n] = pi[n];
+        if (attribution != nullptr) attribution->member[n] = static_cast<std::uint8_t>(i);
+      }
     }
   }
   return p;
@@ -138,10 +154,11 @@ CapEnsemble CapEnsemble::load(const std::string& path) {
   return e;
 }
 
-EvalResult CapEnsemble::evaluate(const SuiteDataset& ds,
-                                 const std::vector<Sample>& samples) const {
+EvalResult CapEnsemble::evaluate(const SuiteDataset& ds, const std::vector<Sample>& samples,
+                                 std::vector<MemberAttribution>* attributions) const {
   EvalResult result;
   result.circuits.resize(samples.size());
+  if (attributions != nullptr) attributions->resize(samples.size());
   // One circuit per pool chunk; the plan is built once per circuit and
   // shared across the K member models. Results land at their sample index,
   // so output order matches the serial loop.
@@ -152,7 +169,8 @@ EvalResult CapEnsemble::evaluate(const SuiteDataset& ds,
       CircuitPrediction cp;
       cp.name = s.name;
       cp.truth = s.target_values(dataset::TargetKind::kCap);
-      cp.pred = predict_with_plan(ds, s, plan);
+      cp.pred = predict_with_plan(ds, s, plan,
+                                  attributions != nullptr ? &(*attributions)[si] : nullptr);
       result.circuits[si] = std::move(cp);
     }
   });

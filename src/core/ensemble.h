@@ -11,6 +11,24 @@
 
 namespace paragraph::core {
 
+// Which member answered each net under Algorithm 2, plus adjacent-member
+// boundary statistics — the raw material for the quality report's
+// per-member attribution and interval-overlap disagreement accounting.
+struct MemberAttribution {
+  // Winner per net, predict_all order (index into the member list).
+  std::vector<std::uint8_t> member;
+  // Per adjacent pair (k, k+1): over all nets, how often the two members
+  // land on opposite sides of the k-th range boundary — i.e. the lower
+  // member keeps the net inside its range while the upper one escalates
+  // it past the boundary, or vice versa. High disagreement at a boundary
+  // means the hand-off between those members is poorly calibrated.
+  struct PairStats {
+    std::uint64_t checked = 0;
+    std::uint64_t disagreements = 0;
+  };
+  std::vector<PairStats> pairs;  // size num_models() - 1
+};
+
 struct EnsembleConfig {
   // Ascending max_v list in fF; paper: 1 fF, 10 fF, 100 fF, 10 pF.
   std::vector<double> max_vs_ff = {1.0, 10.0, 100.0, 1e4};
@@ -30,16 +48,23 @@ class CapEnsemble {
                              const dataset::Sample& sample) const;
 
   // Same, reusing a caller-built GraphPlan shared across the K members.
+  // `attribution`, when non-null, receives the Algorithm 2 winner per net
+  // and the adjacent-member boundary statistics.
   std::vector<float> predict_with_plan(const dataset::SuiteDataset& ds,
-                                       const dataset::Sample& sample,
-                                       const gnn::GraphPlan& plan) const;
+                                       const dataset::Sample& sample, const gnn::GraphPlan& plan,
+                                       MemberAttribution* attribution = nullptr) const;
 
   // Evaluates over the full truth range (no max_v filtering).
+  // `attributions`, when non-null, receives one MemberAttribution per
+  // sample (same order) — capture is a few comparisons per net, so the
+  // quality-accounting path costs essentially nothing over the plain one.
   EvalResult evaluate(const dataset::SuiteDataset& ds,
-                      const std::vector<dataset::Sample>& samples) const;
+                      const std::vector<dataset::Sample>& samples,
+                      std::vector<MemberAttribution>* attributions = nullptr) const;
 
   std::size_t num_models() const { return models_.size(); }
   const GnnPredictor& model(std::size_t i) const { return *models_.at(i); }
+  const std::vector<double>& max_vs_ff() const { return config_.max_vs_ff; }
 
   // Persists the ensemble: each member model goes to `path`.m<i> (model
   // file format) and a small manifest to `path`. Members are written

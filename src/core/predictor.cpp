@@ -9,6 +9,7 @@
 
 #include "core/checkpoint.h"
 #include "core/serialize.h"
+#include "eval/drift.h"
 #include "gnn/plan.h"
 #include "nn/optim.h"
 #include "obs/log.h"
@@ -171,6 +172,11 @@ std::vector<double> GnnPredictor::train(const SuiteDataset& ds, const EpochCallb
                                         const TrainOptions& options) {
   PARAGRAPH_TIMED_SCOPE("train");
   const auto& types = dataset::target_node_types(config_.target);
+
+  // Drift reference: what "inputs like the training set" looks like.
+  // Persisted with the model (format v5) and compared against live
+  // inference inputs by eval::check_drift.
+  sketches_ = eval::sketch_graphs(ds.train);
 
   if (config_.target == TargetKind::kRes) {
     scaler_ = TargetScaler::fit_log_zscore(SuiteDataset::pooled_targets(ds.train, config_.target));
@@ -566,6 +572,9 @@ std::vector<double> GnnPredictor::train(const SuiteDataset& ds, const EpochCallb
     if (util::fault::should_fail("train.epoch"))
       throw util::IoError("fault injected: training interrupted after epoch " +
                           std::to_string(epoch));
+    // Test hook: a genuine crash (no exception, no cleanup) so the flight
+    // recorder's fatal-signal dump path can be exercised end to end.
+    if (util::fault::should_fail("train.crash")) std::abort();
   }
   if (!best_params.empty()) restore();
   return epoch_losses;
@@ -597,6 +606,8 @@ EvalResult GnnPredictor::evaluate(const SuiteDataset& ds,
           if (!scaler_.in_range(raw[i])) continue;
           cp.truth.push_back(raw[i]);
           cp.pred.push_back(scaler_.inverse(pred.value()(i, 0)));
+          cp.type_slot.push_back(static_cast<std::int32_t>(slot));
+          cp.node_index.push_back(static_cast<std::int32_t>(i));
         }
       }
       result.circuits[si] = std::move(cp);

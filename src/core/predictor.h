@@ -12,6 +12,7 @@
 #include "dataset/dataset.h"
 #include "eval/metrics.h"
 #include "gnn/models.h"
+#include "obs/sketch.h"
 
 namespace paragraph::core {
 
@@ -95,10 +96,18 @@ class TargetScaler {
 };
 
 // Per-circuit prediction in raw units, restricted to in-range nodes.
+// `type_slot`/`node_index` (parallel to truth/pred) locate each prediction
+// back in the sample's graph: slot within target_node_types(target) and
+// local node index of that type — the provenance `paragraph report` uses
+// to name the worst nets. Producers that cover every node in order (e.g.
+// CapEnsemble::evaluate over net nodes) may leave them empty, meaning
+// "position i is node i of slot 0".
 struct CircuitPrediction {
   std::string name;
   std::vector<float> truth;
   std::vector<float> pred;
+  std::vector<std::int32_t> type_slot;
+  std::vector<std::int32_t> node_index;
   eval::RegressionMetrics metrics() const;
 };
 
@@ -188,6 +197,12 @@ class GnnPredictor {
   const TargetScaler& scaler() const { return scaler_; }
   void set_scaler(const TargetScaler& s) { scaler_ = s; }
 
+  // Training-set feature-distribution sketches (drift reference). Filled
+  // by train(), persisted by core/serialize as format v5; empty for models
+  // loaded from pre-v5 files.
+  const std::vector<obs::FeatureSketch>& feature_sketches() const { return sketches_; }
+  void set_feature_sketches(std::vector<obs::FeatureSketch> s) { sketches_ = std::move(s); }
+
   // Trainable parameters in deterministic construction order (embedding
   // model first, then the FC head); used by the optimiser and by
   // save/load_predictor.
@@ -200,6 +215,7 @@ class GnnPredictor {
 
   PredictorConfig config_;
   TargetScaler scaler_;
+  std::vector<obs::FeatureSketch> sketches_;
   std::unique_ptr<gnn::EmbeddingModel> embedding_;
   std::unique_ptr<nn::Mlp> head_;
 };

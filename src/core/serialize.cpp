@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/sketch.h"
 #include "util/atomic_file.h"
 #include "util/bytes.h"
 #include "util/faultinject.h"
@@ -25,7 +26,11 @@ constexpr std::uint32_t kMagic = 0x50477230;  // "PGr0"
 //   4: appends an FNV-1a-64 checksum of the whole payload as the trailing
 //      8 bytes, and the loader rejects trailing garbage. Field layout is
 //      unchanged from v3.
-constexpr std::uint32_t kVersion = 4;
+//   5: appends the training-set feature-distribution sketches (drift
+//      reference, eval/drift.h) after the parameter data and before the
+//      checksum. Everything up to the parameter data keeps its v3/v4
+//      byte offsets.
+constexpr std::uint32_t kVersion = 5;
 
 // Sane maxima for decoded dims/counts. A corrupt or adversarial file must
 // not be able to drive multi-gigabyte allocations before the shape check
@@ -37,6 +42,9 @@ constexpr std::uint64_t kMaxParams = 1 << 20;
 constexpr std::uint64_t kMaxMatrixDim = 1 << 24;
 constexpr std::uint64_t kMaxBatch = 1 << 16;
 constexpr std::uint64_t kMaxThreads = 1 << 16;
+constexpr std::uint64_t kMaxSketches = 4096;
+constexpr std::uint64_t kMaxSketchBins = 1024;
+constexpr std::uint64_t kMaxSketchName = 256;
 constexpr std::uint32_t kMaxModelKind = static_cast<std::uint32_t>(gnn::ModelKind::kParaGraphNoConcat);
 constexpr std::uint32_t kMaxTargetKind = static_cast<std::uint32_t>(dataset::kNumTargets) - 1;
 
@@ -89,6 +97,25 @@ std::string predictor_to_bytes(const GnnPredictor& predictor) {
     os.write(reinterpret_cast<const char*>(m.data()),
              static_cast<std::streamsize>(m.size() * sizeof(float)));
   }
+  // v5 sketch block (drift reference). Placed after the parameter data so
+  // everything before it keeps its historical byte offsets.
+  const auto& sketches = predictor.feature_sketches();
+  write_pod(os, static_cast<std::uint64_t>(sketches.size()));
+  for (const auto& sk : sketches) {
+    const obs::FeatureSketch::State st = sk.state();
+    write_pod(os, static_cast<std::uint64_t>(st.name.size()));
+    os.write(st.name.data(), static_cast<std::streamsize>(st.name.size()));
+    write_pod(os, st.count);
+    write_pod(os, st.mean);
+    write_pod(os, st.m2);
+    write_pod(os, st.lo);
+    write_pod(os, st.hi);
+    write_pod(os, st.underflow);
+    write_pod(os, st.overflow);
+    write_pod(os, static_cast<std::uint64_t>(st.bins.size()));
+    for (const std::uint64_t b : st.bins) write_pod(os, b);
+  }
+
   std::string bytes = os.str();
   const std::uint64_t checksum = util::fnv1a64(bytes);
   bytes.append(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
@@ -181,6 +208,33 @@ GnnPredictor predictor_from_bytes(std::string_view bytes, const std::string& con
                 std::to_string(m.cols()) + ")");
     const std::string_view data = r.bytes(m.size() * sizeof(float), "parameter data");
     std::memcpy(m.data(), data.data(), data.size());
+  }
+  // v5 sketch block: the drift reference the model was trained against.
+  // Earlier formats simply have no sketches (drift checks are skipped).
+  if (version >= 5) {
+    const auto num_sketches = r.bounded(r.pod<std::uint64_t>("sketch count"), 0, kMaxSketches,
+                                        "sketch count");
+    std::vector<obs::FeatureSketch> sketches;
+    sketches.reserve(static_cast<std::size_t>(num_sketches));
+    for (std::uint64_t i = 0; i < num_sketches; ++i) {
+      obs::FeatureSketch::State st;
+      const auto name_len = r.bounded(r.pod<std::uint64_t>("sketch name length"), 0,
+                                      kMaxSketchName, "sketch name length");
+      st.name = std::string(r.bytes(static_cast<std::size_t>(name_len), "sketch name"));
+      st.count = r.pod<std::uint64_t>("sketch count field");
+      st.mean = finite_or_corrupt(r.pod<double>("sketch mean"), r, "sketch mean");
+      st.m2 = finite_or_corrupt(r.pod<double>("sketch m2"), r, "sketch m2");
+      st.lo = finite_or_corrupt(r.pod<double>("sketch lo"), r, "sketch lo");
+      st.hi = finite_or_corrupt(r.pod<double>("sketch hi"), r, "sketch hi");
+      st.underflow = r.pod<std::uint64_t>("sketch underflow");
+      st.overflow = r.pod<std::uint64_t>("sketch overflow");
+      const auto nbins = r.bounded(r.pod<std::uint64_t>("sketch bin count"), 0, kMaxSketchBins,
+                                   "sketch bin count");
+      st.bins.resize(static_cast<std::size_t>(nbins));
+      for (auto& b : st.bins) b = r.pod<std::uint64_t>("sketch bin");
+      sketches.push_back(obs::FeatureSketch::from_state(std::move(st)));
+    }
+    predictor.set_feature_sketches(std::move(sketches));
   }
   // v1-v3 files may carry trailing bytes (historical tools appended
   // nothing, but the loader never policed it); from v4 on the checksum

@@ -24,7 +24,8 @@ void save_predictor(const GnnPredictor& predictor, const std::string& path);
 // trained weights and scaler. Every read is length-checked, dims/counts
 // are bounded against sane maxima, and (format >= 4) the trailing payload
 // checksum is verified; corrupt files raise util::CorruptArtifactError,
-// unreadable ones util::IoError. Formats 1-4 load.
+// unreadable ones util::IoError. Formats 1-5 load (pre-v5 files simply
+// carry no drift-reference sketches).
 GnnPredictor load_predictor(const std::string& path);
 
 // In-memory forms of the same format; the checkpoint writer embeds the

@@ -1,0 +1,110 @@
+#include "eval/drift.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+
+namespace paragraph::eval {
+
+namespace {
+
+// Monotonic decade-compressing transform; physical features (fanout,
+// widths, areas) span orders of magnitude, and equal-width bins on the raw
+// scale would park nearly all mass in one bin.
+double signed_log1p(double v) {
+  return v < 0.0 ? -std::log1p(-v) : std::log1p(v);
+}
+
+// Deterministic feature order: per-type feature columns in enum/column
+// order, then whole-graph stats. The value callback receives every value
+// of one named feature stream across all samples.
+template <typename Fn>
+void for_each_feature(std::span<const dataset::Sample> samples, Fn&& fn) {
+  for (std::size_t t = 0; t < graph::kNumNodeTypes; ++t) {
+    const auto type = static_cast<graph::NodeType>(t);
+    const std::size_t dim = graph::feature_dim(type);
+    for (std::size_t col = 0; col < dim; ++col) {
+      const std::string name =
+          std::string(graph::node_type_name(type)) + ".f" + std::to_string(col);
+      fn(name, [&, col](auto&& emit) {
+        for (const dataset::Sample& s : samples) {
+          const nn::Matrix& feats = s.graph.features(type);
+          for (std::size_t r = 0; r < feats.rows(); ++r)
+            emit(signed_log1p(static_cast<double>(feats.row(r)[col])));
+        }
+      });
+    }
+  }
+  const auto graph_stat = [&](const char* name, auto&& get) {
+    fn(name, [&](auto&& emit) {
+      for (const dataset::Sample& s : samples) emit(signed_log1p(get(s)));
+    });
+  };
+  graph_stat("graph.total_nodes",
+             [](const dataset::Sample& s) { return static_cast<double>(s.graph.total_nodes()); });
+  graph_stat("graph.total_edges",
+             [](const dataset::Sample& s) { return static_cast<double>(s.graph.total_edges()); });
+  graph_stat("graph.nets", [](const dataset::Sample& s) {
+    return static_cast<double>(s.graph.num_nodes(graph::NodeType::kNet));
+  });
+}
+
+}  // namespace
+
+std::vector<obs::FeatureSketch> sketch_graphs(std::span<const dataset::Sample> samples,
+                                              const std::vector<obs::FeatureSketch>* ref,
+                                              std::size_t nbins) {
+  std::vector<obs::FeatureSketch> out;
+  for_each_feature(samples, [&](const std::string& name, auto&& visit_values) {
+    obs::FeatureSketch sketch(name);
+    if (ref != nullptr) {
+      const auto it = std::find_if(ref->begin(), ref->end(), [&](const obs::FeatureSketch& r) {
+        return r.name() == name;
+      });
+      if (it != ref->end()) sketch = obs::FeatureSketch::like(*it);
+    } else {
+      // Fit edges from the observed range; a slightly widened span keeps
+      // the extremes of the fitting set out of the overflow bins.
+      double lo = 0.0, hi = 0.0;
+      bool first = true;
+      visit_values([&](double v) {
+        if (first) {
+          lo = hi = v;
+          first = false;
+        } else {
+          lo = std::min(lo, v);
+          hi = std::max(hi, v);
+        }
+      });
+      const double pad = (hi - lo) * 0.05 + 1e-9;
+      sketch.configure_bins(lo - pad, hi + pad, nbins);
+    }
+    visit_values([&](double v) { sketch.add(v); });
+    out.push_back(std::move(sketch));
+  });
+  return out;
+}
+
+obs::DriftReport check_drift(const std::vector<obs::FeatureSketch>& ref,
+                             const std::vector<obs::FeatureSketch>& live,
+                             double warn_threshold) {
+  obs::DriftReport report = obs::score_drift(ref, live);
+  auto& reg = obs::MetricsRegistry::instance();
+  // Gauges carry the bias-corrected excess so every drift.* value is
+  // directly comparable against the warn threshold (and drift.max).
+  for (const obs::DriftScore& s : report.features) reg.gauge("drift." + s.feature).set(s.excess);
+  reg.gauge("drift.max").set(report.max_psi);
+  if (report.any() && report.max_psi >= warn_threshold) {
+    obs::Logger::instance().log(
+        obs::LogLevel::kWarn, "drift", "input distribution drift above threshold",
+        {{"max_psi", report.max_psi},
+         {"feature", report.max_feature},
+         {"threshold", warn_threshold}});
+  }
+  return report;
+}
+
+}  // namespace paragraph::eval

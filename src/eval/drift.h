@@ -1,0 +1,41 @@
+// Input-drift detection for deployed predictors.
+//
+// sketch_graphs() summarises a set of circuit graphs into per-feature
+// obs::FeatureSketch objects: one per raw node-feature column of every
+// node type (values sketched in signed-log1p space so multi-decade
+// physical features spread across the histogram instead of piling into
+// one bin) plus whole-graph stats (node/edge/net counts). Called without
+// a reference it fits bin edges from the observed range — this is the
+// train-time path whose result is persisted into the model artifact
+// (format v5). Called with a reference it produces bin-compatible live
+// sketches, which is what predict/evaluate maintain over incoming graphs.
+//
+// check_drift() scores live vs reference per feature (PSI), publishes
+// `drift.<feature>` gauges and `drift.max`, and emits one structured
+// warning line when the max crosses the threshold.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dataset/dataset.h"
+#include "obs/sketch.h"
+
+namespace paragraph::eval {
+
+// Conventional PSI action threshold (see obs/sketch.h).
+inline constexpr double kDefaultDriftWarnThreshold = 0.25;
+
+// 8 bins (plus under/overflow) keeps the null-hypothesis PSI noise floor
+// (~k/n for n samples over k bins) well under the 0.25 action threshold
+// for the suite's node counts while still resolving a real generator
+// shift, which moves whole decades of mass.
+std::vector<obs::FeatureSketch> sketch_graphs(std::span<const dataset::Sample> samples,
+                                              const std::vector<obs::FeatureSketch>* ref = nullptr,
+                                              std::size_t nbins = 8);
+
+obs::DriftReport check_drift(const std::vector<obs::FeatureSketch>& ref,
+                             const std::vector<obs::FeatureSketch>& live,
+                             double warn_threshold = kDefaultDriftWarnThreshold);
+
+}  // namespace paragraph::eval

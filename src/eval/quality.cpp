@@ -1,0 +1,204 @@
+#include "eval/quality.h"
+
+#include <algorithm>
+#include <climits>
+#include <cmath>
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+namespace paragraph::eval {
+
+namespace {
+
+obs::JsonValue metrics_json(std::span<const float> truth, std::span<const float> pred) {
+  const RegressionMetrics m = evaluate(truth, pred);
+  obs::JsonValue o = obs::JsonValue::object();
+  o.set("count", m.count);
+  o.set("r2", m.r2);
+  o.set("mae", m.mae);
+  o.set("mape", m.mape);
+  return o;
+}
+
+// Decade keys ("1e-01..1e+00") must order by exponent, not by bytes —
+// lexicographically '+' sorts before '-', which would put every
+// sub-femtofarad decade after the large ones. "<=0" sorts first.
+bool decade_rank(const std::string& key, int* rank) {
+  if (key == "<=0") {
+    *rank = INT_MIN;
+    return true;
+  }
+  int exp = 0;
+  if (std::sscanf(key.c_str(), "1e%d..", &exp) != 1) return false;
+  *rank = exp;
+  return true;
+}
+
+bool key_less(const std::string& a, const std::string& b) {
+  int ra = 0, rb = 0;
+  if (decade_rank(a, &ra) && decade_rank(b, &rb)) return ra < rb;
+  return a < b;
+}
+
+}  // namespace
+
+QualityAccumulator::Bucket& QualityAccumulator::bucket(const std::string& dimension,
+                                                       const std::string& key) {
+  auto dim_it = std::find_if(dimensions_.begin(), dimensions_.end(),
+                             [&](const Dimension& d) { return d.name == dimension; });
+  if (dim_it == dimensions_.end()) {
+    dimensions_.push_back({dimension, {}});
+    dim_it = dimensions_.end() - 1;
+  }
+  auto it = std::find_if(dim_it->buckets.begin(), dim_it->buckets.end(),
+                         [&](const Bucket& b) { return b.key == key; });
+  if (it == dim_it->buckets.end()) {
+    dim_it->buckets.push_back({key, {}, {}});
+    it = dim_it->buckets.end() - 1;
+  }
+  return *it;
+}
+
+void QualityAccumulator::add(const std::string& dimension, const std::string& key, float truth,
+                             float pred) {
+  Bucket& b = bucket(dimension, key);
+  b.truth.push_back(truth);
+  b.pred.push_back(pred);
+}
+
+void QualityAccumulator::add_calibration(int member, double lo_ff, double hi_ff, float truth,
+                                         float pred) {
+  auto it = std::find_if(calibration_.begin(), calibration_.end(),
+                         [&](const CalibrationRow& r) { return r.member == member; });
+  if (it == calibration_.end()) {
+    calibration_.push_back({member, lo_ff, hi_ff, 0, {}, {}});
+    it = calibration_.end() - 1;
+    std::sort(calibration_.begin(), calibration_.end(),
+              [](const CalibrationRow& a, const CalibrationRow& b) { return a.member < b.member; });
+    it = std::find_if(calibration_.begin(), calibration_.end(),
+                      [&](const CalibrationRow& r) { return r.member == member; });
+  }
+  if (truth > it->lo_ff && truth <= it->hi_ff) ++it->in_interval;
+  it->truth.push_back(truth);
+  it->pred.push_back(pred);
+}
+
+void QualityAccumulator::count_overlap(int lower_member, bool disagree) {
+  add_overlap_stats(lower_member, 1, disagree ? 1 : 0);
+}
+
+void QualityAccumulator::add_overlap_stats(int lower_member, std::uint64_t checked,
+                                           std::uint64_t disagreements) {
+  auto it = std::find_if(overlaps_.begin(), overlaps_.end(),
+                         [&](const OverlapRow& r) { return r.lower_member == lower_member; });
+  if (it == overlaps_.end()) {
+    overlaps_.push_back({lower_member, 0, 0});
+    it = overlaps_.end() - 1;
+  }
+  it->checked += checked;
+  it->disagreements += disagreements;
+}
+
+void QualityAccumulator::note_net(const std::string& circuit, const std::string& net, float truth,
+                                  float pred) {
+  const double denom = std::fabs(static_cast<double>(truth));
+  if (denom < 1e-12) return;
+  const double rel = std::fabs(static_cast<double>(pred) - truth) / denom;
+  if (worst_.size() >= kWorstN && rel <= worst_.back().rel_err) return;
+  worst_.push_back({circuit, net, truth, pred, rel});
+  std::sort(worst_.begin(), worst_.end(),
+            [](const WorstNet& a, const WorstNet& b) { return a.rel_err > b.rel_err; });
+  if (worst_.size() > kWorstN) worst_.resize(kWorstN);
+}
+
+std::string QualityAccumulator::cap_decade_key(double truth_ff) {
+  if (!(truth_ff > 0.0)) return "<=0";
+  const int exp = static_cast<int>(std::floor(std::log10(truth_ff)));
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "1e%+03d..1e%+03d", exp, exp + 1);
+  return buf;
+}
+
+obs::JsonValue QualityAccumulator::to_json() const {
+  obs::JsonValue root = obs::JsonValue::object();
+  root.set("schema", "paragraph-quality-v1");
+  root.set("pairs", total_pairs_);
+
+  obs::JsonValue dims = obs::JsonValue::object();
+  for (const Dimension& d : dimensions_) {
+    // Sorted keys make decade buckets read low-to-high regardless of the
+    // order predictions arrived in.
+    std::vector<const Bucket*> ordered;
+    ordered.reserve(d.buckets.size());
+    for (const Bucket& b : d.buckets) ordered.push_back(&b);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const Bucket* a, const Bucket* b) { return key_less(a->key, b->key); });
+    obs::JsonValue dim = obs::JsonValue::object();
+    for (const Bucket* b : ordered) dim.set(b->key, metrics_json(b->truth, b->pred));
+    dims.set(d.name, std::move(dim));
+  }
+  root.set("dimensions", std::move(dims));
+
+  obs::JsonValue calib = obs::JsonValue::array();
+  for (const CalibrationRow& r : calibration_) {
+    obs::JsonValue o = obs::JsonValue::object();
+    o.set("member", r.member);
+    o.set("interval_lo_ff", r.lo_ff);
+    o.set("interval_hi_ff", r.hi_ff);
+    o.set("count", r.truth.size());
+    o.set("in_interval", r.in_interval);
+    o.set("in_interval_frac",
+          r.truth.empty() ? 0.0
+                          : static_cast<double>(r.in_interval) / static_cast<double>(r.truth.size()));
+    o.set("metrics", metrics_json(r.truth, r.pred));
+    calib.push_back(std::move(o));
+  }
+  root.set("calibration", std::move(calib));
+
+  obs::JsonValue overlaps = obs::JsonValue::array();
+  for (const OverlapRow& r : overlaps_) {
+    obs::JsonValue o = obs::JsonValue::object();
+    o.set("lower_member", r.lower_member);
+    o.set("checked", r.checked);
+    o.set("disagreements", r.disagreements);
+    o.set("disagreement_frac",
+          r.checked == 0 ? 0.0
+                         : static_cast<double>(r.disagreements) / static_cast<double>(r.checked));
+    overlaps.push_back(std::move(o));
+  }
+  root.set("member_overlap", std::move(overlaps));
+
+  obs::JsonValue worst = obs::JsonValue::array();
+  for (const WorstNet& w : worst_) {
+    obs::JsonValue o = obs::JsonValue::object();
+    o.set("circuit", w.circuit);
+    o.set("net", w.net);
+    o.set("truth", w.truth);
+    o.set("pred", w.pred);
+    o.set("rel_err", w.rel_err);
+    worst.push_back(std::move(o));
+  }
+  root.set("worst_nets", std::move(worst));
+  return root;
+}
+
+void QualityAccumulator::publish() const {
+  auto& reg = obs::MetricsRegistry::instance();
+  reg.gauge("quality.pairs").set(static_cast<double>(total_pairs_));
+  for (const Dimension& d : dimensions_) {
+    for (const Bucket& b : d.buckets) {
+      const RegressionMetrics m = evaluate(b.truth, b.pred);
+      const std::string prefix = "quality." + d.name + "." + b.key;
+      reg.gauge(prefix + ".r2").set(m.r2);
+      reg.gauge(prefix + ".mape").set(m.mape);
+    }
+  }
+  for (const CalibrationRow& r : calibration_) {
+    if (r.truth.empty()) continue;
+    reg.gauge("quality.member." + std::to_string(r.member) + ".in_interval_frac")
+        .set(static_cast<double>(r.in_interval) / static_cast<double>(r.truth.size()));
+  }
+}
+
+}  // namespace paragraph::eval

@@ -1,0 +1,113 @@
+// Model-quality accounting: per-prediction residual capture bucketed along
+// the dimensions that matter for a deployed parasitic predictor — cap
+// decade, target kind, edge-type context, and answering ensemble member —
+// plus the Algorithm 2 calibration table (member interval vs realised
+// error), adjacent-member disagreement counters, and a worst-N net tracker
+// with circuit/net provenance.
+//
+// The accumulator works on plain values so it has no dependency on the
+// dataset or model layers; core/report.h walks models and datasets and
+// feeds this. `to_json()` emits the `paragraph-quality-v1` block that
+// rides alongside `--metrics-out`; `publish()` mirrors the headline
+// numbers into the obs metrics registry as `quality.*` gauges.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "obs/json.h"
+
+namespace paragraph::eval {
+
+// Bucket dimension names used by the core/report bridge. Free-form strings
+// are accepted; these are the conventional ones.
+inline constexpr const char* kDimDecade = "decade";
+inline constexpr const char* kDimTarget = "target";
+inline constexpr const char* kDimEdgeType = "edge_type";
+inline constexpr const char* kDimMember = "member";
+
+class QualityAccumulator {
+ public:
+  // Records one (truth, pred) pair into bucket `key` of `dimension`.
+  // Buckets are created on first use and keep insertion order. One pair
+  // typically lands in several dimensions; call count_pair() once per
+  // underlying pair so total_pairs() stays a pair count, not an add count.
+  void add(const std::string& dimension, const std::string& key, float truth, float pred);
+
+  // Counts one underlying prediction pair (see add()).
+  void count_pair() { ++total_pairs_; }
+
+  // Calibration: member `member` (interval (lo_ff, hi_ff]) answered a net
+  // with this truth/pred. Tracks how often truth actually falls inside the
+  // member's interval, and the realised error of its answers.
+  void add_calibration(int member, double lo_ff, double hi_ff, float truth, float pred);
+
+  // Adjacent-member interval overlap: `disagree` is true when members k and
+  // k+1 both claim the net (lower member predicts inside its own range but
+  // the upper member's prediction escalates past it, or vice versa).
+  void count_overlap(int lower_member, bool disagree);
+  // Bulk form for pre-aggregated counts (e.g. core::MemberAttribution).
+  void add_overlap_stats(int lower_member, std::uint64_t checked, std::uint64_t disagreements);
+
+  // Worst-net tracker (relative error, kWorstN retained).
+  void note_net(const std::string& circuit, const std::string& net, float truth, float pred);
+
+  // Stable, sortable decade label for a CAP truth value in fF
+  // (e.g. "1e-01..1e+00"); out-of-histogram values get "<=0".
+  static std::string cap_decade_key(double truth_ff);
+
+  bool empty() const { return dimensions_.empty() && calibration_.empty(); }
+  std::size_t total_pairs() const { return total_pairs_; }
+
+  // `paragraph-quality-v1` JSON block.
+  obs::JsonValue to_json() const;
+
+  // Headline gauges into obs::MetricsRegistry (quality.<dim>.<key>.r2 /
+  // .mape, quality.member.<k>.in_interval_frac, quality.pairs).
+  void publish() const;
+
+  static constexpr std::size_t kWorstN = 20;
+
+ private:
+  struct Bucket {
+    std::string key;
+    std::vector<float> truth;
+    std::vector<float> pred;
+  };
+  struct Dimension {
+    std::string name;
+    std::vector<Bucket> buckets;  // insertion order
+  };
+  struct CalibrationRow {
+    int member = 0;
+    double lo_ff = 0.0;
+    double hi_ff = 0.0;
+    std::uint64_t in_interval = 0;
+    std::vector<float> truth;
+    std::vector<float> pred;
+  };
+  struct OverlapRow {
+    int lower_member = 0;
+    std::uint64_t checked = 0;
+    std::uint64_t disagreements = 0;
+  };
+  struct WorstNet {
+    std::string circuit;
+    std::string net;
+    float truth = 0.0f;
+    float pred = 0.0f;
+    double rel_err = 0.0;
+  };
+
+  Bucket& bucket(const std::string& dimension, const std::string& key);
+
+  std::vector<Dimension> dimensions_;
+  std::vector<CalibrationRow> calibration_;  // ascending member
+  std::vector<OverlapRow> overlaps_;
+  std::vector<WorstNet> worst_;  // descending rel_err
+  std::size_t total_pairs_ = 0;
+};
+
+}  // namespace paragraph::eval

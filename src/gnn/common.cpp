@@ -159,4 +159,19 @@ AttentionRecord::Entry summarize_attention(const nn::Matrix& alpha,
   return e;
 }
 
+std::vector<std::uint64_t> incident_edge_type_masks(const graph::HeteroGraph& g,
+                                                    graph::NodeType type) {
+  std::vector<std::uint64_t> masks(g.num_nodes(type), 0);
+  for (const graph::TypedEdges& te : g.edges()) {
+    if (te.type_index >= 64) continue;  // registry is far smaller; belt and braces
+    const graph::EdgeTypeInfo& info = graph::edge_type_registry()[te.type_index];
+    const std::uint64_t bit = std::uint64_t{1} << te.type_index;
+    if (info.src_type == type)
+      for (const std::int32_t s : te.src) masks[static_cast<std::size_t>(s)] |= bit;
+    if (info.dst_type == type)
+      for (const std::int32_t d : te.dst) masks[static_cast<std::size_t>(d)] |= bit;
+  }
+  return masks;
+}
+
 }  // namespace paragraph::gnn

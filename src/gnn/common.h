@@ -102,4 +102,11 @@ nn::Tensor flatten_types(const TypeTensors& typed, const HomoView& homo, std::si
 // Slices a global embedding matrix back into per-type blocks.
 TypeTensors split_types(const nn::Tensor& global, const HomoView& homo);
 
+// Per-node bitmask over edge_type_registry() indices: bit e is set when
+// node i of `type` is an endpoint of at least one edge of type e. Used by
+// the quality report to bucket prediction error by edge-type context
+// (which terminal relations a net actually touches).
+std::vector<std::uint64_t> incident_edge_type_masks(const graph::HeteroGraph& g,
+                                                    graph::NodeType type);
+
 }  // namespace paragraph::gnn

@@ -1,0 +1,358 @@
+#include "obs/flight_recorder.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+
+namespace paragraph::obs {
+namespace {
+
+// Thread-local phase stack. Entries point at static-lifetime strings, so the
+// crash handler can read them without copying. `depth` may exceed
+// kMaxPhaseDepth; only the first kMaxPhaseDepth names are retained.
+struct PhaseStack {
+  const char* names[FlightRecorder::kMaxPhaseDepth] = {};
+  std::size_t depth = 0;
+};
+thread_local PhaseStack t_phases;
+
+// Phase enter/exit events deeper than this are tracked on the stack but not
+// mirrored into the ring, so per-kernel ScopedTimers cannot evict the log
+// history that makes a crash dump readable.
+constexpr std::size_t kRingPhaseDepthLimit = 4;
+
+std::int64_t now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+void copy_bounded(char* dst, std::size_t cap, std::string_view src) {
+  const std::size_t n = src.size() < cap - 1 ? src.size() : cap - 1;
+  std::memcpy(dst, src.data(), n);
+  dst[n] = '\0';
+}
+
+std::size_t round_up_pow2(std::size_t v) {
+  std::size_t p = 8;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Async-signal-safe dump machinery. Everything below must hold to the
+// signal-safety contract: no allocation, no locks, no stdio, no exceptions —
+// only writes into the static buffer and raw syscalls.
+
+std::atomic<bool> g_dumped{false};
+std::atomic<bool> g_handlers_installed{false};
+std::terminate_handler g_prev_terminate = nullptr;
+
+// Single static buffer for the whole dump. Sized for a full default ring
+// (256 events * <200 bytes each) with ample headroom.
+constexpr std::size_t kDumpBufCap = 96 * 1024;
+char g_dump_buf[kDumpBufCap];
+std::size_t g_dump_len = 0;
+
+void buf_reset() { g_dump_len = 0; }
+
+void buf_raw(const char* s, std::size_t n) {
+  if (g_dump_len >= kDumpBufCap) return;
+  const std::size_t room = kDumpBufCap - g_dump_len;
+  if (n > room) n = room;
+  std::memcpy(g_dump_buf + g_dump_len, s, n);
+  g_dump_len += n;
+}
+
+void buf_str(const char* s) { buf_raw(s, std::strlen(s)); }
+
+// JSON string literal with hand-rolled escaping (no snprintf for the body:
+// glibc's snprintf is not on the async-signal-safe list).
+void buf_json_str(const char* s) {
+  buf_str("\"");
+  for (; *s; ++s) {
+    const unsigned char c = static_cast<unsigned char>(*s);
+    if (c == '"' || c == '\\') {
+      char esc[2] = {'\\', static_cast<char>(c)};
+      buf_raw(esc, 2);
+    } else if (c < 0x20) {
+      static const char* hex = "0123456789abcdef";
+      char esc[6] = {'\\', 'u', '0', '0', hex[c >> 4], hex[c & 0xF]};
+      buf_raw(esc, 6);
+    } else {
+      buf_raw(reinterpret_cast<const char*>(&c), 1);
+    }
+  }
+  buf_str("\"");
+}
+
+void buf_u64(std::uint64_t v) {
+  char tmp[24];
+  std::size_t i = sizeof(tmp);
+  do {
+    tmp[--i] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  buf_raw(tmp + i, sizeof(tmp) - i);
+}
+
+void buf_i64(std::int64_t v) {
+  if (v < 0) {
+    buf_str("-");
+    buf_u64(static_cast<std::uint64_t>(-v));
+  } else {
+    buf_u64(static_cast<std::uint64_t>(v));
+  }
+}
+
+bool write_all(int fd, const char* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+void path_append(char* dst, std::size_t cap, const char* src) {
+  const std::size_t len = std::strlen(dst);
+  const std::size_t n = std::strlen(src);
+  if (len + n + 1 > cap) return;
+  std::memcpy(dst + len, src, n + 1);
+}
+
+void signal_handler(int sig) {
+  FlightRecorder::dump_now("fatal-signal", sig);
+  // Restore default disposition and re-raise so the process still dies with
+  // the original signal (exit status, core dumps, waitpid semantics intact).
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+[[noreturn]] void terminate_handler() {
+  FlightRecorder::dump_now("std::terminate", 0);
+  if (g_prev_terminate != nullptr) g_prev_terminate();
+  std::abort();
+}
+
+}  // namespace
+
+const char* flight_event_kind_name(FlightEvent::Kind k) {
+  switch (k) {
+    case FlightEvent::Kind::kLog:
+      return "log";
+    case FlightEvent::Kind::kPhaseEnter:
+      return "phase_enter";
+    case FlightEvent::Kind::kPhaseExit:
+      return "phase_exit";
+    case FlightEvent::Kind::kRecord:
+      return "record";
+  }
+  return "unknown";
+}
+
+FlightRecorder& FlightRecorder::instance() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+void FlightRecorder::arm(std::size_t capacity) {
+  const std::size_t cap = round_up_pow2(capacity);
+  if (armed_.load(std::memory_order_acquire) && ring_.size() == cap) return;
+  armed_.store(false, std::memory_order_release);
+  ring_.assign(cap, FlightEvent{});
+  stamps_ = std::vector<std::atomic<std::uint64_t>>(cap);
+  next_seq_.store(0, std::memory_order_relaxed);
+  armed_.store(true, std::memory_order_release);
+}
+
+void FlightRecorder::disarm() { armed_.store(false, std::memory_order_release); }
+
+void FlightRecorder::record(FlightEvent::Kind kind, std::uint8_t level,
+                            std::string_view component, std::string_view message) {
+  if (!armed_.load(std::memory_order_acquire)) return;
+  const std::uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t slot = static_cast<std::size_t>(seq) & (ring_.size() - 1);
+  FlightEvent& e = ring_[slot];
+  // Invalidate the slot before mutating the payload so a concurrent crash
+  // dump skips it instead of reading a torn event.
+  stamps_[slot].store(0, std::memory_order_release);
+  e.seq = seq;
+  e.ts_ms = now_ms();
+  e.kind = kind;
+  e.level = level;
+  copy_bounded(e.component, sizeof(e.component), component);
+  copy_bounded(e.message, sizeof(e.message), message);
+  stamps_[slot].store(seq + 1, std::memory_order_release);
+}
+
+void FlightRecorder::phase_enter(const char* name) {
+  if (t_phases.depth < kMaxPhaseDepth) t_phases.names[t_phases.depth] = name;
+  ++t_phases.depth;
+  if (t_phases.depth <= kRingPhaseDepthLimit)
+    record(FlightEvent::Kind::kPhaseEnter, 0, "phase", name);
+}
+
+void FlightRecorder::phase_exit() {
+  if (t_phases.depth == 0) return;
+  if (t_phases.depth <= kRingPhaseDepthLimit) {
+    const char* name =
+        t_phases.depth <= kMaxPhaseDepth ? t_phases.names[t_phases.depth - 1] : "";
+    record(FlightEvent::Kind::kPhaseExit, 0, "phase", name != nullptr ? name : "");
+  }
+  --t_phases.depth;
+}
+
+std::vector<const char*> FlightRecorder::phase_stack() const {
+  std::vector<const char*> out;
+  const std::size_t stored =
+      t_phases.depth < kMaxPhaseDepth ? t_phases.depth : kMaxPhaseDepth;
+  out.reserve(stored);
+  for (std::size_t i = 0; i < stored; ++i)
+    if (t_phases.names[i] != nullptr) out.push_back(t_phases.names[i]);
+  return out;
+}
+
+std::vector<FlightEvent> FlightRecorder::snapshot() const {
+  std::vector<FlightEvent> out;
+  if (ring_.empty()) return out;
+  const std::uint64_t end = next_seq_.load(std::memory_order_acquire);
+  const std::uint64_t cap = ring_.size();
+  const std::uint64_t begin = end > cap ? end - cap : 0;
+  out.reserve(static_cast<std::size_t>(end - begin));
+  for (std::uint64_t seq = begin; seq < end; ++seq) {
+    const std::size_t slot = static_cast<std::size_t>(seq) & (cap - 1);
+    if (stamps_[slot].load(std::memory_order_acquire) != seq + 1) continue;  // torn/overwritten
+    FlightEvent e = ring_[slot];
+    if (stamps_[slot].load(std::memory_order_acquire) != seq + 1) continue;
+    out.push_back(e);
+  }
+  return out;
+}
+
+void FlightRecorder::install_crash_handlers() {
+  FlightRecorder& rec = instance();
+  if (!rec.armed()) rec.arm();
+  bool expected = false;
+  if (!g_handlers_installed.compare_exchange_strong(expected, true)) return;
+  g_prev_terminate = std::set_terminate(&terminate_handler);
+  for (const int sig : {SIGSEGV, SIGBUS, SIGILL, SIGFPE, SIGABRT}) {
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = &signal_handler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESETHAND;
+    ::sigaction(sig, &sa, nullptr);
+  }
+}
+
+bool FlightRecorder::dump_now(const char* reason, int sig) {
+  // One dump per process: terminate → abort → SIGABRT would otherwise dump
+  // twice, and the second pass would clobber a consistent file with one
+  // written from a more broken state.
+  bool expected = false;
+  if (!g_dumped.compare_exchange_strong(expected, true)) return true;
+
+  FlightRecorder& rec = instance();
+  buf_reset();
+  buf_str("{\n  \"schema\": \"paragraph-crash-v1\",\n  \"reason\": ");
+  buf_json_str(reason != nullptr ? reason : "unknown");
+  buf_str(",\n  \"signal\": ");
+  buf_i64(sig);
+  buf_str(",\n  \"pid\": ");
+  buf_i64(static_cast<std::int64_t>(::getpid()));
+  buf_str(",\n  \"ts_ms\": ");
+  buf_i64(now_ms());
+  buf_str(",\n  \"total_events\": ");
+  buf_u64(rec.total_recorded());
+
+  // Active phase stack of the crashing thread, outermost first. Reads only
+  // this thread's TLS — safe in the handler.
+  buf_str(",\n  \"phase_stack\": [");
+  const std::size_t stored =
+      t_phases.depth < kMaxPhaseDepth ? t_phases.depth : kMaxPhaseDepth;
+  for (std::size_t i = 0; i < stored; ++i) {
+    if (i != 0) buf_str(", ");
+    buf_json_str(t_phases.names[i] != nullptr ? t_phases.names[i] : "");
+  }
+  buf_str("]");
+
+  buf_str(",\n  \"events\": [\n");
+  bool first = true;
+  if (!rec.ring_.empty()) {
+    const std::uint64_t end = rec.next_seq_.load(std::memory_order_acquire);
+    const std::uint64_t cap = rec.ring_.size();
+    for (std::uint64_t seq = end > cap ? end - cap : 0; seq < end; ++seq) {
+      const std::size_t slot = static_cast<std::size_t>(seq) & (cap - 1);
+      if (rec.stamps_[slot].load(std::memory_order_acquire) != seq + 1) continue;
+      const FlightEvent& e = rec.ring_[slot];
+      if (!first) buf_str(",\n");
+      first = false;
+      buf_str("    {\"seq\": ");
+      buf_u64(e.seq);
+      buf_str(", \"ts_ms\": ");
+      buf_i64(e.ts_ms);
+      buf_str(", \"kind\": ");
+      buf_json_str(flight_event_kind_name(e.kind));
+      buf_str(", \"level\": ");
+      buf_u64(e.level);
+      buf_str(", \"component\": ");
+      buf_json_str(e.component);
+      buf_str(", \"message\": ");
+      buf_json_str(e.message);
+      buf_str("}");
+    }
+  }
+  buf_str("\n  ]\n}\n");
+
+  // crash-<pid>.json in PARAGRAPH_CRASH_DIR (default "."), published with
+  // the temp + fsync + rename discipline so readers never see a torn file.
+  // getenv is not formally async-signal-safe but does not allocate or lock
+  // in practice; the value is read once, defensively.
+  const char* dir = std::getenv("PARAGRAPH_CRASH_DIR");
+  if (dir == nullptr || dir[0] == '\0') dir = ".";
+
+  char pid_str[24];
+  {
+    std::uint64_t v = static_cast<std::uint64_t>(::getpid());
+    std::size_t i = sizeof(pid_str) - 1;
+    pid_str[i] = '\0';
+    do {
+      pid_str[--i] = static_cast<char>('0' + v % 10);
+      v /= 10;
+    } while (v != 0);
+    std::memmove(pid_str, pid_str + i, sizeof(pid_str) - i);
+  }
+
+  char final_path[512] = {};
+  path_append(final_path, sizeof(final_path), dir);
+  path_append(final_path, sizeof(final_path), "/crash-");
+  path_append(final_path, sizeof(final_path), pid_str);
+  path_append(final_path, sizeof(final_path), ".json");
+  char tmp_path[512] = {};
+  path_append(tmp_path, sizeof(tmp_path), final_path);
+  path_append(tmp_path, sizeof(tmp_path), ".tmp");
+
+  const int fd = ::open(tmp_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  const bool ok = write_all(fd, g_dump_buf, g_dump_len);
+  ::fsync(fd);
+  ::close(fd);
+  if (!ok) {
+    ::unlink(tmp_path);
+    return false;
+  }
+  return ::rename(tmp_path, final_path) == 0;
+}
+
+}  // namespace paragraph::obs

@@ -7,6 +7,7 @@
 #include <mutex>
 
 #include "obs/control.h"
+#include "obs/flight_recorder.h"
 
 namespace paragraph::obs {
 
@@ -105,6 +106,8 @@ void Logger::log(LogLevel lvl, std::string_view component, std::string_view mess
                  std::initializer_list<LogField> fields) {
   if (!should_log(lvl)) return;
   const std::int64_t ts_ms = wall_clock_ms();
+  FlightRecorder::instance().record(FlightEvent::Kind::kLog,
+                                    static_cast<std::uint8_t>(lvl), component, message);
 
   std::lock_guard<std::mutex> lock(impl_->mu);
   if (impl_->text != nullptr) {

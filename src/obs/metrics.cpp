@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/flight_recorder.h"
 #include "util/atomic_file.h"
 #include "util/stats.h"
 
@@ -92,6 +93,8 @@ Histogram& MetricsRegistry::histogram(const std::string& name) {
 }
 
 void MetricsRegistry::append_record(const std::string& series, JsonValue record) {
+  if (FlightRecorder::instance().armed())
+    FlightRecorder::instance().record(FlightEvent::Kind::kRecord, 0, series, record.dump());
   std::lock_guard<std::mutex> lock(mu_);
   series_[series].push_back(std::move(record));
 }

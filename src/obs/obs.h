@@ -1,7 +1,8 @@
 // Umbrella header for the observability layer: structured logging
 // (obs/log.h), metrics registry (obs/metrics.h), hierarchical scoped
-// profiling (obs/profile.h), Chrome trace export (obs/trace.h), and
-// memory telemetry (obs/memory.h).
+// profiling (obs/profile.h), Chrome trace export (obs/trace.h), memory
+// telemetry (obs/memory.h), distribution sketches + drift scoring
+// (obs/sketch.h), and the crash flight recorder (obs/flight_recorder.h).
 //
 // Typical CLI wiring:
 //   obs::init_from_env();                 // PARAGRAPH_LOG / PARAGRAPH_OBS
@@ -13,9 +14,11 @@
 #pragma once
 
 #include "obs/control.h"
+#include "obs/flight_recorder.h"
 #include "obs/json.h"
 #include "obs/log.h"
 #include "obs/memory.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
+#include "obs/sketch.h"
 #include "obs/trace.h"

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -84,6 +85,7 @@ ScopedTimer::ScopedTimer(const char* name) {
   parent_path_len_ = t_phase_path.size();
   if (!t_phase_path.empty()) t_phase_path += '/';
   t_phase_path += name;
+  FlightRecorder::instance().phase_enter(name);
   start_us_ = now_us();
 }
 
@@ -95,6 +97,7 @@ ScopedTimer::~ScopedTimer() {
   MetricsRegistry::instance().histogram("time/" + t_phase_path).record(dur_us);
   TraceCollector& tracer = TraceCollector::instance();
   if (tracer.enabled()) tracer.add_complete(name_, "scope", start_us_, end_us - start_us_);
+  FlightRecorder::instance().phase_exit();
   t_phase_path.resize(parent_path_len_);
 }
 

@@ -1,0 +1,160 @@
+#include "obs/sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace paragraph::obs {
+
+FeatureSketch FeatureSketch::like(const FeatureSketch& ref) {
+  FeatureSketch s(ref.name_);
+  if (ref.has_bins()) s.configure_bins(ref.lo_, ref.hi_, ref.bins_.size());
+  return s;
+}
+
+void FeatureSketch::configure_bins(double lo, double hi, std::size_t nbins) {
+  if (nbins == 0) return;
+  // A degenerate (constant-feature) range still gets one valid bin so the
+  // sketch stays comparable; any differing value lands in under/overflow.
+  if (!(hi > lo)) hi = lo + 1.0;
+  lo_ = lo;
+  hi_ = hi;
+  bins_.assign(nbins, 0);
+  underflow_ = overflow_ = 0;
+}
+
+void FeatureSketch::add(double v) {
+  ++count_;
+  const double delta = v - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (v - mean_);
+  if (bins_.empty()) return;
+  if (v < lo_) {
+    ++underflow_;
+  } else if (v >= hi_) {
+    ++overflow_;
+  } else {
+    const double t = (v - lo_) / (hi_ - lo_);
+    auto idx = static_cast<std::size_t>(t * static_cast<double>(bins_.size()));
+    if (idx >= bins_.size()) idx = bins_.size() - 1;  // float edge case at hi
+    ++bins_[idx];
+  }
+}
+
+double FeatureSketch::stdev() const { return std::sqrt(variance()); }
+
+std::uint64_t FeatureSketch::binned_count() const {
+  std::uint64_t total = underflow_ + overflow_;
+  for (const auto b : bins_) total += b;
+  return total;
+}
+
+JsonValue FeatureSketch::to_json() const {
+  JsonValue o = JsonValue::object();
+  o.set("name", name_);
+  o.set("count", count_);
+  o.set("mean", mean_);
+  o.set("stdev", stdev());
+  o.set("lo", lo_);
+  o.set("hi", hi_);
+  JsonValue bins = JsonValue::array();
+  for (const auto b : bins_) bins.push_back(b);
+  o.set("bins", std::move(bins));
+  o.set("underflow", underflow_);
+  o.set("overflow", overflow_);
+  return o;
+}
+
+FeatureSketch::State FeatureSketch::state() const {
+  return {name_, count_, mean_, m2_, lo_, hi_, underflow_, overflow_, bins_};
+}
+
+FeatureSketch FeatureSketch::from_state(State s) {
+  FeatureSketch f(std::move(s.name));
+  f.count_ = s.count;
+  f.mean_ = s.mean;
+  f.m2_ = s.m2;
+  f.lo_ = s.lo;
+  f.hi_ = s.hi;
+  f.underflow_ = s.underflow;
+  f.overflow_ = s.overflow;
+  f.bins_ = std::move(s.bins);
+  return f;
+}
+
+double population_stability_index(const FeatureSketch& ref, const FeatureSketch& live) {
+  if (!ref.has_bins() || !live.has_bins()) return 0.0;
+  if (ref.bins().size() != live.bins().size()) return 0.0;
+  const double rn = static_cast<double>(ref.binned_count());
+  const double ln = static_cast<double>(live.binned_count());
+  if (rn == 0.0 || ln == 0.0) return 0.0;
+  // Laplace-style smoothing keeps a one-sided-empty bin finite; epsilon is
+  // tiny relative to any real probability mass so stable features still
+  // score ~0.
+  constexpr double kEps = 1e-6;
+  const std::size_t n = ref.bins().size() + 2;  // + under/overflow
+  auto prob = [n](double c, double total) { return (c + kEps) / (total + kEps * static_cast<double>(n)); };
+  double psi = 0.0;
+  auto accumulate = [&](double rc, double lc) {
+    const double p = prob(rc, rn);
+    const double q = prob(lc, ln);
+    psi += (p - q) * std::log(p / q);
+  };
+  accumulate(static_cast<double>(ref.underflow()), static_cast<double>(live.underflow()));
+  accumulate(static_cast<double>(ref.overflow()), static_cast<double>(live.overflow()));
+  for (std::size_t i = 0; i < ref.bins().size(); ++i)
+    accumulate(static_cast<double>(ref.bins()[i]), static_cast<double>(live.bins()[i]));
+  return psi;
+}
+
+JsonValue DriftReport::to_json() const {
+  JsonValue o = JsonValue::object();
+  o.set("max_psi", max_psi);
+  o.set("max_feature", max_feature);
+  JsonValue feats = JsonValue::array();
+  for (const DriftScore& f : features) {
+    JsonValue e = JsonValue::object();
+    e.set("feature", f.feature);
+    e.set("psi", f.psi);
+    e.set("null_psi", f.null_psi);
+    e.set("excess", f.excess);
+    e.set("ref_count", f.ref_count);
+    e.set("live_count", f.live_count);
+    e.set("scored", f.scored);
+    feats.push_back(std::move(e));
+  }
+  o.set("features", std::move(feats));
+  return o;
+}
+
+DriftReport score_drift(const std::vector<FeatureSketch>& ref,
+                        const std::vector<FeatureSketch>& live) {
+  DriftReport report;
+  for (const FeatureSketch& r : ref) {
+    const auto it = std::find_if(live.begin(), live.end(), [&](const FeatureSketch& l) {
+      return l.name() == r.name();
+    });
+    if (it == live.end()) continue;
+    if (!r.has_bins() || !it->has_bins() || r.bins().size() != it->bins().size()) continue;
+    DriftScore s;
+    s.feature = r.name();
+    s.psi = population_stability_index(r, *it);
+    s.ref_count = r.count();
+    s.live_count = it->count();
+    const std::uint64_t rn = r.binned_count();
+    const std::uint64_t ln = it->binned_count();
+    s.scored = rn >= kMinDriftSamples && ln >= kMinDriftSamples;
+    if (rn > 0 && ln > 0) {
+      const auto k = static_cast<double>(r.bins().size() + 2);  // + under/overflow
+      s.null_psi = (k - 1.0) * (1.0 / static_cast<double>(rn) + 1.0 / static_cast<double>(ln));
+    }
+    s.excess = std::max(0.0, s.psi - s.null_psi);
+    if (s.scored && (report.max_feature.empty() || s.excess > report.max_psi)) {
+      report.max_psi = s.excess;
+      report.max_feature = s.feature;
+    }
+    report.features.push_back(std::move(s));
+  }
+  return report;
+}
+
+}  // namespace paragraph::obs

@@ -24,6 +24,8 @@
 //   train.loss     GnnPredictor::train loss computation (forces a NaN)
 //   train.epoch    GnnPredictor::train end-of-epoch (throws IoError;
 //                  simulates a mid-run kill for checkpoint/resume tests)
+//   train.crash    GnnPredictor::train end-of-epoch (calls std::abort();
+//                  a real crash, for the flight-recorder dump tests)
 #pragma once
 
 #include <string>

@@ -2,7 +2,10 @@
 // --metrics-out/--trace-out and validates that both artefacts are
 // well-formed JSON with the promised structure (per-epoch records, phase
 // histograms with percentiles, Chrome trace events), then reloads the
-// model with `evaluate` to exercise the persisted --scale.
+// model with `evaluate` to exercise the persisted --scale. Also covers
+// the quality-observability surface: evaluate --quality-out, the
+// `report` dashboard pair, and the crash flight recorder's dump on a
+// fault-injected abort.
 //
 // The CLI binary path arrives as argv[1] (see tests/CMakeLists.txt), so
 // this test provides its own main() instead of linking gtest_main.
@@ -187,6 +190,102 @@ TEST(CliSmokeTest, KillAndResumeProducesIdenticalModel) {
                       interrupted + ".ckpt\"" + quiet),
             0);
   EXPECT_EQ(read_file(full), read_file(resumed));
+}
+
+// evaluate --quality-out must emit a valid paragraph-quality-v1 block,
+// and `report` must join the model + dataset into the JSON + Markdown
+// dashboard pair.
+TEST(CliSmokeTest, QualityOutAndReportArtifacts) {
+  ASSERT_FALSE(g_cli_path.empty());
+  TempDir tmp;
+  const std::string quiet = " > /dev/null 2>&1";
+  const auto model = (tmp.path / "model.bin").string();
+  const auto quality = (tmp.path / "quality.json").string();
+  const auto metrics = (tmp.path / "metrics.json").string();
+  const auto prefix = (tmp.path / "report").string();
+
+  ASSERT_EQ(exit_code("\"" + g_cli_path + "\" train --save \"" + model +
+                      "\" --scale 0.05 --epochs 2 --seed 7" + quiet),
+            0);
+  ASSERT_EQ(exit_code("\"" + g_cli_path + "\" evaluate --model \"" + model +
+                      "\" --quality-out \"" + quality + "\" --metrics-out \"" + metrics + "\"" +
+                      quiet),
+            0);
+
+  std::string error;
+  const auto qdoc = JsonValue::parse(read_file(quality), &error);
+  ASSERT_TRUE(qdoc.has_value()) << error;
+  EXPECT_EQ(qdoc->at("schema").as_string(), "paragraph-quality-v1");
+  EXPECT_GT(qdoc->at("pairs").as_int(), 0);
+  const JsonValue& dims = qdoc->at("dimensions");
+  ASSERT_NE(dims.find("decade"), nullptr);
+  ASSERT_NE(dims.find("target"), nullptr);
+  ASSERT_NE(dims.find("edge_type"), nullptr);
+  ASSERT_FALSE(qdoc->at("worst_nets").size() == 0u);
+
+  // The metrics document must carry the drift and quality gauges.
+  const auto mdoc = JsonValue::parse(read_file(metrics), &error);
+  ASSERT_TRUE(mdoc.has_value()) << error;
+  const JsonValue& gauges = mdoc->at("gauges");
+  ASSERT_NE(gauges.find("drift.max"), nullptr);
+  ASSERT_NE(gauges.find("quality.pairs"), nullptr);
+
+  // report: exactly one of --model/--ensemble, --out required -> usage 2.
+  EXPECT_EQ(exit_code("\"" + g_cli_path + "\" report --out \"" + prefix + "\"" + quiet), 2);
+  EXPECT_EQ(exit_code("\"" + g_cli_path + "\" report --model \"" + model + "\"" + quiet), 2);
+  ASSERT_EQ(exit_code("\"" + g_cli_path + "\" report --model \"" + model + "\" --prior \"" +
+                      metrics + "\" --out \"" + prefix + "\"" + quiet),
+            0);
+  const auto rdoc = JsonValue::parse(read_file(prefix + ".json"), &error);
+  ASSERT_TRUE(rdoc.has_value()) << error;
+  EXPECT_EQ(rdoc->at("schema").as_string(), "paragraph-quality-v1");
+  ASSERT_NE(rdoc->find("drift"), nullptr);
+  const std::string md = read_file(prefix + ".md");
+  EXPECT_NE(md.find("# ParaGraph quality report"), std::string::npos);
+  EXPECT_NE(md.find("prior"), std::string::npos);
+
+  // A prior that is not JSON is a bad input -> 3.
+  const auto bad_prior = (tmp.path / "bad_prior.json").string();
+  std::ofstream(bad_prior) << "not json";
+  EXPECT_EQ(exit_code("\"" + g_cli_path + "\" report --model \"" + model + "\" --prior \"" +
+                      bad_prior + "\" --out \"" + prefix + "2\"" + quiet),
+            3);
+}
+
+// A fault-injected abort mid-train must leave a parseable
+// crash-<pid>.json naming the active CLI command phase.
+TEST(CliSmokeTest, CrashDumpNamesActivePhase) {
+  ASSERT_FALSE(g_cli_path.empty());
+  TempDir tmp;
+  const auto model = (tmp.path / "model.bin").string();
+  const std::string cmd = "PARAGRAPH_FAULT=train.crash:1 PARAGRAPH_CRASH_DIR=\"" +
+                          tmp.path.string() + "\" \"" + g_cli_path + "\" train --save \"" +
+                          model + "\" --scale 0.05 --epochs 2 > /dev/null 2>&1";
+  const int rc = std::system(cmd.c_str());
+#ifndef _WIN32
+  // The process must die abnormally (SIGABRT re-raised after the dump).
+  EXPECT_FALSE(WIFEXITED(rc) && WEXITSTATUS(rc) == 0);
+#endif
+
+  std::filesystem::path dump;
+  for (const auto& entry : std::filesystem::directory_iterator(tmp.path)) {
+    const auto name = entry.path().filename().string();
+    if (name.rfind("crash-", 0) == 0 && name.find(".json") != std::string::npos)
+      dump = entry.path();
+  }
+  ASSERT_FALSE(dump.empty()) << "no crash-<pid>.json in " << tmp.path;
+
+  std::string error;
+  const auto doc = JsonValue::parse(read_file(dump), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(doc->at("schema").as_string(), "paragraph-crash-v1");
+  EXPECT_EQ(doc->at("reason").as_string(), "fatal-signal");
+  EXPECT_GT(doc->at("signal").as_int(), 0);
+  bool saw_train_phase = false;
+  for (const auto& p : doc->at("phase_stack").elements())
+    if (p.as_string() == "cmd:train") saw_train_phase = true;
+  EXPECT_TRUE(saw_train_phase) << "phase stack missing cmd:train";
+  EXPECT_GT(doc->at("events").size(), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,222 @@
+// Drift-detection suite: FeatureSketch moments/binning, PSI properties
+// (symmetry, zero-on-identical, shift sensitivity, small-sample
+// debiasing), and the end-to-end acceptance criterion — sketches fit on
+// the training split must NOT flag the same suite's held-out test split,
+// while a deliberately shifted generator mix must trip the warn
+// threshold.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "circuitgen/generator.h"
+#include "dataset/dataset.h"
+#include "eval/drift.h"
+#include "obs/sketch.h"
+
+namespace paragraph {
+namespace {
+
+using obs::FeatureSketch;
+
+TEST(FeatureSketchTest, WelfordMomentsMatchClosedForm) {
+  FeatureSketch s("x");
+  for (int i = 1; i <= 9; ++i) s.add(static_cast<double>(i));
+  EXPECT_EQ(s.count(), 9u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of 1..9 is 7.5.
+  EXPECT_NEAR(s.variance(), 7.5, 1e-12);
+  EXPECT_NEAR(s.stdev(), std::sqrt(7.5), 1e-12);
+}
+
+TEST(FeatureSketchTest, BinningRespectsEdgesAndOverflow) {
+  FeatureSketch s("x");
+  s.configure_bins(0.0, 10.0, 5);
+  s.add(-1.0);   // underflow
+  s.add(0.0);    // first bin
+  s.add(9.999);  // last bin
+  s.add(10.0);   // hi edge is exclusive -> overflow
+  s.add(42.0);   // overflow
+  EXPECT_EQ(s.underflow(), 1u);
+  EXPECT_EQ(s.overflow(), 2u);
+  EXPECT_EQ(s.bins().front(), 1u);
+  EXPECT_EQ(s.bins().back(), 1u);
+  EXPECT_EQ(s.binned_count(), 5u);
+  EXPECT_EQ(s.count(), 5u);
+}
+
+TEST(FeatureSketchTest, DegenerateRangeStillBins) {
+  FeatureSketch s("const");
+  s.configure_bins(3.0, 3.0, 4);  // hi == lo
+  s.add(3.0);
+  EXPECT_EQ(s.binned_count(), 1u);
+}
+
+TEST(FeatureSketchTest, LikeClonesEdgesNotCounts) {
+  FeatureSketch ref("x");
+  ref.configure_bins(-2.0, 2.0, 8);
+  for (int i = 0; i < 10; ++i) ref.add(0.1 * i);
+  const FeatureSketch live = FeatureSketch::like(ref);
+  EXPECT_EQ(live.name(), "x");
+  EXPECT_DOUBLE_EQ(live.lo(), ref.lo());
+  EXPECT_DOUBLE_EQ(live.hi(), ref.hi());
+  EXPECT_EQ(live.bins().size(), ref.bins().size());
+  EXPECT_EQ(live.count(), 0u);
+  EXPECT_EQ(live.binned_count(), 0u);
+}
+
+TEST(FeatureSketchTest, StateRoundTrips) {
+  FeatureSketch s("net.f0");
+  s.configure_bins(-1.0, 5.0, 6);
+  for (int i = 0; i < 64; ++i) s.add(std::sin(0.3 * i) * 4.0);
+  const FeatureSketch r = FeatureSketch::from_state(s.state());
+  EXPECT_EQ(r.name(), s.name());
+  EXPECT_EQ(r.count(), s.count());
+  EXPECT_DOUBLE_EQ(r.mean(), s.mean());
+  EXPECT_DOUBLE_EQ(r.m2(), s.m2());
+  EXPECT_DOUBLE_EQ(r.lo(), s.lo());
+  EXPECT_DOUBLE_EQ(r.hi(), s.hi());
+  EXPECT_EQ(r.bins(), s.bins());
+  EXPECT_EQ(r.underflow(), s.underflow());
+  EXPECT_EQ(r.overflow(), s.overflow());
+}
+
+FeatureSketch uniform_sketch(const std::string& name, double offset, int n) {
+  FeatureSketch s(name);
+  s.configure_bins(0.0, 1.0, 8);
+  for (int i = 0; i < n; ++i)
+    s.add(offset + static_cast<double>(i % 97) / 97.0);
+  return s;
+}
+
+TEST(PsiTest, IdenticalDistributionsScoreNearZero) {
+  const FeatureSketch a = uniform_sketch("x", 0.0, 970);
+  const FeatureSketch b = uniform_sketch("x", 0.0, 970);
+  EXPECT_LT(obs::population_stability_index(a, b), 1e-6);
+}
+
+TEST(PsiTest, SymmetricInArguments) {
+  const FeatureSketch a = uniform_sketch("x", 0.0, 970);
+  const FeatureSketch b = uniform_sketch("x", 0.3, 485);
+  EXPECT_DOUBLE_EQ(obs::population_stability_index(a, b),
+                   obs::population_stability_index(b, a));
+}
+
+TEST(PsiTest, DetectsLocationShift) {
+  const FeatureSketch a = uniform_sketch("x", 0.0, 970);
+  // Shifted by half the range: a third of the mass leaves the window.
+  const FeatureSketch b = uniform_sketch("x", 0.5, 970);
+  EXPECT_GT(obs::population_stability_index(a, b), 0.5);
+}
+
+TEST(PsiTest, EmptyOrUnbinnedScoresZero) {
+  FeatureSketch moments_only("m");
+  moments_only.add(1.0);
+  const FeatureSketch binned = uniform_sketch("m", 0.0, 10);
+  EXPECT_EQ(obs::population_stability_index(moments_only, binned), 0.0);
+  FeatureSketch empty("e");
+  empty.configure_bins(0.0, 1.0, 8);
+  EXPECT_EQ(obs::population_stability_index(empty, binned), 0.0);
+}
+
+TEST(ScoreDriftTest, SkipsMissingAndBinIncompatibleFeatures) {
+  const FeatureSketch a = uniform_sketch("x", 0.0, 100);
+  FeatureSketch other("y");
+  other.configure_bins(0.0, 1.0, 4);  // different bin count than "x"'s 8
+  FeatureSketch x_incompat("x");
+  x_incompat.configure_bins(0.0, 1.0, 4);
+  const auto report = obs::score_drift({a, other}, {x_incompat});
+  EXPECT_TRUE(report.features.empty());
+  EXPECT_FALSE(report.any());
+}
+
+TEST(ScoreDriftTest, SmallSamplesAreReportedButNotScored) {
+  const FeatureSketch ref = uniform_sketch("x", 0.0, 970);
+  const FeatureSketch tiny = uniform_sketch("x", 0.5, 5);  // huge raw PSI
+  const auto report = obs::score_drift({ref}, {tiny});
+  ASSERT_EQ(report.features.size(), 1u);
+  EXPECT_FALSE(report.features[0].scored);
+  EXPECT_GT(report.features[0].psi, 1.0);
+  // An unscored feature must not drive the warn decision.
+  EXPECT_EQ(report.max_psi, 0.0);
+  EXPECT_TRUE(report.max_feature.empty());
+}
+
+TEST(ScoreDriftTest, NullPsiDebiasAbsorbsSamplingNoise) {
+  // Two disjoint draws from the same distribution: raw PSI is positive
+  // from finite sampling alone; the excess after subtracting the null
+  // mean must be far below the 0.25 action threshold.
+  FeatureSketch ref("x");
+  ref.configure_bins(0.0, 1.0, 8);
+  FeatureSketch live = FeatureSketch::like(ref);
+  for (int i = 0; i < 200; ++i) {
+    const double v = static_cast<double>((i * 2654435761u) % 1000) / 1000.0;
+    (i % 2 == 0 ? ref : live).add(v);
+  }
+  const auto report = obs::score_drift({ref}, {live});
+  ASSERT_EQ(report.features.size(), 1u);
+  EXPECT_TRUE(report.features[0].scored);
+  EXPECT_GT(report.features[0].null_psi, 0.0);
+  EXPECT_LT(report.features[0].excess, 0.1);
+  EXPECT_LT(report.max_psi, 0.1);
+}
+
+TEST(SketchGraphsTest, ReferenceModeReusesEdges) {
+  const auto ds = dataset::build_dataset(42, 0.05);
+  const auto ref = eval::sketch_graphs(ds.train);
+  ASSERT_FALSE(ref.empty());
+  const auto live = eval::sketch_graphs(ds.test, &ref);
+  ASSERT_EQ(live.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(live[i].name(), ref[i].name());
+    EXPECT_DOUBLE_EQ(live[i].lo(), ref[i].lo());
+    EXPECT_DOUBLE_EQ(live[i].hi(), ref[i].hi());
+  }
+  // Fit mode pads the range, so the fitting set itself never lands in
+  // under/overflow.
+  for (const auto& s : ref) {
+    EXPECT_EQ(s.underflow(), 0u) << s.name();
+    EXPECT_EQ(s.overflow(), 0u) << s.name();
+  }
+}
+
+// The acceptance criterion for the drift detector: held-out circuits
+// drawn from the same generator process (identical Table IV spec mix,
+// different circuit seeds) stay under the warn threshold, while a
+// deliberately shifted generator mix (thick-gate/IO-heavy circuits
+// instead of the paper's analog-dominated profile) trips it.
+TEST(DriftAcceptanceTest, HeldOutSplitQuietShiftedSuiteTrips) {
+  const auto ds = dataset::build_dataset(42, 0.1);
+  const auto ref = eval::sketch_graphs(ds.train);
+
+  const auto held_out_ds = dataset::build_dataset(43, 0.1);
+  const auto held_out = eval::sketch_graphs(held_out_ds.train, &ref);
+  const auto quiet = obs::score_drift(ref, held_out);
+  EXPECT_LT(quiet.max_psi, eval::kDefaultDriftWarnThreshold)
+      << "held-out feature " << quiet.max_feature;
+
+  circuitgen::Suite shifted;
+  for (int i = 0; i < 6; ++i) {
+    circuitgen::CircuitSpec spec;
+    spec.name = "shift" + std::to_string(i);
+    spec.seed = 900 + static_cast<std::uint64_t>(i);
+    spec.level_shifters = 3;
+    spec.io_drivers = 4;
+    spec.esd_pads = 4;
+    spec.thick_inv_chains = 3;
+    spec.cap_dacs = 2;
+    (i < 4 ? shifted.train : shifted.test).push_back(circuitgen::generate_circuit(spec));
+  }
+  const auto shifted_ds = dataset::build_dataset_from_suite(std::move(shifted), 42);
+  std::vector<dataset::Sample> all = shifted_ds.train;
+  all.insert(all.end(), shifted_ds.test.begin(), shifted_ds.test.end());
+  const auto live = eval::sketch_graphs(all, &ref);
+  const auto loud = obs::score_drift(ref, live);
+  EXPECT_GE(loud.max_psi, eval::kDefaultDriftWarnThreshold)
+      << "shifted suite failed to trip; max feature " << loud.max_feature << " = "
+      << loud.max_psi;
+}
+
+}  // namespace
+}  // namespace paragraph

@@ -1,0 +1,155 @@
+// Flight-recorder suite: ring overwrite semantics, field truncation,
+// per-thread phase-stack tracking, and the in-process dump path (the
+// out-of-process crash path — fault-injected abort mid-train — lives in
+// cli_smoke_test.cpp).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <unistd.h>
+
+#include "obs/flight_recorder.h"
+#include "obs/json.h"
+
+namespace paragraph::obs {
+namespace {
+
+TEST(FlightRecorderTest, UnarmedRecordIsNoOp) {
+  auto& fr = FlightRecorder::instance();
+  fr.disarm();
+  fr.record(FlightEvent::Kind::kLog, 0, "test", "dropped");
+  EXPECT_TRUE(fr.snapshot().empty());
+}
+
+TEST(FlightRecorderTest, RingOverwriteKeepsMostRecentInOrder) {
+  auto& fr = FlightRecorder::instance();
+  fr.arm(16);
+  EXPECT_EQ(fr.capacity(), 16u);
+  for (int i = 0; i < 40; ++i)
+    fr.record(FlightEvent::Kind::kLog, 1, "ring", "event " + std::to_string(i));
+  EXPECT_EQ(fr.total_recorded(), 40u);
+  const auto events = fr.snapshot();
+  ASSERT_EQ(events.size(), 16u);
+  // Oldest retained event is seq 24 (40 - 16); order is strictly by seq.
+  EXPECT_EQ(events.front().seq, 24u);
+  EXPECT_EQ(events.back().seq, 39u);
+  for (std::size_t i = 1; i < events.size(); ++i)
+    EXPECT_EQ(events[i].seq, events[i - 1].seq + 1);
+  EXPECT_STREQ(events.back().message, "event 39");
+  EXPECT_STREQ(events.back().component, "ring");
+  fr.disarm();
+}
+
+TEST(FlightRecorderTest, ReArmingResetsTheRing) {
+  auto& fr = FlightRecorder::instance();
+  fr.arm(16);
+  fr.record(FlightEvent::Kind::kLog, 0, "a", "x");
+  fr.arm(8);
+  EXPECT_EQ(fr.capacity(), 8u);
+  EXPECT_TRUE(fr.snapshot().empty());
+  fr.disarm();
+}
+
+TEST(FlightRecorderTest, CapacityRoundsUpToPowerOfTwo) {
+  auto& fr = FlightRecorder::instance();
+  fr.arm(20);
+  EXPECT_EQ(fr.capacity(), 32u);
+  fr.disarm();
+}
+
+TEST(FlightRecorderTest, OverlongFieldsAreTruncatedNotCorrupted) {
+  auto& fr = FlightRecorder::instance();
+  fr.arm(8);
+  const std::string long_comp(100, 'c');
+  const std::string long_msg(500, 'm');
+  fr.record(FlightEvent::Kind::kLog, 2, long_comp, long_msg);
+  const auto events = fr.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  // NUL-terminated within the fixed slot widths.
+  EXPECT_EQ(std::string(events[0].component).size(), sizeof(events[0].component) - 1);
+  EXPECT_EQ(std::string(events[0].message).size(), sizeof(events[0].message) - 1);
+  fr.disarm();
+}
+
+TEST(FlightRecorderTest, PhaseStackTracksNesting) {
+  auto& fr = FlightRecorder::instance();
+  fr.arm(32);
+  fr.phase_enter("outer");
+  fr.phase_enter("inner");
+  {
+    const auto stack = fr.phase_stack();
+    ASSERT_EQ(stack.size(), 2u);
+    EXPECT_STREQ(stack[0], "outer");
+    EXPECT_STREQ(stack[1], "inner");
+  }
+  fr.phase_exit();
+  {
+    const auto stack = fr.phase_stack();
+    ASSERT_EQ(stack.size(), 1u);
+    EXPECT_STREQ(stack[0], "outer");
+  }
+  fr.phase_exit();
+  EXPECT_TRUE(fr.phase_stack().empty());
+  fr.disarm();
+}
+
+TEST(FlightRecorderTest, PhaseDepthBeyondLimitIsCountedNotStored) {
+  auto& fr = FlightRecorder::instance();
+  fr.arm(32);
+  for (std::size_t i = 0; i < FlightRecorder::kMaxPhaseDepth + 10; ++i) fr.phase_enter("deep");
+  EXPECT_EQ(fr.phase_stack().size(), FlightRecorder::kMaxPhaseDepth);
+  for (std::size_t i = 0; i < FlightRecorder::kMaxPhaseDepth + 10; ++i) fr.phase_exit();
+  EXPECT_TRUE(fr.phase_stack().empty());
+  fr.phase_exit();  // underflow must be harmless
+  fr.disarm();
+}
+
+// dump_now writes at most once per process, so this is the single test
+// that exercises the in-process dump format.
+TEST(FlightRecorderTest, DumpWritesParseableCrashDocument) {
+  const auto dir = std::filesystem::temp_directory_path() / "paragraph_fr_dump";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  ::setenv("PARAGRAPH_CRASH_DIR", dir.c_str(), 1);
+
+  auto& fr = FlightRecorder::instance();
+  fr.arm(32);
+  fr.phase_enter("cmd:test");
+  fr.record(FlightEvent::Kind::kLog, 2, "unit", "before \"crash\"\n");  // escapes
+  ASSERT_TRUE(FlightRecorder::dump_now("unit-test", 0));
+  ASSERT_TRUE(FlightRecorder::dump_now("second call is a no-op", 0));
+
+  const auto path = dir / ("crash-" + std::to_string(::getpid()) + ".json");
+  ASSERT_TRUE(std::filesystem::exists(path));
+  std::ifstream is(path);
+  std::ostringstream os;
+  os << is.rdbuf();
+  std::string error;
+  const auto doc = JsonValue::parse(os.str(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(doc->at("schema").as_string(), "paragraph-crash-v1");
+  EXPECT_EQ(doc->at("reason").as_string(), "unit-test");
+  EXPECT_EQ(doc->at("signal").as_int(), 0);
+  EXPECT_EQ(doc->at("pid").as_int(), ::getpid());
+  const auto& stack = doc->at("phase_stack");
+  ASSERT_GE(stack.size(), 1u);
+  EXPECT_EQ(stack[stack.size() - 1].as_string(), "cmd:test");
+  bool saw_log = false;
+  for (const auto& e : doc->at("events").elements()) {
+    EXPECT_TRUE(e.at("seq").is_number());
+    EXPECT_TRUE(e.at("kind").is_string());
+    if (e.at("message").as_string().find("before \"crash\"") != std::string::npos) saw_log = true;
+  }
+  EXPECT_TRUE(saw_log);
+
+  fr.phase_exit();
+  fr.disarm();
+  ::unsetenv("PARAGRAPH_CRASH_DIR");
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace paragraph::obs

@@ -1,8 +1,10 @@
 // Corrupt-artifact matrix for the model-file and checkpoint formats:
-// truncation at every boundary, bit flips anywhere in a v4 file, flipped
-// magic/version, oversized dims on checksum-less (v3) files, and
-// round-trip integrity. Every rejection must be the typed error the API
-// documents — never a crash, hang, or silent misload.
+// truncation at every boundary, bit flips anywhere in a v4/v5 file,
+// flipped magic/version, oversized dims on checksum-less (v3) files,
+// hostile fields inside the v5 sketch block (reached by restamping the
+// checksum), version compatibility for the sketch block, and round-trip
+// integrity. Every rejection must be the typed error the API documents —
+// never a crash, hang, or silent misload.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -14,7 +16,9 @@
 
 #include "core/checkpoint.h"
 #include "core/serialize.h"
+#include "obs/sketch.h"
 #include "util/atomic_file.h"
+#include "util/bytes.h"
 #include "util/errors.h"
 
 namespace paragraph::core {
@@ -51,6 +55,37 @@ template <typename T>
 void patch(std::string& bytes, std::size_t off, T value) {
   ASSERT_LE(off + sizeof(T), bytes.size());
   std::memcpy(bytes.data() + off, &value, sizeof(T));
+}
+
+std::vector<obs::FeatureSketch> sample_sketches() {
+  obs::FeatureSketch binned("net.f0");
+  binned.configure_bins(-1.0, 3.0, 8);
+  for (int i = 0; i < 100; ++i) binned.add(-1.5 + 0.05 * i);
+  obs::FeatureSketch moments_only("graph.total_nodes");
+  moments_only.add(4.0);
+  moments_only.add(9.0);
+  return {binned, moments_only};
+}
+
+std::string sketch_model_bytes() {
+  PredictorConfig pc;
+  pc.target = dataset::TargetKind::kCap;
+  pc.embed_dim = 4;
+  pc.num_layers = 1;
+  pc.fc_layers = 1;
+  GnnPredictor p(pc);
+  p.set_feature_sketches(sample_sketches());
+  return predictor_to_bytes(p);
+}
+
+// Recomputes the v4/v5 trailing checksum after a test mutated the
+// payload, so hostile field values reach the bounded sketch readers
+// instead of tripping the checksum first.
+std::string restamp_checksum(std::string bytes) {
+  bytes.resize(bytes.size() - sizeof(std::uint64_t));
+  const std::uint64_t sum = util::fnv1a64(bytes);
+  bytes.append(reinterpret_cast<const char*>(&sum), sizeof(sum));
+  return bytes;
 }
 
 TEST(SerializeRobustness, BytesRoundTripPreservesConfigAndWeights) {
@@ -155,6 +190,103 @@ TEST(SerializeRobustness, V4RejectsTrailingBytesV3Tolerates) {
   std::string v3 = as_version3(tiny_model_bytes());
   v3.append("junk");
   EXPECT_NO_THROW(predictor_from_bytes(v3, "v3 trailing"));
+}
+
+TEST(SerializeRobustness, V5SketchBlockRoundTrips) {
+  const std::string bytes = sketch_model_bytes();
+  const GnnPredictor loaded = predictor_from_bytes(bytes, "v5 round-trip");
+  const auto want = sample_sketches();
+  const auto& got = loaded.feature_sketches();
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].name(), want[i].name());
+    EXPECT_EQ(got[i].count(), want[i].count());
+    EXPECT_DOUBLE_EQ(got[i].mean(), want[i].mean());
+    EXPECT_DOUBLE_EQ(got[i].m2(), want[i].m2());
+    EXPECT_DOUBLE_EQ(got[i].lo(), want[i].lo());
+    EXPECT_DOUBLE_EQ(got[i].hi(), want[i].hi());
+    EXPECT_EQ(got[i].bins(), want[i].bins());
+    EXPECT_EQ(got[i].underflow(), want[i].underflow());
+    EXPECT_EQ(got[i].overflow(), want[i].overflow());
+  }
+  // Byte-exact re-serialisation, sketches included.
+  EXPECT_EQ(predictor_to_bytes(loaded), bytes);
+}
+
+TEST(SerializeRobustness, V4FilesWithoutSketchBlockStillLoad) {
+  // A v4 file is the v5 layout minus the sketch block: drop the empty
+  // sketch count (8 bytes before the checksum), stamp version 4, restamp.
+  std::string bytes = tiny_model_bytes();
+  bytes.erase(bytes.size() - 2 * sizeof(std::uint64_t), sizeof(std::uint64_t));
+  patch<std::uint32_t>(bytes, kOffVersion, 4);
+  bytes = restamp_checksum(bytes);
+  const GnnPredictor loaded = predictor_from_bytes(bytes, "v4 compat");
+  EXPECT_TRUE(loaded.feature_sketches().empty());
+}
+
+TEST(SerializeRobustness, PreV5FilesCarryNoSketches) {
+  const GnnPredictor loaded =
+      predictor_from_bytes(as_version3(tiny_model_bytes()), "v3 compat");
+  EXPECT_TRUE(loaded.feature_sketches().empty());
+}
+
+TEST(SerializeRobustness, TruncationInsideSketchBlockIsTyped) {
+  const std::string with = sketch_model_bytes();
+  const std::string without = tiny_model_bytes();
+  ASSERT_GT(with.size(), without.size());
+  // The sketch block spans [params_end, checksum); sweep cuts through it.
+  const std::size_t block_start = without.size() - 2 * sizeof(std::uint64_t);
+  for (std::size_t cut = block_start; cut < with.size(); cut += 7) {
+    EXPECT_THROW(predictor_from_bytes(with.substr(0, cut), "sketch truncation"),
+                 util::CorruptArtifactError)
+        << "cut at " << cut;
+  }
+}
+
+TEST(SerializeRobustness, HostileSketchFieldsAreBoundedBeforeAllocation) {
+  const std::string with = sketch_model_bytes();
+  const std::string without = tiny_model_bytes();
+  // Sketch count sits where the empty block's count sat.
+  const std::size_t off_count = without.size() - 2 * sizeof(std::uint64_t);
+  {
+    std::string bad = with;
+    patch<std::uint64_t>(bad, off_count, std::uint64_t{1} << 40);
+    EXPECT_THROW(predictor_from_bytes(restamp_checksum(bad), "sketch count"),
+                 util::CorruptArtifactError);
+  }
+  {
+    // First sketch's name length field follows the count.
+    std::string bad = with;
+    patch<std::uint64_t>(bad, off_count + 8, std::uint64_t{1} << 40);
+    EXPECT_THROW(predictor_from_bytes(restamp_checksum(bad), "sketch name length"),
+                 util::CorruptArtifactError);
+  }
+  {
+    // First sketch layout after the name: count(8) mean(8) m2(8) lo(8)
+    // hi(8) underflow(8) overflow(8) nbins(8). Poison the mean with NaN
+    // and the bin count with an absurd value.
+    const std::size_t name_len = std::string("net.f0").size();
+    const std::size_t off_fields = off_count + 8 + 8 + name_len;
+    std::string bad = with;
+    patch<double>(bad, off_fields + 8, std::numeric_limits<double>::quiet_NaN());
+    EXPECT_THROW(predictor_from_bytes(restamp_checksum(bad), "sketch mean"),
+                 util::CorruptArtifactError);
+    std::string bad2 = with;
+    patch<std::uint64_t>(bad2, off_fields + 7 * 8, std::uint64_t{1} << 40);
+    EXPECT_THROW(predictor_from_bytes(restamp_checksum(bad2), "sketch bins"),
+                 util::CorruptArtifactError);
+  }
+}
+
+TEST(SerializeRobustness, ChecksumCatchesBitFlipsInSketchBlock) {
+  const std::string pristine = sketch_model_bytes();
+  const std::size_t block_start = tiny_model_bytes().size() - 2 * sizeof(std::uint64_t);
+  for (std::size_t pos = block_start; pos < pristine.size(); pos += 13) {
+    std::string bytes = pristine;
+    bytes[pos] = static_cast<char>(bytes[pos] ^ 0x04);
+    EXPECT_THROW(predictor_from_bytes(bytes, "sketch bit flip"), util::CorruptArtifactError)
+        << "flip at " << pos;
+  }
 }
 
 TEST(SerializeRobustness, FileLayerErrorsAreTyped) {

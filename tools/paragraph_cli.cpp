@@ -22,7 +22,22 @@
 //       Predict the model's target for every net/transistor of a SPICE
 //       netlist (pre-layout: no annotation needed).
 //   paragraph evaluate --model MODEL.bin [--scale F] [--seed N]
+//                      [--quality-out PATH] [--drift-warn X]
 //       Evaluate a saved model on the generated test circuits.
+//       --quality-out writes the paragraph-quality-v1 JSON block
+//       (per-decade/target/edge-type accounting, worst nets); with
+//       --metrics-out the same accounting also lands as quality.* gauges.
+//       Models saved as format v5 carry training-set distribution
+//       sketches; evaluate and predict score the incoming graphs against
+//       them (PSI per feature), publish drift.<feature>/drift.max gauges,
+//       and warn once when drift.max crosses --drift-warn (default 0.25).
+//   paragraph report --model MODEL.bin --out PREFIX [--prior METRICS.json]
+//                    [--scale F] [--seed N] [--drift-warn X]
+//       Join the model and the generated test circuits into a quality
+//       dashboard: PREFIX.md (human-readable) and PREFIX.json
+//       (paragraph-quality-v1). --prior compares against a previous run's
+//       --metrics-out dump. --ensemble ENS reads a CapEnsemble manifest
+//       instead of a single model.
 //   paragraph annotate --netlist FILE.sp [--seed N]
 //       Run the procedural layout and emit the annotated netlist to stdout.
 //
@@ -45,6 +60,11 @@
 // --metrics-out/--trace-out/--mem-stats enable the instrumentation layer,
 // which is otherwise off and costs nothing.
 //
+// Crash flight recorder (every command): fatal signals and std::terminate
+// dump the last N log/metric/phase events plus the active phase stack to
+// crash-<pid>.json (in PARAGRAPH_CRASH_DIR, default the working
+// directory) before the process dies with its original signal.
+//
 // Exit codes:
 //   0  success
 //   1  internal error (unexpected exception)
@@ -57,13 +77,17 @@
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <span>
 
 #include "circuit/spice_parser.h"
 #include "circuit/spice_writer.h"
 #include "core/checkpoint.h"
+#include "core/ensemble.h"
 #include "core/learners.h"
+#include "core/report.h"
 #include "core/serialize.h"
 #include "dataset/dataset.h"
+#include "eval/drift.h"
 #include "layout/annotator.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
@@ -79,9 +103,21 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: paragraph <generate|train|predict|evaluate|annotate> [options]\n"
+               "usage: paragraph <generate|train|predict|evaluate|report|annotate> [options]\n"
                "run with a command and --help for the option list in the file header\n");
   return 2;
+}
+
+// Drift check shared by predict/evaluate/report: score live input sketches
+// against the model's persisted training reference (format v5; older
+// models have none and the check is skipped). Publishes drift.* gauges and
+// the one-line warning via eval::check_drift.
+std::optional<obs::DriftReport> run_drift_check(const std::vector<obs::FeatureSketch>& ref,
+                                                std::span<const dataset::Sample> live_samples,
+                                                double warn_threshold) {
+  if (ref.empty()) return std::nullopt;
+  const auto live = eval::sketch_graphs(live_samples, &ref);
+  return eval::check_drift(ref, live, warn_threshold);
 }
 
 dataset::TargetKind parse_target(const std::string& name) {
@@ -326,6 +362,8 @@ int cmd_predict(const util::ArgParser& args) {
       args.has("scale") ? args.get_double("scale", 0.25) : predictor.config().scale;
   const auto ds = dataset::build_dataset(predictor.config().seed, scale);
   const auto sample = sample_from_netlist(circuit::parse_spice_file(netlist_path));
+  run_drift_check(predictor.feature_sketches(), std::span(&sample, 1),
+                  args.get_double("drift-warn", eval::kDefaultDriftWarnThreshold));
   const auto preds = predictor.predict_all(ds, sample);
   const auto target = predictor.config().target;
   std::printf("# %s predictions for %s\n", dataset::target_name(target), netlist_path.c_str());
@@ -353,7 +391,34 @@ int cmd_evaluate(const util::ArgParser& args) {
   const auto ds = dataset::build_dataset(
       static_cast<std::uint64_t>(args.get_int("seed", static_cast<long>(predictor.config().seed))),
       scale);
-  const auto res = predictor.evaluate(ds, ds.test);
+  const std::string quality_out = args.get("quality-out");
+  // Quality accounting is post-processing over the evaluation results the
+  // command produces anyway, so it runs whenever anyone can see it: an
+  // explicit --quality-out, or the obs layer (gauges land in
+  // --metrics-out). Plain `paragraph evaluate` skips it entirely.
+  const bool want_quality = !quality_out.empty() || obs::enabled();
+
+  const auto drift = run_drift_check(predictor.feature_sketches(), ds.test,
+                                     args.get_double("drift-warn", eval::kDefaultDriftWarnThreshold));
+
+  core::EvalResult res;
+  if (want_quality) {
+    const eval::QualityAccumulator q = core::collect_quality(predictor, ds, ds.test, &res);
+    q.publish();
+    if (!quality_out.empty()) {
+      const obs::JsonValue doc =
+          core::quality_report_json(q, drift ? &*drift : nullptr, model_path,
+                                    dataset::target_name(predictor.config().target),
+                                    ds.test.size());
+      if (util::try_write_file_atomic(quality_out, doc.dump() + '\n'))
+        std::printf("wrote quality report to %s\n", quality_out.c_str());
+      else
+        std::fprintf(stderr, "paragraph: cannot write quality report to '%s'\n",
+                     quality_out.c_str());
+    }
+  } else {
+    res = predictor.evaluate(ds, ds.test);
+  }
   for (const auto& c : res.circuits) {
     const auto m = c.metrics();
     std::printf("%-6s R2=%7.3f MAE=%10.4f MAPE=%7.1f%% n=%zu\n", c.name.c_str(), m.r2, m.mae,
@@ -362,6 +427,67 @@ int cmd_evaluate(const util::ArgParser& args) {
   const auto m = res.pooled();
   std::printf("%-6s R2=%7.3f MAE=%10.4f MAPE=%7.1f%% n=%zu\n", "all", m.r2, m.mae, m.mape,
               m.count);
+  return 0;
+}
+
+int cmd_report(const util::ArgParser& args) {
+  const std::string model_path = args.get("model");
+  const std::string ensemble_path = args.get("ensemble");
+  const std::string out_prefix = args.get("out");
+  if ((model_path.empty() == ensemble_path.empty()) || out_prefix.empty()) {
+    std::fprintf(stderr, "report: exactly one of --model/--ensemble, plus --out PREFIX, required\n");
+    return 2;
+  }
+  const double drift_warn = args.get_double("drift-warn", eval::kDefaultDriftWarnThreshold);
+
+  // Load the model(s), rebuild the recorded dataset, collect quality.
+  std::optional<core::GnnPredictor> model;
+  std::optional<core::CapEnsemble> ensemble;
+  const core::PredictorConfig* cfg;
+  const std::vector<obs::FeatureSketch>* drift_ref;
+  if (!model_path.empty()) {
+    model.emplace(core::load_predictor(model_path));
+    cfg = &model->config();
+    drift_ref = &model->feature_sketches();
+  } else {
+    ensemble.emplace(core::CapEnsemble::load(ensemble_path));
+    cfg = &ensemble->model(0).config();
+    drift_ref = &ensemble->model(0).feature_sketches();
+  }
+  const double scale = args.has("scale") ? args.get_double("scale", 0.25) : cfg->scale;
+  const auto ds = dataset::build_dataset(
+      static_cast<std::uint64_t>(args.get_int("seed", static_cast<long>(cfg->seed))), scale);
+
+  const auto drift = run_drift_check(*drift_ref, ds.test, drift_warn);
+  eval::QualityAccumulator q = model ? core::collect_quality(*model, ds, ds.test)
+                                     : core::collect_quality(*ensemble, ds, ds.test);
+  q.publish();
+
+  const std::string source = !model_path.empty() ? model_path : ensemble_path;
+  obs::JsonValue doc = core::quality_report_json(q, drift ? &*drift : nullptr, source,
+                                                 dataset::target_name(cfg->target),
+                                                 ds.test.size());
+
+  // Optional prior metrics JSON (--metrics-out format) for then-vs-now.
+  std::optional<obs::JsonValue> prior;
+  if (args.has("prior")) {
+    const std::string prior_path = args.get("prior");
+    const std::string text = core::read_artifact_file(prior_path, "report --prior");
+    std::string err;
+    prior = obs::JsonValue::parse(text, &err);
+    if (!prior)
+      throw util::CorruptArtifactError("report: --prior '" + prior_path + "': " + err);
+  }
+
+  const std::string markdown = core::render_quality_markdown(doc, prior ? &*prior : nullptr);
+  const std::string json_path = out_prefix + ".json";
+  const std::string md_path = out_prefix + ".md";
+  util::write_file_atomic(json_path, doc.dump() + '\n');
+  util::write_file_atomic(md_path, markdown);
+  std::printf("wrote %s and %s\n", json_path.c_str(), md_path.c_str());
+  if (drift && drift->max_psi >= drift_warn)
+    std::printf("drift.max %.3f >= %.3f (%s)\n", drift->max_psi, drift_warn,
+                drift->max_feature.c_str());
   return 0;
 }
 
@@ -401,6 +527,14 @@ int main(int argc, char** argv) {
   const util::ArgParser args(argc - 1, argv + 1);
   obs::init_from_env();
   util::fault::init_from_env();
+  // Crash context costs nothing on the happy path: a fatal signal or
+  // std::terminate dumps the recent event ring + phase stack to
+  // crash-<pid>.json. The command-level phase is pushed explicitly so a
+  // dump names at least the command even with instrumentation off.
+  obs::FlightRecorder::install_crash_handlers();
+  static char command_phase[64];
+  std::snprintf(command_phase, sizeof command_phase, "cmd:%s", command.c_str());
+  obs::FlightRecorder::instance().phase_enter(command_phase);
   ObsOutputs obs_out;
   try {
     obs_out = setup_observability(args);
@@ -415,6 +549,7 @@ int main(int argc, char** argv) {
     else if (command == "train") rc = cmd_train(args);
     else if (command == "predict") rc = cmd_predict(args);
     else if (command == "evaluate") rc = cmd_evaluate(args);
+    else if (command == "report") rc = cmd_report(args);
     else if (command == "annotate") rc = cmd_annotate(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "paragraph %s: %s\n", command.c_str(), e.what());
