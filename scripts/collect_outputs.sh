@@ -17,7 +17,7 @@ ctest --test-dir build 2>&1 | tee test_output.txt
   for b in bench_table4_dataset bench_fig5_maxv_sweep bench_fig6_model_comparison \
            bench_fig7_pred_vs_truth bench_fig8_tsne bench_table5_sim_error \
            bench_ablation_layers bench_ablation_components bench_ext_resistance \
-           bench_ext_multihead bench_ext_attention bench_kernels; do
+           bench_ext_multihead bench_ext_attention bench_kernels bench_hier; do
     echo
     echo "================================================================"
     echo "== $b"
@@ -78,6 +78,40 @@ fi
 # include a current dashboard pair, then validate the JSON half against
 # the schema keys tools consume. Skipped when the CLI binary is missing
 # (e.g. partial builds).
+# Shard-pack artefacts (paragraph-shard-v1, see DESIGN.md §11): any packed
+# dataset dropped under bench_results/ (e.g. by `paragraph dataset pack
+# --out bench_results/shards`) is validated against the manifest schema and
+# cross-checked against the shard files it references, so a truncated pack
+# or a stale manifest is caught at collection time.
+while IFS= read -r -d '' f; do
+  if ! command -v python3 >/dev/null; then
+    echo "shard manifest (unvalidated, no python3): $f"
+  elif python3 - "$f" <<'PYEOF' 2>/dev/null
+import json, os, sys
+path = sys.argv[1]
+doc = json.load(open(path))
+assert doc["format"] == "paragraph-shard-v1"
+assert doc["normalizer"], "empty normalizer"
+for ts in doc["normalizer"]:
+    assert "mean" in ts and "stdev" in ts
+    assert len(ts["mean"]) == len(ts["stdev"])
+root = os.path.dirname(path)
+for split in ("train", "test"):
+    for e in doc[split]:
+        for key in ("file", "name", "bytes", "checksum"):
+            assert key in e, key
+        assert len(e["checksum"]) == 16 and int(e["checksum"], 16) >= 0
+        shard = os.path.join(root, e["file"])
+        assert os.path.isfile(shard), "missing " + e["file"]
+        assert os.path.getsize(shard) == e["bytes"], "size mismatch " + e["file"]
+PYEOF
+  then
+    echo "shard manifest ok: $f"
+  else
+    echo "shard manifest INVALID (schema or shard mismatch): $f" >&2
+  fi
+done < <(find bench_results -name manifest.json -print0 2>/dev/null)
+
 CLI=build/tools/paragraph
 if [ -x "$CLI" ]; then
   mkdir -p bench_results/obs

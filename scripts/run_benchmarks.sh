@@ -32,7 +32,7 @@ for arg in "$@"; do
   esac
 done
 
-for bin in bench/bench_kernels bench/bench_throughput tools/perf_diff; do
+for bin in bench/bench_kernels bench/bench_throughput bench/bench_hier tools/perf_diff; do
   if [ ! -x "$BUILD_DIR/$bin" ]; then
     echo "run_benchmarks: missing $BUILD_DIR/$bin (build the repo first)" >&2
     exit 2
@@ -48,16 +48,18 @@ if [ "$QUICK" -eq 1 ]; then
     --benchmark_filter='/1024$' \
     --benchmark_repetitions=3 --benchmark_min_time=0.05 || FAIL=1
   "$BUILD_DIR/bench/bench_throughput" --quick || FAIL=1
+  "$BUILD_DIR/bench/bench_hier" --quick || FAIL=1
 else
   "$BUILD_DIR/bench/bench_kernels" --benchmark_repetitions=3 || FAIL=1
   "$BUILD_DIR/bench/bench_throughput" || FAIL=1
+  "$BUILD_DIR/bench/bench_hier" || FAIL=1
 fi
 
 # The gate. Quick mode is advisory (CI smoke must not flake on a noisy
 # shared core); the full run enforces the threshold.
 ADVISORY=""
 [ "$QUICK" -eq 1 ] && ADVISORY="--advisory"
-for name in bench_kernels bench_throughput; do
+for name in bench_kernels bench_throughput bench_hier; do
   CUR="$OUT_DIR/BENCH_$name.json"
   BASE="bench_results/baselines/BENCH_$name.json"
   if [ ! -f "$CUR" ]; then

@@ -18,6 +18,11 @@
 #                                          # sketches/PSI, quality accounting
 #                                          # + report, flight recorder) under
 #                                          # all three sanitizers
+#   scripts/run_sanitizers.sh scale        # the scale label (plan-cache
+#                                          # bitwise equivalence, shard-store
+#                                          # round trips and streamed
+#                                          # training) under all three
+#                                          # sanitizers
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -27,6 +32,7 @@ case "${1:-}" in
   address|undefined|thread) sans="$1"; shift ;;
   robustness) shift; set -- -L robustness "$@" ;;
   quality) shift; set -- -L quality "$@" ;;
+  scale) shift; set -- -L scale "$@" ;;
 esac
 
 for san in $sans; do

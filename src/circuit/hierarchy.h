@@ -1,0 +1,30 @@
+// Structural identity of subckt instances on the expanded (flat) netlist.
+//
+// The hash canonicalizes everything that determines an instance's interior
+// graph structure and input features — device kinds, sizing parameters,
+// and port-relative connectivity — while excluding instance names, net
+// names, and layout annotations. Two instances of the same template
+// therefore collide on the hash regardless of instantiation site or
+// naming, which is exactly the key gnn::PlanCache memoizes per-subckt
+// plans and interior embeddings under. Because device parameters are
+// hashed, any edit inside a template yields a new key: stale cache reuse
+// is structurally impossible.
+#pragma once
+
+#include <cstdint>
+
+#include "circuit/netlist.h"
+
+namespace paragraph::circuit {
+
+// Canonical hash of one instance's expanded subtree (devices in
+// [first_device, device_end), in id order). Net references are encoded as:
+// port position for boundary nets, creation offset for instance-private
+// nets, lowercased name for supply/global nets.
+std::uint64_t instance_structural_hash(const Netlist& nl, const SubcktInstance& inst);
+
+// Fills ref.structural_hash for every recorded instance. Called by the
+// SPICE parser after expansion; idempotent.
+void compute_structural_hashes(Netlist& nl);
+
+}  // namespace paragraph::circuit

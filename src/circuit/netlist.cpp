@@ -134,6 +134,25 @@ void Netlist::validate() const {
     if (d.params.multiplier < 1 || d.params.num_fingers < 1 || d.params.num_fins < 1)
       throw std::logic_error("Netlist::validate: non-positive sizing on '" + d.name + "'");
   }
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    const SubcktInstance& inst = instances_[i];
+    if (inst.parent >= static_cast<int>(i))
+      throw std::logic_error("Netlist::validate: instance '" + inst.path +
+                             "' does not follow its parent");
+    if (inst.first_device < 0 || inst.first_device > inst.device_end ||
+        static_cast<std::size_t>(inst.device_end) > devices_.size() || inst.first_net < 0 ||
+        inst.first_net > inst.net_end || static_cast<std::size_t>(inst.net_end) > nets_.size())
+      throw std::logic_error("Netlist::validate: bad subtree range on instance '" + inst.path +
+                             "'");
+    for (const NetId b : inst.ref.boundary_nets) {
+      if (b < 0 || static_cast<std::size_t>(b) >= nets_.size())
+        throw std::logic_error("Netlist::validate: dangling boundary net on instance '" +
+                               inst.path + "'");
+      if (b >= inst.first_net && b < inst.net_end)
+        throw std::logic_error("Netlist::validate: boundary net inside created range of '" +
+                               inst.path + "'");
+    }
+  }
 }
 
 std::size_t Netlist::Stats::transistors() const {

@@ -85,6 +85,35 @@ struct Device {
   std::vector<NetId> conns;
   DeviceParams params;
   std::optional<TransistorLayout> layout;  // ground truth, set post-"layout"
+  // Subckt instance that emitted this device ("" = top level). The path
+  // uses '/' separators, e.g. "xcore/xbias".
+  std::string instance_path;
+};
+
+// Identity of one .subckt usage. The structural hash canonicalizes device
+// kinds, parameters, and port-relative connectivity (instance and net
+// names excluded), so two instances of the same template collide on the
+// hash regardless of where or under what name they were instantiated —
+// the key the gnn::PlanCache memoizes on. Any device or parameter edit
+// inside the template changes the hash (cache invalidation is automatic).
+struct SubcktRef {
+  std::string name;                   // subckt definition name (lowercased)
+  std::uint64_t structural_hash = 0;  // filled by compute_structural_hashes
+  std::vector<NetId> boundary_nets;   // port bindings, in port order
+};
+
+// Provenance record for one expanded subckt instance. Expansion is
+// depth-first in card order, so the devices of an instance's subtree (its
+// own cards plus nested instances) occupy the contiguous id range
+// [first_device, device_end), and the nets first created while expanding
+// it occupy [first_net, net_end). Boundary nets are created before the
+// ranges open, so they never fall inside [first_net, net_end).
+struct SubcktInstance {
+  std::string path;   // full instance path, e.g. "xcore/xbias"
+  int parent = -1;    // index into Netlist::instances(); -1 = top level
+  SubcktRef ref;
+  DeviceId first_device = 0, device_end = 0;
+  NetId first_net = 0, net_end = 0;
 };
 
 struct Net {
@@ -137,6 +166,16 @@ class Netlist {
   // counts match the device kind, names are unique. Throws on violation.
   void validate() const;
 
+  // Subckt instance provenance (filled by the SPICE parser; programmatic
+  // netlists have none). Records appear in expansion order, so a parent
+  // always precedes its children.
+  const std::vector<SubcktInstance>& instances() const { return instances_; }
+  std::vector<SubcktInstance>& mutable_instances() { return instances_; }
+  int add_instance(SubcktInstance inst) {
+    instances_.push_back(std::move(inst));
+    return static_cast<int>(instances_.size()) - 1;
+  }
+
   // Per-kind device counts + non-supply net count (Table IV row).
   struct Stats {
     std::array<std::size_t, kNumDeviceKinds> device_count{};
@@ -151,6 +190,7 @@ class Netlist {
   std::string name_;
   std::vector<Net> nets_;
   std::vector<Device> devices_;
+  std::vector<SubcktInstance> instances_;
   std::unordered_map<std::string, NetId> net_index_;
   std::unordered_map<std::string, DeviceId> device_index_;
 };

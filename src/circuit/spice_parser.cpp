@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "circuit/hierarchy.h"
 #include "util/strings.h"
 
 namespace paragraph::circuit {
@@ -71,7 +72,8 @@ class Parser {
     for (const auto& g : globals_) nl.add_net(g, /*is_supply=*/true);
     // Name mapping at top level is the identity.
     std::unordered_map<std::string, std::string> identity;
-    expand_cards(top_cards_, nl, /*prefix=*/"", identity, /*depth=*/0);
+    expand_cards(top_cards_, nl, /*prefix=*/"", identity, /*depth=*/0, /*parent_inst=*/-1);
+    compute_structural_hashes(nl);
     nl.validate();
     return nl;
   }
@@ -173,7 +175,8 @@ class Parser {
   }
 
   void expand_cards(const std::vector<Card>& cards, Netlist& nl, const std::string& prefix,
-                    const std::unordered_map<std::string, std::string>& port_map, int depth) {
+                    const std::unordered_map<std::string, std::string>& port_map, int depth,
+                    int parent_inst) {
     if (depth > 32) throw ParseError("spice parse error: subckt recursion deeper than 32");
     for (const Card& card : cards) {
       const char kind = static_cast<char>(std::tolower(static_cast<unsigned char>(card.tokens[0][0])));
@@ -191,7 +194,7 @@ class Parser {
           case 'c': emit_rc(nl, card, pos, opts, inst_name, prefix, port_map, DeviceKind::kCapacitor); break;
           case 'd': emit_diode(nl, card, pos, opts, inst_name, prefix, port_map); break;
           case 'q': emit_bjt(nl, card, pos, opts, inst_name, prefix, port_map); break;
-          case 'x': emit_subckt(nl, card, pos, inst_name, prefix, port_map, depth); break;
+          case 'x': emit_subckt(nl, card, pos, inst_name, prefix, port_map, depth, parent_inst); break;
           default: fail(card.line_no, std::string("unsupported card '") + card.tokens[0] + "'");
         }
       } catch (const std::invalid_argument& ex) {
@@ -207,6 +210,7 @@ class Parser {
     if (pos.size() < 6) fail(card.line_no, "MOS card needs d g s b and a model");
     Device d;
     d.name = inst_name;
+    d.instance_path = prefix;
     d.kind = mos_kind_from_model(pos[5]);
     for (int t = 1; t <= 4; ++t)
       d.conns.push_back(add_net(nl, resolve_net(pos[static_cast<std::size_t>(t)], prefix, port_map)));
@@ -228,6 +232,7 @@ class Parser {
     if (pos.size() < 4) fail(card.line_no, "R/C card needs two nets and a value");
     Device d;
     d.name = inst_name;
+    d.instance_path = prefix;
     d.kind = kind;
     d.conns.push_back(add_net(nl, resolve_net(pos[1], prefix, port_map)));
     d.conns.push_back(add_net(nl, resolve_net(pos[2], prefix, port_map)));
@@ -246,6 +251,7 @@ class Parser {
     if (pos.size() < 4) fail(card.line_no, "D card needs anode, cathode, model");
     Device d;
     d.name = inst_name;
+    d.instance_path = prefix;
     d.kind = DeviceKind::kDiode;
     d.conns.push_back(add_net(nl, resolve_net(pos[1], prefix, port_map)));
     d.conns.push_back(add_net(nl, resolve_net(pos[2], prefix, port_map)));
@@ -261,6 +267,7 @@ class Parser {
     if (pos.size() < 5) fail(card.line_no, "Q card needs c b e and a model");
     Device d;
     d.name = inst_name;
+    d.instance_path = prefix;
     d.kind = DeviceKind::kBjt;
     for (int t = 1; t <= 3; ++t)
       d.conns.push_back(add_net(nl, resolve_net(pos[static_cast<std::size_t>(t)], prefix, port_map)));
@@ -271,7 +278,8 @@ class Parser {
 
   void emit_subckt(Netlist& nl, const Card& card, const std::vector<std::string>& pos,
                    const std::string& inst_name, const std::string& prefix,
-                   const std::unordered_map<std::string, std::string>& port_map, int depth) {
+                   const std::unordered_map<std::string, std::string>& port_map, int depth,
+                   int parent_inst) {
     if (pos.size() < 2) fail(card.line_no, "X card needs nets and a subckt name");
     const std::string sub_name = to_lower(pos.back());
     auto it = subckts_.find(sub_name);
@@ -283,9 +291,26 @@ class Parser {
                              std::to_string(def.ports.size()) + " ports, got " +
                              std::to_string(num_nets));
     std::unordered_map<std::string, std::string> child_map;
-    for (std::size_t p = 0; p < num_nets; ++p)
-      child_map[def.ports[p]] = resolve_net(pos[p + 1], prefix, port_map);
-    expand_cards(def.cards, nl, inst_name, child_map, depth + 1);
+    SubcktInstance inst;
+    inst.path = inst_name;
+    inst.parent = parent_inst;
+    inst.ref.name = def.name;
+    for (std::size_t p = 0; p < num_nets; ++p) {
+      const std::string resolved = resolve_net(pos[p + 1], prefix, port_map);
+      child_map[def.ports[p]] = resolved;
+      // Materialise boundary nets before the subtree ranges open, so an
+      // instance's created-net range holds only its private nets.
+      inst.ref.boundary_nets.push_back(add_net(nl, resolved));
+    }
+    inst.first_device = static_cast<DeviceId>(nl.num_devices());
+    inst.first_net = static_cast<NetId>(nl.num_nets());
+    // Record before expanding: parents precede children and the record
+    // index is this instance's id for the children's `parent` field.
+    const int self = nl.add_instance(std::move(inst));
+    expand_cards(def.cards, nl, inst_name, child_map, depth + 1, self);
+    SubcktInstance& rec = nl.mutable_instances()[static_cast<std::size_t>(self)];
+    rec.device_end = static_cast<DeviceId>(nl.num_devices());
+    rec.net_end = static_cast<NetId>(nl.num_nets());
   }
 
   std::string top_name_;

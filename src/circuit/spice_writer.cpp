@@ -1,6 +1,11 @@
 #include "circuit/spice_writer.h"
 
+#include <cctype>
+#include <functional>
 #include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
 
 #include "util/strings.h"
 
@@ -28,10 +33,7 @@ const char* mos_model(DeviceKind k) {
   }
 }
 
-}  // namespace
-
-void write_spice(std::ostream& os, const Netlist& nl, const WriteOptions& opts) {
-  os << "* " << opts.title << " : " << nl.name() << "\n";
+void emit_globals(std::ostream& os, const Netlist& nl) {
   os << ".global";
   bool any_supply = false;
   for (const Net& n : nl.nets()) {
@@ -42,6 +44,189 @@ void write_spice(std::ostream& os, const Netlist& nl, const WriteOptions& opts) 
   }
   if (!any_supply) os << " vss";
   os << "\n";
+}
+
+// ---------------------------------------------- hierarchical emission ----
+//
+// Reconstructs one .subckt definition per subckt name from a representative
+// instance's device range, X cards for child instances merged back at their
+// original card positions (children interleave with direct devices in
+// device-id order, because expansion was depth-first in card order), and
+// relative card names so a re-parse rebuilds identical instance paths.
+
+// Card names must start with the card's type letter; names that already do
+// are emitted verbatim (preserving round-trip identity), others get the
+// letter prepended.
+std::string card_name(char letter, const std::string& name) {
+  if (!name.empty() &&
+      std::tolower(static_cast<unsigned char>(name[0])) == letter)
+    return sanitize(name);
+  std::string out(1, static_cast<char>(std::toupper(static_cast<unsigned char>(letter))));
+  out += sanitize(name);
+  return out;
+}
+
+// Name of a card relative to its enclosing instance path.
+std::string relative_name(const std::string& full, const std::string& base) {
+  if (base.empty()) return full;
+  if (full.size() > base.size() + 1 && full.compare(0, base.size(), base) == 0 &&
+      full[base.size()] == '/')
+    return full.substr(base.size() + 1);
+  return sanitize(full);
+}
+
+using NetNamer = std::function<std::string(NetId)>;
+
+// Full-precision device card (parsed parameter values feed the structural
+// hash, so sizing must survive write -> parse bit-exactly).
+void emit_device_card(std::ostream& os, const Device& d, const std::string& name,
+                      const NetNamer& net_name) {
+  switch (d.kind) {
+    case DeviceKind::kNmos:
+    case DeviceKind::kPmos:
+    case DeviceKind::kNmosThick:
+    case DeviceKind::kPmosThick: {
+      os << card_name('m', name);
+      for (const NetId c : d.conns) os << " " << net_name(c);
+      os << " " << mos_model(d.kind)
+         << format(" L=%.17g NFIN=%d NF=%d M=%d", d.params.length, d.params.num_fins,
+                   d.params.num_fingers, d.params.multiplier);
+      os << "\n";
+      break;
+    }
+    case DeviceKind::kResistor:
+      os << card_name('r', name) << " " << net_name(d.conns[0]) << " " << net_name(d.conns[1])
+         << format(" %.17g", d.params.value);
+      if (d.params.length > 0) os << format(" L=%.17g", d.params.length);
+      if (d.params.multiplier != 1) os << format(" M=%d", d.params.multiplier);
+      os << "\n";
+      break;
+    case DeviceKind::kCapacitor:
+      os << card_name('c', name) << " " << net_name(d.conns[0]) << " " << net_name(d.conns[1])
+         << format(" %.17g M=%d", d.params.value, d.params.multiplier) << "\n";
+      break;
+    case DeviceKind::kDiode:
+      os << card_name('d', name) << " " << net_name(d.conns[0]) << " " << net_name(d.conns[1])
+         << format(" dio NF=%d", d.params.num_fingers) << "\n";
+      break;
+    case DeviceKind::kBjt:
+      os << card_name('q', name);
+      for (const NetId c : d.conns) os << " " << net_name(c);
+      os << format(" npn M=%d", d.params.multiplier) << "\n";
+      break;
+  }
+}
+
+// Emits the direct cards of one scope (a subckt body or the top level):
+// devices of [d0, d1) not covered by a child instance, with each child's
+// subtree collapsed back into a single X card at its original position.
+void emit_body(std::ostream& os, const Netlist& nl, const std::string& base_path, DeviceId d0,
+               DeviceId d1, const std::vector<int>& child_ids, const NetNamer& net_name) {
+  const auto& insts = nl.instances();
+  std::size_t ci = 0;
+  DeviceId d = d0;
+  while (d < d1 || ci < child_ids.size()) {
+    const SubcktInstance* child =
+        ci < child_ids.size() ? &insts[static_cast<std::size_t>(child_ids[ci])] : nullptr;
+    if (child != nullptr && (d >= d1 || child->first_device <= d)) {
+      os << card_name('x', relative_name(child->path, base_path));
+      for (const NetId b : child->ref.boundary_nets) os << " " << net_name(b);
+      os << " " << child->ref.name << "\n";
+      if (child->device_end > d) d = child->device_end;
+      ++ci;
+      continue;
+    }
+    const Device& dev = nl.device(d);
+    emit_device_card(os, dev, relative_name(dev.name, base_path), net_name);
+    ++d;
+  }
+}
+
+void write_spice_hierarchical(std::ostream& os, const Netlist& nl, const WriteOptions& opts) {
+  const auto& insts = nl.instances();
+  std::vector<std::vector<int>> children(insts.size());
+  std::vector<int> top_children;
+  for (std::size_t i = 0; i < insts.size(); ++i) {
+    const int parent = insts[i].parent;
+    if (parent < 0)
+      top_children.push_back(static_cast<int>(i));
+    else
+      children[static_cast<std::size_t>(parent)].push_back(static_cast<int>(i));
+  }
+
+  // One definition per subckt name. The representative is the instance
+  // with the fewest supply-bound ports: binding a port to a supply merges
+  // it with the global net, so a fully signal-bound instance preserves the
+  // port/global distinction of the original definition. (A definition
+  // whose every instance supply-binds a port AND references the same
+  // global directly is reconstructed with those references routed through
+  // the port — electrically identical for the instances present.)
+  auto supply_ports = [&](const SubcktInstance& inst) {
+    std::size_t n = 0;
+    for (const NetId b : inst.ref.boundary_nets)
+      if (nl.net(b).is_supply) ++n;
+    return n;
+  };
+  std::unordered_map<std::string, std::size_t> rep_of;
+  std::vector<std::string> def_order;
+  for (std::size_t i = 0; i < insts.size(); ++i) {
+    auto [it, inserted] = rep_of.emplace(insts[i].ref.name, i);
+    if (inserted) {
+      def_order.push_back(insts[i].ref.name);
+      continue;
+    }
+    const SubcktInstance& rep = insts[it->second];
+    if (rep.ref.boundary_nets.size() != insts[i].ref.boundary_nets.size() ||
+        rep.device_end - rep.first_device != insts[i].device_end - insts[i].first_device)
+      throw std::invalid_argument("write_spice: instances of subckt '" + insts[i].ref.name +
+                                  "' disagree structurally; cannot reconstruct one definition");
+    if (supply_ports(insts[i]) < supply_ports(rep)) it->second = i;
+  }
+
+  os << "* " << opts.title << " : " << nl.name() << "\n";
+  emit_globals(os, nl);
+
+  for (const std::string& dname : def_order) {
+    const std::size_t rep = rep_of.at(dname);
+    const SubcktInstance& inst = insts[rep];
+    std::unordered_map<NetId, std::size_t> port_of;
+    for (std::size_t p = 0; p < inst.ref.boundary_nets.size(); ++p)
+      port_of.emplace(inst.ref.boundary_nets[p], p);
+    NetNamer namer = [&](NetId id) -> std::string {
+      if (auto it = port_of.find(id); it != port_of.end()) {
+        std::string out("p");
+        out += std::to_string(it->second);
+        return out;
+      }
+      if (id >= inst.first_net && id < inst.net_end && !nl.net(id).is_supply) {
+        std::string out("n");
+        out += std::to_string(id - inst.first_net);
+        return out;
+      }
+      return sanitize(nl.net(id).name);  // supply/global nets stay flat
+    };
+    os << ".subckt " << inst.ref.name;
+    for (std::size_t p = 0; p < inst.ref.boundary_nets.size(); ++p) os << " p" << p;
+    os << "\n";
+    emit_body(os, nl, inst.path, inst.first_device, inst.device_end,
+              children[rep], namer);
+    os << ".ends\n";
+  }
+
+  NetNamer top_namer = [&](NetId id) { return sanitize(nl.net(id).name); };
+  emit_body(os, nl, "", 0, static_cast<DeviceId>(nl.num_devices()), top_children, top_namer);
+  os << ".end\n";
+}
+
+}  // namespace
+
+void write_spice(std::ostream& os, const Netlist& nl, const WriteOptions& opts) {
+  if (opts.hierarchical && !nl.instances().empty()) {
+    write_spice_hierarchical(os, nl, opts);
+    return;
+  }
+  os << "* " << opts.title << " : " << nl.name() << "\n";
+  emit_globals(os, nl);
 
   auto net_name = [&](NetId id) { return sanitize(nl.net(id).name); };
 

@@ -17,6 +17,16 @@ struct WriteOptions {
   const std::unordered_map<NetId, double>* net_caps = nullptr;
   // Emit transistor layout parameters (SA/DA/SP/DP/LDE) as card options.
   bool emit_layout_params = false;
+  // Reconstruct .subckt definitions from the netlist's SubcktInstance
+  // records instead of flattening: one definition per subckt name, X cards
+  // for every instance, device/instance card names relative to their
+  // instance so a re-parse reproduces the original instance paths and
+  // structural hashes. Sizing values are emitted at full precision (the
+  // hash covers parsed parameter values). Netlists without instance
+  // records fall back to flat emission. net_caps / emit_layout_params are
+  // ignored in hierarchical mode: per-instance annotations cannot be
+  // attached to a shared definition.
+  bool hierarchical = false;
   std::string title = "paragraph netlist";
 };
 

@@ -1,0 +1,113 @@
+#include "circuitgen/hier.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "circuit/spice_parser.h"
+#include "util/rng.h"
+
+namespace paragraph::circuitgen {
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.4g", v);
+  return buf;
+}
+
+// One buffered RC delay-line template. Each stage is an inverter (pmos +
+// nmos) driving an RC segment; element values vary per stage (same text in
+// every instance, so every instance keeps the same structural hash). The
+// chain is `stages` nets deep end to end, which puts the middle stages at
+// graph depth >> L+1 from the {in, out} boundary — the interior the plan
+// cache memoizes.
+std::string cell_template(const HierGiantSpec& spec, util::Rng& rng) {
+  std::string s = ".subckt hg_cell in out\n";
+  std::string prev = "in";
+  for (int i = 1; i <= spec.stages_per_cell; ++i) {
+    const bool last = i == spec.stages_per_cell;
+    const std::string mid = "s" + std::to_string(i);
+    const std::string next = last ? "out" : "n" + std::to_string(i);
+    const std::string idx = std::to_string(i);
+    const int nfin = 1 + static_cast<int>(rng.uniform_int(0, 3));
+    s += "Mp" + idx + " " + mid + " " + prev + " vdd vdd pmos L=16n NFIN=" +
+         std::to_string(2 * nfin) + "\n";
+    s += "Mn" + idx + " " + mid + " " + prev + " vss vss nmos L=16n NFIN=" +
+         std::to_string(nfin) + "\n";
+    s += "R" + idx + " " + mid + " " + next + " " + fmt(rng.uniform(500.0, 5000.0)) + "\n";
+    s += "C" + idx + " " + next + " vss " + fmt(rng.uniform(0.5, 4.0)) + "f\n";
+    prev = next;
+  }
+  s += ".ends\n";
+  return s;
+}
+
+// A column chains `cells_per_column` cell instances in series.
+std::string column_template(const HierGiantSpec& spec) {
+  std::string s = ".subckt hg_col a b\n";
+  std::string prev = "a";
+  for (int i = 1; i <= spec.cells_per_column; ++i) {
+    const std::string next =
+        i == spec.cells_per_column ? "b" : "c" + std::to_string(i);
+    s += "Xc" + std::to_string(i) + " " + prev + " " + next + " hg_cell\n";
+    prev = next;
+  }
+  s += ".ends\n";
+  return s;
+}
+
+}  // namespace
+
+std::size_t HierGiantSpec::approx_nodes() const {
+  // Per stage: 4 devices + 2 nets; per cell: +1 boundary net; glue ~2/col.
+  const std::size_t per_cell = static_cast<std::size_t>(stages_per_cell) * 6 + 1;
+  return static_cast<std::size_t>(columns) * cells_per_column * per_cell +
+         static_cast<std::size_t>(columns) * 2;
+}
+
+HierGiantSpec hier_giant_spec(double scale, std::uint64_t seed) {
+  HierGiantSpec spec;
+  spec.seed = seed;
+  if (scale >= 1.0) {
+    spec.columns = 48;
+    spec.cells_per_column = 40;
+    spec.stages_per_cell = 12;  // ~140k nodes
+  } else if (scale >= 0.2) {
+    spec.columns = 16;
+    spec.cells_per_column = 16;
+    spec.stages_per_cell = 10;  // ~16k nodes
+  } else {
+    spec.columns = 6;
+    spec.cells_per_column = 6;
+    spec.stages_per_cell = 10;  // ~2k nodes
+  }
+  return spec;
+}
+
+std::string hier_giant_deck(const HierGiantSpec& spec) {
+  util::Rng rng(spec.seed * 0x9e3779b97f4a7c15ULL + 0x68696572ULL);
+  std::string deck = "* hier_giant: " + std::to_string(spec.columns) + " cols x " +
+                     std::to_string(spec.cells_per_column) + " cells x " +
+                     std::to_string(spec.stages_per_cell) + " stages\n";
+  deck += cell_template(spec, rng);
+  deck += column_template(spec);
+  // Top level: columns driven from a shared source rail, each with its own
+  // sense load — a little unique glue so the top itself never hashes like
+  // a template.
+  for (int k = 1; k <= spec.columns; ++k) {
+    const std::string idx = std::to_string(k);
+    deck += "Xcol" + idx + " drv" + idx + " sense" + idx + " hg_col\n";
+    deck += "Rdrv" + idx + " src drv" + idx + " " + fmt(rng.uniform(80.0, 300.0)) + "\n";
+    deck += "Csense" + idx + " sense" + idx + " vss " + fmt(rng.uniform(1.0, 9.0)) + "f\n";
+  }
+  deck += "Rsrc src vss " + fmt(rng.uniform(1e4, 5e4)) + "\n";
+  return deck;
+}
+
+circuit::Netlist build_hier_giant(const HierGiantSpec& spec) {
+  circuit::Netlist nl = circuit::parse_spice_string(hier_giant_deck(spec), spec.name);
+  return nl;
+}
+
+}  // namespace paragraph::circuitgen

@@ -1,0 +1,56 @@
+// Hierarchical giant-circuit generator (the out-of-core / plan-cache
+// scaling workload).
+//
+// build_paper_suite() emits FLAT netlists sized like the paper's suite;
+// this generator instead emits a deck with explicit `.subckt` templates so
+// the parser's instance provenance (circuit/hierarchy.h) and the plan
+// cache (gnn/plan_cache.h) have real repetition to exploit:
+//
+//   .subckt hg_cell  in out   - a buffered RC delay line of
+//                               `stages_per_cell` stages (2 MOS + R + C
+//                               per stage); deep enough that the cell
+//                               middle is interior at the paper's L = 5
+//   .subckt hg_col   a b      - `cells_per_column` cells chained in series
+//   top level                 - `columns` column instances bridged by a
+//                               small amount of unique glue
+//
+// Every cell instance shares one template (one structural hash), as does
+// every column, so a PlanCache run memoizes one representative per level
+// and assembles the other `columns * cells_per_column - 1` interiors from
+// it. At full_scale() the deck exceeds 100k graph nodes (devices + nets).
+//
+// Deterministic: the deck text depends only on the spec (the seed perturbs
+// element values in the template bodies and glue, never the topology), so
+// two builds of the same spec are byte-identical.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "circuit/netlist.h"
+
+namespace paragraph::circuitgen {
+
+struct HierGiantSpec {
+  std::string name = "hier_giant";
+  std::uint64_t seed = 1;
+  int columns = 8;           // hg_col instances at top level
+  int cells_per_column = 8;  // hg_cell instances per column
+  int stages_per_cell = 10;  // inverter+RC stages per cell (interior depth)
+
+  // Approximate graph-node count (devices + nets) of the built netlist.
+  std::size_t approx_nodes() const;
+};
+
+// Spec presets keyed by the bench profile scale knob: smoke stays in the
+// low thousands of nodes, 1.0 ("full") exceeds 100k.
+HierGiantSpec hier_giant_spec(double scale, std::uint64_t seed = 1);
+
+// The SPICE deck text (templates + instances + glue).
+std::string hier_giant_deck(const HierGiantSpec& spec);
+
+// Parses the deck into a netlist named spec.name, with subckt instance
+// provenance populated by the parser.
+circuit::Netlist build_hier_giant(const HierGiantSpec& spec);
+
+}  // namespace paragraph::circuitgen

@@ -1,6 +1,7 @@
 #include "core/predictor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <limits>
@@ -9,8 +10,10 @@
 
 #include "core/checkpoint.h"
 #include "core/serialize.h"
+#include "dataset/shards.h"
 #include "eval/drift.h"
 #include "gnn/plan.h"
+#include "gnn/plan_cache.h"
 #include "nn/optim.h"
 #include "obs/log.h"
 #include "obs/memory.h"
@@ -113,7 +116,17 @@ eval::RegressionMetrics EvalResult::pooled() const {
 
 // ------------------------------------------------------ GnnPredictor ----
 
-GnnPredictor::GnnPredictor(const PredictorConfig& config) : config_(config) {
+namespace {
+// Process-unique weight identities; every construction or completed train
+// gets a fresh one, so PlanCache embeddings keyed by it cannot go stale.
+std::uint64_t next_model_key() {
+  static std::atomic<std::uint64_t> next{0};
+  return ++next;
+}
+}  // namespace
+
+GnnPredictor::GnnPredictor(const PredictorConfig& config)
+    : config_(config), model_key_(next_model_key()) {
   util::Rng rng(config.seed * 0x9e3779b9ULL + 17);
   embedding_ = gnn::make_model(config.model, config.embed_dim, config.num_layers, rng,
                                config.attention_heads);
@@ -132,7 +145,7 @@ bool GnnPredictor::needs_homo() const {
   }
 }
 
-GraphBatch GnnPredictor::make_batch(const SuiteDataset& ds, const Sample& sample,
+GraphBatch GnnPredictor::make_batch(const dataset::FeatureNormalizer& norm, const Sample& sample,
                                     const gnn::GraphPlan* plan) const {
   GraphBatch b;
   b.graph = &sample.graph;
@@ -140,9 +153,44 @@ GraphBatch GnnPredictor::make_batch(const SuiteDataset& ds, const Sample& sample
   for (std::size_t t = 0; t < graph::kNumNodeTypes; ++t) {
     const auto nt = static_cast<NodeType>(t);
     if (sample.graph.num_nodes(nt) == 0) continue;
-    b.features[t] = Tensor(ds.normalizer.apply(sample.graph, nt));
+    b.features[t] = Tensor(norm.apply(sample.graph, nt));
   }
   return b;
+}
+
+struct GnnPredictor::Prepared {
+  std::unique_ptr<gnn::GraphPlan> plan;
+  GraphBatch batch;                  // points into the sample's graph
+  std::vector<nn::IndexHandle> idx;  // per type slot, in-range node ids
+  std::vector<Matrix> target;        // per type slot, scaled targets
+  // Streamed path: the materialised sample the batch references. The
+  // in-memory path leaves it null (the SuiteDataset owns its samples).
+  std::shared_ptr<const Sample> owned;
+};
+
+std::shared_ptr<const GnnPredictor::Prepared> GnnPredictor::prepare_sample(
+    const dataset::FeatureNormalizer& norm, const Sample& s,
+    std::shared_ptr<const Sample> owned) const {
+  const auto& types = dataset::target_node_types(config_.target);
+  auto p = std::make_shared<Prepared>();
+  p->owned = std::move(owned);
+  p->plan = std::make_unique<gnn::GraphPlan>(gnn::GraphPlan::build(s.graph, needs_homo()));
+  p->batch = make_batch(norm, s, p->plan.get());
+  bool any = false;
+  for (std::size_t slot = 0; slot < types.size(); ++slot) {
+    const auto& raw = s.target_values(config_.target, slot);
+    std::vector<std::int32_t> idx;
+    std::vector<float> scaled;
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      if (!scaler_.in_range(raw[i])) continue;
+      idx.push_back(static_cast<std::int32_t>(i));
+      scaled.push_back(scaler_.transform(raw[i]));
+    }
+    p->idx.push_back(nn::make_index(std::move(idx)));
+    p->target.emplace_back(scaled.size(), 1, std::move(scaled));
+    if (!p->idx.back()->empty()) any = true;
+  }
+  return any ? p : nullptr;
 }
 
 Tensor GnnPredictor::forward_predictions(const GraphBatch& batch, std::size_t type_slot) const {
@@ -171,7 +219,6 @@ double global_grad_norm(const std::vector<Tensor>& params) {
 std::vector<double> GnnPredictor::train(const SuiteDataset& ds, const EpochCallback& on_epoch,
                                         const TrainOptions& options) {
   PARAGRAPH_TIMED_SCOPE("train");
-  const auto& types = dataset::target_node_types(config_.target);
 
   // Drift reference: what "inputs like the training set" looks like.
   // Persisted with the model (format v5) and compared against live
@@ -186,39 +233,111 @@ std::vector<double> GnnPredictor::train(const SuiteDataset& ds, const EpochCallb
 
   // Precompute the graph plan, batch, per-slot training indices, and
   // scaled targets once per sample; every epoch's forward reuses them.
-  struct Prepared {
-    const Sample* sample;
-    std::unique_ptr<gnn::GraphPlan> plan;
-    GraphBatch batch;
-    std::vector<nn::IndexHandle> idx;  // per type slot
-    std::vector<Matrix> target;        // per type slot, scaled
-  };
-  std::vector<Prepared> prepared;
+  std::vector<std::shared_ptr<const Prepared>> prepared;
   {
     PARAGRAPH_TIMED_SCOPE("prepare");
-    for (const Sample& s : ds.train) {
-      Prepared p;
-      p.sample = &s;
-      p.plan = std::make_unique<gnn::GraphPlan>(gnn::GraphPlan::build(s.graph, needs_homo()));
-      p.batch = make_batch(ds, s, p.plan.get());
-      bool any = false;
-      for (std::size_t slot = 0; slot < types.size(); ++slot) {
-        const auto& raw = s.target_values(config_.target, slot);
-        std::vector<std::int32_t> idx;
-        std::vector<float> scaled;
-        for (std::size_t i = 0; i < raw.size(); ++i) {
-          if (!scaler_.in_range(raw[i])) continue;
-          idx.push_back(static_cast<std::int32_t>(i));
-          scaled.push_back(scaler_.transform(raw[i]));
-        }
-        p.idx.push_back(nn::make_index(std::move(idx)));
-        p.target.emplace_back(scaled.size(), 1, std::move(scaled));
-        if (!p.idx.back()->empty()) any = true;
-      }
-      if (any) prepared.push_back(std::move(p));
-    }
+    for (const Sample& s : ds.train)
+      if (auto p = prepare_sample(ds.normalizer, s, nullptr)) prepared.push_back(std::move(p));
   }
-  if (prepared.empty()) throw std::logic_error("GnnPredictor::train: no training data in range");
+  PreparedSource src;
+  src.count = prepared.size();
+  src.get = [&prepared](std::size_t i) { return prepared[i]; };
+  return train_impl(src, on_epoch, options);
+}
+
+std::vector<double> GnnPredictor::train(dataset::ShardStore& store, const EpochCallback& on_epoch,
+                                        const TrainOptions& options) {
+  PARAGRAPH_TIMED_SCOPE("train");
+  const std::size_t n = store.num_train();
+  const auto& types = dataset::target_node_types(config_.target);
+
+  // Drift sketches in two streaming passes (range fit, then fill) —
+  // bit-identical to eval::sketch_graphs over the materialised set.
+  {
+    PARAGRAPH_TIMED_SCOPE("sketch");
+    eval::SketchBuilder sb;
+    for (std::size_t i = 0; i < n; ++i) sb.observe_range(*store.train(i));
+    sb.begin_fill();
+    for (std::size_t i = 0; i < n; ++i) sb.observe_values(*store.train(i));
+    sketches_ = sb.finish();
+  }
+
+  if (config_.target != TargetKind::kCap) {
+    // Same pooling order as SuiteDataset::pooled_targets.
+    std::vector<float> pooled;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto s = store.train(i);
+      for (const auto& vec : s->targets[static_cast<std::size_t>(config_.target)])
+        pooled.insert(pooled.end(), vec.begin(), vec.end());
+    }
+    scaler_ = config_.target == TargetKind::kRes ? TargetScaler::fit_log_zscore(pooled)
+                                                 : TargetScaler::fit_zscore(pooled);
+  }
+
+  // Eligible samples (any in-range target) in train order — the same
+  // filter the in-memory path applies while preparing.
+  std::vector<std::size_t> eligible;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto s = store.train(i);
+    bool any = false;
+    for (std::size_t slot = 0; slot < types.size() && !any; ++slot)
+      for (const float raw : s->target_values(config_.target, slot))
+        if (scaler_.in_range(raw)) {
+          any = true;
+          break;
+        }
+    if (any) eligible.push_back(i);
+  }
+
+  // LRU over prepared samples: plans/batches roughly double the
+  // materialised sample, so price entries at 2x the store's estimator
+  // and cap at the same byte budget the store enforces for raw samples.
+  struct Pin {
+    std::shared_ptr<const Prepared> p;
+    std::size_t bytes = 0;
+    std::uint64_t tick = 0;
+  };
+  auto cache = std::make_shared<std::unordered_map<std::size_t, Pin>>();
+  auto state = std::make_shared<std::pair<std::size_t, std::uint64_t>>(0, 0);  // bytes, tick
+
+  PreparedSource src;
+  src.count = eligible.size();
+  src.get = [this, &store, eligible, cache, state](std::size_t k) {
+    auto& [cache_bytes, tick] = *state;
+    ++tick;
+    if (const auto it = cache->find(k); it != cache->end()) {
+      it->second.tick = tick;
+      return it->second.p;
+    }
+    const std::shared_ptr<const Sample> s = store.train(eligible[k]);
+    auto p = prepare_sample(store.normalizer(), *s, s);
+    if (!p)
+      throw std::logic_error("GnnPredictor::train: sample lost its in-range targets mid-run");
+    const std::size_t bytes = dataset::ShardStore::sample_bytes(*s) * 2;
+    cache_bytes += bytes;
+    (*cache)[k] = Pin{p, bytes, tick};
+    while (cache_bytes > store.config().max_resident_bytes && cache->size() > 1) {
+      auto victim = cache->end();
+      for (auto it = cache->begin(); it != cache->end(); ++it)
+        if (it->first != k && (victim == cache->end() || it->second.tick < victim->second.tick))
+          victim = it;
+      if (victim == cache->end()) break;
+      cache_bytes -= victim->second.bytes;
+      cache->erase(victim);
+    }
+    if (obs::enabled())
+      obs::MetricsRegistry::instance().gauge("shards.prepared_bytes").set(
+          static_cast<double>(cache_bytes));
+    return p;
+  };
+  return train_impl(src, on_epoch, options);
+}
+
+std::vector<double> GnnPredictor::train_impl(const PreparedSource& src,
+                                             const EpochCallback& on_epoch,
+                                             const TrainOptions& options) {
+  const auto& types = dataset::target_node_types(config_.target);
+  if (src.count == 0) throw std::logic_error("GnnPredictor::train: no training data in range");
 
   std::vector<Tensor> params = parameters();
   nn::Adam opt(params, config_.learning_rate);
@@ -238,7 +357,7 @@ std::vector<double> GnnPredictor::train(const SuiteDataset& ds, const EpochCallb
     std::vector<Tensor> params;
   };
   const std::size_t batch =
-      std::min<std::size_t>(std::max<std::size_t>(config_.batch_size, 1), prepared.size());
+      std::min<std::size_t>(std::max<std::size_t>(config_.batch_size, 1), src.count);
   std::vector<Replica> replicas;
   if (batch > 1) {
     for (std::size_t r = 0; r < batch; ++r) {
@@ -358,7 +477,7 @@ std::vector<double> GnnPredictor::train(const SuiteDataset& ds, const EpochCallb
       obs::Logger::instance().should_log(obs::LogLevel::kDebug);
 
   std::vector<double> epoch_losses;
-  std::vector<std::size_t> order(prepared.size());
+  std::vector<std::size_t> order(src.count);
   std::iota(order.begin(), order.end(), 0);
   if (options.resume != nullptr) {
     // The shuffle permutation is cumulative (each epoch shuffles the
@@ -393,7 +512,8 @@ std::vector<double> GnnPredictor::train(const SuiteDataset& ds, const EpochCallb
     double last_grad_norm = 0.0;
     if (batch == 1) {
       for (const std::size_t k : order) {
-        Prepared& p = prepared[k];
+        const std::shared_ptr<const Prepared> pinned = src.get(k);
+        const Prepared& p = *pinned;
         Tensor loss;
         {
           PARAGRAPH_TIMED_SCOPE("forward");
@@ -438,13 +558,17 @@ std::vector<double> GnnPredictor::train(const SuiteDataset& ds, const EpochCallb
             for (std::size_t pi = 0; pi < params.size(); ++pi)
               replicas[r].params[pi].mutable_value() = params[pi].value();
         }
+        // Pin the whole group on this thread before fanning out — the
+        // source (and a streamed store behind it) is not thread-safe.
+        std::vector<std::shared_ptr<const Prepared>> group(gcount);
+        for (std::size_t r = 0; r < gcount; ++r) group[r] = src.get(order[start + r]);
         std::vector<double> circuit_losses(gcount, -1.0);
         {
           PARAGRAPH_TIMED_SCOPE("forward_backward");
           runtime::parallel_for("train.batch", gcount, 1, [&](std::size_t lo, std::size_t hi) {
             for (std::size_t r = lo; r < hi; ++r) {
               Replica& rep = replicas[r];
-              const Prepared& p = prepared[order[start + r]];
+              const Prepared& p = *group[r];
               for (auto& t : rep.params) t.zero_grad();
               Tensor loss = circuit_loss(*rep.embedding, *rep.head, p);
               if (!loss.defined()) continue;
@@ -577,42 +701,61 @@ std::vector<double> GnnPredictor::train(const SuiteDataset& ds, const EpochCallb
     if (util::fault::should_fail("train.crash")) std::abort();
   }
   if (!best_params.empty()) restore();
+  model_key_ = next_model_key();  // weights changed: retire memoized embeddings
   return epoch_losses;
 }
 
 EvalResult GnnPredictor::evaluate(const SuiteDataset& ds,
                                   const std::vector<Sample>& samples) const {
   PARAGRAPH_TIMED_SCOPE("evaluate");
-  const auto& types = dataset::target_node_types(config_.target);
   EvalResult result;
   result.circuits.resize(samples.size());
   // Inference is read-only on the model, so circuits run one per pool
   // chunk; results land at their sample index, keeping output order (and
   // values — per-circuit kernels execute inline) identical to serial.
   runtime::parallel_for("eval.circuits", samples.size(), 1, [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t si = lo; si < hi; ++si) {
-      const Sample& s = samples[si];
-      const gnn::GraphPlan plan = gnn::GraphPlan::build(s.graph, needs_homo());
-      const GraphBatch batch = make_batch(ds, s, &plan);
-      CircuitPrediction cp;
-      cp.name = s.name;
-      gnn::TypeTensors emb = embedding_->embed(batch);
-      for (std::size_t slot = 0; slot < types.size(); ++slot) {
-        const Tensor& z = emb[static_cast<std::size_t>(types[slot])];
-        if (!z.defined()) continue;
-        const Tensor pred = head_->forward(z);
-        const auto& raw = s.target_values(config_.target, slot);
-        for (std::size_t i = 0; i < raw.size(); ++i) {
-          if (!scaler_.in_range(raw[i])) continue;
-          cp.truth.push_back(raw[i]);
-          cp.pred.push_back(scaler_.inverse(pred.value()(i, 0)));
-          cp.type_slot.push_back(static_cast<std::int32_t>(slot));
-          cp.node_index.push_back(static_cast<std::int32_t>(i));
-        }
-      }
-      result.circuits[si] = std::move(cp);
-    }
+    for (std::size_t si = lo; si < hi; ++si)
+      result.circuits[si] = evaluate_circuit(ds.normalizer, samples[si]);
   });
+  return result;
+}
+
+CircuitPrediction GnnPredictor::evaluate_circuit(const dataset::FeatureNormalizer& norm,
+                                                 const Sample& s) const {
+  const auto& types = dataset::target_node_types(config_.target);
+  const gnn::GraphPlan plan = gnn::GraphPlan::build(s.graph, needs_homo());
+  const GraphBatch batch = make_batch(norm, s, &plan);
+  CircuitPrediction cp;
+  cp.name = s.name;
+  gnn::TypeTensors emb = embedding_->embed(batch);
+  for (std::size_t slot = 0; slot < types.size(); ++slot) {
+    const Tensor& z = emb[static_cast<std::size_t>(types[slot])];
+    if (!z.defined()) continue;
+    const Tensor pred = head_->forward(z);
+    const auto& raw = s.target_values(config_.target, slot);
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      if (!scaler_.in_range(raw[i])) continue;
+      cp.truth.push_back(raw[i]);
+      cp.pred.push_back(scaler_.inverse(pred.value()(i, 0)));
+      cp.type_slot.push_back(static_cast<std::int32_t>(slot));
+      cp.node_index.push_back(static_cast<std::int32_t>(i));
+    }
+  }
+  return cp;
+}
+
+EvalResult GnnPredictor::evaluate(dataset::ShardStore& store, bool test_split) const {
+  PARAGRAPH_TIMED_SCOPE("evaluate");
+  const std::size_t n = test_split ? store.num_test() : store.num_train();
+  EvalResult result;
+  result.circuits.resize(n);
+  // Serial over circuits so peak memory stays bounded by the store's
+  // working set; each circuit's math is the same inline computation the
+  // in-memory overload runs, so predictions match it bit for bit.
+  for (std::size_t si = 0; si < n; ++si) {
+    const std::shared_ptr<const Sample> sp = test_split ? store.test(si) : store.train(si);
+    result.circuits[si] = evaluate_circuit(store.normalizer(), *sp);
+  }
   return result;
 }
 
@@ -626,7 +769,7 @@ std::vector<float> GnnPredictor::predict_all(const SuiteDataset& ds, const Sampl
                                              const gnn::GraphPlan& plan) const {
   PARAGRAPH_TIMED_SCOPE("predict");
   const auto& types = dataset::target_node_types(config_.target);
-  const GraphBatch batch = make_batch(ds, sample, &plan);
+  const GraphBatch batch = make_batch(ds.normalizer, sample, &plan);
   gnn::TypeTensors emb = embedding_->embed(batch);
   std::vector<float> out;
   for (std::size_t slot = 0; slot < types.size(); ++slot) {
@@ -643,10 +786,49 @@ std::vector<float> GnnPredictor::predict_all(const SuiteDataset& ds, const Sampl
   return out;
 }
 
+std::vector<float> GnnPredictor::predict_all(const SuiteDataset& ds, const Sample& sample,
+                                             gnn::PlanCache& cache) const {
+  PARAGRAPH_TIMED_SCOPE("predict");
+  std::array<nn::Matrix, graph::kNumNodeTypes> z;
+  const auto embed_fn = [&](const graph::HeteroGraph& g,
+                            const gnn::GraphPlan& plan) -> gnn::TypeTensors {
+    GraphBatch b;
+    b.graph = &g;
+    b.plan = &plan;
+    for (std::size_t t = 0; t < graph::kNumNodeTypes; ++t) {
+      const auto nt = static_cast<NodeType>(t);
+      if (g.num_nodes(nt) == 0) continue;
+      b.features[t] = Tensor(ds.normalizer.apply(g, nt));
+    }
+    return embedding_->embed(b);
+  };
+  // Memoized embeddings depend on the weights AND the normalisation the
+  // batch builder applies, so both feed the cache key.
+  const std::uint64_t key = model_key_ ^ (ds.normalizer.fingerprint() * 0x9e3779b97f4a7c15ULL);
+  if (!cache.embed_hierarchical(sample.netlist, sample.graph, config_.num_layers, needs_homo(),
+                                key, embed_fn, &z))
+    return predict_all(ds, sample);
+
+  const auto& types = dataset::target_node_types(config_.target);
+  std::vector<float> out;
+  for (std::size_t slot = 0; slot < types.size(); ++slot) {
+    const nn::Matrix& m = z[static_cast<std::size_t>(types[slot])];
+    if (m.rows() == 0) {
+      // Keep positional alignment with target_values by emitting zeros.
+      out.resize(out.size() + sample.target_values(config_.target, slot).size(), 0.0f);
+      continue;
+    }
+    const Tensor pred = head_->forward(Tensor(m));
+    for (std::size_t i = 0; i < pred.rows(); ++i)
+      out.push_back(scaler_.inverse(pred.value()(i, 0)));
+  }
+  return out;
+}
+
 nn::Matrix GnnPredictor::embeddings(const SuiteDataset& ds, const Sample& sample,
                                     NodeType type) const {
   const gnn::GraphPlan plan = gnn::GraphPlan::build(sample.graph, needs_homo());
-  const GraphBatch batch = make_batch(ds, sample, &plan);
+  const GraphBatch batch = make_batch(ds.normalizer, sample, &plan);
   gnn::TypeTensors emb = embedding_->embed(batch);
   const Tensor& z = emb[static_cast<std::size_t>(type)];
   if (!z.defined()) return Matrix();
@@ -656,7 +838,7 @@ nn::Matrix GnnPredictor::embeddings(const SuiteDataset& ds, const Sample& sample
 gnn::AttentionRecord GnnPredictor::attention_analysis(const SuiteDataset& ds,
                                                       const Sample& sample) const {
   const gnn::GraphPlan plan = gnn::GraphPlan::build(sample.graph, needs_homo());
-  GraphBatch batch = make_batch(ds, sample, &plan);
+  GraphBatch batch = make_batch(ds.normalizer, sample, &plan);
   gnn::AttentionRecord record;
   batch.attention_out = &record;
   embedding_->embed(batch);

@@ -14,6 +14,13 @@
 #include "gnn/models.h"
 #include "obs/sketch.h"
 
+namespace paragraph::gnn {
+class PlanCache;  // gnn/plan_cache.h
+}
+namespace paragraph::dataset {
+class ShardStore;  // dataset/shards.h
+}
+
 namespace paragraph::core {
 
 struct PredictorConfig {
@@ -166,9 +173,25 @@ class GnnPredictor {
                             const EpochCallback& on_epoch = nullptr,
                             const TrainOptions& options = {});
 
+  // Out-of-core training: samples stream from `store` through its
+  // LRU-bounded working set instead of residing wholly in memory (the
+  // prepared plans/batches are bounded by the same byte budget).
+  // Bit-identical to the in-memory overload on the same dataset —
+  // per-sample preparation is deterministic, the shuffle stream depends
+  // only on the eligible-sample count, and the streamed drift sketches
+  // reproduce eval::sketch_graphs exactly (eval::SketchBuilder).
+  std::vector<double> train(dataset::ShardStore& store, const EpochCallback& on_epoch = nullptr,
+                            const TrainOptions& options = {});
+
   // Predicts raw-unit values for in-range nodes of each sample.
   EvalResult evaluate(const dataset::SuiteDataset& ds,
                       const std::vector<dataset::Sample>& samples) const;
+
+  // Out-of-core evaluation over the store's test (default) or train
+  // split. Serial over circuits so peak memory stays bounded by the
+  // store's working set; per-circuit predictions are bit-identical to
+  // the in-memory overload.
+  EvalResult evaluate(dataset::ShardStore& store, bool test_split = true) const;
 
   // Raw-unit predictions for ALL nodes of the target's node types,
   // concatenated in (type slot, node) order. Used by Algorithm 2.
@@ -179,6 +202,17 @@ class GnnPredictor {
   // the plan once per circuit and share it across models/calls).
   std::vector<float> predict_all(const dataset::SuiteDataset& ds, const dataset::Sample& sample,
                                  const gnn::GraphPlan& plan) const;
+
+  // Hierarchy-aware variant: memoizes per-subckt-template plans and
+  // interior embeddings in `cache`, running the model only on the reduced
+  // graph. Bit-identical to the plain overloads (gnn/plan_cache.h explains
+  // why); falls back to them when the sample has no cacheable hierarchy.
+  std::vector<float> predict_all(const dataset::SuiteDataset& ds, const dataset::Sample& sample,
+                                 gnn::PlanCache& cache) const;
+
+  // Identity of the current weights; reassigned whenever train() completes
+  // so memoized embeddings keyed by it are never stale.
+  std::uint64_t model_key() const { return model_key_; }
 
   // True when this model's plans need the homogenised edge view; callers
   // building shared GraphPlans pass this to gnn::GraphPlan::build.
@@ -209,11 +243,32 @@ class GnnPredictor {
   std::vector<nn::Tensor> parameters() const;
 
  private:
-  gnn::GraphBatch make_batch(const dataset::SuiteDataset& ds, const dataset::Sample& sample,
-                             const gnn::GraphPlan* plan) const;
+  // One sample staged for training: plan, normalised batch, per-slot
+  // in-range indices and scaled targets (defined in predictor.cpp). The
+  // streamed path additionally owns the Sample backing the batch.
+  struct Prepared;
+  // Indexable source of prepared samples. The in-memory path serves a
+  // prebuilt vector; the streamed path materialises through an LRU so the
+  // same train_impl drives both without knowing which it has.
+  struct PreparedSource {
+    std::size_t count = 0;
+    std::function<std::shared_ptr<const Prepared>(std::size_t)> get;
+  };
+  std::vector<double> train_impl(const PreparedSource& src, const EpochCallback& on_epoch,
+                                 const TrainOptions& options);
+  // nullptr when no target of the sample is in the scaler's range (the
+  // sample contributes nothing to training).
+  std::shared_ptr<const Prepared> prepare_sample(const dataset::FeatureNormalizer& norm,
+                                                 const dataset::Sample& s,
+                                                 std::shared_ptr<const dataset::Sample> owned) const;
+  gnn::GraphBatch make_batch(const dataset::FeatureNormalizer& norm,
+                             const dataset::Sample& sample, const gnn::GraphPlan* plan) const;
+  CircuitPrediction evaluate_circuit(const dataset::FeatureNormalizer& norm,
+                                     const dataset::Sample& s) const;
   nn::Tensor forward_predictions(const gnn::GraphBatch& batch, std::size_t type_slot) const;
 
   PredictorConfig config_;
+  std::uint64_t model_key_ = 0;
   TargetScaler scaler_;
   std::vector<obs::FeatureSketch> sketches_;
   std::unique_ptr<gnn::EmbeddingModel> embedding_;

@@ -6,6 +6,7 @@
 #include "layout/annotator.h"
 #include "obs/log.h"
 #include "obs/profile.h"
+#include "util/bytes.h"
 
 namespace paragraph::dataset {
 
@@ -148,7 +149,36 @@ nn::Matrix FeatureNormalizer::apply(const HeteroGraph& g, NodeType t) const {
   return f;
 }
 
-namespace {
+std::array<FeatureNormalizer::TypeStats, graph::kNumNodeTypes> FeatureNormalizer::state() const {
+  std::array<TypeStats, graph::kNumNodeTypes> out;
+  if (!fitted_) return out;
+  for (std::size_t t = 0; t < graph::kNumNodeTypes; ++t)
+    out[t] = TypeStats{stats_[t].mean, stats_[t].stdev};
+  return out;
+}
+
+FeatureNormalizer FeatureNormalizer::from_state(
+    const std::array<TypeStats, graph::kNumNodeTypes>& s) {
+  FeatureNormalizer n;
+  for (std::size_t t = 0; t < graph::kNumNodeTypes; ++t) {
+    n.stats_[t].mean = s[t].mean;
+    n.stats_[t].stdev = s[t].stdev;
+    if (!s[t].mean.empty()) n.fitted_ = true;
+  }
+  return n;
+}
+
+std::uint64_t FeatureNormalizer::fingerprint() const {
+  std::string buf;
+  buf.push_back(fitted_ ? 1 : 0);
+  for (const Stats& st : stats_) {
+    for (const float v : st.mean)
+      buf.append(reinterpret_cast<const char*>(&v), sizeof(float));
+    for (const float v : st.stdev)
+      buf.append(reinterpret_cast<const char*>(&v), sizeof(float));
+  }
+  return util::fnv1a64(buf);
+}
 
 Sample make_sample(Netlist nl) {
   PARAGRAPH_TIMED_SCOPE("sample");
@@ -166,8 +196,6 @@ Sample make_sample(Netlist nl) {
   s.netlist = std::move(nl);
   return s;
 }
-
-}  // namespace
 
 std::vector<float> SuiteDataset::pooled_targets(const std::vector<Sample>& samples,
                                                 TargetKind t) {

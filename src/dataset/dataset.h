@@ -63,6 +63,19 @@ class FeatureNormalizer {
   nn::Matrix apply(const graph::HeteroGraph& g, graph::NodeType t) const;
   bool fitted() const { return fitted_; }
 
+  // Plain-data view for persistence (dataset/shards.h): per node type, the
+  // fitted mean/stdev vectors (empty when unfitted).
+  struct TypeStats {
+    std::vector<float> mean;
+    std::vector<float> stdev;
+  };
+  std::array<TypeStats, graph::kNumNodeTypes> state() const;
+  static FeatureNormalizer from_state(const std::array<TypeStats, graph::kNumNodeTypes>& s);
+
+  // Hash of the fitted statistics; changes whenever normalisation output
+  // would. Used to key memoized embeddings (gnn::PlanCache).
+  std::uint64_t fingerprint() const;
+
  private:
   struct Stats {
     std::vector<float> mean;
@@ -93,6 +106,11 @@ struct SuiteDataset {
   // Pooled raw target values over a set of samples (for target scaling).
   static std::vector<float> pooled_targets(const std::vector<Sample>& samples, TargetKind t);
 };
+
+// Builds one Sample from an annotated netlist: graph construction plus
+// target extraction. Deterministic in the netlist alone — the shard store
+// relies on this to rebuild samples from persisted netlists.
+Sample make_sample(circuit::Netlist nl);
 
 // Full pipeline: generate suite -> annotate layout -> build graphs ->
 // extract targets -> fit normaliser. Deterministic in `seed`.

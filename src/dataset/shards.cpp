@@ -1,0 +1,455 @@
+#include "dataset/shards.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "obs/json.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "util/atomic_file.h"
+#include "util/bytes.h"
+#include "util/errors.h"
+
+namespace paragraph::dataset {
+
+namespace {
+
+using circuit::Device;
+using circuit::Netlist;
+
+constexpr std::uint32_t kShardMagic = 0x64734750;  // "PGsd"
+constexpr std::uint32_t kShardVersion = 1;
+
+// Sane maxima for decoded counts: a corrupt shard must not drive huge
+// allocations before the structural checks run. hier_giant tops out near
+// 10^6 nets/devices; these bounds leave generous headroom.
+constexpr std::uint64_t kMaxName = 1 << 20;
+constexpr std::uint64_t kMaxNets = 1 << 26;
+constexpr std::uint64_t kMaxDevices = 1 << 26;
+constexpr std::uint64_t kMaxConns = 64;
+constexpr std::uint64_t kMaxInstances = 1 << 22;
+constexpr std::uint64_t kMaxBoundary = 1 << 16;
+
+template <typename T>
+void put_pod(std::string& buf, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  buf.append(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+void put_str(std::string& buf, const std::string& s) {
+  put_pod(buf, static_cast<std::uint32_t>(s.size()));
+  buf.append(s);
+}
+
+std::string read_str(util::ByteReader& r, const char* what) {
+  const auto n = r.bounded(r.pod<std::uint32_t>(what), 0, kMaxName, what);
+  return std::string(r.bytes(static_cast<std::size_t>(n), what));
+}
+
+void put_netlist(std::string& buf, const Netlist& nl) {
+  put_str(buf, nl.name());
+  put_pod(buf, static_cast<std::uint64_t>(nl.num_nets()));
+  for (const circuit::Net& n : nl.nets()) {
+    put_str(buf, n.name);
+    put_pod(buf, static_cast<std::uint8_t>(n.is_supply ? 1 : 0));
+    put_pod(buf, static_cast<std::uint8_t>(n.ground_truth_cap.has_value() ? 1 : 0));
+    if (n.ground_truth_cap) put_pod(buf, *n.ground_truth_cap);
+    put_pod(buf, static_cast<std::uint8_t>(n.ground_truth_res.has_value() ? 1 : 0));
+    if (n.ground_truth_res) put_pod(buf, *n.ground_truth_res);
+  }
+  put_pod(buf, static_cast<std::uint64_t>(nl.num_devices()));
+  for (const Device& d : nl.devices()) {
+    put_str(buf, d.name);
+    put_pod(buf, static_cast<std::uint8_t>(d.kind));
+    put_pod(buf, static_cast<std::uint32_t>(d.conns.size()));
+    for (const circuit::NetId c : d.conns) put_pod(buf, c);
+    put_pod(buf, d.params.length);
+    put_pod(buf, static_cast<std::int32_t>(d.params.num_fingers));
+    put_pod(buf, static_cast<std::int32_t>(d.params.num_fins));
+    put_pod(buf, static_cast<std::int32_t>(d.params.multiplier));
+    put_pod(buf, d.params.value);
+    put_pod(buf, static_cast<std::uint8_t>(d.layout.has_value() ? 1 : 0));
+    if (d.layout) {
+      put_pod(buf, d.layout->source_area);
+      put_pod(buf, d.layout->drain_area);
+      put_pod(buf, d.layout->source_perimeter);
+      put_pod(buf, d.layout->drain_perimeter);
+      for (const double v : d.layout->lde) put_pod(buf, v);
+    }
+    put_str(buf, d.instance_path);
+  }
+  put_pod(buf, static_cast<std::uint64_t>(nl.instances().size()));
+  for (const circuit::SubcktInstance& inst : nl.instances()) {
+    put_str(buf, inst.path);
+    put_pod(buf, static_cast<std::int32_t>(inst.parent));
+    put_str(buf, inst.ref.name);
+    put_pod(buf, inst.ref.structural_hash);
+    put_pod(buf, static_cast<std::uint32_t>(inst.ref.boundary_nets.size()));
+    for (const circuit::NetId c : inst.ref.boundary_nets) put_pod(buf, c);
+    put_pod(buf, inst.first_device);
+    put_pod(buf, inst.device_end);
+    put_pod(buf, inst.first_net);
+    put_pod(buf, inst.net_end);
+  }
+}
+
+Netlist read_netlist(util::ByteReader& r) {
+  Netlist nl(read_str(r, "netlist name"));
+  const auto num_nets = r.bounded(r.pod<std::uint64_t>("net count"), 0, kMaxNets, "net count");
+  for (std::uint64_t i = 0; i < num_nets; ++i) {
+    const std::string name = read_str(r, "net name");
+    const bool is_supply = r.pod<std::uint8_t>("net supply flag") != 0;
+    const circuit::NetId id = nl.add_net(name, is_supply);
+    if (id != static_cast<circuit::NetId>(i)) r.corrupt("duplicate net name '" + name + "'");
+    if (r.pod<std::uint8_t>("cap flag") != 0)
+      nl.net(id).ground_truth_cap = r.pod<double>("ground-truth cap");
+    if (r.pod<std::uint8_t>("res flag") != 0)
+      nl.net(id).ground_truth_res = r.pod<double>("ground-truth res");
+  }
+  const auto num_devices =
+      r.bounded(r.pod<std::uint64_t>("device count"), 0, kMaxDevices, "device count");
+  for (std::uint64_t i = 0; i < num_devices; ++i) {
+    Device d;
+    d.name = read_str(r, "device name");
+    const auto kind = r.bounded(r.pod<std::uint8_t>("device kind"), 0,
+                                circuit::kNumDeviceKinds - 1, "device kind");
+    d.kind = static_cast<circuit::DeviceKind>(kind);
+    const auto nconns =
+        r.bounded(r.pod<std::uint32_t>("conn count"), 0, kMaxConns, "conn count");
+    for (std::uint32_t c = 0; c < nconns; ++c) {
+      const auto net = r.pod<circuit::NetId>("conn");
+      if (net < 0 || static_cast<std::uint64_t>(net) >= num_nets)
+        r.corrupt("device connection references missing net " + std::to_string(net));
+      d.conns.push_back(net);
+    }
+    d.params.length = r.pod<double>("param length");
+    d.params.num_fingers = r.pod<std::int32_t>("param nf");
+    d.params.num_fins = r.pod<std::int32_t>("param nfin");
+    d.params.multiplier = r.pod<std::int32_t>("param multi");
+    d.params.value = r.pod<double>("param value");
+    if (r.pod<std::uint8_t>("layout flag") != 0) {
+      circuit::TransistorLayout lay;
+      lay.source_area = r.pod<double>("layout sa");
+      lay.drain_area = r.pod<double>("layout da");
+      lay.source_perimeter = r.pod<double>("layout sp");
+      lay.drain_perimeter = r.pod<double>("layout dp");
+      for (double& v : lay.lde) v = r.pod<double>("layout lde");
+      d.layout = lay;
+    }
+    d.instance_path = read_str(r, "instance path");
+    try {
+      if (nl.add_device(std::move(d)) != static_cast<circuit::DeviceId>(i))
+        r.corrupt("device id out of order");
+    } catch (const std::invalid_argument& e) {
+      r.corrupt(e.what());
+    }
+  }
+  const auto num_inst =
+      r.bounded(r.pod<std::uint64_t>("instance count"), 0, kMaxInstances, "instance count");
+  for (std::uint64_t i = 0; i < num_inst; ++i) {
+    circuit::SubcktInstance inst;
+    inst.path = read_str(r, "instance path");
+    inst.parent = r.pod<std::int32_t>("instance parent");
+    if (inst.parent < -1 || inst.parent >= static_cast<int>(i))
+      r.corrupt("instance parent out of range");
+    inst.ref.name = read_str(r, "subckt name");
+    inst.ref.structural_hash = r.pod<std::uint64_t>("structural hash");
+    const auto nb = r.bounded(r.pod<std::uint32_t>("boundary count"), 0, kMaxBoundary,
+                              "boundary count");
+    for (std::uint32_t b = 0; b < nb; ++b) {
+      const auto net = r.pod<circuit::NetId>("boundary net");
+      if (net < 0 || static_cast<std::uint64_t>(net) >= num_nets)
+        r.corrupt("boundary net out of range");
+      inst.ref.boundary_nets.push_back(net);
+    }
+    inst.first_device = r.pod<circuit::DeviceId>("first_device");
+    inst.device_end = r.pod<circuit::DeviceId>("device_end");
+    inst.first_net = r.pod<circuit::NetId>("first_net");
+    inst.net_end = r.pod<circuit::NetId>("net_end");
+    if (inst.first_device < 0 || inst.first_device > inst.device_end ||
+        static_cast<std::uint64_t>(inst.device_end) > num_devices)
+      r.corrupt("instance device range out of bounds");
+    if (inst.first_net < 0 || inst.first_net > inst.net_end ||
+        static_cast<std::uint64_t>(inst.net_end) > num_nets)
+      r.corrupt("instance net range out of bounds");
+    nl.add_instance(std::move(inst));
+  }
+  return nl;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+// Read-only view of a shard file: mmap when possible (the kernel pages
+// only what the decode touches), plain read as the fallback.
+class MappedFile {
+ public:
+  explicit MappedFile(const std::string& path) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd >= 0) {
+      struct stat st{};
+      if (::fstat(fd, &st) == 0 && st.st_size > 0) {
+        void* p = ::mmap(nullptr, static_cast<std::size_t>(st.st_size), PROT_READ, MAP_PRIVATE,
+                         fd, 0);
+        if (p != MAP_FAILED) {
+          data_ = static_cast<const char*>(p);
+          size_ = static_cast<std::size_t>(st.st_size);
+        }
+      }
+      ::close(fd);  // the mapping survives the descriptor
+      if (data_ != nullptr) return;
+    }
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw util::IoError("cannot open shard file '" + path + "'");
+    fallback_.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  }
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile() {
+    if (data_ != nullptr) ::munmap(const_cast<char*>(data_), size_);
+  }
+
+  std::string_view view() const {
+    return data_ != nullptr ? std::string_view(data_, size_) : std::string_view(fallback_);
+  }
+
+ private:
+  const char* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::string fallback_;
+};
+
+std::string serialize_sample(const Sample& s) {
+  std::string buf;
+  put_pod(buf, kShardMagic);
+  put_pod(buf, kShardVersion);
+  put_str(buf, s.name);
+  put_netlist(buf, s.netlist);
+  const std::uint64_t checksum = util::fnv1a64(buf);
+  put_pod(buf, checksum);
+  return buf;
+}
+
+}  // namespace
+
+ShardWriteResult write_shards(const SuiteDataset& ds, const std::string& dir) {
+  PARAGRAPH_TIMED_SCOPE("shards_write");
+  std::filesystem::create_directories(dir);
+  ShardWriteResult result;
+
+  obs::JsonValue manifest = obs::JsonValue::object();
+  manifest.set("format", kShardFormat);
+
+  const auto pack_split = [&](const std::vector<Sample>& samples, const char* prefix) {
+    obs::JsonValue arr = obs::JsonValue::array();
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      char fname[64];
+      std::snprintf(fname, sizeof fname, "%s_%05zu.shard", prefix, i);
+      const std::string payload = serialize_sample(samples[i]);
+      util::write_file_atomic(dir + "/" + fname, payload);
+      obs::JsonValue e = obs::JsonValue::object();
+      e.set("file", fname);
+      e.set("name", samples[i].name);
+      e.set("bytes", payload.size());
+      // Checksum of everything before the trailing 8 checksum bytes —
+      // the same value the shard itself carries.
+      e.set("checksum", hex64(util::fnv1a64(std::string_view(payload)
+                                                .substr(0, payload.size() - sizeof(std::uint64_t)))));
+      arr.push_back(std::move(e));
+      result.bytes += payload.size();
+      ++result.files;
+    }
+    return arr;
+  };
+  manifest.set("train", pack_split(ds.train, "train"));
+  manifest.set("test", pack_split(ds.test, "test"));
+
+  obs::JsonValue norm = obs::JsonValue::array();
+  for (const FeatureNormalizer::TypeStats& ts : ds.normalizer.state()) {
+    obs::JsonValue t = obs::JsonValue::object();
+    obs::JsonValue mean = obs::JsonValue::array();
+    obs::JsonValue stdev = obs::JsonValue::array();
+    // float -> double is exact and JsonValue emits shortest-round-trip
+    // doubles, so the reconstructed normaliser is bit-identical.
+    for (const float v : ts.mean) mean.push_back(static_cast<double>(v));
+    for (const float v : ts.stdev) stdev.push_back(static_cast<double>(v));
+    t.set("mean", std::move(mean));
+    t.set("stdev", std::move(stdev));
+    norm.push_back(std::move(t));
+  }
+  manifest.set("normalizer", std::move(norm));
+
+  result.manifest_path = dir + "/" + kShardManifestName;
+  util::write_file_atomic(result.manifest_path, manifest.dump() + '\n');
+  obs::log_debug("shards", "packed dataset",
+                 {{"dir", dir},
+                  {"files", result.files},
+                  {"bytes", result.bytes}});
+  return result;
+}
+
+ShardStore::ShardStore(const std::string& dir, Config cfg) : dir_(dir), cfg_(cfg) {
+  const std::string manifest_path = dir_ + "/" + kShardManifestName;
+  std::ifstream in(manifest_path, std::ios::binary);
+  if (!in) throw util::IoError("cannot open shard manifest '" + manifest_path + "'");
+  const std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  std::string err;
+  const auto doc = obs::JsonValue::parse(text, &err);
+  if (!doc) throw util::CorruptArtifactError(manifest_path + ": " + err);
+  const obs::JsonValue* format = doc->find("format");
+  if (format == nullptr || !format->is_string() || format->as_string() != kShardFormat)
+    throw util::CorruptArtifactError(manifest_path + ": not a " + std::string(kShardFormat) +
+                                     " manifest");
+
+  const auto parse_split = [&](const char* key, std::vector<Entry>& out) {
+    const obs::JsonValue* arr = doc->find(key);
+    if (arr == nullptr || !arr->is_array())
+      throw util::CorruptArtifactError(manifest_path + ": missing '" + key + "' array");
+    for (const obs::JsonValue& e : arr->elements()) {
+      if (!e.is_object()) throw util::CorruptArtifactError(manifest_path + ": bad entry");
+      Entry entry;
+      entry.file = e.at("file").as_string();
+      entry.name = e.at("name").as_string();
+      entry.bytes = static_cast<std::uint64_t>(e.at("bytes").as_int());
+      const std::string& hex = e.at("checksum").as_string();
+      entry.checksum = std::strtoull(hex.c_str(), nullptr, 16);
+      if (entry.file.find('/') != std::string::npos || entry.file.find("..") != std::string::npos)
+        throw util::CorruptArtifactError(manifest_path + ": shard path escapes directory: '" +
+                                         entry.file + "'");
+      out.push_back(std::move(entry));
+    }
+  };
+  parse_split("train", train_);
+  parse_split("test", test_);
+
+  const obs::JsonValue* norm = doc->find("normalizer");
+  if (norm == nullptr || !norm->is_array() || norm->size() != graph::kNumNodeTypes)
+    throw util::CorruptArtifactError(manifest_path + ": missing/short normalizer block");
+  std::array<FeatureNormalizer::TypeStats, graph::kNumNodeTypes> state;
+  for (std::size_t t = 0; t < graph::kNumNodeTypes; ++t) {
+    const obs::JsonValue& ts = (*norm)[t];
+    for (const obs::JsonValue& v : ts.at("mean").elements())
+      state[t].mean.push_back(static_cast<float>(v.as_double()));
+    for (const obs::JsonValue& v : ts.at("stdev").elements())
+      state[t].stdev.push_back(static_cast<float>(v.as_double()));
+  }
+  normalizer_ = FeatureNormalizer::from_state(state);
+}
+
+const std::string& ShardStore::train_name(std::size_t i) const { return train_.at(i).name; }
+const std::string& ShardStore::test_name(std::size_t i) const { return test_.at(i).name; }
+
+std::shared_ptr<const Sample> ShardStore::train(std::size_t i) { return load(false, i); }
+std::shared_ptr<const Sample> ShardStore::test(std::size_t i) { return load(true, i); }
+
+std::size_t ShardStore::sample_bytes(const Sample& s) {
+  std::size_t b = sizeof(Sample);
+  for (const circuit::Net& n : s.netlist.nets()) b += sizeof(circuit::Net) + n.name.size();
+  for (const Device& d : s.netlist.devices())
+    b += sizeof(Device) + d.name.size() + d.instance_path.size() +
+         d.conns.size() * sizeof(circuit::NetId);
+  for (const circuit::SubcktInstance& inst : s.netlist.instances())
+    b += sizeof(circuit::SubcktInstance) + inst.path.size() +
+         inst.ref.boundary_nets.size() * sizeof(circuit::NetId);
+  for (std::size_t t = 0; t < graph::kNumNodeTypes; ++t) {
+    const auto nt = static_cast<graph::NodeType>(t);
+    b += s.graph.num_nodes(nt) * sizeof(std::int32_t);
+    b += s.graph.features(nt).size() * sizeof(float);
+  }
+  b += s.graph.total_edges() * 2 * sizeof(std::int32_t);
+  for (const auto& per_target : s.targets)
+    for (const auto& vec : per_target) b += vec.size() * sizeof(float);
+  return b;
+}
+
+std::shared_ptr<const Sample> ShardStore::load(bool is_test, std::size_t i) {
+  const std::vector<Entry>& split = is_test ? test_ : train_;
+  const Entry& entry = split.at(i);
+  const std::uint64_t key = (is_test ? (1ull << 63) : 0ull) | static_cast<std::uint64_t>(i);
+
+  static obs::Counter& hits = obs::MetricsRegistry::instance().counter("shards.hits");
+  static obs::Counter& misses = obs::MetricsRegistry::instance().counter("shards.misses");
+  static obs::Gauge& resident = obs::MetricsRegistry::instance().gauge("shards.resident_bytes");
+
+  if (const auto it = index_.find(key); it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+    hits.add();
+    return lru_.front().sample;
+  }
+  misses.add();
+
+  const std::string path = dir_ + "/" + entry.file;
+  Sample sample;
+  {
+    PARAGRAPH_TIMED_SCOPE("shard_load");
+    const MappedFile file(path);
+    const std::string_view bytes = file.view();
+    util::ByteReader r(bytes, "shard '" + path + "'");
+    if (bytes.size() < sizeof(std::uint64_t)) r.corrupt("file shorter than its checksum");
+    const std::string_view payload = bytes.substr(0, bytes.size() - sizeof(std::uint64_t));
+    std::uint64_t stored = 0;
+    std::memcpy(&stored, bytes.data() + payload.size(), sizeof stored);
+    const std::uint64_t actual = util::fnv1a64(payload);
+    if (stored != actual) r.corrupt("checksum mismatch (corrupt or truncated shard)");
+    if (entry.checksum != actual) r.corrupt("checksum disagrees with the manifest");
+
+    util::ByteReader pr(payload, "shard '" + path + "'");
+    if (pr.pod<std::uint32_t>("magic") != kShardMagic) pr.corrupt("bad magic");
+    const auto version = pr.pod<std::uint32_t>("version");
+    if (version != kShardVersion)
+      pr.corrupt("unsupported shard version " + std::to_string(version));
+    const std::string name = read_str(pr, "sample name");
+    if (name != entry.name) pr.corrupt("sample name disagrees with the manifest");
+    circuit::Netlist nl = read_netlist(pr);
+    if (pr.remaining() != 0) pr.corrupt("trailing bytes after netlist");
+    try {
+      nl.validate();
+    } catch (const std::exception& e) {
+      pr.corrupt(std::string("reconstructed netlist invalid: ") + e.what());
+    }
+    sample = make_sample(std::move(nl));
+  }
+
+  auto sp = std::make_shared<const Sample>(std::move(sample));
+  Resident res;
+  res.sample = sp;
+  res.bytes = sample_bytes(*sp);
+  res.key = key;
+  resident_bytes_ += res.bytes;
+  lru_.push_front(std::move(res));
+  index_[key] = lru_.begin();
+  evict_to_budget();
+  resident.set(static_cast<double>(resident_bytes_));
+  return sp;
+}
+
+void ShardStore::evict_to_budget() {
+  // Always keep the newest entry so one oversized sample is still served.
+  while (resident_bytes_ > cfg_.max_resident_bytes && lru_.size() > 1) {
+    const Resident& victim = lru_.back();
+    resident_bytes_ -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+  }
+}
+
+void ShardStore::clear() {
+  lru_.clear();
+  index_.clear();
+  resident_bytes_ = 0;
+  obs::MetricsRegistry::instance().gauge("shards.resident_bytes").set(0.0);
+}
+
+}  // namespace paragraph::dataset

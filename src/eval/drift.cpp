@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 #include <string>
 
 #include "obs/log.h"
@@ -86,6 +87,63 @@ std::vector<obs::FeatureSketch> sketch_graphs(std::span<const dataset::Sample> s
     out.push_back(std::move(sketch));
   });
   return out;
+}
+
+void SketchBuilder::observe_range(const dataset::Sample& s) {
+  if (filling_) throw std::logic_error("SketchBuilder::observe_range after begin_fill");
+  const std::span<const dataset::Sample> one(&s, 1);
+  std::size_t idx = 0;
+  for_each_feature(one, [&](const std::string& name, auto&& visit_values) {
+    if (idx == ranges_.size()) {
+      ranges_.emplace_back();
+      names_.push_back(name);
+    }
+    Range& r = ranges_[idx];
+    visit_values([&](double v) {
+      if (!r.seen) {
+        r.lo = r.hi = v;
+        r.seen = true;
+      } else {
+        r.lo = std::min(r.lo, v);
+        r.hi = std::max(r.hi, v);
+      }
+    });
+    ++idx;
+  });
+}
+
+void SketchBuilder::begin_fill() {
+  sketches_.clear();
+  for (std::size_t i = 0; i < ranges_.size(); ++i) {
+    obs::FeatureSketch sk(names_[i]);
+    const Range& r = ranges_[i];
+    const double lo = r.seen ? r.lo : 0.0;
+    const double hi = r.seen ? r.hi : 0.0;
+    // Same widened span as sketch_graphs; min/max over the per-sample
+    // passes equals min/max over the concatenated stream exactly.
+    const double pad = (hi - lo) * 0.05 + 1e-9;
+    sk.configure_bins(lo - pad, hi + pad, nbins_);
+    sketches_.push_back(std::move(sk));
+  }
+  filling_ = true;
+}
+
+void SketchBuilder::observe_values(const dataset::Sample& s) {
+  if (!filling_) throw std::logic_error("SketchBuilder::observe_values before begin_fill");
+  const std::span<const dataset::Sample> one(&s, 1);
+  std::size_t idx = 0;
+  for_each_feature(one, [&](const std::string&, auto&& visit_values) {
+    if (idx >= sketches_.size())
+      throw std::logic_error("SketchBuilder: feature count changed between passes");
+    obs::FeatureSketch& sk = sketches_[idx];
+    visit_values([&](double v) { sk.add(v); });
+    ++idx;
+  });
+}
+
+std::vector<obs::FeatureSketch> SketchBuilder::finish() {
+  filling_ = false;
+  return std::move(sketches_);
 }
 
 obs::DriftReport check_drift(const std::vector<obs::FeatureSketch>& ref,

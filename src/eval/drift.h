@@ -38,4 +38,34 @@ obs::DriftReport check_drift(const std::vector<obs::FeatureSketch>& ref,
                              const std::vector<obs::FeatureSketch>& live,
                              double warn_threshold = kDefaultDriftWarnThreshold);
 
+// Streaming construction of the train-time sketches for out-of-core
+// datasets (dataset/shards.h), where materialising every sample at once
+// would defeat the memory bound. Protocol: observe_range() on every
+// sample (pass 1), begin_fill(), observe_values() on the SAME samples in
+// the SAME order (pass 2), finish(). The result is bit-identical to
+// sketch_graphs() over the materialised sequence: min/max is
+// order-insensitive, and each per-feature value stream arrives in the
+// same (sample, row) order either way, so the Welford moments see the
+// identical float sequence.
+class SketchBuilder {
+ public:
+  explicit SketchBuilder(std::size_t nbins = 8) : nbins_(nbins) {}
+
+  void observe_range(const dataset::Sample& s);
+  void begin_fill();  // fixes bin edges from the observed ranges
+  void observe_values(const dataset::Sample& s);
+  std::vector<obs::FeatureSketch> finish();
+
+ private:
+  struct Range {
+    double lo = 0.0, hi = 0.0;
+    bool seen = false;
+  };
+  std::size_t nbins_;
+  bool filling_ = false;
+  std::vector<std::string> names_;
+  std::vector<Range> ranges_;
+  std::vector<obs::FeatureSketch> sketches_;
+};
+
 }  // namespace paragraph::eval

@@ -1,0 +1,57 @@
+#include "graph/subgraph.h"
+
+#include <stdexcept>
+
+namespace paragraph::graph {
+
+Subgraph induced_subgraph(const HeteroGraph& g,
+                          const std::array<std::vector<char>, kNumNodeTypes>& keep) {
+  Subgraph out;
+
+  // Monotone local remaps: full local index -> subgraph local index, -1 when
+  // dropped.
+  std::array<std::vector<std::int32_t>, kNumNodeTypes> remap;
+  for (std::size_t t = 0; t < kNumNodeTypes; ++t) {
+    const auto nt = static_cast<NodeType>(t);
+    const std::size_t n = g.num_nodes(nt);
+    if (!keep[t].empty() && keep[t].size() != n)
+      throw std::invalid_argument("induced_subgraph: keep mask size mismatch");
+    remap[t].assign(n, -1);
+    std::vector<std::int32_t> origin;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (keep[t].empty() || keep[t][i] == 0) continue;
+      remap[t][i] = static_cast<std::int32_t>(out.to_full[t].size());
+      out.to_full[t].push_back(static_cast<std::int32_t>(i));
+      origin.push_back(g.origin(nt, i));
+    }
+    const nn::Matrix& full = g.features(nt);
+    nn::Matrix feats(out.to_full[t].size(), feature_dim(nt), 0.0f);
+    for (std::size_t r = 0; r < out.to_full[t].size(); ++r) {
+      const auto fr = static_cast<std::size_t>(out.to_full[t][r]);
+      for (std::size_t c = 0; c < feats.cols(); ++c) feats(r, c) = full(fr, c);
+    }
+    out.graph.set_nodes(nt, std::move(origin), std::move(feats));
+  }
+
+  // Edges survive when both endpoints do. Iteration follows the parent's
+  // stored (dst-sorted) order and the remap is monotone, so add_edges'
+  // stable sort leaves the order untouched.
+  const auto& registry = edge_type_registry();
+  for (const TypedEdges& te : g.edges()) {
+    const EdgeTypeInfo& info = registry[te.type_index];
+    const auto st = static_cast<std::size_t>(info.src_type);
+    const auto dt = static_cast<std::size_t>(info.dst_type);
+    std::vector<std::int32_t> src, dst;
+    for (std::size_t e = 0; e < te.num_edges(); ++e) {
+      const std::int32_t s = remap[st][static_cast<std::size_t>(te.src[e])];
+      const std::int32_t d = remap[dt][static_cast<std::size_t>(te.dst[e])];
+      if (s < 0 || d < 0) continue;
+      src.push_back(s);
+      dst.push_back(d);
+    }
+    if (!src.empty()) out.graph.add_edges(te.type_index, std::move(src), std::move(dst));
+  }
+  return out;
+}
+
+}  // namespace paragraph::graph

@@ -1,0 +1,34 @@
+// Order-preserving induced subgraphs of a HeteroGraph.
+//
+// Given a per-type keep mask, the subgraph keeps the selected nodes in
+// their original relative order (ascending local index) and every edge
+// whose endpoints are both kept, in the original per-edge-type order.
+// Because the parent graph stores each edge type sorted by destination and
+// the remap is monotone, the extracted edge lists are already
+// destination-sorted, so the kernels traverse them in exactly the order
+// they traverse the corresponding full-graph edges. This is what makes
+// subgraph forward passes bitwise-reproducible against the full graph on
+// nodes whose neighbourhood is entirely kept (gnn::PlanCache relies on it).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "graph/hetero_graph.h"
+
+namespace paragraph::graph {
+
+struct Subgraph {
+  HeteroGraph graph;
+  // Per node type: subgraph-local index -> parent-graph local index
+  // (ascending). origin() values of `graph` still refer to the parent
+  // graph's netlist.
+  std::array<std::vector<std::int32_t>, kNumNodeTypes> to_full;
+};
+
+// keep[t][i] != 0 selects node i of type t. keep[t] may be empty (keeps
+// nothing of that type) but must otherwise match the type's node count.
+Subgraph induced_subgraph(const HeteroGraph& g,
+                          const std::array<std::vector<char>, kNumNodeTypes>& keep);
+
+}  // namespace paragraph::graph

@@ -2,6 +2,7 @@
 
 #include "circuitgen/blocks.h"
 #include "circuitgen/generator.h"
+#include "circuitgen/hier.h"
 
 namespace paragraph::circuitgen {
 namespace {
@@ -253,6 +254,47 @@ TEST(Generator, ScalingChangesSize) {
   tiny.opamps = 1;
   EXPECT_EQ(tiny.scaled(0.01).opamps, 1);
   EXPECT_EQ(tiny.scaled(0.01).dffs, 0);
+}
+
+TEST(HierGiant, DeterministicAndHierarchical) {
+  const HierGiantSpec spec = hier_giant_spec(0.05, 3);
+  const std::string deck = hier_giant_deck(spec);
+  EXPECT_EQ(deck, hier_giant_deck(spec));  // byte-identical rebuild
+
+  const circuit::Netlist nl = build_hier_giant(spec);
+  EXPECT_EQ(nl.name(), spec.name);
+  // Every cell and column instance is recorded with provenance.
+  EXPECT_EQ(nl.instances().size(),
+            static_cast<std::size_t>(spec.columns) * (1 + spec.cells_per_column));
+  // 4 devices per stage per cell plus 2 glue elements per column + source.
+  const std::size_t cells = static_cast<std::size_t>(spec.columns) * spec.cells_per_column;
+  EXPECT_EQ(nl.num_devices(), cells * 4 * spec.stages_per_cell +
+                                  static_cast<std::size_t>(spec.columns) * 2 + 1);
+  // approx_nodes is an estimate but must be in the right ballpark.
+  const std::size_t nodes = nl.num_devices() + nl.num_nets();
+  EXPECT_GT(nodes, spec.approx_nodes() * 8 / 10);
+  EXPECT_LT(nodes, spec.approx_nodes() * 12 / 10);
+
+  // Repeated templates share structural hashes: all cell instances hash
+  // alike, as do all column instances, and the two levels differ.
+  std::uint64_t cell_hash = 0, col_hash = 0;
+  std::size_t cell_count = 0, col_count = 0;
+  for (const auto& inst : nl.instances()) {
+    if (inst.ref.name == "hg_cell") {
+      if (cell_count++ == 0) cell_hash = inst.ref.structural_hash;
+      EXPECT_EQ(inst.ref.structural_hash, cell_hash);
+    } else if (inst.ref.name == "hg_col") {
+      if (col_count++ == 0) col_hash = inst.ref.structural_hash;
+      EXPECT_EQ(inst.ref.structural_hash, col_hash);
+    }
+  }
+  EXPECT_EQ(cell_count, cells);
+  EXPECT_EQ(col_count, static_cast<std::size_t>(spec.columns));
+  EXPECT_NE(cell_hash, col_hash);
+}
+
+TEST(HierGiant, FullScaleSpecExceeds100kNodes) {
+  EXPECT_GE(hier_giant_spec(1.0).approx_nodes(), 100000u);
 }
 
 }  // namespace

@@ -192,6 +192,54 @@ TEST(CliSmokeTest, KillAndResumeProducesIdenticalModel) {
   EXPECT_EQ(read_file(full), read_file(resumed));
 }
 
+// Out-of-core flow: `dataset pack` emits a paragraph-shard-v1 directory,
+// train/evaluate --shards stream from it, and the streamed model file is
+// bit-identical to the in-memory run on the same seed/scale. A tight
+// --max-resident-mb proves the budget path; shard corruption maps to
+// exit code 3 (bad artifact).
+TEST(CliSmokeTest, ShardPackTrainEvaluateRoundTrip) {
+  ASSERT_FALSE(g_cli_path.empty());
+  TempDir tmp;
+  const std::string quiet = " > /dev/null 2>&1";
+  const auto shards = (tmp.path / "shards").string();
+  const auto mem_model = (tmp.path / "mem.bin").string();
+  const auto str_model = (tmp.path / "str.bin").string();
+  const std::string common = " --scale 0.05 --epochs 3 --seed 7";
+
+  ASSERT_EQ(exit_code("\"" + g_cli_path + "\" dataset pack --out \"" + shards +
+                      "\" --scale 0.05 --seed 7" + quiet),
+            0);
+  ASSERT_TRUE(std::filesystem::exists(shards + "/manifest.json"));
+
+  ASSERT_EQ(
+      exit_code("\"" + g_cli_path + "\" train --save \"" + mem_model + "\"" + common + quiet), 0);
+  ASSERT_EQ(exit_code("\"" + g_cli_path + "\" train --save \"" + str_model + "\" --shards \"" +
+                      shards + "\" --max-resident-mb 4" + common + quiet),
+            0);
+  EXPECT_EQ(read_file(mem_model), read_file(str_model));
+
+  EXPECT_EQ(exit_code("\"" + g_cli_path + "\" evaluate --model \"" + str_model +
+                      "\" --shards \"" + shards + "\" --max-resident-mb 4" + quiet),
+            0);
+  // Usage errors: bad budget, quality-out with shards.
+  EXPECT_EQ(exit_code("\"" + g_cli_path + "\" evaluate --model \"" + str_model +
+                      "\" --shards \"" + shards + "\" --max-resident-mb 0" + quiet),
+            2);
+  EXPECT_EQ(exit_code("\"" + g_cli_path + "\" evaluate --model \"" + str_model +
+                      "\" --shards \"" + shards + "\" --quality-out x.json" + quiet),
+            2);
+  // Corrupting a shard surfaces as a bad-artifact failure (3).
+  {
+    std::fstream f(shards + "/test_00000.shard",
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(128);
+    f.put('\x7f');
+  }
+  EXPECT_EQ(exit_code("\"" + g_cli_path + "\" evaluate --model \"" + str_model +
+                      "\" --shards \"" + shards + "\"" + quiet),
+            3);
+}
+
 // evaluate --quality-out must emit a valid paragraph-quality-v1 block,
 // and `report` must join the model + dataset into the JSON + Markdown
 // dashboard pair.

@@ -4,9 +4,12 @@
 // netlist.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <string>
 
+#include "circuit/hierarchy.h"
 #include "circuit/spice_parser.h"
+#include "circuit/spice_writer.h"
 
 namespace paragraph::circuit {
 namespace {
@@ -96,6 +99,98 @@ TEST(ParserRobustness, BenignOddInputStillParses) {
   const Netlist nl = parse_spice_string(
       "R1 a b 1k $ trailing comment\n.end\nR1 would_be_duplicate b 1k\n");
   EXPECT_EQ(nl.num_devices(), 1u);  // .end stops the deck
+}
+
+// A nested-hierarchy deck: two structurally identical bias cells under
+// different subckt usage sites, plus a wrapper level, so the round-trip
+// must survive nesting, shared templates, supply-bound ports, and
+// continuation-free full-precision parameter emission.
+constexpr const char* kHierDeck = R"(
+* hier fixture
+.global vdd
+.subckt bias in out
+M1 out in vss vss nmos_lvt L=16n NFIN=4 NF=2 M=1
+M2 out in vdd vdd pmos_lvt L=18n NFIN=6 NF=1 M=2
+Rload out mid 12.5k
+Cdec mid vss 3.3f M=1
+.ends
+.subckt wrap a b
+Xb1 a mid1 bias
+Xb2 mid1 b bias
+Rw a b 99k
+.ends
+Xw1 n1 n2 wrap
+Xw2 n2 n3 wrap
+Xsolo n3 n4 bias
+Xsup n4 vdd bias
+Rtop n1 n3 1k
+)";
+
+TEST(ParserRobustness, HierarchyProvenanceIsRecorded) {
+  const Netlist nl = parse_spice_string(kHierDeck);
+  // 2 wraps (each: self + 2 bias children) + solo + supply-bound = 8.
+  ASSERT_EQ(nl.instances().size(), 8u);
+  std::map<std::string, std::uint64_t> hashes;
+  for (const auto& inst : nl.instances()) hashes[inst.path] = inst.ref.structural_hash;
+  // Signal-bound bias instances collide on the structural hash regardless
+  // of instantiation site or name; wrap differs from bias.
+  EXPECT_EQ(hashes.at("Xw1/Xb1"), hashes.at("Xw1/Xb2"));
+  EXPECT_EQ(hashes.at("Xw1/Xb1"), hashes.at("Xw2/Xb2"));
+  EXPECT_EQ(hashes.at("Xw1/Xb1"), hashes.at("Xsolo"));
+  EXPECT_EQ(hashes.at("Xw1"), hashes.at("Xw2"));
+  EXPECT_NE(hashes.at("Xw1"), hashes.at("Xsolo"));
+  // Binding a port to a supply merges it with the global net (which has no
+  // graph node), so a supply-bound instance is a distinct canonical shape.
+  EXPECT_NE(hashes.at("Xsup"), hashes.at("Xsolo"));
+  // Devices carry their owning instance path; subtree ranges are sane.
+  EXPECT_EQ(nl.device(nl.num_devices() - 1).instance_path, "");  // Rtop
+  for (const auto& inst : nl.instances()) {
+    ASSERT_LT(inst.first_device, inst.device_end) << inst.path;
+    for (DeviceId d = inst.first_device; d < inst.device_end; ++d) {
+      const std::string& p = nl.device(d).instance_path;
+      EXPECT_TRUE(p == inst.path || p.compare(0, inst.path.size() + 1, inst.path + "/") == 0)
+          << nl.device(d).name << " not under " << inst.path;
+    }
+  }
+}
+
+TEST(ParserRobustness, HierarchicalWriteRoundTripPreservesPathsAndHashes) {
+  const Netlist nl = parse_spice_string(kHierDeck);
+  WriteOptions opts;
+  opts.hierarchical = true;
+  const std::string written = write_spice_string(nl, opts);
+  const Netlist rt = parse_spice_string(written);
+
+  ASSERT_EQ(rt.instances().size(), nl.instances().size());
+  for (std::size_t i = 0; i < nl.instances().size(); ++i) {
+    const auto& a = nl.instances()[i];
+    const auto& b = rt.instances()[i];
+    EXPECT_EQ(a.path, b.path);
+    EXPECT_EQ(a.ref.name, b.ref.name);
+    EXPECT_EQ(a.parent, b.parent);
+    EXPECT_EQ(a.ref.boundary_nets.size(), b.ref.boundary_nets.size());
+    EXPECT_EQ(a.ref.structural_hash, b.ref.structural_hash) << a.path;
+    EXPECT_EQ(a.device_end - a.first_device, b.device_end - b.first_device);
+  }
+  // Device identity (names, kinds, exact sizing) survives the round trip.
+  ASSERT_EQ(rt.num_devices(), nl.num_devices());
+  for (DeviceId d = 0; static_cast<std::size_t>(d) < nl.num_devices(); ++d) {
+    const Device& a = nl.device(d);
+    const Device& b = rt.device(d);
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.instance_path, b.instance_path);
+    EXPECT_EQ(a.params.length, b.params.length);
+    EXPECT_EQ(a.params.value, b.params.value);
+    EXPECT_EQ(a.params.num_fins, b.params.num_fins);
+    EXPECT_EQ(a.params.num_fingers, b.params.num_fingers);
+    EXPECT_EQ(a.params.multiplier, b.params.multiplier);
+  }
+  // A second round trip is a fixed point on the hierarchy metadata.
+  const Netlist rt2 = parse_spice_string(write_spice_string(rt, opts));
+  ASSERT_EQ(rt2.instances().size(), rt.instances().size());
+  for (std::size_t i = 0; i < rt.instances().size(); ++i)
+    EXPECT_EQ(rt2.instances()[i].ref.structural_hash, rt.instances()[i].ref.structural_hash);
 }
 
 }  // namespace

@@ -40,6 +40,21 @@
 //       instead of a single model.
 //   paragraph annotate --netlist FILE.sp [--seed N]
 //       Run the procedural layout and emit the annotated netlist to stdout.
+//   paragraph dataset pack --out DIR [--seed N] [--scale F]
+//       Build the synthetic suite and pack it as paragraph-shard-v1 shards
+//       (one binary file per sample + manifest.json with checksums and the
+//       fitted normaliser). train/evaluate stream from such a directory
+//       via --shards, holding at most --max-resident-mb of materialised
+//       samples at a time instead of the whole dataset (DESIGN.md §11).
+//
+// Out-of-core options (train, evaluate):
+//   --shards DIR         stream samples from a packed shard directory
+//                        instead of rebuilding the dataset in memory;
+//                        results are bit-identical to the in-memory run
+//                        on the same data
+//   --max-resident-mb N  LRU working-set budget for materialised samples
+//                        (default 512). Prepared plans/batches are priced
+//                        into the same budget during training.
 //
 // Runtime options (every command):
 //   --threads N        parallel runtime thread count (default: the
@@ -87,6 +102,7 @@
 #include "core/report.h"
 #include "core/serialize.h"
 #include "dataset/dataset.h"
+#include "dataset/shards.h"
 #include "eval/drift.h"
 #include "layout/annotator.h"
 #include "obs/metrics.h"
@@ -103,7 +119,7 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: paragraph <generate|train|predict|evaluate|report|annotate> [options]\n"
+               "usage: paragraph <generate|train|predict|evaluate|report|annotate|dataset> [options]\n"
                "run with a command and --help for the option list in the file header\n");
   return 2;
 }
@@ -231,6 +247,38 @@ void flush_observability(const ObsOutputs& out) {
   obs::Logger::instance().close_jsonl();
 }
 
+// --max-resident-mb N (default 512) -> ShardStore byte budget.
+dataset::ShardStore::Config shard_store_config(const util::ArgParser& args) {
+  const long mb = args.get_int("max-resident-mb", 512);
+  if (mb <= 0) throw std::invalid_argument("--max-resident-mb must be a positive integer");
+  dataset::ShardStore::Config cfg;
+  cfg.max_resident_bytes = static_cast<std::size_t>(mb) << 20;
+  return cfg;
+}
+
+int cmd_dataset(const util::ArgParser& args) {
+  const auto& pos = args.positional();
+  if (pos.empty() || pos[0] != "pack") {
+    std::fprintf(stderr, "dataset: unknown subcommand (use `paragraph dataset pack --out DIR`)\n");
+    return 2;
+  }
+  const std::string out_dir = args.get("out");
+  if (out_dir.empty()) {
+    std::fprintf(stderr, "dataset pack: --out DIR is required\n");
+    return 2;
+  }
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const double scale = args.get_double("scale", 0.25);
+  std::printf("building dataset (seed %llu, scale %.2f)...\n",
+              static_cast<unsigned long long>(seed), scale);
+  const auto ds = dataset::build_dataset(seed, scale);
+  const auto r = dataset::write_shards(ds, out_dir);
+  std::printf("packed %zu train + %zu test samples into %s (%zu shards, %llu bytes)\n",
+              ds.train.size(), ds.test.size(), out_dir.c_str(), r.files,
+              static_cast<unsigned long long>(r.bytes));
+  return 0;
+}
+
 int cmd_generate(const util::ArgParser& args) {
   const std::string out_dir = args.get("out", "suite");
   std::filesystem::create_directories(out_dir);
@@ -300,18 +348,35 @@ int cmd_train(const util::ArgParser& args) {
     pc.train_threads = runtime::num_threads();
     predictor_slot.emplace(pc);
   }
-  std::printf("building dataset (scale %.2f)...\n", pc.scale);
-  const auto ds = dataset::build_dataset(pc.seed, pc.scale);
+  // Data source: the in-memory dataset (default) or an out-of-core shard
+  // directory (--shards). The streamed run is bit-identical to the
+  // in-memory run on the same data; only peak memory differs.
+  std::optional<dataset::SuiteDataset> ds_slot;
+  std::optional<dataset::ShardStore> store;
+  if (args.has("shards")) {
+    store.emplace(args.get("shards"), shard_store_config(args));
+    std::printf("streaming %zu train + %zu test samples from %s (budget %zu MB)\n",
+                store->num_train(), store->num_test(), args.get("shards").c_str(),
+                store->config().max_resident_bytes >> 20);
+  } else {
+    std::printf("building dataset (scale %.2f)...\n", pc.scale);
+    ds_slot.emplace(dataset::build_dataset(pc.seed, pc.scale));
+  }
   std::printf("training %s for %s (%d epochs)...\n", gnn::model_kind_name(pc.model),
               dataset::target_name(pc.target), pc.epochs);
   core::GnnPredictor& predictor = *predictor_slot;
+  const auto eval_pooled = [&]() {
+    return (store ? predictor.evaluate(*store)
+                  : predictor.evaluate(*ds_slot, ds_slot->test))
+        .pooled();
+  };
   // Per-epoch telemetry: every record lands in the metrics series /
   // debug log from inside train(); this callback adds periodic test-set
   // evaluation (--eval-every N epochs, 0 = only implicitly at the end).
   const int eval_every = static_cast<int>(args.get_int("eval-every", 0));
   const core::EpochCallback on_epoch = [&](const core::EpochRecord& rec) {
     if (eval_every <= 0 || (rec.epoch + 1) % eval_every != 0) return;
-    const auto em = predictor.evaluate(ds, ds.test).pooled();
+    const auto em = eval_pooled();
     obs::log_info("train", "eval",
                   {{"epoch", rec.epoch},
                    {"loss", rec.loss},
@@ -326,8 +391,9 @@ int cmd_train(const util::ArgParser& args) {
       obs::MetricsRegistry::instance().append_record("train.eval", std::move(r));
     }
   };
-  const auto losses = predictor.train(ds, on_epoch, topts);
-  const auto m = predictor.evaluate(ds, ds.test).pooled();
+  const auto losses =
+      store ? predictor.train(*store, on_epoch, topts) : predictor.train(*ds_slot, on_epoch, topts);
+  const auto m = eval_pooled();
   // A resume at the final epoch runs zero epochs and reports no loss.
   const double final_loss = losses.empty() ? 0.0 : losses.back();
   std::printf("final loss %.6f; test R2=%.3f MAE=%.4f MAPE=%.1f%% over %zu nodes\n",
@@ -386,12 +452,36 @@ int cmd_evaluate(const util::ArgParser& args) {
     return 2;
   }
   const core::GnnPredictor predictor = core::load_predictor(model_path);
+  const std::string quality_out = args.get("quality-out");
+  const auto print_result = [](const core::EvalResult& res) {
+    for (const auto& c : res.circuits) {
+      const auto cm = c.metrics();
+      std::printf("%-6s R2=%7.3f MAE=%10.4f MAPE=%7.1f%% n=%zu\n", c.name.c_str(), cm.r2, cm.mae,
+                  cm.mape, cm.count);
+    }
+    const auto pm = res.pooled();
+    std::printf("%-6s R2=%7.3f MAE=%10.4f MAPE=%7.1f%% n=%zu\n", "all", pm.r2, pm.mae, pm.mape,
+                pm.count);
+  };
+
+  // Out-of-core path: stream the packed test split through the working
+  // set. Quality accounting and the drift check both need the whole test
+  // split resident, so they stay with the in-memory path.
+  if (args.has("shards")) {
+    if (!quality_out.empty()) {
+      std::fprintf(stderr, "evaluate: --quality-out requires the in-memory dataset (drop --shards)\n");
+      return 2;
+    }
+    dataset::ShardStore store(args.get("shards"), shard_store_config(args));
+    print_result(predictor.evaluate(store));
+    return 0;
+  }
+
   const double scale =
       args.has("scale") ? args.get_double("scale", 0.25) : predictor.config().scale;
   const auto ds = dataset::build_dataset(
       static_cast<std::uint64_t>(args.get_int("seed", static_cast<long>(predictor.config().seed))),
       scale);
-  const std::string quality_out = args.get("quality-out");
   // Quality accounting is post-processing over the evaluation results the
   // command produces anyway, so it runs whenever anyone can see it: an
   // explicit --quality-out, or the obs layer (gauges land in
@@ -419,14 +509,7 @@ int cmd_evaluate(const util::ArgParser& args) {
   } else {
     res = predictor.evaluate(ds, ds.test);
   }
-  for (const auto& c : res.circuits) {
-    const auto m = c.metrics();
-    std::printf("%-6s R2=%7.3f MAE=%10.4f MAPE=%7.1f%% n=%zu\n", c.name.c_str(), m.r2, m.mae,
-                m.mape, m.count);
-  }
-  const auto m = res.pooled();
-  std::printf("%-6s R2=%7.3f MAE=%10.4f MAPE=%7.1f%% n=%zu\n", "all", m.r2, m.mae, m.mape,
-              m.count);
+  print_result(res);
   return 0;
 }
 
@@ -551,6 +634,7 @@ int main(int argc, char** argv) {
     else if (command == "evaluate") rc = cmd_evaluate(args);
     else if (command == "report") rc = cmd_report(args);
     else if (command == "annotate") rc = cmd_annotate(args);
+    else if (command == "dataset") rc = cmd_dataset(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "paragraph %s: %s\n", command.c_str(), e.what());
     // Flush whatever was collected before the failure; partial metrics and
