@@ -1,0 +1,184 @@
+// Serving bench: throughput and client-observed latency of the
+// `paragraph serve` daemon under closed-loop load, micro-batching on
+// (max_batch 8) vs off (max_batch 1).
+//
+// An in-process Server answers over a unix socket in a temp directory;
+// C client threads each run a closed request loop (send one netlist,
+// wait for the answer, repeat) over a small rotation of distinct decks —
+// the pattern a layout sweep produces, where concurrent callers ask
+// about the same handful of circuits. At C=1 the two configurations are
+// equivalent (a batch of one); at saturating C the batching path
+// coalesces duplicate decks inside each backlog drain (parse once, plan
+// once, predict once, answer all), which is where the throughput and
+// tail-latency win comes from.
+//
+// Honesty notes: this container is single-core, so the batching win
+// reported here is pure coalescing economics, not parallel fan-out of
+// the per-deck predictions (which the worker also does, one deck per
+// pool chunk, on multicore hosts). The model is a deliberately tiny cap
+// ensemble — serving overhead, framing, and scheduling are what is being
+// measured, not GNN math (bench_throughput owns that).
+//
+// Output: console table + bench_results/BENCH_bench_serving.json
+// (schema paragraph-bench-v1):
+//   serve.batchN.cC.throughput  req/s   higher is better
+//   serve.batchN.cC.p50/p95/p99 ms      lower is better
+// `--quick` shrinks the sweep for CI (perf_smoke runs it).
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "circuit/spice_writer.h"
+#include "core/ensemble.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "util/table.h"
+
+using namespace paragraph;
+
+namespace {
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+double percentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t idx = static_cast<std::size_t>(q * (v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+struct LoadResult {
+  double rps = 0.0;
+  double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
+  std::uint64_t coalesced = 0;
+  std::uint64_t batches = 0;
+};
+
+LoadResult run_load(serve::Server& server, int clients, int requests_per_client,
+                    const std::vector<std::string>& decks) {
+  std::vector<std::vector<double>> latencies_ms(clients);
+  std::vector<std::thread> threads;
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  const std::uint64_t coalesced0 = server.stats().coalesced.load();
+  const std::uint64_t batches0 = server.stats().batches.load();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      serve::ServeClient client =
+          serve::ServeClient::connect_unix(server.config().socket_path);
+      client.predict(decks[0]);  // per-connection warmup, unmeasured
+      ready.fetch_add(1);
+      while (!go.load()) std::this_thread::yield();
+      for (int i = 0; i < requests_per_client; ++i) {
+        const bench::Timer t;
+        const obs::JsonValue resp = client.predict(decks[i % decks.size()]);
+        const obs::JsonValue* ok = resp.find("ok");
+        if (ok == nullptr || !ok->as_bool()) {
+          std::fprintf(stderr, "bench_serving: request failed: %s\n", resp.dump().c_str());
+          std::exit(1);
+        }
+        latencies_ms[c].push_back(t.seconds() * 1e3);
+      }
+    });
+  }
+  while (ready.load() < clients) std::this_thread::yield();
+  const bench::Timer wall;
+  go.store(true);
+  for (auto& t : threads) t.join();
+  const double seconds = wall.seconds();
+
+  std::vector<double> all;
+  for (const auto& per_client : latencies_ms) all.insert(all.end(), per_client.begin(),
+                                                         per_client.end());
+  LoadResult r;
+  r.rps = static_cast<double>(all.size()) / seconds;
+  r.p50_ms = percentile(all, 0.50);
+  r.p95_ms = percentile(all, 0.95);
+  r.p99_ms = percentile(all, 0.99);
+  r.coalesced = server.stats().coalesced.load() - coalesced0;
+  r.batches = server.stats().batches.load() - batches0;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  bench::BenchProfile profile = bench::BenchProfile::from_env();
+  if (quick) profile = bench::BenchProfile{"smoke", 0.08, 30, 1, 42};
+  profile.print_banner(quick ? "Serving throughput/latency (quick)"
+                             : "Serving throughput/latency");
+
+  // Tiny serving model: the bench measures the daemon, not the GNN.
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "paragraph_bench_serving").string();
+  std::filesystem::create_directories(dir);
+  const std::string ensemble_path = dir + "/ens.bin";
+  std::vector<std::string> decks;
+  {
+    bench::Timer t;
+    auto ds = dataset::build_dataset(profile.seed, 0.08);
+    core::EnsembleConfig cfg;
+    cfg.max_vs_ff = {1.0, 1e4};
+    cfg.base.epochs = 2;
+    cfg.base.num_layers = 2;
+    cfg.base.embed_dim = 8;
+    cfg.base.seed = profile.seed;
+    cfg.base.scale = 0.08;
+    core::CapEnsemble ens(cfg);
+    ens.train(ds);
+    ens.save(ensemble_path);
+    for (const auto& s : ds.test) decks.push_back(circuit::write_spice_string(s.netlist));
+    std::printf("trained and saved serving ensemble, %zu decks [%.1fs]\n\n", decks.size(),
+                t.seconds());
+  }
+
+  const std::vector<int> client_sweep = quick ? std::vector<int>{1, 8}
+                                              : std::vector<int>{1, 4, 16};
+  const int requests_per_client = quick ? 20 : 60;
+  const int reps = quick ? 2 : 3;
+
+  bench::BenchReporter reporter("bench_serving");
+  util::Table table({"config", "clients", "req/s", "p50 ms", "p95 ms", "p99 ms",
+                     "coalesced", "batches"});
+  for (const std::size_t max_batch : {std::size_t{8}, std::size_t{1}}) {
+    serve::ServeConfig cfg;
+    cfg.socket_path = dir + "/bench_" + std::to_string(max_batch) + ".sock";
+    cfg.registry.ensemble_path = ensemble_path;
+    cfg.queue_capacity = 128;
+    cfg.max_batch = max_batch;
+    serve::Server server(cfg);
+    server.start();
+    const std::string tag = "serve.batch" + std::to_string(max_batch);
+    for (const int clients : client_sweep) {
+      for (int rep = 0; rep < reps; ++rep) {
+        const LoadResult r = run_load(server, clients, requests_per_client, decks);
+        const std::string prefix = tag + ".c" + std::to_string(clients);
+        reporter.add_rep(prefix + ".throughput", "req/s", r.rps);
+        reporter.add_rep(prefix + ".p50", "ms", r.p50_ms);
+        reporter.add_rep(prefix + ".p95", "ms", r.p95_ms);
+        reporter.add_rep(prefix + ".p99", "ms", r.p99_ms);
+        if (rep == 0)
+          table.add_row({tag, std::to_string(clients), fmt(r.rps, 1), fmt(r.p50_ms, 2),
+                         fmt(r.p95_ms, 2), fmt(r.p99_ms, 2), std::to_string(r.coalesced),
+                         std::to_string(r.batches)});
+      }
+    }
+    server.stop();
+  }
+  table.print(std::cout);
+  reporter.write();
+  std::filesystem::remove_all(dir);
+  return 0;
+}

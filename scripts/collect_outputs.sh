@@ -17,7 +17,8 @@ ctest --test-dir build 2>&1 | tee test_output.txt
   for b in bench_table4_dataset bench_fig5_maxv_sweep bench_fig6_model_comparison \
            bench_fig7_pred_vs_truth bench_fig8_tsne bench_table5_sim_error \
            bench_ablation_layers bench_ablation_components bench_ext_resistance \
-           bench_ext_multihead bench_ext_attention bench_kernels bench_hier; do
+           bench_ext_multihead bench_ext_attention bench_kernels bench_hier \
+           bench_serving; do
     echo
     echo "================================================================"
     echo "== $b"

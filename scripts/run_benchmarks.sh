@@ -32,7 +32,8 @@ for arg in "$@"; do
   esac
 done
 
-for bin in bench/bench_kernels bench/bench_throughput bench/bench_hier tools/perf_diff; do
+for bin in bench/bench_kernels bench/bench_throughput bench/bench_hier \
+           bench/bench_serving tools/perf_diff; do
   if [ ! -x "$BUILD_DIR/$bin" ]; then
     echo "run_benchmarks: missing $BUILD_DIR/$bin (build the repo first)" >&2
     exit 2
@@ -49,17 +50,19 @@ if [ "$QUICK" -eq 1 ]; then
     --benchmark_repetitions=3 --benchmark_min_time=0.05 || FAIL=1
   "$BUILD_DIR/bench/bench_throughput" --quick || FAIL=1
   "$BUILD_DIR/bench/bench_hier" --quick || FAIL=1
+  "$BUILD_DIR/bench/bench_serving" --quick || FAIL=1
 else
   "$BUILD_DIR/bench/bench_kernels" --benchmark_repetitions=3 || FAIL=1
   "$BUILD_DIR/bench/bench_throughput" || FAIL=1
   "$BUILD_DIR/bench/bench_hier" || FAIL=1
+  "$BUILD_DIR/bench/bench_serving" || FAIL=1
 fi
 
 # The gate. Quick mode is advisory (CI smoke must not flake on a noisy
 # shared core); the full run enforces the threshold.
 ADVISORY=""
 [ "$QUICK" -eq 1 ] && ADVISORY="--advisory"
-for name in bench_kernels bench_throughput bench_hier; do
+for name in bench_kernels bench_throughput bench_hier bench_serving; do
   CUR="$OUT_DIR/BENCH_$name.json"
   BASE="bench_results/baselines/BENCH_$name.json"
   if [ ! -f "$CUR" ]; then

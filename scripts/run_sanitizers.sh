@@ -23,6 +23,13 @@
 #                                          # round trips and streamed
 #                                          # training) under all three
 #                                          # sanitizers
+#   scripts/run_sanitizers.sh serve        # the serve label (inference
+#                                          # daemon loopback: micro-batching,
+#                                          # priority queue, graceful reload)
+#                                          # under all three sanitizers — the
+#                                          # TSan flavour is the one that
+#                                          # matters most here, the daemon is
+#                                          # the most thread-heavy subsystem
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -33,6 +40,7 @@ case "${1:-}" in
   robustness) shift; set -- -L robustness "$@" ;;
   quality) shift; set -- -L quality "$@" ;;
   scale) shift; set -- -L scale "$@" ;;
+  serve) shift; set -- -L serve "$@" ;;
 esac
 
 for san in $sans; do

@@ -5,7 +5,9 @@
 
 #include "core/serialize.h"
 #include "gnn/plan.h"
+#include "gnn/plan_cache.h"
 #include "obs/log.h"
+#include "obs/metrics.h"
 #include "obs/profile.h"
 #include "runtime/thread_pool.h"
 #include "util/atomic_file.h"
@@ -58,19 +60,19 @@ std::vector<float> CapEnsemble::predict(const SuiteDataset& ds, const Sample& sa
   return predict_with_plan(ds, sample, plan);
 }
 
-std::vector<float> CapEnsemble::predict_with_plan(const SuiteDataset& ds, const Sample& sample,
-                                                  const gnn::GraphPlan& plan,
-                                                  MemberAttribution* attribution) const {
+template <typename PredictMemberFn>
+std::vector<float> CapEnsemble::cascade(const PredictMemberFn& predict_member,
+                                        MemberAttribution* attribution) const {
   PARAGRAPH_TIMED_SCOPE("ensemble_combine");
   // Algorithm 2: start from the lowest-range model M1; move to model Mi
   // whenever Mi's prediction exceeds M(i-1)'s max prediction value.
-  std::vector<float> p = models_[0]->predict_all(ds, sample, plan);
+  std::vector<float> p = predict_member(0);
   if (attribution != nullptr) {
     attribution->member.assign(p.size(), 0);
     attribution->pairs.assign(models_.size() - 1, {});
   }
   for (std::size_t i = 1; i < models_.size(); ++i) {
-    const std::vector<float> pi = models_[i]->predict_all(ds, sample, plan);
+    const std::vector<float> pi = predict_member(i);
     const double prev_max = config_.max_vs_ff[i - 1];
     for (std::size_t n = 0; n < p.size(); ++n) {
       if (attribution != nullptr) {
@@ -88,6 +90,19 @@ std::vector<float> CapEnsemble::predict_with_plan(const SuiteDataset& ds, const 
     }
   }
   return p;
+}
+
+std::vector<float> CapEnsemble::predict_with_plan(const SuiteDataset& ds, const Sample& sample,
+                                                  const gnn::GraphPlan& plan,
+                                                  MemberAttribution* attribution) const {
+  return cascade([&](std::size_t i) { return models_[i]->predict_all(ds, sample, plan); },
+                 attribution);
+}
+
+std::vector<float> CapEnsemble::predict_with_cache(const SuiteDataset& ds, const Sample& sample,
+                                                   gnn::PlanCache& cache) const {
+  return cascade([&](std::size_t i) { return models_[i]->predict_all(ds, sample, cache); },
+                 nullptr);
 }
 
 void CapEnsemble::save(const std::string& path) const {
@@ -130,10 +145,12 @@ CapEnsemble CapEnsemble::load(const std::string& path) {
       obs::log_warn("ensemble", "member unreadable, skipping",
                     {{"member", i}, {"path", mp}, {"error", ex.what()}});
       e.degraded_ = true;
+      e.dropped_.push_back({i, mp, ex.what()});
     } catch (const util::CorruptArtifactError& ex) {
       obs::log_warn("ensemble", "member corrupt, skipping",
                     {{"member", i}, {"path", mp}, {"error", ex.what()}});
       e.degraded_ = true;
+      e.dropped_.push_back({i, mp, ex.what()});
     }
   }
   if (e.models_.empty())
@@ -148,9 +165,21 @@ CapEnsemble CapEnsemble::load(const std::string& path) {
     e.config_.max_vs_ff.push_back(mv);
   }
   e.config_.base = e.models_.front()->config();
-  if (e.degraded_)
+  if (e.degraded_) {
+    // Name every file at fault, not just the survivor count: an operator
+    // reading one warn line must know which artifact to replace.
+    std::string dropped_paths;
+    for (const auto& d : e.dropped_) {
+      if (!dropped_paths.empty()) dropped_paths += ", ";
+      dropped_paths += d.path;
+    }
     obs::log_warn("ensemble", "loaded degraded",
-                  {{"loaded", e.models_.size()}, {"expected", count}});
+                  {{"loaded", e.models_.size()},
+                   {"expected", count},
+                   {"dropped", dropped_paths}});
+  }
+  if (obs::enabled())
+    obs::MetricsRegistry::instance().gauge("ensemble.degraded").set(e.degraded_ ? 1.0 : 0.0);
   return e;
 }
 

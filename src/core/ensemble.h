@@ -9,6 +9,10 @@
 
 #include "core/predictor.h"
 
+namespace paragraph::gnn {
+class PlanCache;  // gnn/plan_cache.h
+}
+
 namespace paragraph::core {
 
 // Which member answered each net under Algorithm 2, plus adjacent-member
@@ -54,6 +58,15 @@ class CapEnsemble {
                                        const dataset::Sample& sample, const gnn::GraphPlan& plan,
                                        MemberAttribution* attribution = nullptr) const;
 
+  // Hierarchy-aware variant for long-lived callers (the serve worker):
+  // each member runs through the shared PlanCache, so repeated subckt
+  // templates hit memoized plans/embeddings across requests. Results are
+  // bit-identical to predict(); samples without cacheable hierarchy fall
+  // back to the plain per-member path inside GnnPredictor.
+  std::vector<float> predict_with_cache(const dataset::SuiteDataset& ds,
+                                        const dataset::Sample& sample,
+                                        gnn::PlanCache& cache) const;
+
   // Evaluates over the full truth range (no max_v filtering).
   // `attributions`, when non-null, receives one MemberAttribution per
   // sample (same order) — capture is a few comparisons per net, so the
@@ -84,12 +97,28 @@ class CapEnsemble {
   // True when load() had to drop at least one member.
   bool degraded() const { return degraded_; }
 
+  // Which member files load() dropped and why — the degraded-mode warning
+  // and the serve daemon's stats both name the exact artifact at fault.
+  struct DroppedMember {
+    std::size_t index = 0;  // manifest position
+    std::string path;
+    std::string error;
+  };
+  const std::vector<DroppedMember>& dropped_members() const { return dropped_; }
+
  private:
   CapEnsemble() = default;
+
+  // The Algorithm 2 cascade over per-member prediction vectors;
+  // `predict_member(i)` supplies member i's predict_all output.
+  template <typename PredictMemberFn>
+  std::vector<float> cascade(const PredictMemberFn& predict_member,
+                             MemberAttribution* attribution) const;
 
   EnsembleConfig config_;
   std::vector<std::unique_ptr<GnnPredictor>> models_;  // ascending max_v
   bool degraded_ = false;
+  std::vector<DroppedMember> dropped_;
 };
 
 }  // namespace paragraph::core

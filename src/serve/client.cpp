@@ -1,0 +1,94 @@
+#include "serve/client.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "util/errors.h"
+
+namespace paragraph::serve {
+
+ServeClient ServeClient::connect_unix(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof addr.sun_path)
+    throw util::IoError("client: bad socket path '" + socket_path + "'");
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof addr.sun_path - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0)
+    throw util::IoError(std::string("client: cannot create socket: ") + std::strerror(errno));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw util::IoError("client: cannot connect to '" + socket_path +
+                        "': " + std::strerror(err));
+  }
+  return ServeClient(fd);
+}
+
+ServeClient ServeClient::connect_tcp(const std::string& host, int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw util::IoError("client: bad IPv4 address '" + host + "'");
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0)
+    throw util::IoError(std::string("client: cannot create socket: ") + std::strerror(errno));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw util::IoError("client: cannot connect to " + host + ":" + std::to_string(port) +
+                        ": " + std::strerror(err));
+  }
+  return ServeClient(fd);
+}
+
+ServeClient::ServeClient(ServeClient&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+ServeClient& ServeClient::operator=(ServeClient&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+ServeClient::~ServeClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+obs::JsonValue ServeClient::roundtrip(const obs::JsonValue& req) {
+  write_frame(fd_, req.dump());
+  std::string payload;
+  if (!read_frame(fd_, &payload))
+    throw util::IoError("client: server closed the connection before answering");
+  std::string err;
+  auto resp = obs::JsonValue::parse(payload, &err);
+  if (!resp) throw util::IoError("client: unparseable response frame: " + err);
+  return std::move(*resp);
+}
+
+obs::JsonValue ServeClient::predict(const std::string& netlist_text, Priority priority,
+                                    std::int64_t id) {
+  obs::JsonValue req = obs::JsonValue::object();
+  req.set("id", static_cast<long long>(id));
+  req.set("netlist", netlist_text);
+  req.set("priority", priority_name(priority));
+  return roundtrip(req);
+}
+
+obs::JsonValue ServeClient::admin(const std::string& command, std::int64_t id) {
+  obs::JsonValue req = obs::JsonValue::object();
+  req.set("id", static_cast<long long>(id));
+  req.set("admin", command);
+  return roundtrip(req);
+}
+
+}  // namespace paragraph::serve

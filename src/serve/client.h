@@ -1,0 +1,43 @@
+// Blocking client for the `paragraph serve` protocol: one connection,
+// synchronous request/response round-trips. Backs the `paragraph client`
+// CLI subcommand, the serve tests, and the serving benchmark's load
+// generators (one ServeClient per generator thread; a single instance is
+// not thread-safe).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "serve/protocol.h"
+
+namespace paragraph::serve {
+
+class ServeClient {
+ public:
+  // Both throw util::IoError when the server cannot be reached.
+  static ServeClient connect_unix(const std::string& socket_path);
+  static ServeClient connect_tcp(const std::string& host, int port);
+
+  ServeClient(ServeClient&& other) noexcept;
+  ServeClient& operator=(ServeClient&& other) noexcept;
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+  ~ServeClient();
+
+  // Sends `req` and blocks for the next response frame. Throws
+  // util::IoError when the connection drops before an answer arrives.
+  obs::JsonValue roundtrip(const obs::JsonValue& req);
+
+  // Convenience wrappers over roundtrip().
+  obs::JsonValue predict(const std::string& netlist_text, Priority priority = Priority::kNormal,
+                         std::int64_t id = 0);
+  obs::JsonValue admin(const std::string& command, std::int64_t id = 0);
+
+  int fd() const { return fd_; }
+
+ private:
+  explicit ServeClient(int fd) : fd_(fd) {}
+  int fd_ = -1;
+};
+
+}  // namespace paragraph::serve

@@ -1,0 +1,128 @@
+#include "serve/protocol.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/errors.h"
+
+namespace paragraph::serve {
+
+namespace {
+
+// Full-buffer read: retries EINTR and short reads. Returns bytes read
+// before EOF (== n unless the peer closed mid-buffer).
+std::size_t read_all(int fd, void* buf, std::size_t n) {
+  auto* p = static_cast<unsigned char*>(buf);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, p + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw util::IoError(std::string("serve: socket read failed: ") + std::strerror(errno));
+    }
+    if (r == 0) break;  // EOF
+    got += static_cast<std::size_t>(r);
+  }
+  return got;
+}
+
+void write_all(int fd, const void* buf, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(buf);
+  std::size_t put = 0;
+  while (put < n) {
+    // MSG_NOSIGNAL: a peer that hung up must surface as EPIPE for the
+    // caller to handle, not as a SIGPIPE that kills the daemon.
+    const ssize_t r = ::send(fd, p + put, n - put, MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw util::IoError(std::string("serve: socket write failed: ") + std::strerror(errno));
+    }
+    put += static_cast<std::size_t>(r);
+  }
+}
+
+}  // namespace
+
+const char* error_code_name(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::kBadRequest: return "bad_request";
+    case ErrorCode::kParseError: return "parse_error";
+    case ErrorCode::kQueueFull: return "queue_full";
+    case ErrorCode::kShuttingDown: return "shutting_down";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "internal";
+}
+
+const char* priority_name(Priority p) {
+  switch (p) {
+    case Priority::kLow: return "low";
+    case Priority::kNormal: return "normal";
+    case Priority::kHigh: return "high";
+  }
+  return "normal";
+}
+
+bool parse_priority(const std::string& name, Priority* out) {
+  if (name == "low") *out = Priority::kLow;
+  else if (name == "normal") *out = Priority::kNormal;
+  else if (name == "high") *out = Priority::kHigh;
+  else return false;
+  return true;
+}
+
+bool read_frame(int fd, std::string* payload, std::size_t max_bytes) {
+  unsigned char hdr[4];
+  const std::size_t got = read_all(fd, hdr, sizeof hdr);
+  if (got == 0) return false;  // clean EOF between frames
+  if (got < sizeof hdr) throw util::IoError("serve: connection closed mid-frame header");
+  const std::uint32_t len = static_cast<std::uint32_t>(hdr[0]) |
+                            static_cast<std::uint32_t>(hdr[1]) << 8 |
+                            static_cast<std::uint32_t>(hdr[2]) << 16 |
+                            static_cast<std::uint32_t>(hdr[3]) << 24;
+  if (len > max_bytes)
+    throw util::IoError("serve: frame length " + std::to_string(len) + " exceeds limit " +
+                        std::to_string(max_bytes));
+  payload->resize(len);
+  if (len != 0 && read_all(fd, payload->data(), len) < len)
+    throw util::IoError("serve: connection closed mid-frame payload");
+  return true;
+}
+
+void write_frame(int fd, const std::string& payload, std::size_t max_bytes) {
+  if (payload.size() > max_bytes)
+    throw util::IoError("serve: refusing to send frame of " + std::to_string(payload.size()) +
+                        " bytes (limit " + std::to_string(max_bytes) + ")");
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  const unsigned char hdr[4] = {
+      static_cast<unsigned char>(len & 0xff), static_cast<unsigned char>((len >> 8) & 0xff),
+      static_cast<unsigned char>((len >> 16) & 0xff),
+      static_cast<unsigned char>((len >> 24) & 0xff)};
+  write_all(fd, hdr, sizeof hdr);
+  write_all(fd, payload.data(), payload.size());
+}
+
+obs::JsonValue make_error_response(std::int64_t id, ErrorCode code, const std::string& message) {
+  obs::JsonValue err = obs::JsonValue::object();
+  err.set("code", error_code_name(code));
+  err.set("message", message);
+  obs::JsonValue resp = obs::JsonValue::object();
+  resp.set("id", static_cast<long long>(id));
+  resp.set("ok", false);
+  resp.set("error", std::move(err));
+  return resp;
+}
+
+obs::JsonValue make_ok_response(std::int64_t id, std::uint64_t model_generation, bool degraded) {
+  obs::JsonValue resp = obs::JsonValue::object();
+  resp.set("id", static_cast<long long>(id));
+  resp.set("ok", true);
+  resp.set("model_generation", static_cast<unsigned long long>(model_generation));
+  resp.set("degraded", degraded);
+  return resp;
+}
+
+}  // namespace paragraph::serve

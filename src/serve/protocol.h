@@ -1,0 +1,69 @@
+// Wire protocol for the `paragraph serve` daemon (DESIGN.md §12).
+//
+// Transport framing is deliberately dumb: every message — in either
+// direction — is a 4-byte little-endian payload length followed by that
+// many bytes of UTF-8 JSON. No pipelining semantics beyond TCP/unix
+// ordering: a client may send several frames back-to-back and responses
+// carry the request's `id` so they can be matched up (responses to
+// *different* requests on one connection may arrive out of submission
+// order when priorities differ).
+//
+// Request object:
+//   {"id": 7,                  // echoed verbatim in the response (any int)
+//    "netlist": "<spice>",     // SPICE deck, pre-layout
+//    "priority": "high"}       // "low" | "normal" (default) | "high"
+// Admin object (instead of "netlist"):
+//   {"id": 8, "admin": "reload" | "stats" | "shutdown"}
+//
+// Response object:
+//   {"id": 7, "ok": true, "model_generation": 2, "degraded": false,
+//    "predictions": {"CAP": {"<net>": 0.53, ...}, "SP": {...}, ...}}
+// or, on failure:
+//   {"id": 7, "ok": false,
+//    "error": {"code": "queue_full", "message": "..."}}
+//
+// Error codes are a closed set so clients can switch on them; see
+// ErrorCode below.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/json.h"
+
+namespace paragraph::serve {
+
+// Largest frame either side accepts. Netlists for 100k+-node circuits are
+// a few MB; 64 MB leaves headroom without letting a hostile length prefix
+// allocate unbounded memory.
+constexpr std::size_t kMaxFrameBytes = std::size_t{64} << 20;
+
+// Typed server-side failure, closed set (wire `error.code` values).
+enum class ErrorCode {
+  kBadRequest,    // malformed JSON, missing fields, unknown priority
+  kParseError,    // netlist failed to parse (message carries file:line)
+  kQueueFull,     // admission control rejected: queue at capacity
+  kShuttingDown,  // server is draining; no new work accepted
+  kInternal,      // unexpected exception while serving the request
+};
+const char* error_code_name(ErrorCode c);
+
+// Blocking frame I/O on a connected socket. Both handle partial
+// reads/writes and EINTR. read_frame returns false on clean EOF before
+// any byte of a frame; a mid-frame EOF, an oversized length prefix, or a
+// socket error throws util::IoError.
+bool read_frame(int fd, std::string* payload, std::size_t max_bytes = kMaxFrameBytes);
+void write_frame(int fd, const std::string& payload, std::size_t max_bytes = kMaxFrameBytes);
+
+// Request priority levels, service order high to low (FIFO within one).
+enum class Priority : std::uint8_t { kLow = 0, kNormal = 1, kHigh = 2 };
+constexpr std::size_t kNumPriorities = 3;
+const char* priority_name(Priority p);
+// Accepts the wire names; returns false on anything else.
+bool parse_priority(const std::string& name, Priority* out);
+
+// Response builders (serialised by the caller via JsonValue::dump).
+obs::JsonValue make_error_response(std::int64_t id, ErrorCode code, const std::string& message);
+obs::JsonValue make_ok_response(std::int64_t id, std::uint64_t model_generation, bool degraded);
+
+}  // namespace paragraph::serve

@@ -1,0 +1,56 @@
+#include "serve/queue.h"
+
+namespace paragraph::serve {
+
+RequestQueue::PushResult RequestQueue::push(Job job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return PushResult::kClosed;
+    if (size_ >= capacity_) return PushResult::kFull;
+    lanes_[static_cast<std::size_t>(job.priority)].push_back(std::move(job));
+    ++size_;
+  }
+  cv_.notify_one();
+  return PushResult::kOk;
+}
+
+std::vector<Job> RequestQueue::pop_batch(std::size_t max_batch) {
+  if (max_batch == 0) max_batch = 1;
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return (size_ != 0 && !paused_) || closed_; });
+  std::vector<Job> batch;
+  batch.reserve(std::min(max_batch, size_));
+  // Highest priority lane first, FIFO within a lane.
+  for (std::size_t p = kNumPriorities; p-- > 0 && batch.size() < max_batch;) {
+    auto& lane = lanes_[p];
+    while (!lane.empty() && batch.size() < max_batch) {
+      batch.push_back(std::move(lane.front()));
+      lane.pop_front();
+      --size_;
+    }
+  }
+  return batch;
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+void RequestQueue::set_paused(bool paused) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = paused;
+  }
+  cv_.notify_all();
+}
+
+std::size_t RequestQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return size_;
+}
+
+}  // namespace paragraph::serve

@@ -1,0 +1,85 @@
+// Bounded, priority-ordered request queue with admission control.
+//
+// Producers (connection threads) push; the single worker loop pops
+// micro-batches. Capacity is a hard bound enforced at push time: a full
+// queue rejects immediately (the caller answers the client with a typed
+// `queue_full` error) instead of blocking the connection thread — under
+// overload the server sheds load, it never stalls readers.
+//
+// Service order is strict priority (high > normal > low), FIFO within a
+// level. pop_batch blocks until at least one job is available, then
+// drains up to `max_batch` jobs in service order without waiting for
+// more — micro-batching rides the natural backlog: an idle server
+// answers single requests at minimum latency, a loaded one coalesces
+// whatever queued up during the previous batch.
+//
+// Shutdown: close() stops admission (push returns kClosed) but pop_batch
+// keeps returning queued jobs until the queue is empty — SIGTERM drains,
+// it does not drop.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "serve/protocol.h"
+
+namespace paragraph::serve {
+
+class Connection;  // serve/server.h
+
+// One admitted prediction request, carrying everything the worker needs
+// to answer it: the parsed request fields, the raw netlist text (the
+// batch coalescer keys duplicate requests on its hash), and the
+// connection to write the response to.
+struct Job {
+  std::int64_t id = 0;
+  Priority priority = Priority::kNormal;
+  std::string netlist_text;
+  std::uint64_t netlist_hash = 0;
+  std::shared_ptr<Connection> conn;
+  std::chrono::steady_clock::time_point enqueued_at{};
+};
+
+class RequestQueue {
+ public:
+  enum class PushResult { kOk, kFull, kClosed };
+
+  explicit RequestQueue(std::size_t capacity) : capacity_(capacity ? capacity : 1) {}
+
+  PushResult push(Job job);
+
+  // Blocks until a job is available or the queue is closed and empty.
+  // Returns jobs in service order, at most max_batch, never empty unless
+  // the queue is closed and drained (the worker's exit condition).
+  std::vector<Job> pop_batch(std::size_t max_batch);
+
+  // Stops admission; pop_batch drains the backlog then returns empty.
+  void close();
+
+  // Test hook: while paused, pop_batch blocks even with jobs queued (so
+  // a test can assemble a deterministic backlog before the worker runs);
+  // admission is unaffected. close() overrides a pause so shutdown can
+  // always drain.
+  void set_paused(bool paused);
+
+  std::size_t depth() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  // One FIFO lane per priority, indexed by the Priority value.
+  std::array<std::deque<Job>, kNumPriorities> lanes_;
+  std::size_t size_ = 0;
+  bool closed_ = false;
+  bool paused_ = false;
+};
+
+}  // namespace paragraph::serve

@@ -1,0 +1,88 @@
+#include "serve/registry.h"
+
+#include "core/serialize.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+
+namespace paragraph::serve {
+
+ModelRegistry::ModelRegistry(RegistryConfig config) : config_(std::move(config)) {}
+
+const dataset::FeatureNormalizer& ModelRegistry::normalizer_for(std::uint64_t seed, double scale) {
+  const auto key = std::make_pair(seed, scale);
+  auto it = normalizer_cache_.find(key);
+  if (it != normalizer_cache_.end()) return it->second;
+  PARAGRAPH_TIMED_SCOPE("serve_normalizer_build");
+  obs::log_info("serve", "building normalizer",
+                {{"seed", static_cast<unsigned long long>(seed)}, {"scale", scale}});
+  // The full dataset build is the expensive part of a cold prediction;
+  // only its fitted statistics are needed, so the samples are dropped on
+  // the spot and the rebuild never happens again for this (seed, scale).
+  auto ds = dataset::build_dataset(seed, scale);
+  return normalizer_cache_.emplace(key, std::move(ds.normalizer)).first->second;
+}
+
+std::shared_ptr<const ModelBundle> ModelRegistry::build_bundle(std::uint64_t generation) {
+  auto bundle = std::make_shared<ModelBundle>();
+  bundle->generation = generation;
+  bundle->datasets.resize(1 + config_.model_paths.size());
+  if (!config_.ensemble_path.empty()) {
+    bundle->ensemble.emplace(core::CapEnsemble::load(config_.ensemble_path));
+    bundle->degraded = bundle->ensemble->degraded();
+    bundle->dropped = bundle->ensemble->dropped_members();
+    const auto& cfg = bundle->ensemble->model(0).config();
+    bundle->datasets[0].normalizer = normalizer_for(cfg.seed, cfg.scale);
+  }
+  for (std::size_t i = 0; i < config_.model_paths.size(); ++i) {
+    bundle->models.push_back(core::load_predictor(config_.model_paths[i]));
+    const auto& cfg = bundle->models.back().config();
+    bundle->datasets[1 + i].normalizer = normalizer_for(cfg.seed, cfg.scale);
+  }
+  return bundle;
+}
+
+void ModelRegistry::load_initial() {
+  if (config_.ensemble_path.empty() && config_.model_paths.empty())
+    throw std::invalid_argument("serve: need an --ensemble or at least one --model to serve");
+  std::lock_guard<std::mutex> reload_lock(reload_mu_);
+  auto bundle = build_bundle(next_generation_++);
+  std::lock_guard<std::mutex> lock(mu_);
+  current_ = std::move(bundle);
+}
+
+bool ModelRegistry::reload() {
+  PARAGRAPH_TIMED_SCOPE("serve_reload");
+  std::lock_guard<std::mutex> reload_lock(reload_mu_);
+  std::shared_ptr<const ModelBundle> fresh;
+  try {
+    fresh = build_bundle(next_generation_);
+  } catch (const std::exception& e) {
+    // Old generation keeps serving; the operator gets the exact failure.
+    obs::log_error("serve", "reload failed, keeping current model", {{"error", e.what()}});
+    if (obs::enabled()) obs::MetricsRegistry::instance().counter("serve.reload_failures").add();
+    return false;
+  }
+  ++next_generation_;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    current_ = fresh;
+  }
+  obs::log_info("serve", "model reloaded",
+                {{"generation", static_cast<unsigned long long>(fresh->generation)},
+                 {"degraded", fresh->degraded}});
+  if (obs::enabled()) {
+    obs::MetricsRegistry::instance().counter("serve.reloads").add();
+    obs::MetricsRegistry::instance()
+        .gauge("ensemble.degraded")
+        .set(fresh->degraded ? 1.0 : 0.0);
+  }
+  return true;
+}
+
+std::shared_ptr<const ModelBundle> ModelRegistry::current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+}  // namespace paragraph::serve

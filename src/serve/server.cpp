@@ -1,0 +1,568 @@
+#include "serve/server.h"
+
+#include <cerrno>
+#include <cstring>
+#include <unordered_map>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "circuit/spice_parser.h"
+#include "graph/hetero_graph.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "runtime/thread_pool.h"
+#include "util/bytes.h"
+#include "util/errors.h"
+
+namespace paragraph::serve {
+
+namespace {
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+std::int64_t request_id(const obs::JsonValue& req) {
+  const obs::JsonValue* id = req.find("id");
+  return id != nullptr && id->is_number() ? id->as_int() : 0;
+}
+
+// Predictions keyed by node name for one target, in predict_all order
+// (type slot, then node) — the same order `paragraph predict` prints.
+obs::JsonValue named_predictions(const dataset::Sample& sample, dataset::TargetKind target,
+                                 const std::vector<float>& preds) {
+  obs::JsonValue out = obs::JsonValue::object();
+  std::size_t k = 0;
+  for (const auto nt : dataset::target_node_types(target)) {
+    for (const auto origin : sample.graph.origins(nt)) {
+      const std::string& name = nt == graph::NodeType::kNet
+                                    ? sample.netlist.net(origin).name
+                                    : sample.netlist.device(origin).name;
+      if (k < preds.size()) out.set(name, static_cast<double>(preds[k++]));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Connection
+
+Connection::~Connection() { close_fd(fd_); }
+
+bool Connection::send(const obs::JsonValue& resp) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  try {
+    write_frame(fd_, resp.dump());
+    return true;
+  } catch (const util::IoError& e) {
+    // The peer hung up before its answer arrived; the server's job is to
+    // survive that, not to propagate it.
+    obs::log_debug("serve", "response dropped, peer gone", {{"error", e.what()}});
+    return false;
+  }
+}
+
+void Connection::shutdown_read() { ::shutdown(fd_, SHUT_RD); }
+
+// -------------------------------------------------------------------- Server
+
+Server::Server(ServeConfig config)
+    : config_(std::move(config)), registry_(config_.registry), queue_(config_.queue_capacity) {
+  if (config_.max_batch == 0) config_.max_batch = 1;
+}
+
+Server::~Server() { stop(); }
+
+void Server::bind_unix() {
+  if (config_.socket_path.empty())
+    throw std::invalid_argument("serve: --socket PATH is required");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (config_.socket_path.size() >= sizeof addr.sun_path)
+    throw std::invalid_argument("serve: socket path too long: " + config_.socket_path);
+  std::strncpy(addr.sun_path, config_.socket_path.c_str(), sizeof addr.sun_path - 1);
+
+  unix_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (unix_fd_ < 0)
+    throw util::IoError(std::string("serve: cannot create unix socket: ") + std::strerror(errno));
+  if (::bind(unix_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    if (errno == EADDRINUSE) {
+      // A leftover socket file from a crashed server binds the path even
+      // though nothing listens. Probe it: a refused connect means stale,
+      // so reclaim; a successful connect means a live server owns it.
+      const int probe = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+      const bool live =
+          probe >= 0 && ::connect(probe, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0;
+      if (probe >= 0) ::close(probe);
+      if (!live && ::unlink(config_.socket_path.c_str()) == 0 &&
+          ::bind(unix_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0) {
+        obs::log_warn("serve", "reclaimed stale socket file", {{"path", config_.socket_path}});
+      } else {
+        close_fd(unix_fd_);
+        throw util::IoError("serve: socket path '" + config_.socket_path +
+                            "' is in use by another server");
+      }
+    } else {
+      const int err = errno;
+      close_fd(unix_fd_);
+      throw util::IoError("serve: cannot bind '" + config_.socket_path +
+                          "': " + std::strerror(err));
+    }
+  }
+  if (::listen(unix_fd_, 64) != 0) {
+    const int err = errno;
+    close_fd(unix_fd_);
+    throw util::IoError(std::string("serve: listen failed: ") + std::strerror(err));
+  }
+}
+
+void Server::bind_tcp() {
+  if (config_.tcp_port < 0) return;
+  tcp_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (tcp_fd_ < 0)
+    throw util::IoError(std::string("serve: cannot create TCP socket: ") + std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(tcp_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(config_.tcp_port));
+  if (::bind(tcp_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(tcp_fd_, 64) != 0) {
+    const int err = errno;
+    close_fd(tcp_fd_);
+    throw util::IoError("serve: cannot bind TCP port " + std::to_string(config_.tcp_port) +
+                        ": " + std::strerror(err));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(tcp_fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0)
+    bound_tcp_port_ = ntohs(bound.sin_port);
+}
+
+void Server::start() {
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0)
+    throw util::IoError(std::string("serve: cannot create notify pipe: ") + std::strerror(errno));
+  notify_read_fd_ = pipe_fds[0];
+  notify_write_fd_ = pipe_fds[1];
+  try {
+    bind_unix();
+    bind_tcp();
+    registry_.load_initial();
+  } catch (...) {
+    close_fd(unix_fd_);
+    close_fd(tcp_fd_);
+    close_fd(notify_read_fd_);
+    close_fd(notify_write_fd_);
+    throw;
+  }
+  if (obs::enabled()) {
+    auto& reg = obs::MetricsRegistry::instance();
+    reg.gauge("serve.queue_capacity").set(static_cast<double>(queue_.capacity()));
+    reg.gauge("serve.max_batch").set(static_cast<double>(config_.max_batch));
+    reg.gauge("ensemble.degraded").set(registry_.current()->degraded ? 1.0 : 0.0);
+  }
+  worker_ = std::thread([this] { worker_loop(); });
+  acceptor_ = std::thread([this] { acceptor_loop(); });
+  started_.store(true, std::memory_order_release);
+  obs::log_info("serve", "listening",
+                {{"socket", config_.socket_path},
+                 {"tcp_port", bound_tcp_port_},
+                 {"queue_capacity", queue_.capacity()},
+                 {"max_batch", config_.max_batch},
+                 {"generation", static_cast<unsigned long long>(
+                                    registry_.current()->generation)},
+                 {"degraded", registry_.current()->degraded}});
+}
+
+void Server::wait() {
+  std::unique_lock<std::mutex> lock(state_mu_);
+  state_cv_.wait(lock, [&] { return stop_requested_; });
+}
+
+void Server::request_stop() {
+  const char c = 'T';
+  if (notify_write_fd_ >= 0) (void)!::write(notify_write_fd_, &c, 1);
+}
+
+void Server::request_reload() {
+  const char c = 'H';
+  if (notify_write_fd_ >= 0) (void)!::write(notify_write_fd_, &c, 1);
+}
+
+void Server::pause_worker() { queue_.set_paused(true); }
+
+void Server::resume_worker() { queue_.set_paused(false); }
+
+void Server::stop() {
+  if (!started_.load(std::memory_order_acquire)) return;
+  if (stopping_.exchange(true)) {
+    // A concurrent stop() is already tearing down; just wait for it.
+    wait();
+    return;
+  }
+  request_stop();
+  acceptor_.join();  // exits on 'T', no longer accepting
+  close_fd(unix_fd_);
+  close_fd(tcp_fd_);
+  // Drain: no new admissions, the worker answers everything queued, late
+  // frames on open connections get `shutting_down` errors from readers.
+  queue_.close();
+  resume_worker();
+  worker_.join();
+  // Now unblock any reader still waiting on its client and let them exit.
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    for (const auto& conn : live_conns_) conn->shutdown_read();
+  }
+  {
+    std::unique_lock<std::mutex> lock(state_mu_);
+    state_cv_.wait(lock, [&] { return reader_threads_ == 0; });
+    live_conns_.clear();
+  }
+  close_fd(notify_read_fd_);
+  close_fd(notify_write_fd_);
+  ::unlink(config_.socket_path.c_str());
+  started_.store(false, std::memory_order_release);
+  obs::log_info("serve", "stopped",
+                {{"responses", stats_.responses.load()}, {"errors", stats_.errors.load()}});
+}
+
+void Server::do_reload() {
+  if (registry_.reload()) stats_.reloads.fetch_add(1, std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------------------ acceptor
+
+void Server::acceptor_loop() {
+  for (;;) {
+    pollfd fds[3];
+    nfds_t n = 0;
+    fds[n++] = {notify_read_fd_, POLLIN, 0};
+    const int unix_slot = unix_fd_ >= 0 ? static_cast<int>(n) : -1;
+    if (unix_fd_ >= 0) fds[n++] = {unix_fd_, POLLIN, 0};
+    const int tcp_slot = tcp_fd_ >= 0 ? static_cast<int>(n) : -1;
+    if (tcp_fd_ >= 0) fds[n++] = {tcp_fd_, POLLIN, 0};
+    if (::poll(fds, n, -1) < 0) {
+      if (errno == EINTR) continue;
+      obs::log_error("serve", "poll failed", {{"error", std::strerror(errno)}});
+      break;
+    }
+    if ((fds[0].revents & POLLIN) != 0) {
+      char buf[16];
+      const ssize_t r = ::read(notify_read_fd_, buf, sizeof buf);
+      bool stop = false;
+      for (ssize_t i = 0; i < r; ++i) {
+        if (buf[i] == 'H') do_reload();
+        if (buf[i] == 'T') stop = true;
+      }
+      if (stop) {
+        std::lock_guard<std::mutex> lock(state_mu_);
+        stop_requested_ = true;
+        state_cv_.notify_all();
+        return;
+      }
+    }
+    for (const int slot : {unix_slot, tcp_slot}) {
+      if (slot < 0 || (fds[slot].revents & POLLIN) == 0) continue;
+      const int cfd = ::accept(fds[slot].fd, nullptr, nullptr);
+      if (cfd < 0) continue;
+      stats_.connections.fetch_add(1, std::memory_order_relaxed);
+      auto conn = std::make_shared<Connection>(cfd);
+      {
+        std::lock_guard<std::mutex> lock(state_mu_);
+        live_conns_.insert(conn);
+        ++reader_threads_;
+      }
+      // Readers are detached: their lifetime is tracked by reader_threads_
+      // (stop() waits for zero), not by joinable handles that would pile
+      // up over a long-lived daemon's connection churn.
+      std::thread([this, conn] { reader_loop(conn); }).detach();
+    }
+  }
+}
+
+// -------------------------------------------------------------------- reader
+
+void Server::reader_loop(std::shared_ptr<Connection> conn) {
+  std::string payload;
+  try {
+    while (read_frame(conn->fd(), &payload)) {
+      std::string err;
+      const auto req = obs::JsonValue::parse(payload, &err);
+      if (!req || !req->is_object()) {
+        stats_.errors.fetch_add(1, std::memory_order_relaxed);
+        conn->send(make_error_response(0, ErrorCode::kBadRequest, "malformed JSON: " + err));
+        continue;
+      }
+      const obs::JsonValue* admin = req->find("admin");
+      if (admin != nullptr && admin->is_string())
+        handle_admin(conn, request_id(*req), admin->as_string());
+      else
+        handle_request(conn, *req);
+    }
+  } catch (const std::exception& e) {
+    obs::log_debug("serve", "connection dropped", {{"error", e.what()}});
+  }
+  std::lock_guard<std::mutex> lock(state_mu_);
+  live_conns_.erase(conn);
+  --reader_threads_;
+  state_cv_.notify_all();
+}
+
+void Server::handle_request(const std::shared_ptr<Connection>& conn, const obs::JsonValue& req) {
+  const std::int64_t id = request_id(req);
+  const obs::JsonValue* netlist = req.find("netlist");
+  if (netlist == nullptr || !netlist->is_string()) {
+    stats_.errors.fetch_add(1, std::memory_order_relaxed);
+    conn->send(make_error_response(id, ErrorCode::kBadRequest,
+                                   "request needs a string \"netlist\" (or \"admin\") field"));
+    return;
+  }
+  Priority priority = Priority::kNormal;
+  if (const obs::JsonValue* p = req.find("priority"); p != nullptr) {
+    if (!p->is_string() || !parse_priority(p->as_string(), &priority)) {
+      stats_.errors.fetch_add(1, std::memory_order_relaxed);
+      conn->send(make_error_response(id, ErrorCode::kBadRequest,
+                                     "priority must be \"low\", \"normal\", or \"high\""));
+      return;
+    }
+  }
+  Job job;
+  job.id = id;
+  job.priority = priority;
+  job.netlist_text = netlist->as_string();
+  job.netlist_hash = util::fnv1a64(job.netlist_text);
+  job.conn = conn;
+  job.enqueued_at = std::chrono::steady_clock::now();
+  switch (queue_.push(std::move(job))) {
+    case RequestQueue::PushResult::kOk:
+      stats_.requests.fetch_add(1, std::memory_order_relaxed);
+      if (obs::enabled()) {
+        auto& reg = obs::MetricsRegistry::instance();
+        reg.counter("serve.requests").add();
+        reg.gauge("serve.queue_depth").set(static_cast<double>(queue_.depth()));
+      }
+      break;
+    case RequestQueue::PushResult::kFull:
+      stats_.rejected.fetch_add(1, std::memory_order_relaxed);
+      stats_.errors.fetch_add(1, std::memory_order_relaxed);
+      if (obs::enabled()) obs::MetricsRegistry::instance().counter("serve.rejected").add();
+      conn->send(make_error_response(id, ErrorCode::kQueueFull,
+                                     "queue at capacity (" + std::to_string(queue_.capacity()) +
+                                         "); retry with backoff"));
+      break;
+    case RequestQueue::PushResult::kClosed:
+      stats_.errors.fetch_add(1, std::memory_order_relaxed);
+      conn->send(make_error_response(id, ErrorCode::kShuttingDown, "server is draining"));
+      break;
+  }
+}
+
+void Server::handle_admin(const std::shared_ptr<Connection>& conn, std::int64_t id,
+                          const std::string& cmd) {
+  if (cmd == "stats") {
+    obs::JsonValue resp = make_ok_response(id, registry_.current()->generation,
+                                           registry_.current()->degraded);
+    resp.set("stats", stats_json());
+    conn->send(resp);
+    return;
+  }
+  if (cmd == "reload") {
+    do_reload();
+    const auto bundle = registry_.current();
+    // ok reflects availability, not reload success: a failed reload keeps
+    // the old generation serving, which the caller sees unchanged.
+    conn->send(make_ok_response(id, bundle->generation, bundle->degraded));
+    return;
+  }
+  if (cmd == "shutdown") {
+    conn->send(make_ok_response(id, registry_.current()->generation,
+                                registry_.current()->degraded));
+    request_stop();
+    return;
+  }
+  stats_.errors.fetch_add(1, std::memory_order_relaxed);
+  conn->send(make_error_response(id, ErrorCode::kBadRequest,
+                                 "unknown admin command '" + cmd +
+                                     "' (use stats, reload, shutdown)"));
+}
+
+obs::JsonValue Server::stats_json() const {
+  obs::JsonValue s = obs::JsonValue::object();
+  s.set("connections", stats_.connections.load());
+  s.set("requests", stats_.requests.load());
+  s.set("responses", stats_.responses.load());
+  s.set("rejected", stats_.rejected.load());
+  s.set("errors", stats_.errors.load());
+  s.set("batches", stats_.batches.load());
+  s.set("coalesced", stats_.coalesced.load());
+  s.set("reloads", stats_.reloads.load());
+  s.set("max_batch_seen", stats_.max_batch_seen.load());
+  s.set("queue_depth", queue_.depth());
+  s.set("queue_capacity", queue_.capacity());
+  s.set("max_batch", config_.max_batch);
+  const auto bundle = registry_.current();
+  s.set("generation", static_cast<unsigned long long>(bundle->generation));
+  s.set("degraded", bundle->degraded);
+  obs::JsonValue dropped = obs::JsonValue::array();
+  for (const auto& d : bundle->dropped) dropped.push_back(d.path);
+  s.set("dropped_members", std::move(dropped));
+  return s;
+}
+
+// -------------------------------------------------------------------- worker
+
+void Server::worker_loop() {
+  for (;;) {
+    std::vector<Job> batch = queue_.pop_batch(config_.max_batch);
+    if (batch.empty()) return;  // queue closed and drained
+    try {
+      process_batch(std::move(batch));
+    } catch (const std::exception& e) {
+      // Defensive: process_batch answers per-group failures itself; this
+      // catches bugs in the batch machinery so one bad batch cannot kill
+      // the worker (and with it the whole daemon).
+      obs::log_error("serve", "batch processing failed", {{"error", e.what()}});
+    }
+  }
+}
+
+void Server::process_batch(std::vector<Job> batch) {
+  PARAGRAPH_TIMED_SCOPE("serve_batch");
+  const auto bundle = registry_.current();  // one generation per batch
+
+  stats_.batches.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t seen = stats_.max_batch_seen.load(std::memory_order_relaxed);
+  while (batch.size() > seen &&
+         !stats_.max_batch_seen.compare_exchange_weak(seen, batch.size(),
+                                                      std::memory_order_relaxed)) {
+  }
+  if (obs::enabled()) {
+    auto& reg = obs::MetricsRegistry::instance();
+    reg.histogram("serve.batch_size").record(static_cast<double>(batch.size()));
+    reg.gauge("serve.queue_depth").set(static_cast<double>(queue_.depth()));
+  }
+
+  // Coalesce byte-identical netlists: one group is parsed, planned, and
+  // predicted once, then answers every job that carried it.
+  struct Group {
+    const Job* job = nullptr;  // representative (first occurrence)
+    std::vector<std::size_t> job_indices;
+    dataset::Sample sample;
+    bool ok = false;
+    ErrorCode error_code = ErrorCode::kInternal;
+    std::string error_message;
+    obs::JsonValue predictions;
+  };
+  std::vector<Group> groups;
+  std::unordered_map<std::uint64_t, std::size_t> by_hash;
+  for (std::size_t j = 0; j < batch.size(); ++j) {
+    const Job& job = batch[j];
+    const auto it = by_hash.find(job.netlist_hash);
+    if (it != by_hash.end() && groups[it->second].job->netlist_text == job.netlist_text) {
+      groups[it->second].job_indices.push_back(j);
+      stats_.coalesced.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    by_hash.emplace(job.netlist_hash, groups.size());
+    groups.emplace_back();
+    groups.back().job = &job;
+    groups.back().job_indices.push_back(j);
+  }
+
+  // One prediction pass per distinct deck. Hierarchical decks run
+  // serially so the worker-owned PlanCache (not thread-safe) memoizes
+  // their templates across requests; the rest share one parallel pass,
+  // each deck on its own plan (the PR 3 batched-inference layout).
+  const auto predict_group = [&](Group& g, bool allow_cache) {
+    try {
+      circuit::Netlist nl = circuit::parse_spice_string(g.job->netlist_text);
+      g.sample.name = nl.name();
+      g.sample.graph = graph::build_graph(nl);
+      g.sample.netlist = std::move(nl);
+    } catch (const circuit::ParseError& e) {
+      g.error_code = ErrorCode::kParseError;
+      g.error_message = e.what();
+      return;
+    }
+    try {
+      const bool hier = allow_cache && !g.sample.netlist.instances().empty();
+      obs::JsonValue preds = obs::JsonValue::object();
+      if (bundle->ensemble.has_value()) {
+        const auto& ds = bundle->ensemble_dataset();
+        std::vector<float> p;
+        if (hier) {
+          p = bundle->ensemble->predict_with_cache(ds, g.sample, plan_cache_);
+        } else {
+          const gnn::GraphPlan plan =
+              gnn::GraphPlan::build(g.sample.graph, bundle->ensemble->model(0).needs_homo());
+          p = bundle->ensemble->predict_with_plan(ds, g.sample, plan);
+        }
+        preds.set(dataset::target_name(dataset::TargetKind::kCap),
+                  named_predictions(g.sample, dataset::TargetKind::kCap, p));
+      }
+      for (std::size_t m = 0; m < bundle->models.size(); ++m) {
+        const core::GnnPredictor& model = bundle->models[m];
+        const auto& ds = bundle->model_dataset(m);
+        const std::vector<float> p = hier ? model.predict_all(ds, g.sample, plan_cache_)
+                                          : model.predict_all(ds, g.sample);
+        preds.set(dataset::target_name(model.config().target),
+                  named_predictions(g.sample, model.config().target, p));
+      }
+      g.predictions = std::move(preds);
+      g.ok = true;
+    } catch (const std::exception& e) {
+      g.error_code = ErrorCode::kInternal;
+      g.error_message = e.what();
+    }
+  };
+
+  std::vector<std::size_t> flat, hier;
+  for (std::size_t gi = 0; gi < groups.size(); ++gi)
+    (groups[gi].job->netlist_text.find(".subckt") == std::string::npos &&
+     groups[gi].job->netlist_text.find(".SUBCKT") == std::string::npos
+         ? flat
+         : hier)
+        .push_back(gi);
+  runtime::parallel_for("serve_predict", flat.size(), 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) predict_group(groups[flat[i]], false);
+  });
+  for (const std::size_t gi : hier) predict_group(groups[gi], true);
+
+  // Answer every job from its group's shared result, in batch (service)
+  // order, with per-request latency accounted end to end.
+  static constexpr const char* kLatency = "serve.latency_us";
+  for (const Group& g : groups) {
+    for (const std::size_t j : g.job_indices) {
+      const Job& job = batch[j];
+      if (g.ok) {
+        obs::JsonValue resp = make_ok_response(job.id, bundle->generation, bundle->degraded);
+        resp.set("predictions", g.predictions);
+        if (job.conn->send(resp)) stats_.responses.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        stats_.errors.fetch_add(1, std::memory_order_relaxed);
+        job.conn->send(make_error_response(job.id, g.error_code, g.error_message));
+      }
+      if (obs::enabled()) {
+        const double us = std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - job.enqueued_at)
+                              .count();
+        obs::MetricsRegistry::instance().histogram(kLatency).record(us);
+      }
+    }
+  }
+}
+
+}  // namespace paragraph::serve

@@ -1,0 +1,174 @@
+// The `paragraph serve` daemon: a resident inference server (DESIGN.md
+// §12).
+//
+// Thread model:
+//   * one acceptor thread polls the unix/TCP listeners and a self-pipe
+//     (the async notification channel signal handlers and admin commands
+//     write to);
+//   * one detached reader thread per connection parses frames, answers
+//     admin commands inline, and enqueues prediction jobs;
+//   * one worker thread pops micro-batches off the priority queue and
+//     answers them. A single worker serialises GNN forwards (the runtime
+//     pool parallelises *inside* a batch), which keeps PlanCache use
+//     race-free and batch results deterministic.
+//
+// Micro-batching: the worker drains up to max_batch queued jobs at once.
+// Within a batch, jobs carrying byte-identical netlists are coalesced
+// into one group — parsed once, planned once, predicted once — and every
+// job gets its own response from the shared result. Distinct flat decks
+// are processed through one runtime::parallel_for pass (one GraphPlan
+// per deck shared across the ensemble members, the PR 3 batched-inference
+// idiom); hierarchical decks run serially through the worker's PlanCache
+// so repeated subckt templates hit memoized plans and embeddings across
+// requests. Responses are bit-identical to single-request serving: every
+// group's computation is independent and the per-sample kernels are
+// deterministic at any thread count.
+//
+// Reload: SIGHUP (via notify_fd) or the "reload" admin command swaps the
+// model generation through ModelRegistry. The worker snapshots the
+// bundle once per batch, so in-flight batches always finish on the model
+// they started with; a failed reload keeps the old generation serving.
+//
+// Shutdown: SIGTERM/SIGINT (via notify_fd) or the "shutdown" admin
+// command stop admission — the listeners close, queued requests drain
+// through the worker, late requests on open connections get a typed
+// `shutting_down` error — then stop() joins everything and removes the
+// socket file.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "gnn/plan_cache.h"
+#include "serve/protocol.h"
+#include "serve/queue.h"
+#include "serve/registry.h"
+
+namespace paragraph::serve {
+
+struct ServeConfig {
+  std::string socket_path;     // unix-domain listener (required)
+  int tcp_port = -1;           // loopback TCP listener: -1 off, 0 ephemeral
+  std::size_t queue_capacity = 64;
+  std::size_t max_batch = 8;   // 1 = micro-batching off
+  RegistryConfig registry;
+};
+
+// Always-on serving counters (plain atomics, independent of the obs
+// layer): the stats admin command, the tests, and the bench read these.
+struct ServerStats {
+  std::atomic<std::uint64_t> connections{0};
+  std::atomic<std::uint64_t> requests{0};   // admitted prediction jobs
+  std::atomic<std::uint64_t> responses{0};  // ok responses sent
+  std::atomic<std::uint64_t> rejected{0};   // queue_full admissions
+  std::atomic<std::uint64_t> errors{0};     // error responses of any kind
+  std::atomic<std::uint64_t> batches{0};    // worker micro-batches
+  std::atomic<std::uint64_t> coalesced{0};  // jobs answered from a dup group
+  std::atomic<std::uint64_t> reloads{0};    // successful generation swaps
+  std::atomic<std::uint64_t> max_batch_seen{0};
+};
+
+// One client socket, shared between its reader thread and the worker
+// (responses). Writes are mutex-serialised; a peer that vanished mid-
+// response is logged and ignored (the server must outlive any client).
+class Connection {
+ public:
+  explicit Connection(int fd) : fd_(fd) {}
+  ~Connection();
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  // Serialises and frames `resp`; returns false when the peer is gone.
+  bool send(const obs::JsonValue& resp);
+  // Half-closes the read side to unblock the reader thread (shutdown).
+  void shutdown_read();
+  int fd() const { return fd_; }
+
+ private:
+  int fd_;
+  std::mutex write_mu_;
+};
+
+class Server {
+ public:
+  explicit Server(ServeConfig config);
+  ~Server();
+
+  // Binds the listeners (util::IoError when the socket path or TCP port
+  // is taken), loads the initial model generation, and spawns the
+  // acceptor and worker threads. Throws on any failure; a constructed-
+  // but-not-started Server needs no stop().
+  void start();
+
+  // Blocks until shutdown is requested (signal, admin command, or
+  // request_stop from another thread).
+  void wait();
+
+  // Drains and tears down: stops admission, answers the backlog, joins
+  // every thread, unlinks the socket file. Idempotent.
+  void stop();
+
+  // Async requests, safe from signal handlers via notify_fd().
+  void request_stop();
+  void request_reload();
+  // Write end of the self-pipe: one byte 'H' = reload, 'T' = stop.
+  int notify_fd() const { return notify_write_fd_; }
+
+  // Bound TCP port (after start), -1 when TCP is off.
+  int tcp_port() const { return bound_tcp_port_; }
+
+  const ServerStats& stats() const { return stats_; }
+  ModelRegistry& registry() { return registry_; }
+  const ServeConfig& config() const { return config_; }
+
+  // Test hook: while paused the queue withholds jobs from the worker, so
+  // a test can assemble a deterministic backlog; resume lets it drain
+  // (as one micro-batch when the backlog fits max_batch).
+  void pause_worker();
+  void resume_worker();
+
+ private:
+  void bind_unix();
+  void bind_tcp();
+  void acceptor_loop();
+  void reader_loop(std::shared_ptr<Connection> conn);
+  void worker_loop();
+  void process_batch(std::vector<Job> batch);
+  void handle_admin(const std::shared_ptr<Connection>& conn, std::int64_t id,
+                    const std::string& cmd);
+  void handle_request(const std::shared_ptr<Connection>& conn, const obs::JsonValue& req);
+  obs::JsonValue stats_json() const;
+  void do_reload();
+
+  ServeConfig config_;
+  ModelRegistry registry_;
+  RequestQueue queue_;
+  ServerStats stats_;
+  gnn::PlanCache plan_cache_;  // worker-thread only
+
+  int unix_fd_ = -1;
+  int tcp_fd_ = -1;
+  int bound_tcp_port_ = -1;
+  int notify_read_fd_ = -1;
+  int notify_write_fd_ = -1;
+
+  std::thread acceptor_;
+  std::thread worker_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::mutex state_mu_;
+  std::condition_variable state_cv_;
+  bool stop_requested_ = false;  // set by acceptor on 'T' / request_stop
+  std::unordered_set<std::shared_ptr<Connection>> live_conns_;
+  std::size_t reader_threads_ = 0;  // detached readers still running
+};
+
+}  // namespace paragraph::serve

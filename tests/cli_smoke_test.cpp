@@ -336,6 +336,93 @@ TEST(CliSmokeTest, CrashDumpNamesActivePhase) {
   EXPECT_GT(doc->at("events").size(), 0u);
 }
 
+// The serving daemon from the operator's side: `paragraph serve` in the
+// background, `paragraph client` round-trips, exit 3 when the socket is
+// already owned by a live server, SIGHUP hot-reload with zero failed
+// requests, and a SIGTERM drain that exits 0.
+TEST(CliSmokeTest, ServeDaemonLifecycle) {
+  ASSERT_FALSE(g_cli_path.empty());
+  TempDir tmp;
+  const std::string quiet = " > /dev/null 2>&1";
+  const auto model = (tmp.path / "model.bin").string();
+  const auto sock = (tmp.path / "serve.sock").string();
+  const auto pidfile = (tmp.path / "serve.pid").string();
+  const auto rcfile = (tmp.path / "serve.rc").string();
+  const auto deck = (tmp.path / "deck.sp").string();
+  std::ofstream(deck) << "M1 out in vss vss nmos L=16n W=32n\n"
+                         "M2 out in vdd vdd pmos L=16n W=64n\n"
+                         "C1 out vss 1f\n";
+
+  ASSERT_EQ(exit_code("\"" + g_cli_path + "\" train --save \"" + model +
+                      "\" --scale 0.05 --epochs 2 --seed 7" + quiet),
+            0);
+
+  // No server yet: the client fails with the bad-input exit code.
+  EXPECT_EQ(exit_code("\"" + g_cli_path + "\" client --socket \"" + sock + "\" --admin stats" +
+                      quiet),
+            3);
+
+  // Launch the daemon detached; a nursing shell records its pid and,
+  // once it exits, its exit code.
+  ASSERT_EQ(run("( \"" + g_cli_path + "\" serve --socket \"" + sock + "\" --model \"" + model +
+                "\" > \"" + tmp.path.string() + "/serve.log\" 2>&1 & echo $! > \"" + pidfile +
+                "\"; wait $!; echo $? > \"" + rcfile + "\" ) &"),
+            0);
+  const std::string stats_cmd =
+      "\"" + g_cli_path + "\" client --socket \"" + sock + "\" --admin stats";
+  bool up = false;
+  for (int i = 0; i < 200 && !up; ++i) {
+    up = exit_code(stats_cmd + quiet) == 0;
+    if (!up) run("sleep 0.1");
+  }
+  ASSERT_TRUE(up) << read_file(tmp.path / "serve.log");
+
+  // One prediction round-trip through the real CLI client.
+  EXPECT_EQ(exit_code("\"" + g_cli_path + "\" client --socket \"" + sock + "\" --netlist \"" +
+                      deck + "\" --priority high" + quiet),
+            0);
+  // A server-side error response (unparseable netlist) exits 3.
+  const auto bad_deck = (tmp.path / "bad.sp").string();
+  std::ofstream(bad_deck) << "Zq bogus card\n";
+  EXPECT_EQ(exit_code("\"" + g_cli_path + "\" client --socket \"" + sock + "\" --netlist \"" +
+                      bad_deck + "\"" + quiet),
+            3);
+
+  // The socket is owned by a live server: a rival serve must exit 3.
+  EXPECT_EQ(exit_code("\"" + g_cli_path + "\" serve --socket \"" + sock + "\" --model \"" +
+                      model + "\"" + quiet),
+            3);
+
+  // SIGHUP hot-reload while requests keep flowing: every request after
+  // the signal still succeeds, and stats confirm the generation swap.
+  ASSERT_EQ(run("kill -HUP $(cat \"" + pidfile + "\")"), 0);
+  for (int i = 0; i < 5; ++i)
+    EXPECT_EQ(exit_code("\"" + g_cli_path + "\" client --socket \"" + sock + "\" --netlist \"" +
+                        deck + "\"" + quiet),
+              0);
+  const auto stats_json = (tmp.path / "stats.json").string();
+  ASSERT_EQ(exit_code(stats_cmd + " > \"" + stats_json + "\" 2>/dev/null"), 0);
+  std::string error;
+  const auto sdoc = JsonValue::parse(read_file(stats_json), &error);
+  ASSERT_TRUE(sdoc.has_value()) << error;
+  EXPECT_EQ(sdoc->at("stats").at("reloads").as_int(), 1);
+  EXPECT_GE(sdoc->at("model_generation").as_int(), 2);
+
+  // SIGTERM: drain and exit 0 (the nursing shell writes the exit code).
+  ASSERT_EQ(run("kill -TERM $(cat \"" + pidfile + "\")"), 0);
+  bool exited = false;
+  for (int i = 0; i < 200 && !exited; ++i) {
+    exited = std::filesystem::exists(rcfile);
+    if (!exited) run("sleep 0.1");
+  }
+  ASSERT_TRUE(exited) << "server did not exit after SIGTERM";
+  std::istringstream rc_in(read_file(rcfile));
+  int rc = -1;
+  rc_in >> rc;
+  EXPECT_EQ(rc, 0) << read_file(tmp.path / "serve.log");
+  EXPECT_FALSE(std::filesystem::exists(sock)) << "socket file must be unlinked on shutdown";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {

@@ -288,8 +288,14 @@ TEST(PoolTelemetryTest, UtilizationLandsInUnitIntervalWithBusyWorkers) {
   EXPECT_GT(util, 0.0);
   EXPECT_LE(util, 1.0);
   EXPECT_EQ(reg.gauge("runtime.threads").value(), 4.0);
-  // The caller slot always executes chunks, so its busy gauge is positive.
-  EXPECT_GT(reg.gauge("runtime.worker.0.busy_ms").value(), 0.0);
+  // Some slot executed chunks and published per-slot busy time. No single
+  // slot is guaranteed any: on an oversubscribed machine the caller
+  // (slot 0) can lose every chunk to the workers — or take them all —
+  // so only the sum is deterministic.
+  double busy_sum = 0.0;
+  for (int slot = 0; slot < 4; ++slot)
+    busy_sum += reg.gauge("runtime.worker." + std::to_string(slot) + ".busy_ms").value();
+  EXPECT_GT(busy_sum, 0.0);
   // Region wall-time histograms are recorded per instrumented region.
   EXPECT_EQ(reg.histogram("runtime.region_us").count(), 8u);
   EXPECT_EQ(reg.histogram("runtime.region_wait_us").count(), 8u);

@@ -1,0 +1,495 @@
+// In-process loopback tests for the serve subsystem (DESIGN.md §12):
+// queue semantics, micro-batching bit-identity against single-request
+// serving, priority ordering under a held backlog, admission control,
+// graceful reload mid-traffic, degraded-ensemble reloads, and the TCP
+// listener. Everything runs against a real Server on a unix socket in
+// the test temp dir — the same code path production clients hit.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "circuit/spice_writer.h"
+#include "core/ensemble.h"
+#include "dataset/dataset.h"
+#include "serve/client.h"
+#include "serve/queue.h"
+#include "serve/server.h"
+#include "util/errors.h"
+
+namespace paragraph::serve {
+namespace {
+
+dataset::SuiteDataset& tiny_dataset() {
+  static dataset::SuiteDataset ds = dataset::build_dataset(21, 0.05);
+  return ds;
+}
+
+core::CapEnsemble train_tiny_ensemble(int epochs) {
+  core::EnsembleConfig cfg;
+  cfg.max_vs_ff = {1.0, 1e4};
+  cfg.base.epochs = epochs;
+  cfg.base.num_layers = 2;
+  cfg.base.embed_dim = 8;
+  cfg.base.seed = 21;  // matches tiny_dataset: one normaliser serves both
+  cfg.base.scale = 0.05;
+  core::CapEnsemble ens(cfg);
+  ens.train(tiny_dataset());
+  return ens;
+}
+
+// Two trained generations, saved once per process: "A" is the serving
+// ensemble, "B" is the replacement the reload tests swap in. Different
+// epoch counts give different weights, so their predictions are
+// distinguishable, while the shared (seed, scale) keeps the registry's
+// normaliser cache hot across every server in this file.
+struct Artifacts {
+  std::string dir;
+  std::string ensemble_a;  // + .m0 / .m1 member files
+  std::string ensemble_b;
+};
+
+const Artifacts& artifacts() {
+  static const Artifacts a = [] {
+    Artifacts art;
+    art.dir = ::testing::TempDir() + "serve_artifacts";
+    std::filesystem::create_directories(art.dir);
+    art.ensemble_a = art.dir + "/ens_a.bin";
+    art.ensemble_b = art.dir + "/ens_b.bin";
+    train_tiny_ensemble(2).save(art.ensemble_a);
+    train_tiny_ensemble(3).save(art.ensemble_b);
+    return art;
+  }();
+  return a;
+}
+
+// Copies an ensemble (manifest + members) to fresh paths so tests that
+// corrupt or swap files cannot interfere with each other.
+std::string copy_ensemble(const std::string& src, const std::string& dst) {
+  namespace fs = std::filesystem;
+  for (const char* suffix : {"", ".m0", ".m1"})
+    fs::copy_file(src + suffix, dst + suffix, fs::copy_options::overwrite_existing);
+  return dst;
+}
+
+ServeConfig base_config(const std::string& tag, const std::string& ensemble_path) {
+  ServeConfig cfg;
+  cfg.socket_path = ::testing::TempDir() + "serve_" + tag + ".sock";
+  cfg.registry.ensemble_path = ensemble_path;
+  return cfg;
+}
+
+std::vector<std::string> test_decks() {
+  std::vector<std::string> decks;
+  for (const auto& s : tiny_dataset().test) decks.push_back(circuit::write_spice_string(s.netlist));
+  // A hierarchical deck (instances survive flattening) exercises the
+  // worker's PlanCache path alongside the flat parallel path.
+  decks.push_back(R"(.subckt inv in out
+Mn out in vss vss nmos L=16n W=32n
+Mp out in vdd vdd pmos L=16n W=64n
+.ends
+X1 a b inv
+X2 b c inv
+X3 c d inv
+C1 d vss 1f
+)");
+  return decks;
+}
+
+std::string predictions_of(const obs::JsonValue& resp) {
+  const obs::JsonValue* p = resp.find("predictions");
+  return p != nullptr ? p->dump() : std::string();
+}
+
+// ---------------------------------------------------------------- queue unit
+
+Job make_job(std::int64_t id, Priority p) {
+  Job j;
+  j.id = id;
+  j.priority = p;
+  return j;
+}
+
+TEST(RequestQueue, StrictPriorityFifoWithinLane) {
+  RequestQueue q(8);
+  ASSERT_EQ(q.push(make_job(1, Priority::kLow)), RequestQueue::PushResult::kOk);
+  ASSERT_EQ(q.push(make_job(2, Priority::kHigh)), RequestQueue::PushResult::kOk);
+  ASSERT_EQ(q.push(make_job(3, Priority::kNormal)), RequestQueue::PushResult::kOk);
+  ASSERT_EQ(q.push(make_job(4, Priority::kHigh)), RequestQueue::PushResult::kOk);
+  const auto batch = q.pop_batch(8);
+  ASSERT_EQ(batch.size(), 4u);
+  EXPECT_EQ(batch[0].id, 2);  // high, FIFO
+  EXPECT_EQ(batch[1].id, 4);
+  EXPECT_EQ(batch[2].id, 3);  // then normal
+  EXPECT_EQ(batch[3].id, 1);  // then low
+}
+
+TEST(RequestQueue, CapacityRejectsAndCloseDrains) {
+  RequestQueue q(2);
+  EXPECT_EQ(q.push(make_job(1, Priority::kNormal)), RequestQueue::PushResult::kOk);
+  EXPECT_EQ(q.push(make_job(2, Priority::kNormal)), RequestQueue::PushResult::kOk);
+  EXPECT_EQ(q.push(make_job(3, Priority::kHigh)), RequestQueue::PushResult::kFull);
+  q.close();
+  EXPECT_EQ(q.push(make_job(4, Priority::kNormal)), RequestQueue::PushResult::kClosed);
+  EXPECT_EQ(q.pop_batch(1).size(), 1u);  // drains despite closed
+  EXPECT_EQ(q.pop_batch(1).size(), 1u);
+  EXPECT_TRUE(q.pop_batch(1).empty());  // closed + empty = worker exit
+}
+
+TEST(RequestQueue, PopBatchTakesAtMostMaxBatch) {
+  RequestQueue q(8);
+  for (int i = 0; i < 5; ++i) ASSERT_EQ(q.push(make_job(i, Priority::kNormal)),
+                                        RequestQueue::PushResult::kOk);
+  EXPECT_EQ(q.pop_batch(3).size(), 3u);
+  EXPECT_EQ(q.depth(), 2u);
+}
+
+// ------------------------------------------------------------- server loops
+
+TEST(Serve, BatchedResponsesBitIdenticalToSingle) {
+  const auto decks = test_decks();
+
+  // Pass 1: micro-batching on; hold the queue so the backlog forms and
+  // the whole set is answered in one batch.
+  std::vector<std::string> batched;
+  {
+    ServeConfig cfg = base_config("batched", artifacts().ensemble_a);
+    cfg.max_batch = 16;
+    Server server(cfg);
+    server.start();
+    server.pause_worker();
+    ServeClient client = ServeClient::connect_unix(cfg.socket_path);
+    for (std::size_t i = 0; i < decks.size(); ++i) {
+      obs::JsonValue req = obs::JsonValue::object();
+      req.set("id", static_cast<long long>(i));
+      req.set("netlist", decks[i]);
+      write_frame(client.fd(), req.dump());
+    }
+    // All admitted before any service: the admission happens on the
+    // reader thread, so wait for the queue to fill.
+    while (server.stats().requests.load() < decks.size())
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    server.resume_worker();
+    for (std::size_t i = 0; i < decks.size(); ++i) {
+      std::string payload;
+      ASSERT_TRUE(read_frame(client.fd(), &payload));
+      const auto resp = obs::JsonValue::parse(payload);
+      ASSERT_TRUE(resp.has_value());
+      ASSERT_TRUE(resp->at("ok").as_bool()) << payload;
+      batched.push_back(predictions_of(*resp));
+    }
+    EXPECT_EQ(server.stats().batches.load(), 1u) << "backlog should drain as one micro-batch";
+    EXPECT_EQ(server.stats().max_batch_seen.load(), decks.size());
+    server.stop();
+  }
+
+  // Pass 2: batching off (max_batch = 1), fresh server, same decks one
+  // round-trip at a time.
+  {
+    ServeConfig cfg = base_config("single", artifacts().ensemble_a);
+    cfg.max_batch = 1;
+    Server server(cfg);
+    server.start();
+    ServeClient client = ServeClient::connect_unix(cfg.socket_path);
+    for (std::size_t i = 0; i < decks.size(); ++i) {
+      const obs::JsonValue resp = client.predict(decks[i]);
+      ASSERT_TRUE(resp.at("ok").as_bool());
+      // Responses must match the batched pass byte for byte: micro-
+      // batching is a latency optimisation, never a numerics change.
+      EXPECT_EQ(predictions_of(resp), batched[i]) << "deck " << i;
+    }
+    server.stop();
+  }
+}
+
+TEST(Serve, DuplicateRequestsCoalesceToOnePrediction) {
+  ServeConfig cfg = base_config("dup", artifacts().ensemble_a);
+  cfg.max_batch = 8;
+  Server server(cfg);
+  server.start();
+  server.pause_worker();
+  const std::string deck = test_decks()[0];
+  ServeClient client = ServeClient::connect_unix(cfg.socket_path);
+  for (int i = 0; i < 4; ++i) {
+    obs::JsonValue req = obs::JsonValue::object();
+    req.set("id", static_cast<long long>(i));
+    req.set("netlist", deck);
+    write_frame(client.fd(), req.dump());
+  }
+  while (server.stats().requests.load() < 4)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  server.resume_worker();
+  std::string first;
+  for (int i = 0; i < 4; ++i) {
+    std::string payload;
+    ASSERT_TRUE(read_frame(client.fd(), &payload));
+    const auto resp = obs::JsonValue::parse(payload);
+    ASSERT_TRUE(resp.has_value());
+    ASSERT_TRUE(resp->at("ok").as_bool());
+    if (i == 0) first = predictions_of(*resp);
+    EXPECT_EQ(predictions_of(*resp), first);
+  }
+  // 4 identical decks in one batch = 1 predicted group + 3 coalesced.
+  EXPECT_EQ(server.stats().coalesced.load(), 3u);
+  server.stop();
+}
+
+TEST(Serve, PriorityOrderingUnderBacklog) {
+  ServeConfig cfg = base_config("prio", artifacts().ensemble_a);
+  cfg.max_batch = 1;  // one job per batch: service order is observable
+  Server server(cfg);
+  server.start();
+  server.pause_worker();
+  const std::string deck = test_decks()[0];
+  ServeClient client = ServeClient::connect_unix(cfg.socket_path);
+  const std::vector<std::pair<int, const char*>> sends = {
+      {1, "low"}, {2, "normal"}, {3, "high"}, {4, "low"}, {5, "high"}, {6, "normal"}};
+  for (const auto& [id, prio] : sends) {
+    obs::JsonValue req = obs::JsonValue::object();
+    req.set("id", static_cast<long long>(id));
+    req.set("netlist", deck);
+    req.set("priority", prio);
+    write_frame(client.fd(), req.dump());
+  }
+  while (server.stats().requests.load() < sends.size())
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  server.resume_worker();
+  // Responses on one connection arrive in service order: highs first
+  // (FIFO within the lane), then normals, then lows.
+  const std::vector<int> expect = {3, 5, 2, 6, 1, 4};
+  for (const int want : expect) {
+    std::string payload;
+    ASSERT_TRUE(read_frame(client.fd(), &payload));
+    const auto resp = obs::JsonValue::parse(payload);
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_EQ(resp->at("id").as_int(), want);
+  }
+  server.stop();
+}
+
+TEST(Serve, FullQueueRejectsWithTypedError) {
+  ServeConfig cfg = base_config("full", artifacts().ensemble_a);
+  cfg.queue_capacity = 2;
+  Server server(cfg);
+  server.start();
+  server.pause_worker();
+  const std::string deck = test_decks()[0];
+  ServeClient client = ServeClient::connect_unix(cfg.socket_path);
+  for (int i = 0; i < 3; ++i) {
+    obs::JsonValue req = obs::JsonValue::object();
+    req.set("id", static_cast<long long>(i));
+    req.set("netlist", deck);
+    write_frame(client.fd(), req.dump());
+  }
+  // The rejection arrives while the worker is still paused: admission
+  // control answers immediately, it never waits for capacity.
+  std::string payload;
+  ASSERT_TRUE(read_frame(client.fd(), &payload));
+  const auto resp = obs::JsonValue::parse(payload);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_FALSE(resp->at("ok").as_bool());
+  EXPECT_EQ(resp->at("error").at("code").as_string(), "queue_full");
+  EXPECT_EQ(resp->at("id").as_int(), 2);  // the overflowing request
+  EXPECT_EQ(server.stats().rejected.load(), 1u);
+  server.resume_worker();
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(read_frame(client.fd(), &payload));
+    EXPECT_TRUE(obs::JsonValue::parse(payload)->at("ok").as_bool());
+  }
+  server.stop();
+}
+
+TEST(Serve, BadRequestsAnswerTypedErrorsAndServerSurvives) {
+  ServeConfig cfg = base_config("bad", artifacts().ensemble_a);
+  Server server(cfg);
+  server.start();
+  ServeClient client = ServeClient::connect_unix(cfg.socket_path);
+
+  write_frame(client.fd(), "this is not json");
+  std::string payload;
+  ASSERT_TRUE(read_frame(client.fd(), &payload));
+  EXPECT_EQ(obs::JsonValue::parse(payload)->at("error").at("code").as_string(), "bad_request");
+
+  obs::JsonValue req = obs::JsonValue::object();
+  req.set("id", 9);
+  req.set("netlist", "Zq bogus card\n");
+  write_frame(client.fd(), req.dump());
+  ASSERT_TRUE(read_frame(client.fd(), &payload));
+  const auto resp = obs::JsonValue::parse(payload);
+  EXPECT_EQ(resp->at("error").at("code").as_string(), "parse_error");
+  EXPECT_EQ(resp->at("id").as_int(), 9);
+
+  // The daemon is still healthy afterwards.
+  EXPECT_TRUE(client.predict(test_decks()[0]).at("ok").as_bool());
+  server.stop();
+}
+
+TEST(Serve, ReloadMidTrafficServesOnlyCompleteGenerations) {
+  namespace fs = std::filesystem;
+  const std::string live = copy_ensemble(artifacts().ensemble_a,
+                                         ::testing::TempDir() + "serve_live_ens.bin");
+  ServeConfig cfg = base_config("reload", live);
+  Server server(cfg);
+  server.start();
+  const std::string deck = test_decks()[0];
+
+  ServeClient probe = ServeClient::connect_unix(cfg.socket_path);
+  const std::string expect_a = predictions_of(probe.predict(deck));
+
+  // Hammer from two client threads while the swap happens; every answer
+  // must be ok and carry a complete generation's predictions.
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> failures{0}, mixed{0}, old_gen{0}, new_gen{0};
+  const auto hammer = [&] {
+    ServeClient c = ServeClient::connect_unix(cfg.socket_path);
+    while (!done.load()) {
+      const obs::JsonValue resp = c.predict(deck);
+      const obs::JsonValue* ok = resp.find("ok");
+      if (ok == nullptr || !ok->as_bool()) {
+        failures.fetch_add(1);
+        continue;
+      }
+      const std::uint64_t gen = static_cast<std::uint64_t>(resp.at("model_generation").as_int());
+      (gen == 1 ? old_gen : new_gen).fetch_add(1);
+      // Generation 1 answers must be pure model A. (Generation 2 answers
+      // are checked against B once the hammer stops.)
+      if (gen == 1 && predictions_of(resp) != expect_a) mixed.fetch_add(1);
+    }
+  };
+  std::thread t1(hammer), t2(hammer);
+
+  copy_ensemble(artifacts().ensemble_b, live);
+  const obs::JsonValue reload_resp = probe.admin("reload");
+  ASSERT_TRUE(reload_resp.at("ok").as_bool());
+  EXPECT_EQ(reload_resp.at("model_generation").as_int(), 2);
+  // Let post-reload traffic flow, then stop.
+  for (int i = 0; i < 20 && new_gen.load() == 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  done.store(true);
+  t1.join();
+  t2.join();
+
+  EXPECT_EQ(failures.load(), 0u) << "reload must not fail any request";
+  EXPECT_EQ(mixed.load(), 0u) << "every answer must come from one complete generation";
+  EXPECT_GT(old_gen.load() + new_gen.load(), 0u);
+
+  // Post-swap answers are pure model B: bit-identical to a fresh server
+  // loading B directly.
+  const std::string expect_b_live = predictions_of(probe.predict(deck));
+  EXPECT_NE(expect_b_live, expect_a) << "generations must differ for this test to mean anything";
+  {
+    ServeConfig bcfg = base_config("reload_b", artifacts().ensemble_b);
+    Server bserver(bcfg);
+    bserver.start();
+    ServeClient bc = ServeClient::connect_unix(bcfg.socket_path);
+    EXPECT_EQ(predictions_of(bc.predict(deck)), expect_b_live);
+    bserver.stop();
+  }
+  server.stop();
+  fs::remove(live + ".m0");
+  fs::remove(live + ".m1");
+  fs::remove(live);
+}
+
+TEST(Serve, CorruptMemberOnReloadDegradesButServes) {
+  const std::string live = copy_ensemble(artifacts().ensemble_a,
+                                         ::testing::TempDir() + "serve_degraded_ens.bin");
+  ServeConfig cfg = base_config("degraded", live);
+  Server server(cfg);
+  server.start();
+  ServeClient client = ServeClient::connect_unix(cfg.socket_path);
+  ASSERT_FALSE(client.predict(test_decks()[0]).at("degraded").as_bool());
+
+  {
+    std::ofstream f(live + ".m1", std::ios::trunc);
+    f << "not a model";
+  }
+  const obs::JsonValue resp = client.admin("reload");
+  ASSERT_TRUE(resp.at("ok").as_bool());
+  EXPECT_EQ(resp.at("model_generation").as_int(), 2);
+  EXPECT_TRUE(resp.at("degraded").as_bool());
+
+  // Still answering, flagged degraded, and stats name the corrupt file.
+  const obs::JsonValue pred = client.predict(test_decks()[0]);
+  EXPECT_TRUE(pred.at("ok").as_bool());
+  EXPECT_TRUE(pred.at("degraded").as_bool());
+  const obs::JsonValue stats = client.admin("stats");
+  const auto& dropped = stats.at("stats").at("dropped_members");
+  ASSERT_EQ(dropped.size(), 1u);
+  EXPECT_NE(dropped[0].as_string().find(".m1"), std::string::npos);
+  server.stop();
+  std::filesystem::remove(live + ".m0");
+  std::filesystem::remove(live + ".m1");
+  std::filesystem::remove(live);
+}
+
+TEST(Serve, CorruptManifestOnReloadKeepsOldGenerationServing) {
+  const std::string live = copy_ensemble(artifacts().ensemble_a,
+                                         ::testing::TempDir() + "serve_manifest_ens.bin");
+  ServeConfig cfg = base_config("manifest", live);
+  Server server(cfg);
+  server.start();
+  ServeClient client = ServeClient::connect_unix(cfg.socket_path);
+  const std::string before = predictions_of(client.predict(test_decks()[0]));
+
+  {
+    std::ofstream f(live, std::ios::trunc);
+    f << "garbage manifest";
+  }
+  const obs::JsonValue resp = client.admin("reload");
+  // The reload failed, the old generation still serves, unchanged.
+  ASSERT_TRUE(resp.at("ok").as_bool());
+  EXPECT_EQ(resp.at("model_generation").as_int(), 1);
+  const obs::JsonValue pred = client.predict(test_decks()[0]);
+  EXPECT_TRUE(pred.at("ok").as_bool());
+  EXPECT_EQ(predictions_of(pred), before);
+  server.stop();
+  std::filesystem::remove(live + ".m0");
+  std::filesystem::remove(live + ".m1");
+  std::filesystem::remove(live);
+}
+
+TEST(Serve, TcpLoopbackServes) {
+  ServeConfig cfg = base_config("tcp", artifacts().ensemble_a);
+  cfg.tcp_port = 0;  // ephemeral
+  Server server(cfg);
+  server.start();
+  ASSERT_GT(server.tcp_port(), 0);
+  ServeClient client = ServeClient::connect_tcp("127.0.0.1", server.tcp_port());
+  const obs::JsonValue resp = client.predict(test_decks()[0]);
+  EXPECT_TRUE(resp.at("ok").as_bool());
+
+  ServeClient unix_client = ServeClient::connect_unix(cfg.socket_path);
+  EXPECT_EQ(predictions_of(unix_client.predict(test_decks()[0])), predictions_of(resp));
+  server.stop();
+}
+
+TEST(Serve, SocketPathInUseThrowsIoError) {
+  ServeConfig cfg = base_config("inuse", artifacts().ensemble_a);
+  Server server(cfg);
+  server.start();
+  Server rival(cfg);
+  EXPECT_THROW(rival.start(), util::IoError);
+  // The loser must not have unlinked the winner's socket.
+  ServeClient client = ServeClient::connect_unix(cfg.socket_path);
+  EXPECT_TRUE(client.admin("stats").at("ok").as_bool());
+  server.stop();
+}
+
+TEST(Serve, ShutdownAdminDrainsAndStops) {
+  ServeConfig cfg = base_config("shutdown", artifacts().ensemble_a);
+  Server server(cfg);
+  server.start();
+  ServeClient client = ServeClient::connect_unix(cfg.socket_path);
+  EXPECT_TRUE(client.admin("shutdown").at("ok").as_bool());
+  server.wait();  // returns once the acceptor saw the stop byte
+  server.stop();
+  // Fresh connections are refused after teardown.
+  EXPECT_THROW(ServeClient::connect_unix(cfg.socket_path), util::IoError);
+}
+
+}  // namespace
+}  // namespace paragraph::serve

@@ -46,6 +46,28 @@
 //       fitted normaliser). train/evaluate stream from such a directory
 //       via --shards, holding at most --max-resident-mb of materialised
 //       samples at a time instead of the whole dataset (DESIGN.md §11).
+//   paragraph serve --socket PATH [--tcp PORT] [--ensemble ENS]
+//                   [--models A.bin,B.bin] [--queue-cap N] [--max-batch N]
+//                   [--no-batching]
+//       Long-lived inference daemon (DESIGN.md §12): loads the models
+//       once, answers length-prefixed JSON requests on a unix-domain
+//       socket (and loopback TCP with --tcp; port 0 picks one and prints
+//       it). Concurrent requests are micro-batched (up to --max-batch per
+//       pass; --no-batching = 1) through a bounded priority queue of
+//       --queue-cap entries; an over-full queue rejects with a typed
+//       `queue_full` error instead of stalling. SIGHUP (or the `reload`
+//       admin command) hot-swaps the model from the same paths: in-flight
+//       requests finish on the old generation, a corrupt ensemble member
+//       degrades the ensemble (warning names the file), a corrupt
+//       manifest keeps the old generation serving. SIGTERM/SIGINT drain
+//       the queue, answer everything admitted, then exit 0. A socket path
+//       or TCP port already in use exits 3.
+//   paragraph client --socket PATH | --tcp HOST:PORT
+//                    (--netlist FILE.sp [--priority P] | --admin CMD)
+//       One round-trip against a running serve daemon: send one netlist
+//       (or admin command: stats, reload, shutdown), print the
+//       predictions (or the stats/ack JSON), exit 0. Any server-side
+//       error response prints its code and message and exits 3.
 //
 // Out-of-core options (train, evaluate):
 //   --shards DIR         stream samples from a packed shard directory
@@ -87,12 +109,17 @@
 //   3  bad input or artifact (unreadable/corrupt model, checkpoint, or
 //      netlist; SPICE parse errors)
 //   4  training diverged (persistent non-finite loss/gradients)
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <span>
+#include <sstream>
+
+#include <unistd.h>
 
 #include "circuit/spice_parser.h"
 #include "circuit/spice_writer.h"
@@ -108,6 +135,8 @@
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "runtime/thread_pool.h"
+#include "serve/client.h"
+#include "serve/server.h"
 #include "util/args.h"
 #include "util/atomic_file.h"
 #include "util/errors.h"
@@ -119,7 +148,7 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: paragraph <generate|train|predict|evaluate|report|annotate|dataset> [options]\n"
+               "usage: paragraph <generate|train|predict|evaluate|report|annotate|dataset|serve|client> [options]\n"
                "run with a command and --help for the option list in the file header\n");
   return 2;
 }
@@ -592,6 +621,151 @@ int cmd_annotate(const util::ArgParser& args) {
   return 0;
 }
 
+// ---- serve / client ------------------------------------------------------
+
+// The serve daemon's async-signal bridge: handlers may only write a byte
+// to the server's self-pipe, so the fd is parked in a global the moment
+// the server starts. SIGHUP = reload, SIGTERM/SIGINT = drain and exit.
+std::atomic<int> g_serve_notify_fd{-1};
+
+extern "C" void serve_signal_handler(int sig) {
+  const int fd = g_serve_notify_fd.load(std::memory_order_relaxed);
+  if (fd < 0) return;
+  const char c = sig == SIGHUP ? 'H' : 'T';
+  (void)!::write(fd, &c, 1);
+}
+
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    const std::string part = s.substr(start, comma == std::string::npos ? comma : comma - start);
+    if (!part.empty()) out.push_back(part);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+int cmd_serve(const util::ArgParser& args) {
+  serve::ServeConfig cfg;
+  cfg.socket_path = args.get("socket");
+  if (cfg.socket_path.empty()) {
+    std::fprintf(stderr, "serve: --socket PATH is required\n");
+    return 2;
+  }
+  if (args.has("tcp")) cfg.tcp_port = static_cast<int>(args.get_int("tcp", 0));
+  cfg.registry.ensemble_path = args.get("ensemble");
+  cfg.registry.model_paths = split_commas(args.get("models", args.get("model")));
+  const long qcap = args.get_int("queue-cap", 64);
+  const long mbatch = args.has("no-batching") ? 1 : args.get_int("max-batch", 8);
+  if (qcap <= 0 || mbatch <= 0) {
+    std::fprintf(stderr, "serve: --queue-cap and --max-batch must be positive\n");
+    return 2;
+  }
+  cfg.queue_capacity = static_cast<std::size_t>(qcap);
+  cfg.max_batch = static_cast<std::size_t>(mbatch);
+
+  serve::Server server(std::move(cfg));
+  server.start();
+  g_serve_notify_fd.store(server.notify_fd(), std::memory_order_relaxed);
+  std::signal(SIGHUP, serve_signal_handler);
+  std::signal(SIGTERM, serve_signal_handler);
+  std::signal(SIGINT, serve_signal_handler);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  std::printf("serving on %s", server.config().socket_path.c_str());
+  if (server.tcp_port() >= 0) std::printf(" and 127.0.0.1:%d", server.tcp_port());
+  std::printf(" (generation %llu%s); SIGHUP reloads, SIGTERM drains\n",
+              static_cast<unsigned long long>(server.registry().current()->generation),
+              server.registry().current()->degraded ? ", DEGRADED" : "");
+  std::fflush(stdout);
+
+  server.wait();
+  std::signal(SIGHUP, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+  g_serve_notify_fd.store(-1, std::memory_order_relaxed);
+  server.stop();
+  const auto& st = server.stats();
+  std::printf("served %llu responses (%llu errors, %llu rejected) in %llu batches\n",
+              static_cast<unsigned long long>(st.responses.load()),
+              static_cast<unsigned long long>(st.errors.load()),
+              static_cast<unsigned long long>(st.rejected.load()),
+              static_cast<unsigned long long>(st.batches.load()));
+  return 0;
+}
+
+int cmd_client(const util::ArgParser& args) {
+  const std::string socket_path = args.get("socket");
+  const std::string tcp = args.get("tcp");
+  if (socket_path.empty() == tcp.empty()) {
+    std::fprintf(stderr, "client: exactly one of --socket PATH or --tcp HOST:PORT is required\n");
+    return 2;
+  }
+  const std::string netlist_path = args.get("netlist");
+  const std::string admin = args.get("admin");
+  if (netlist_path.empty() == admin.empty()) {
+    std::fprintf(stderr, "client: exactly one of --netlist FILE or --admin CMD is required\n");
+    return 2;
+  }
+
+  auto connect = [&]() {
+    if (!socket_path.empty()) return serve::ServeClient::connect_unix(socket_path);
+    const std::size_t colon = tcp.rfind(':');
+    if (colon == std::string::npos || colon + 1 == tcp.size())
+      throw std::invalid_argument("client: --tcp needs HOST:PORT, got '" + tcp + "'");
+    return serve::ServeClient::connect_tcp(tcp.substr(0, colon),
+                                           std::stoi(tcp.substr(colon + 1)));
+  };
+  serve::ServeClient client = connect();
+
+  const auto id = static_cast<std::int64_t>(args.get_int("id", 1));
+  obs::JsonValue resp;
+  if (!admin.empty()) {
+    resp = client.admin(admin, id);
+  } else {
+    serve::Priority priority = serve::Priority::kNormal;
+    const std::string pname = args.get("priority", "normal");
+    if (!serve::parse_priority(pname, &priority))
+      throw std::invalid_argument("client: unknown --priority '" + pname +
+                                  "' (use low, normal, high)");
+    std::ifstream f(netlist_path);
+    if (!f) throw util::IoError("client: cannot read netlist '" + netlist_path + "'");
+    std::ostringstream text;
+    text << f.rdbuf();
+    resp = client.predict(text.str(), priority, id);
+  }
+
+  const obs::JsonValue* ok = resp.find("ok");
+  if (ok == nullptr || !ok->is_bool() || !ok->as_bool()) {
+    const obs::JsonValue* err = resp.find("error");
+    const obs::JsonValue* code = err != nullptr ? err->find("code") : nullptr;
+    const obs::JsonValue* msg = err != nullptr ? err->find("message") : nullptr;
+    std::fprintf(stderr, "client: server error [%s] %s\n",
+                 code != nullptr && code->is_string() ? code->as_string().c_str() : "unknown",
+                 msg != nullptr && msg->is_string() ? msg->as_string().c_str() : "(no message)");
+    return util::kExitBadInput;
+  }
+  if (const obs::JsonValue* preds = resp.find("predictions"); preds != nullptr) {
+    const obs::JsonValue* gen = resp.find("model_generation");
+    const obs::JsonValue* degraded = resp.find("degraded");
+    std::printf("# predictions from generation %lld%s\n",
+                gen != nullptr ? static_cast<long long>(gen->as_int()) : -1LL,
+                degraded != nullptr && degraded->as_bool() ? " (degraded)" : "");
+    for (const auto& [target, values] : preds->items()) {
+      std::printf("## %s\n", target.c_str());
+      for (const auto& [name, value] : values.items())
+        std::printf("%-32s %g\n", name.c_str(), value.as_double());
+    }
+  } else {
+    // Admin responses print verbatim: stats payloads are for scripts.
+    std::printf("%s\n", resp.dump().c_str());
+  }
+  return 0;
+}
+
 // Maps a thrown exception to the documented exit-code taxonomy.
 int exit_code_for(const std::exception& e) {
   if (dynamic_cast<const util::DivergenceError*>(&e) != nullptr) return util::kExitDiverged;
@@ -635,6 +809,8 @@ int main(int argc, char** argv) {
     else if (command == "report") rc = cmd_report(args);
     else if (command == "annotate") rc = cmd_annotate(args);
     else if (command == "dataset") rc = cmd_dataset(args);
+    else if (command == "serve") rc = cmd_serve(args);
+    else if (command == "client") rc = cmd_client(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "paragraph %s: %s\n", command.c_str(), e.what());
     // Flush whatever was collected before the failure; partial metrics and
