@@ -141,5 +141,63 @@ PYEOF
   else
     echo "quality report generation FAILED (train or report exited nonzero)" >&2
   fi
+
+  # Live-daemon stats snapshot (paragraph-stats-v1, see DESIGN.md §13):
+  # serve the model just trained, push one request through it, capture the
+  # stats document with `paragraph top --once --json`, and validate the
+  # schema the dashboards and `paragraph top` consume. The daemon is torn
+  # down via the admin shutdown verb either way.
+  stats_sock=$(mktemp -u /tmp/paragraph_stats.XXXXXX.sock)
+  stats_deck=$(mktemp /tmp/paragraph_stats_deck.XXXXXX.sp)
+  printf 'M1 out in vss vss nmos L=16n W=32n\nC1 out vss 1f\n' > "$stats_deck"
+  "$CLI" serve --socket "$stats_sock" --model "$tmp_model" >/dev/null 2>&1 &
+  serve_pid=$!
+  for _ in $(seq 1 100); do
+    "$CLI" client --socket "$stats_sock" --admin healthz >/dev/null 2>&1 && break
+    sleep 0.1
+  done
+  if "$CLI" client --socket "$stats_sock" --netlist "$stats_deck" >/dev/null 2>&1 &&
+     "$CLI" top --socket "$stats_sock" --once --json > bench_results/obs/serve_stats.json 2>/dev/null; then
+    if ! command -v python3 >/dev/null; then
+      echo "serve stats (unvalidated, no python3): bench_results/obs/serve_stats.json"
+    elif python3 - bench_results/obs/serve_stats.json <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "paragraph-stats-v1"
+for key in ("server", "model", "slo", "metrics", "process", "recent"):
+    assert key in doc, key
+srv = doc["server"]
+for key in ("connections", "requests", "responses", "rejected", "errors", "batches",
+            "coalesced", "reloads", "max_batch_seen", "inflight", "queue_depth",
+            "queue_capacity", "max_batch", "queue_lanes"):
+    assert key in srv, key
+assert srv["responses"] >= 1
+for lane in ("low", "normal", "high"):
+    assert lane in srv["queue_lanes"], lane
+assert doc["model"]["generation"] >= 1
+for w in ("10s", "1m", "5m"):
+    win = doc["slo"]["windows"][w]
+    for key in ("total", "good", "availability", "burn_rate"):
+        assert key in win, key
+assert "budget_remaining" in doc["slo"]
+assert "serve.latency_us" in doc["metrics"]["histograms"]
+assert "serve.queue_wait_us.normal" in doc["metrics"]["histograms"]
+assert "serve.inflight" in doc["metrics"]["gauges"]
+assert doc["recent"], "recent ring empty after a served request"
+rec = doc["recent"][-1]
+for key in ("request_id", "priority", "deck", "ok", "phases", "done_ts_ms"):
+    assert key in rec, key
+PYEOF
+    then
+      echo "serve stats ok: bench_results/obs/serve_stats.json"
+    else
+      echo "serve stats INVALID (schema or keys): bench_results/obs/serve_stats.json" >&2
+    fi
+  else
+    echo "serve stats capture FAILED (daemon, client, or top exited nonzero)" >&2
+  fi
+  "$CLI" client --socket "$stats_sock" --admin shutdown >/dev/null 2>&1
+  wait "$serve_pid" 2>/dev/null
+  rm -f "$stats_deck"
   rm -f "$tmp_model"
 fi

@@ -25,11 +25,16 @@
 #                                          # sanitizers
 #   scripts/run_sanitizers.sh serve        # the serve label (inference
 #                                          # daemon loopback: micro-batching,
-#                                          # priority queue, graceful reload)
+#                                          # priority queue, graceful reload,
+#                                          # live telemetry/SLO surfaces)
 #                                          # under all three sanitizers — the
 #                                          # TSan flavour is the one that
 #                                          # matters most here, the daemon is
 #                                          # the most thread-heavy subsystem
+#   scripts/run_sanitizers.sh obs          # the obs label (metrics registry
+#                                          # snapshot vs concurrent writers,
+#                                          # histogram quantile edges, trace/
+#                                          # log plumbing) under all three
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -41,6 +46,7 @@ case "${1:-}" in
   quality) shift; set -- -L quality "$@" ;;
   scale) shift; set -- -L scale "$@" ;;
   serve) shift; set -- -L serve "$@" ;;
+  obs) shift; set -- -L obs "$@" ;;
 esac
 
 for san in $sans; do

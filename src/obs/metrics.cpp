@@ -66,6 +66,47 @@ void Histogram::reset() {
   sum_ = min_ = max_ = 0.0;
 }
 
+JsonValue HistogramSummary::to_json() const {
+  JsonValue o = JsonValue::object();
+  o.set("count", count);
+  o.set("min", min);
+  o.set("max", max);
+  o.set("mean", mean);
+  o.set("sum", sum);
+  o.set("p50", p50);
+  o.set("p95", p95);
+  o.set("p99", p99);
+  if (samples_capped) o.set("samples_capped", true);
+  return o;
+}
+
+JsonValue MetricsSnapshot::to_json() const {
+  JsonValue root = JsonValue::object();
+
+  JsonValue counter_obj = JsonValue::object();
+  for (const auto& [name, v] : counters)
+    if (v != 0) counter_obj.set(name, v);
+  root.set("counters", std::move(counter_obj));
+
+  JsonValue gauge_obj = JsonValue::object();
+  for (const auto& [name, v] : gauges) gauge_obj.set(name, v);
+  root.set("gauges", std::move(gauge_obj));
+
+  JsonValue histogram_obj = JsonValue::object();
+  for (const auto& [name, s] : histograms) {
+    if (s.count == 0) continue;
+    histogram_obj.set(name, s.to_json());
+  }
+  root.set("histograms", std::move(histogram_obj));
+  return root;
+}
+
+const HistogramSummary* MetricsSnapshot::histogram(const std::string& name) const {
+  for (const auto& [n, s] : histograms)
+    if (n == name) return &s;
+  return nullptr;
+}
+
 MetricsRegistry& MetricsRegistry::instance() {
   static MetricsRegistry registry;
   return registry;
@@ -99,36 +140,25 @@ void MetricsRegistry::append_record(const std::string& series, JsonValue record)
   series_[series].push_back(std::move(record));
 }
 
+MetricsSnapshot MetricsRegistry::snapshot_locked() const {
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) snap.counters.emplace_back(name, c->value());
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) snap.gauges.emplace_back(name, g->value());
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) snap.histograms.emplace_back(name, h->summary());
+  return snap;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshot_locked();
+}
+
 JsonValue MetricsRegistry::to_json() const {
   std::lock_guard<std::mutex> lock(mu_);
-  JsonValue root = JsonValue::object();
-
-  JsonValue counters = JsonValue::object();
-  for (const auto& [name, c] : counters_)
-    if (c->value() != 0) counters.set(name, c->value());
-  root.set("counters", std::move(counters));
-
-  JsonValue gauges = JsonValue::object();
-  for (const auto& [name, g] : gauges_) gauges.set(name, g->value());
-  root.set("gauges", std::move(gauges));
-
-  JsonValue histograms = JsonValue::object();
-  for (const auto& [name, h] : histograms_) {
-    const HistogramSummary s = h->summary();
-    if (s.count == 0) continue;
-    JsonValue o = JsonValue::object();
-    o.set("count", s.count);
-    o.set("min", s.min);
-    o.set("max", s.max);
-    o.set("mean", s.mean);
-    o.set("sum", s.sum);
-    o.set("p50", s.p50);
-    o.set("p95", s.p95);
-    o.set("p99", s.p99);
-    if (s.samples_capped) o.set("samples_capped", true);
-    histograms.set(name, std::move(o));
-  }
-  root.set("histograms", std::move(histograms));
+  JsonValue root = snapshot_locked().to_json();
 
   JsonValue series = JsonValue::object();
   for (const auto& [name, records] : series_) {

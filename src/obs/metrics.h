@@ -54,6 +54,11 @@ struct HistogramSummary {
   // True when the per-sample buffer hit its cap; count/sum/min/max remain
   // exact, percentiles cover the retained prefix.
   bool samples_capped = false;
+
+  // {"count": n, "min": ..., "p50": ..., "p99": ...}; adds
+  // "samples_capped" only when set. The shape every metrics/stats
+  // document uses for one histogram.
+  JsonValue to_json() const;
 };
 
 class Histogram {
@@ -71,6 +76,26 @@ class Histogram {
   double sum_ = 0.0, min_ = 0.0, max_ = 0.0;
 };
 
+// One point-in-time view of every registered instrument, captured in a
+// single hold of the registry lock so a reader racing concurrent writers
+// can never observe a torn or half-registered set (the serve daemon's
+// `stats` admin verb reads this while the worker and reader threads keep
+// writing). Instrument values themselves are relaxed atomics, so a
+// snapshot is consistent at instrument granularity: every entry reflects
+// some value that instrument actually held at snapshot time.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSummary>> histograms;
+
+  // {"counters": {...}, "gauges": {...}, "histograms": {...}} with the
+  // same idle-instrument filtering as MetricsRegistry::to_json: zero
+  // counters and empty histograms are skipped, gauges always emit.
+  JsonValue to_json() const;
+  // Lookup by exact name; nullptr when absent.
+  const HistogramSummary* histogram(const std::string& name) const;
+};
+
 class MetricsRegistry {
  public:
   static MetricsRegistry& instance();
@@ -78,6 +103,11 @@ class MetricsRegistry {
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name);
+
+  // Point-in-time snapshot of all counters/gauges/histogram summaries
+  // (series excluded — they are unbounded). Safe against concurrent
+  // writers and concurrent instrument registration.
+  MetricsSnapshot snapshot() const;
 
   // Appends a JSON object to the named series (per-epoch records etc.).
   void append_record(const std::string& series, JsonValue record);
@@ -93,6 +123,10 @@ class MetricsRegistry {
 
  private:
   MetricsRegistry() = default;
+  // Core of snapshot()/to_json(); caller must hold mu_ (mu_ is not
+  // recursive, so the public entry points share this instead of calling
+  // each other).
+  MetricsSnapshot snapshot_locked() const;
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;

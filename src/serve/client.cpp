@@ -76,9 +76,10 @@ obs::JsonValue ServeClient::roundtrip(const obs::JsonValue& req) {
 }
 
 obs::JsonValue ServeClient::predict(const std::string& netlist_text, Priority priority,
-                                    std::int64_t id) {
+                                    std::int64_t id, const std::string& request_id) {
   obs::JsonValue req = obs::JsonValue::object();
   req.set("id", static_cast<long long>(id));
+  if (!request_id.empty()) req.set("request_id", request_id);
   req.set("netlist", netlist_text);
   req.set("priority", priority_name(priority));
   return roundtrip(req);

@@ -28,9 +28,11 @@ class ServeClient {
   // util::IoError when the connection drops before an answer arrives.
   obs::JsonValue roundtrip(const obs::JsonValue& req);
 
-  // Convenience wrappers over roundtrip().
+  // Convenience wrappers over roundtrip(). A non-empty request_id is
+  // propagated for server-side tracing (echoed back in the response);
+  // empty lets the server assign one.
   obs::JsonValue predict(const std::string& netlist_text, Priority priority = Priority::kNormal,
-                         std::int64_t id = 0);
+                         std::int64_t id = 0, const std::string& request_id = std::string());
   obs::JsonValue admin(const std::string& command, std::int64_t id = 0);
 
   int fd() const { return fd_; }

@@ -105,20 +105,24 @@ void write_frame(int fd, const std::string& payload, std::size_t max_bytes) {
   write_all(fd, payload.data(), payload.size());
 }
 
-obs::JsonValue make_error_response(std::int64_t id, ErrorCode code, const std::string& message) {
+obs::JsonValue make_error_response(std::int64_t id, ErrorCode code, const std::string& message,
+                                   const std::string& request_id) {
   obs::JsonValue err = obs::JsonValue::object();
   err.set("code", error_code_name(code));
   err.set("message", message);
   obs::JsonValue resp = obs::JsonValue::object();
   resp.set("id", static_cast<long long>(id));
+  if (!request_id.empty()) resp.set("request_id", request_id);
   resp.set("ok", false);
   resp.set("error", std::move(err));
   return resp;
 }
 
-obs::JsonValue make_ok_response(std::int64_t id, std::uint64_t model_generation, bool degraded) {
+obs::JsonValue make_ok_response(std::int64_t id, std::uint64_t model_generation, bool degraded,
+                                const std::string& request_id) {
   obs::JsonValue resp = obs::JsonValue::object();
   resp.set("id", static_cast<long long>(id));
+  if (!request_id.empty()) resp.set("request_id", request_id);
   resp.set("ok", true);
   resp.set("model_generation", static_cast<unsigned long long>(model_generation));
   resp.set("degraded", degraded);

@@ -11,16 +11,27 @@
 // Request object:
 //   {"id": 7,                  // echoed verbatim in the response (any int)
 //    "netlist": "<spice>",     // SPICE deck, pre-layout
-//    "priority": "high"}       // "low" | "normal" (default) | "high"
+//    "priority": "high",       // "low" | "normal" (default) | "high"
+//    "request_id": "trace-1"}  // optional: propagate a caller-chosen
+//                              // trace id; server assigns "r<N>" if absent
 // Admin object (instead of "netlist"):
-//   {"id": 8, "admin": "reload" | "stats" | "shutdown"}
+//   {"id": 8, "admin": "reload" | "stats" | "healthz" | "shutdown"}
 //
 // Response object:
-//   {"id": 7, "ok": true, "model_generation": 2, "degraded": false,
+//   {"id": 7, "request_id": "trace-1", "ok": true,
+//    "model_generation": 2, "degraded": false,
 //    "predictions": {"CAP": {"<net>": 0.53, ...}, "SP": {...}, ...}}
 // or, on failure:
-//   {"id": 7, "ok": false,
+//   {"id": 7, "request_id": "r42", "ok": false,
 //    "error": {"code": "queue_full", "message": "..."}}
+//
+// `request_id` names the request in server-side telemetry: the recent-
+// requests ring, slow-request log entries, trace spans, and flight-
+// recorder events all carry it (DESIGN.md §13). Responses to frames the
+// server could not attribute to a request (malformed JSON) omit it.
+// `admin: "stats"` answers with a `stats` member holding a
+// paragraph-stats-v1 document; `admin: "healthz"` answers with a `health`
+// member ({"status": "ok"|"degraded"|"overloaded", ...}).
 //
 // Error codes are a closed set so clients can switch on them; see
 // ErrorCode below.
@@ -62,8 +73,11 @@ const char* priority_name(Priority p);
 // Accepts the wire names; returns false on anything else.
 bool parse_priority(const std::string& name, Priority* out);
 
-// Response builders (serialised by the caller via JsonValue::dump).
-obs::JsonValue make_error_response(std::int64_t id, ErrorCode code, const std::string& message);
-obs::JsonValue make_ok_response(std::int64_t id, std::uint64_t model_generation, bool degraded);
+// Response builders (serialised by the caller via JsonValue::dump). An
+// empty request_id omits the field (pre-admission failures).
+obs::JsonValue make_error_response(std::int64_t id, ErrorCode code, const std::string& message,
+                                   const std::string& request_id = std::string());
+obs::JsonValue make_ok_response(std::int64_t id, std::uint64_t model_generation, bool degraded,
+                                const std::string& request_id = std::string());
 
 }  // namespace paragraph::serve

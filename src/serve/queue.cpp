@@ -53,4 +53,11 @@ std::size_t RequestQueue::depth() const {
   return size_;
 }
 
+std::array<std::size_t, kNumPriorities> RequestQueue::lane_depths() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::array<std::size_t, kNumPriorities> depths{};
+  for (std::size_t p = 0; p < kNumPriorities; ++p) depths[p] = lanes_[p].size();
+  return depths;
+}
+
 }  // namespace paragraph::serve

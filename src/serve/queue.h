@@ -39,6 +39,10 @@ class Connection;  // serve/server.h
 // connection to write the response to.
 struct Job {
   std::int64_t id = 0;
+  // Stable trace id ("r<N>" server-assigned, or client-propagated via the
+  // request's "request_id" field), echoed in the response and carried by
+  // every telemetry surface that mentions this request.
+  std::string request_id;
   Priority priority = Priority::kNormal;
   std::string netlist_text;
   std::uint64_t netlist_hash = 0;
@@ -69,6 +73,10 @@ class RequestQueue {
   void set_paused(bool paused);
 
   std::size_t depth() const;
+  // Queued jobs per priority lane, indexed by the Priority value (one
+  // consistent reading — the stats document reports lanes that sum to
+  // the depth taken in the same call).
+  std::array<std::size_t, kNumPriorities> lane_depths() const;
   std::size_t capacity() const { return capacity_; }
 
  private:

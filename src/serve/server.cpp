@@ -13,12 +13,16 @@
 
 #include "circuit/spice_parser.h"
 #include "graph/hetero_graph.h"
+#include "obs/flight_recorder.h"
 #include "obs/log.h"
+#include "obs/memory.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
+#include "obs/trace.h"
 #include "runtime/thread_pool.h"
 #include "util/bytes.h"
 #include "util/errors.h"
+#include "util/faultinject.h"
 
 namespace paragraph::serve {
 
@@ -34,6 +38,50 @@ void close_fd(int& fd) {
 std::int64_t request_id(const obs::JsonValue& req) {
   const obs::JsonValue* id = req.find("id");
   return id != nullptr && id->is_number() ? id->as_int() : 0;
+}
+
+// The request's trace id: client-propagated "request_id" when present,
+// server-assigned "r<N>" otherwise.
+std::string resolve_request_id(const obs::JsonValue& req) {
+  const obs::JsonValue* rid = req.find("request_id");
+  if (rid != nullptr && rid->is_string() && !rid->as_string().empty()) return rid->as_string();
+  return next_request_id();
+}
+
+double us_between(std::chrono::steady_clock::time_point from,
+                  std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+std::int64_t wall_ms_now() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+// Request begin/end markers for the crash flight recorder: a dump whose
+// ring holds a "begin <rid>" without a matching "end <rid>" names a
+// request that was in flight when the process died.
+void flight_mark(const std::string& rid, const char* what) {
+  auto& recorder = obs::FlightRecorder::instance();
+  if (recorder.armed())
+    recorder.record(obs::FlightEvent::Kind::kLog,
+                    static_cast<std::uint8_t>(obs::LogLevel::kInfo), "serve.req",
+                    std::string(what) + " " + rid);
+}
+
+// One per-request phase span: feeds the Chrome trace (named by request
+// id, so a trace view shows each request's lifeline) and the phase
+// profiler. Instrumentation-gated like every other span in the tree —
+// the always-on surfaces are the registry histograms and the ring.
+void span(const std::string& rid, const char* phase, double dur_us) {
+  if (!obs::enabled()) return;
+  obs::Profiler::instance().record(std::string("serve/req/") + phase, dur_us);
+  auto& trace = obs::TraceCollector::instance();
+  if (trace.enabled())
+    trace.add_complete("req " + rid + " " + phase, "serve",
+                       obs::now_us() - static_cast<std::int64_t>(dur_us),
+                       static_cast<std::int64_t>(dur_us));
 }
 
 // Predictions keyed by node name for one target, in predict_all order
@@ -77,7 +125,11 @@ void Connection::shutdown_read() { ::shutdown(fd_, SHUT_RD); }
 // -------------------------------------------------------------------- Server
 
 Server::Server(ServeConfig config)
-    : config_(std::move(config)), registry_(config_.registry), queue_(config_.queue_capacity) {
+    : config_(std::move(config)),
+      registry_(config_.registry),
+      queue_(config_.queue_capacity),
+      recent_(config_.recent_capacity),
+      slo_(SloTracker::Config{config_.slo_latency_ms, config_.slo_target}) {
   if (config_.max_batch == 0) config_.max_batch = 1;
 }
 
@@ -167,7 +219,11 @@ void Server::start() {
     close_fd(notify_write_fd_);
     throw;
   }
-  if (obs::enabled()) {
+  // Serve-level instruments are always on (not gated on obs::enabled()):
+  // requests are milliseconds-scale, so the registry cost is noise, and
+  // the `stats` admin verb must answer on any daemon, not only ones
+  // started with --metrics-out.
+  {
     auto& reg = obs::MetricsRegistry::instance();
     reg.gauge("serve.queue_capacity").set(static_cast<double>(queue_.capacity()));
     reg.gauge("serve.max_batch").set(static_cast<double>(config_.max_batch));
@@ -323,11 +379,13 @@ void Server::reader_loop(std::shared_ptr<Connection> conn) {
 
 void Server::handle_request(const std::shared_ptr<Connection>& conn, const obs::JsonValue& req) {
   const std::int64_t id = request_id(req);
+  const std::string rid = resolve_request_id(req);
   const obs::JsonValue* netlist = req.find("netlist");
   if (netlist == nullptr || !netlist->is_string()) {
     stats_.errors.fetch_add(1, std::memory_order_relaxed);
     conn->send(make_error_response(id, ErrorCode::kBadRequest,
-                                   "request needs a string \"netlist\" (or \"admin\") field"));
+                                   "request needs a string \"netlist\" (or \"admin\") field",
+                                   rid));
     return;
   }
   Priority priority = Priority::kNormal;
@@ -335,37 +393,45 @@ void Server::handle_request(const std::shared_ptr<Connection>& conn, const obs::
     if (!p->is_string() || !parse_priority(p->as_string(), &priority)) {
       stats_.errors.fetch_add(1, std::memory_order_relaxed);
       conn->send(make_error_response(id, ErrorCode::kBadRequest,
-                                     "priority must be \"low\", \"normal\", or \"high\""));
+                                     "priority must be \"low\", \"normal\", or \"high\"", rid));
       return;
     }
   }
   Job job;
   job.id = id;
+  job.request_id = rid;
   job.priority = priority;
   job.netlist_text = netlist->as_string();
   job.netlist_hash = util::fnv1a64(job.netlist_text);
   job.conn = conn;
   job.enqueued_at = std::chrono::steady_clock::now();
+  static obs::Counter& requests_c = obs::MetricsRegistry::instance().counter("serve.requests");
+  static obs::Counter& rejected_c = obs::MetricsRegistry::instance().counter("serve.rejected");
+  static obs::Gauge& depth_g = obs::MetricsRegistry::instance().gauge("serve.queue_depth");
   switch (queue_.push(std::move(job))) {
     case RequestQueue::PushResult::kOk:
       stats_.requests.fetch_add(1, std::memory_order_relaxed);
-      if (obs::enabled()) {
-        auto& reg = obs::MetricsRegistry::instance();
-        reg.counter("serve.requests").add();
-        reg.gauge("serve.queue_depth").set(static_cast<double>(queue_.depth()));
-      }
+      requests_c.add();
+      depth_g.set(static_cast<double>(queue_.depth()));
+      flight_mark(rid, "begin");
       break;
     case RequestQueue::PushResult::kFull:
       stats_.rejected.fetch_add(1, std::memory_order_relaxed);
       stats_.errors.fetch_add(1, std::memory_order_relaxed);
-      if (obs::enabled()) obs::MetricsRegistry::instance().counter("serve.rejected").add();
+      rejected_c.add();
+      // A shed request spent the whole error budget it was given: the SLO
+      // window counts it as unavailability, not as fast failure.
+      slo_.record(false, 0.0);
+      flight_mark(rid, "reject");
       conn->send(make_error_response(id, ErrorCode::kQueueFull,
                                      "queue at capacity (" + std::to_string(queue_.capacity()) +
-                                         "); retry with backoff"));
+                                         "); retry with backoff",
+                                     rid));
       break;
     case RequestQueue::PushResult::kClosed:
       stats_.errors.fetch_add(1, std::memory_order_relaxed);
-      conn->send(make_error_response(id, ErrorCode::kShuttingDown, "server is draining"));
+      slo_.record(false, 0.0);
+      conn->send(make_error_response(id, ErrorCode::kShuttingDown, "server is draining", rid));
       break;
   }
 }
@@ -376,6 +442,13 @@ void Server::handle_admin(const std::shared_ptr<Connection>& conn, std::int64_t 
     obs::JsonValue resp = make_ok_response(id, registry_.current()->generation,
                                            registry_.current()->degraded);
     resp.set("stats", stats_json());
+    conn->send(resp);
+    return;
+  }
+  if (cmd == "healthz") {
+    obs::JsonValue resp = make_ok_response(id, registry_.current()->generation,
+                                           registry_.current()->degraded);
+    resp.set("health", health_json());
     conn->send(resp);
     return;
   }
@@ -396,30 +469,100 @@ void Server::handle_admin(const std::shared_ptr<Connection>& conn, std::int64_t 
   stats_.errors.fetch_add(1, std::memory_order_relaxed);
   conn->send(make_error_response(id, ErrorCode::kBadRequest,
                                  "unknown admin command '" + cmd +
-                                     "' (use stats, reload, shutdown)"));
+                                     "' (use stats, healthz, reload, shutdown)"));
 }
 
+// The paragraph-stats-v1 document: one consistent live view of the
+// daemon. "server" is the exact per-server accounting (plain atomics),
+// "metrics" is the process-wide registry snapshot (histogram quantiles
+// included), "slo" the rolling windows, "recent" the request ring.
 obs::JsonValue Server::stats_json() const {
   obs::JsonValue s = obs::JsonValue::object();
-  s.set("connections", stats_.connections.load());
-  s.set("requests", stats_.requests.load());
-  s.set("responses", stats_.responses.load());
-  s.set("rejected", stats_.rejected.load());
-  s.set("errors", stats_.errors.load());
-  s.set("batches", stats_.batches.load());
-  s.set("coalesced", stats_.coalesced.load());
-  s.set("reloads", stats_.reloads.load());
-  s.set("max_batch_seen", stats_.max_batch_seen.load());
-  s.set("queue_depth", queue_.depth());
-  s.set("queue_capacity", queue_.capacity());
-  s.set("max_batch", config_.max_batch);
+  s.set("schema", "paragraph-stats-v1");
+
+  obs::JsonValue server = obs::JsonValue::object();
+  server.set("connections", stats_.connections.load());
+  server.set("requests", stats_.requests.load());
+  server.set("responses", stats_.responses.load());
+  server.set("rejected", stats_.rejected.load());
+  server.set("errors", stats_.errors.load());
+  server.set("batches", stats_.batches.load());
+  server.set("coalesced", stats_.coalesced.load());
+  server.set("reloads", stats_.reloads.load());
+  server.set("max_batch_seen", stats_.max_batch_seen.load());
+  server.set("inflight", stats_.inflight.load());
+  server.set("queue_depth", queue_.depth());
+  server.set("queue_capacity", queue_.capacity());
+  server.set("max_batch", config_.max_batch);
+  const auto lanes = queue_.lane_depths();
+  obs::JsonValue lanes_obj = obs::JsonValue::object();
+  for (std::size_t p = 0; p < kNumPriorities; ++p)
+    lanes_obj.set(priority_name(static_cast<Priority>(p)), lanes[p]);
+  server.set("queue_lanes", std::move(lanes_obj));
+  s.set("server", std::move(server));
+
   const auto bundle = registry_.current();
-  s.set("generation", static_cast<unsigned long long>(bundle->generation));
-  s.set("degraded", bundle->degraded);
+  obs::JsonValue model = obs::JsonValue::object();
+  model.set("generation", static_cast<unsigned long long>(bundle->generation));
+  model.set("degraded", bundle->degraded);
   obs::JsonValue dropped = obs::JsonValue::array();
   for (const auto& d : bundle->dropped) dropped.push_back(d.path);
-  s.set("dropped_members", std::move(dropped));
+  model.set("dropped_members", std::move(dropped));
+  s.set("model", std::move(model));
+
+  s.set("slo", slo_.to_json());
+  s.set("metrics", obs::MetricsRegistry::instance().snapshot().to_json());
+
+  obs::JsonValue process = obs::JsonValue::object();
+  const obs::ProcMemory mem = obs::sample_process_memory();
+  process.set("rss_kb", mem.vm_rss_kb);
+  process.set("peak_rss_kb", mem.vm_hwm_kb);
+  process.set("rss_ok", mem.ok);
+  s.set("process", std::move(process));
+
+  obs::JsonValue recent = obs::JsonValue::array();
+  for (const RequestRecord& r : recent_.snapshot()) recent.push_back(r.to_json());
+  s.set("recent", std::move(recent));
   return s;
+}
+
+obs::JsonValue Server::health_json() const {
+  const auto bundle = registry_.current();
+  const std::size_t depth = queue_.depth();
+  const bool overloaded = depth >= queue_.capacity();
+  obs::JsonValue h = obs::JsonValue::object();
+  h.set("status", overloaded ? "overloaded" : bundle->degraded ? "degraded" : "ok");
+  h.set("degraded", bundle->degraded);
+  h.set("overloaded", overloaded);
+  h.set("generation", static_cast<unsigned long long>(bundle->generation));
+  h.set("queue_depth", depth);
+  h.set("queue_capacity", queue_.capacity());
+  h.set("slo_burn_rate_1m", slo_.window(60).burn_rate);
+  return h;
+}
+
+// Terminal per-request accounting shared by every outcome the worker
+// answers: SLO window, recent ring, slow log, flight-recorder end mark.
+void Server::finish_request(const Job& job, RequestRecord record) {
+  const double total_ms = record.phases.total_us / 1000.0;
+  slo_.record(record.ok, total_ms);
+  flight_mark(job.request_id,
+              record.ok ? "end" : ("end " + record.error_code).c_str());
+  if (config_.slow_ms > 0.0 && total_ms >= config_.slow_ms) {
+    obs::log_warn("serve", "slow request",
+                  {{"request_id", record.request_id},
+                   {"deck", record.deck},
+                   {"deck_bytes", record.deck_bytes},
+                   {"priority", record.priority},
+                   {"ok", record.ok},
+                   {"total_ms", total_ms},
+                   {"queue_ms", record.phases.queue_us / 1000.0},
+                   {"parse_ms", record.phases.parse_us / 1000.0},
+                   {"plan_ms", record.phases.plan_us / 1000.0},
+                   {"predict_ms", record.phases.predict_us / 1000.0},
+                   {"serialize_ms", record.phases.serialize_us / 1000.0}});
+  }
+  recent_.push(std::move(record));
 }
 
 // -------------------------------------------------------------------- worker
@@ -441,7 +584,12 @@ void Server::worker_loop() {
 
 void Server::process_batch(std::vector<Job> batch) {
   PARAGRAPH_TIMED_SCOPE("serve_batch");
+  // Fault site serve.crash: a real abort mid-batch, after requests were
+  // admitted (flight-recorder "begin" marks written) but before any is
+  // answered — the crash-dump tests assert the dump names them in flight.
+  if (util::fault::should_fail("serve.crash")) std::abort();
   const auto bundle = registry_.current();  // one generation per batch
+  const auto popped_at = std::chrono::steady_clock::now();
 
   stats_.batches.fetch_add(1, std::memory_order_relaxed);
   std::uint64_t seen = stats_.max_batch_seen.load(std::memory_order_relaxed);
@@ -449,10 +597,29 @@ void Server::process_batch(std::vector<Job> batch) {
          !stats_.max_batch_seen.compare_exchange_weak(seen, batch.size(),
                                                       std::memory_order_relaxed)) {
   }
-  if (obs::enabled()) {
-    auto& reg = obs::MetricsRegistry::instance();
-    reg.histogram("serve.batch_size").record(static_cast<double>(batch.size()));
-    reg.gauge("serve.queue_depth").set(static_cast<double>(queue_.depth()));
+  // Always-on serve instruments (see start()); name lookups cached once.
+  auto& reg = obs::MetricsRegistry::instance();
+  static obs::Histogram& batch_size_h = reg.histogram("serve.batch_size");
+  static obs::Gauge& depth_g = reg.gauge("serve.queue_depth");
+  static obs::Gauge& inflight_g = reg.gauge("serve.inflight");
+  static obs::Histogram& latency_h = reg.histogram("serve.latency_us");
+  static obs::Histogram* const lane_wait_h[kNumPriorities] = {
+      &reg.histogram("serve.queue_wait_us.low"),
+      &reg.histogram("serve.queue_wait_us.normal"),
+      &reg.histogram("serve.queue_wait_us.high"),
+  };
+  batch_size_h.record(static_cast<double>(batch.size()));
+  depth_g.set(static_cast<double>(queue_.depth()));
+  stats_.inflight.fetch_add(batch.size(), std::memory_order_relaxed);
+  inflight_g.set(static_cast<double>(stats_.inflight.load(std::memory_order_relaxed)));
+
+  // Queue-wait ends for every job the moment the worker picked it up;
+  // the per-lane histograms are what the fairness follow-up will read.
+  std::vector<double> queue_wait_us(batch.size());
+  for (std::size_t j = 0; j < batch.size(); ++j) {
+    queue_wait_us[j] = us_between(batch[j].enqueued_at, popped_at);
+    lane_wait_h[static_cast<std::size_t>(batch[j].priority)]->record(queue_wait_us[j]);
+    span(batch[j].request_id, "queue", queue_wait_us[j]);
   }
 
   // Coalesce byte-identical netlists: one group is parsed, planned, and
@@ -465,6 +632,10 @@ void Server::process_batch(std::vector<Job> batch) {
     ErrorCode error_code = ErrorCode::kInternal;
     std::string error_message;
     obs::JsonValue predictions;
+    // Shared phase costs: every coalesced job reports the group's work.
+    double parse_us = 0.0;
+    double plan_us = 0.0;
+    double predict_us = 0.0;
   };
   std::vector<Group> groups;
   std::unordered_map<std::uint64_t, std::size_t> by_hash;
@@ -487,27 +658,40 @@ void Server::process_batch(std::vector<Job> batch) {
   // their templates across requests; the rest share one parallel pass,
   // each deck on its own plan (the PR 3 batched-inference layout).
   const auto predict_group = [&](Group& g, bool allow_cache) {
+    const auto parse_start = std::chrono::steady_clock::now();
     try {
       circuit::Netlist nl = circuit::parse_spice_string(g.job->netlist_text);
       g.sample.name = nl.name();
       g.sample.graph = graph::build_graph(nl);
       g.sample.netlist = std::move(nl);
+      g.parse_us = us_between(parse_start, std::chrono::steady_clock::now());
     } catch (const circuit::ParseError& e) {
       g.error_code = ErrorCode::kParseError;
       g.error_message = e.what();
+      g.parse_us = us_between(parse_start, std::chrono::steady_clock::now());
       return;
     }
+    span(g.job->request_id, "parse", g.parse_us);
+    const auto predict_start = std::chrono::steady_clock::now();
     try {
+      // Fault site serve.predict: a typed internal error after a clean
+      // parse, for the telemetry/error-path tests.
+      if (util::fault::should_fail("serve.predict"))
+        throw util::IoError("injected fault at serve.predict");
       const bool hier = allow_cache && !g.sample.netlist.instances().empty();
       obs::JsonValue preds = obs::JsonValue::object();
       if (bundle->ensemble.has_value()) {
         const auto& ds = bundle->ensemble_dataset();
         std::vector<float> p;
         if (hier) {
+          // Plan construction happens inside the cache-aware predict, so
+          // it stays folded into predict_us on this path.
           p = bundle->ensemble->predict_with_cache(ds, g.sample, plan_cache_);
         } else {
+          const auto plan_start = std::chrono::steady_clock::now();
           const gnn::GraphPlan plan =
               gnn::GraphPlan::build(g.sample.graph, bundle->ensemble->model(0).needs_homo());
+          g.plan_us = us_between(plan_start, std::chrono::steady_clock::now());
           p = bundle->ensemble->predict_with_plan(ds, g.sample, plan);
         }
         preds.set(dataset::target_name(dataset::TargetKind::kCap),
@@ -527,6 +711,10 @@ void Server::process_batch(std::vector<Job> batch) {
       g.error_code = ErrorCode::kInternal;
       g.error_message = e.what();
     }
+    g.predict_us =
+        us_between(predict_start, std::chrono::steady_clock::now()) - g.plan_us;
+    if (g.plan_us > 0.0) span(g.job->request_id, "plan", g.plan_us);
+    span(g.job->request_id, "predict", g.predict_us);
   };
 
   std::vector<std::size_t> flat, hier;
@@ -542,27 +730,50 @@ void Server::process_batch(std::vector<Job> batch) {
   for (const std::size_t gi : hier) predict_group(groups[gi], true);
 
   // Answer every job from its group's shared result, in batch (service)
-  // order, with per-request latency accounted end to end.
-  static constexpr const char* kLatency = "serve.latency_us";
+  // order, with per-request latency accounted end to end and a
+  // RequestRecord pushed into the telemetry surfaces for each.
   for (const Group& g : groups) {
-    for (const std::size_t j : g.job_indices) {
+    for (std::size_t k = 0; k < g.job_indices.size(); ++k) {
+      const std::size_t j = g.job_indices[k];
       const Job& job = batch[j];
+      const auto send_start = std::chrono::steady_clock::now();
       if (g.ok) {
-        obs::JsonValue resp = make_ok_response(job.id, bundle->generation, bundle->degraded);
+        obs::JsonValue resp =
+            make_ok_response(job.id, bundle->generation, bundle->degraded, job.request_id);
         resp.set("predictions", g.predictions);
         if (job.conn->send(resp)) stats_.responses.fetch_add(1, std::memory_order_relaxed);
       } else {
         stats_.errors.fetch_add(1, std::memory_order_relaxed);
-        job.conn->send(make_error_response(job.id, g.error_code, g.error_message));
+        job.conn->send(
+            make_error_response(job.id, g.error_code, g.error_message, job.request_id));
       }
-      if (obs::enabled()) {
-        const double us = std::chrono::duration<double, std::micro>(
-                              std::chrono::steady_clock::now() - job.enqueued_at)
-                              .count();
-        obs::MetricsRegistry::instance().histogram(kLatency).record(us);
-      }
+      const auto done = std::chrono::steady_clock::now();
+
+      RequestRecord rec;
+      rec.request_id = job.request_id;
+      rec.client_id = job.id;
+      rec.priority = priority_name(job.priority);
+      rec.deck = g.sample.name;
+      rec.deck_bytes = job.netlist_text.size();
+      rec.ok = g.ok;
+      if (!g.ok) rec.error_code = error_code_name(g.error_code);
+      rec.generation = bundle->generation;
+      rec.coalesced = k > 0;
+      rec.phases.queue_us = queue_wait_us[j];
+      rec.phases.parse_us = g.parse_us;
+      rec.phases.plan_us = g.plan_us;
+      rec.phases.predict_us = g.predict_us;
+      rec.phases.serialize_us = us_between(send_start, done);
+      rec.phases.total_us = us_between(job.enqueued_at, done);
+      rec.done_ts_ms = wall_ms_now();
+
+      latency_h.record(rec.phases.total_us);
+      span(job.request_id, "serialize", rec.phases.serialize_us);
+      finish_request(job, std::move(rec));
+      stats_.inflight.fetch_sub(1, std::memory_order_relaxed);
     }
   }
+  inflight_g.set(static_cast<double>(stats_.inflight.load(std::memory_order_relaxed)));
 }
 
 }  // namespace paragraph::serve

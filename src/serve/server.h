@@ -34,6 +34,16 @@
 // through the worker, late requests on open connections get a typed
 // `shutting_down` error — then stop() joins everything and removes the
 // socket file.
+//
+// Telemetry (DESIGN.md §13): every admitted request carries a stable
+// request id (client-propagated or server-assigned) and a phase
+// breakdown — queue wait, parse, plan, predict, serialize — recorded
+// into the metrics registry (always on; serve operations are ms-scale),
+// the profiler/trace machinery (when instrumentation is on), a bounded
+// recent-requests ring, rolling-window SLO counters, and the crash
+// flight recorder. The `stats` admin verb snapshots all of it as a
+// paragraph-stats-v1 document; `healthz` answers degraded/overload
+// status; `--slow-ms` warn-logs outliers with their breakdown.
 #pragma once
 
 #include <atomic>
@@ -50,6 +60,7 @@
 #include "serve/protocol.h"
 #include "serve/queue.h"
 #include "serve/registry.h"
+#include "serve/telemetry.h"
 
 namespace paragraph::serve {
 
@@ -58,6 +69,10 @@ struct ServeConfig {
   int tcp_port = -1;           // loopback TCP listener: -1 off, 0 ephemeral
   std::size_t queue_capacity = 64;
   std::size_t max_batch = 8;   // 1 = micro-batching off
+  double slow_ms = 0.0;        // >0: warn-log requests slower than this
+  double slo_latency_ms = 50.0;  // SLO latency threshold (--slo-p99-ms)
+  double slo_target = 0.999;     // SLO availability objective
+  std::size_t recent_capacity = 64;  // recent-requests ring size
   RegistryConfig registry;
 };
 
@@ -73,6 +88,7 @@ struct ServerStats {
   std::atomic<std::uint64_t> coalesced{0};  // jobs answered from a dup group
   std::atomic<std::uint64_t> reloads{0};    // successful generation swaps
   std::atomic<std::uint64_t> max_batch_seen{0};
+  std::atomic<std::uint64_t> inflight{0};   // jobs popped, not yet answered
 };
 
 // One client socket, shared between its reader thread and the worker
@@ -127,6 +143,10 @@ class Server {
   const ServerStats& stats() const { return stats_; }
   ModelRegistry& registry() { return registry_; }
   const ServeConfig& config() const { return config_; }
+  // Live telemetry (DESIGN.md §13): also reachable over the wire via the
+  // `stats` admin verb; exposed directly for in-process tests.
+  const RecentRequests& recent() const { return recent_; }
+  const SloTracker& slo() const { return slo_; }
 
   // Test hook: while paused the queue withholds jobs from the worker, so
   // a test can assemble a deterministic backlog; resume lets it drain
@@ -145,12 +165,16 @@ class Server {
                     const std::string& cmd);
   void handle_request(const std::shared_ptr<Connection>& conn, const obs::JsonValue& req);
   obs::JsonValue stats_json() const;
+  obs::JsonValue health_json() const;
+  void finish_request(const Job& job, RequestRecord record);
   void do_reload();
 
   ServeConfig config_;
   ModelRegistry registry_;
   RequestQueue queue_;
   ServerStats stats_;
+  RecentRequests recent_;
+  SloTracker slo_;
   gnn::PlanCache plan_cache_;  // worker-thread only
 
   int unix_fd_ = -1;

@@ -1,0 +1,129 @@
+#include "serve/telemetry.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "obs/trace.h"
+
+namespace paragraph::serve {
+
+std::string next_request_id() {
+  static std::atomic<std::uint64_t> next{0};
+  return "r" + std::to_string(next.fetch_add(1, std::memory_order_relaxed) + 1);
+}
+
+obs::JsonValue RequestPhases::to_json() const {
+  obs::JsonValue o = obs::JsonValue::object();
+  o.set("queue_us", queue_us);
+  o.set("parse_us", parse_us);
+  o.set("plan_us", plan_us);
+  o.set("predict_us", predict_us);
+  o.set("serialize_us", serialize_us);
+  o.set("total_us", total_us);
+  return o;
+}
+
+obs::JsonValue RequestRecord::to_json() const {
+  obs::JsonValue o = obs::JsonValue::object();
+  o.set("request_id", request_id);
+  o.set("client_id", static_cast<long long>(client_id));
+  o.set("priority", priority);
+  o.set("deck", deck);
+  o.set("deck_bytes", deck_bytes);
+  o.set("ok", ok);
+  if (!error_code.empty()) o.set("error_code", error_code);
+  o.set("generation", static_cast<unsigned long long>(generation));
+  o.set("coalesced", coalesced);
+  o.set("phases", phases.to_json());
+  o.set("done_ts_ms", static_cast<long long>(done_ts_ms));
+  return o;
+}
+
+void RecentRequests::push(RequestRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() == capacity_) ring_.pop_front();
+  ring_.push_back(std::move(record));
+}
+
+std::vector<RequestRecord> RecentRequests::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+// ---------------------------------------------------------------- SloTracker
+
+SloTracker::SloTracker(Config config) : config_(config) {
+  if (config_.latency_ms <= 0.0) config_.latency_ms = 50.0;
+  // target == 1.0 would divide the burn rate by zero; 0.999 is the
+  // sensible "three nines" default either way.
+  if (config_.target <= 0.0 || config_.target >= 1.0) config_.target = 0.999;
+}
+
+void SloTracker::record(bool ok, double latency_ms) {
+  record_at(obs::now_us() / 1'000'000, ok, latency_ms);
+}
+
+void SloTracker::record_at(std::int64_t sec, bool ok, double latency_ms) {
+  const bool good = ok && latency_ms <= config_.latency_ms;
+  std::lock_guard<std::mutex> lock(mu_);
+  Bucket& b = buckets_[static_cast<std::size_t>(sec) % kBuckets];
+  if (b.sec != sec) b = Bucket{sec, 0, 0};
+  ++b.total;
+  if (good) ++b.good;
+}
+
+SloTracker::Window SloTracker::window(std::size_t seconds) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return window_locked(obs::now_us() / 1'000'000, seconds);
+}
+
+SloTracker::Window SloTracker::window_at(std::int64_t now_sec, std::size_t seconds) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return window_locked(now_sec, seconds);
+}
+
+SloTracker::Window SloTracker::window_locked(std::int64_t now_sec, std::size_t seconds) const {
+  seconds = std::min(seconds, kBuckets - 1);
+  Window w;
+  for (const Bucket& b : buckets_) {
+    if (b.sec < 0 || b.sec > now_sec) continue;  // empty or future (test hooks)
+    if (now_sec - b.sec >= static_cast<std::int64_t>(seconds)) continue;
+    w.total += b.total;
+    w.good += b.good;
+  }
+  if (w.total != 0) w.availability = static_cast<double>(w.good) / static_cast<double>(w.total);
+  w.burn_rate = (1.0 - w.availability) / (1.0 - config_.target);
+  return w;
+}
+
+obs::JsonValue SloTracker::to_json() const {
+  const std::int64_t now_sec = obs::now_us() / 1'000'000;
+  Window w10, w60, w300;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    w10 = window_locked(now_sec, 10);
+    w60 = window_locked(now_sec, 60);
+    w300 = window_locked(now_sec, 300);
+  }
+  const auto window_json = [](const Window& w) {
+    obs::JsonValue o = obs::JsonValue::object();
+    o.set("total", w.total);
+    o.set("good", w.good);
+    o.set("availability", w.availability);
+    o.set("burn_rate", w.burn_rate);
+    return o;
+  };
+  obs::JsonValue windows = obs::JsonValue::object();
+  windows.set("10s", window_json(w10));
+  windows.set("1m", window_json(w60));
+  windows.set("5m", window_json(w300));
+
+  obs::JsonValue o = obs::JsonValue::object();
+  o.set("latency_ms", config_.latency_ms);
+  o.set("target", config_.target);
+  o.set("windows", std::move(windows));
+  o.set("budget_remaining", std::max(0.0, 1.0 - w300.burn_rate));
+  return o;
+}
+
+}  // namespace paragraph::serve

@@ -26,6 +26,11 @@
 //                  simulates a mid-run kill for checkpoint/resume tests)
 //   train.crash    GnnPredictor::train end-of-epoch (calls std::abort();
 //                  a real crash, for the flight-recorder dump tests)
+//   serve.predict  serve worker, after a clean parse (throws IoError →
+//                  typed `internal` error response; telemetry tests)
+//   serve.crash    serve worker, start of a micro-batch (calls
+//                  std::abort(); the crash dump must name the in-flight
+//                  request ids)
 #pragma once
 
 #include <string>

@@ -405,8 +405,61 @@ TEST(CliSmokeTest, ServeDaemonLifecycle) {
   std::string error;
   const auto sdoc = JsonValue::parse(read_file(stats_json), &error);
   ASSERT_TRUE(sdoc.has_value()) << error;
-  EXPECT_EQ(sdoc->at("stats").at("reloads").as_int(), 1);
+  EXPECT_EQ(sdoc->at("stats").at("server").at("reloads").as_int(), 1);
+  EXPECT_EQ(sdoc->at("stats").at("schema").as_string(), "paragraph-stats-v1");
   EXPECT_GE(sdoc->at("model_generation").as_int(), 2);
+
+  // healthz from the operator's side: healthy after the reload.
+  const auto health_json = (tmp.path / "health.json").string();
+  ASSERT_EQ(exit_code("\"" + g_cli_path + "\" client --socket \"" + sock +
+                      "\" --admin healthz > \"" + health_json + "\" 2>/dev/null"),
+            0);
+  const auto hdoc = JsonValue::parse(read_file(health_json), &error);
+  ASSERT_TRUE(hdoc.has_value()) << error;
+  EXPECT_EQ(hdoc->at("health").at("status").as_string(), "ok");
+
+  // client --json: one machine-readable envelope with the round-tripped
+  // request id; a server-side error keeps exit 3 but still emits it.
+  const auto envelope = (tmp.path / "envelope.json").string();
+  ASSERT_EQ(exit_code("\"" + g_cli_path + "\" client --socket \"" + sock + "\" --netlist \"" +
+                      deck + "\" --request-id cli-json-1 --json > \"" + envelope +
+                      "\" 2>/dev/null"),
+            0);
+  const auto edoc = JsonValue::parse(read_file(envelope), &error);
+  ASSERT_TRUE(edoc.has_value()) << error;
+  EXPECT_TRUE(edoc->at("ok").as_bool());
+  EXPECT_EQ(edoc->at("request_id").as_string(), "cli-json-1");
+  EXPECT_TRUE(edoc->at("latency_ms").is_number());
+  EXPECT_GE(edoc->at("model_generation").as_int(), 2);
+  ASSERT_NE(edoc->find("predictions"), nullptr);
+  EXPECT_EQ(exit_code("\"" + g_cli_path + "\" client --socket \"" + sock + "\" --netlist \"" +
+                      bad_deck + "\" --json > \"" + envelope + "\" 2>/dev/null"),
+            3);
+  const auto baddoc = JsonValue::parse(read_file(envelope), &error);
+  ASSERT_TRUE(baddoc.has_value()) << error;
+  EXPECT_FALSE(baddoc->at("ok").as_bool());
+  EXPECT_EQ(baddoc->at("error_code").as_string(), "parse_error");
+
+  // top --once --json: one stats document per poll, script-consumable.
+  const auto top_json = (tmp.path / "top.json").string();
+  ASSERT_EQ(exit_code("\"" + g_cli_path + "\" top --socket \"" + sock + "\" --once --json > \"" +
+                      top_json + "\" 2>/dev/null"),
+            0);
+  const auto topdoc = JsonValue::parse(read_file(top_json), &error);
+  ASSERT_TRUE(topdoc.has_value()) << error;
+  EXPECT_EQ(topdoc->at("schema").as_string(), "paragraph-stats-v1");
+  EXPECT_GT(topdoc->at("server").at("responses").as_int(), 0);
+  // The human rendering exits clean too and mentions the SLO line.
+  const auto top_txt = (tmp.path / "top.txt").string();
+  ASSERT_EQ(exit_code("\"" + g_cli_path + "\" top --socket \"" + sock + "\" --once > \"" +
+                      top_txt + "\" 2>/dev/null"),
+            0);
+  EXPECT_NE(read_file(top_txt).find("slo:"), std::string::npos);
+  // Usage errors: bad interval, neither/both transports.
+  EXPECT_EQ(exit_code("\"" + g_cli_path + "\" top --socket \"" + sock +
+                      "\" --once --interval-ms 0" + quiet),
+            2);
+  EXPECT_EQ(exit_code("\"" + g_cli_path + "\" top --once" + quiet), 2);
 
   // SIGTERM: drain and exit 0 (the nursing shell writes the exit code).
   ASSERT_EQ(run("kill -TERM $(cat \"" + pidfile + "\")"), 0);
@@ -421,6 +474,68 @@ TEST(CliSmokeTest, ServeDaemonLifecycle) {
   rc_in >> rc;
   EXPECT_EQ(rc, 0) << read_file(tmp.path / "serve.log");
   EXPECT_FALSE(std::filesystem::exists(sock)) << "socket file must be unlinked on shutdown";
+}
+
+// A daemon that aborts mid-batch (fault site serve.crash) must leave a
+// crash dump whose flight-recorder events name the in-flight request id:
+// the operator learns *which* requests died, not just that the worker
+// did.
+TEST(CliSmokeTest, ServeCrashDumpNamesInflightRequests) {
+  ASSERT_FALSE(g_cli_path.empty());
+  TempDir tmp;
+  const std::string quiet = " > /dev/null 2>&1";
+  const auto model = (tmp.path / "model.bin").string();
+  const auto sock = (tmp.path / "crash.sock").string();
+  const auto deck = (tmp.path / "deck.sp").string();
+  std::ofstream(deck) << "M1 out in vss vss nmos L=16n W=32n\n"
+                         "C1 out vss 1f\n";
+  ASSERT_EQ(exit_code("\"" + g_cli_path + "\" train --save \"" + model +
+                      "\" --scale 0.05 --epochs 2 --seed 7" + quiet),
+            0);
+
+  ASSERT_EQ(run("PARAGRAPH_FAULT=serve.crash:1 PARAGRAPH_CRASH_DIR=\"" + tmp.path.string() +
+                "\" \"" + g_cli_path + "\" serve --socket \"" + sock + "\" --model \"" + model +
+                "\" > \"" + tmp.path.string() + "/serve.log\" 2>&1 &"),
+            0);
+  // Admin commands answer on the reader thread, so readiness polling does
+  // not trip the worker-side fault.
+  bool up = false;
+  for (int i = 0; i < 200 && !up; ++i) {
+    up = exit_code("\"" + g_cli_path + "\" client --socket \"" + sock + "\" --admin stats" +
+                   quiet) == 0;
+    if (!up) run("sleep 0.1");
+  }
+  ASSERT_TRUE(up) << read_file(tmp.path / "serve.log");
+
+  // The first prediction pops a batch and aborts the daemon; the client
+  // sees the connection drop (bad input, exit 3).
+  EXPECT_EQ(exit_code("\"" + g_cli_path + "\" client --socket \"" + sock + "\" --netlist \"" +
+                      deck + "\" --request-id crash-rid-1" + quiet),
+            3);
+
+  std::filesystem::path dump;
+  for (int i = 0; i < 200 && dump.empty(); ++i) {
+    for (const auto& entry : std::filesystem::directory_iterator(tmp.path)) {
+      const auto name = entry.path().filename().string();
+      if (name.rfind("crash-", 0) == 0 && name.find(".json") != std::string::npos)
+        dump = entry.path();
+    }
+    if (dump.empty()) run("sleep 0.1");
+  }
+  ASSERT_FALSE(dump.empty()) << "no crash-<pid>.json in " << tmp.path;
+
+  std::string error;
+  const auto doc = JsonValue::parse(read_file(dump), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(doc->at("schema").as_string(), "paragraph-crash-v1");
+  bool named_request = false;
+  for (const auto& e : doc->at("events").elements()) {
+    const JsonValue* msg = e.find("message");
+    if (msg != nullptr && msg->is_string() &&
+        msg->as_string().find("begin crash-rid-1") != std::string::npos)
+      named_request = true;
+  }
+  EXPECT_TRUE(named_request) << "crash dump events must name the in-flight request id";
 }
 
 }  // namespace

@@ -3,12 +3,14 @@
 // and the disabled-mode guarantee that timers record nothing.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <limits>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/obs.h"
@@ -308,6 +310,116 @@ TEST_F(ObsTest, TraceCapacityDropsAndCounts) {
   EXPECT_EQ(doc.at("metadata").at("dropped_events").as_int(), 3);
   tracer.reset();
   tracer.set_capacity(1 << 20);
+}
+
+TEST_F(ObsTest, HistogramQuantileEdgeCases) {
+  auto& reg = paragraph::obs::MetricsRegistry::instance();
+
+  // Empty: everything zero, nothing capped.
+  const auto empty = reg.histogram("test.q.empty").summary();
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_DOUBLE_EQ(empty.p50, 0.0);
+  EXPECT_DOUBLE_EQ(empty.p99, 0.0);
+  EXPECT_FALSE(empty.samples_capped);
+
+  // Single sample: every quantile is that sample.
+  auto& one = reg.histogram("test.q.one");
+  one.record(7.25);
+  const auto s1 = one.summary();
+  EXPECT_EQ(s1.count, 1u);
+  EXPECT_DOUBLE_EQ(s1.p50, 7.25);
+  EXPECT_DOUBLE_EQ(s1.p95, 7.25);
+  EXPECT_DOUBLE_EQ(s1.p99, 7.25);
+  EXPECT_DOUBLE_EQ(s1.min, 7.25);
+  EXPECT_DOUBLE_EQ(s1.max, 7.25);
+
+  // Saturated: past the sample-prefix cap the count/sum/min/max stay
+  // exact while quantiles freeze on the prefix, flagged samples_capped.
+  auto& sat = reg.histogram("test.q.sat");
+  const std::size_t cap = 1u << 20;  // Histogram::kMaxSamples
+  for (std::size_t i = 0; i < cap; ++i) sat.record(1.0);
+  sat.record(1000.0);
+  const auto s2 = sat.summary();
+  EXPECT_EQ(s2.count, cap + 1);
+  EXPECT_TRUE(s2.samples_capped);
+  EXPECT_DOUBLE_EQ(s2.max, 1000.0);         // tracked outside the prefix
+  EXPECT_DOUBLE_EQ(s2.p99, 1.0);            // quantiles only see the prefix
+  EXPECT_DOUBLE_EQ(s2.sum, cap + 1000.0);
+}
+
+TEST_F(ObsTest, MetricsSnapshotMatchesToJson) {
+  auto& reg = paragraph::obs::MetricsRegistry::instance();
+  reg.counter("test.snap.hits").add(5);
+  reg.counter("test.snap.idle");  // zero: elided from JSON, kept in snapshot
+  reg.gauge("test.snap.level").set(2.5);
+  auto& h = reg.histogram("test.snap.lat");
+  h.record(1.0);
+  h.record(3.0);
+
+  const auto snap = reg.snapshot();
+  bool saw_hits = false, saw_idle = false;
+  for (const auto& [name, v] : snap.counters) {
+    if (name == "test.snap.hits") saw_hits = v == 5;
+    if (name == "test.snap.idle") saw_idle = v == 0;
+  }
+  EXPECT_TRUE(saw_hits);
+  EXPECT_TRUE(saw_idle);
+  const auto* lat = snap.histogram("test.snap.lat");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->count, 2u);
+  EXPECT_DOUBLE_EQ(lat->mean, 2.0);
+  EXPECT_EQ(snap.histogram("test.snap.nope"), nullptr);
+
+  // The JSON projection agrees and applies the idle filtering the
+  // registry's own to_json promises.
+  const JsonValue doc = snap.to_json();
+  EXPECT_EQ(doc.at("counters").at("test.snap.hits").as_int(), 5);
+  EXPECT_EQ(doc.at("counters").find("test.snap.idle"), nullptr);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("test.snap.level").as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(doc.at("histograms").at("test.snap.lat").at("p50").as_double(), 2.0);
+}
+
+// The stats admin verb snapshots the registry while serve threads keep
+// writing; the snapshot must stay coherent (and TSan-clean) against
+// concurrent recording AND concurrent instrument registration.
+TEST_F(ObsTest, MetricsSnapshotUnderConcurrentWriters) {
+  auto& reg = paragraph::obs::MetricsRegistry::instance();
+  auto& shared = reg.counter("test.conc.shared");
+  std::atomic<bool> done{false};
+  constexpr int kWriters = 4;
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      auto& h = reg.histogram("test.conc.h" + std::to_string(w));
+      int churn = 0;
+      while (!done.load()) {
+        shared.add(1);
+        h.record(1.0);
+        // Registration churn: new instruments appear mid-snapshot.
+        reg.counter("test.conc.churn" + std::to_string(w) + "." + std::to_string(churn++ % 16))
+            .add(1);
+      }
+    });
+  }
+
+  std::uint64_t prev_shared = 0;
+  for (int i = 0; i < 50; ++i) {
+    const auto snap = reg.snapshot();
+    std::uint64_t shared_now = 0;
+    for (const auto& [name, v] : snap.counters)
+      if (name == "test.conc.shared") shared_now = v;
+    // Monotone across snapshots: a snapshot never loses recorded work.
+    EXPECT_GE(shared_now, prev_shared);
+    prev_shared = shared_now;
+    for (const auto& [name, s] : snap.histograms)
+      if (s.count != 0) EXPECT_GE(s.sum, s.min);
+    // The JSON projection of a live snapshot must always be dumpable.
+    EXPECT_FALSE(snap.to_json().dump().empty());
+  }
+  done.store(true);
+  for (auto& t : writers) t.join();
+  EXPECT_GE(shared.value(), prev_shared);
+  EXPECT_GE(reg.snapshot().counters.size(), 1u + kWriters);
 }
 
 TEST_F(ObsTest, RegistryResetKeepsReferencesValid) {

@@ -15,10 +15,14 @@
 #include "circuit/spice_writer.h"
 #include "core/ensemble.h"
 #include "dataset/dataset.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
 #include "serve/client.h"
 #include "serve/queue.h"
 #include "serve/server.h"
+#include "serve/telemetry.h"
 #include "util/errors.h"
+#include "util/faultinject.h"
 
 namespace paragraph::serve {
 namespace {
@@ -417,7 +421,7 @@ TEST(Serve, CorruptMemberOnReloadDegradesButServes) {
   EXPECT_TRUE(pred.at("ok").as_bool());
   EXPECT_TRUE(pred.at("degraded").as_bool());
   const obs::JsonValue stats = client.admin("stats");
-  const auto& dropped = stats.at("stats").at("dropped_members");
+  const auto& dropped = stats.at("stats").at("model").at("dropped_members");
   ASSERT_EQ(dropped.size(), 1u);
   EXPECT_NE(dropped[0].as_string().find(".m1"), std::string::npos);
   server.stop();
@@ -489,6 +493,323 @@ TEST(Serve, ShutdownAdminDrainsAndStops) {
   server.stop();
   // Fresh connections are refused after teardown.
   EXPECT_THROW(ServeClient::connect_unix(cfg.socket_path), util::IoError);
+}
+
+// ------------------------------------------------------------ SLO tracking
+
+TEST(SloTracker, LatencyThresholdSplitsGoodFromBad) {
+  SloTracker slo(SloTracker::Config{10.0, 0.99});
+  const std::int64_t sec = 1000;
+  slo.record_at(sec, true, 5.0);    // good: ok and fast
+  slo.record_at(sec, true, 25.0);   // bad: ok but over threshold
+  slo.record_at(sec, false, 1.0);   // bad: failed
+  const auto w = slo.window_at(sec, 10);
+  EXPECT_EQ(w.total, 3u);
+  EXPECT_EQ(w.good, 1u);
+  EXPECT_NEAR(w.availability, 1.0 / 3.0, 1e-12);
+  // burn = (1 - availability) / (1 - target) = (2/3) / 0.01
+  EXPECT_NEAR(w.burn_rate, (2.0 / 3.0) / 0.01, 1e-9);
+}
+
+TEST(SloTracker, EmptyWindowIsFullyAvailable) {
+  SloTracker slo(SloTracker::Config{});
+  const auto w = slo.window_at(42, 300);
+  EXPECT_EQ(w.total, 0u);
+  EXPECT_DOUBLE_EQ(w.availability, 1.0);
+  EXPECT_DOUBLE_EQ(w.burn_rate, 0.0);
+}
+
+TEST(SloTracker, BucketsAgeOutAtExactWindowEdge) {
+  SloTracker slo(SloTracker::Config{});
+  slo.record_at(100, true, 1.0);
+  EXPECT_EQ(slo.window_at(100, 10).total, 1u);
+  EXPECT_EQ(slo.window_at(109, 10).total, 1u);  // 9s old: still inside
+  EXPECT_EQ(slo.window_at(110, 10).total, 0u);  // 10s old: aged out
+}
+
+TEST(SloTracker, RingWraparoundReclaimsStaleBuckets) {
+  SloTracker slo(SloTracker::Config{});
+  slo.record_at(5, false, 0.0);
+  // 301 seconds later the same slot is reused; the stale second must not
+  // leak into any window.
+  slo.record_at(5 + 301, true, 1.0);
+  const auto w = slo.window_at(5 + 301, 300);
+  EXPECT_EQ(w.total, 1u);
+  EXPECT_EQ(w.good, 1u);
+  // Oversized windows clamp to the ring span instead of double counting.
+  EXPECT_EQ(slo.window_at(5 + 301, 100000).total, 1u);
+}
+
+TEST(SloTracker, NonsenseConfigFallsBackToDefaults) {
+  SloTracker slo(SloTracker::Config{-3.0, 2.0});
+  EXPECT_DOUBLE_EQ(slo.config().latency_ms, 50.0);
+  EXPECT_DOUBLE_EQ(slo.config().target, 0.999);
+}
+
+// --------------------------------------------------------- live telemetry
+
+TEST(Serve, RequestIdRoundTripsAndIsAssignedWhenAbsent) {
+  ServeConfig cfg = base_config("reqid", artifacts().ensemble_a);
+  Server server(cfg);
+  server.start();
+  ServeClient client = ServeClient::connect_unix(cfg.socket_path);
+
+  // Client-propagated id is echoed verbatim.
+  const obs::JsonValue resp = client.predict(test_decks()[0], Priority::kNormal, 7, "trace-abc");
+  ASSERT_TRUE(resp.at("ok").as_bool());
+  EXPECT_EQ(resp.at("request_id").as_string(), "trace-abc");
+  EXPECT_EQ(resp.at("id").as_int(), 7);
+
+  // Without one the server assigns "r<N>".
+  const obs::JsonValue resp2 = client.predict(test_decks()[0]);
+  ASSERT_TRUE(resp2.at("ok").as_bool());
+  const std::string assigned = resp2.at("request_id").as_string();
+  ASSERT_FALSE(assigned.empty());
+  EXPECT_EQ(assigned[0], 'r');
+
+  // Error responses carry the id too (parse failures included).
+  obs::JsonValue bad = obs::JsonValue::object();
+  bad.set("id", 8);
+  bad.set("request_id", "trace-bad");
+  bad.set("netlist", "Zq bogus card\n");
+  write_frame(client.fd(), bad.dump());
+  std::string payload;
+  ASSERT_TRUE(read_frame(client.fd(), &payload));
+  const auto err = obs::JsonValue::parse(payload);
+  EXPECT_EQ(err->at("error").at("code").as_string(), "parse_error");
+  EXPECT_EQ(err->at("request_id").as_string(), "trace-bad");
+  server.stop();
+}
+
+TEST(Serve, StatsDocumentIsValidUnderConcurrentLoad) {
+  ServeConfig cfg = base_config("statsload", artifacts().ensemble_a);
+  cfg.max_batch = 4;
+  Server server(cfg);
+  server.start();
+  const std::string deck = test_decks()[0];
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> hammered{0};
+  const auto hammer = [&] {
+    ServeClient c = ServeClient::connect_unix(cfg.socket_path);
+    while (!done.load()) {
+      c.predict(deck);
+      hammered.fetch_add(1);
+    }
+  };
+  std::thread t1(hammer), t2(hammer);
+  while (hammered.load() < 4) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  // Poll stats while traffic flows; every answer must be a complete,
+  // schema-valid paragraph-stats-v1 document.
+  ServeClient probe = ServeClient::connect_unix(cfg.socket_path);
+  for (int i = 0; i < 10; ++i) {
+    const obs::JsonValue resp = probe.admin("stats");
+    ASSERT_TRUE(resp.at("ok").as_bool());
+    const obs::JsonValue& s = resp.at("stats");
+    EXPECT_EQ(s.at("schema").as_string(), "paragraph-stats-v1");
+
+    const obs::JsonValue& srv = s.at("server");
+    for (const char* key : {"connections", "requests", "responses", "rejected", "errors",
+                            "batches", "coalesced", "reloads", "max_batch_seen", "inflight",
+                            "queue_depth", "queue_capacity", "max_batch"})
+      ASSERT_NE(srv.find(key), nullptr) << "missing server." << key;
+    EXPECT_GT(srv.at("requests").as_int(), 0);
+    const obs::JsonValue& lanes = srv.at("queue_lanes");
+    for (const char* lane : {"low", "normal", "high"})
+      ASSERT_NE(lanes.find(lane), nullptr) << "missing queue_lanes." << lane;
+
+    EXPECT_GE(s.at("model").at("generation").as_int(), 1);
+    const obs::JsonValue& slo = s.at("slo");
+    for (const char* w : {"10s", "1m", "5m"})
+      ASSERT_NE(slo.at("windows").find(w), nullptr) << "missing slo window " << w;
+    ASSERT_NE(slo.find("budget_remaining"), nullptr);
+
+    // Satellite assertion: per-lane queue-wait histograms and the
+    // inflight gauge surface through the registry snapshot.
+    const obs::JsonValue& metrics = s.at("metrics");
+    ASSERT_NE(metrics.at("histograms").find("serve.latency_us"), nullptr);
+    ASSERT_NE(metrics.at("histograms").find("serve.queue_wait_us.normal"), nullptr);
+    ASSERT_NE(metrics.at("gauges").find("serve.inflight"), nullptr);
+    const obs::JsonValue& lat = metrics.at("histograms").at("serve.latency_us");
+    EXPECT_GT(lat.at("count").as_int(), 0);
+    EXPECT_LE(lat.at("p50").as_double(), lat.at("p99").as_double());
+
+    ASSERT_NE(s.find("process"), nullptr);
+    ASSERT_NE(s.at("process").find("rss_kb"), nullptr);
+    ASSERT_TRUE(s.at("recent").is_array());
+    ASSERT_GT(s.at("recent").size(), 0u);
+    const obs::JsonValue& rec = s.at("recent")[0];
+    EXPECT_FALSE(rec.at("request_id").as_string().empty());
+    ASSERT_NE(rec.find("phases"), nullptr);
+  }
+
+  done.store(true);
+  t1.join();
+  t2.join();
+  server.stop();
+}
+
+TEST(Serve, HealthzReportsOverloadAndDegradation) {
+  const std::string live = copy_ensemble(artifacts().ensemble_a,
+                                         ::testing::TempDir() + "serve_healthz_ens.bin");
+  ServeConfig cfg = base_config("healthz", live);
+  cfg.queue_capacity = 2;
+  Server server(cfg);
+  server.start();
+  ServeClient client = ServeClient::connect_unix(cfg.socket_path);
+
+  // Fresh daemon: healthy.
+  obs::JsonValue resp = client.admin("healthz");
+  ASSERT_TRUE(resp.at("ok").as_bool());
+  EXPECT_EQ(resp.at("health").at("status").as_string(), "ok");
+  EXPECT_FALSE(resp.at("health").at("degraded").as_bool());
+  EXPECT_FALSE(resp.at("health").at("overloaded").as_bool());
+
+  // Held backlog at capacity: overloaded (admin answers on the reader
+  // thread, so healthz still responds while the worker is paused).
+  server.pause_worker();
+  const std::string deck = test_decks()[0];
+  for (int i = 0; i < 2; ++i) {
+    obs::JsonValue req = obs::JsonValue::object();
+    req.set("id", static_cast<long long>(i));
+    req.set("netlist", deck);
+    write_frame(client.fd(), req.dump());
+  }
+  while (server.stats().requests.load() < 2)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  resp = client.admin("healthz");
+  EXPECT_EQ(resp.at("health").at("status").as_string(), "overloaded");
+  EXPECT_TRUE(resp.at("health").at("overloaded").as_bool());
+  EXPECT_EQ(resp.at("health").at("queue_depth").as_int(), 2);
+  server.resume_worker();
+  for (int i = 0; i < 2; ++i) {
+    std::string payload;
+    ASSERT_TRUE(read_frame(client.fd(), &payload));
+  }
+
+  // Degraded generation after a corrupt-member reload.
+  {
+    std::ofstream f(live + ".m1", std::ios::trunc);
+    f << "not a model";
+  }
+  ASSERT_TRUE(client.admin("reload").at("ok").as_bool());
+  resp = client.admin("healthz");
+  EXPECT_EQ(resp.at("health").at("status").as_string(), "degraded");
+  EXPECT_TRUE(resp.at("health").at("degraded").as_bool());
+  server.stop();
+  std::filesystem::remove(live + ".m0");
+  std::filesystem::remove(live + ".m1");
+  std::filesystem::remove(live);
+}
+
+TEST(Serve, RecentRingRecordsPhasesCoalescingAndErrors) {
+  ServeConfig cfg = base_config("recent", artifacts().ensemble_a);
+  cfg.max_batch = 8;
+  cfg.recent_capacity = 4;
+  Server server(cfg);
+  server.start();
+  server.pause_worker();
+  const std::string deck = test_decks()[0];
+  ServeClient client = ServeClient::connect_unix(cfg.socket_path);
+  for (int i = 0; i < 2; ++i) {  // identical pair: second coalesces
+    obs::JsonValue req = obs::JsonValue::object();
+    req.set("id", static_cast<long long>(i));
+    req.set("netlist", deck);
+    write_frame(client.fd(), req.dump());
+  }
+  while (server.stats().requests.load() < 2)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  server.resume_worker();
+  for (int i = 0; i < 2; ++i) {
+    std::string payload;
+    ASSERT_TRUE(read_frame(client.fd(), &payload));
+  }
+  // A parse failure is retained with its error code.
+  const obs::JsonValue bad = client.predict("Zq bogus card\n");
+  EXPECT_FALSE(bad.at("ok").as_bool());
+
+  // The response is written before the record lands in the ring; give the
+  // worker a beat to finish its terminal accounting.
+  auto records = server.recent().snapshot();
+  for (int i = 0; i < 200 && records.size() < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    records = server.recent().snapshot();
+  }
+  ASSERT_EQ(records.size(), 3u);
+  for (const auto& r : records) EXPECT_FALSE(r.request_id.empty());
+  EXPECT_TRUE(records[0].ok);
+  EXPECT_FALSE(records[0].coalesced);
+  EXPECT_FALSE(records[0].deck.empty());
+  EXPECT_GT(records[0].deck_bytes, 0u);
+  EXPECT_GT(records[0].phases.total_us, 0.0);
+  EXPECT_GT(records[0].phases.predict_us, 0.0);
+  EXPECT_TRUE(records[1].coalesced) << "identical deck in the same batch must coalesce";
+  EXPECT_FALSE(records[2].ok);
+  EXPECT_EQ(records[2].error_code, "parse_error");
+
+  // The ring stays bounded: flood past capacity, oldest evicted.
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(client.predict(deck).at("ok").as_bool());
+  std::size_t retained = server.recent().snapshot().size();
+  for (int i = 0; i < 200 && retained < cfg.recent_capacity; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    retained = server.recent().snapshot().size();
+  }
+  EXPECT_EQ(retained, cfg.recent_capacity);
+  server.stop();
+}
+
+TEST(Serve, FlightRecorderMarksRequestLifecycle) {
+  obs::FlightRecorder::instance().arm();
+  ServeConfig cfg = base_config("flight", artifacts().ensemble_a);
+  Server server(cfg);
+  server.start();
+  ServeClient client = ServeClient::connect_unix(cfg.socket_path);
+  ASSERT_TRUE(client.predict(test_decks()[0], Priority::kNormal, 0, "fr-probe-1").at("ok").as_bool());
+  server.stop();
+
+  bool saw_begin = false, saw_end = false;
+  for (const auto& ev : obs::FlightRecorder::instance().snapshot()) {
+    if (std::string(ev.component) != "serve.req") continue;
+    const std::string msg(ev.message);
+    if (msg == "begin fr-probe-1") saw_begin = true;
+    if (msg == "end fr-probe-1") saw_end = true;
+  }
+  obs::FlightRecorder::instance().disarm();
+  EXPECT_TRUE(saw_begin) << "admission must leave a begin mark with the request id";
+  EXPECT_TRUE(saw_end) << "completion must leave an end mark with the request id";
+}
+
+TEST(Serve, InjectedPredictFaultAnswersTypedInternalError) {
+  ServeConfig cfg = base_config("fault", artifacts().ensemble_a);
+  Server server(cfg);
+  server.start();
+  ServeClient client = ServeClient::connect_unix(cfg.socket_path);
+
+  util::fault::configure("serve.predict:1");
+  const obs::JsonValue resp = client.predict(test_decks()[0], Priority::kNormal, 0, "fault-req");
+  util::fault::configure("");
+  EXPECT_FALSE(resp.at("ok").as_bool());
+  EXPECT_EQ(resp.at("error").at("code").as_string(), "internal");
+  EXPECT_EQ(resp.at("request_id").as_string(), "fault-req");
+
+  // The failure is accounted: recent ring names it, SLO counted it bad.
+  auto records = server.recent().snapshot();
+  for (int i = 0; i < 200 && records.empty(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    records = server.recent().snapshot();
+  }
+  ASSERT_FALSE(records.empty());
+  EXPECT_FALSE(records.back().ok);
+  EXPECT_EQ(records.back().error_code, "internal");
+  EXPECT_EQ(records.back().request_id, "fault-req");
+  const auto w = server.slo().window(10);
+  EXPECT_GE(w.total, 1u);
+  EXPECT_LT(w.good, w.total);
+
+  // One-shot schedule: the daemon recovers on the next request.
+  EXPECT_TRUE(client.predict(test_decks()[0]).at("ok").as_bool());
+  server.stop();
 }
 
 }  // namespace

@@ -48,7 +48,8 @@
 //       samples at a time instead of the whole dataset (DESIGN.md §11).
 //   paragraph serve --socket PATH [--tcp PORT] [--ensemble ENS]
 //                   [--models A.bin,B.bin] [--queue-cap N] [--max-batch N]
-//                   [--no-batching]
+//                   [--no-batching] [--slow-ms MS] [--slo-p99-ms MS]
+//                   [--slo-target F] [--recent N]
 //       Long-lived inference daemon (DESIGN.md §12): loads the models
 //       once, answers length-prefixed JSON requests on a unix-domain
 //       socket (and loopback TCP with --tcp; port 0 picks one and prints
@@ -62,12 +63,33 @@
 //       manifest keeps the old generation serving. SIGTERM/SIGINT drain
 //       the queue, answer everything admitted, then exit 0. A socket path
 //       or TCP port already in use exits 3.
+//       Live telemetry (DESIGN.md §13): every request gets a stable
+//       request id (client-propagated or server-assigned) with a
+//       queue/parse/plan/predict/serialize phase breakdown; --slow-ms MS
+//       warn-logs requests slower than MS with that breakdown; the SLO
+//       windows count a request good when it succeeded within
+//       --slo-p99-ms MS (default 50) against availability --slo-target F
+//       (default 0.999); --recent N sizes the recent-requests ring
+//       (default 64).
 //   paragraph client --socket PATH | --tcp HOST:PORT
-//                    (--netlist FILE.sp [--priority P] | --admin CMD)
+//                    (--netlist FILE.sp [--priority P] [--request-id RID]
+//                     | --admin CMD) [--json]
 //       One round-trip against a running serve daemon: send one netlist
-//       (or admin command: stats, reload, shutdown), print the
+//       (or admin command: stats, healthz, reload, shutdown), print the
 //       predictions (or the stats/ack JSON), exit 0. Any server-side
-//       error response prints its code and message and exits 3.
+//       error response prints its code and message and exits 3. --json
+//       prints one machine-readable object (request_id, ok, latency_ms,
+//       error code, predictions) instead of the human text; --request-id
+//       propagates a caller-chosen trace id into the server's telemetry.
+//   paragraph top --socket PATH | --tcp HOST:PORT
+//                 [--interval-ms N] [--count N] [--once] [--json]
+//       Live one-screen view of a running daemon, polled from the `stats`
+//       admin verb every --interval-ms (default 1000): req/s,
+//       p50/p95/p99 latency, queue depth per lane, in-flight and batch
+//       sizes, reloads, SLO windows and error-budget remaining. --once
+//       prints a single snapshot and exits; --json emits the raw
+//       paragraph-stats-v1 document per poll (for scripts); --count N
+//       stops after N polls.
 //
 // Out-of-core options (train, evaluate):
 //   --shards DIR         stream samples from a packed shard directory
@@ -110,6 +132,7 @@
 //      netlist; SPICE parse errors)
 //   4  training diverged (persistent non-finite loss/gradients)
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <filesystem>
@@ -118,6 +141,7 @@
 #include <optional>
 #include <span>
 #include <sstream>
+#include <thread>
 
 #include <unistd.h>
 
@@ -148,7 +172,7 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: paragraph <generate|train|predict|evaluate|report|annotate|dataset|serve|client> [options]\n"
+               "usage: paragraph <generate|train|predict|evaluate|report|annotate|dataset|serve|client|top> [options]\n"
                "run with a command and --help for the option list in the file header\n");
   return 2;
 }
@@ -666,6 +690,15 @@ int cmd_serve(const util::ArgParser& args) {
   }
   cfg.queue_capacity = static_cast<std::size_t>(qcap);
   cfg.max_batch = static_cast<std::size_t>(mbatch);
+  cfg.slow_ms = args.get_double("slow-ms", 0.0);
+  cfg.slo_latency_ms = args.get_double("slo-p99-ms", 50.0);
+  cfg.slo_target = args.get_double("slo-target", 0.999);
+  const long recent = args.get_int("recent", 64);
+  if (recent <= 0) {
+    std::fprintf(stderr, "serve: --recent must be positive\n");
+    return 2;
+  }
+  cfg.recent_capacity = static_cast<std::size_t>(recent);
 
   serve::Server server(std::move(cfg));
   server.start();
@@ -697,32 +730,33 @@ int cmd_serve(const util::ArgParser& args) {
   return 0;
 }
 
-int cmd_client(const util::ArgParser& args) {
+// Shared by client/top: --socket PATH or --tcp HOST:PORT.
+serve::ServeClient connect_serve(const util::ArgParser& args, const char* cmd) {
   const std::string socket_path = args.get("socket");
   const std::string tcp = args.get("tcp");
-  if (socket_path.empty() == tcp.empty()) {
-    std::fprintf(stderr, "client: exactly one of --socket PATH or --tcp HOST:PORT is required\n");
-    return 2;
-  }
+  if (socket_path.empty() == tcp.empty())
+    throw std::invalid_argument(std::string(cmd) +
+                                ": exactly one of --socket PATH or --tcp HOST:PORT is required");
+  if (!socket_path.empty()) return serve::ServeClient::connect_unix(socket_path);
+  const std::size_t colon = tcp.rfind(':');
+  if (colon == std::string::npos || colon + 1 == tcp.size())
+    throw std::invalid_argument(std::string(cmd) + ": --tcp needs HOST:PORT, got '" + tcp + "'");
+  return serve::ServeClient::connect_tcp(tcp.substr(0, colon), std::stoi(tcp.substr(colon + 1)));
+}
+
+int cmd_client(const util::ArgParser& args) {
   const std::string netlist_path = args.get("netlist");
   const std::string admin = args.get("admin");
   if (netlist_path.empty() == admin.empty()) {
     std::fprintf(stderr, "client: exactly one of --netlist FILE or --admin CMD is required\n");
     return 2;
   }
-
-  auto connect = [&]() {
-    if (!socket_path.empty()) return serve::ServeClient::connect_unix(socket_path);
-    const std::size_t colon = tcp.rfind(':');
-    if (colon == std::string::npos || colon + 1 == tcp.size())
-      throw std::invalid_argument("client: --tcp needs HOST:PORT, got '" + tcp + "'");
-    return serve::ServeClient::connect_tcp(tcp.substr(0, colon),
-                                           std::stoi(tcp.substr(colon + 1)));
-  };
-  serve::ServeClient client = connect();
+  serve::ServeClient client = connect_serve(args, "client");
 
   const auto id = static_cast<std::int64_t>(args.get_int("id", 1));
+  const bool json = args.has("json");
   obs::JsonValue resp;
+  const auto sent_at = std::chrono::steady_clock::now();
   if (!admin.empty()) {
     resp = client.admin(admin, id);
   } else {
@@ -735,14 +769,41 @@ int cmd_client(const util::ArgParser& args) {
     if (!f) throw util::IoError("client: cannot read netlist '" + netlist_path + "'");
     std::ostringstream text;
     text << f.rdbuf();
-    resp = client.predict(text.str(), priority, id);
+    resp = client.predict(text.str(), priority, id, args.get("request-id"));
   }
+  const double latency_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - sent_at)
+          .count();
 
   const obs::JsonValue* ok = resp.find("ok");
-  if (ok == nullptr || !ok->is_bool() || !ok->as_bool()) {
-    const obs::JsonValue* err = resp.find("error");
-    const obs::JsonValue* code = err != nullptr ? err->find("code") : nullptr;
-    const obs::JsonValue* msg = err != nullptr ? err->find("message") : nullptr;
+  const bool succeeded = ok != nullptr && ok->is_bool() && ok->as_bool();
+  const obs::JsonValue* err = resp.find("error");
+  const obs::JsonValue* code = err != nullptr ? err->find("code") : nullptr;
+  const obs::JsonValue* msg = err != nullptr ? err->find("message") : nullptr;
+
+  if (json) {
+    // One machine-readable envelope per round-trip: what scripts and the
+    // bench harness consume instead of scraping the human text.
+    obs::JsonValue out = obs::JsonValue::object();
+    const obs::JsonValue* rid = resp.find("request_id");
+    if (rid != nullptr && rid->is_string()) out.set("request_id", rid->as_string());
+    out.set("ok", succeeded);
+    out.set("latency_ms", latency_ms);
+    if (const obs::JsonValue* gen = resp.find("model_generation"); gen != nullptr)
+      out.set("model_generation", gen->as_int());
+    if (const obs::JsonValue* degraded = resp.find("degraded"); degraded != nullptr)
+      out.set("degraded", degraded->as_bool());
+    if (!succeeded) {
+      out.set("error_code", code != nullptr && code->is_string() ? code->as_string() : "unknown");
+      out.set("error_message", msg != nullptr && msg->is_string() ? msg->as_string() : "");
+    }
+    for (const char* member : {"predictions", "stats", "health"})
+      if (const obs::JsonValue* v = resp.find(member); v != nullptr) out.set(member, *v);
+    std::printf("%s\n", out.dump().c_str());
+    return succeeded ? 0 : util::kExitBadInput;
+  }
+
+  if (!succeeded) {
     std::fprintf(stderr, "client: server error [%s] %s\n",
                  code != nullptr && code->is_string() ? code->as_string().c_str() : "unknown",
                  msg != nullptr && msg->is_string() ? msg->as_string().c_str() : "(no message)");
@@ -751,9 +812,11 @@ int cmd_client(const util::ArgParser& args) {
   if (const obs::JsonValue* preds = resp.find("predictions"); preds != nullptr) {
     const obs::JsonValue* gen = resp.find("model_generation");
     const obs::JsonValue* degraded = resp.find("degraded");
-    std::printf("# predictions from generation %lld%s\n",
+    const obs::JsonValue* rid = resp.find("request_id");
+    std::printf("# predictions from generation %lld%s (request %s)\n",
                 gen != nullptr ? static_cast<long long>(gen->as_int()) : -1LL,
-                degraded != nullptr && degraded->as_bool() ? " (degraded)" : "");
+                degraded != nullptr && degraded->as_bool() ? " (degraded)" : "",
+                rid != nullptr && rid->is_string() ? rid->as_string().c_str() : "?");
     for (const auto& [target, values] : preds->items()) {
       std::printf("## %s\n", target.c_str());
       for (const auto& [name, value] : values.items())
@@ -762,6 +825,110 @@ int cmd_client(const util::ArgParser& args) {
   } else {
     // Admin responses print verbatim: stats payloads are for scripts.
     std::printf("%s\n", resp.dump().c_str());
+  }
+  return 0;
+}
+
+// ---- top -----------------------------------------------------------------
+
+// Safe nested lookup into a stats document; nullptr when any key along
+// the path is missing (daemons that have not served yet have no latency
+// histogram, for instance).
+const obs::JsonValue* stats_path(const obs::JsonValue& root,
+                                 std::initializer_list<const char*> keys) {
+  const obs::JsonValue* v = &root;
+  for (const char* key : keys) {
+    if (!v->is_object()) return nullptr;
+    v = v->find(key);
+    if (v == nullptr) return nullptr;
+  }
+  return v;
+}
+
+double stats_num(const obs::JsonValue& root, std::initializer_list<const char*> keys) {
+  const obs::JsonValue* v = stats_path(root, keys);
+  return v != nullptr && v->is_number() ? v->as_double() : 0.0;
+}
+
+// One screenful of the stats document, plus req/s computed from the
+// previous poll's response counter.
+void render_top(const obs::JsonValue& stats, double reqs_per_sec, bool have_rate) {
+  const double p50 = stats_num(stats, {"metrics", "histograms", "serve.latency_us", "p50"});
+  const double p95 = stats_num(stats, {"metrics", "histograms", "serve.latency_us", "p95"});
+  const double p99 = stats_num(stats, {"metrics", "histograms", "serve.latency_us", "p99"});
+  const obs::JsonValue* degraded = stats_path(stats, {"model", "degraded"});
+  std::printf("paragraph top — generation %lld%s\n",
+              static_cast<long long>(stats_num(stats, {"model", "generation"})),
+              degraded != nullptr && degraded->is_bool() && degraded->as_bool() ? " (DEGRADED)"
+                                                                                : "");
+  if (have_rate)
+    std::printf("rate:     %.1f req/s\n", reqs_per_sec);
+  else
+    std::printf("rate:     (first sample)\n");
+  std::printf("requests: %.0f admitted, %.0f answered, %.0f errors, %.0f rejected\n",
+              stats_num(stats, {"server", "requests"}), stats_num(stats, {"server", "responses"}),
+              stats_num(stats, {"server", "errors"}), stats_num(stats, {"server", "rejected"}));
+  std::printf("latency:  p50 %.2f ms  p95 %.2f ms  p99 %.2f ms\n", p50 / 1000.0, p95 / 1000.0,
+              p99 / 1000.0);
+  std::printf("queue:    depth %.0f/%.0f (low %.0f, normal %.0f, high %.0f)  inflight %.0f\n",
+              stats_num(stats, {"server", "queue_depth"}),
+              stats_num(stats, {"server", "queue_capacity"}),
+              stats_num(stats, {"server", "queue_lanes", "low"}),
+              stats_num(stats, {"server", "queue_lanes", "normal"}),
+              stats_num(stats, {"server", "queue_lanes", "high"}),
+              stats_num(stats, {"server", "inflight"}));
+  std::printf("batches:  %.0f (largest %.0f, coalesced %.0f)  reloads %.0f\n",
+              stats_num(stats, {"server", "batches"}),
+              stats_num(stats, {"server", "max_batch_seen"}),
+              stats_num(stats, {"server", "coalesced"}), stats_num(stats, {"server", "reloads"}));
+  std::printf("slo:      1m availability %.4f (burn %.2f)  5m availability %.4f  "
+              "budget remaining %.0f%%\n",
+              stats_num(stats, {"slo", "windows", "1m", "availability"}),
+              stats_num(stats, {"slo", "windows", "1m", "burn_rate"}),
+              stats_num(stats, {"slo", "windows", "5m", "availability"}),
+              stats_num(stats, {"slo", "budget_remaining"}) * 100.0);
+  std::printf("memory:   rss %.0f KB (peak %.0f KB)\n", stats_num(stats, {"process", "rss_kb"}),
+              stats_num(stats, {"process", "peak_rss_kb"}));
+}
+
+int cmd_top(const util::ArgParser& args) {
+  const bool once = args.has("once");
+  const bool json = args.has("json");
+  const long interval_ms = args.get_int("interval-ms", 1000);
+  if (interval_ms <= 0) {
+    std::fprintf(stderr, "top: --interval-ms must be positive\n");
+    return 2;
+  }
+  const long count = once ? 1 : args.get_int("count", 0);  // 0 = until killed
+  serve::ServeClient client = connect_serve(args, "top");
+
+  double prev_responses = 0.0;
+  auto prev_at = std::chrono::steady_clock::now();
+  bool have_prev = false;
+  for (long i = 0; count == 0 || i < count; ++i) {
+    if (i > 0) std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    const obs::JsonValue resp = client.admin("stats", i + 1);
+    const obs::JsonValue* ok = resp.find("ok");
+    const obs::JsonValue* stats = resp.find("stats");
+    if (ok == nullptr || !ok->is_bool() || !ok->as_bool() || stats == nullptr) {
+      std::fprintf(stderr, "top: bad stats response: %s\n", resp.dump().c_str());
+      return util::kExitBadInput;
+    }
+    if (json) {
+      std::printf("%s\n", stats->dump().c_str());
+      std::fflush(stdout);
+      continue;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    const double responses = stats_num(*stats, {"server", "responses"});
+    const double dt = std::chrono::duration<double>(now - prev_at).count();
+    const double rate = have_prev && dt > 0.0 ? (responses - prev_responses) / dt : 0.0;
+    if (!once) std::printf("\033[H\033[2J");  // clear screen between polls
+    render_top(*stats, rate, have_prev);
+    std::fflush(stdout);
+    prev_responses = responses;
+    prev_at = now;
+    have_prev = true;
   }
   return 0;
 }
@@ -811,6 +978,7 @@ int main(int argc, char** argv) {
     else if (command == "dataset") rc = cmd_dataset(args);
     else if (command == "serve") rc = cmd_serve(args);
     else if (command == "client") rc = cmd_client(args);
+    else if (command == "top") rc = cmd_top(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "paragraph %s: %s\n", command.c_str(), e.what());
     // Flush whatever was collected before the failure; partial metrics and
