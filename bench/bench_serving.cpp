@@ -23,7 +23,16 @@
 // (schema paragraph-bench-v1):
 //   serve.batchN.cC.throughput  req/s   higher is better
 //   serve.batchN.cC.p50/p95/p99 ms      lower is better
+//   serve.fairness.solo.p99     ms      one polite client, empty server
+//   serve.fairness.flood.p99    ms      same client vs a flooding key
 // `--quick` shrinks the sweep for CI (perf_smoke runs it).
+//
+// The fairness scenario (DESIGN.md §14) is the measured evidence for the
+// per-client deficit-round-robin dequeue: a polite closed-loop client is
+// timed alone, then again while several connections sharing one greedy
+// fairness key keep the queue saturated. With DRR the polite p99 should
+// stay within a small multiple of solo (the acceptance bar is 3x); under
+// plain FIFO it would instead scale with the flooder's whole backlog.
 //
 // The timed workload is byte-identical to the pre-telemetry bench, so the
 // perf_diff gate against the checked-in baseline honestly prices the
@@ -197,6 +206,71 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "bench_serving: bad stats document: %s\n", resp.dump().c_str());
         return 1;
       }
+    }
+    server.stop();
+  }
+
+  // Fairness: polite client p99 solo vs with one greedy key at capacity.
+  {
+    serve::ServeConfig cfg;
+    cfg.socket_path = dir + "/bench_fair.sock";
+    cfg.registry.ensemble_path = ensemble_path;
+    cfg.queue_capacity = 32;
+    cfg.max_batch = 8;
+    serve::Server server(cfg);
+    server.start();
+
+    const int flooder_conns = 6;
+    const int polite_requests = quick ? 15 : 40;
+    const auto polite_run = [&](bool flood) {
+      std::atomic<bool> stop{false};
+      std::atomic<int> flooding{0};
+      std::vector<std::thread> flooders;
+      if (flood)
+        for (int f = 0; f < flooder_conns; ++f)
+          flooders.emplace_back([&] {
+            // Several connections sharing one fairness key: a classic
+            // greedy tenant. queue_full answers (per-client cap) are
+            // expected and simply retried — the point is pressure.
+            serve::ServeClient c = serve::ServeClient::connect_unix(cfg.socket_path);
+            serve::RequestOptions opt;
+            opt.client = "flooder";
+            bool first = true;
+            while (!stop.load(std::memory_order_relaxed)) {
+              c.predict(decks[0], opt);
+              if (first) { flooding.fetch_add(1); first = false; }
+            }
+          });
+      while (flooding.load() < (flood ? flooder_conns : 0)) std::this_thread::yield();
+      std::vector<double> lat;
+      serve::ServeClient c = serve::ServeClient::connect_unix(cfg.socket_path);
+      serve::RequestOptions opt;
+      opt.client = "polite";
+      c.predict(decks[0], opt);  // warmup, unmeasured
+      for (int i = 0; i < polite_requests; ++i) {
+        const bench::Timer t;
+        const obs::JsonValue resp = c.predict(decks[i % decks.size()], opt);
+        const obs::JsonValue* ok = resp.find("ok");
+        if (ok == nullptr || !ok->as_bool()) {
+          std::fprintf(stderr, "bench_serving: polite request failed: %s\n",
+                       resp.dump().c_str());
+          std::exit(1);
+        }
+        lat.push_back(t.seconds() * 1e3);
+      }
+      stop.store(true);
+      for (auto& t : flooders) t.join();
+      return lat;
+    };
+    for (int rep = 0; rep < reps; ++rep) {
+      const double solo_p99 = percentile(polite_run(false), 0.99);
+      const double flood_p99 = percentile(polite_run(true), 0.99);
+      reporter.add_rep("serve.fairness.solo.p99", "ms", solo_p99);
+      reporter.add_rep("serve.fairness.flood.p99", "ms", flood_p99);
+      if (rep == 0)
+        table.add_row({"fairness", "1+" + std::to_string(flooder_conns) + " greedy",
+                       "-", "-", "-", fmt(flood_p99, 2), "-",
+                       "solo p99 " + fmt(solo_p99, 2)});
     }
     server.stop();
   }

@@ -169,9 +169,16 @@ for key in ("server", "model", "slo", "metrics", "process", "recent"):
 srv = doc["server"]
 for key in ("connections", "requests", "responses", "rejected", "errors", "batches",
             "coalesced", "reloads", "max_batch_seen", "inflight", "queue_depth",
-            "queue_capacity", "max_batch", "queue_lanes"):
+            "queue_capacity", "max_batch", "queue_lanes", "io_timeouts",
+            "deadline_shed", "conn_rejected", "io_timeout_ms", "max_conns",
+            "client_queue_cap", "auth_required", "error_codes"):
     assert key in srv, key
 assert srv["responses"] >= 1
+# The closed typed error-code set (DESIGN.md §14): every code is always
+# present in the breakdown, zero or not, so dashboards never miss one.
+for code in ("bad_request", "parse_error", "queue_full", "shutting_down",
+             "internal", "deadline_exceeded", "overloaded", "unauthorized"):
+    assert code in srv["error_codes"], code
 for lane in ("low", "normal", "high"):
     assert lane in srv["queue_lanes"], lane
 assert doc["model"]["generation"] >= 1

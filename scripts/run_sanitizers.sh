@@ -35,6 +35,13 @@
 #                                          # snapshot vs concurrent writers,
 #                                          # histogram quantile edges, trace/
 #                                          # log plumbing) under all three
+#   scripts/run_sanitizers.sh chaos        # the chaos label: the hostile-
+#                                          # conditions soak (torn frames,
+#                                          # slowloris, socket fault schedules,
+#                                          # reload-mid-soak) under all three
+#                                          # sanitizers, stretched to 30s via
+#                                          # PARAGRAPH_CHAOS_SECONDS (override
+#                                          # by exporting it first)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -47,6 +54,13 @@ case "${1:-}" in
   scale) shift; set -- -L scale "$@" ;;
   serve) shift; set -- -L serve "$@" ;;
   obs) shift; set -- -L obs "$@" ;;
+  chaos)
+    shift; set -- -L chaos "$@"
+    # The soak needs real wall-clock to breed rare interleavings; 30s per
+    # sanitizer is the acceptance floor (ISSUE/DESIGN §14).
+    PARAGRAPH_CHAOS_SECONDS="${PARAGRAPH_CHAOS_SECONDS:-30}"
+    export PARAGRAPH_CHAOS_SECONDS
+    ;;
 esac
 
 for san in $sans; do

@@ -1,10 +1,13 @@
 #include "serve/client.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -13,6 +16,23 @@
 #include "util/errors.h"
 
 namespace paragraph::serve {
+
+namespace {
+
+// Builds the wire request for one prediction from its options.
+obs::JsonValue predict_request(const std::string& netlist_text, const RequestOptions& options) {
+  obs::JsonValue req = obs::JsonValue::object();
+  req.set("id", static_cast<long long>(options.id));
+  if (!options.request_id.empty()) req.set("request_id", options.request_id);
+  req.set("netlist", netlist_text);
+  req.set("priority", priority_name(options.priority));
+  if (options.deadline_ms > 0.0) req.set("deadline_ms", options.deadline_ms);
+  if (!options.client.empty()) req.set("client", options.client);
+  if (!options.auth_token.empty()) req.set("auth_token", options.auth_token);
+  return req;
+}
+
+}  // namespace
 
 ServeClient ServeClient::connect_unix(const std::string& socket_path) {
   sockaddr_un addr{};
@@ -50,12 +70,14 @@ ServeClient ServeClient::connect_tcp(const std::string& host, int port) {
   return ServeClient(fd);
 }
 
-ServeClient::ServeClient(ServeClient&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+ServeClient::ServeClient(ServeClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), io_timeout_ms_(other.io_timeout_ms_) {}
 
 ServeClient& ServeClient::operator=(ServeClient&& other) noexcept {
   if (this != &other) {
     if (fd_ >= 0) ::close(fd_);
     fd_ = std::exchange(other.fd_, -1);
+    io_timeout_ms_ = other.io_timeout_ms_;
   }
   return *this;
 }
@@ -64,10 +86,20 @@ ServeClient::~ServeClient() {
   if (fd_ >= 0) ::close(fd_);
 }
 
+void ServeClient::set_io_timeout_ms(int timeout_ms) {
+  io_timeout_ms_ = timeout_ms > 0 ? timeout_ms : 0;
+  if (io_timeout_ms_ > 0 && fd_ >= 0) {
+    // Nonblocking so the poll-based frame deadlines in protocol.cpp can
+    // bound every read and write syscall.
+    const int flags = ::fcntl(fd_, F_GETFL, 0);
+    if (flags >= 0) ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  }
+}
+
 obs::JsonValue ServeClient::roundtrip(const obs::JsonValue& req) {
-  write_frame(fd_, req.dump());
+  write_frame(fd_, req.dump(), kMaxFrameBytes, io_timeout_ms_);
   std::string payload;
-  if (!read_frame(fd_, &payload))
+  if (!read_frame(fd_, &payload, kMaxFrameBytes, io_timeout_ms_))
     throw util::IoError("client: server closed the connection before answering");
   std::string err;
   auto resp = obs::JsonValue::parse(payload, &err);
@@ -77,19 +109,109 @@ obs::JsonValue ServeClient::roundtrip(const obs::JsonValue& req) {
 
 obs::JsonValue ServeClient::predict(const std::string& netlist_text, Priority priority,
                                     std::int64_t id, const std::string& request_id) {
-  obs::JsonValue req = obs::JsonValue::object();
-  req.set("id", static_cast<long long>(id));
-  if (!request_id.empty()) req.set("request_id", request_id);
-  req.set("netlist", netlist_text);
-  req.set("priority", priority_name(priority));
-  return roundtrip(req);
+  RequestOptions options;
+  options.priority = priority;
+  options.id = id;
+  options.request_id = request_id;
+  return predict(netlist_text, options);
 }
 
-obs::JsonValue ServeClient::admin(const std::string& command, std::int64_t id) {
+obs::JsonValue ServeClient::predict(const std::string& netlist_text,
+                                    const RequestOptions& options) {
+  return roundtrip(predict_request(netlist_text, options));
+}
+
+obs::JsonValue ServeClient::admin(const std::string& command, std::int64_t id,
+                                  const std::string& auth_token) {
   obs::JsonValue req = obs::JsonValue::object();
   req.set("id", static_cast<long long>(id));
   req.set("admin", command);
+  if (!auth_token.empty()) req.set("auth_token", auth_token);
   return roundtrip(req);
+}
+
+// ------------------------------------------------------------ RetryingClient
+
+RetryingClient RetryingClient::unix_target(std::string socket_path, RetryPolicy policy) {
+  return RetryingClient(std::move(socket_path), std::string(), -1, policy);
+}
+
+RetryingClient RetryingClient::tcp_target(std::string host, int port, RetryPolicy policy) {
+  return RetryingClient(std::string(), std::move(host), port, policy);
+}
+
+ServeClient RetryingClient::connect() {
+  ServeClient c = socket_path_.empty() ? ServeClient::connect_tcp(host_, port_)
+                                       : ServeClient::connect_unix(socket_path_);
+  if (io_timeout_ms_ > 0) c.set_io_timeout_ms(io_timeout_ms_);
+  return c;
+}
+
+obs::JsonValue RetryingClient::call(obs::JsonValue req) {
+  // One logical request = one request_id across every attempt, so server
+  // logs and the recent-requests ring can correlate retries.
+  if (req.find("request_id") == nullptr)
+    req.set("request_id", "cr" + std::to_string(++next_client_rid_));
+  const int max_attempts = policy_.max_attempts > 0 ? policy_.max_attempts : 1;
+  for (int attempt = 1;; ++attempt) {
+    last_attempts_ = attempt;
+    const auto backoff = [&] {
+      double cap = policy_.base_backoff_ms;
+      for (int k = 1; k < attempt && cap < policy_.max_backoff_ms; ++k) cap *= 2.0;
+      if (cap > policy_.max_backoff_ms) cap = policy_.max_backoff_ms;
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(rng_.uniform(0.0, cap)));
+    };
+    try {
+      if (!conn_.has_value()) conn_.emplace(connect());
+    } catch (const util::IoError&) {
+      // Connect failure: nothing reached the server — always idempotent.
+      if (attempt >= max_attempts) throw;
+      backoff();
+      continue;
+    }
+    obs::JsonValue resp;
+    try {
+      resp = conn_->roundtrip(req);
+    } catch (const util::IoError&) {
+      // The connection dropped (or timed out) mid-round-trip: the server
+      // may be executing the request, so retrying is NOT idempotent-safe.
+      // Reconnect on the next call, but surface this failure.
+      conn_.reset();
+      throw;
+    }
+    const obs::JsonValue* ok = resp.find("ok");
+    if (ok != nullptr && ok->is_bool() && !ok->as_bool()) {
+      const obs::JsonValue* error = resp.find("error");
+      const obs::JsonValue* code =
+          error != nullptr && error->is_object() ? error->find("code") : nullptr;
+      const std::string name = code != nullptr && code->is_string() ? code->as_string() : "";
+      // queue_full / overloaded are explicit "come back later" rejections
+      // made before any work started — the only error responses that are
+      // safe (and useful) to retry.
+      if ((name == "queue_full" || name == "overloaded") && attempt < max_attempts) {
+        // A connection-level overloaded rejection is followed by the
+        // server hanging up; start the next attempt on a fresh socket.
+        if (name == "overloaded") conn_.reset();
+        backoff();
+        continue;
+      }
+    }
+    return resp;
+  }
+}
+
+obs::JsonValue RetryingClient::predict(const std::string& netlist_text, RequestOptions options) {
+  return call(predict_request(netlist_text, options));
+}
+
+obs::JsonValue RetryingClient::admin(const std::string& command, RequestOptions options) {
+  obs::JsonValue req = obs::JsonValue::object();
+  req.set("id", static_cast<long long>(options.id));
+  if (!options.request_id.empty()) req.set("request_id", options.request_id);
+  req.set("admin", command);
+  if (!options.auth_token.empty()) req.set("auth_token", options.auth_token);
+  return call(std::move(req));
 }
 
 }  // namespace paragraph::serve

@@ -3,14 +3,34 @@
 // CLI subcommand, the serve tests, and the serving benchmark's load
 // generators (one ServeClient per generator thread; a single instance is
 // not thread-safe).
+//
+// RetryingClient layers jittered-exponential-backoff retries on top, for
+// the hostile-conditions path (DESIGN.md §14): only idempotent outcomes
+// are retried — connect failure, `queue_full`, `overloaded` — never a
+// connection that dropped mid-round-trip (the server may already be
+// computing the answer) and never `shutting_down`. Every attempt carries
+// the same request_id so server-side telemetry can correlate them.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "serve/protocol.h"
+#include "util/rng.h"
 
 namespace paragraph::serve {
+
+// Per-request knobs for the convenience wrappers. Zero values mean "omit
+// the field from the wire request".
+struct RequestOptions {
+  Priority priority = Priority::kNormal;
+  std::int64_t id = 0;
+  std::string request_id;   // propagated for tracing; empty: server assigns
+  double deadline_ms = 0.0;  // >0: server sheds if not started in time
+  std::string client;       // fairness key; empty: connection identity
+  std::string auth_token;   // required per request on authenticated TCP
+};
 
 class ServeClient {
  public:
@@ -24,6 +44,15 @@ class ServeClient {
   ServeClient& operator=(const ServeClient&) = delete;
   ~ServeClient();
 
+  // Per-frame I/O deadline (sets the fd nonblocking): a stalled *frame*
+  // — server accepting bytes slowly, or trickling a response — throws
+  // util::TimeoutError. The wait for a response to *start* is unbounded
+  // (a loaded queue legitimately takes a while); bound that with
+  // RequestOptions::deadline_ms, which makes the server itself answer
+  // `deadline_exceeded` in time. 0 disables.
+  void set_io_timeout_ms(int timeout_ms);
+  int io_timeout_ms() const { return io_timeout_ms_; }
+
   // Sends `req` and blocks for the next response frame. Throws
   // util::IoError when the connection drops before an answer arrives.
   obs::JsonValue roundtrip(const obs::JsonValue& req);
@@ -33,13 +62,67 @@ class ServeClient {
   // empty lets the server assign one.
   obs::JsonValue predict(const std::string& netlist_text, Priority priority = Priority::kNormal,
                          std::int64_t id = 0, const std::string& request_id = std::string());
-  obs::JsonValue admin(const std::string& command, std::int64_t id = 0);
+  obs::JsonValue predict(const std::string& netlist_text, const RequestOptions& options);
+  obs::JsonValue admin(const std::string& command, std::int64_t id = 0,
+                       const std::string& auth_token = std::string());
 
   int fd() const { return fd_; }
 
  private:
   explicit ServeClient(int fd) : fd_(fd) {}
   int fd_ = -1;
+  int io_timeout_ms_ = 0;
+};
+
+// Backoff schedule: full-jitter exponential. Attempt k (1-based) sleeps
+// uniform(0, min(max_backoff_ms, base_backoff_ms * 2^(k-1))) before
+// retrying — the jitter is what keeps a thundering herd of rejected
+// clients from re-arriving in lockstep.
+struct RetryPolicy {
+  int max_attempts = 4;         // total tries, including the first
+  double base_backoff_ms = 10.0;
+  double max_backoff_ms = 2000.0;
+  std::uint64_t jitter_seed = 0x9e3779b97f4a7c15ULL;  // deterministic tests
+};
+
+// A reconnecting, retrying wrapper around ServeClient. Not thread-safe
+// (same contract as ServeClient: one per thread).
+class RetryingClient {
+ public:
+  static RetryingClient unix_target(std::string socket_path, RetryPolicy policy = {});
+  static RetryingClient tcp_target(std::string host, int port, RetryPolicy policy = {});
+
+  // Applied to every (re)connection; see ServeClient::set_io_timeout_ms.
+  void set_io_timeout_ms(int timeout_ms) { io_timeout_ms_ = timeout_ms; }
+
+  // Like the ServeClient wrappers, plus retries. When options.request_id
+  // is empty a client-side id ("cr<N>") is assigned once so every retry
+  // attempt of one logical request carries the same id. Throws
+  // util::IoError when the retry budget is exhausted or on a
+  // non-retryable transport failure; error *responses* (any code) are
+  // returned, not thrown.
+  obs::JsonValue predict(const std::string& netlist_text, RequestOptions options = {});
+  obs::JsonValue admin(const std::string& command, RequestOptions options = {});
+
+  // Attempts consumed by the most recent predict/admin call (tests).
+  int attempts_made() const { return last_attempts_; }
+
+ private:
+  RetryingClient(std::string socket_path, std::string host, int port, RetryPolicy policy)
+      : socket_path_(std::move(socket_path)), host_(std::move(host)), port_(port),
+        policy_(policy), rng_(policy.jitter_seed) {}
+  ServeClient connect();
+  obs::JsonValue call(obs::JsonValue req);
+
+  std::string socket_path_;  // empty: TCP target
+  std::string host_;
+  int port_ = -1;
+  RetryPolicy policy_;
+  util::Rng rng_;
+  int io_timeout_ms_ = 0;
+  std::optional<ServeClient> conn_;
+  std::uint64_t next_client_rid_ = 0;
+  int last_attempts_ = 0;
 };
 
 }  // namespace paragraph::serve

@@ -12,8 +12,14 @@
 //   {"id": 7,                  // echoed verbatim in the response (any int)
 //    "netlist": "<spice>",     // SPICE deck, pre-layout
 //    "priority": "high",       // "low" | "normal" (default) | "high"
-//    "request_id": "trace-1"}  // optional: propagate a caller-chosen
+//    "request_id": "trace-1",  // optional: propagate a caller-chosen
 //                              // trace id; server assigns "r<N>" if absent
+//    "deadline_ms": 250,       // optional: shed (deadline_exceeded) if not
+//                              // *started* within this many ms of arrival
+//    "client": "sweep-7",      // optional fairness key; defaults to the
+//                              // connection identity ("conn<N>")
+//    "auth_token": "..."}      // required per request on TCP when the
+//                              // server was started with --auth-token
 // Admin object (instead of "netlist"):
 //   {"id": 8, "admin": "reload" | "stats" | "healthz" | "shutdown"}
 //
@@ -41,6 +47,7 @@
 #include <string>
 
 #include "obs/json.h"
+#include "util/errors.h"
 
 namespace paragraph::serve {
 
@@ -50,21 +57,57 @@ namespace paragraph::serve {
 constexpr std::size_t kMaxFrameBytes = std::size_t{64} << 20;
 
 // Typed server-side failure, closed set (wire `error.code` values).
+// Values are sequential from 0 so the server can keep a per-code counter
+// array; keep kNumErrorCodes in sync.
 enum class ErrorCode {
-  kBadRequest,    // malformed JSON, missing fields, unknown priority
-  kParseError,    // netlist failed to parse (message carries file:line)
-  kQueueFull,     // admission control rejected: queue at capacity
-  kShuttingDown,  // server is draining; no new work accepted
-  kInternal,      // unexpected exception while serving the request
+  kBadRequest,        // malformed JSON, missing fields, unknown priority
+  kParseError,        // netlist failed to parse (message carries file:line)
+  kQueueFull,         // admission control rejected: queue (or this
+                      // client's share of it) at capacity
+  kShuttingDown,      // server is draining; no new work accepted
+  kInternal,          // unexpected exception while serving the request
+  kDeadlineExceeded,  // request's deadline_ms expired before work started
+                      // (client-attributed: not an SLO miss)
+  kOverloaded,        // connection-level admission: too many concurrent
+                      // connections; retry with backoff
+  kUnauthorized,      // TCP listener has an auth token and the request's
+                      // auth_token is absent or wrong
 };
+constexpr std::size_t kNumErrorCodes = 8;
 const char* error_code_name(ErrorCode c);
 
-// Blocking frame I/O on a connected socket. Both handle partial
-// reads/writes and EINTR. read_frame returns false on clean EOF before
-// any byte of a frame; a mid-frame EOF, an oversized length prefix, or a
-// socket error throws util::IoError.
-bool read_frame(int fd, std::string* payload, std::size_t max_bytes = kMaxFrameBytes);
-void write_frame(int fd, const std::string& payload, std::size_t max_bytes = kMaxFrameBytes);
+// Framing violation the connection cannot recover from (oversized length
+// prefix, mid-frame EOF): after one of these the byte stream has no frame
+// boundary to resync on, so the server answers best-effort and closes.
+class FrameError : public util::IoError {
+ public:
+  using util::IoError::IoError;
+};
+
+// Frame I/O on a connected socket. Both handle partial reads/writes and
+// EINTR, and work on blocking or O_NONBLOCK fds. read_frame returns false
+// on clean EOF before any byte of a frame; a mid-frame EOF or an
+// oversized length prefix throws FrameError, other socket errors throw
+// util::IoError.
+//
+// timeout_ms > 0 arms a per-frame deadline: for reads it starts once the
+// *first* header byte arrives (idle between frames waits forever — that is
+// what a persistent connection does), for writes it covers the whole
+// frame. Expiry throws util::TimeoutError. timeout_ms == 0 means no
+// deadline (and blocking fds never poll).
+//
+// Fault sites (PARAGRAPH_FAULT): sock.read throws IoError before a read;
+// sock.reset throws IoError before a write; sock.write.partial truncates
+// one send() chunk to half its size (frame bytes remain intact — it
+// exercises the resume path, not corruption).
+bool read_frame(int fd, std::string* payload, std::size_t max_bytes = kMaxFrameBytes,
+                int timeout_ms = 0);
+void write_frame(int fd, const std::string& payload, std::size_t max_bytes = kMaxFrameBytes,
+                 int timeout_ms = 0);
+
+// Constant-time string equality for auth-token checks: runtime depends
+// only on the lengths, never on where the bytes first differ.
+bool token_equal_consttime(const std::string& a, const std::string& b);
 
 // Request priority levels, service order high to low (FIFO within one).
 enum class Priority : std::uint8_t { kLow = 0, kNormal = 1, kHigh = 2 };

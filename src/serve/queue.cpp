@@ -1,5 +1,7 @@
 #include "serve/queue.h"
 
+#include <algorithm>
+
 namespace paragraph::serve {
 
 RequestQueue::PushResult RequestQueue::push(Job job) {
@@ -7,11 +9,40 @@ RequestQueue::PushResult RequestQueue::push(Job job) {
     std::lock_guard<std::mutex> lock(mu_);
     if (closed_) return PushResult::kClosed;
     if (size_ >= capacity_) return PushResult::kFull;
-    lanes_[static_cast<std::size_t>(job.priority)].push_back(std::move(job));
+    if (client_cap_ != 0) {
+      const auto it = client_counts_.find(job.client);
+      if (it != client_counts_.end() && it->second >= client_cap_)
+        return PushResult::kClientFull;
+    }
+    Lane& lane = lanes_[static_cast<std::size_t>(job.priority)];
+    auto& sub = lane.by_client[job.client];
+    if (sub.empty()) lane.rr.push_back(job.client);
+    ++client_counts_[job.client];
+    sub.push_back(std::move(job));
+    ++lane.size;
     ++size_;
   }
   cv_.notify_one();
   return PushResult::kOk;
+}
+
+Job RequestQueue::pop_one(Lane& lane) {
+  // Unit-quantum DRR: serve the front client one job, then rotate it to
+  // the back of the rotation (or drop it if that emptied its sub-queue).
+  const std::string client = std::move(lane.rr.front());
+  lane.rr.pop_front();
+  const auto it = lane.by_client.find(client);
+  Job job = std::move(it->second.front());
+  it->second.pop_front();
+  if (it->second.empty())
+    lane.by_client.erase(it);
+  else
+    lane.rr.push_back(client);
+  const auto cit = client_counts_.find(job.client);
+  if (cit != client_counts_.end() && --cit->second == 0) client_counts_.erase(cit);
+  --lane.size;
+  --size_;
+  return job;
 }
 
 std::vector<Job> RequestQueue::pop_batch(std::size_t max_batch) {
@@ -20,16 +51,46 @@ std::vector<Job> RequestQueue::pop_batch(std::size_t max_batch) {
   cv_.wait(lock, [&] { return (size_ != 0 && !paused_) || closed_; });
   std::vector<Job> batch;
   batch.reserve(std::min(max_batch, size_));
-  // Highest priority lane first, FIFO within a lane.
+  // Highest priority lane first, DRR across clients within a lane.
   for (std::size_t p = kNumPriorities; p-- > 0 && batch.size() < max_batch;) {
-    auto& lane = lanes_[p];
-    while (!lane.empty() && batch.size() < max_batch) {
-      batch.push_back(std::move(lane.front()));
-      lane.pop_front();
-      --size_;
-    }
+    Lane& lane = lanes_[p];
+    while (lane.size != 0 && batch.size() < max_batch) batch.push_back(pop_one(lane));
   }
   return batch;
+}
+
+std::vector<Job> RequestQueue::take_expired(std::chrono::steady_clock::time_point now) {
+  std::vector<Job> expired;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t p = kNumPriorities; p-- > 0;) {
+    Lane& lane = lanes_[p];
+    if (lane.size == 0) continue;
+    // Walk the rotation in order so expired jobs come out in service
+    // order; rebuild it without clients whose sub-queue empties.
+    std::deque<std::string> keep;
+    for (auto& client : lane.rr) {
+      auto it = lane.by_client.find(client);
+      auto& sub = it->second;
+      for (auto jit = sub.begin(); jit != sub.end();) {
+        if (jit->deadline <= now) {
+          expired.push_back(std::move(*jit));
+          jit = sub.erase(jit);
+          --lane.size;
+          --size_;
+          const auto cit = client_counts_.find(client);
+          if (cit != client_counts_.end() && --cit->second == 0) client_counts_.erase(cit);
+        } else {
+          ++jit;
+        }
+      }
+      if (sub.empty())
+        lane.by_client.erase(it);
+      else
+        keep.push_back(std::move(client));
+    }
+    lane.rr = std::move(keep);
+  }
+  return expired;
 }
 
 void RequestQueue::close() {
@@ -56,8 +117,14 @@ std::size_t RequestQueue::depth() const {
 std::array<std::size_t, kNumPriorities> RequestQueue::lane_depths() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::array<std::size_t, kNumPriorities> depths{};
-  for (std::size_t p = 0; p < kNumPriorities; ++p) depths[p] = lanes_[p].size();
+  for (std::size_t p = 0; p < kNumPriorities; ++p) depths[p] = lanes_[p].size;
   return depths;
+}
+
+std::size_t RequestQueue::client_depth(const std::string& client) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = client_counts_.find(client);
+  return it == client_counts_.end() ? 0 : it->second;
 }
 
 }  // namespace paragraph::serve

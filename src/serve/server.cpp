@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
@@ -39,6 +40,23 @@ std::int64_t request_id(const obs::JsonValue& req) {
   const obs::JsonValue* id = req.find("id");
   return id != nullptr && id->is_number() ? id->as_int() : 0;
 }
+
+// Effective per-client in-queue cap: explicit when configured, otherwise
+// half the queue so one client can never own the whole backlog but a
+// lone client still gets useful batching depth.
+std::size_t effective_client_cap(const ServeConfig& c) {
+  if (c.client_queue_cap != 0) return c.client_queue_cap;
+  const std::size_t cap = c.queue_capacity != 0 ? c.queue_capacity : 1;
+  return cap / 2 != 0 ? cap / 2 : 1;
+}
+
+// Shed answers go to peers that may be hostile or stalled: cap the write
+// deadline low so one of them cannot slow the acceptor tick or worker.
+constexpr int kShedSendTimeoutMs = 250;
+
+// Acceptor poll tick: bounds how stale a deadline sweep or stop check can
+// get when the listeners are quiet.
+constexpr int kAcceptTickMs = 250;
 
 // The request's trace id: client-propagated "request_id" when present,
 // server-assigned "r<N>" otherwise.
@@ -107,17 +125,29 @@ obs::JsonValue named_predictions(const dataset::Sample& sample, dataset::TargetK
 
 Connection::~Connection() { close_fd(fd_); }
 
-bool Connection::send(const obs::JsonValue& resp) {
+bool Connection::send(const obs::JsonValue& resp, int timeout_ms_override) {
+  const int timeout = timeout_ms_override >= 0 ? timeout_ms_override : io_timeout_ms_;
   std::lock_guard<std::mutex> lock(write_mu_);
   try {
-    write_frame(fd_, resp.dump());
+    write_frame(fd_, resp.dump(), kMaxFrameBytes, timeout);
     return true;
+  } catch (const util::TimeoutError& e) {
+    // A peer that stopped reading cannot be allowed to pin the worker (it
+    // holds write_mu_, and a stalled blocking send would hold it forever);
+    // the response is dropped and the stall is accounted.
+    if (stats_ != nullptr) stats_->io_timeouts.fetch_add(1, std::memory_order_relaxed);
+    obs::log_debug("serve", "response dropped, peer stalled", {{"error", e.what()}});
   } catch (const util::IoError& e) {
     // The peer hung up before its answer arrived; the server's job is to
     // survive that, not to propagate it.
     obs::log_debug("serve", "response dropped, peer gone", {{"error", e.what()}});
-    return false;
   }
+  // Either way a response frame died mid-write: the stream has no frame
+  // boundary to resync on, so the connection is unusable. Shut it down
+  // fully — the reader wakes with EOF and the peer sees the close instead
+  // of waiting forever for a frame that will never finish.
+  ::shutdown(fd_, SHUT_RDWR);
+  return false;
 }
 
 void Connection::shutdown_read() { ::shutdown(fd_, SHUT_RD); }
@@ -127,10 +157,13 @@ void Connection::shutdown_read() { ::shutdown(fd_, SHUT_RD); }
 Server::Server(ServeConfig config)
     : config_(std::move(config)),
       registry_(config_.registry),
-      queue_(config_.queue_capacity),
+      queue_(config_.queue_capacity, effective_client_cap(config_)),
       recent_(config_.recent_capacity),
       slo_(SloTracker::Config{config_.slo_latency_ms, config_.slo_target}) {
   if (config_.max_batch == 0) config_.max_batch = 1;
+  if (config_.max_conns == 0) config_.max_conns = 1;
+  if (config_.io_timeout_ms < 0) config_.io_timeout_ms = 0;
+  config_.client_queue_cap = queue_.client_cap();  // echo the effective value
 }
 
 Server::~Server() { stop(); }
@@ -310,11 +343,16 @@ void Server::acceptor_loop() {
     if (unix_fd_ >= 0) fds[n++] = {unix_fd_, POLLIN, 0};
     const int tcp_slot = tcp_fd_ >= 0 ? static_cast<int>(n) : -1;
     if (tcp_fd_ >= 0) fds[n++] = {tcp_fd_, POLLIN, 0};
-    if (::poll(fds, n, -1) < 0) {
+    // Bounded tick, never -1: a quiet socket must not starve the
+    // expired-deadline sweep (or delay noticing anything else periodic).
+    const int r = ::poll(fds, n, kAcceptTickMs);
+    if (r < 0) {
       if (errno == EINTR) continue;
       obs::log_error("serve", "poll failed", {{"error", std::strerror(errno)}});
       break;
     }
+    shed_expired();
+    if (r == 0) continue;
     if ((fds[0].revents & POLLIN) != 0) {
       char buf[16];
       const ssize_t r = ::read(notify_read_fd_, buf, sizeof buf);
@@ -334,12 +372,44 @@ void Server::acceptor_loop() {
       if (slot < 0 || (fds[slot].revents & POLLIN) == 0) continue;
       const int cfd = ::accept(fds[slot].fd, nullptr, nullptr);
       if (cfd < 0) continue;
-      stats_.connections.fetch_add(1, std::memory_order_relaxed);
-      auto conn = std::make_shared<Connection>(cfd);
+      // Fault site sock.accept: the client vanished between connect and
+      // first frame — the daemon just moves on.
+      if (util::fault::should_fail("sock.accept")) {
+        ::close(cfd);
+        continue;
+      }
+      // Nonblocking so every read past a frame's first byte and every
+      // write runs under the poll-based io_timeout_ms deadline.
+      const int flags = ::fcntl(cfd, F_GETFL, 0);
+      if (flags >= 0) ::fcntl(cfd, F_SETFL, flags | O_NONBLOCK);
+      const bool is_tcp = slot == tcp_slot;
+      const std::uint64_t conn_no = stats_.connections.fetch_add(1, std::memory_order_relaxed);
+      auto conn = std::make_shared<Connection>(cfd, "conn" + std::to_string(conn_no + 1),
+                                               is_tcp, config_.io_timeout_ms, &stats_);
+      bool reject = false;
       {
         std::lock_guard<std::mutex> lock(state_mu_);
-        live_conns_.insert(conn);
-        ++reader_threads_;
+        if (live_conns_.size() >= config_.max_conns) {
+          reject = true;
+        } else {
+          live_conns_.insert(conn);
+          ++reader_threads_;
+        }
+      }
+      if (reject) {
+        // Over the connection bound: answer `overloaded` (short write cap
+        // — the peer may be part of the problem) and hang up. The typed
+        // rejection is what lets a well-behaved client back off.
+        stats_.conn_rejected.fetch_add(1, std::memory_order_relaxed);
+        stats_.errors.fetch_add(1, std::memory_order_relaxed);
+        stats_.by_error_code[static_cast<std::size_t>(ErrorCode::kOverloaded)].fetch_add(
+            1, std::memory_order_relaxed);
+        conn->send(make_error_response(0, ErrorCode::kOverloaded,
+                                       "too many connections (" +
+                                           std::to_string(config_.max_conns) +
+                                           "); retry with backoff"),
+                   kShedSendTimeoutMs);
+        continue;
       }
       // Readers are detached: their lifetime is tracked by reader_threads_
       // (stop() waits for zero), not by joinable handles that would pile
@@ -354,13 +424,26 @@ void Server::acceptor_loop() {
 void Server::reader_loop(std::shared_ptr<Connection> conn) {
   std::string payload;
   try {
-    while (read_frame(conn->fd(), &payload)) {
+    while (read_frame(conn->fd(), &payload, kMaxFrameBytes, conn->io_timeout_ms())) {
       std::string err;
       const auto req = obs::JsonValue::parse(payload, &err);
       if (!req || !req->is_object()) {
-        stats_.errors.fetch_add(1, std::memory_order_relaxed);
-        conn->send(make_error_response(0, ErrorCode::kBadRequest, "malformed JSON: " + err));
+        send_error(conn, 0, ErrorCode::kBadRequest, "malformed JSON: " + err);
         continue;
+      }
+      // Auth gates every request on an authenticated TCP listener — admin
+      // verbs included (shutdown over an open port must not be free). The
+      // unix socket is guarded by filesystem permissions instead.
+      if (conn->is_tcp() && !config_.auth_token.empty()) {
+        const obs::JsonValue* tok = req->find("auth_token");
+        const obs::JsonValue* rid = req->find("request_id");
+        if (tok == nullptr || !tok->is_string() ||
+            !token_equal_consttime(tok->as_string(), config_.auth_token)) {
+          send_error(conn, request_id(*req), ErrorCode::kUnauthorized,
+                     "missing or invalid auth_token",
+                     rid != nullptr && rid->is_string() ? rid->as_string() : std::string());
+          continue;
+        }
       }
       const obs::JsonValue* admin = req->find("admin");
       if (admin != nullptr && admin->is_string())
@@ -368,6 +451,19 @@ void Server::reader_loop(std::shared_ptr<Connection> conn) {
       else
         handle_request(conn, *req);
     }
+  } catch (const util::TimeoutError& e) {
+    // Slowloris: a frame started and stalled past io_timeout_ms. Nothing
+    // to answer — the frame never completed, so there is no request id to
+    // attribute a response to — the connection is simply reclaimed.
+    stats_.io_timeouts.fetch_add(1, std::memory_order_relaxed);
+    obs::log_warn("serve", "connection timed out mid-frame",
+                  {{"conn", conn->name()}, {"error", e.what()}});
+  } catch (const FrameError& e) {
+    // Framing is unrecoverable (no boundary to resync on): answer a
+    // best-effort typed error so the peer learns why, then close.
+    send_error(conn, 0, ErrorCode::kBadRequest, e.what(), std::string(), kShedSendTimeoutMs);
+    obs::log_debug("serve", "connection dropped on framing error",
+                   {{"conn", conn->name()}, {"error", e.what()}});
   } catch (const std::exception& e) {
     obs::log_debug("serve", "connection dropped", {{"error", e.what()}});
   }
@@ -382,18 +478,15 @@ void Server::handle_request(const std::shared_ptr<Connection>& conn, const obs::
   const std::string rid = resolve_request_id(req);
   const obs::JsonValue* netlist = req.find("netlist");
   if (netlist == nullptr || !netlist->is_string()) {
-    stats_.errors.fetch_add(1, std::memory_order_relaxed);
-    conn->send(make_error_response(id, ErrorCode::kBadRequest,
-                                   "request needs a string \"netlist\" (or \"admin\") field",
-                                   rid));
+    send_error(conn, id, ErrorCode::kBadRequest,
+               "request needs a string \"netlist\" (or \"admin\") field", rid);
     return;
   }
   Priority priority = Priority::kNormal;
   if (const obs::JsonValue* p = req.find("priority"); p != nullptr) {
     if (!p->is_string() || !parse_priority(p->as_string(), &priority)) {
-      stats_.errors.fetch_add(1, std::memory_order_relaxed);
-      conn->send(make_error_response(id, ErrorCode::kBadRequest,
-                                     "priority must be \"low\", \"normal\", or \"high\"", rid));
+      send_error(conn, id, ErrorCode::kBadRequest,
+                 "priority must be \"low\", \"normal\", or \"high\"", rid);
       return;
     }
   }
@@ -401,13 +494,33 @@ void Server::handle_request(const std::shared_ptr<Connection>& conn, const obs::
   job.id = id;
   job.request_id = rid;
   job.priority = priority;
+  job.client = conn->name();
+  if (const obs::JsonValue* c = req.find("client"); c != nullptr) {
+    // Bounded so a hostile stream of huge keys cannot bloat queue state.
+    if (!c->is_string() || c->as_string().empty() || c->as_string().size() > 128) {
+      send_error(conn, id, ErrorCode::kBadRequest,
+                 "client must be a non-empty string of at most 128 bytes", rid);
+      return;
+    }
+    job.client = c->as_string();
+  }
   job.netlist_text = netlist->as_string();
   job.netlist_hash = util::fnv1a64(job.netlist_text);
   job.conn = conn;
   job.enqueued_at = std::chrono::steady_clock::now();
+  if (const obs::JsonValue* d = req.find("deadline_ms"); d != nullptr) {
+    if (!d->is_number() || d->as_double() <= 0.0) {
+      send_error(conn, id, ErrorCode::kBadRequest, "deadline_ms must be a positive number",
+                 rid);
+      return;
+    }
+    job.deadline = job.enqueued_at +
+                   std::chrono::milliseconds(static_cast<std::int64_t>(d->as_double()));
+  }
   static obs::Counter& requests_c = obs::MetricsRegistry::instance().counter("serve.requests");
   static obs::Counter& rejected_c = obs::MetricsRegistry::instance().counter("serve.rejected");
   static obs::Gauge& depth_g = obs::MetricsRegistry::instance().gauge("serve.queue_depth");
+  const std::string client = job.client;  // job is moved into the queue
   switch (queue_.push(std::move(job))) {
     case RequestQueue::PushResult::kOk:
       stats_.requests.fetch_add(1, std::memory_order_relaxed);
@@ -417,21 +530,33 @@ void Server::handle_request(const std::shared_ptr<Connection>& conn, const obs::
       break;
     case RequestQueue::PushResult::kFull:
       stats_.rejected.fetch_add(1, std::memory_order_relaxed);
-      stats_.errors.fetch_add(1, std::memory_order_relaxed);
       rejected_c.add();
       // A shed request spent the whole error budget it was given: the SLO
       // window counts it as unavailability, not as fast failure.
       slo_.record(false, 0.0);
       flight_mark(rid, "reject");
-      conn->send(make_error_response(id, ErrorCode::kQueueFull,
-                                     "queue at capacity (" + std::to_string(queue_.capacity()) +
-                                         "); retry with backoff",
-                                     rid));
+      send_error(conn, id, ErrorCode::kQueueFull,
+                 "queue at capacity (" + std::to_string(queue_.capacity()) +
+                     "); retry with backoff",
+                 rid);
+      break;
+    case RequestQueue::PushResult::kClientFull:
+      // Same wire code as a full queue — the caller's remedy (back off)
+      // is identical — but the message names the fairness cap so a
+      // flooder's logs explain why the queue "looked" full to it alone.
+      stats_.rejected.fetch_add(1, std::memory_order_relaxed);
+      rejected_c.add();
+      slo_.record(false, 0.0);
+      flight_mark(rid, "reject");
+      send_error(conn, id, ErrorCode::kQueueFull,
+                 "client '" + client + "' is at its queue share (" +
+                     std::to_string(queue_.client_cap()) + " of " +
+                     std::to_string(queue_.capacity()) + "); retry with backoff",
+                 rid);
       break;
     case RequestQueue::PushResult::kClosed:
-      stats_.errors.fetch_add(1, std::memory_order_relaxed);
       slo_.record(false, 0.0);
-      conn->send(make_error_response(id, ErrorCode::kShuttingDown, "server is draining", rid));
+      send_error(conn, id, ErrorCode::kShuttingDown, "server is draining", rid);
       break;
   }
 }
@@ -466,10 +591,60 @@ void Server::handle_admin(const std::shared_ptr<Connection>& conn, std::int64_t 
     request_stop();
     return;
   }
+  send_error(conn, id, ErrorCode::kBadRequest,
+             "unknown admin command '" + cmd + "' (use stats, healthz, reload, shutdown)");
+}
+
+void Server::send_error(const std::shared_ptr<Connection>& conn, std::int64_t id,
+                        ErrorCode code, const std::string& message, const std::string& rid,
+                        int timeout_ms_override) {
   stats_.errors.fetch_add(1, std::memory_order_relaxed);
-  conn->send(make_error_response(id, ErrorCode::kBadRequest,
-                                 "unknown admin command '" + cmd +
-                                     "' (use stats, healthz, reload, shutdown)"));
+  stats_.by_error_code[static_cast<std::size_t>(code)].fetch_add(1, std::memory_order_relaxed);
+  conn->send(make_error_response(id, code, message, rid), timeout_ms_override);
+}
+
+// Client-attributed shedding: the request carried a deadline and the
+// queue outlived it. Queue-wait histograms and the recent ring record it
+// (it is exactly the evidence a fairness/backlog investigation needs) but
+// the SLO windows and the latency histogram do not — the server never
+// owed this request an answer after its deadline, so it is not
+// unavailability (DESIGN.md §14).
+void Server::answer_expired(const Job& job) {
+  auto& reg = obs::MetricsRegistry::instance();
+  static obs::Counter& shed_c = reg.counter("serve.deadline_shed");
+  static obs::Histogram* const lane_wait_h[kNumPriorities] = {
+      &reg.histogram("serve.queue_wait_us.low"),
+      &reg.histogram("serve.queue_wait_us.normal"),
+      &reg.histogram("serve.queue_wait_us.high"),
+  };
+  const auto now = std::chrono::steady_clock::now();
+  const double wait_us = us_between(job.enqueued_at, now);
+  lane_wait_h[static_cast<std::size_t>(job.priority)]->record(wait_us);
+  span(job.request_id, "queue", wait_us);
+  stats_.deadline_shed.fetch_add(1, std::memory_order_relaxed);
+  shed_c.add();
+  send_error(job.conn, job.id, ErrorCode::kDeadlineExceeded,
+             "deadline expired after " + std::to_string(wait_us / 1000.0) + " ms in queue",
+             job.request_id, kShedSendTimeoutMs);
+  flight_mark(job.request_id, "end deadline_exceeded");
+
+  RequestRecord rec;
+  rec.request_id = job.request_id;
+  rec.client_id = job.id;
+  rec.client = job.client;
+  rec.priority = priority_name(job.priority);
+  rec.deck_bytes = job.netlist_text.size();
+  rec.ok = false;
+  rec.error_code = error_code_name(ErrorCode::kDeadlineExceeded);
+  rec.phases.queue_us = wait_us;
+  rec.phases.total_us = wait_us;
+  rec.done_ts_ms = wall_ms_now();
+  recent_.push(std::move(rec));
+}
+
+void Server::shed_expired() {
+  for (const Job& job : queue_.take_expired(std::chrono::steady_clock::now()))
+    answer_expired(job);
 }
 
 // The paragraph-stats-v1 document: one consistent live view of the
@@ -491,14 +666,27 @@ obs::JsonValue Server::stats_json() const {
   server.set("reloads", stats_.reloads.load());
   server.set("max_batch_seen", stats_.max_batch_seen.load());
   server.set("inflight", stats_.inflight.load());
+  server.set("io_timeouts", stats_.io_timeouts.load());
+  server.set("deadline_shed", stats_.deadline_shed.load());
+  server.set("conn_rejected", stats_.conn_rejected.load());
   server.set("queue_depth", queue_.depth());
   server.set("queue_capacity", queue_.capacity());
   server.set("max_batch", config_.max_batch);
+  server.set("io_timeout_ms", static_cast<long long>(config_.io_timeout_ms));
+  server.set("max_conns", config_.max_conns);
+  server.set("client_queue_cap", config_.client_queue_cap);
+  server.set("auth_required", !config_.auth_token.empty());
   const auto lanes = queue_.lane_depths();
   obs::JsonValue lanes_obj = obs::JsonValue::object();
   for (std::size_t p = 0; p < kNumPriorities; ++p)
     lanes_obj.set(priority_name(static_cast<Priority>(p)), lanes[p]);
   server.set("queue_lanes", std::move(lanes_obj));
+  // Every wire error code, zeros included: dashboards and the output
+  // collector can rely on the full closed set being present.
+  obs::JsonValue codes = obs::JsonValue::object();
+  for (std::size_t c = 0; c < kNumErrorCodes; ++c)
+    codes.set(error_code_name(static_cast<ErrorCode>(c)), stats_.by_error_code[c].load());
+  server.set("error_codes", std::move(codes));
   s.set("server", std::move(server));
 
   const auto bundle = registry_.current();
@@ -590,6 +778,23 @@ void Server::process_batch(std::vector<Job> batch) {
   if (util::fault::should_fail("serve.crash")) std::abort();
   const auto bundle = registry_.current();  // one generation per batch
   const auto popped_at = std::chrono::steady_clock::now();
+
+  // Shed dead work first: a job whose deadline passed while it was queued
+  // gets its typed deadline_exceeded answer before any parse/plan/predict
+  // is spent on it — a backed-up queue drains, it does not compute
+  // answers nobody will read.
+  {
+    std::vector<Job> live;
+    live.reserve(batch.size());
+    for (Job& job : batch) {
+      if (job.deadline <= popped_at)
+        answer_expired(job);
+      else
+        live.push_back(std::move(job));
+    }
+    batch = std::move(live);
+  }
+  if (batch.empty()) return;
 
   stats_.batches.fetch_add(1, std::memory_order_relaxed);
   std::uint64_t seen = stats_.max_batch_seen.load(std::memory_order_relaxed);
@@ -743,15 +948,14 @@ void Server::process_batch(std::vector<Job> batch) {
         resp.set("predictions", g.predictions);
         if (job.conn->send(resp)) stats_.responses.fetch_add(1, std::memory_order_relaxed);
       } else {
-        stats_.errors.fetch_add(1, std::memory_order_relaxed);
-        job.conn->send(
-            make_error_response(job.id, g.error_code, g.error_message, job.request_id));
+        send_error(job.conn, job.id, g.error_code, g.error_message, job.request_id);
       }
       const auto done = std::chrono::steady_clock::now();
 
       RequestRecord rec;
       rec.request_id = job.request_id;
       rec.client_id = job.id;
+      rec.client = job.client;
       rec.priority = priority_name(job.priority);
       rec.deck = g.sample.name;
       rec.deck_bytes = job.netlist_text.size();

@@ -35,6 +35,16 @@
 // `shutting_down` error — then stop() joins everything and removes the
 // socket file.
 //
+// Hostile conditions (DESIGN.md §14): accepted fds are nonblocking with a
+// per-frame io_timeout_ms deadline (a stalled peer times out instead of
+// pinning a reader or the worker), the acceptor runs a bounded poll tick
+// that sweeps expired-deadline jobs out of the queue, connection count is
+// bounded (typed `overloaded` past max_conns), admission is fair per
+// client key (per-client queue cap + deficit-round-robin dequeue within
+// each priority lane), and a TCP listener started with an auth token
+// rejects unauthenticated requests (`unauthorized`, constant-time
+// compare). The unix socket stays token-free.
+//
 // Telemetry (DESIGN.md §13): every admitted request carries a stable
 // request id (client-propagated or server-assigned) and a phase
 // breakdown — queue wait, parse, plan, predict, serialize — recorded
@@ -46,6 +56,7 @@
 // status; `--slow-ms` warn-logs outliers with their breakdown.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -73,6 +84,15 @@ struct ServeConfig {
   double slo_latency_ms = 50.0;  // SLO latency threshold (--slo-p99-ms)
   double slo_target = 0.999;     // SLO availability objective
   std::size_t recent_capacity = 64;  // recent-requests ring size
+  // Hostile-conditions knobs (DESIGN.md §14).
+  int io_timeout_ms = 5000;    // per-frame socket deadline once a frame
+                               // starts; 0 disables (slowloris defense)
+  std::size_t max_conns = 256;  // concurrent connections; excess get a
+                                // typed `overloaded` rejection
+  std::size_t client_queue_cap = 0;  // per-client in-queue cap; 0 = auto
+                                     // (half the queue capacity, min 1)
+  std::string auth_token;      // non-empty: TCP requests must carry it
+                               // (unix socket stays token-free)
   RegistryConfig registry;
 };
 
@@ -89,26 +109,49 @@ struct ServerStats {
   std::atomic<std::uint64_t> reloads{0};    // successful generation swaps
   std::atomic<std::uint64_t> max_batch_seen{0};
   std::atomic<std::uint64_t> inflight{0};   // jobs popped, not yet answered
+  std::atomic<std::uint64_t> io_timeouts{0};     // frames that stalled past
+                                                 // io_timeout_ms (read or write)
+  std::atomic<std::uint64_t> deadline_shed{0};   // jobs answered deadline_exceeded
+  std::atomic<std::uint64_t> conn_rejected{0};   // connections over max_conns
+  // Error responses by wire code, indexed by ErrorCode value.
+  std::array<std::atomic<std::uint64_t>, kNumErrorCodes> by_error_code{};
 };
 
 // One client socket, shared between its reader thread and the worker
 // (responses). Writes are mutex-serialised; a peer that vanished mid-
 // response is logged and ignored (the server must outlive any client).
+// Server-accepted fds are O_NONBLOCK so io_timeout_ms bounds every write
+// (a stalled reader cannot pin the worker in send()) and every read past
+// a frame's first byte.
 class Connection {
  public:
-  explicit Connection(int fd) : fd_(fd) {}
+  explicit Connection(int fd, std::string name = std::string(), bool is_tcp = false,
+                      int io_timeout_ms = 0, ServerStats* stats = nullptr)
+      : fd_(fd), name_(std::move(name)), is_tcp_(is_tcp), io_timeout_ms_(io_timeout_ms),
+        stats_(stats) {}
   ~Connection();
   Connection(const Connection&) = delete;
   Connection& operator=(const Connection&) = delete;
 
-  // Serialises and frames `resp`; returns false when the peer is gone.
-  bool send(const obs::JsonValue& resp);
+  // Serialises and frames `resp`; returns false when the peer is gone or
+  // the write deadline expired. timeout_ms_override >= 0 replaces the
+  // connection's io_timeout_ms for this one send (shed answers to
+  // possibly-hostile peers use a short cap).
+  bool send(const obs::JsonValue& resp, int timeout_ms_override = -1);
   // Half-closes the read side to unblock the reader thread (shutdown).
   void shutdown_read();
   int fd() const { return fd_; }
+  // Connection identity ("conn<N>"): the default fairness key.
+  const std::string& name() const { return name_; }
+  bool is_tcp() const { return is_tcp_; }
+  int io_timeout_ms() const { return io_timeout_ms_; }
 
  private:
   int fd_;
+  const std::string name_;
+  const bool is_tcp_;
+  const int io_timeout_ms_;
+  ServerStats* const stats_;
   std::mutex write_mu_;
 };
 
@@ -168,6 +211,18 @@ class Server {
   obs::JsonValue health_json() const;
   void finish_request(const Job& job, RequestRecord record);
   void do_reload();
+  // Sends a typed error and counts it (stats_.errors + the per-code
+  // counter). timeout_ms_override as in Connection::send.
+  void send_error(const std::shared_ptr<Connection>& conn, std::int64_t id, ErrorCode code,
+                  const std::string& message, const std::string& rid = std::string(),
+                  int timeout_ms_override = -1);
+  // Answers one job whose deadline passed before work started: typed
+  // deadline_exceeded, client-attributed (queue-wait histogram and recent
+  // ring recorded; SLO windows and the latency histogram skipped).
+  void answer_expired(const Job& job);
+  // Acceptor-tick sweep: drains expired jobs out of the queue so dead
+  // work never reaches the worker.
+  void shed_expired();
 
   ServeConfig config_;
   ModelRegistry registry_;

@@ -27,6 +27,7 @@ obs::JsonValue RequestRecord::to_json() const {
   obs::JsonValue o = obs::JsonValue::object();
   o.set("request_id", request_id);
   o.set("client_id", static_cast<long long>(client_id));
+  if (!client.empty()) o.set("client", client);
   o.set("priority", priority);
   o.set("deck", deck);
   o.set("deck_bytes", deck_bytes);

@@ -48,6 +48,7 @@ struct RequestPhases {
 struct RequestRecord {
   std::string request_id;
   std::int64_t client_id = 0;  // the request's "id" field, echoed
+  std::string client;          // fairness key ("conn<N>" or wire "client")
   std::string priority;
   std::string deck;        // parsed circuit name; "" when the parse failed
   std::size_t deck_bytes = 0;

@@ -44,4 +44,12 @@ class DivergenceError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+// An I/O deadline expired (serve socket read/write timeouts). Subclass of
+// IoError so existing catch sites treat it as an I/O failure; the serve
+// reader catches it specifically to account slowloris-style stalls.
+class TimeoutError : public IoError {
+ public:
+  using IoError::IoError;
+};
+
 }  // namespace paragraph::util

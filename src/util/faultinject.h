@@ -31,6 +31,16 @@
 //   serve.crash    serve worker, start of a micro-batch (calls
 //                  std::abort(); the crash dump must name the in-flight
 //                  request ids)
+//   sock.accept    serve acceptor, after ::accept succeeds (the accepted
+//                  fd is closed immediately; simulates a client that
+//                  vanishes between connect and first frame)
+//   sock.read      framed socket read, before the syscall (throws
+//                  IoError; simulates a connection reset mid-read)
+//   sock.write.partial  framed socket write (truncates one send() chunk
+//                  to half, exercising the partial-write resume path;
+//                  frame bytes stay intact)
+//   sock.reset     framed socket write, before the syscall (throws
+//                  IoError; simulates ECONNRESET on reply delivery)
 #pragma once
 
 #include <string>

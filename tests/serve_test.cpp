@@ -12,6 +12,8 @@
 #include <thread>
 #include <vector>
 
+#include <sys/socket.h>
+
 #include "circuit/spice_writer.h"
 #include "core/ensemble.h"
 #include "dataset/dataset.h"
@@ -277,6 +279,7 @@ TEST(Serve, PriorityOrderingUnderBacklog) {
 TEST(Serve, FullQueueRejectsWithTypedError) {
   ServeConfig cfg = base_config("full", artifacts().ensemble_a);
   cfg.queue_capacity = 2;
+  cfg.client_queue_cap = 2;  // whole-queue admission is what's under test
   Server server(cfg);
   server.start();
   server.pause_worker();
@@ -655,6 +658,7 @@ TEST(Serve, HealthzReportsOverloadAndDegradation) {
                                          ::testing::TempDir() + "serve_healthz_ens.bin");
   ServeConfig cfg = base_config("healthz", live);
   cfg.queue_capacity = 2;
+  cfg.client_queue_cap = 2;  // fill the whole queue from one client
   Server server(cfg);
   server.start();
   ServeClient client = ServeClient::connect_unix(cfg.socket_path);
@@ -810,6 +814,366 @@ TEST(Serve, InjectedPredictFaultAnswersTypedInternalError) {
   // One-shot schedule: the daemon recovers on the next request.
   EXPECT_TRUE(client.predict(test_decks()[0]).at("ok").as_bool());
   server.stop();
+}
+
+// ------------------------------------- hostile conditions (DESIGN.md §14)
+
+Job make_client_job(std::int64_t id, const std::string& client,
+                    Priority p = Priority::kNormal) {
+  Job j = make_job(id, p);
+  j.client = client;
+  return j;
+}
+
+TEST(RequestQueue, RoundRobinAcrossClientsWithinLane) {
+  // Deterministic: two identical runs produce the identical service order,
+  // and that order interleaves clients instead of draining the flooder.
+  const auto run_once = [] {
+    RequestQueue q(16);
+    ASSERT_EQ(q.push(make_client_job(1, "a")), RequestQueue::PushResult::kOk);
+    ASSERT_EQ(q.push(make_client_job(2, "a")), RequestQueue::PushResult::kOk);
+    ASSERT_EQ(q.push(make_client_job(3, "a")), RequestQueue::PushResult::kOk);
+    ASSERT_EQ(q.push(make_client_job(4, "b")), RequestQueue::PushResult::kOk);
+    ASSERT_EQ(q.push(make_client_job(5, "c")), RequestQueue::PushResult::kOk);
+    std::vector<std::int64_t> order;
+    for (const Job& j : q.pop_batch(16)) order.push_back(j.id);
+    // Round-robin a,b,c then a's remaining backlog, FIFO within a client.
+    EXPECT_EQ(order, (std::vector<std::int64_t>{1, 4, 5, 2, 3}));
+  };
+  run_once();
+  run_once();
+}
+
+TEST(RequestQueue, RoundRobinRespectsPriorityLanesFirst) {
+  RequestQueue q(16);
+  ASSERT_EQ(q.push(make_client_job(1, "flood", Priority::kNormal)),
+            RequestQueue::PushResult::kOk);
+  ASSERT_EQ(q.push(make_client_job(2, "flood", Priority::kNormal)),
+            RequestQueue::PushResult::kOk);
+  ASSERT_EQ(q.push(make_client_job(3, "vip", Priority::kHigh)),
+            RequestQueue::PushResult::kOk);
+  std::vector<std::int64_t> order;
+  for (const Job& j : q.pop_batch(16)) order.push_back(j.id);
+  EXPECT_EQ(order, (std::vector<std::int64_t>{3, 1, 2}));  // lane beats fairness
+}
+
+TEST(RequestQueue, PerClientCapRejectsOnlyThatClient) {
+  RequestQueue q(8, /*client_cap=*/2);
+  EXPECT_EQ(q.push(make_client_job(1, "greedy")), RequestQueue::PushResult::kOk);
+  EXPECT_EQ(q.push(make_client_job(2, "greedy", Priority::kHigh)),
+            RequestQueue::PushResult::kOk);
+  // The cap counts across lanes: a third greedy job bounces even though
+  // both the queue and its lane have room...
+  EXPECT_EQ(q.push(make_client_job(3, "greedy")), RequestQueue::PushResult::kClientFull);
+  // ...while other clients are unaffected.
+  EXPECT_EQ(q.push(make_client_job(4, "polite")), RequestQueue::PushResult::kOk);
+  EXPECT_EQ(q.client_depth("greedy"), 2u);
+  // Service releases the budget.
+  (void)q.pop_batch(8);
+  EXPECT_EQ(q.push(make_client_job(5, "greedy")), RequestQueue::PushResult::kOk);
+}
+
+TEST(RequestQueue, TakeExpiredRemovesOnlyExpiredJobs) {
+  RequestQueue q(8);
+  const auto now = std::chrono::steady_clock::now();
+  Job expired1 = make_client_job(1, "a");
+  expired1.deadline = now - std::chrono::milliseconds(5);
+  Job live = make_client_job(2, "a");  // kNoDeadline
+  Job expired2 = make_client_job(3, "b");
+  expired2.deadline = now - std::chrono::milliseconds(1);
+  ASSERT_EQ(q.push(std::move(expired1)), RequestQueue::PushResult::kOk);
+  ASSERT_EQ(q.push(std::move(live)), RequestQueue::PushResult::kOk);
+  ASSERT_EQ(q.push(std::move(expired2)), RequestQueue::PushResult::kOk);
+  const auto shed = q.take_expired(now);
+  ASSERT_EQ(shed.size(), 2u);
+  EXPECT_EQ(shed[0].id, 1);
+  EXPECT_EQ(shed[1].id, 3);
+  EXPECT_EQ(q.depth(), 1u);
+  const auto rest = q.pop_batch(8);
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0].id, 2);
+}
+
+TEST(Serve, GreedyClientCannotStarvePoliteOne) {
+  // One connection, per-request fairness keys: four greedy sends then one
+  // polite send, worker paused throughout admission. Round-robin dequeue
+  // serves the polite request second, not fifth — and the order is
+  // structural, so it is stable on any scheduler.
+  ServeConfig cfg = base_config("fair", artifacts().ensemble_a);
+  cfg.max_batch = 1;  // service order observable one job at a time
+  Server server(cfg);
+  server.start();
+  server.pause_worker();
+  const std::string deck = test_decks()[0];
+  ServeClient client = ServeClient::connect_unix(cfg.socket_path);
+  const std::vector<std::pair<int, const char*>> sends = {
+      {1, "greedy"}, {2, "greedy"}, {3, "greedy"}, {4, "greedy"}, {5, "polite"}};
+  for (const auto& [id, who] : sends) {
+    obs::JsonValue req = obs::JsonValue::object();
+    req.set("id", static_cast<long long>(id));
+    req.set("netlist", deck);
+    req.set("client", who);
+    write_frame(client.fd(), req.dump());
+  }
+  while (server.stats().requests.load() < sends.size())
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  server.resume_worker();
+  const std::vector<int> expect = {1, 5, 2, 3, 4};
+  for (const int want : expect) {
+    std::string payload;
+    ASSERT_TRUE(read_frame(client.fd(), &payload));
+    const auto resp = obs::JsonValue::parse(payload);
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_EQ(resp->at("id").as_int(), want) << payload;
+  }
+  server.stop();
+}
+
+TEST(Serve, PerClientCapAnswersTypedQueueFull) {
+  ServeConfig cfg = base_config("clientcap", artifacts().ensemble_a);
+  cfg.queue_capacity = 8;
+  cfg.client_queue_cap = 1;
+  Server server(cfg);
+  server.start();
+  server.pause_worker();
+  const std::string deck = test_decks()[0];
+  ServeClient client = ServeClient::connect_unix(cfg.socket_path);
+  for (int i = 0; i < 2; ++i) {
+    obs::JsonValue req = obs::JsonValue::object();
+    req.set("id", static_cast<long long>(i));
+    req.set("netlist", deck);
+    req.set("client", "greedy");
+    write_frame(client.fd(), req.dump());
+  }
+  // The rejection is immediate (worker still paused) and names the
+  // fairness cap, distinguishing it from whole-queue exhaustion.
+  std::string payload;
+  ASSERT_TRUE(read_frame(client.fd(), &payload));
+  const auto resp = obs::JsonValue::parse(payload);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_FALSE(resp->at("ok").as_bool());
+  EXPECT_EQ(resp->at("error").at("code").as_string(), "queue_full");
+  EXPECT_NE(resp->at("error").at("message").as_string().find("queue share"),
+            std::string::npos);
+  EXPECT_EQ(resp->at("id").as_int(), 1);
+  // A different fairness key is still admitted.
+  obs::JsonValue other = obs::JsonValue::object();
+  other.set("id", 7);
+  other.set("netlist", deck);
+  other.set("client", "polite");
+  write_frame(client.fd(), other.dump());
+  server.resume_worker();
+  for (int got = 0; got < 2; ++got) {
+    ASSERT_TRUE(read_frame(client.fd(), &payload));
+    EXPECT_TRUE(obs::JsonValue::parse(payload)->at("ok").as_bool()) << payload;
+  }
+  server.stop();
+}
+
+TEST(Serve, ExpiredDeadlineShedsBeforeServiceAndSkipsSlo) {
+  ServeConfig cfg = base_config("deadline", artifacts().ensemble_a);
+  Server server(cfg);
+  server.start();
+  server.pause_worker();  // the shed must happen with no worker at all
+  ServeClient client = ServeClient::connect_unix(cfg.socket_path);
+  obs::JsonValue req = obs::JsonValue::object();
+  req.set("id", 42);
+  req.set("request_id", "dl-1");
+  req.set("netlist", test_decks()[0]);
+  req.set("deadline_ms", 1.0);
+  write_frame(client.fd(), req.dump());
+  // The acceptor's bounded tick sweeps the queue, so the typed answer
+  // arrives while the worker is still paused — proof the request was
+  // shed before any parse/plan/predict work.
+  std::string payload;
+  ASSERT_TRUE(read_frame(client.fd(), &payload));
+  const auto resp = obs::JsonValue::parse(payload);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_FALSE(resp->at("ok").as_bool());
+  EXPECT_EQ(resp->at("error").at("code").as_string(), "deadline_exceeded");
+  EXPECT_EQ(resp->at("id").as_int(), 42);
+  EXPECT_EQ(resp->at("request_id").as_string(), "dl-1");
+  // Client-attributed: the shed is in the recent ring but NOT in the SLO
+  // windows — the server did nothing wrong. (The answer frame can land
+  // before the sweep finishes its accounting; wait the stat in.)
+  for (int i = 0; i < 500 && server.stats().deadline_shed.load() == 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(server.stats().deadline_shed.load(), 1u);
+  auto records = server.recent().snapshot();
+  for (int i = 0; i < 500 && records.empty(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    records = server.recent().snapshot();
+  }
+  ASSERT_FALSE(records.empty());
+  EXPECT_EQ(records.back().error_code, "deadline_exceeded");
+  EXPECT_EQ(server.slo().window(10).total, 0u);
+  server.resume_worker();
+  // A generous deadline on a healthy server is a no-op.
+  RequestOptions opt;
+  opt.deadline_ms = 60000.0;
+  EXPECT_TRUE(client.predict(test_decks()[0], opt).at("ok").as_bool());
+  server.stop();
+}
+
+TEST(Serve, WorkerShedsExpiredJobsAtBatchStart) {
+  // Freeze admission with a paused worker, let the deadline lapse, then
+  // resume: the worker's own pre-batch sweep (not the acceptor tick) must
+  // also shed, because a long-running batch can outlast any tick.
+  ServeConfig cfg = base_config("batchshed", artifacts().ensemble_a);
+  cfg.max_batch = 4;
+  Server server(cfg);
+  server.start();
+  server.pause_worker();
+  ServeClient client = ServeClient::connect_unix(cfg.socket_path);
+  obs::JsonValue doomed = obs::JsonValue::object();
+  doomed.set("id", 1);
+  doomed.set("netlist", test_decks()[0]);
+  doomed.set("deadline_ms", 40.0);
+  write_frame(client.fd(), doomed.dump());
+  obs::JsonValue fine = obs::JsonValue::object();
+  fine.set("id", 2);
+  fine.set("netlist", test_decks()[0]);
+  write_frame(client.fd(), fine.dump());
+  while (server.stats().requests.load() < 2)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));  // let it lapse
+  server.resume_worker();
+  std::string payload;
+  ASSERT_TRUE(read_frame(client.fd(), &payload));
+  const auto first = obs::JsonValue::parse(payload);
+  EXPECT_EQ(first->at("id").as_int(), 1);
+  EXPECT_EQ(first->at("error").at("code").as_string(), "deadline_exceeded");
+  ASSERT_TRUE(read_frame(client.fd(), &payload));
+  const auto second = obs::JsonValue::parse(payload);
+  EXPECT_EQ(second->at("id").as_int(), 2);
+  EXPECT_TRUE(second->at("ok").as_bool());
+  server.stop();
+}
+
+TEST(Serve, TcpAuthTokenMatrix) {
+  ServeConfig cfg = base_config("auth", artifacts().ensemble_a);
+  cfg.tcp_port = 0;
+  cfg.auth_token = "s3cret";
+  Server server(cfg);
+  server.start();
+  ASSERT_GT(server.tcp_port(), 0);
+  const std::string deck = test_decks()[0];
+
+  ServeClient tcp = ServeClient::connect_tcp("127.0.0.1", server.tcp_port());
+  // No token / wrong token: typed unauthorized, connection survives.
+  EXPECT_EQ(tcp.predict(deck).at("error").at("code").as_string(), "unauthorized");
+  RequestOptions wrong;
+  wrong.auth_token = "nope";
+  EXPECT_EQ(tcp.predict(deck, wrong).at("error").at("code").as_string(), "unauthorized");
+  // Admin verbs are gated too — stats are not for anonymous TCP peers.
+  EXPECT_EQ(tcp.admin("stats").at("error").at("code").as_string(), "unauthorized");
+  // Correct token: served, for predict and admin alike.
+  RequestOptions right;
+  right.auth_token = "s3cret";
+  EXPECT_TRUE(tcp.predict(deck, right).at("ok").as_bool());
+  EXPECT_TRUE(tcp.admin("stats", 0, "s3cret").at("ok").as_bool());
+  // The unix socket is filesystem-permissioned and stays token-free.
+  ServeClient unix_client = ServeClient::connect_unix(cfg.socket_path);
+  EXPECT_TRUE(unix_client.predict(deck).at("ok").as_bool());
+  EXPECT_TRUE(unix_client.admin("stats").at("ok").as_bool());
+  // Rejections were accounted under the typed code.
+  const auto idx = static_cast<std::size_t>(ErrorCode::kUnauthorized);
+  EXPECT_EQ(server.stats().by_error_code[idx].load(), 3u);
+  server.stop();
+}
+
+TEST(Serve, ConnectionLimitRejectsWithTypedOverloaded) {
+  ServeConfig cfg = base_config("connlimit", artifacts().ensemble_a);
+  cfg.max_conns = 1;
+  Server server(cfg);
+  server.start();
+  ServeClient first = ServeClient::connect_unix(cfg.socket_path);
+  EXPECT_TRUE(first.predict(test_decks()[0]).at("ok").as_bool());
+  // The second connection is accepted just long enough to be told why it
+  // is being dropped.
+  ServeClient second = ServeClient::connect_unix(cfg.socket_path);
+  std::string payload;
+  ASSERT_TRUE(read_frame(second.fd(), &payload));
+  const auto resp = obs::JsonValue::parse(payload);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->at("error").at("code").as_string(), "overloaded");
+  EXPECT_FALSE(read_frame(second.fd(), &payload));  // then closed
+  for (int i = 0; i < 500 && server.stats().conn_rejected.load() == 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(server.stats().conn_rejected.load(), 1u);
+  // The resident connection is unaffected.
+  EXPECT_TRUE(first.predict(test_decks()[0]).at("ok").as_bool());
+  server.stop();
+}
+
+TEST(Serve, SlowlorisFrameTimesOutAndDisconnects) {
+  ServeConfig cfg = base_config("slowloris", artifacts().ensemble_a);
+  cfg.io_timeout_ms = 100;
+  Server server(cfg);
+  server.start();
+  ServeClient client = ServeClient::connect_unix(cfg.socket_path);
+  // Two header bytes arm the frame deadline; then stall. The server must
+  // cut the connection instead of pinning a reader thread forever.
+  const char torn[2] = {0x10, 0x00};
+  ASSERT_EQ(::send(client.fd(), torn, sizeof torn, MSG_NOSIGNAL),
+            static_cast<ssize_t>(sizeof torn));
+  std::string payload;
+  EXPECT_FALSE(read_frame(client.fd(), &payload));  // EOF: we were dropped
+  for (int i = 0; i < 500 && server.stats().io_timeouts.load() == 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_GE(server.stats().io_timeouts.load(), 1u);
+  // An idle-but-honest connection is NOT a slowloris: no deadline between
+  // frames, so a fresh client can sit quietly longer than the timeout.
+  ServeClient honest = ServeClient::connect_unix(cfg.socket_path);
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  EXPECT_TRUE(honest.predict(test_decks()[0]).at("ok").as_bool());
+  server.stop();
+}
+
+TEST(Serve, RetryingClientRetriesIdempotentRejections) {
+  ServeConfig cfg = base_config("retry", artifacts().ensemble_a);
+  cfg.queue_capacity = 1;
+  cfg.client_queue_cap = 1;
+  Server server(cfg);
+  server.start();
+  server.pause_worker();
+  // Park one request so every further admission answers queue_full.
+  ServeClient blocker = ServeClient::connect_unix(cfg.socket_path);
+  obs::JsonValue park = obs::JsonValue::object();
+  park.set("id", 1);
+  park.set("netlist", test_decks()[0]);
+  write_frame(blocker.fd(), park.dump());
+  while (server.stats().requests.load() < 1)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.base_backoff_ms = 1.0;
+  policy.max_backoff_ms = 4.0;
+  RetryingClient retry = RetryingClient::unix_target(cfg.socket_path, policy);
+  RequestOptions opt;
+  opt.request_id = "retry-1";
+  const obs::JsonValue still_full = retry.predict(test_decks()[0], opt);
+  // Budget exhausted against a stuck queue: the last rejection is
+  // returned (not thrown), after exactly max_attempts tries.
+  EXPECT_EQ(still_full.at("error").at("code").as_string(), "queue_full");
+  EXPECT_EQ(retry.attempts_made(), 3);
+  EXPECT_EQ(still_full.at("request_id").as_string(), "retry-1");
+
+  server.resume_worker();
+  std::string payload;
+  ASSERT_TRUE(read_frame(blocker.fd(), &payload));  // parked request answers
+  const obs::JsonValue ok = retry.predict(test_decks()[0]);
+  EXPECT_TRUE(ok.at("ok").as_bool());
+  EXPECT_EQ(retry.attempts_made(), 1);
+  server.stop();
+
+  // Connect failures are idempotent too: a dead target consumes the whole
+  // budget, then surfaces the transport error.
+  RetryingClient dead = RetryingClient::unix_target(
+      ::testing::TempDir() + "serve_no_such.sock", policy);
+  EXPECT_THROW(dead.predict(test_decks()[0]), util::IoError);
+  EXPECT_EQ(dead.attempts_made(), 3);
 }
 
 }  // namespace

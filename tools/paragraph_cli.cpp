@@ -49,7 +49,9 @@
 //   paragraph serve --socket PATH [--tcp PORT] [--ensemble ENS]
 //                   [--models A.bin,B.bin] [--queue-cap N] [--max-batch N]
 //                   [--no-batching] [--slow-ms MS] [--slo-p99-ms MS]
-//                   [--slo-target F] [--recent N]
+//                   [--slo-target F] [--recent N] [--io-timeout-ms MS]
+//                   [--max-conns N] [--client-queue-cap N]
+//                   [--auth-token TOK]
 //       Long-lived inference daemon (DESIGN.md §12): loads the models
 //       once, answers length-prefixed JSON requests on a unix-domain
 //       socket (and loopback TCP with --tcp; port 0 picks one and prints
@@ -71,9 +73,27 @@
 //       --slo-p99-ms MS (default 50) against availability --slo-target F
 //       (default 0.999); --recent N sizes the recent-requests ring
 //       (default 64).
+//       Hostile-conditions hardening (DESIGN.md §14): --io-timeout-ms MS
+//       (default 5000, 0 disables) bounds every in-progress frame read
+//       and response write per connection, so slowloris peers are cut
+//       off; --max-conns N (default 256) caps concurrent connections —
+//       excess connects get a typed `overloaded` rejection and a close;
+//       --client-queue-cap N caps queued requests per fairness key
+//       (default 0 = half the queue capacity) and the worker dequeues
+//       round-robin across clients within each priority lane, so one
+//       flooder cannot starve polite clients; --auth-token TOK (or the
+//       PARAGRAPH_AUTH_TOKEN environment variable) requires that token
+//       on every TCP request (typed `unauthorized` otherwise; the unix
+//       socket, being filesystem-permissioned, stays token-free).
+//       Requests carrying `deadline_ms` are shed with a typed
+//       `deadline_exceeded` — before any parsing or model work — once
+//       their deadline passes while queued; sheds are client-attributed
+//       (they never count against the server's SLO windows).
 //   paragraph client --socket PATH | --tcp HOST:PORT
 //                    (--netlist FILE.sp [--priority P] [--request-id RID]
-//                     | --admin CMD) [--json]
+//                     | --admin CMD) [--json] [--deadline-ms MS]
+//                    [--client KEY] [--auth-token TOK] [--retries N]
+//                    [--timeout-ms MS]
 //       One round-trip against a running serve daemon: send one netlist
 //       (or admin command: stats, healthz, reload, shutdown), print the
 //       predictions (or the stats/ack JSON), exit 0. Any server-side
@@ -81,6 +101,15 @@
 //       prints one machine-readable object (request_id, ok, latency_ms,
 //       error code, predictions) instead of the human text; --request-id
 //       propagates a caller-chosen trace id into the server's telemetry.
+//       --deadline-ms MS asks the server to shed the request (typed
+//       `deadline_exceeded`) rather than start it late; --client KEY
+//       sets the fairness key (default: per-connection identity);
+//       --auth-token TOK (or PARAGRAPH_AUTH_TOKEN) authenticates against
+//       a token-guarded TCP listener; --retries N retries idempotent
+//       rejections (connect failure, queue_full, overloaded) with
+//       full-jitter exponential backoff, reusing one request id across
+//       attempts (default 0 = single attempt); --timeout-ms MS bounds
+//       each frame read/write on the wire.
 //   paragraph top --socket PATH | --tcp HOST:PORT
 //                 [--interval-ms N] [--count N] [--once] [--json]
 //       Live one-screen view of a running daemon, polled from the `stats`
@@ -135,6 +164,7 @@
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -699,6 +729,28 @@ int cmd_serve(const util::ArgParser& args) {
     return 2;
   }
   cfg.recent_capacity = static_cast<std::size_t>(recent);
+  const long io_timeout = args.get_int("io-timeout-ms", 5000);
+  if (io_timeout < 0) {
+    std::fprintf(stderr, "serve: --io-timeout-ms must be >= 0 (0 disables)\n");
+    return 2;
+  }
+  cfg.io_timeout_ms = static_cast<int>(io_timeout);
+  const long max_conns = args.get_int("max-conns", 256);
+  const long client_cap = args.get_int("client-queue-cap", 0);
+  if (max_conns <= 0 || client_cap < 0) {
+    std::fprintf(stderr,
+                 "serve: --max-conns must be positive, --client-queue-cap >= 0 (0 = auto)\n");
+    return 2;
+  }
+  cfg.max_conns = static_cast<std::size_t>(max_conns);
+  cfg.client_queue_cap = static_cast<std::size_t>(client_cap);
+  cfg.auth_token = args.get("auth-token");
+  if (cfg.auth_token.empty())
+    if (const char* tok = std::getenv("PARAGRAPH_AUTH_TOKEN"); tok != nullptr)
+      cfg.auth_token = tok;
+  if (!cfg.auth_token.empty() && cfg.tcp_port < 0)
+    std::fprintf(stderr,
+                 "serve: note: --auth-token only guards the TCP listener (none is enabled)\n");
 
   serve::Server server(std::move(cfg));
   server.start();
@@ -751,25 +803,55 @@ int cmd_client(const util::ArgParser& args) {
     std::fprintf(stderr, "client: exactly one of --netlist FILE or --admin CMD is required\n");
     return 2;
   }
-  serve::ServeClient client = connect_serve(args, "client");
+  const std::string socket_path = args.get("socket");
+  const std::string tcp = args.get("tcp");
+  if (socket_path.empty() == tcp.empty()) {
+    std::fprintf(stderr, "client: exactly one of --socket PATH or --tcp HOST:PORT is required\n");
+    return 2;
+  }
+  const long retries = args.get_int("retries", 0);
+  const long timeout_ms = args.get_int("timeout-ms", 0);
+  const double deadline_ms = args.get_double("deadline-ms", 0.0);
+  if (retries < 0 || timeout_ms < 0 || deadline_ms < 0.0) {
+    std::fprintf(stderr, "client: --retries, --timeout-ms, and --deadline-ms must be >= 0\n");
+    return 2;
+  }
+  serve::RetryPolicy policy;
+  policy.max_attempts = 1 + static_cast<int>(retries);
+  serve::RetryingClient client = [&] {
+    if (!socket_path.empty()) return serve::RetryingClient::unix_target(socket_path, policy);
+    const std::size_t colon = tcp.rfind(':');
+    if (colon == std::string::npos || colon + 1 == tcp.size())
+      throw std::invalid_argument("client: --tcp needs HOST:PORT, got '" + tcp + "'");
+    return serve::RetryingClient::tcp_target(tcp.substr(0, colon),
+                                             std::stoi(tcp.substr(colon + 1)), policy);
+  }();
+  if (timeout_ms > 0) client.set_io_timeout_ms(static_cast<int>(timeout_ms));
 
-  const auto id = static_cast<std::int64_t>(args.get_int("id", 1));
+  serve::RequestOptions options;
+  options.id = static_cast<std::int64_t>(args.get_int("id", 1));
+  options.request_id = args.get("request-id");
+  options.deadline_ms = deadline_ms;
+  options.client = args.get("client");
+  options.auth_token = args.get("auth-token");
+  if (options.auth_token.empty())
+    if (const char* tok = std::getenv("PARAGRAPH_AUTH_TOKEN"); tok != nullptr)
+      options.auth_token = tok;
   const bool json = args.has("json");
   obs::JsonValue resp;
   const auto sent_at = std::chrono::steady_clock::now();
   if (!admin.empty()) {
-    resp = client.admin(admin, id);
+    resp = client.admin(admin, options);
   } else {
-    serve::Priority priority = serve::Priority::kNormal;
     const std::string pname = args.get("priority", "normal");
-    if (!serve::parse_priority(pname, &priority))
+    if (!serve::parse_priority(pname, &options.priority))
       throw std::invalid_argument("client: unknown --priority '" + pname +
                                   "' (use low, normal, high)");
     std::ifstream f(netlist_path);
     if (!f) throw util::IoError("client: cannot read netlist '" + netlist_path + "'");
     std::ostringstream text;
     text << f.rdbuf();
-    resp = client.predict(text.str(), priority, id, args.get("request-id"));
+    resp = client.predict(text.str(), options);
   }
   const double latency_ms =
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - sent_at)
