@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -43,7 +44,18 @@ class JsonValue {
   bool is_object() const { return kind_ == Kind::kObject; }
 
   bool as_bool() const { return bool_; }
-  std::int64_t as_int() const { return kind_ == Kind::kDouble ? static_cast<std::int64_t>(double_) : int_; }
+  // Doubles saturate to the int64 range (NaN -> 0): values parsed off the
+  // wire can be arbitrary (e.g. 1e300) and an out-of-range double->int
+  // cast is undefined behavior, so it must never be reachable from here.
+  std::int64_t as_int() const {
+    if (kind_ != Kind::kDouble) return int_;
+    constexpr double kLo = -9223372036854775808.0;  // -2^63, exactly representable
+    constexpr double kHi = 9223372036854775808.0;   // 2^63 (first double > int64 max)
+    if (double_ != double_) return 0;
+    if (double_ >= kHi) return std::numeric_limits<std::int64_t>::max();
+    if (double_ < kLo) return std::numeric_limits<std::int64_t>::min();
+    return static_cast<std::int64_t>(double_);
+  }
   double as_double() const { return kind_ == Kind::kInt ? static_cast<double>(int_) : double_; }
   const std::string& as_string() const { return str_; }
 

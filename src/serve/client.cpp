@@ -186,13 +186,16 @@ obs::JsonValue RetryingClient::call(obs::JsonValue req) {
       const obs::JsonValue* code =
           error != nullptr && error->is_object() ? error->find("code") : nullptr;
       const std::string name = code != nullptr && code->is_string() ? code->as_string() : "";
+      // A connection-level overloaded rejection is followed by the server
+      // hanging up, so the socket is dead no matter what happens next:
+      // drop it even when this response is returned to the caller (the
+      // final attempt), or the next call() would fail mid-roundtrip on
+      // the stale connection and surface a spurious non-retryable IoError.
+      if (name == "overloaded") conn_.reset();
       // queue_full / overloaded are explicit "come back later" rejections
       // made before any work started — the only error responses that are
       // safe (and useful) to retry.
       if ((name == "queue_full" || name == "overloaded") && attempt < max_attempts) {
-        // A connection-level overloaded rejection is followed by the
-        // server hanging up; start the next attempt on a fresh socket.
-        if (name == "overloaded") conn_.reset();
         backoff();
         continue;
       }

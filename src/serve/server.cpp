@@ -58,6 +58,10 @@ constexpr int kShedSendTimeoutMs = 250;
 // get when the listeners are quiet.
 constexpr int kAcceptTickMs = 250;
 
+// Largest accepted deadline_ms (one hour). Keeps the double->int64 cast
+// and the steady_clock addition far from overflow territory.
+constexpr double kMaxDeadlineMs = 3.6e6;
+
 // The request's trace id: client-propagated "request_id" when present,
 // server-assigned "r<N>" otherwise.
 std::string resolve_request_id(const obs::JsonValue& req) {
@@ -263,6 +267,7 @@ void Server::start() {
     reg.gauge("ensemble.degraded").set(registry_.current()->degraded ? 1.0 : 0.0);
   }
   worker_ = std::thread([this] { worker_loop(); });
+  shedder_ = std::thread([this] { shedder_loop(); });
   acceptor_ = std::thread([this] { acceptor_loop(); });
   started_.store(true, std::memory_order_release);
   obs::log_info("serve", "listening",
@@ -310,6 +315,14 @@ void Server::stop() {
   queue_.close();
   resume_worker();
   worker_.join();
+  // The shedder drains any still-pending expired answers before exiting,
+  // so every admitted request got a response attempt.
+  {
+    std::lock_guard<std::mutex> lock(shed_mu_);
+    shed_stop_ = true;
+  }
+  shed_cv_.notify_all();
+  shedder_.join();
   // Now unblock any reader still waiting on its client and let them exit.
   {
     std::lock_guard<std::mutex> lock(state_mu_);
@@ -509,8 +522,16 @@ void Server::handle_request(const std::shared_ptr<Connection>& conn, const obs::
   job.conn = conn;
   job.enqueued_at = std::chrono::steady_clock::now();
   if (const obs::JsonValue* d = req.find("deadline_ms"); d != nullptr) {
-    if (!d->is_number() || d->as_double() <= 0.0) {
-      send_error(conn, id, ErrorCode::kBadRequest, "deadline_ms must be a positive number",
+    // Bounded above as well as below: a huge value (1e300) would make the
+    // double->int64 cast undefined behavior, and even in-int64-range
+    // values (1e16 ms) overflow steady_clock's nanosecond rep when added
+    // to enqueued_at, wrapping the deadline into the past. Anything past
+    // an hour is not a per-request serving deadline. The negated
+    // comparison also rejects NaN (every NaN compare is false).
+    if (!d->is_number() || !(d->as_double() > 0.0) || d->as_double() > kMaxDeadlineMs) {
+      send_error(conn, id, ErrorCode::kBadRequest,
+                 "deadline_ms must be a number in (0, " +
+                     std::to_string(static_cast<std::int64_t>(kMaxDeadlineMs)) + "]",
                  rid);
       return;
     }
@@ -642,9 +663,32 @@ void Server::answer_expired(const Job& job) {
   recent_.push(std::move(rec));
 }
 
+// Acceptor tick: pull expired jobs out of the queue immediately (so the
+// worker never sees them) but hand the answering to the shedder thread —
+// each shed write may block for its full kShedSendTimeoutMs cap against a
+// stalled peer, and a deep backlog of expired jobs answered inline would
+// stall accepts and stop handling for seconds.
 void Server::shed_expired() {
-  for (const Job& job : queue_.take_expired(std::chrono::steady_clock::now()))
-    answer_expired(job);
+  std::vector<Job> expired = queue_.take_expired(std::chrono::steady_clock::now());
+  if (expired.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(shed_mu_);
+    for (Job& job : expired) shed_pending_.push_back(std::move(job));
+  }
+  shed_cv_.notify_one();
+}
+
+void Server::shedder_loop() {
+  for (;;) {
+    std::vector<Job> batch;
+    {
+      std::unique_lock<std::mutex> lock(shed_mu_);
+      shed_cv_.wait(lock, [&] { return shed_stop_ || !shed_pending_.empty(); });
+      if (shed_pending_.empty()) return;  // only reachable when stopping
+      batch.swap(shed_pending_);
+    }
+    for (const Job& job : batch) answer_expired(job);
+  }
 }
 
 // The paragraph-stats-v1 document: one consistent live view of the

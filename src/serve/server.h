@@ -221,8 +221,12 @@ class Server {
   // ring recorded; SLO windows and the latency histogram skipped).
   void answer_expired(const Job& job);
   // Acceptor-tick sweep: drains expired jobs out of the queue so dead
-  // work never reaches the worker.
+  // work never reaches the worker. The answers themselves go to the
+  // shedder thread — each shed write can legitimately stall for its full
+  // (short) cap against a hostile peer, and a deep backlog of those must
+  // not delay accepts, stop notification, or the next sweep.
   void shed_expired();
+  void shedder_loop();
 
   ServeConfig config_;
   ModelRegistry registry_;
@@ -240,8 +244,15 @@ class Server {
 
   std::thread acceptor_;
   std::thread worker_;
+  std::thread shedder_;
   std::atomic<bool> started_{false};
   std::atomic<bool> stopping_{false};
+
+  // Expired jobs handed from the acceptor sweep to the shedder thread.
+  std::mutex shed_mu_;
+  std::condition_variable shed_cv_;
+  std::vector<Job> shed_pending_;
+  bool shed_stop_ = false;
 
   std::mutex state_mu_;
   std::condition_variable state_cv_;

@@ -111,6 +111,22 @@ TEST_F(ObsTest, JsonParseAcceptsUnicodeEscapes) {
   EXPECT_EQ(parsed->as_string(), "a\xc3\xa9" "bA");
 }
 
+TEST_F(ObsTest, JsonAsIntSaturatesOutOfRangeDoubles) {
+  // Numbers come straight off the wire ({"id": 1e300}), and an
+  // out-of-range double->int64 cast is UB: as_int() saturates instead.
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+  EXPECT_EQ(JsonValue(1e300).as_int(), kMax);
+  EXPECT_EQ(JsonValue(-1e300).as_int(), kMin);
+  EXPECT_EQ(JsonValue(std::numeric_limits<double>::infinity()).as_int(), kMax);
+  EXPECT_EQ(JsonValue(-std::numeric_limits<double>::infinity()).as_int(), kMin);
+  EXPECT_EQ(JsonValue(std::numeric_limits<double>::quiet_NaN()).as_int(), 0);
+  EXPECT_EQ(JsonValue(9.3e18).as_int(), kMax);   // just past int64 max
+  EXPECT_EQ(JsonValue(-9.3e18).as_int(), kMin);  // just past int64 min
+  EXPECT_EQ(JsonValue(1.75).as_int(), 1);        // in-range doubles truncate as before
+  EXPECT_EQ(JsonValue::parse("1e300")->as_int(), kMax);
+}
+
 TEST_F(ObsTest, JsonNonFiniteDumpsAsNull) {
   JsonValue doc = JsonValue::object();
   doc.set("inf", std::numeric_limits<double>::infinity());

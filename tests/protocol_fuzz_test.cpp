@@ -105,6 +105,20 @@ TEST(ProtocolFuzz, MalformedFramesGetTypedErrorsAndServerSurvives) {
   corpus.push_back({"deadline_wrong_type",
                     "{\"id\": 3, \"netlist\": \"C1 a b 1f\\n\", \"deadline_ms\": \"soon\"}",
                     false, 0, "bad_request", true});
+  corpus.push_back({"deadline_negative",
+                    "{\"id\": 7, \"netlist\": \"C1 a b 1f\\n\", \"deadline_ms\": -5}",
+                    false, 0, "bad_request", true});
+  // Bounds that would be UB (double->int64 cast) or overflow steady_clock
+  // arithmetic if they reached the deadline computation.
+  corpus.push_back({"deadline_absurdly_large",
+                    "{\"id\": 8, \"netlist\": \"C1 a b 1f\\n\", \"deadline_ms\": 1e300}",
+                    false, 0, "bad_request", true});
+  corpus.push_back({"deadline_overflows_clock",
+                    "{\"id\": 9, \"netlist\": \"C1 a b 1f\\n\", \"deadline_ms\": 1e16}",
+                    false, 0, "bad_request", true});
+  // Hostile "id": request_id() must saturate, not trip double->int64 UB.
+  corpus.push_back({"id_out_of_int64_range", "{\"id\": 1e300}", false, 0,
+                    "bad_request", true});
   corpus.push_back({"client_wrong_type",
                     "{\"id\": 4, \"netlist\": \"C1 a b 1f\\n\", \"client\": 7}",
                     false, 0, "bad_request", true});

@@ -7,12 +7,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <thread>
 #include <vector>
 
 #include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
 
 #include "circuit/spice_writer.h"
 #include "core/ensemble.h"
@@ -1174,6 +1177,48 @@ TEST(Serve, RetryingClientRetriesIdempotentRejections) {
       ::testing::TempDir() + "serve_no_such.sock", policy);
   EXPECT_THROW(dead.predict(test_decks()[0]), util::IoError);
   EXPECT_EQ(dead.attempts_made(), 3);
+}
+
+TEST(Serve, RetryingClientDropsDeadSocketAfterFinalOverloaded) {
+  // A connection-level `overloaded` rejection is followed by the server
+  // hanging up. When it lands on the *final* allowed attempt the response
+  // is returned to the caller — but the socket underneath is still dead,
+  // so the next call must start on a fresh connection instead of throwing
+  // a spurious IoError off the stale one. A scripted peer makes the
+  // hang-up deterministic (a real connection-limit rejection races the
+  // client's write against the server's close).
+  const std::string path = ::testing::TempDir() + "serve_retry_ovl.sock";
+  ::unlink(path.c_str());
+  const int lfd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(lfd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  ASSERT_EQ(::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  ASSERT_EQ(::listen(lfd, 4), 0);
+  std::thread peer([&] {
+    // First connection: read the request, reject `overloaded`, hang up.
+    int c = ::accept(lfd, nullptr, nullptr);
+    if (c < 0) return;
+    std::string payload;
+    EXPECT_TRUE(read_frame(c, &payload));
+    write_frame(c, make_error_response(0, ErrorCode::kOverloaded, "go away").dump());
+    ::close(c);
+    // Second connection: serve normally.
+    c = ::accept(lfd, nullptr, nullptr);
+    if (c < 0) return;
+    EXPECT_TRUE(read_frame(c, &payload));
+    write_frame(c, make_ok_response(0, 1, false).dump());
+    ::close(c);
+  });
+  RetryPolicy policy;
+  policy.max_attempts = 1;  // the rejection is the final attempt
+  RetryingClient client = RetryingClient::unix_target(path, policy);
+  EXPECT_EQ(client.predict("C1 a b 1f\n").at("error").at("code").as_string(), "overloaded");
+  EXPECT_TRUE(client.predict("C1 a b 1f\n").at("ok").as_bool());
+  peer.join();
+  ::close(lfd);
+  ::unlink(path.c_str());
 }
 
 }  // namespace
